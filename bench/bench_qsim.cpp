@@ -1,0 +1,132 @@
+// State-vector simulator throughput — the substrate that stands in for the
+// physical QPU. Not a paper table; this bench characterizes the digital
+// twin so that the per-table harnesses' runtimes are interpretable, and
+// exercises the OpenMP gate kernels across state sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/qsim/state_vector.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+void print_reproduction() {
+  std::cout << "=== Digital-twin (state-vector) substrate throughput ===\n"
+            << "20-qubit register = 2^20 complex amplitudes = 16 MiB.\n\n";
+}
+
+void BM_Apply1q(benchmark::State& state) {
+  qsim::StateVector sv(static_cast<int>(state.range(0)));
+  const auto gate = qsim::gate_prx(0.7, 0.3);
+  int qubit = 0;
+  for (auto _ : state) {
+    sv.apply_1q(gate, qubit);
+    qubit = (qubit + 1) % sv.num_qubits();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_Apply1q)->Arg(10)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_Apply2q(benchmark::State& state) {
+  qsim::StateVector sv(static_cast<int>(state.range(0)));
+  const auto gate = qsim::gate_cx();
+  int qubit = 0;
+  for (auto _ : state) {
+    sv.apply_2q(gate, qubit, (qubit + 1) % sv.num_qubits());
+    qubit = (qubit + 1) % sv.num_qubits();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_Apply2q)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CphaseFastPath(benchmark::State& state) {
+  qsim::StateVector sv(20);
+  for (auto _ : state) {
+    sv.apply_cphase(0.5, 3, 11);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_CphaseFastPath);
+
+void BM_GhzStatePreparation(benchmark::State& state) {
+  const auto circuit =
+      circuit::Circuit::ghz(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    qsim::StateVector sv(circuit.num_qubits());
+    circuit::apply_gates(sv, circuit);
+    benchmark::DoNotOptimize(sv.norm());
+  }
+}
+BENCHMARK(BM_GhzStatePreparation)->Arg(10)->Arg(16)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sampling(benchmark::State& state) {
+  Rng rng(1);
+  qsim::StateVector sv(16);
+  const auto circuit = circuit::Circuit::ghz(16);
+  circuit::apply_gates(sv, circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sv.sample(static_cast<std::size_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sampling)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyExecutionTrajectory(benchmark::State& state) {
+  Rng rng(2);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  circuit::Circuit ghz(20);
+  ghz.h(chain[0]);
+  std::vector<int> measured{chain[0]};
+  for (int i = 1; i < 8; ++i) {
+    ghz.cx(chain[i - 1], chain[i]);
+    measured.push_back(chain[i]);
+  }
+  ghz.measure(measured);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.execute(
+        ghz, 100, rng, device::ExecutionMode::kTrajectory));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_NoisyExecutionTrajectory)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyExecutionGlobalDepolarizing(benchmark::State& state) {
+  Rng rng(3);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  circuit::Circuit ghz(20);
+  ghz.h(chain[0]);
+  for (std::size_t i = 1; i < chain.size(); ++i)
+    ghz.cx(chain[i - 1], chain[i]);
+  ghz.measure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.execute(
+        ghz, 2000, rng, device::ExecutionMode::kGlobalDepolarizing));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_NoisyExecutionGlobalDepolarizing)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

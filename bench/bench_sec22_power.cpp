@@ -1,0 +1,69 @@
+// Reproduces the **§2.2 power comparison**: "the superconducting quantum
+// computer uses only modest amounts of power with a peak power consumption
+// of 30 kW during cooldown ... a classical HPC node Cray EX4000 cabinet can
+// draw up to 141 kVA (~140 kW real power) ... implying a per-cabinet power
+// capability of approximately 300 kW in high-density scenarios."
+//
+// Expected shape: the QC peaks at 30 kW (cooldown) — under a quarter of a
+// single Cray cabinet — so "existing HPC centers will have sufficient
+// electrical power capacity".
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/facility/power.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+void print_reproduction() {
+  std::cout << "=== Section 2.2: power consumption comparison ===\n\n";
+  const facility::QcPowerModel qc;
+  const facility::CrayEx4000Reference cray;
+
+  Table table({"System", "Phase", "Power [kW]"});
+  for (const auto& row : facility::power_comparison(qc, cray))
+    table.add_row({row.system, row.phase, Table::num(row.power_kw, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nQC peak / Cray cabinet draw: "
+            << Table::num(to_kilowatts(qc.draw(
+                              facility::QcPowerState::kCooldown)) /
+                              to_kilowatts(cray.real_power()),
+                          3)
+            << " (paper: well under one cabinet)\n\n";
+
+  Table split({"QC phase", "Draw [kW]", "Heat to air [kW]",
+               "Heat to water [kW]"});
+  for (const auto state :
+       {facility::QcPowerState::kOff, facility::QcPowerState::kMaintenance,
+        facility::QcPowerState::kSteady, facility::QcPowerState::kCooldown}) {
+    split.add_row({to_string(state),
+                   Table::num(to_kilowatts(qc.draw(state)), 1),
+                   Table::num(to_kilowatts(qc.heat_to_air(state)), 1),
+                   Table::num(to_kilowatts(qc.heat_to_water(state)), 1)});
+  }
+  split.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_PowerModelEvaluation(benchmark::State& state) {
+  const facility::QcPowerModel qc;
+  const facility::CrayEx4000Reference cray;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facility::power_comparison(qc, cray));
+  }
+}
+BENCHMARK(BM_PowerModelEvaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

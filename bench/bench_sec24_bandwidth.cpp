@@ -1,0 +1,104 @@
+// Reproduces the **§2.4 network-bandwidth estimate**: "a continuous
+// measurement of circuits results in data rate of 1/300 us x 20 x 8 bit =
+// 533 kbit/s, which is well below the transmission rate offered by the
+// 1 Gbit Ethernet connection ... Extending the above calculation from 20
+// to 54 or 150 qubits shows that the data rate grows linearly."
+//
+// Expected shape: 533 kbit/s at 20 qubits in the byte-per-bit format,
+// exactly linear growth in qubit count, raw-IQ 8x higher, and link
+// utilization far below 1 even at 150 qubits.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/net/bandwidth.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+void print_reproduction() {
+  std::cout << "=== Section 2.4: QPU output data rate vs 1 Gbit link ===\n\n";
+  const net::LinkModel link;  // 1 Gbit Ethernet
+
+  Table table({"Qubits", "Format", "Data rate", "Link utilization"});
+  for (const int qubits : {20, 54, 150}) {
+    for (const auto format : {net::ResultFormat::kBitstringsPerShot,
+                              net::ResultFormat::kRawIq,
+                              net::ResultFormat::kHistogram}) {
+      net::BandwidthScenario scenario;
+      scenario.num_qubits = qubits;
+      scenario.format = format;
+      const auto rate = net::output_data_rate(scenario);
+      table.add_row({std::to_string(qubits), net::to_string(format),
+                     Table::num(to_kilobits_per_second(rate), 1) + " kbit/s",
+                     Table::num(100.0 * link.utilization(rate), 4) + " %"});
+    }
+  }
+  table.print(std::cout);
+
+  net::BandwidthScenario paper;  // the paper's exact inputs
+  std::cout << "\nPaper's naive estimate at 20 qubits: 533 kbit/s; "
+            << "reproduced: "
+            << Table::num(
+                   to_kilobits_per_second(net::output_data_rate(paper)), 2)
+            << " kbit/s\n";
+  net::BandwidthScenario realistic = paper;
+  realistic.duty_cycle = 0.6;  // "control software has additional inefficiency"
+  std::cout << "With 60 % control-software duty cycle: "
+            << Table::num(to_kilobits_per_second(
+                              net::output_data_rate(realistic)), 2)
+            << " kbit/s\n\n";
+
+  // Per-job transfer times for a typical 10k-shot job.
+  Table transfer({"Format", "Payload (10k shots, 20q)", "Transfer time"});
+  for (const auto format : {net::ResultFormat::kHistogram,
+                            net::ResultFormat::kBitstringsPerShot,
+                            net::ResultFormat::kRawIq}) {
+    const std::size_t bytes =
+        net::payload_size_bytes(format, 20, 10000, 1000);
+    transfer.add_row({net::to_string(format),
+                      Table::num(static_cast<double>(bytes) / 1024.0, 1) +
+                          " KiB",
+                      Table::num(1e3 * link.transfer_time(bytes), 2) + " ms"});
+  }
+  transfer.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_EncodeBitstrings(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint64_t> samples(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& sample : samples) sample = rng.uniform_index(1u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_bitstrings(samples, 20));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 20);
+}
+BENCHMARK(BM_EncodeBitstrings)->Arg(1000)->Arg(100000);
+
+void BM_HistogramRoundTrip(benchmark::State& state) {
+  Rng rng(2);
+  qsim::Counts counts;
+  counts.set_num_qubits(20);
+  for (int i = 0; i < state.range(0); ++i)
+    counts.add(rng.uniform_index(1u << 20), 1 + rng.uniform_index(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::decode_histogram(net::encode_histogram(counts)));
+  }
+}
+BENCHMARK(BM_HistogramRoundTrip)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

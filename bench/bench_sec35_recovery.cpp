@@ -1,0 +1,123 @@
+// Reproduces the **§3.5 outage-recovery quantitative claims**:
+//  - "it takes two minutes to exceed this temperature [1 K] after a fault
+//    in the cooling system";
+//  - "for small temperature excursions that stay below 1 K, calibration can
+//    often be restored by the automated calibration system"; larger ones
+//    need a full calibration;
+//  - cooldown "can take from two to five days depending on the thermal mass
+//    of the cryostat and the temperature reached during the outage".
+//
+// Expected shape: recovery time grows strongly (and non-linearly) with
+// outage duration — sub-hour for a <2-minute blip, days once the QPU warms
+// past a few kelvin — which is the paper's argument for redundant power and
+// cooling (Lesson 3).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/ops/recovery.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+void print_reproduction() {
+  std::cout << "=== Section 3.5: recovery from cooling outages ===\n\n";
+  std::cout << "Warm-up check: time from 10 mK to 1 K after cooling loss = "
+            << Table::num(to_minutes(cryo::Cryostat().warmup_time_to(1.0)), 2)
+            << " min (paper: ~2 min)\n\n";
+
+  Table table({"Outage duration", "Peak temp [K]", "Cal preserved",
+               "Recalibration", "Cooldown [days]", "Total recovery"});
+  const struct {
+    const char* label;
+    Seconds duration;
+  } outages[] = {
+      {"90 s", seconds(90.0)},   {"10 min", minutes(10.0)},
+      {"1 h", hours(1.0)},       {"6 h", hours(6.0)},
+      {"1 day", days(1.0)},      {"3 days", days(3.0)},
+  };
+
+  for (const auto& outage : outages) {
+    Rng rng(99);
+    cryo::Cryostat cryostat;
+    cryostat.set_cooling(false);
+    cryostat.step(outage.duration);
+    cryostat.set_cooling(true);
+
+    device::DeviceModel device = device::make_iqm20(rng);
+    device.drift(outage.duration, rng);
+
+    ops::RecoveryProcedure::Params params;
+    params.benchmark.qubits = 12;
+    params.benchmark.analytic = true;
+    const ops::RecoveryProcedure procedure(params);
+    const auto report =
+        procedure.execute(cryostat, device, /*fault_resolution=*/0.0, rng);
+
+    const Seconds total = report.total();
+    table.add_row(
+        {outage.label, Table::num(report.peak_temperature, 3),
+         report.calibration_preserved ? "yes (< 1 K)" : "no",
+         to_string(report.calibration_used),
+         Table::num(to_days(report.cooldown), 2),
+         to_hours(total) < 48.0
+             ? Table::num(to_hours(total), 1) + " h"
+             : Table::num(to_days(total), 2) + " days"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCooldown vs thermal mass (full warm-up, paper: 2-5 days):\n";
+  Table mass_table({"Thermal mass factor", "Cooldown from ambient"});
+  for (const double mass : {1.0, 1.3, 1.6, 1.8}) {
+    cryo::CryostatParams params;
+    params.thermal_mass_factor = mass;
+    const cryo::Cryostat cryostat(params);
+    mass_table.add_row(
+        {Table::num(mass, 1),
+         Table::num(to_days(cryostat.cooldown_time_from(params.ambient)), 2) +
+             " days"});
+  }
+  mass_table.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_ThermalStep(benchmark::State& state) {
+  cryo::Cryostat cryostat;
+  cryostat.set_cooling(false);
+  for (auto _ : state) {
+    cryostat.step(minutes(10.0));
+    benchmark::DoNotOptimize(cryostat.temperature());
+  }
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_FullRecoverySimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(7);
+    cryo::Cryostat cryostat;
+    cryostat.set_cooling(false);
+    cryostat.step(hours(6.0));
+    cryostat.set_cooling(true);
+    device::DeviceModel device = device::make_iqm20(rng);
+    ops::RecoveryProcedure::Params params;
+    params.benchmark.qubits = 8;
+    params.benchmark.analytic = true;
+    const ops::RecoveryProcedure procedure(params);
+    benchmark::DoNotOptimize(
+        procedure.execute(cryostat, device, 0.0, rng));
+  }
+}
+BENCHMARK(BM_FullRecoverySimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces **Table 1** of the paper: the site-survey measurement suite
+// with its acceptance criteria, evaluated on the three candidate spaces of
+// the site-selection case study. The paper reports the criteria; we run the
+// measurements against synthetic rooms and print measured-vs-limit rows.
+//
+// Expected shape: the purpose-built machine-room annex passes every row;
+// the tram-side space fails vibration and AC magnetics; the basement
+// workshop fails the climate rows (plus the 2 m lighting rule and the
+// 90 cm doorway rule).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/facility/survey.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+void print_reproduction() {
+  Rng rng(2025);
+  const facility::SiteSurvey survey;
+  const auto sites = facility::standard_candidate_sites();
+
+  std::cout << "=== Table 1: site-survey measurements and acceptance "
+               "criteria ===\n\n";
+  std::vector<facility::SurveyReport> reports;
+  for (const auto& site : sites) {
+    reports.push_back(survey.run(site, rng));
+    const auto& report = reports.back();
+    Table table({"Measurement", "Measured", "Requirement", "Verdict"});
+    for (const auto& m : report.measurements) {
+      table.add_row({to_string(m.kind),
+                     Table::num(m.measured, 3) + " " + m.unit, m.requirement,
+                     m.pass ? "PASS" : "FAIL"});
+    }
+    table.add_row({"Delivery path",
+                   Table::num(report.min_delivery_width_cm, 0) + " cm",
+                   ">= 90 cm at every constriction",
+                   report.delivery_path_ok ? "PASS" : "FAIL"});
+    table.add_row({"Floor load",
+                   Table::num(report.floor_capacity_kg_m2, 0) + " kg/m2",
+                   ">= 1000 kg/m2 (205 lbs/ft2)",
+                   report.floor_ok ? "PASS" : "FAIL"});
+    std::cout << "Candidate: " << report.site_name << '\n';
+    table.print(std::cout);
+    std::cout << "  => " << (report.accepted() ? "ACCEPTED" : "REJECTED")
+              << "\n\n";
+  }
+  const int chosen = facility::SiteSurvey::select_site(reports);
+  std::cout << "Selected site: "
+            << (chosen >= 0 ? reports[static_cast<std::size_t>(chosen)]
+                                  .site_name
+                            : std::string("none"))
+            << "\n\n";
+}
+
+void BM_FullSurveyOneSite(benchmark::State& state) {
+  Rng rng(1);
+  facility::SurveyDurations durations;
+  durations.vibration = minutes(4.0);
+  durations.sound = seconds(4.0);
+  durations.magnetic = seconds(8.0);
+  const facility::SiteSurvey survey({}, durations);
+  const auto site = facility::standard_candidate_sites()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survey.run(site, rng));
+  }
+}
+BENCHMARK(BM_FullSurveyOneSite)->Unit(benchmark::kMillisecond);
+
+void BM_SpectrumAnalysis(benchmark::State& state) {
+  Rng rng(2);
+  facility::Waveform wave;
+  wave.sample_rate_hz = 4096.0;
+  wave.samples.assign(static_cast<std::size_t>(state.range(0)), 0.0);
+  wave.add_sinusoid(1.0, 50.0);
+  wave.add_white_noise(0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facility::compute_spectrum(wave));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpectrumAnalysis)->Arg(1 << 14)->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

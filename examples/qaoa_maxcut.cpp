@@ -1,0 +1,62 @@
+// QAOA MaxCut on a topology-native problem graph.
+//
+// Demonstrates the combinatorial-optimization workload class from the
+// paper's introduction, and the value of QDMI-aware JIT placement: the
+// problem graph is a ring, and the compiler maps it onto the best-
+// calibrated physical qubits of the 20-qubit twin at submission time.
+
+#include <iostream>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/hybrid/qaoa.hpp"
+#include "hpcqc/mqss/client.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+
+int main() {
+  using namespace hpcqc;
+
+  Rng rng(31);
+  SimClock clock;
+  device::DeviceModel qpu = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(qpu, clock);
+  mqss::QpuService service(qpu, qdmi_device, rng);
+  mqss::Client client(service, clock, mqss::AccessPath::kHpc);
+
+  // A 6-node ring plus one chord: max cut = 6 (alternating ring cut keeps
+  // the chord uncut ... the optimum cuts all six ring edges).
+  const int n = 6;
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}};
+
+  hybrid::QaoaOptions options;
+  options.depth = 2;
+  options.shots = 1500;
+  options.spsa.iterations = 80;
+  const hybrid::QaoaMaxCut qaoa(n, edges, options);
+
+  const hybrid::CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                           std::size_t shots) {
+    return client.wait(client.submit(circuit, shots, "qaoa")).run.counts;
+  };
+
+  const auto result = qaoa.run(runner, rng);
+
+  // Brute-force optimum for reference.
+  double optimum = 0.0;
+  for (std::uint64_t assignment = 0; assignment < (1u << n); ++assignment)
+    optimum = std::max(optimum, qaoa.cut_value(assignment));
+
+  std::cout << "Graph: " << n << " nodes, " << edges.size() << " edges\n";
+  std::cout << "Brute-force maximum cut: " << optimum << "\n";
+  std::cout << "QAOA expected cut <C>:   " << result.expected_cut << "\n";
+  std::cout << "Best sampled cut:        " << result.best_cut
+            << " (assignment ";
+  for (int q = 0; q < n; ++q)
+    std::cout << ((result.best_bitstring >> q) & 1);
+  std::cout << ")\n";
+  std::cout << "Approximation ratio:     " << result.best_cut / optimum
+            << "\n";
+  std::cout << "Circuits submitted:      " << result.circuits_run << "\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: submit a GHZ circuit through the MQSS-style client.
+//
+// Demonstrates the full §2.6 software path: a frontend circuit (built via
+// the text adapter), automatic access-path detection (in-HPC accelerator
+// path vs. remote REST queue), JIT compilation against live QDMI device
+// data, noisy execution on the 20-qubit digital twin, and the histogram
+// output format of §2.4.
+
+#include <iostream>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/adapters.hpp"
+#include "hpcqc/mqss/client.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+
+int main() {
+  using namespace hpcqc;
+
+  Rng rng(2025);
+  SimClock clock;
+
+  // The on-premise 20-qubit QPU (digital twin) and its QDMI view.
+  device::DeviceModel qpu = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(qpu, clock);
+
+  std::cout << "Device: " << qdmi_device.name() << " with "
+            << qdmi_device.num_qubits() << " qubits, "
+            << qdmi_device.coupling_map().size() << " couplers\n";
+  std::cout << "Median 1Q fidelity:     "
+            << qdmi_device.device_property(
+                   qdmi::DeviceProperty::kMedianFidelity1q)
+            << "\nMedian CZ fidelity:     "
+            << qdmi_device.device_property(
+                   qdmi::DeviceProperty::kMedianFidelityCz)
+            << "\nMedian readout fidelity: "
+            << qdmi_device.device_property(
+                   qdmi::DeviceProperty::kMedianReadoutFidelity)
+            << "\n\n";
+
+  // A 5-qubit GHZ circuit written in the text frontend.
+  const auto registry = mqss::AdapterRegistry::with_builtins();
+  const circuit::Circuit ghz = registry.translate("text",
+                                                  "qubits 5\n"
+                                                  "h q0\n"
+                                                  "cx q0, q1\n"
+                                                  "cx q1, q2\n"
+                                                  "cx q2, q3\n"
+                                                  "cx q3, q4\n"
+                                                  "measure\n");
+
+  // Client with automatic path detection (set HPCQC_INSIDE_HPC=1 to take
+  // the tightly-coupled path).
+  mqss::QpuService service(qpu, qdmi_device, rng);
+  mqss::Client client(service, clock);
+  std::cout << "Access path resolved to: "
+            << mqss::to_string(client.resolved_path()) << "\n";
+
+  const auto ticket = client.submit(ghz, 4000, "quickstart-ghz");
+  const auto result = client.wait(ticket);
+
+  std::cout << "Turnaround: " << result.turnaround << " s ("
+            << result.polls << " REST polls)\n";
+  std::cout << "JIT placement chose physical qubits:";
+  for (int q : result.run.initial_layout) std::cout << ' ' << q;
+  std::cout << "\nNative gates after lowering: "
+            << result.run.native_gate_count
+            << " (SWAPs inserted: " << result.run.swap_count << ")\n";
+  std::cout << "Estimated circuit fidelity: "
+            << result.run.estimated_fidelity << "\n\n";
+
+  std::cout << "Top measurement outcomes (" << result.run.counts.total_shots()
+            << " shots):\n";
+  for (const auto& [bits, count] : result.run.counts.top(5))
+    std::cout << "  |" << bits << ">  x" << count << "\n";
+
+  const double ghz_success =
+      result.run.counts.probability_of(0) +
+      result.run.counts.probability_of((1u << 5) - 1);
+  std::cout << "GHZ success probability: " << ghz_success << "\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Site survey: evaluate three candidate rooms against the paper's Table 1
+// acceptance criteria (§2.1) and select the installation site.
+//
+// Reproduces the site-selection workflow: the HPC centre shortlists three
+// spaces, the vendor's engineers measure DC/AC magnetic fields, floor
+// vibration, sound pressure, temperature and humidity, and the first room
+// meeting every criterion (plus the delivery-path and floor-load checks)
+// hosts the machine.
+
+#include <iostream>
+
+#include "hpcqc/facility/survey.hpp"
+
+int main() {
+  using namespace hpcqc;
+
+  Rng rng(7);
+  const facility::SiteSurvey survey;
+  const auto sites = facility::standard_candidate_sites();
+
+  std::vector<facility::SurveyReport> reports;
+  for (const auto& site : sites) {
+    reports.push_back(survey.run(site, rng));
+    reports.back().print(std::cout);
+    std::cout << '\n';
+  }
+
+  const int selected = facility::SiteSurvey::select_site(reports);
+  if (selected < 0) {
+    std::cout << "No candidate site meets the Table 1 criteria.\n";
+    return 1;
+  }
+  std::cout << "Selected installation site: " << reports[selected].site_name
+            << "\n";
+  return 0;
+}

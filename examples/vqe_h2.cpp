@@ -1,0 +1,69 @@
+// Tight-loop hybrid VQE for the H2 molecule (§2.6's motivating workload).
+//
+// The Variational Quantum Eigensolver alternates classical optimization
+// steps with quantum expectation-value estimation — "essential" for the
+// accelerator-style, tightly-coupled access mode. Every SPSA iteration
+// submits measurement circuits through the in-HPC path of the MQSS client
+// stand-in, executing on the noisy 20-qubit digital twin with JIT
+// placement onto the best live qubits.
+
+#include <iostream>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/hybrid/vqe.hpp"
+#include "hpcqc/mqss/client.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+
+int main() {
+  using namespace hpcqc;
+
+  Rng rng(11);
+  SimClock clock;
+  device::DeviceModel qpu = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(qpu, clock);
+  mqss::QpuService service(qpu, qdmi_device, rng);
+  mqss::Client client(service, clock, mqss::AccessPath::kHpc);
+
+  const hybrid::Hamiltonian h2 = hybrid::h2_hamiltonian();
+  const double exact = h2.ground_state_energy();
+  std::cout << "H2 Hamiltonian: " << h2.term_count() << " Pauli terms, "
+            << h2.measurement_groups().size() << " measurement groups\n";
+  std::cout << "Exact ground energy: " << exact << " Ha\n\n";
+
+  hybrid::VqeOptions options;
+  options.shots_per_group = 2000;
+  options.spsa.iterations = 300;
+  options.spsa.a = 0.4;
+  hybrid::VqeDriver vqe(h2, hybrid::HardwareEfficientAnsatz(2, 1), options);
+
+  // The runner is the tight loop: circuit in, counts back, synchronously.
+  std::size_t submissions = 0;
+  const hybrid::CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                           std::size_t shots) {
+    ++submissions;
+    const auto ticket = client.submit(circuit, shots, "vqe-group");
+    return client.wait(ticket).run.counts;
+  };
+
+  const auto result = vqe.run(runner, rng);
+
+  std::cout << "VQE energy on noisy QPU twin: " << result.energy << " Ha\n";
+  std::cout << "Error vs. exact diagonalization: "
+            << (result.energy - exact) << " Ha\n";
+  std::cout << "Quantum circuits submitted: " << submissions << " ("
+            << result.total_shots << " shots total)\n";
+  std::cout << "Simulated QPU wall time consumed: " << clock.now() << " s\n";
+
+  // The digital-twin (noiseless) path users train on before touching the
+  // real machine — Nelder-Mead on the exact objective reaches chemical
+  // accuracy.
+  hybrid::VqeOptions exact_options;
+  exact_options.use_nelder_mead = true;
+  hybrid::VqeDriver exact_vqe(h2, hybrid::HardwareEfficientAnsatz(2, 1),
+                              exact_options);
+  const auto ideal = exact_vqe.run(nullptr, rng);
+  std::cout << "\nSame ansatz on the noiseless digital twin: " << ideal.energy
+            << " Ha (error " << ideal.energy - exact << ")\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "hpcqc/calibration/benchmark.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::calibration {
+
+GhzBenchmark::GhzBenchmark() : GhzBenchmark(Params{}) {}
+
+GhzBenchmark::GhzBenchmark(Params params) : params_(params) {
+  expects(params_.shots > 0, "GhzBenchmark: need at least one shot");
+  expects(params_.pass_threshold > 0.0 && params_.pass_threshold < 1.0,
+          "GhzBenchmark: pass threshold in (0,1)");
+}
+
+circuit::Circuit GhzBenchmark::chain_circuit(const device::DeviceModel& device,
+                                             int qubits) {
+  const std::vector<int> chain = device.topology().coupled_chain();
+  expects(qubits >= 2 && qubits <= static_cast<int>(chain.size()),
+          "GhzBenchmark: qubit count outside the device chain");
+  circuit::Circuit circuit(device.num_qubits());
+  circuit.h(chain[0]);
+  std::vector<int> measured{chain[0]};
+  for (int i = 1; i < qubits; ++i) {
+    circuit.cx(chain[static_cast<std::size_t>(i - 1)],
+               chain[static_cast<std::size_t>(i)]);
+    measured.push_back(chain[static_cast<std::size_t>(i)]);
+  }
+  circuit.measure(std::move(measured));
+  return circuit;
+}
+
+BenchmarkResult GhzBenchmark::run(device::DeviceModel& device, Seconds at,
+                                  Rng& rng) const {
+  const int qubits =
+      params_.qubits == 0 ? device.num_qubits() : params_.qubits;
+  const circuit::Circuit circuit = chain_circuit(device, qubits);
+
+  if (params_.analytic) {
+    // ghz_success = P(survive all errors) + depolarized floor, plus the
+    // binomial shot noise a sampled run would carry.
+    const double fidelity = device.estimate_circuit_fidelity(circuit);
+    const double floor =
+        2.0 / static_cast<double>(std::uint64_t{1} << qubits);
+    double p = fidelity + (1.0 - fidelity) * floor;
+    const double shot_sigma =
+        std::sqrt(p * (1.0 - p) / static_cast<double>(params_.shots));
+    p = std::clamp(p + shot_sigma * rng.normal(), 0.0, 1.0);
+
+    BenchmarkResult result;
+    result.run_at = at;
+    result.qubits_used = qubits;
+    result.shots = params_.shots;
+    result.ghz_success = p;
+    result.estimated_fidelity = fidelity;
+    return result;
+  }
+
+  const auto exec = device.execute(circuit, params_.shots, rng,
+                                   device::ExecutionMode::kGlobalDepolarizing);
+  const std::uint64_t all_ones =
+      (qubits >= 64) ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << qubits) - 1);
+
+  BenchmarkResult result;
+  result.run_at = at;
+  result.qubits_used = qubits;
+  result.shots = params_.shots;
+  result.ghz_success =
+      (static_cast<double>(exec.counts.count_of(0)) +
+       static_cast<double>(exec.counts.count_of(all_ones))) /
+      static_cast<double>(params_.shots);
+  result.estimated_fidelity = exec.estimated_fidelity;
+  return result;
+}
+
+}  // namespace hpcqc::calibration

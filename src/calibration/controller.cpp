@@ -1,0 +1,103 @@
+#include "hpcqc/calibration/controller.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::calibration {
+
+const char* to_string(TriggerPolicy policy) {
+  switch (policy) {
+    case TriggerPolicy::kFixedInterval: return "fixed-interval";
+    case TriggerPolicy::kOnThreshold: return "on-threshold";
+    case TriggerPolicy::kSchedulerControlled: return "scheduler-controlled";
+  }
+  return "?";
+}
+
+AutoCalibrationController::AutoCalibrationController()
+    : AutoCalibrationController(Config{}) {}
+
+AutoCalibrationController::AutoCalibrationController(Config config)
+    : config_(config) {
+  expects(config_.full_fraction <= config_.quick_fraction &&
+              config_.full_fraction > 0.0 && config_.quick_fraction < 1.0,
+          "AutoCalibrationController: need 0 < full_fraction <= "
+          "quick_fraction < 1");
+  expects(config_.benchmark_period > 0.0 && config_.fixed_interval > 0.0,
+          "AutoCalibrationController: periods must be positive");
+}
+
+bool AutoCalibrationController::benchmark_due(Seconds now) const {
+  if (benchmarks_.empty()) return true;
+  return now - benchmarks_.back().run_at >= config_.benchmark_period;
+}
+
+void AutoCalibrationController::note_benchmark(const BenchmarkResult& result) {
+  benchmarks_.push_back(result);
+  if (baseline_stale_) {
+    baseline_ = result.ghz_success;
+    baseline_stale_ = false;
+  }
+}
+
+void AutoCalibrationController::note_calibration(
+    const CalibrationOutcome& outcome) {
+  calibrations_.push_back(outcome);
+  baseline_stale_ = true;  // re-anchor on the next benchmark
+}
+
+std::size_t AutoCalibrationController::calibration_count(
+    CalibrationKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(calibrations_.begin(), calibrations_.end(),
+                    [kind](const CalibrationOutcome& outcome) {
+                      return outcome.kind == kind;
+                    }));
+}
+
+std::optional<CalibrationRequest> AutoCalibrationController::decide(
+    Seconds now, const device::DeviceModel& device, bool qpu_idle) const {
+  if (config_.policy == TriggerPolicy::kFixedInterval) {
+    const Seconds last = calibrations_.empty()
+                             ? 0.0
+                             : calibrations_.back().started_at +
+                                   calibrations_.back().duration;
+    if (calibrations_.empty() || now - last >= config_.fixed_interval)
+      return CalibrationRequest{CalibrationKind::kFull,
+                                "fixed-interval elapsed", false};
+    return std::nullopt;
+  }
+
+  // Threshold-driven policies share the degradation logic; they differ only
+  // in whether the start waits for an idle slot.
+  const bool deferrable =
+      config_.policy == TriggerPolicy::kSchedulerControlled;
+  if (deferrable && !qpu_idle) return std::nullopt;
+
+  const Seconds age = now - device.calibration().calibrated_at;
+  const bool tls = device.calibration().tls_defect_count() > 0;
+
+  if (!benchmarks_.empty() && baseline_ > 0.0 && !baseline_stale_) {
+    const double ghz = benchmarks_.back().ghz_success;
+    if (ghz < config_.full_fraction * baseline_ ||
+        (ghz < config_.quick_fraction * baseline_ && tls))
+      return CalibrationRequest{CalibrationKind::kFull,
+                                "benchmark degraded (ghz=" +
+                                    std::to_string(ghz) + " vs baseline " +
+                                    std::to_string(baseline_) + ")",
+                                deferrable};
+    if (ghz < config_.quick_fraction * baseline_)
+      return CalibrationRequest{CalibrationKind::kQuick,
+                                "benchmark below threshold (ghz=" +
+                                    std::to_string(ghz) + " vs baseline " +
+                                    std::to_string(baseline_) + ")",
+                                deferrable};
+  }
+  if (age >= config_.max_calibration_age)
+    return CalibrationRequest{CalibrationKind::kFull,
+                              "calibration age limit reached", deferrable};
+  return std::nullopt;
+}
+
+}  // namespace hpcqc::calibration

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+
+namespace hpcqc::calibration {
+
+/// Result of one algorithmic health-check run.
+struct BenchmarkResult {
+  Seconds run_at = 0.0;
+  int qubits_used = 0;
+  /// Fraction of shots landing on |0...0> or |1...1> — the GHZ success
+  /// statistic.
+  double ghz_success = 0.0;
+  /// Analytic circuit-fidelity estimate from the live calibration data.
+  double estimated_fidelity = 0.0;
+  std::size_t shots = 0;
+};
+
+/// "Standardized algorithms such as GHZ state creations are regularly run
+/// on all qubits of the QPU or subsets of them. This provides a practical
+/// measure of the system's 'live' performance" (§3.2). The circuit is a
+/// hardware-native GHZ chain following the device's coupled serpentine, so
+/// no routing is required.
+class GhzBenchmark {
+public:
+  struct Params {
+    int qubits = 0;  ///< 0 = all qubits of the device
+    std::size_t shots = 400;
+    /// Benchmark verdict threshold on ghz_success; deviating results "can
+    /// be a sign that a recalibration is needed".
+    double pass_threshold = 0.5;
+    /// Skip the state-vector sampling and compute the success statistic
+    /// analytically (fidelity estimate + depolarized floor + binomial shot
+    /// noise). Used by multi-month operations simulations; agreement with
+    /// the sampled path is covered by tests.
+    bool analytic = false;
+  };
+
+  GhzBenchmark();
+  explicit GhzBenchmark(Params params);
+
+  const Params& params() const { return params_; }
+
+  BenchmarkResult run(device::DeviceModel& device, Seconds at, Rng& rng) const;
+
+  bool passes(const BenchmarkResult& result) const {
+    return result.ghz_success >= params_.pass_threshold;
+  }
+
+  /// Builds the topology-legal GHZ chain circuit on the device register.
+  static circuit::Circuit chain_circuit(const device::DeviceModel& device,
+                                        int qubits);
+
+private:
+  Params params_;
+};
+
+}  // namespace hpcqc::calibration

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/calibration/routines.hpp"
+
+namespace hpcqc::calibration {
+
+/// When the controller may start a calibration — this is Lesson 2: "it is
+/// critical that the center retains full control over scheduling these
+/// maintenance and calibration slots to align with current and upcoming
+/// user workloads."
+enum class TriggerPolicy {
+  /// Full recalibration on a fixed wall-clock interval, regardless of the
+  /// queue (the naive baseline).
+  kFixedInterval,
+  /// Recalibrate as soon as the health benchmark degrades past the
+  /// threshold, preempting whatever the queue is doing.
+  kOnThreshold,
+  /// Like kOnThreshold, but the start is deferred until the HPC scheduler
+  /// signals an idle (or drained) QPU slot — "the exact timing controlled
+  /// by the HPC center".
+  kSchedulerControlled,
+};
+
+const char* to_string(TriggerPolicy policy);
+
+/// What the controller wants done right now.
+struct CalibrationRequest {
+  CalibrationKind kind = CalibrationKind::kQuick;
+  std::string reason;
+  bool deferrable = false;  ///< may wait for an idle slot
+};
+
+/// The automated recalibration brain of §3.2: consumes periodic GHZ health
+/// benchmarks and the calibration age, and decides when to run which
+/// procedure. It does not advance time or execute anything itself — the
+/// operations loop (or the QRM) owns the clock and reports outcomes back.
+class AutoCalibrationController {
+public:
+  struct Config {
+    TriggerPolicy policy = TriggerPolicy::kSchedulerControlled;
+    Seconds benchmark_period = hours(2.0);
+    /// Thresholds are *relative to the post-calibration baseline* (the
+    /// first benchmark after each calibration), so they self-tune to the
+    /// device and circuit size. GHZ success below quick_fraction x
+    /// baseline requests a quick calibration ...
+    double quick_fraction = 0.80;
+    /// ... below full_fraction x baseline (badly degraded, likely TLS), or
+    /// with a TLS defect present, the full procedure is requested.
+    double full_fraction = 0.55;
+    /// Maximum calibration age before a full recalibration is requested
+    /// regardless of the benchmark.
+    Seconds max_calibration_age = hours(36.0);
+    /// kFixedInterval period.
+    Seconds fixed_interval = hours(24.0);
+  };
+
+  AutoCalibrationController();
+  explicit AutoCalibrationController(Config config);
+
+  const Config& config() const { return config_; }
+
+  /// True when a health benchmark is due.
+  bool benchmark_due(Seconds now) const;
+
+  /// Records a completed benchmark.
+  void note_benchmark(const BenchmarkResult& result);
+
+  /// Records a completed calibration.
+  void note_calibration(const CalibrationOutcome& outcome);
+
+  /// The controller's decision for the current instant. `qpu_idle` tells a
+  /// scheduler-controlled policy that a slot is available now.
+  std::optional<CalibrationRequest> decide(Seconds now,
+                                           const device::DeviceModel& device,
+                                           bool qpu_idle) const;
+
+  const std::vector<BenchmarkResult>& benchmark_history() const {
+    return benchmarks_;
+  }
+  const std::vector<CalibrationOutcome>& calibration_history() const {
+    return calibrations_;
+  }
+  std::size_t calibration_count(CalibrationKind kind) const;
+
+  /// Post-calibration benchmark baseline the relative thresholds compare
+  /// against; <= 0 until the first benchmark lands.
+  double baseline() const { return baseline_; }
+
+private:
+  Config config_;
+  std::vector<BenchmarkResult> benchmarks_;
+  std::vector<CalibrationOutcome> calibrations_;
+  double baseline_ = -1.0;
+  bool baseline_stale_ = true;  ///< refresh on the next benchmark
+};
+
+}  // namespace hpcqc::calibration

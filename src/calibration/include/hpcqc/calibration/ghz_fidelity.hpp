@@ -1,0 +1,52 @@
+#pragma once
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+
+namespace hpcqc::calibration {
+
+/// Result of a parity-oscillation GHZ fidelity measurement.
+struct GhzFidelityResult {
+  int qubits = 0;
+  /// Population term: P(|0..0>) + P(|1..1>) from a Z-basis measurement.
+  double populations = 0.0;
+  /// Coherence term: amplitude of the n-qubit coherence, extracted as the
+  /// Fourier component at frequency n of the parity oscillation.
+  double coherence = 0.0;
+  /// Lower-bounded GHZ state fidelity F = (P + C) / 2.
+  double fidelity = 0.0;
+  /// Parity expectation at each analysis phase (for inspection/plots).
+  std::vector<double> parity_curve;
+};
+
+/// The full GHZ fidelity protocol (populations + parity oscillations) — the
+/// rigorous version of the §3.2 "standardized algorithms such as GHZ state
+/// creations" health check. The simple success-probability statistic the
+/// fast benchmark uses over-counts classically-correlated states; the
+/// parity-oscillation coherence term certifies genuine n-qubit coherence.
+///
+/// Protocol: prepare GHZ on the device's first `qubits` chain qubits; then
+///  (a) measure in Z for the population term, and
+///  (b) for 2n phases phi_k = k*pi/n, apply RZ(phi) to every qubit, rotate
+///      into X, and measure the n-qubit parity; the magnitude of the
+///      e^{i n phi} Fourier component is the coherence.
+class GhzFidelityEstimator {
+public:
+  struct Params {
+    int qubits = 4;
+    std::size_t shots_per_setting = 2000;
+    device::ExecutionMode mode = device::ExecutionMode::kGlobalDepolarizing;
+  };
+
+  GhzFidelityEstimator();
+  explicit GhzFidelityEstimator(Params params);
+
+  const Params& params() const { return params_; }
+
+  GhzFidelityResult run(device::DeviceModel& device, Rng& rng) const;
+
+private:
+  Params params_;
+};
+
+}  // namespace hpcqc::calibration

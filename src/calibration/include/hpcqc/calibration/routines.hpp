@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+
+namespace hpcqc::calibration {
+
+/// The two automated recalibration procedures of §3.2: "quick recalibration
+/// offers faster turnaround times (40 minutes) [but] generally results in
+/// lower system performance, whereas the full recalibration procedure
+/// (100 minutes), though slower, yields optimal system performance."
+enum class CalibrationKind { kQuick, kFull };
+
+const char* to_string(CalibrationKind kind);
+
+/// One node of a calibration procedure (the procedures are DAG-structured
+/// in real control software; durations here are per-suite totals over all
+/// qubits/couplers the step touches).
+struct CalibrationStep {
+  std::string name;
+  Seconds duration = 0.0;
+  bool requires_frequency_retuning = false;  ///< only full-recal steps can
+                                             ///< move away from TLS defects
+};
+
+/// A procedure is an ordered step list; total durations are 40 / 100 min.
+struct CalibrationProcedure {
+  CalibrationKind kind = CalibrationKind::kQuick;
+  std::vector<CalibrationStep> steps;
+
+  Seconds total_duration() const;
+  bool retunes_frequencies() const;
+};
+
+CalibrationProcedure quick_procedure();
+CalibrationProcedure full_procedure();
+
+/// Result of one calibration run.
+struct CalibrationOutcome {
+  CalibrationKind kind = CalibrationKind::kQuick;
+  Seconds started_at = 0.0;
+  Seconds duration = 0.0;
+  double median_fidelity_1q_after = 0.0;
+  double median_fidelity_cz_after = 0.0;
+  double median_readout_after = 0.0;
+  int tls_defects_cleared = 0;
+  int tls_defects_remaining = 0;
+};
+
+/// Applies a calibration procedure to the device model.
+///
+/// Full recalibration re-derives every parameter: the device gets a fresh
+/// snapshot (drawn from the spec) and TLS-afflicted qubits are retuned away
+/// from their defects. Quick recalibration re-optimizes pulses around the
+/// current working point: error rates recover toward fresh values with a
+/// residual penalty, and TLS defects persist (their qubits stay degraded).
+class CalibrationEngine {
+public:
+  struct Params {
+    /// Residual error multiplier after a quick calibration (>= 1).
+    double quick_residual_factor = 1.35;
+    /// Fraction of a TLS defect's excess error a quick calibration can
+    /// optimize away without moving the qubit frequency.
+    double quick_tls_recovery = 0.3;
+  };
+
+  CalibrationEngine();
+  explicit CalibrationEngine(Params params);
+
+  CalibrationOutcome run(device::DeviceModel& device, CalibrationKind kind,
+                         Seconds at, Rng& rng) const;
+
+private:
+  Params params_;
+};
+
+}  // namespace hpcqc::calibration

@@ -1,0 +1,125 @@
+#include "hpcqc/calibration/routines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::calibration {
+
+const char* to_string(CalibrationKind kind) {
+  return kind == CalibrationKind::kQuick ? "quick" : "full";
+}
+
+Seconds CalibrationProcedure::total_duration() const {
+  Seconds total = 0.0;
+  for (const auto& step : steps) total += step.duration;
+  return total;
+}
+
+bool CalibrationProcedure::retunes_frequencies() const {
+  return std::any_of(steps.begin(), steps.end(), [](const CalibrationStep& s) {
+    return s.requires_frequency_retuning;
+  });
+}
+
+CalibrationProcedure quick_procedure() {
+  // 40 minutes total: pulse-level re-optimization only.
+  return {CalibrationKind::kQuick,
+          {
+              {"rabi-amplitude", minutes(8.0), false},
+              {"drag-coefficient", minutes(6.0), false},
+              {"cz-phase-trim", minutes(14.0), false},
+              {"readout-threshold", minutes(8.0), false},
+              {"ghz-verification", minutes(4.0), false},
+          }};
+}
+
+CalibrationProcedure full_procedure() {
+  // 100 minutes total: from resonator spectroscopy up, incl. frequency
+  // retuning (which is what clears TLS collisions).
+  return {CalibrationKind::kFull,
+          {
+              {"resonator-spectroscopy", minutes(10.0), false},
+              {"qubit-spectroscopy", minutes(14.0), true},
+              {"frequency-placement", minutes(10.0), true},
+              {"rabi-amplitude", minutes(10.0), false},
+              {"ramsey-detuning", minutes(10.0), true},
+              {"drag-coefficient", minutes(8.0), false},
+              {"cz-tuneup", minutes(22.0), false},
+              {"readout-discrimination", minutes(10.0), false},
+              {"ghz-verification", minutes(6.0), false},
+          }};
+}
+
+CalibrationEngine::CalibrationEngine() : CalibrationEngine(Params{}) {}
+
+CalibrationEngine::CalibrationEngine(Params params) : params_(params) {
+  expects(params_.quick_residual_factor >= 1.0,
+          "CalibrationEngine: quick residual factor must be >= 1");
+  expects(params_.quick_tls_recovery >= 0.0 && params_.quick_tls_recovery <= 1.0,
+          "CalibrationEngine: quick TLS recovery fraction in [0,1]");
+}
+
+CalibrationOutcome CalibrationEngine::run(device::DeviceModel& device,
+                                          CalibrationKind kind, Seconds at,
+                                          Rng& rng) const {
+  const CalibrationProcedure procedure = kind == CalibrationKind::kQuick
+                                             ? quick_procedure()
+                                             : full_procedure();
+  CalibrationOutcome outcome;
+  outcome.kind = kind;
+  outcome.started_at = at;
+  outcome.duration = procedure.total_duration();
+
+  const int tls_before = device.calibration().tls_defect_count();
+
+  if (kind == CalibrationKind::kFull) {
+    // Re-derive everything; frequency retuning clears TLS collisions.
+    device.install_calibration(
+        device.sample_fresh_calibration(at + outcome.duration, rng));
+  } else {
+    // Pulse re-optimization around the current working point.
+    device::CalibrationState state = device.calibration();
+    const device::CalibrationState& fresh = device.fresh_reference();
+    const auto recover = [&](double live_fid, double fresh_fid,
+                             bool tls) {
+      const double fresh_err = 1.0 - fresh_fid;
+      double target_err = fresh_err * params_.quick_residual_factor *
+                          std::exp(0.05 * rng.normal());
+      if (tls) {
+        // Recover only a fraction of the TLS excess error.
+        const double live_err = 1.0 - live_fid;
+        const double excess = std::max(0.0, live_err - target_err);
+        target_err = live_err - params_.quick_tls_recovery * excess;
+      }
+      return 1.0 - std::clamp(target_err, 1e-6, 0.4);
+    };
+    for (std::size_t q = 0; q < state.qubits.size(); ++q) {
+      auto& live = state.qubits[q];
+      const auto& anchor = fresh.qubits[q];
+      live.fidelity_1q =
+          recover(live.fidelity_1q, anchor.fidelity_1q, live.tls_defect);
+      live.readout_fidelity =
+          recover(live.readout_fidelity, anchor.readout_fidelity, false);
+    }
+    for (std::size_t c = 0; c < state.couplers.size(); ++c) {
+      auto& live = state.couplers[c];
+      const auto& anchor = fresh.couplers[c];
+      // CZ on a TLS-afflicted qubit's coupler suffers the same cap.
+      live.fidelity_cz = recover(live.fidelity_cz, anchor.fidelity_cz, false);
+    }
+    state.calibrated_at = at + outcome.duration;
+    device.install_live_state(std::move(state));
+  }
+
+  const auto& after = device.calibration();
+  outcome.median_fidelity_1q_after = after.median_fidelity_1q();
+  outcome.median_fidelity_cz_after = after.median_fidelity_cz();
+  outcome.median_readout_after = after.median_readout_fidelity();
+  outcome.tls_defects_remaining = after.tls_defect_count();
+  outcome.tls_defects_cleared = tls_before - outcome.tls_defects_remaining;
+  return outcome;
+}
+
+}  // namespace hpcqc::calibration

@@ -1,0 +1,104 @@
+#include "hpcqc/circuit/execute.hpp"
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/qsim/gates.hpp"
+
+namespace hpcqc::circuit {
+
+void apply_op(qsim::StateVector& state, const Operation& op) {
+  using qsim::Matrix2;
+  using qsim::Matrix4;
+  switch (op.kind) {
+    case OpKind::kBarrier:
+      return;
+    case OpKind::kMeasure:
+      throw PreconditionError(
+          "apply_op: measurements are handled by run_ideal, not apply_op");
+    case OpKind::kI:
+      return;
+    case OpKind::kX: state.apply_1q(qsim::gate_x(), op.qubits[0]); return;
+    case OpKind::kY: state.apply_1q(qsim::gate_y(), op.qubits[0]); return;
+    case OpKind::kZ: state.apply_1q(qsim::gate_z(), op.qubits[0]); return;
+    case OpKind::kH: state.apply_1q(qsim::gate_h(), op.qubits[0]); return;
+    case OpKind::kS: state.apply_1q(qsim::gate_s(), op.qubits[0]); return;
+    case OpKind::kSdg: state.apply_1q(qsim::gate_sdg(), op.qubits[0]); return;
+    case OpKind::kT: state.apply_1q(qsim::gate_t(), op.qubits[0]); return;
+    case OpKind::kTdg: state.apply_1q(qsim::gate_tdg(), op.qubits[0]); return;
+    case OpKind::kSx: state.apply_1q(qsim::gate_sx(), op.qubits[0]); return;
+    case OpKind::kRx:
+      state.apply_1q(qsim::gate_rx(op.params[0]), op.qubits[0]);
+      return;
+    case OpKind::kRy:
+      state.apply_1q(qsim::gate_ry(op.params[0]), op.qubits[0]);
+      return;
+    case OpKind::kRz:
+      state.apply_1q(qsim::gate_rz(op.params[0]), op.qubits[0]);
+      return;
+    case OpKind::kU:
+      state.apply_1q(qsim::gate_u(op.params[0], op.params[1], op.params[2]),
+                     op.qubits[0]);
+      return;
+    case OpKind::kPrx:
+      state.apply_1q(qsim::gate_prx(op.params[0], op.params[1]),
+                     op.qubits[0]);
+      return;
+    case OpKind::kCz:
+      state.apply_cphase(M_PI, op.qubits[0], op.qubits[1]);
+      return;
+    case OpKind::kCx:
+      state.apply_2q(qsim::gate_cx(), op.qubits[0], op.qubits[1]);
+      return;
+    case OpKind::kSwap:
+      state.apply_2q(qsim::gate_swap(), op.qubits[0], op.qubits[1]);
+      return;
+    case OpKind::kIswap:
+      state.apply_2q(qsim::gate_iswap(), op.qubits[0], op.qubits[1]);
+      return;
+    case OpKind::kCphase:
+      state.apply_cphase(op.params[0], op.qubits[0], op.qubits[1]);
+      return;
+  }
+  throw Error("apply_op: unhandled op kind");
+}
+
+void apply_gates(qsim::StateVector& state, const Circuit& circuit) {
+  expects(state.num_qubits() == circuit.num_qubits(),
+          "apply_gates: register size mismatch");
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == OpKind::kMeasure) continue;
+    apply_op(state, op);
+  }
+}
+
+std::uint64_t compact_outcome(std::uint64_t full,
+                              std::span<const int> qubits) {
+  std::uint64_t compact = 0;
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    if (full & (std::uint64_t{1} << qubits[i]))
+      compact |= std::uint64_t{1} << i;
+  return compact;
+}
+
+qsim::Counts run_ideal(const Circuit& circuit, std::size_t shots, Rng& rng) {
+  qsim::StateVector state(circuit.num_qubits());
+  apply_gates(state, circuit);
+  const std::vector<int> measured = circuit.measured_qubits();
+  auto samples = state.sample(shots, rng);
+  qsim::Counts counts;
+  counts.set_num_qubits(static_cast<int>(measured.size()));
+  for (std::uint64_t s : samples) counts.add(compact_outcome(s, measured));
+  return counts;
+}
+
+std::vector<double> ideal_distribution(const Circuit& circuit) {
+  qsim::StateVector state(circuit.num_qubits());
+  apply_gates(state, circuit);
+  const std::vector<int> measured = circuit.measured_qubits();
+  const auto full = state.probabilities();
+  std::vector<double> marginal(std::size_t{1} << measured.size(), 0.0);
+  for (std::uint64_t i = 0; i < full.size(); ++i)
+    marginal[compact_outcome(i, measured)] += full[i];
+  return marginal;
+}
+
+}  // namespace hpcqc::circuit

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpcqc::circuit {
+
+/// Gate / instruction vocabulary of the circuit IR. The set covers the
+/// common frontend gates (what the paper's adapters accept from Qiskit /
+/// Cirq / Qrisp-style frontends) plus the device-native operations of the
+/// reproduced 20-qubit transmon machine: PRX(θ, φ) and CZ.
+enum class OpKind {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSx,
+  kRx,
+  kRy,
+  kRz,
+  kU,       // U(theta, phi, lambda)
+  kPrx,     // native: phased RX(theta, phi)
+  kCz,      // native two-qubit gate
+  kCx,
+  kSwap,
+  kIswap,
+  kCphase,  // CPhase(theta)
+  kBarrier,
+  kMeasure,
+};
+
+/// Lower-case mnemonic used by the text format ("prx", "cz", ...).
+const char* op_name(OpKind kind);
+
+/// Inverse of op_name; throws ParseError for unknown names.
+OpKind op_kind_from_name(const std::string& name);
+
+/// Number of qubit operands (0 means variadic: barrier / measure).
+int op_arity(OpKind kind);
+
+/// Number of real parameters the op carries.
+int op_param_count(OpKind kind);
+
+/// True for PRX and CZ — the native set executable without decomposition.
+bool op_is_native(OpKind kind);
+
+/// True for two-qubit entangling gates.
+bool op_is_two_qubit(OpKind kind);
+
+/// One instruction: an op kind, its qubit operands and real parameters.
+struct Operation {
+  OpKind kind = OpKind::kI;
+  std::vector<int> qubits;
+  std::vector<double> params;
+
+  bool operator==(const Operation&) const = default;
+};
+
+/// Renders an op in the text format, e.g. "prx(1.5708, 0) q0".
+std::string to_string(const Operation& op);
+
+}  // namespace hpcqc::circuit

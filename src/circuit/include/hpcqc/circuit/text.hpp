@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "hpcqc/circuit/circuit.hpp"
+
+namespace hpcqc::circuit {
+
+/// Serializes a circuit to the hpcqc text format ("qasm-lite"):
+///
+///   # optional comments
+///   qubits 3
+///   h q0
+///   cx q0, q1
+///   prx(1.5708, 0) q2
+///   barrier
+///   measure q0, q1
+///   measure            # no operands = measure all
+///
+/// This is the wire format of the textual frontend adapter — the stand-in
+/// for the high-level-framework circuit exchange the paper's MQSS adapters
+/// perform.
+std::string to_text(const Circuit& circuit);
+
+/// Parses the text format; throws hpcqc::ParseError with a line number on
+/// malformed input.
+Circuit from_text(const std::string& text);
+
+}  // namespace hpcqc::circuit

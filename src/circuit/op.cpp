@@ -1,0 +1,87 @@
+#include "hpcqc/circuit/op.hpp"
+
+#include <array>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::circuit {
+
+namespace {
+
+struct OpInfo {
+  OpKind kind;
+  const char* name;
+  int arity;        // 0 = variadic
+  int param_count;
+  bool native;
+  bool two_qubit;
+};
+
+constexpr std::array<OpInfo, 22> kOpTable{{
+    {OpKind::kI, "i", 1, 0, false, false},
+    {OpKind::kX, "x", 1, 0, false, false},
+    {OpKind::kY, "y", 1, 0, false, false},
+    {OpKind::kZ, "z", 1, 0, false, false},
+    {OpKind::kH, "h", 1, 0, false, false},
+    {OpKind::kS, "s", 1, 0, false, false},
+    {OpKind::kSdg, "sdg", 1, 0, false, false},
+    {OpKind::kT, "t", 1, 0, false, false},
+    {OpKind::kTdg, "tdg", 1, 0, false, false},
+    {OpKind::kSx, "sx", 1, 0, false, false},
+    {OpKind::kRx, "rx", 1, 1, false, false},
+    {OpKind::kRy, "ry", 1, 1, false, false},
+    {OpKind::kRz, "rz", 1, 1, false, false},
+    {OpKind::kU, "u", 1, 3, false, false},
+    {OpKind::kPrx, "prx", 1, 2, true, false},
+    {OpKind::kCz, "cz", 2, 0, true, true},
+    {OpKind::kCx, "cx", 2, 0, false, true},
+    {OpKind::kSwap, "swap", 2, 0, false, true},
+    {OpKind::kIswap, "iswap", 2, 0, false, true},
+    {OpKind::kCphase, "cphase", 2, 1, false, true},
+    {OpKind::kBarrier, "barrier", 0, 0, false, false},
+    {OpKind::kMeasure, "measure", 0, 0, false, false},
+}};
+
+const OpInfo& info_of(OpKind kind) {
+  for (const auto& info : kOpTable)
+    if (info.kind == kind) return info;
+  throw Error("op info: unknown kind");
+}
+
+}  // namespace
+
+const char* op_name(OpKind kind) { return info_of(kind).name; }
+
+OpKind op_kind_from_name(const std::string& name) {
+  for (const auto& info : kOpTable)
+    if (name == info.name) return info.kind;
+  throw ParseError("unknown operation name: '" + name + "'");
+}
+
+int op_arity(OpKind kind) { return info_of(kind).arity; }
+int op_param_count(OpKind kind) { return info_of(kind).param_count; }
+bool op_is_native(OpKind kind) { return info_of(kind).native; }
+bool op_is_two_qubit(OpKind kind) { return info_of(kind).two_qubit; }
+
+std::string to_string(const Operation& op) {
+  std::ostringstream oss;
+  // max_digits10 keeps the text format lossless for round trips.
+  oss << std::setprecision(std::numeric_limits<double>::max_digits10);
+  oss << op_name(op.kind);
+  if (!op.params.empty()) {
+    oss << '(';
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << op.params[i];
+    }
+    oss << ')';
+  }
+  for (std::size_t i = 0; i < op.qubits.size(); ++i)
+    oss << (i == 0 ? " " : ", ") << 'q' << op.qubits[i];
+  return oss.str();
+}
+
+}  // namespace hpcqc::circuit

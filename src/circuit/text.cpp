@@ -1,0 +1,162 @@
+#include "hpcqc/circuit/text.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::circuit {
+
+std::string to_text(const Circuit& circuit) {
+  std::ostringstream oss;
+  oss << "qubits " << circuit.num_qubits() << '\n';
+  for (const auto& op : circuit.ops()) oss << to_string(op) << '\n';
+  return oss.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent-ish line scanner for the text format.
+class LineScanner {
+public:
+  LineScanner(std::string line, int line_number)
+      : line_(std::move(line)), line_number_(line_number) {}
+
+  void skip_spaces() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+  }
+
+  bool at_end() {
+    skip_spaces();
+    return pos_ >= line_.size();
+  }
+
+  bool consume(char ch) {
+    skip_spaces();
+    if (pos_ < line_.size() && line_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string identifier() {
+    skip_spaces();
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+            line_[pos_] == '_'))
+      ++pos_;
+    if (start == pos_) fail("expected identifier");
+    return line_.substr(start, pos_ - start);
+  }
+
+  double number() {
+    skip_spaces();
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(line_.substr(pos_), &consumed);
+    } catch (const std::exception&) {
+      fail("expected number");
+    }
+    pos_ += consumed;
+    return value;
+  }
+
+  int qubit() {
+    skip_spaces();
+    if (pos_ >= line_.size() || line_[pos_] != 'q')
+      fail("expected qubit operand 'q<N>'");
+    ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    if (start == pos_) fail("expected qubit index after 'q'");
+    return std::stoi(line_.substr(start, pos_ - start));
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError("line " + std::to_string(line_number_) + ": " + message +
+                     " (near column " + std::to_string(pos_ + 1) + ")");
+  }
+
+private:
+  std::string line_;
+  int line_number_;
+  std::size_t pos_ = 0;
+};
+
+std::string strip_comment(const std::string& line) {
+  const auto hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+Circuit from_text(const std::string& text) {
+  std::istringstream stream(text);
+  std::string raw_line;
+  int line_number = 0;
+  std::optional<Circuit> circuit;
+
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    LineScanner scan(strip_comment(raw_line), line_number);
+    if (scan.at_end()) continue;
+
+    const std::string word = scan.identifier();
+    if (word == "qubits") {
+      if (circuit.has_value())
+        scan.fail("duplicate 'qubits' declaration");
+      const double n = scan.number();
+      if (n < 1 || n != static_cast<int>(n))
+        scan.fail("'qubits' needs a positive integer");
+      circuit.emplace(static_cast<int>(n));
+      if (!scan.at_end()) scan.fail("trailing tokens after qubit count");
+      continue;
+    }
+
+    if (!circuit.has_value())
+      scan.fail("first statement must be 'qubits <N>'");
+
+    Operation op;
+    op.kind = op_kind_from_name(word);
+
+    if (scan.consume('(')) {
+      if (!scan.consume(')')) {
+        do {
+          op.params.push_back(scan.number());
+        } while (scan.consume(','));
+        if (!scan.consume(')')) scan.fail("expected ')' after parameters");
+      }
+    }
+    if (static_cast<int>(op.params.size()) != op_param_count(op.kind))
+      scan.fail(std::string("operation '") + word + "' takes " +
+                std::to_string(op_param_count(op.kind)) + " parameter(s)");
+
+    if (!scan.at_end()) {
+      do {
+        op.qubits.push_back(scan.qubit());
+      } while (scan.consume(','));
+    }
+    if (!scan.at_end()) scan.fail("trailing tokens after operands");
+
+    try {
+      circuit->append(std::move(op));
+    } catch (const Error& err) {
+      throw ParseError("line " + std::to_string(line_number) + ": " +
+                       err.what());
+    }
+  }
+
+  if (!circuit.has_value())
+    throw ParseError("empty input: missing 'qubits <N>' declaration");
+  return *std::move(circuit);
+}
+
+}  // namespace hpcqc::circuit

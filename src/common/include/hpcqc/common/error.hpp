@@ -1,0 +1,63 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hpcqc {
+
+/// Base exception for all hpcqc errors. Carries the failing source location so
+/// that operational logs (which end users of the stack read, not debuggers)
+/// can point at the violated contract.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what,
+                 std::source_location loc = std::source_location::current())
+      : std::runtime_error(format(what, loc)) {}
+
+private:
+  static std::string format(const std::string& what,
+                            const std::source_location& loc) {
+    return std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+           ": " + what;
+  }
+};
+
+/// Contract violation: a caller broke a precondition of a public API.
+class PreconditionError : public Error {
+public:
+  using Error::Error;
+};
+
+/// The requested entity (qubit, sensor, job, ...) does not exist.
+class NotFoundError : public Error {
+public:
+  using Error::Error;
+};
+
+/// The operation is not valid in the current state (e.g. executing on a QPU
+/// that is mid-calibration, or reading results of a job that has not run).
+class StateError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Input text (circuit source, configuration) failed to parse.
+class ParseError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Throws PreconditionError with `message` unless `condition` holds.
+inline void expects(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) throw PreconditionError(message, loc);
+}
+
+/// Throws StateError with `message` unless `condition` holds.
+inline void ensure_state(bool condition, const std::string& message,
+                         std::source_location loc = std::source_location::current()) {
+  if (!condition) throw StateError(message, loc);
+}
+
+}  // namespace hpcqc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc {
+
+enum class LogLevel { kDebug, kInfo, kWarning, kError };
+
+const char* to_string(LogLevel level);
+
+/// One timestamped (simulated time) log record.
+struct LogRecord {
+  Seconds time = 0.0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+/// Small in-process event log. Operational subsystems (calibration
+/// controller, scheduler, recovery procedures) append records that tests and
+/// the operations-campaign report can inspect; an optional sink streams them
+/// as they arrive. Not a singleton: each simulation owns its log.
+class EventLog {
+public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(Seconds time, LogLevel level, std::string component,
+           std::string message);
+
+  void debug(Seconds t, std::string c, std::string m) {
+    log(t, LogLevel::kDebug, std::move(c), std::move(m));
+  }
+  void info(Seconds t, std::string c, std::string m) {
+    log(t, LogLevel::kInfo, std::move(c), std::move(m));
+  }
+  void warning(Seconds t, std::string c, std::string m) {
+    log(t, LogLevel::kWarning, std::move(c), std::move(m));
+  }
+  void error(Seconds t, std::string c, std::string m) {
+    log(t, LogLevel::kError, std::move(c), std::move(m));
+  }
+
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  /// Records from a given component, in insertion order.
+  std::vector<LogRecord> by_component(const std::string& component) const;
+
+  /// Number of records at exactly `level`.
+  std::size_t count(LogLevel level) const;
+
+  void print(std::ostream& os) const;
+
+private:
+  LogLevel min_level_ = LogLevel::kDebug;
+  Sink sink_;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace hpcqc

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc {
+
+/// SplitMix64: used to expand a user seed into the xoshiro state.
+/// Reference: Sebastiano Vigna, public domain.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, explicitly-seeded pseudo random generator
+/// (xoshiro256**). hpcqc threads RNGs through call graphs explicitly —
+/// there is no global generator — so simulations are reproducible and
+/// parallel components can own independent streams.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Rejection-free for our purposes (bias is
+  /// below 2^-53 for the n values used in simulation).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    expects(n > 0, "uniform_index: n must be positive");
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) %
+           n;
+  }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = radius * std::sin(theta);
+    has_cached_ = true;
+    return radius * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    expects(rate > 0.0, "exponential: rate must be positive");
+    double u = 0.0;
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64 — adequate for event-count simulation).
+  std::uint64_t poisson(double mean) {
+    expects(mean >= 0.0, "poisson: mean must be non-negative");
+    if (mean == 0.0) return 0;
+    if (mean > 64.0) {
+      const double x = normal(mean, std::sqrt(mean));
+      return x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x));
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+
+  /// Derives an independent child stream (for per-subsystem generators).
+  Rng fork() {
+    return Rng(operator()() ^ 0xA5A5A5A5A5A5A5A5ULL);
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace hpcqc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc {
+
+/// Monotone simulated clock shared by the subsystems of one simulation run.
+/// All operational components (scheduler, calibration controller, telemetry,
+/// cryostat) read the same clock so event orderings are globally consistent.
+class SimClock {
+public:
+  SimClock() = default;
+  explicit SimClock(Seconds start) : now_(start) {}
+
+  Seconds now() const { return now_; }
+
+  /// Advances the clock; negative steps are contract violations.
+  void advance(Seconds dt) {
+    expects(dt >= 0.0, "SimClock::advance: time cannot go backwards");
+    now_ += dt;
+  }
+
+  /// Jumps to an absolute time that must not precede the current time.
+  void advance_to(Seconds t) {
+    expects(t >= now_, "SimClock::advance_to: target precedes current time");
+    now_ = t;
+  }
+
+private:
+  Seconds now_ = 0.0;
+};
+
+}  // namespace hpcqc

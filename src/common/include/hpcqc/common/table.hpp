@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcqc {
+
+/// Fixed-column ASCII table used by the benchmark harnesses to print
+/// paper-style tables, plus CSV export for post-processing. Cells are
+/// preformatted strings; numeric helpers are provided for convenience.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Renders with box-drawing rules, padded to column widths.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string num(double value, int digits = 3);
+
+  /// Formats with an SI-style unit suffix appended ("12.3 kW").
+  static std::string num_unit(double value, const std::string& unit,
+                              int digits = 3);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcqc

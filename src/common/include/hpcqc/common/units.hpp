@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cmath>
+
+namespace hpcqc {
+
+/// Simulated time is carried as seconds in a double. Helper constructors
+/// keep call sites self-describing (`minutes(40)` rather than `2400.0`).
+using Seconds = double;
+
+constexpr Seconds microseconds(double us) { return us * 1e-6; }
+constexpr Seconds milliseconds(double ms) { return ms * 1e-3; }
+constexpr Seconds seconds(double s) { return s; }
+constexpr Seconds minutes(double m) { return m * 60.0; }
+constexpr Seconds hours(double h) { return h * 3600.0; }
+constexpr Seconds days(double d) { return d * 86400.0; }
+
+constexpr double to_minutes(Seconds s) { return s / 60.0; }
+constexpr double to_hours(Seconds s) { return s / 3600.0; }
+constexpr double to_days(Seconds s) { return s / 86400.0; }
+
+/// Temperatures in kelvin.
+using Kelvin = double;
+constexpr Kelvin millikelvin(double mk) { return mk * 1e-3; }
+constexpr Kelvin celsius(double c) { return c + 273.15; }
+constexpr double to_celsius(Kelvin k) { return k - 273.15; }
+constexpr double to_millikelvin(Kelvin k) { return k * 1e3; }
+
+/// Electrical / thermal power in watts.
+using Watts = double;
+constexpr Watts kilowatts(double kw) { return kw * 1e3; }
+constexpr double to_kilowatts(Watts w) { return w / 1e3; }
+
+/// Data rates in bits per second.
+using BitsPerSecond = double;
+constexpr BitsPerSecond kilobits_per_second(double kbps) { return kbps * 1e3; }
+constexpr BitsPerSecond megabits_per_second(double mbps) { return mbps * 1e6; }
+constexpr BitsPerSecond gigabits_per_second(double gbps) { return gbps * 1e9; }
+constexpr double to_kilobits_per_second(BitsPerSecond b) { return b / 1e3; }
+constexpr double to_megabits_per_second(BitsPerSecond b) { return b / 1e6; }
+
+/// Magnetic flux density in tesla.
+using Tesla = double;
+constexpr Tesla microtesla(double ut) { return ut * 1e-6; }
+constexpr double to_microtesla(Tesla t) { return t * 1e6; }
+
+/// Velocities (floor vibration) in metres per second.
+using MetresPerSecond = double;
+constexpr MetresPerSecond micrometres_per_second(double um_s) {
+  return um_s * 1e-6;
+}
+constexpr double to_micrometres_per_second(MetresPerSecond v) {
+  return v * 1e6;
+}
+
+/// Frequencies in hertz.
+using Hertz = double;
+
+/// Converts an RMS sound pressure in pascal to dB SPL (re 20 µPa).
+inline double pascal_to_db_spl(double pressure_rms_pa) {
+  constexpr double kReference = 20e-6;
+  if (pressure_rms_pa <= 0.0) return -INFINITY;
+  return 20.0 * std::log10(pressure_rms_pa / kReference);
+}
+
+/// Converts dB SPL back to an RMS pressure in pascal.
+inline double db_spl_to_pascal(double db) {
+  constexpr double kReference = 20e-6;
+  return kReference * std::pow(10.0, db / 20.0);
+}
+
+}  // namespace hpcqc

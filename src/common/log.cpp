@@ -1,0 +1,49 @@
+#include "hpcqc/common/log.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace hpcqc {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void EventLog::log(Seconds time, LogLevel level, std::string component,
+                   std::string message) {
+  if (level < min_level_) return;
+  records_.push_back(
+      {time, level, std::move(component), std::move(message)});
+  if (sink_) sink_(records_.back());
+}
+
+std::vector<LogRecord> EventLog::by_component(
+    const std::string& component) const {
+  std::vector<LogRecord> out;
+  for (const auto& rec : records_)
+    if (rec.component == component) out.push_back(rec);
+  return out;
+}
+
+std::size_t EventLog::count(LogLevel level) const {
+  std::size_t n = 0;
+  for (const auto& rec : records_)
+    if (rec.level == level) ++n;
+  return n;
+}
+
+void EventLog::print(std::ostream& os) const {
+  for (const auto& rec : records_) {
+    os << '[' << std::fixed << std::setprecision(1) << std::setw(12)
+       << to_hours(rec.time) << "h] " << std::setw(5) << to_string(rec.level)
+       << ' ' << rec.component << ": " << rec.message << '\n';
+  }
+}
+
+}  // namespace hpcqc

@@ -1,0 +1,136 @@
+#include "hpcqc/cryo/cryostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::cryo {
+
+const char* to_string(CryoState state) {
+  switch (state) {
+    case CryoState::kOperating: return "operating";
+    case CryoState::kCoolingDown: return "cooling-down";
+    case CryoState::kWarmingUp: return "warming-up";
+    case CryoState::kWarm: return "warm";
+  }
+  return "?";
+}
+
+Cryostat::Cryostat(CryostatParams params)
+    : params_(params),
+      temperature_(params.base_temperature),
+      peak_since_operating_(params.base_temperature) {
+  expects(params_.base_temperature > 0.0 &&
+              params_.base_temperature < params_.operating_threshold,
+          "Cryostat: base temperature must be below operating threshold");
+  expects(params_.warmup_log_tau > 0.0 &&
+              params_.cooldown_log_rate_high > 0.0 &&
+              params_.cooldown_log_rate_low > 0.0,
+          "Cryostat: time constants must be positive");
+}
+
+void Cryostat::set_cooling(bool active) {
+  ensure_state(!active || vacuum_intact_,
+               "Cryostat: cannot cool with broken vacuum — pump down first");
+  cooling_active_ = active;
+}
+
+void Cryostat::open_vessel() {
+  ensure_state(!cooling_active_ && temperature_ > celsius(0.0),
+               "Cryostat: the vessel may only be opened warm with cooling off");
+  vacuum_intact_ = false;
+}
+
+void Cryostat::restore_vacuum() {
+  ensure_state(temperature_ > celsius(0.0),
+               "Cryostat: pump-down happens at ambient temperature");
+  vacuum_intact_ = true;
+}
+
+CryoState Cryostat::state() const {
+  if (cooling_active_)
+    return at_base() ? CryoState::kOperating : CryoState::kCoolingDown;
+  return temperature_ >= 0.95 * params_.ambient ? CryoState::kWarm
+                                                : CryoState::kWarmingUp;
+}
+
+bool Cryostat::calibration_preserved() const {
+  return peak_since_operating_ < params_.calibration_preserved_below;
+}
+
+void Cryostat::step(Seconds dt) {
+  expects(dt >= 0.0, "Cryostat::step: negative interval");
+  // Sub-step for stability and so the peak tracker cannot jump over
+  // threshold crossings.
+  const Seconds max_step = 10.0;
+  while (dt > 0.0) {
+    const Seconds h = std::min(dt, max_step);
+    step_once(h);
+    dt -= h;
+  }
+}
+
+void Cryostat::step_once(Seconds dt) {
+  if (cooling_active_) {
+    // Constant log-temperature descent, two-regime around the knee.
+    const double rate = (temperature_ > params_.warmup_knee
+                             ? params_.cooldown_log_rate_high
+                             : params_.cooldown_log_rate_low) /
+                        params_.thermal_mass_factor;
+    temperature_ = std::max(params_.base_temperature,
+                            temperature_ * std::exp(-rate * dt));
+  } else {
+    if (temperature_ < params_.warmup_knee) {
+      // Fast low-temperature warm-up: tiny heat capacity at mK scale.
+      temperature_ =
+          std::min(params_.warmup_knee * 1.001,
+                   temperature_ * std::exp(dt / params_.warmup_log_tau));
+    } else {
+      // Slow approach toward ambient.
+      const double alpha = 1.0 - std::exp(-dt / params_.warmup_high_tau);
+      temperature_ += alpha * (params_.ambient - temperature_);
+    }
+    if (temperature_ >= 0.95 * params_.ambient) warm_duration_ += dt;
+    if (warm_duration_ > params_.vacuum_holds_warm_for) vacuum_intact_ = false;
+  }
+  peak_since_operating_ = std::max(peak_since_operating_, temperature_);
+}
+
+Seconds Cryostat::cooldown_time_from(Kelvin from) const {
+  expects(from > 0.0, "cooldown_time_from: temperature must be positive");
+  if (from <= params_.operating_threshold) return 0.0;
+  const double mass = params_.thermal_mass_factor;
+  Seconds total = 0.0;
+  double temperature = from;
+  if (temperature > params_.warmup_knee) {
+    total += std::log(temperature / params_.warmup_knee) /
+             (params_.cooldown_log_rate_high / mass);
+    temperature = params_.warmup_knee;
+  }
+  total += std::log(temperature / params_.operating_threshold) /
+           (params_.cooldown_log_rate_low / mass);
+  return total;
+}
+
+Seconds Cryostat::warmup_time_to(Kelvin target) const {
+  expects(target > params_.base_temperature,
+          "warmup_time_to: target below base temperature");
+  if (target <= params_.warmup_knee)
+    return params_.warmup_log_tau *
+           std::log(target / params_.base_temperature);
+  const Seconds to_knee =
+      params_.warmup_log_tau *
+      std::log(params_.warmup_knee / params_.base_temperature);
+  const double frac = (target - params_.warmup_knee) /
+                      (params_.ambient - params_.warmup_knee);
+  expects(frac < 1.0, "warmup_time_to: target not reachable (>= ambient)");
+  return to_knee - params_.warmup_high_tau * std::log(1.0 - frac);
+}
+
+void Cryostat::acknowledge_recovery() {
+  peak_since_operating_ = temperature_;
+  warm_duration_ = 0.0;
+}
+
+}  // namespace hpcqc::cryo

@@ -1,0 +1,54 @@
+#include "hpcqc/cryo/gas_handling.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::cryo {
+
+GasHandlingSystem::GasHandlingSystem() : GasHandlingSystem(Params{}) {}
+
+GasHandlingSystem::GasHandlingSystem(Params params)
+    : params_(params), ln2_level_l_(params.ln2_capacity_l) {
+  expects(params_.water_temp_max_c > params_.water_temp_min_c,
+          "GasHandlingSystem: invalid water temperature window");
+  expects(params_.ln2_capacity_l > 0.0,
+          "GasHandlingSystem: LN2 capacity must be positive");
+}
+
+bool GasHandlingSystem::update_water_temperature(double water_c) {
+  water_c_ = water_c;
+  if (running_ && water_c > params_.water_temp_max_c) {
+    running_ = false;
+    return true;
+  }
+  return false;
+}
+
+void GasHandlingSystem::restart() {
+  ensure_state(water_c_ <= params_.water_temp_max_c,
+               "GasHandlingSystem: cooling water still over temperature");
+  running_ = true;
+}
+
+void GasHandlingSystem::refill_ln2() { ln2_level_l_ = params_.ln2_capacity_l; }
+
+double GasHandlingSystem::tip_seal_health() const {
+  return std::clamp(1.0 - tip_seal_age_ / params_.tip_seal_lifetime, 0.0, 1.0);
+}
+
+void GasHandlingSystem::replace_tip_seals() { tip_seal_age_ = 0.0; }
+
+void GasHandlingSystem::flush_ln2_system() { time_since_flush_ = 0.0; }
+
+void GasHandlingSystem::step(Seconds dt) {
+  expects(dt >= 0.0, "GasHandlingSystem::step: negative interval");
+  if (running_) {
+    ln2_level_l_ = std::max(
+        0.0, ln2_level_l_ - params_.ln2_weekly_use_l * (dt / days(7.0)));
+    tip_seal_age_ += dt;
+  }
+  time_since_flush_ += dt;
+}
+
+}  // namespace hpcqc::cryo

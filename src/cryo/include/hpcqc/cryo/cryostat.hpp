@@ -1,0 +1,111 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::cryo {
+
+/// Operating regime of the cryostat, derived from the MXC-stage temperature
+/// and whether active cooling runs.
+enum class CryoState {
+  kOperating,    ///< at base temperature (MXC <= 100 mK) with cooling on
+  kCoolingDown,  ///< cooling on, not yet at base
+  kWarmingUp,    ///< cooling lost, temperature rising
+  kWarm,         ///< near ambient
+};
+
+const char* to_string(CryoState state);
+
+/// Tunables of the thermal model. Defaults reproduce the paper's §3.5
+/// quantitative claims:
+///  - after a cooling fault it takes ~2 minutes for the QPU to exceed 1 K
+///    (log-space warm-up constant ~26 s ⇒ 10 mK→1 K in 2 min);
+///  - a full cooldown from ambient takes 2–5 days depending on the thermal
+///    mass (`thermal_mass_factor`) and the temperature reached.
+struct CryostatParams {
+  Kelvin ambient = celsius(21.0);
+  Kelvin base_temperature = millikelvin(10.0);
+  /// MXC must be below this for computation ("below 100 mK, and ideally
+  /// back to 10 mK").
+  Kelvin operating_threshold = millikelvin(100.0);
+  /// Calibration survives excursions below this bound (§3.5).
+  Kelvin calibration_preserved_below = 1.0;
+  /// Log-space warm-up time constant when cooling is lost.
+  Seconds warmup_log_tau = 26.0;
+  /// Above this temperature the warm-up slows toward ambient with
+  /// `warmup_high_tau` (exponential approach).
+  Kelvin warmup_knee = 4.0;
+  Seconds warmup_high_tau = hours(30.0);
+  /// Cooldown proceeds at a constant log-temperature rate, two-regime:
+  /// slow above the knee (pulse tubes against the full thermal mass),
+  /// faster below it (dilution circuit, tiny heat capacities). Defaults
+  /// give a ~2.8-day cooldown from ambient and ~9 h from a 1 K excursion.
+  double cooldown_log_rate_high = 2.0 / days(1.0);  ///< d(ln T)/dt above knee
+  double cooldown_log_rate_low = 6.0 / days(1.0);   ///< below knee
+  /// Relative thermal mass of the cryostat; 1.0 gives a ~2.8-day full
+  /// cooldown, larger systems take proportionally longer (up to ~5 days).
+  double thermal_mass_factor = 1.0;
+  /// Vacuum integrity survives this long warm before oxidation risk.
+  Seconds vacuum_holds_warm_for = days(21.0);
+};
+
+/// Lumped-parameter thermal model of the dilution-refrigerator cold stage
+/// (the "chandelier"'s mixing-chamber plate that carries the QPU). Tracks
+/// the quantities §3.5's recovery procedure depends on: current and peak
+/// temperature, active-cooling state, vacuum integrity, and cooldown /
+/// warm-up timing.
+class Cryostat {
+public:
+  explicit Cryostat(CryostatParams params = {});
+
+  const CryostatParams& params() const { return params_; }
+
+  Kelvin temperature() const { return temperature_; }
+  /// Highest MXC temperature reached since operation was last (re)entered.
+  Kelvin peak_since_operating() const { return peak_since_operating_; }
+
+  bool cooling_active() const { return cooling_active_; }
+  void set_cooling(bool active);
+
+  bool vacuum_intact() const { return vacuum_intact_; }
+  /// Deliberately opening (or physically moving) the cryostat vents it.
+  void open_vessel();
+  /// Pump-down restores vacuum; only allowed warm.
+  void restore_vacuum();
+
+  CryoState state() const;
+  bool at_base() const { return temperature_ <= params_.operating_threshold; }
+
+  /// True while the excursion has stayed below the 1 K bound, i.e. the
+  /// calibration state is "largely maintained" and a quick recalibration
+  /// suffices after recovery (§3.5).
+  bool calibration_preserved() const;
+
+  /// Advances the thermal state by `dt` (internally sub-stepped).
+  void step(Seconds dt);
+
+  /// Analytic estimate of the time to cool from `from` to the operating
+  /// threshold with the current thermal mass.
+  Seconds cooldown_time_from(Kelvin from) const;
+
+  /// Analytic estimate of the time to warm from base to `target` after a
+  /// cooling loss.
+  Seconds warmup_time_to(Kelvin target) const;
+
+  /// Resets the peak tracker (called when recovery completes).
+  void acknowledge_recovery();
+
+private:
+  void step_once(Seconds dt);
+
+  CryostatParams params_;
+  Kelvin temperature_;
+  Kelvin peak_since_operating_;
+  bool cooling_active_ = true;
+  bool vacuum_intact_ = true;
+  Seconds warm_duration_ = 0.0;  ///< cumulative time spent near ambient
+};
+
+}  // namespace hpcqc::cryo

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::cryo {
+
+/// The cryogenic gas handling system: turbomolecular pumps circulating
+/// low-pressure helium plus the compressor driving pneumatic valves. It is
+/// the component that trips "when the cooling water temperature exceeds the
+/// upper temperature limit" (§3.5) and the one serviced in the six-monthly
+/// preventive-maintenance window (LN2 flush, tip-seal replacement).
+class GasHandlingSystem {
+public:
+  struct Params {
+    double water_temp_max_c = 25.0;  ///< cryostat-manufacturer upper limit
+    double water_temp_min_c = 15.0;
+    double ln2_capacity_l = 15.0;
+    double ln2_weekly_use_l = 10.0;  ///< "approximately ten liters ... every week"
+    Seconds tip_seal_lifetime = days(365.0);
+  };
+
+  GasHandlingSystem();
+  explicit GasHandlingSystem(Params params);
+
+  const Params& params() const { return params_; }
+
+  bool running() const { return running_; }
+
+  /// Feeds the current cooling-water temperature; exceeding the limit trips
+  /// the pumps (returns true on a trip edge).
+  bool update_water_temperature(double water_c);
+  double water_temperature() const { return water_c_; }
+
+  /// Manual restart after a trip; requires water back in range.
+  void restart();
+  void trip() { running_ = false; }
+
+  double ln2_level_l() const { return ln2_level_l_; }
+  /// Weekly on-site task: top the LN2 trap back up to capacity.
+  void refill_ln2();
+  /// True when the trap needs the weekly ten-liter top-up.
+  bool ln2_low() const { return ln2_level_l_ < 0.3 * params_.ln2_capacity_l; }
+
+  /// Remaining tip-seal life fraction in [0, 1].
+  double tip_seal_health() const;
+  /// Preventive-maintenance action: new tip seals.
+  void replace_tip_seals();
+  /// Preventive-maintenance action: flush accumulated ice/debris.
+  void flush_ln2_system();
+  bool needs_flush() const { return time_since_flush_ > days(183.0); }
+
+  /// Advances consumption/wear clocks.
+  void step(Seconds dt);
+
+private:
+  Params params_;
+  bool running_ = true;
+  double water_c_ = 20.0;
+  double ln2_level_l_;
+  Seconds tip_seal_age_ = 0.0;
+  Seconds time_since_flush_ = 0.0;
+};
+
+}  // namespace hpcqc::cryo

@@ -1,0 +1,60 @@
+#include "hpcqc/device/calibration_state.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/stats.hpp"
+
+namespace hpcqc::device {
+
+namespace {
+
+template <typename Container, typename Getter>
+double median_of(const Container& items, Getter get) {
+  if (items.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(items.size());
+  for (const auto& item : items) values.push_back(get(item));
+  return hpcqc::median(values);
+}
+
+}  // namespace
+
+double CalibrationState::median_fidelity_1q() const {
+  return median_of(qubits, [](const QubitMetrics& q) { return q.fidelity_1q; });
+}
+
+double CalibrationState::median_readout_fidelity() const {
+  return median_of(qubits,
+                   [](const QubitMetrics& q) { return q.readout_fidelity; });
+}
+
+double CalibrationState::median_fidelity_cz() const {
+  return median_of(couplers,
+                   [](const CouplerMetrics& c) { return c.fidelity_cz; });
+}
+
+double CalibrationState::min_fidelity_cz() const {
+  if (couplers.empty()) return 0.0;
+  return std::min_element(couplers.begin(), couplers.end(),
+                          [](const CouplerMetrics& a, const CouplerMetrics& b) {
+                            return a.fidelity_cz < b.fidelity_cz;
+                          })
+      ->fidelity_cz;
+}
+
+int CalibrationState::tls_defect_count() const {
+  int n = 0;
+  for (const auto& q : qubits)
+    if (q.tls_defect) ++n;
+  return n;
+}
+
+Seconds DeviceSpec::shot_duration(std::size_t depth_1q,
+                                  std::size_t depth_2q) const {
+  return microseconds(passive_reset_us) +
+         static_cast<double>(depth_1q) * prx_duration_ns * 1e-9 +
+         static_cast<double>(depth_2q) * cz_duration_ns * 1e-9 +
+         microseconds(readout_duration_us);
+}
+
+}  // namespace hpcqc::device

@@ -1,0 +1,257 @@
+#include "hpcqc/device/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/qsim/state_vector.hpp"
+
+namespace hpcqc::device {
+
+DeviceModel::DeviceModel(std::string name, Topology topology, DeviceSpec spec,
+                         DriftParams drift, Rng& rng)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      spec_(spec),
+      drift_model_(drift) {
+  fresh_ = sample_fresh_calibration(0.0, rng);
+  state_ = fresh_;
+}
+
+CalibrationState DeviceModel::sample_fresh_calibration(Seconds at,
+                                                       Rng& rng) const {
+  CalibrationState snapshot;
+  snapshot.calibrated_at = at;
+  snapshot.qubits.resize(static_cast<std::size_t>(topology_.num_qubits()));
+  snapshot.couplers.resize(static_cast<std::size_t>(topology_.num_edges()));
+
+  // Element-to-element variation: error rates are lognormal around the
+  // nominal error, times are lognormal around the nominal time.
+  const auto spread_error = [&](double nominal_fidelity) {
+    const double err = (1.0 - nominal_fidelity) *
+                       std::exp(spec_.calibration_spread * rng.normal());
+    return 1.0 - std::clamp(err, 1e-6, 0.4);
+  };
+  const auto spread_time = [&](double nominal_us) {
+    return nominal_us * std::exp(spec_.calibration_spread * rng.normal());
+  };
+
+  for (auto& qubit : snapshot.qubits) {
+    qubit.t1_us = spread_time(spec_.nominal_t1_us);
+    qubit.t2_us = std::min(2.0 * qubit.t1_us, spread_time(spec_.nominal_t2_us));
+    qubit.fidelity_1q = spread_error(spec_.nominal_fidelity_1q);
+    qubit.readout_fidelity = spread_error(spec_.nominal_readout_fidelity);
+    qubit.tls_defect = false;
+  }
+  for (auto& coupler : snapshot.couplers)
+    coupler.fidelity_cz = spread_error(spec_.nominal_fidelity_cz);
+  return snapshot;
+}
+
+void DeviceModel::install_calibration(CalibrationState snapshot) {
+  expects(snapshot.qubits.size() ==
+                  static_cast<std::size_t>(topology_.num_qubits()) &&
+              snapshot.couplers.size() ==
+                  static_cast<std::size_t>(topology_.num_edges()),
+          "install_calibration: snapshot shape mismatch");
+  fresh_ = snapshot;
+  state_ = std::move(snapshot);
+}
+
+void DeviceModel::install_live_state(CalibrationState snapshot) {
+  expects(snapshot.qubits.size() == state_.qubits.size() &&
+              snapshot.couplers.size() == state_.couplers.size(),
+          "install_live_state: snapshot shape mismatch");
+  state_ = std::move(snapshot);
+}
+
+void DeviceModel::drift(Seconds dt, Rng& rng) {
+  drift_model_.advance(state_, fresh_, dt, rng);
+}
+
+void DeviceModel::set_ambient_drift_rate(double deg_c_per_day) {
+  expects(deg_c_per_day >= 0.0, "ambient drift rate cannot be negative");
+  ambient_drift_c_per_day_ = deg_c_per_day;
+}
+
+qsim::ReadoutError DeviceModel::readout_error() const {
+  std::vector<qsim::ReadoutConfusion> per_qubit;
+  per_qubit.reserve(state_.qubits.size());
+  const double thermal_penalty =
+      kReadoutErrorPerDegCDay * ambient_drift_c_per_day_;
+  for (const auto& qubit : state_.qubits) {
+    const double err = std::clamp(
+        (1.0 - qubit.readout_fidelity) + thermal_penalty, 0.0, 0.5);
+    // Readout of |1> is slightly worse than |0> (T1 decay during readout),
+    // split 40/60 around the assignment error.
+    per_qubit.push_back({0.8 * err, 1.2 * err});
+  }
+  return qsim::ReadoutError(std::move(per_qubit));
+}
+
+double DeviceModel::gate_process_fidelity(const circuit::Operation& op) const {
+  using circuit::OpKind;
+  if (op.kind == OpKind::kBarrier || op.kind == OpKind::kMeasure ||
+      op.kind == OpKind::kI)
+    return 1.0;
+  if (circuit::op_is_two_qubit(op.kind)) {
+    const int edge = topology_.edge_index(op.qubits[0], op.qubits[1]);
+    const double avg =
+        state_.couplers[static_cast<std::size_t>(edge)].fidelity_cz;
+    return 1.0 - qsim::pauli_error_prob_from_avg_fidelity(avg, 2);
+  }
+  const double avg =
+      state_.qubits[static_cast<std::size_t>(op.qubits[0])].fidelity_1q;
+  return 1.0 - qsim::pauli_error_prob_from_avg_fidelity(avg, 1);
+}
+
+double DeviceModel::estimate_circuit_fidelity(
+    const circuit::Circuit& circuit) const {
+  double fidelity = 1.0;
+  for (const auto& op : circuit.ops()) fidelity *= gate_process_fidelity(op);
+  const double thermal_penalty =
+      kReadoutErrorPerDegCDay * ambient_drift_c_per_day_;
+  for (int q : circuit.measured_qubits()) {
+    const double ro = std::clamp(
+        state_.qubits[static_cast<std::size_t>(q)].readout_fidelity -
+            thermal_penalty,
+        0.5, 1.0);
+    fidelity *= ro;
+  }
+  return fidelity;
+}
+
+void DeviceModel::validate_executable(const circuit::Circuit& circuit) const {
+  expects(circuit.num_qubits() == topology_.num_qubits(),
+          "execute: circuit register must match the device "
+          "(compile/route first)");
+  for (const auto& op : circuit.ops()) {
+    if (circuit::op_is_two_qubit(op.kind)) {
+      expects(topology_.has_edge(op.qubits[0], op.qubits[1]),
+              "execute: two-qubit gate between uncoupled qubits q" +
+                  std::to_string(op.qubits[0]) + ", q" +
+                  std::to_string(op.qubits[1]) + " — route the circuit first");
+    }
+  }
+}
+
+Seconds DeviceModel::shot_duration(const circuit::Circuit& circuit) const {
+  const std::size_t total_depth = circuit.depth();
+  const std::size_t depth_2q =
+      std::min(circuit.two_qubit_gate_count(), total_depth);
+  const std::size_t depth_1q = total_depth - depth_2q;
+  return spec_.shot_duration(depth_1q, depth_2q);
+}
+
+ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
+                                     std::size_t shots, Rng& rng,
+                                     ExecutionMode mode) {
+  expects(shots > 0, "execute: need at least one shot");
+  validate_executable(circuit);
+
+  ExecutionResult result;
+  result.shots = shots;
+  result.estimated_fidelity = estimate_circuit_fidelity(circuit);
+  result.wall_time = static_cast<double>(shots) * shot_duration(circuit);
+
+  const std::vector<int> measured = circuit.measured_qubits();
+  result.counts.set_num_qubits(static_cast<int>(measured.size()));
+
+  if (mode == ExecutionMode::kEstimateOnly) return result;
+
+  // Simulate only the active (touched or measured) qubits: idle qubits of
+  // the register stay in |0> and would only waste state-vector memory.
+  std::vector<int> active;
+  {
+    std::vector<bool> used(static_cast<std::size_t>(num_qubits()), false);
+    for (const auto& op : circuit.ops())
+      for (int q : op.qubits) used[static_cast<std::size_t>(q)] = true;
+    for (int q : measured) used[static_cast<std::size_t>(q)] = true;
+    for (int q = 0; q < num_qubits(); ++q)
+      if (used[static_cast<std::size_t>(q)]) active.push_back(q);
+  }
+  std::vector<int> phys_to_dense(static_cast<std::size_t>(num_qubits()), -1);
+  for (std::size_t d = 0; d < active.size(); ++d)
+    phys_to_dense[static_cast<std::size_t>(active[d])] = static_cast<int>(d);
+  const int dense_qubits = static_cast<int>(active.size());
+  const auto dense_op = [&](const circuit::Operation& op) {
+    circuit::Operation out = op;
+    for (auto& q : out.qubits) q = phys_to_dense[static_cast<std::size_t>(q)];
+    return out;
+  };
+  std::vector<int> dense_measured;
+  dense_measured.reserve(measured.size());
+  for (int q : measured)
+    dense_measured.push_back(phys_to_dense[static_cast<std::size_t>(q)]);
+
+  // Per-dense-qubit readout confusion from the physical elements.
+  const qsim::ReadoutError full_readout = readout_error();
+  std::vector<qsim::ReadoutConfusion> dense_confusion;
+  dense_confusion.reserve(active.size());
+  for (int q : active) dense_confusion.push_back(full_readout.qubit(q));
+  const qsim::ReadoutError readout(std::move(dense_confusion));
+
+  if (mode == ExecutionMode::kAuto) {
+    mode = (dense_qubits <= 12 && shots <= 256)
+               ? ExecutionMode::kTrajectory
+               : ExecutionMode::kGlobalDepolarizing;
+  }
+
+  if (mode == ExecutionMode::kTrajectory) {
+    qsim::StateVector state(dense_qubits);
+    for (std::size_t shot = 0; shot < shots; ++shot) {
+      state.reset();
+      for (const auto& op : circuit.ops()) {
+        if (op.kind == circuit::OpKind::kMeasure ||
+            op.kind == circuit::OpKind::kBarrier)
+          continue;
+        const circuit::Operation mapped = dense_op(op);
+        circuit::apply_op(state, mapped);
+        if (circuit::op_is_two_qubit(op.kind)) {
+          const int edge = topology_.edge_index(op.qubits[0], op.qubits[1]);
+          const double p = qsim::pauli_error_prob_from_avg_fidelity(
+              state_.couplers[static_cast<std::size_t>(edge)].fidelity_cz, 2);
+          state.apply_pauli_error_2q(mapped.qubits[0], mapped.qubits[1], p,
+                                     rng);
+        } else if (op.kind != circuit::OpKind::kI) {
+          const double p = qsim::pauli_error_prob_from_avg_fidelity(
+              state_.qubits[static_cast<std::size_t>(op.qubits[0])]
+                  .fidelity_1q,
+              1);
+          state.apply_pauli_error(mapped.qubits[0], p, rng);
+        }
+      }
+      const std::uint64_t dense = state.sample(1, rng).front();
+      const std::uint64_t noisy = readout.corrupt(dense, rng);
+      result.counts.add(circuit::compact_outcome(noisy, dense_measured));
+    }
+    return result;
+  }
+
+  // Global-depolarizing surrogate: fold gate errors into a single success
+  // probability over the ideal distribution (readout handled per bit).
+  double gate_process_product = 1.0;
+  for (const auto& op : circuit.ops())
+    gate_process_product *= gate_process_fidelity(op);
+
+  qsim::StateVector state(dense_qubits);
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == circuit::OpKind::kMeasure ||
+        op.kind == circuit::OpKind::kBarrier)
+      continue;
+    circuit::apply_op(state, dense_op(op));
+  }
+  const auto samples = state.sample(shots, rng);
+  const std::uint64_t dense_dim = std::uint64_t{1} << dense_qubits;
+  for (std::uint64_t sample : samples) {
+    std::uint64_t outcome = sample;
+    if (!rng.bernoulli(gate_process_product))
+      outcome = rng.uniform_index(dense_dim);
+    outcome = readout.corrupt(outcome, rng);
+    result.counts.add(circuit::compact_outcome(outcome, dense_measured));
+  }
+  return result;
+}
+
+}  // namespace hpcqc::device

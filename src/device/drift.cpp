@@ -1,0 +1,80 @@
+#include "hpcqc/device/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::device {
+
+DriftModel::DriftModel(DriftParams params) : params_(params) {
+  expects(params_.drift_timescale > 0.0, "DriftModel: timescale must be > 0");
+  expects(params_.degraded_error_factor >= 1.0,
+          "DriftModel: degraded factor must be >= 1");
+}
+
+double DriftModel::step_error(double error, double fresh_error, Seconds dt,
+                              Rng& rng) const {
+  // OU in log space: log-error relaxes toward log(degraded asymptote).
+  error = std::clamp(error, 1e-7, 0.5);
+  fresh_error = std::clamp(fresh_error, 1e-7, 0.5);
+  const double log_target =
+      std::log(fresh_error * params_.degraded_error_factor);
+  const double theta = 1.0 / params_.drift_timescale;  // relaxation rate
+  const double alpha = 1.0 - std::exp(-theta * dt);
+  double log_error = std::log(error);
+  log_error += alpha * (log_target - log_error);
+  const double sigma = params_.volatility * std::sqrt(dt / days(1.0));
+  log_error += sigma * rng.normal();
+  return std::clamp(std::exp(log_error), 1e-7, 0.5);
+}
+
+void DriftModel::advance(CalibrationState& state,
+                         const CalibrationState& fresh, Seconds dt,
+                         Rng& rng) const {
+  expects(state.qubits.size() == fresh.qubits.size() &&
+              state.couplers.size() == fresh.couplers.size(),
+          "DriftModel::advance: snapshot shapes differ");
+  expects(dt >= 0.0, "DriftModel::advance: negative interval");
+  if (dt == 0.0) return;
+
+  for (std::size_t q = 0; q < state.qubits.size(); ++q) {
+    auto& live = state.qubits[q];
+    const auto& anchor = fresh.qubits[q];
+
+    live.fidelity_1q =
+        1.0 - step_error(1.0 - live.fidelity_1q, 1.0 - anchor.fidelity_1q, dt,
+                         rng);
+    live.readout_fidelity =
+        1.0 - step_error(1.0 - live.readout_fidelity,
+                         1.0 - anchor.readout_fidelity, dt, rng);
+
+    // T1/T2 jitter (multiplicative random walk pinned to the anchor).
+    const double t_sigma = params_.t1_volatility * std::sqrt(dt / days(1.0));
+    live.t1_us = std::max(
+        1.0, live.t1_us * std::exp(t_sigma * rng.normal()) *
+                 std::pow(anchor.t1_us / live.t1_us, 0.1));
+    live.t2_us = std::min(
+        2.0 * live.t1_us,
+        std::max(0.5, live.t2_us * std::exp(t_sigma * rng.normal()) *
+                          std::pow(anchor.t2_us / live.t2_us, 0.1)));
+
+    // TLS defect arrivals.
+    const double p_tls =
+        1.0 - std::exp(-params_.tls_rate_per_qubit_day * (dt / days(1.0)));
+    if (!live.tls_defect && rng.bernoulli(p_tls)) {
+      live.tls_defect = true;
+      live.fidelity_1q =
+          1.0 - std::min(0.5, (1.0 - live.fidelity_1q) * params_.tls_error_factor);
+    }
+  }
+
+  for (std::size_t c = 0; c < state.couplers.size(); ++c) {
+    auto& live = state.couplers[c];
+    const auto& anchor = fresh.couplers[c];
+    live.fidelity_cz = 1.0 - step_error(1.0 - live.fidelity_cz,
+                                        1.0 - anchor.fidelity_cz, dt, rng);
+  }
+}
+
+}  // namespace hpcqc::device

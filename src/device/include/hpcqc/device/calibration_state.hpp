@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/device/topology.hpp"
+
+namespace hpcqc::device {
+
+/// Live physical parameters of one qubit. These are the quantities the
+/// paper calls "changeable properties that must be managed via regular
+/// calibration" — unlike CPU/GPU characteristics they drift on timescales
+/// of hours to days.
+struct QubitMetrics {
+  double t1_us = 50.0;              ///< energy relaxation time
+  double t2_us = 30.0;              ///< dephasing time (<= 2*T1)
+  double fidelity_1q = 0.999;       ///< average single-qubit gate fidelity
+  double readout_fidelity = 0.98;   ///< symmetric assignment fidelity
+  bool tls_defect = false;          ///< a two-level-system defect is parked
+                                    ///< near the qubit frequency
+};
+
+/// Live parameters of one tunable coupler (one topology edge).
+struct CouplerMetrics {
+  double fidelity_cz = 0.995;  ///< average CZ gate fidelity
+};
+
+/// Snapshot of the whole device's calibration. Indexing matches the
+/// Topology: qubits by id, couplers by Topology::edge_index.
+struct CalibrationState {
+  std::vector<QubitMetrics> qubits;
+  std::vector<CouplerMetrics> couplers;
+  Seconds calibrated_at = 0.0;  ///< simulated time of the last calibration
+
+  /// Median single-qubit gate fidelity over all qubits.
+  double median_fidelity_1q() const;
+  /// Median readout assignment fidelity over all qubits.
+  double median_readout_fidelity() const;
+  /// Median CZ fidelity over all couplers.
+  double median_fidelity_cz() const;
+  /// Worst (minimum) CZ fidelity.
+  double min_fidelity_cz() const;
+  /// Number of qubits currently flagged with a TLS defect.
+  int tls_defect_count() const;
+};
+
+/// Factory-nominal targets the calibration procedures tune toward, plus the
+/// spread achieved after a calibration run. Values default to the published
+/// benchmarks of the 20-qubit machine the paper installs (median 1Q
+/// fidelity ~99.91 %, CZ ~99.5 %, readout ~98 %, T1 ~50 µs).
+struct DeviceSpec {
+  double nominal_t1_us = 50.0;
+  double nominal_t2_us = 30.0;
+  double nominal_fidelity_1q = 0.9991;
+  double nominal_fidelity_cz = 0.995;
+  double nominal_readout_fidelity = 0.98;
+  /// Relative element-to-element spread at full calibration (lognormal-ish).
+  double calibration_spread = 0.15;
+  /// Gate / readout timing (drives shot duration and §2.4 bandwidth).
+  double prx_duration_ns = 20.0;
+  double cz_duration_ns = 40.0;
+  double readout_duration_us = 2.0;
+  double passive_reset_us = 300.0;  ///< dominates the shot period (§2.4)
+
+  /// Duration of one executed shot of a circuit with the given native gate
+  /// depth split into 1q/2q layers: passive reset + gates + readout.
+  Seconds shot_duration(std::size_t depth_1q, std::size_t depth_2q) const;
+};
+
+}  // namespace hpcqc::device

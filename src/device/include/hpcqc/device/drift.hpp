@@ -1,0 +1,57 @@
+#pragma once
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/device/calibration_state.hpp"
+
+namespace hpcqc::device {
+
+/// Stochastic model of calibration decay. Two mechanisms, matching the
+/// operational behaviour the paper reports:
+///
+/// 1. **Slow drift** — every gate/readout error rate follows an
+///    Ornstein-Uhlenbeck process in log-error space, relaxing toward a
+///    degraded asymptote. This produces the gradual hour-to-day fidelity
+///    decay between calibrations.
+/// 2. **TLS defect events** — a Poisson process parks a two-level-system
+///    defect near a random qubit's frequency, abruptly degrading its gate
+///    fidelity and its couplers' CZ fidelity. Only a *full* recalibration
+///    (which can retune qubit frequencies) clears the flag; quick
+///    calibration merely re-optimizes pulses around the defect.
+struct DriftParams {
+  /// Mean time for the error rate to relax toward its degraded asymptote.
+  Seconds drift_timescale = hours(48.0);
+  /// Error rate asymptote as a multiple of the freshly-calibrated rate.
+  double degraded_error_factor = 3.0;
+  /// Relative volatility of the OU step (per sqrt(day)).
+  double volatility = 0.20;
+  /// TLS defect arrival rate, events per qubit per day.
+  double tls_rate_per_qubit_day = 0.01;
+  /// Error-rate multiplier applied by a TLS defect.
+  double tls_error_factor = 8.0;
+  /// Relative T1/T2 fluctuation per sqrt(day).
+  double t1_volatility = 0.08;
+};
+
+/// Applies drift to a calibration snapshot over a simulated interval.
+/// Stateless apart from its parameters; the RNG carries the stochasticity.
+class DriftModel {
+public:
+  explicit DriftModel(DriftParams params = {});
+
+  const DriftParams& params() const { return params_; }
+
+  /// Advances `state` by `dt`. `fresh` is the reference snapshot produced by
+  /// the last full calibration — its error rates are the OU anchor points.
+  void advance(CalibrationState& state, const CalibrationState& fresh,
+               Seconds dt, Rng& rng) const;
+
+private:
+  /// One OU step in log-error space for a single error rate.
+  double step_error(double error, double fresh_error, Seconds dt,
+                    Rng& rng) const;
+
+  DriftParams params_;
+};
+
+}  // namespace hpcqc::device

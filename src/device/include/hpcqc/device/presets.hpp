@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+
+namespace hpcqc::device {
+
+/// The machine of the case study: 20 transmon qubits in a 4x5 square grid
+/// with tunable couplers, parameters matching the published technology
+/// benchmarks (median 1Q ~99.91 %, CZ ~99.5 %, readout ~98 %).
+DeviceModel make_iqm20(Rng& rng);
+
+/// The 54-qubit scale-up the paper's §2.4 bandwidth extrapolation mentions
+/// (6x9 grid, same technology parameters).
+DeviceModel make_grid54(Rng& rng);
+
+/// The 150-qubit scale-up of the same extrapolation (10x15 grid).
+DeviceModel make_grid150(Rng& rng);
+
+/// Generic rows x cols grid with custom spec/drift, for sweeps.
+DeviceModel make_grid(std::string name, int rows, int cols, DeviceSpec spec,
+                      DriftParams drift, Rng& rng);
+
+}  // namespace hpcqc::device

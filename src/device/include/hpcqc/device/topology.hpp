@@ -1,0 +1,62 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace hpcqc::device {
+
+/// Undirected coupling graph of a QPU. The reproduced 20-qubit machine has
+/// transmon qubits "in a square grid topology, where the tunable couplers
+/// mediate the connection between each qubit pair" — i.e. qubits are grid
+/// nodes and couplers are grid edges.
+class Topology {
+public:
+  /// Edge = (low qubit, high qubit), normalized so first < second.
+  using Edge = std::pair<int, int>;
+
+  Topology(int num_qubits, std::vector<Edge> edges);
+
+  /// rows x cols rectangular grid with nearest-neighbour couplers.
+  /// Qubit id = row * cols + col.
+  static Topology square_grid(int rows, int cols);
+
+  /// Linear chain of `num_qubits` qubits.
+  static Topology line(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  bool has_edge(int a, int b) const;
+
+  /// Index of edge (a,b) in edges(); throws NotFoundError if absent.
+  int edge_index(int a, int b) const;
+
+  const std::vector<int>& neighbors(int qubit) const;
+
+  /// Hop distance between two qubits (BFS, cached); -1 if disconnected.
+  int distance(int a, int b) const;
+
+  /// True when every qubit can reach every other.
+  bool is_connected() const;
+
+  /// Qubits ordered so that consecutive entries are coupled, covering all
+  /// qubits (a serpentine over the grid). Only available for topologies
+  /// built with square_grid/line. Used by GHZ-chain benchmarks.
+  std::vector<int> coupled_chain() const;
+
+  /// Grid dimensions when constructed via square_grid/line, else (0, 0).
+  std::pair<int, int> grid_shape() const { return {grid_rows_, grid_cols_}; }
+
+private:
+  void compute_distances() const;
+
+  int num_qubits_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  mutable std::vector<std::vector<int>> distances_;  // lazily computed
+  int grid_rows_ = 0;
+  int grid_cols_ = 0;
+};
+
+}  // namespace hpcqc::device

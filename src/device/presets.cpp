@@ -1,0 +1,23 @@
+#include "hpcqc/device/presets.hpp"
+
+namespace hpcqc::device {
+
+DeviceModel make_iqm20(Rng& rng) {
+  return make_grid("iqm-20q", 4, 5, DeviceSpec{}, DriftParams{}, rng);
+}
+
+DeviceModel make_grid54(Rng& rng) {
+  return make_grid("grid-54q", 6, 9, DeviceSpec{}, DriftParams{}, rng);
+}
+
+DeviceModel make_grid150(Rng& rng) {
+  return make_grid("grid-150q", 10, 15, DeviceSpec{}, DriftParams{}, rng);
+}
+
+DeviceModel make_grid(std::string name, int rows, int cols, DeviceSpec spec,
+                      DriftParams drift, Rng& rng) {
+  return DeviceModel(std::move(name), Topology::square_grid(rows, cols), spec,
+                     drift, rng);
+}
+
+}  // namespace hpcqc::device

@@ -1,0 +1,122 @@
+#include "hpcqc/device/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::device {
+
+Topology::Topology(int num_qubits, std::vector<Edge> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+  expects(num_qubits >= 1, "Topology: need at least one qubit");
+  adjacency_.resize(static_cast<std::size_t>(num_qubits));
+  for (auto& edge : edges_) {
+    expects(edge.first != edge.second, "Topology: self-loop coupler");
+    if (edge.first > edge.second) std::swap(edge.first, edge.second);
+    expects(edge.first >= 0 && edge.second < num_qubits,
+            "Topology: edge endpoint out of range");
+  }
+  std::sort(edges_.begin(), edges_.end());
+  const auto last = std::unique(edges_.begin(), edges_.end());
+  expects(last == edges_.end(), "Topology: duplicate coupler");
+  for (const auto& [a, b] : edges_) {
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+}
+
+Topology Topology::square_grid(int rows, int cols) {
+  expects(rows >= 1 && cols >= 1, "square_grid: invalid dimensions");
+  std::vector<Edge> edges;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  Topology topo(rows * cols, std::move(edges));
+  topo.grid_rows_ = rows;
+  topo.grid_cols_ = cols;
+  return topo;
+}
+
+Topology Topology::line(int num_qubits) {
+  std::vector<Edge> edges;
+  for (int q = 0; q + 1 < num_qubits; ++q) edges.emplace_back(q, q + 1);
+  Topology topo(num_qubits, std::move(edges));
+  topo.grid_rows_ = 1;
+  topo.grid_cols_ = num_qubits;
+  return topo;
+}
+
+bool Topology::has_edge(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(), Edge{a, b});
+}
+
+int Topology::edge_index(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), Edge{a, b});
+  if (it == edges_.end() || *it != Edge{a, b})
+    throw NotFoundError("edge_index: no coupler between the given qubits");
+  return static_cast<int>(std::distance(edges_.begin(), it));
+}
+
+const std::vector<int>& Topology::neighbors(int qubit) const {
+  expects(qubit >= 0 && qubit < num_qubits_, "neighbors: qubit out of range");
+  return adjacency_[static_cast<std::size_t>(qubit)];
+}
+
+void Topology::compute_distances() const {
+  distances_.assign(static_cast<std::size_t>(num_qubits_),
+                    std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+  for (int start = 0; start < num_qubits_; ++start) {
+    auto& dist = distances_[static_cast<std::size_t>(start)];
+    dist[static_cast<std::size_t>(start)] = 0;
+    std::deque<int> frontier{start};
+    while (!frontier.empty()) {
+      const int node = frontier.front();
+      frontier.pop_front();
+      for (int next : adjacency_[static_cast<std::size_t>(node)]) {
+        if (dist[static_cast<std::size_t>(next)] < 0) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(node)] + 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+int Topology::distance(int a, int b) const {
+  expects(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+          "distance: qubit out of range");
+  if (distances_.empty()) compute_distances();
+  return distances_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+bool Topology::is_connected() const {
+  for (int q = 0; q < num_qubits_; ++q)
+    if (distance(0, q) < 0) return false;
+  return true;
+}
+
+std::vector<int> Topology::coupled_chain() const {
+  ensure_state(grid_rows_ > 0,
+               "coupled_chain: only defined for grid-constructed topologies");
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_qubits_));
+  for (int r = 0; r < grid_rows_; ++r) {
+    if (r % 2 == 0) {
+      for (int c = 0; c < grid_cols_; ++c) order.push_back(r * grid_cols_ + c);
+    } else {
+      for (int c = grid_cols_ - 1; c >= 0; --c)
+        order.push_back(r * grid_cols_ + c);
+    }
+  }
+  return order;
+}
+
+}  // namespace hpcqc::device

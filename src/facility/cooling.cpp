@@ -1,0 +1,93 @@
+#include "hpcqc/facility/cooling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::facility {
+
+CoolingLoop::CoolingLoop() : CoolingLoop(Params{}) {}
+
+CoolingLoop::CoolingLoop(Params params)
+    : params_(params), supply_c_(params.setpoint_c) {
+  expects(params_.supply_min_c < params_.supply_max_c,
+          "CoolingLoop: invalid supply window");
+  expects(params_.loop_tau > 0.0 && params_.loop_tau_warm > 0.0,
+          "CoolingLoop: time constants must be positive");
+}
+
+bool CoolingLoop::in_spec() const {
+  return supply_c_ >= params_.supply_min_c && supply_c_ <= params_.supply_max_c;
+}
+
+void CoolingLoop::fail_primary_chiller() {
+  primary_ok_ = false;
+  since_primary_failure_ = 0.0;
+}
+
+void CoolingLoop::repair_primary_chiller() {
+  primary_ok_ = true;
+  backup_engaged_ = false;
+}
+
+bool CoolingLoop::chilling() const { return primary_ok_ || backup_engaged_; }
+
+void CoolingLoop::step(Seconds dt) {
+  expects(dt >= 0.0, "CoolingLoop::step: negative interval");
+  if (!primary_ok_) {
+    since_primary_failure_ += dt;
+    if (params_.redundant && !backup_engaged_ &&
+        since_primary_failure_ >= params_.failover_delay)
+      backup_engaged_ = true;
+  }
+  const double target =
+      chilling() ? params_.setpoint_c : params_.unchilled_equilibrium_c;
+  const Seconds tau = chilling() ? params_.loop_tau : params_.loop_tau_warm;
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  supply_c_ += alpha * (target - supply_c_);
+}
+
+Seconds CoolingLoop::time_to_trip_from_setpoint() const {
+  const double span = params_.unchilled_equilibrium_c - params_.setpoint_c;
+  const double to_trip = params_.supply_max_c - params_.setpoint_c;
+  expects(span > to_trip && to_trip > 0.0,
+          "time_to_trip: equilibrium must exceed the trip limit");
+  return -params_.loop_tau_warm * std::log(1.0 - to_trip / span);
+}
+
+Ups::Ups() : Ups(Params{}) {}
+
+Ups::Ups(Params params) : params_(params), charge_kwh_(params.battery_kwh) {
+  expects(params_.battery_kwh > 0.0, "Ups: battery capacity must be positive");
+}
+
+double Ups::charge_fraction() const {
+  return charge_kwh_ / params_.battery_kwh;
+}
+
+Seconds Ups::runtime_remaining(Watts load) const {
+  if (load <= 0.0) return days(3650.0);
+  return hours(charge_kwh_ * battery_health() / to_kilowatts(load));
+}
+
+double Ups::battery_health() const {
+  return std::clamp(1.0 - 0.5 * battery_age_ / params_.battery_service_life,
+                    0.3, 1.0);
+}
+
+void Ups::replace_batteries() { battery_age_ = 0.0; }
+
+void Ups::step(Seconds dt, Watts load) {
+  expects(dt >= 0.0, "Ups::step: negative interval");
+  battery_age_ += dt;
+  if (mains_ok_) {
+    charge_kwh_ = std::min(params_.battery_kwh,
+                           charge_kwh_ + params_.recharge_kw * to_hours(dt));
+  } else {
+    charge_kwh_ = std::max(
+        0.0, charge_kwh_ - to_kilowatts(load) / battery_health() * to_hours(dt));
+  }
+}
+
+}  // namespace hpcqc::facility

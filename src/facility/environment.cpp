@@ -1,0 +1,212 @@
+#include "hpcqc/facility/environment.hpp"
+
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::facility {
+
+namespace {
+
+/// Inverse-distance amplitude falloff with a floor to avoid singularities.
+double falloff(double reference_amplitude, double distance_m,
+               double exponent = 1.0) {
+  if (distance_m <= 0.0) return 0.0;  // source absent
+  return reference_amplitude / std::pow(std::max(distance_m, 1.0), exponent);
+}
+
+Waveform make_waveform(Seconds duration, double sample_rate_hz) {
+  Waveform wave;
+  wave.sample_rate_hz = sample_rate_hz;
+  wave.samples.assign(
+      static_cast<std::size_t>(duration * sample_rate_hz), 0.0);
+  return wave;
+}
+
+}  // namespace
+
+SiteEnvironment::SiteEnvironment(SiteDescription site)
+    : site_(std::move(site)) {
+  expects(!site_.name.empty(), "SiteEnvironment: site needs a name");
+}
+
+std::array<Waveform, 3> SiteEnvironment::magnetic_field(
+    Seconds duration, double sample_rate_hz, Rng& rng) const {
+  std::array<Waveform, 3> axes{make_waveform(duration, sample_rate_hz),
+                               make_waveform(duration, sample_rate_hz),
+                               make_waveform(duration, sample_rate_hz)};
+
+  // Geomagnetic background (Munich-ish): ~48 µT total, mostly vertical.
+  axes[0].add_dc(microtesla(20.0));
+  axes[1].add_dc(microtesla(2.0));
+  axes[2].add_dc(microtesla(44.0));
+
+  // Magnetized steel mass (elevator counterweight / transformer core) adds
+  // a static offset, dominated by the closest heavy source.
+  const double steel_dc =
+      falloff(microtesla(400.0), site_.elevator_distance_m, 1.5) +
+      falloff(microtesla(900.0), site_.transformer_distance_m, 1.5);
+  axes[2].add_dc(steel_dc);
+
+  for (int axis = 0; axis < 3; ++axis) {
+    auto& wave = axes[static_cast<std::size_t>(axis)];
+    const double axis_gain = axis == 2 ? 1.0 : 0.55;
+
+    // 50 Hz mains + harmonics from building wiring and transformers.
+    const double mains = microtesla(0.05) +
+                         falloff(microtesla(25.0), site_.transformer_distance_m);
+    wave.add_sinusoid(axis_gain * mains, 50.0, rng.uniform(0.0, 6.28));
+    wave.add_sinusoid(axis_gain * mains * 0.3, 150.0, rng.uniform(0.0, 6.28));
+
+    // Fluorescent fixtures: magnetic ballast stray field at 100 Hz,
+    // ~0.8 µT at 1 m falling off with the square of distance — the origin
+    // of the >= 2 m placement rule.
+    const double fluorescent =
+        falloff(microtesla(0.8), site_.fluorescent_light_distance_m, 2.0);
+    wave.add_sinusoid(axis_gain * fluorescent, 100.0, rng.uniform(0.0, 6.28));
+
+    // DC-traction tram/subway supply ripple: strong low-frequency field,
+    // 16.7 Hz and 33.3 Hz content, ~30 µT·m/d.
+    const double traction =
+        falloff(microtesla(30.0), site_.tram_distance_m) +
+        falloff(microtesla(45.0), site_.subway_distance_m);
+    wave.add_sinusoid(axis_gain * traction, 16.7, rng.uniform(0.0, 6.28));
+    wave.add_sinusoid(axis_gain * traction * 0.5, 33.3,
+                      rng.uniform(0.0, 6.28));
+
+    // Sensor noise floor.
+    wave.add_white_noise(microtesla(0.01), rng);
+  }
+  return axes;
+}
+
+Waveform SiteEnvironment::floor_vibration(Seconds duration,
+                                          double sample_rate_hz,
+                                          Rng& rng) const {
+  Waveform wave = make_waveform(duration, sample_rate_hz);
+
+  // Ambient micro-seismic / building background: ~20 µm/s broadband.
+  wave.add_white_noise(micrometres_per_second(20.0), rng);
+
+  // HVAC chiller: tonal 50 Hz (plus 25 Hz subharmonic) structure-borne
+  // vibration, ~2000 µm/s·m/d.
+  const double chiller = falloff(micrometres_per_second(2000.0),
+                                 site_.chiller_distance_m);
+  wave.add_sinusoid(chiller, 50.0);
+  wave.add_sinusoid(0.4 * chiller, 25.0);
+
+  // Highway: continuous broadband rumble 4-20 Hz.
+  const double highway =
+      falloff(micrometres_per_second(9000.0), site_.highway_distance_m);
+  wave.add_sinusoid(highway * 0.5, 4.0, rng.uniform(0.0, 6.28));
+  wave.add_sinusoid(highway * 0.35, 8.0, rng.uniform(0.0, 6.28));
+  wave.add_sinusoid(highway * 0.25, 16.0, rng.uniform(0.0, 6.28));
+
+  // Tram / subway pass-bys: decaying bursts in the 10-40 Hz band every few
+  // minutes, ~20 000 µm/s·m/d at the peak.
+  const auto add_passbys = [&](double distance, double reference,
+                               Seconds period) {
+    const double amplitude = falloff(reference, distance);
+    if (amplitude <= 0.0) return;
+    for (Seconds t = rng.uniform(0.0, period); t < duration;
+         t += period * rng.uniform(0.7, 1.3)) {
+      wave.add_burst(amplitude * rng.uniform(0.6, 1.4),
+                     rng.uniform(10.0, 40.0), t, seconds(4.0));
+    }
+  };
+  add_passbys(site_.tram_distance_m, micrometres_per_second(20000.0),
+              minutes(4.0));
+  add_passbys(site_.subway_distance_m, micrometres_per_second(30000.0),
+              minutes(3.0));
+
+  return wave;
+}
+
+Waveform SiteEnvironment::sound_pressure(Seconds duration,
+                                         double sample_rate_hz,
+                                         Rng& rng) const {
+  Waveform wave = make_waveform(duration, sample_rate_hz);
+
+  // Quiet machine-room background: ~52 dBA broadband.
+  wave.add_white_noise(db_spl_to_pascal(52.0), rng);
+
+  // Chiller tonal noise: 120 Hz hum + fan broadband; ~95 dB at 1 m.
+  const double chiller_pa =
+      falloff(db_spl_to_pascal(95.0), site_.chiller_distance_m);
+  wave.add_sinusoid(chiller_pa * std::sqrt(2.0), 120.0);
+  wave.add_white_noise(chiller_pa * 0.5, rng);
+
+  // The infamous concert: broadband 115 dB at 1 m with heavy 60-250 Hz
+  // content. A-weighting forgives some of the low end but not enough at
+  // short range.
+  const double concert_pa =
+      falloff(db_spl_to_pascal(115.0), site_.concert_distance_m);
+  if (concert_pa > 0.0) {
+    wave.add_white_noise(concert_pa * 0.6, rng);
+    wave.add_sinusoid(concert_pa * std::sqrt(2.0) * 0.5, 82.0);
+    wave.add_sinusoid(concert_pa * std::sqrt(2.0) * 0.4, 164.0);
+    wave.add_sinusoid(concert_pa * std::sqrt(2.0) * 0.35, 440.0);
+    wave.add_sinusoid(concert_pa * std::sqrt(2.0) * 0.3, 1200.0);
+  }
+  return wave;
+}
+
+Waveform SiteEnvironment::temperature(Seconds duration, Rng& rng) const {
+  Waveform wave;
+  wave.sample_rate_hz = 1.0 / 60.0;  // one sample per minute
+  wave.samples.assign(static_cast<std::size_t>(duration / 60.0), 0.0);
+  wave.add_dc(site_.hvac_setpoint_c);
+  // Diurnal swing at the HVAC control band plus controller hunting.
+  wave.add_sinusoid(site_.hvac_control_band_c, 1.0 / days(1.0),
+                    rng.uniform(0.0, 6.28));
+  wave.add_sinusoid(0.15 * site_.hvac_control_band_c, 1.0 / hours(1.0),
+                    rng.uniform(0.0, 6.28));
+  wave.add_white_noise(0.05, rng);
+  return wave;
+}
+
+Waveform SiteEnvironment::humidity(Seconds duration, Rng& rng) const {
+  Waveform wave;
+  wave.sample_rate_hz = 1.0 / 60.0;
+  wave.samples.assign(static_cast<std::size_t>(duration / 60.0), 0.0);
+  wave.add_dc(site_.humidity_mean_pct);
+  wave.add_sinusoid(site_.humidity_swing_pct, 1.0 / days(1.0),
+                    rng.uniform(0.0, 6.28));
+  wave.add_white_noise(0.5, rng);
+  return wave;
+}
+
+std::vector<SiteDescription> standard_candidate_sites() {
+  SiteDescription annex;
+  annex.name = "computer-room annex";
+  annex.chiller_distance_m = 40.0;
+  annex.cellular_mast_distance_m = 600.0;
+  annex.fluorescent_light_distance_m = 6.0;
+  annex.hvac_control_band_c = 0.35;
+  annex.delivery_path_widths_cm = {140.0, 120.0, 105.0, 95.0};
+
+  SiteDescription tram_side;
+  tram_side.name = "street-side lab (tram line)";
+  tram_side.tram_distance_m = 12.0;
+  tram_side.highway_distance_m = 60.0;
+  tram_side.chiller_distance_m = 25.0;
+  tram_side.cellular_mast_distance_m = 80.0;
+  tram_side.fluorescent_light_distance_m = 4.0;
+  tram_side.hvac_control_band_c = 0.6;
+  tram_side.delivery_path_widths_cm = {130.0, 110.0, 100.0};
+
+  SiteDescription basement;
+  basement.name = "basement workshop";
+  basement.chiller_distance_m = 6.0;
+  basement.elevator_distance_m = 4.0;
+  basement.transformer_distance_m = 8.0;
+  basement.fluorescent_light_distance_m = 0.8;
+  basement.hvac_control_band_c = 1.6;
+  basement.humidity_mean_pct = 58.0;
+  basement.humidity_swing_pct = 12.0;
+  basement.delivery_path_widths_cm = {120.0, 85.0, 100.0};
+
+  return {annex, tram_side, basement};
+}
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,98 @@
+#pragma once
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::facility {
+
+/// Facility cooling-water loop feeding the cryogenic compressor and turbo
+/// pumps. The cryostat manufacturer requires supply water between 15 and
+/// 25 °C (§2.3) — tighter than the up-to-45 °C many HPC racks accept —
+/// and an over-temperature excursion trips the cryo pumps (§3.5).
+/// Optionally a redundant chiller takes over after a failover delay
+/// (Lesson 3: redundant cooling infrastructure is essential).
+class CoolingLoop {
+public:
+  struct Params {
+    double setpoint_c = 19.0;
+    double supply_min_c = 15.0;
+    double supply_max_c = 25.0;
+    /// Thermal response of the loop toward its driver's target.
+    Seconds loop_tau = minutes(12.0);
+    /// Where the water drifts with no chiller running (machine-room heat).
+    double unchilled_equilibrium_c = 38.0;
+    /// How fast an unchilled loop heats (°C rise dominated by loop_tau_warm).
+    Seconds loop_tau_warm = minutes(35.0);
+    bool redundant = false;
+    Seconds failover_delay = seconds(90.0);
+  };
+
+  CoolingLoop();
+  explicit CoolingLoop(Params params);
+
+  const Params& params() const { return params_; }
+
+  double supply_temperature_c() const { return supply_c_; }
+  bool primary_chiller_ok() const { return primary_ok_; }
+  bool backup_engaged() const { return backup_engaged_; }
+
+  /// True while water is inside the manufacturer window.
+  bool in_spec() const;
+  /// True when the supply exceeds the trip limit for the cryo pumps.
+  bool over_temperature() const { return supply_c_ > params_.supply_max_c; }
+
+  void fail_primary_chiller();
+  void repair_primary_chiller();
+
+  void step(Seconds dt);
+
+  /// Analytic time from setpoint to the trip limit with no chiller at all —
+  /// the grace window before the gas handling system trips.
+  Seconds time_to_trip_from_setpoint() const;
+
+private:
+  bool chilling() const;
+
+  Params params_;
+  double supply_c_;
+  bool primary_ok_ = true;
+  bool backup_engaged_ = false;
+  Seconds since_primary_failure_ = 0.0;
+};
+
+/// Uninterruptible power supply carrying the quantum computer through grid
+/// events. Battery capacity is sized for minutes of ride-through: long
+/// enough for a generator start or an orderly ramp-down, not for operation.
+class Ups {
+public:
+  struct Params {
+    double battery_kwh = 10.0;
+    double recharge_kw = 5.0;
+    /// Batteries age; the §3.4 preventive maintenance replaces them.
+    Seconds battery_service_life = days(4.0 * 365.0);
+  };
+
+  Ups();
+  explicit Ups(Params params);
+
+  bool on_battery() const { return !mains_ok_; }
+  bool output_ok() const { return mains_ok_ || charge_kwh_ > 0.0; }
+  double charge_fraction() const;
+  /// Remaining ride-through at the given load.
+  Seconds runtime_remaining(Watts load) const;
+  /// Battery health in [0,1], declining with age.
+  double battery_health() const;
+
+  void set_mains(bool ok) { mains_ok_ = ok; }
+  void replace_batteries();
+
+  /// Advances charge/discharge at the given load.
+  void step(Seconds dt, Watts load);
+
+private:
+  Params params_;
+  bool mains_ok_ = true;
+  double charge_kwh_;
+  Seconds battery_age_ = 0.0;
+};
+
+}  // namespace hpcqc::facility

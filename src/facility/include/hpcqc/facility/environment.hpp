@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/facility/signal.hpp"
+
+namespace hpcqc::facility {
+
+/// Description of one candidate room for the quantum computer, carrying the
+/// disturbance sources the paper's site-survey experience calls out: trams,
+/// subways, highway traffic, air-conditioning chillers, cellular masts,
+/// fluorescent lighting — and Finnish death metal played at high volume.
+/// Distances <= 0 mean "source not present".
+struct SiteDescription {
+  std::string name;
+
+  // --- Vibration / acoustic sources ---------------------------------------
+  double tram_distance_m = -1.0;
+  double subway_distance_m = -1.0;
+  double highway_distance_m = -1.0;
+  double chiller_distance_m = -1.0;
+  double concert_distance_m = -1.0;  ///< the death-metal scenario
+
+  // --- Electromagnetic sources ---------------------------------------------
+  double cellular_mast_distance_m = 500.0;  ///< rule of thumb: >= 100 m
+  double fluorescent_light_distance_m = 5.0;  ///< rule of thumb: >= 2 m
+  double elevator_distance_m = -1.0;
+  double transformer_distance_m = -1.0;
+
+  // --- Building services ----------------------------------------------------
+  double hvac_setpoint_c = 22.0;
+  /// Half-width of the room-temperature control band (diurnal swing).
+  double hvac_control_band_c = 0.4;
+  double humidity_mean_pct = 45.0;
+  double humidity_swing_pct = 8.0;
+
+  // --- Structure / logistics -------------------------------------------------
+  double floor_capacity_kg_m2 = 1500.0;
+  /// Widths (cm) of every constriction on the delivery path: loading dock,
+  /// elevators, hallways, doorways. All must be >= 90 cm.
+  std::vector<double> delivery_path_widths_cm = {120.0, 110.0, 100.0};
+};
+
+/// Synthesizes the sensor time series a survey team would record in a room,
+/// with source amplitudes scaling with distance. The constants are tuned so
+/// that rooms respecting the paper's rules of thumb (no tram nearby, mast
+/// >= 100 m, lights >= 2 m, tight HVAC) pass Table 1 and rooms violating
+/// them fail the corresponding row.
+class SiteEnvironment {
+public:
+  explicit SiteEnvironment(SiteDescription site);
+
+  const SiteDescription& site() const { return site_; }
+
+  /// 3-axis DC+AC magnetic flux density in tesla, at `sample_rate_hz`.
+  /// Axis 2 (z) carries the vertical geomagnetic component.
+  std::array<Waveform, 3> magnetic_field(Seconds duration,
+                                         double sample_rate_hz,
+                                         Rng& rng) const;
+
+  /// Floor vibration velocity (m/s), single vertical axis.
+  Waveform floor_vibration(Seconds duration, double sample_rate_hz,
+                           Rng& rng) const;
+
+  /// Sound pressure (Pa) at the cryostat location.
+  Waveform sound_pressure(Seconds duration, double sample_rate_hz,
+                          Rng& rng) const;
+
+  /// Room temperature (°C), sampled once per minute.
+  Waveform temperature(Seconds duration, Rng& rng) const;
+
+  /// Relative humidity (%RH), sampled once per minute.
+  Waveform humidity(Seconds duration, Rng& rng) const;
+
+private:
+  SiteDescription site_;
+};
+
+/// The three candidate spaces of the case study's site-selection process:
+/// a purpose-built computer-room annex (passes), a space near the tram line
+/// (fails vibration + AC magnetics), and a basement workshop with poor
+/// climate control and close fluorescent fixtures (fails temperature and
+/// magnetics rows, plus an 85 cm doorway).
+std::vector<SiteDescription> standard_candidate_sites();
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::facility {
+
+/// One task of the on-site installation: quantum computers "are often
+/// assembled on site ... The multi-day (or multi-week) process of assembly
+/// requires bringing components in large wooden crates ... testing hundreds
+/// of factory connected microwave signal lines and ultimately assembling
+/// everything within a production environment" (§2.5).
+struct InstallationTask {
+  std::string name;
+  Seconds duration = days(1.0);
+  /// Indices of tasks that must finish first.
+  std::vector<int> depends_on;
+  /// Specialist crew required (site staff cannot substitute).
+  bool needs_vendor_crew = true;
+};
+
+/// Scheduled view of one task after planning.
+struct ScheduledTask {
+  int index = 0;
+  std::string name;
+  Seconds earliest_start = 0.0;
+  Seconds earliest_finish = 0.0;
+  Seconds slack = 0.0;
+  bool on_critical_path = false;
+};
+
+/// Outcome of planning an installation.
+struct InstallationPlan {
+  std::vector<ScheduledTask> tasks;
+  Seconds makespan = 0.0;
+  /// Task names along the critical path, in order.
+  std::vector<std::string> critical_path;
+  Seconds vendor_crew_days = 0.0;
+
+  void print(std::ostream& os) const;
+};
+
+/// Plans an installation by forward/backward pass over the dependency DAG
+/// (critical-path method). Throws on cycles or bad dependency indices.
+InstallationPlan plan_installation(const std::vector<InstallationTask>& tasks);
+
+/// The reference task list of the 20-qubit system's installation, matching
+/// the §2.5 narrative: crate logistics through a 90 cm path, cryostat
+/// assembly (the 750 kg vessel), signal-line verification (hundreds of
+/// lines), gas-handling hookup, cooldown (2-5 days, a calendar item!) and
+/// commissioning with first calibration + GHZ acceptance.
+std::vector<InstallationTask> reference_installation_tasks();
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::facility {
+
+/// Power-relevant operating state of the quantum computer.
+enum class QcPowerState {
+  kOff,          ///< controller only
+  kCooldown,     ///< cryostat cooling to base — the peak-draw phase
+  kSteady,       ///< operating at 10 mK
+  kMaintenance,  ///< pumps idle, electronics on
+};
+
+const char* to_string(QcPowerState state);
+
+/// Power model of the 20-qubit system (§2.2): control electronics + gas
+/// handling + compressor, with a 30 kW peak during cooldown. Heat leaves
+/// through two paths: room air (electronics racks have no liquid cooling)
+/// and the cooling-water loop (pulse-tube compressor, turbo pumps).
+struct QcPowerModel {
+  Watts controller = kilowatts(1.5);
+  Watts electronics = kilowatts(6.0);
+  Watts cryogenics_steady = kilowatts(9.0);
+  Watts cryogenics_cooldown = kilowatts(22.5);  ///< peak: total hits 30 kW
+
+  Watts draw(QcPowerState state) const;
+  /// Fraction of the draw rejected into room air (electronics share).
+  Watts heat_to_air(QcPowerState state) const;
+  /// Fraction rejected into the cooling-water loop.
+  Watts heat_to_water(QcPowerState state) const;
+};
+
+/// Reference classical-node numbers from the paper's comparison: a Cray
+/// EX4000 cabinet draws up to 141 kVA (~140 kW real) and its cooling
+/// infrastructure supports 1.2 MW across four cabinets (~300 kW/cabinet in
+/// high-density scenarios).
+struct CrayEx4000Reference {
+  double apparent_power_kva = 141.0;
+  double power_factor = 0.99;
+  Watts cooling_capacity_per_cabinet = kilowatts(300.0);
+
+  Watts real_power() const { return kilowatts(apparent_power_kva * power_factor); }
+};
+
+/// One row of the §2.2 comparison table.
+struct PowerComparisonRow {
+  std::string system;
+  std::string phase;
+  double power_kw = 0.0;
+};
+
+/// The comparison the paper draws: the QC at its phases vs. a Cray EX4000
+/// cabinet, demonstrating that "existing HPC centers will have sufficient
+/// electrical power capacity".
+std::vector<PowerComparisonRow> power_comparison(const QcPowerModel& qc,
+                                                 const CrayEx4000Reference& cray);
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::facility {
+
+/// Uniformly sampled real-valued signal (one sensor axis).
+struct Waveform {
+  double sample_rate_hz = 1.0;
+  std::vector<double> samples;
+
+  Seconds duration() const {
+    return static_cast<double>(samples.size()) / sample_rate_hz;
+  }
+
+  /// Adds a sinusoid of given amplitude/frequency/phase in place.
+  void add_sinusoid(double amplitude, double frequency_hz, double phase = 0.0);
+
+  /// Adds white Gaussian noise of the given RMS.
+  void add_white_noise(double rms, Rng& rng);
+
+  /// Adds a constant offset (DC component).
+  void add_dc(double offset);
+
+  /// Adds an exponentially decaying burst (impulse response of a resonance)
+  /// starting at `start`; models passing trams, door slams, etc.
+  void add_burst(double amplitude, double frequency_hz, Seconds start,
+                 Seconds decay);
+
+  double mean() const;
+  double rms() const;
+  double peak_to_peak() const;
+};
+
+/// In-place iterative radix-2 FFT (decimation in time). `data.size()` must
+/// be a power of two.
+void fft(std::span<std::complex<double>> data);
+
+/// Single-bin DFT via the Goertzel algorithm: amplitude of the sinusoidal
+/// component at `frequency_hz` (returns the *amplitude*, i.e. |X_k| * 2/N).
+double goertzel_amplitude(const Waveform& wave, double frequency_hz);
+
+/// One-sided spectrum via Welch-style averaging of Hann-windowed segments.
+/// Returned bins are spaced sample_rate / segment_size apart. Two readings
+/// per bin:
+///  - `amplitude`: sinusoid-equivalent amplitude (coherent-gain / S1
+///    normalization) — read this for "peak-to-peak spectrum amplitude"
+///    style limits;
+///  - `power`: the bin's mean-square contribution (noise-power / S2
+///    normalization) — sum this for band RMS. The DC bin's power is only
+///    approximate under the Hann window.
+struct Spectrum {
+  double bin_width_hz = 0.0;
+  std::vector<double> amplitude;
+  std::vector<double> power;
+
+  double frequency_of(std::size_t bin) const {
+    return static_cast<double>(bin) * bin_width_hz;
+  }
+  /// Largest amplitude among bins within [f_lo, f_hi].
+  double peak_amplitude_in_band(double f_lo, double f_hi) const;
+  /// RMS of the signal content within [f_lo, f_hi].
+  double band_rms(double f_lo, double f_hi) const;
+};
+
+Spectrum compute_spectrum(const Waveform& wave, std::size_t segment_size = 4096);
+
+/// Worst (largest) band RMS over the individual segments of the waveform —
+/// what a survey engineer reads off during a tram pass-by, undiluted by
+/// quiet stretches. Segments are non-overlapping `segment_size` windows.
+double worst_segment_band_rms(const Waveform& wave, double f_lo, double f_hi,
+                              std::size_t segment_size = 4096);
+
+/// IEC 61672 A-weighting gain (linear, not dB) at a frequency.
+double a_weighting(double frequency_hz);
+
+/// A-weighted sound pressure level in dBA integrated over [f_lo, f_hi],
+/// for a waveform in pascal.
+double sound_level_dba(const Waveform& pressure_pa, double f_lo = 20.0,
+                       double f_hi = 20e3);
+
+}  // namespace hpcqc::facility

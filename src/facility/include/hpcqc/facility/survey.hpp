@@ -1,0 +1,106 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/facility/environment.hpp"
+
+namespace hpcqc::facility {
+
+/// The six measurement rows of the paper's Table 1.
+enum class MeasurementKind {
+  kDcMagneticField,
+  kAcMagneticField,
+  kFloorVibration,
+  kSoundPressure,
+  kTemperature,
+  kHumidity,
+};
+
+const char* to_string(MeasurementKind kind);
+
+/// Acceptance limits — defaults are exactly the Table 1 criteria.
+struct AcceptanceLimits {
+  Tesla dc_magnetic_max = microtesla(100.0);          ///< per axis
+  Tesla ac_magnetic_pk_pk_max = microtesla(1.0);      ///< per axis, peak-to-peak
+  double ac_magnetic_band_lo_hz = 5.0;
+  double ac_magnetic_band_hi_hz = 1000.0;
+  MetresPerSecond vibration_rms_max = micrometres_per_second(400.0);
+  double vibration_band_lo_hz = 1.0;
+  double vibration_band_hi_hz = 200.0;
+  double sound_dba_max = 80.0;
+  double sound_band_lo_hz = 20.0;
+  double sound_band_hi_hz = 20e3;
+  double temperature_delta_max_c = 1.0;  ///< ± around set point
+  Seconds temperature_window = hours(12.0);
+  double temperature_setpoint_min_c = 20.0;
+  double temperature_setpoint_max_c = 25.0;
+  double humidity_min_pct = 25.0;
+  double humidity_max_pct = 60.0;
+};
+
+/// Measurement durations. The paper requires >= 25 h for temperature and
+/// humidity "to capture a full cycle of typical building conditions".
+struct SurveyDurations {
+  Seconds magnetic = seconds(60.0);
+  double magnetic_sample_rate_hz = 4096.0;
+  Seconds vibration = minutes(20.0);
+  double vibration_sample_rate_hz = 1024.0;
+  Seconds sound = seconds(30.0);
+  double sound_sample_rate_hz = 44100.0;
+  Seconds climate = hours(25.0);
+};
+
+/// One evaluated row of the acceptance table.
+struct MeasurementResult {
+  MeasurementKind kind = MeasurementKind::kDcMagneticField;
+  double measured = 0.0;        ///< worst-case value in `unit`
+  std::string unit;
+  std::string requirement;      ///< human-readable limit (Table 1 phrasing)
+  bool pass = false;
+};
+
+/// Full outcome of surveying one candidate site, including the
+/// non-instrumented checks (delivery path >= 90 cm, floor load
+/// >= 1000 kg/m², mast >= 100 m, fluorescent lighting >= 2 m).
+struct SurveyReport {
+  std::string site_name;
+  std::vector<MeasurementResult> measurements;
+  double min_delivery_width_cm = 0.0;
+  bool delivery_path_ok = false;
+  double floor_capacity_kg_m2 = 0.0;
+  bool floor_ok = false;
+  bool mast_distance_ok = false;
+  bool lighting_distance_ok = false;
+
+  bool environment_ok() const;
+  bool accepted() const;
+  void print(std::ostream& os) const;
+};
+
+/// Runs the §2.1 site survey against one candidate site: generates the
+/// sensor series, applies the Table 1 spectrum analysis and limits, and
+/// evaluates the logistics rules.
+class SiteSurvey {
+public:
+  explicit SiteSurvey(AcceptanceLimits limits = {}, SurveyDurations durations = {});
+
+  const AcceptanceLimits& limits() const { return limits_; }
+
+  SurveyReport run(const SiteDescription& site, Rng& rng) const;
+
+  /// Picks the first accepted site, in the given order; -1 if none passes.
+  static int select_site(const std::vector<SurveyReport>& reports);
+
+private:
+  AcceptanceLimits limits_;
+  SurveyDurations durations_;
+};
+
+/// Largest half-range (max - min)/2 over any sliding window of the given
+/// length — the "ΔT < ±1 °C within 12 hours" statistic.
+double worst_window_half_range(const Waveform& series, Seconds window);
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,136 @@
+#include "hpcqc/facility/installation.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::facility {
+
+void InstallationPlan::print(std::ostream& os) const {
+  os << "Installation plan (" << to_days(makespan) << " days total, "
+     << to_days(vendor_crew_days) << " vendor-crew task-days):\n";
+  for (const auto& task : tasks) {
+    os << "  [" << (task.on_critical_path ? '*' : ' ') << "] day "
+       << to_days(task.earliest_start) << " - "
+       << to_days(task.earliest_finish) << "  " << task.name;
+    if (task.slack > 0.0) os << " (slack " << to_days(task.slack) << " d)";
+    os << '\n';
+  }
+}
+
+InstallationPlan plan_installation(
+    const std::vector<InstallationTask>& tasks) {
+  expects(!tasks.empty(), "plan_installation: no tasks");
+  const int n = static_cast<int>(tasks.size());
+  for (const auto& task : tasks) {
+    expects(task.duration > 0.0, "plan_installation: task needs a duration");
+    for (int dep : task.depends_on)
+      expects(dep >= 0 && dep < n, "plan_installation: dependency out of range");
+  }
+
+  // Topological order (Kahn) — also detects cycles.
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> dependents(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int dep : tasks[static_cast<std::size_t>(i)].depends_on) {
+      ++in_degree[static_cast<std::size_t>(i)];
+      dependents[static_cast<std::size_t>(dep)].push_back(i);
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i)
+    if (in_degree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  while (!ready.empty()) {
+    const int task = ready.back();
+    ready.pop_back();
+    order.push_back(task);
+    for (int next : dependents[static_cast<std::size_t>(task)])
+      if (--in_degree[static_cast<std::size_t>(next)] == 0)
+        ready.push_back(next);
+  }
+  expects(static_cast<int>(order.size()) == n,
+          "plan_installation: dependency cycle");
+
+  // Forward pass: earliest start/finish.
+  std::vector<Seconds> earliest_start(static_cast<std::size_t>(n), 0.0);
+  std::vector<Seconds> earliest_finish(static_cast<std::size_t>(n), 0.0);
+  for (int task : order) {
+    Seconds start = 0.0;
+    for (int dep : tasks[static_cast<std::size_t>(task)].depends_on)
+      start = std::max(start, earliest_finish[static_cast<std::size_t>(dep)]);
+    earliest_start[static_cast<std::size_t>(task)] = start;
+    earliest_finish[static_cast<std::size_t>(task)] =
+        start + tasks[static_cast<std::size_t>(task)].duration;
+  }
+  const Seconds makespan =
+      *std::max_element(earliest_finish.begin(), earliest_finish.end());
+
+  // Backward pass: latest finish -> slack.
+  std::vector<Seconds> latest_finish(static_cast<std::size_t>(n), makespan);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int task = *it;
+    Seconds latest = makespan;
+    for (int dependent : dependents[static_cast<std::size_t>(task)]) {
+      latest = std::min(
+          latest, latest_finish[static_cast<std::size_t>(dependent)] -
+                      tasks[static_cast<std::size_t>(dependent)].duration);
+    }
+    latest_finish[static_cast<std::size_t>(task)] = latest;
+  }
+
+  InstallationPlan plan;
+  plan.makespan = makespan;
+  for (int i = 0; i < n; ++i) {
+    ScheduledTask scheduled;
+    scheduled.index = i;
+    scheduled.name = tasks[static_cast<std::size_t>(i)].name;
+    scheduled.earliest_start = earliest_start[static_cast<std::size_t>(i)];
+    scheduled.earliest_finish = earliest_finish[static_cast<std::size_t>(i)];
+    scheduled.slack = latest_finish[static_cast<std::size_t>(i)] -
+                      earliest_finish[static_cast<std::size_t>(i)];
+    scheduled.on_critical_path = scheduled.slack < 1e-9;
+    plan.tasks.push_back(std::move(scheduled));
+    if (tasks[static_cast<std::size_t>(i)].needs_vendor_crew)
+      plan.vendor_crew_days += tasks[static_cast<std::size_t>(i)].duration;
+  }
+
+  // Critical path in start order.
+  std::vector<const ScheduledTask*> critical;
+  for (const auto& task : plan.tasks)
+    if (task.on_critical_path) critical.push_back(&task);
+  std::sort(critical.begin(), critical.end(),
+            [](const ScheduledTask* a, const ScheduledTask* b) {
+              return a->earliest_start < b->earliest_start;
+            });
+  for (const auto* task : critical) plan.critical_path.push_back(task->name);
+  return plan;
+}
+
+std::vector<InstallationTask> reference_installation_tasks() {
+  // Indices are load-bearing (depends_on refers to them).
+  return {
+      /*0*/ {"site preparation (power, water, network drops)", days(3.0),
+             {}, false},
+      /*1*/ {"crate delivery through the 90 cm path", days(1.0), {0}, false},
+      /*2*/ {"frame and cryostat assembly (750 kg vessel)", days(3.0), {1},
+             true},
+      /*3*/ {"chandelier installation and QPU mounting", days(2.0), {2},
+             true},
+      /*4*/ {"microwave signal-line verification (hundreds of lines)",
+             days(3.0), {3}, true},
+      /*5*/ {"control-electronics rack installation", days(1.0), {1}, true},
+      /*6*/ {"gas handling system hookup and leak checks", days(2.0), {2},
+             true},
+      /*7*/ {"cabling cryostat to electronics", days(1.0), {4, 5}, true},
+      /*8*/ {"vacuum pump-down", days(1.0), {4, 6}, true},
+      /*9*/ {"initial cooldown to base temperature", days(3.0), {7, 8},
+             false},
+      /*10*/ {"first full calibration", days(1.0), {9}, true},
+      /*11*/ {"GHZ acceptance benchmarks and handover", days(1.0), {10},
+              true},
+  };
+}
+
+}  // namespace hpcqc::facility

@@ -1,0 +1,55 @@
+#include "hpcqc/facility/power.hpp"
+
+namespace hpcqc::facility {
+
+const char* to_string(QcPowerState state) {
+  switch (state) {
+    case QcPowerState::kOff: return "off";
+    case QcPowerState::kCooldown: return "cooldown";
+    case QcPowerState::kSteady: return "steady";
+    case QcPowerState::kMaintenance: return "maintenance";
+  }
+  return "?";
+}
+
+Watts QcPowerModel::draw(QcPowerState state) const {
+  switch (state) {
+    case QcPowerState::kOff: return controller;
+    case QcPowerState::kCooldown:
+      return controller + electronics + cryogenics_cooldown;
+    case QcPowerState::kSteady:
+      return controller + electronics + cryogenics_steady;
+    case QcPowerState::kMaintenance: return controller + electronics;
+  }
+  return 0.0;
+}
+
+Watts QcPowerModel::heat_to_air(QcPowerState state) const {
+  switch (state) {
+    case QcPowerState::kOff: return controller;
+    case QcPowerState::kCooldown:
+    case QcPowerState::kSteady:
+    case QcPowerState::kMaintenance: return controller + electronics;
+  }
+  return 0.0;
+}
+
+Watts QcPowerModel::heat_to_water(QcPowerState state) const {
+  return draw(state) - heat_to_air(state);
+}
+
+std::vector<PowerComparisonRow> power_comparison(
+    const QcPowerModel& qc, const CrayEx4000Reference& cray) {
+  return {
+      {"20-qubit QC", "cooldown (peak)",
+       to_kilowatts(qc.draw(QcPowerState::kCooldown))},
+      {"20-qubit QC", "steady operation",
+       to_kilowatts(qc.draw(QcPowerState::kSteady))},
+      {"Cray EX4000 cabinet", "standard configuration",
+       to_kilowatts(cray.real_power())},
+      {"Cray EX4000 cabinet", "cooling capacity (high density)",
+       to_kilowatts(cray.cooling_capacity_per_cabinet)},
+  };
+}
+
+}  // namespace hpcqc::facility

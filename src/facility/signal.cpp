@@ -1,0 +1,221 @@
+#include "hpcqc/facility/signal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/stats.hpp"
+
+namespace hpcqc::facility {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void Waveform::add_sinusoid(double amplitude, double frequency_hz,
+                            double phase) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    samples[i] += amplitude * std::sin(kTwoPi * frequency_hz * t + phase);
+  }
+}
+
+void Waveform::add_white_noise(double rms_level, Rng& rng) {
+  for (auto& sample : samples) sample += rms_level * rng.normal();
+}
+
+void Waveform::add_dc(double offset) {
+  for (auto& sample : samples) sample += offset;
+}
+
+void Waveform::add_burst(double amplitude, double frequency_hz, Seconds start,
+                         Seconds decay) {
+  expects(decay > 0.0, "add_burst: decay must be positive");
+  const auto start_index =
+      static_cast<std::size_t>(std::max(0.0, start) * sample_rate_hz);
+  for (std::size_t i = start_index; i < samples.size(); ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz - start;
+    const double envelope = std::exp(-t / decay);
+    if (envelope < 1e-4) break;
+    samples[i] += amplitude * envelope * std::sin(kTwoPi * frequency_hz * t);
+  }
+}
+
+double Waveform::mean() const { return hpcqc::mean(samples); }
+double Waveform::rms() const { return hpcqc::rms(samples); }
+
+double Waveform::peak_to_peak() const {
+  if (samples.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  return *hi - *lo;
+}
+
+void fft(std::span<std::complex<double>> data) {
+  const std::size_t n = data.size();
+  expects(n > 0 && std::has_single_bit(n), "fft: size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+double goertzel_amplitude(const Waveform& wave, double frequency_hz) {
+  const std::size_t n = wave.samples.size();
+  expects(n > 0, "goertzel: empty waveform");
+  const double k =
+      std::round(frequency_hz / wave.sample_rate_hz * static_cast<double>(n));
+  const double omega = kTwoPi * k / static_cast<double>(n);
+  const double coeff = 2.0 * std::cos(omega);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (double x : wave.samples) {
+    const double s = x + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double power =
+      s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2;
+  const double magnitude = std::sqrt(std::max(0.0, power));
+  return 2.0 * magnitude / static_cast<double>(n);
+}
+
+double Spectrum::peak_amplitude_in_band(double f_lo, double f_hi) const {
+  double peak = 0.0;
+  for (std::size_t bin = 0; bin < amplitude.size(); ++bin) {
+    const double f = frequency_of(bin);
+    if (f >= f_lo && f <= f_hi) peak = std::max(peak, amplitude[bin]);
+  }
+  return peak;
+}
+
+double Spectrum::band_rms(double f_lo, double f_hi) const {
+  double total = 0.0;
+  for (std::size_t bin = 0; bin < power.size(); ++bin) {
+    const double f = frequency_of(bin);
+    if (f >= f_lo && f <= f_hi) total += power[bin];
+  }
+  return std::sqrt(total);
+}
+
+Spectrum compute_spectrum(const Waveform& wave, std::size_t segment_size) {
+  expects(std::has_single_bit(segment_size),
+          "compute_spectrum: segment size must be a power of two");
+  expects(wave.samples.size() >= segment_size,
+          "compute_spectrum: waveform shorter than one segment");
+
+  const std::size_t half = segment_size / 2;
+  std::vector<double> amp_sq_acc(half + 1, 0.0);
+  std::vector<double> power_acc(half + 1, 0.0);
+  std::size_t segments = 0;
+
+  // Hann window with its coherent gain (S1, amplitude normalization) and
+  // noise gain (S2, power normalization).
+  std::vector<double> window(segment_size);
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (std::size_t i = 0; i < segment_size; ++i) {
+    window[i] = 0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(i) /
+                                      static_cast<double>(segment_size - 1)));
+    s1 += window[i];
+    s2 += window[i] * window[i];
+  }
+
+  std::vector<std::complex<double>> buffer(segment_size);
+  for (std::size_t start = 0; start + segment_size <= wave.samples.size();
+       start += half) {  // 50 % overlap
+    for (std::size_t i = 0; i < segment_size; ++i)
+      buffer[i] = wave.samples[start + i] * window[i];
+    fft(buffer);
+    for (std::size_t bin = 0; bin <= half; ++bin) {
+      const double scale = (bin == 0 || bin == half) ? 1.0 : 2.0;
+      const double mag_sq = std::norm(buffer[bin]);
+      // Sinusoid amplitude estimate: scale * |X| / S1.
+      amp_sq_acc[bin] += scale * scale * mag_sq / (s1 * s1);
+      // Mean-square (band power) contribution: scale * |X|^2 / (N * S2).
+      power_acc[bin] +=
+          scale * mag_sq / (static_cast<double>(segment_size) * s2);
+    }
+    ++segments;
+  }
+
+  Spectrum spectrum;
+  spectrum.bin_width_hz =
+      wave.sample_rate_hz / static_cast<double>(segment_size);
+  spectrum.amplitude.resize(half + 1);
+  spectrum.power.resize(half + 1);
+  for (std::size_t bin = 0; bin <= half; ++bin) {
+    spectrum.amplitude[bin] =
+        std::sqrt(amp_sq_acc[bin] / static_cast<double>(segments));
+    spectrum.power[bin] = power_acc[bin] / static_cast<double>(segments);
+  }
+  return spectrum;
+}
+
+double worst_segment_band_rms(const Waveform& wave, double f_lo, double f_hi,
+                              std::size_t segment_size) {
+  expects(wave.samples.size() >= segment_size,
+          "worst_segment_band_rms: waveform shorter than one segment");
+  double worst = 0.0;
+  Waveform segment;
+  segment.sample_rate_hz = wave.sample_rate_hz;
+  for (std::size_t start = 0; start + segment_size <= wave.samples.size();
+       start += segment_size) {
+    segment.samples.assign(wave.samples.begin() + static_cast<long>(start),
+                           wave.samples.begin() +
+                               static_cast<long>(start + segment_size));
+    const Spectrum spectrum = compute_spectrum(segment, segment_size);
+    worst = std::max(worst, spectrum.band_rms(f_lo, f_hi));
+  }
+  return worst;
+}
+
+double a_weighting(double frequency_hz) {
+  // IEC 61672 analog A-weighting magnitude response.
+  const double f2 = frequency_hz * frequency_hz;
+  const double c1 = 20.598997 * 20.598997;
+  const double c2 = 107.65265 * 107.65265;
+  const double c3 = 737.86223 * 737.86223;
+  const double c4 = 12194.217 * 12194.217;
+  const double numerator = c4 * f2 * f2;
+  const double denominator = (f2 + c1) * std::sqrt((f2 + c2) * (f2 + c3)) *
+                             (f2 + c4);
+  if (denominator == 0.0) return 0.0;
+  // Normalized to unity gain at 1 kHz (the 1.9997 dB constant).
+  return numerator / denominator * std::pow(10.0, 1.9997 / 20.0);
+}
+
+double sound_level_dba(const Waveform& pressure_pa, double f_lo, double f_hi) {
+  const std::size_t segment = std::min<std::size_t>(
+      8192, std::bit_floor(pressure_pa.samples.size()));
+  const Spectrum spectrum = compute_spectrum(pressure_pa, segment);
+  double power = 0.0;
+  for (std::size_t bin = 1; bin < spectrum.power.size(); ++bin) {
+    const double f = spectrum.frequency_of(bin);
+    if (f < f_lo || f > f_hi) continue;
+    const double gain = a_weighting(f);
+    power += spectrum.power[bin] * gain * gain;
+  }
+  return pascal_to_db_spl(std::sqrt(power));
+}
+
+}  // namespace hpcqc::facility

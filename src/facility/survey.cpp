@@ -1,0 +1,186 @@
+#include "hpcqc/facility/survey.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::facility {
+
+const char* to_string(MeasurementKind kind) {
+  switch (kind) {
+    case MeasurementKind::kDcMagneticField: return "DC magnetic field";
+    case MeasurementKind::kAcMagneticField: return "AC magnetic field";
+    case MeasurementKind::kFloorVibration: return "Floor vibrations";
+    case MeasurementKind::kSoundPressure: return "Sound pressure";
+    case MeasurementKind::kTemperature: return "Temperature";
+    case MeasurementKind::kHumidity: return "Humidity";
+  }
+  return "?";
+}
+
+bool SurveyReport::environment_ok() const {
+  return std::all_of(measurements.begin(), measurements.end(),
+                     [](const MeasurementResult& m) { return m.pass; });
+}
+
+bool SurveyReport::accepted() const {
+  return environment_ok() && delivery_path_ok && floor_ok &&
+         mast_distance_ok && lighting_distance_ok;
+}
+
+void SurveyReport::print(std::ostream& os) const {
+  os << "Site survey: " << site_name << '\n';
+  for (const auto& m : measurements) {
+    os << "  " << std::left << std::setw(18) << to_string(m.kind)
+       << " measured " << std::setw(12)
+       << (std::ostringstream{} << std::fixed << std::setprecision(3)
+                                << m.measured << ' ' << m.unit)
+              .str()
+       << " requirement: " << std::setw(40) << m.requirement << "  ["
+       << (m.pass ? "PASS" : "FAIL") << "]\n";
+  }
+  os << "  delivery path     min width " << min_delivery_width_cm
+     << " cm (>= 90 cm)                          ["
+     << (delivery_path_ok ? "PASS" : "FAIL") << "]\n";
+  os << "  floor load        capacity " << floor_capacity_kg_m2
+     << " kg/m2 (>= 1000 kg/m2)                 ["
+     << (floor_ok ? "PASS" : "FAIL") << "]\n";
+  os << "  cellular mast     " << (mast_distance_ok ? "PASS" : "FAIL")
+     << " (>= 100 m)\n";
+  os << "  fluorescent light " << (lighting_distance_ok ? "PASS" : "FAIL")
+     << " (>= 2 m)\n";
+  os << "  => site " << (accepted() ? "ACCEPTED" : "REJECTED") << '\n';
+}
+
+double worst_window_half_range(const Waveform& series, Seconds window) {
+  expects(!series.samples.empty(), "worst_window_half_range: empty series");
+  const auto window_samples = std::max<std::size_t>(
+      1, static_cast<std::size_t>(window * series.sample_rate_hz));
+  // Monotone deques for sliding-window min and max.
+  std::deque<std::size_t> max_dq;
+  std::deque<std::size_t> min_dq;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < series.samples.size(); ++i) {
+    while (!max_dq.empty() &&
+           series.samples[max_dq.back()] <= series.samples[i])
+      max_dq.pop_back();
+    max_dq.push_back(i);
+    while (!min_dq.empty() &&
+           series.samples[min_dq.back()] >= series.samples[i])
+      min_dq.pop_back();
+    min_dq.push_back(i);
+    if (i + 1 >= window_samples) {
+      const std::size_t lo = i + 1 - window_samples;
+      while (max_dq.front() < lo) max_dq.pop_front();
+      while (min_dq.front() < lo) min_dq.pop_front();
+      worst = std::max(worst, 0.5 * (series.samples[max_dq.front()] -
+                                     series.samples[min_dq.front()]));
+    }
+  }
+  if (series.samples.size() < window_samples) {
+    // Shorter capture than the window: evaluate what we have.
+    const auto [lo, hi] =
+        std::minmax_element(series.samples.begin(), series.samples.end());
+    worst = 0.5 * (*hi - *lo);
+  }
+  return worst;
+}
+
+SiteSurvey::SiteSurvey(AcceptanceLimits limits, SurveyDurations durations)
+    : limits_(limits), durations_(durations) {}
+
+SurveyReport SiteSurvey::run(const SiteDescription& site, Rng& rng) const {
+  const SiteEnvironment environment(site);
+  SurveyReport report;
+  report.site_name = site.name;
+
+  // --- Magnetics: one 3-axis fluxgate capture covers DC and AC rows. ------
+  const auto field = environment.magnetic_field(
+      durations_.magnetic, durations_.magnetic_sample_rate_hz, rng);
+  double worst_dc = 0.0;
+  double worst_ac_pk_pk = 0.0;
+  for (const auto& axis : field) {
+    worst_dc = std::max(worst_dc, std::abs(axis.mean()));
+    const Spectrum spectrum = compute_spectrum(axis);
+    worst_ac_pk_pk =
+        std::max(worst_ac_pk_pk,
+                 2.0 * spectrum.peak_amplitude_in_band(
+                           limits_.ac_magnetic_band_lo_hz,
+                           limits_.ac_magnetic_band_hi_hz));
+  }
+  report.measurements.push_back(
+      {MeasurementKind::kDcMagneticField, to_microtesla(worst_dc), "uT",
+       "< 100 uT for each of the axes",
+       worst_dc < limits_.dc_magnetic_max});
+  report.measurements.push_back(
+      {MeasurementKind::kAcMagneticField, to_microtesla(worst_ac_pk_pk), "uT pk-pk",
+       "< 1 uT peak-to-peak, 5 Hz - 1000 Hz",
+       worst_ac_pk_pk < limits_.ac_magnetic_pk_pk_max});
+
+  // --- Floor vibration --------------------------------------------------------
+  // Vibration is evaluated on the worst analysis segment: pass-by events
+  // must not be averaged away by quiet stretches of the capture.
+  const Waveform vibration = environment.floor_vibration(
+      durations_.vibration, durations_.vibration_sample_rate_hz, rng);
+  const double vib_rms = worst_segment_band_rms(
+      vibration, limits_.vibration_band_lo_hz, limits_.vibration_band_hi_hz);
+  report.measurements.push_back(
+      {MeasurementKind::kFloorVibration, to_micrometres_per_second(vib_rms),
+       "um/s RMS", "< 400 um/s RMS, 1 Hz - 200 Hz",
+       vib_rms < limits_.vibration_rms_max});
+
+  // --- Sound pressure ----------------------------------------------------------
+  const Waveform sound = environment.sound_pressure(
+      durations_.sound, durations_.sound_sample_rate_hz, rng);
+  const double dba =
+      sound_level_dba(sound, limits_.sound_band_lo_hz, limits_.sound_band_hi_hz);
+  report.measurements.push_back({MeasurementKind::kSoundPressure, dba, "dBA",
+                                 "< 80 dBA, 20 Hz - 20 kHz",
+                                 dba < limits_.sound_dba_max});
+
+  // --- Temperature -------------------------------------------------------------
+  const Waveform temp = environment.temperature(durations_.climate, rng);
+  const double worst_delta =
+      worst_window_half_range(temp, limits_.temperature_window);
+  const double setpoint = temp.mean();
+  const bool temp_ok = worst_delta < limits_.temperature_delta_max_c &&
+                       setpoint >= limits_.temperature_setpoint_min_c &&
+                       setpoint <= limits_.temperature_setpoint_max_c;
+  report.measurements.push_back(
+      {MeasurementKind::kTemperature, worst_delta, "degC half-range/12h",
+       "dT < +-1 degC within 12 h, set point 20-25 degC", temp_ok});
+
+  // --- Humidity ------------------------------------------------------------------
+  const Waveform humidity = environment.humidity(durations_.climate, rng);
+  const auto [h_lo_it, h_hi_it] = std::minmax_element(
+      humidity.samples.begin(), humidity.samples.end());
+  const bool humidity_ok = *h_lo_it >= limits_.humidity_min_pct &&
+                           *h_hi_it <= limits_.humidity_max_pct;
+  report.measurements.push_back({MeasurementKind::kHumidity, *h_hi_it, "%RH max",
+                                 "25 - 60 %RH, non-condensing", humidity_ok});
+
+  // --- Logistics rules ------------------------------------------------------------
+  report.min_delivery_width_cm =
+      site.delivery_path_widths_cm.empty()
+          ? 0.0
+          : *std::min_element(site.delivery_path_widths_cm.begin(),
+                              site.delivery_path_widths_cm.end());
+  report.delivery_path_ok = report.min_delivery_width_cm >= 90.0;
+  report.floor_capacity_kg_m2 = site.floor_capacity_kg_m2;
+  report.floor_ok = site.floor_capacity_kg_m2 >= 1000.0;
+  report.mast_distance_ok = site.cellular_mast_distance_m >= 100.0;
+  report.lighting_distance_ok = site.fluorescent_light_distance_m >= 2.0;
+  return report;
+}
+
+int SiteSurvey::select_site(const std::vector<SurveyReport>& reports) {
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    if (reports[i].accepted()) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace hpcqc::facility

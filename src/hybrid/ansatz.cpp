@@ -1,0 +1,66 @@
+#include "hpcqc/hybrid/ansatz.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::hybrid {
+
+HardwareEfficientAnsatz::HardwareEfficientAnsatz(int num_qubits, int layers)
+    : num_qubits_(num_qubits), layers_(layers) {
+  expects(num_qubits >= 1, "ansatz: need at least one qubit");
+  expects(layers >= 0, "ansatz: layer count cannot be negative");
+}
+
+std::size_t HardwareEfficientAnsatz::parameter_count() const {
+  return static_cast<std::size_t>((layers_ + 1) * 2 * num_qubits_);
+}
+
+circuit::Circuit HardwareEfficientAnsatz::bind(
+    std::span<const double> params) const {
+  expects(params.size() == parameter_count(),
+          "ansatz::bind: wrong parameter count");
+  circuit::Circuit circuit(num_qubits_);
+  std::size_t p = 0;
+  const auto rotation_layer = [&] {
+    for (int q = 0; q < num_qubits_; ++q) {
+      circuit.ry(params[p++], q);
+      circuit.rz(params[p++], q);
+    }
+  };
+  for (int layer = 0; layer < layers_; ++layer) {
+    rotation_layer();
+    for (int q = 0; q + 1 < num_qubits_; ++q) circuit.cz(q, q + 1);
+  }
+  rotation_layer();
+  return circuit;
+}
+
+QaoaAnsatz::QaoaAnsatz(int num_qubits, std::vector<std::pair<int, int>> edges,
+                       int depth)
+    : num_qubits_(num_qubits), edges_(std::move(edges)), depth_(depth) {
+  expects(num_qubits >= 2, "QaoaAnsatz: need at least two qubits");
+  expects(depth >= 1, "QaoaAnsatz: depth must be positive");
+  for (const auto& [a, b] : edges_)
+    expects(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits && a != b,
+            "QaoaAnsatz: invalid edge");
+}
+
+circuit::Circuit QaoaAnsatz::bind(std::span<const double> params) const {
+  expects(params.size() == parameter_count(),
+          "QaoaAnsatz::bind: wrong parameter count");
+  circuit::Circuit circuit(num_qubits_);
+  for (int q = 0; q < num_qubits_; ++q) circuit.h(q);
+  for (int layer = 0; layer < depth_; ++layer) {
+    const double gamma = params[static_cast<std::size_t>(2 * layer)];
+    const double beta = params[static_cast<std::size_t>(2 * layer + 1)];
+    for (const auto& [a, b] : edges_) {
+      // exp(-i gamma/2 Z_a Z_b) = CX(a,b) RZ_b(gamma) CX(a,b)
+      circuit.cx(a, b);
+      circuit.rz(gamma, b);
+      circuit.cx(a, b);
+    }
+    for (int q = 0; q < num_qubits_; ++q) circuit.rx(2.0 * beta, q);
+  }
+  return circuit;
+}
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+
+#include "hpcqc/circuit/circuit.hpp"
+
+namespace hpcqc::hybrid {
+
+/// Hardware-efficient variational ansatz: `layers` repetitions of per-qubit
+/// RY+RZ rotations followed by a CZ entangling chain, with a final rotation
+/// layer. Parameter count = (layers + 1) * 2 * qubits.
+class HardwareEfficientAnsatz {
+public:
+  HardwareEfficientAnsatz(int num_qubits, int layers);
+
+  int num_qubits() const { return num_qubits_; }
+  int layers() const { return layers_; }
+  std::size_t parameter_count() const;
+
+  /// Builds the circuit for one parameter vector (no measurement appended).
+  circuit::Circuit bind(std::span<const double> params) const;
+
+private:
+  int num_qubits_;
+  int layers_;
+};
+
+/// QAOA ansatz for a ZZ-cost problem: alternating cost layers
+/// exp(-i gamma/2 * Z_a Z_b) per edge (compiled as CX-RZ-CX) and mixer
+/// layers RX(beta). Parameter vector = (gamma_1, beta_1, ..., gamma_p,
+/// beta_p).
+class QaoaAnsatz {
+public:
+  QaoaAnsatz(int num_qubits, std::vector<std::pair<int, int>> edges,
+             int depth);
+
+  int num_qubits() const { return num_qubits_; }
+  int depth() const { return depth_; }
+  std::size_t parameter_count() const {
+    return 2 * static_cast<std::size_t>(depth_);
+  }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  circuit::Circuit bind(std::span<const double> params) const;
+
+private:
+  int num_qubits_;
+  std::vector<std::pair<int, int>> edges_;
+  int depth_;
+};
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+
+namespace hpcqc::hybrid {
+
+/// Objective to minimize.
+using Objective = std::function<double(std::span<const double>)>;
+
+/// Outcome of an optimization run.
+struct OptimizationResult {
+  std::vector<double> best_params;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  std::vector<double> history;  ///< best-so-far value per iteration
+};
+
+/// Simultaneous Perturbation Stochastic Approximation — the standard
+/// optimizer for shot-noise objectives in tight-loop VQE (two objective
+/// evaluations per iteration regardless of dimension).
+class SpsaOptimizer {
+public:
+  struct Options {
+    std::size_t iterations = 150;
+    double a = 0.2;        ///< step-size numerator
+    double c = 0.15;       ///< perturbation size
+    double alpha = 0.602;  ///< step-size decay exponent
+    double gamma = 0.101;  ///< perturbation decay exponent
+    double stability = 10.0;
+  };
+
+  SpsaOptimizer();
+  explicit SpsaOptimizer(Options options);
+
+  OptimizationResult minimize(const Objective& objective,
+                              std::vector<double> initial, Rng& rng) const;
+
+private:
+  Options options_;
+};
+
+/// Nelder-Mead downhill simplex for smooth (exact-simulation) objectives.
+class NelderMeadOptimizer {
+public:
+  struct Options {
+    std::size_t max_evaluations = 2000;
+    double initial_step = 0.5;
+    double tolerance = 1e-9;
+  };
+
+  NelderMeadOptimizer();
+  explicit NelderMeadOptimizer(Options options);
+
+  OptimizationResult minimize(const Objective& objective,
+                              std::vector<double> initial) const;
+
+private:
+  Options options_;
+};
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/qsim/counts.hpp"
+#include "hpcqc/qsim/state_vector.hpp"
+
+namespace hpcqc::hybrid {
+
+/// A tensor product of single-qubit Paulis, e.g. "XIZY" (qubit 0 is the
+/// first character).
+class PauliString {
+public:
+  PauliString() = default;
+  /// From a label like "XXIZ"; characters in {I, X, Y, Z}.
+  explicit PauliString(const std::string& label);
+
+  int num_qubits() const { return static_cast<int>(ops_.size()); }
+  char op(int qubit) const;
+  const std::string& label() const { return ops_; }
+
+  bool is_identity() const;
+  /// Mask of qubits carrying a non-identity Pauli.
+  std::uint64_t support() const;
+  /// Mask of qubits carrying Z after basis rotation (== support()).
+  std::uint64_t z_mask_after_rotation() const { return support(); }
+
+  /// The X/Y pattern that determines the measurement basis; two strings
+  /// with equal basis keys can share one measurement circuit.
+  std::string basis_key() const;
+
+  /// Appends the basis-change gates (H for X, Sdg+H for Y) to `circuit`.
+  void append_basis_rotation(circuit::Circuit& circuit) const;
+
+  /// <state| P |state> computed exactly.
+  double expectation(const qsim::StateVector& state) const;
+
+  /// Expectation from Z-basis counts measured AFTER append_basis_rotation
+  /// was applied (full-register measurement assumed).
+  double expectation_from_counts(const qsim::Counts& counts) const;
+
+  bool operator==(const PauliString&) const = default;
+
+private:
+  std::string ops_;  // one of I/X/Y/Z per qubit
+};
+
+/// One weighted term of an observable.
+struct PauliTerm {
+  double coefficient = 0.0;
+  PauliString pauli;
+};
+
+/// A Hermitian observable as a weighted Pauli sum — what the Fig. 2
+/// adapters submit as "a Hamiltonian description".
+class Hamiltonian {
+public:
+  explicit Hamiltonian(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  std::size_t term_count() const { return terms_.size(); }
+
+  /// Adds coefficient * pauli (label length must match the register).
+  void add_term(double coefficient, const std::string& label);
+
+  /// Constant (identity) offset of the observable.
+  double identity_offset() const;
+
+  /// Exact expectation value on a pure state.
+  double expectation(const qsim::StateVector& state) const;
+
+  /// Ground-state energy via power iteration on (shift*I - H); exact to
+  /// `tolerance` for the small systems used in chemistry examples.
+  double ground_state_energy(int iterations = 2000) const;
+
+  /// Terms grouped by shared measurement basis (qubit-wise commuting
+  /// groups) — one QPU circuit per group instead of per term.
+  std::vector<std::vector<PauliTerm>> measurement_groups() const;
+
+private:
+  int num_qubits_;
+  std::vector<PauliTerm> terms_;
+};
+
+/// The textbook 2-qubit reduced H2 Hamiltonian at the equilibrium bond
+/// length (0.7414 Angstrom, parity mapping with symmetry reduction);
+/// ground energy -1.8572750 Ha.
+Hamiltonian h2_hamiltonian();
+
+/// MaxCut cost observable sum over edges of 0.5*(I - Z_a Z_b); its maximum
+/// expectation equals the maximum cut size.
+Hamiltonian maxcut_hamiltonian(int num_qubits,
+                               const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "hpcqc/hybrid/ansatz.hpp"
+#include "hpcqc/hybrid/optimizer.hpp"
+#include "hpcqc/hybrid/pauli.hpp"
+#include "hpcqc/hybrid/vqe.hpp"
+
+namespace hpcqc::hybrid {
+
+/// Options of the QAOA driver.
+struct QaoaOptions {
+  int depth = 2;
+  std::size_t shots = 2000;
+  SpsaOptimizer::Options spsa;
+};
+
+/// QAOA for MaxCut — the combinatorial-optimization workload class the
+/// paper's introduction motivates.
+class QaoaMaxCut {
+public:
+  struct Result {
+    double expected_cut = 0.0;   ///< <C> at the optimum
+    std::uint64_t best_bitstring = 0;
+    double best_cut = 0.0;       ///< cut value of the best sampled string
+    std::vector<double> parameters;
+    std::size_t circuits_run = 0;
+  };
+
+  QaoaMaxCut(int num_qubits, std::vector<std::pair<int, int>> edges,
+             QaoaOptions options = {});
+
+  const Hamiltonian& cost() const { return cost_; }
+
+  /// Cut size of one assignment.
+  double cut_value(std::uint64_t bitstring) const;
+
+  /// Optimizes the angles through the runner and samples the best cut.
+  Result run(const CircuitRunner& runner, Rng& rng) const;
+
+private:
+  int num_qubits_;
+  std::vector<std::pair<int, int>> edges_;
+  QaoaOptions options_;
+  QaoaAnsatz ansatz_;
+  Hamiltonian cost_;
+};
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "hpcqc/hybrid/ansatz.hpp"
+#include "hpcqc/hybrid/optimizer.hpp"
+#include "hpcqc/hybrid/pauli.hpp"
+
+namespace hpcqc::hybrid {
+
+/// Backend hook executing one measured circuit — in production this is the
+/// MQSS client's tightly-coupled HPC path; in tests it can be the exact
+/// simulator. The circuit arrives with basis rotations and a terminal
+/// measure-all already appended.
+using CircuitRunner =
+    std::function<qsim::Counts(const circuit::Circuit& circuit,
+                               std::size_t shots)>;
+
+/// Estimates <H> on the state prepared by `preparation` (a measurement-free
+/// circuit) through a backend runner: one measured circuit per qubit-wise-
+/// commuting group of the observable. This is the "Hamiltonian description"
+/// submission path of the Fig. 2 adapters, usable standalone or inside VQE.
+double estimate_expectation(const Hamiltonian& observable,
+                            const circuit::Circuit& preparation,
+                            const CircuitRunner& runner,
+                            std::size_t shots_per_group);
+
+/// Options of the VQE driver.
+struct VqeOptions {
+  std::size_t shots_per_group = 2000;
+  SpsaOptimizer::Options spsa;
+  /// Use Nelder-Mead instead of SPSA (suited to exact objectives).
+  bool use_nelder_mead = false;
+  NelderMeadOptimizer::Options nelder_mead;
+};
+
+/// Variational Quantum Eigensolver — the paper's canonical example of a
+/// workload that "demand[s] ... quantum operations ... executed within a
+/// tightly-coupled, low-latency loop" (§2.6): every optimizer iteration
+/// submits circuits and consumes expectation values.
+class VqeDriver {
+public:
+  struct Result {
+    double energy = 0.0;
+    std::vector<double> parameters;
+    std::size_t objective_evaluations = 0;
+    std::size_t circuits_run = 0;
+    std::size_t total_shots = 0;
+    std::vector<double> convergence;  ///< best energy per iteration
+  };
+
+  VqeDriver(Hamiltonian hamiltonian, HardwareEfficientAnsatz ansatz,
+            VqeOptions options = {});
+
+  const Hamiltonian& hamiltonian() const { return hamiltonian_; }
+
+  /// Energy of one parameter vector through the runner (grouped
+  /// measurements, one circuit per qubit-wise-commuting group).
+  double energy(std::span<const double> params, const CircuitRunner& runner,
+                std::size_t shots) const;
+
+  /// Exact energy (statevector) of one parameter vector — the noiseless
+  /// digital-twin path used for onboarding and verification.
+  double exact_energy(std::span<const double> params) const;
+
+  /// Full optimization through the runner (pass nullptr to optimize the
+  /// exact objective).
+  Result run(const CircuitRunner& runner, Rng& rng) const;
+
+private:
+  Hamiltonian hamiltonian_;
+  HardwareEfficientAnsatz ansatz_;
+  VqeOptions options_;
+  mutable std::size_t circuits_run_ = 0;
+};
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,160 @@
+#include "hpcqc/hybrid/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::hybrid {
+
+SpsaOptimizer::SpsaOptimizer() : SpsaOptimizer(Options{}) {}
+
+SpsaOptimizer::SpsaOptimizer(Options options) : options_(options) {
+  expects(options_.iterations > 0, "SPSA: need at least one iteration");
+}
+
+OptimizationResult SpsaOptimizer::minimize(const Objective& objective,
+                                           std::vector<double> initial,
+                                           Rng& rng) const {
+  expects(!initial.empty(), "SPSA: empty parameter vector");
+  const std::size_t dim = initial.size();
+  std::vector<double> params = std::move(initial);
+  std::vector<double> plus(dim);
+  std::vector<double> minus(dim);
+  std::vector<double> delta(dim);
+
+  OptimizationResult result;
+  result.best_params = params;
+  result.best_value = objective(params);
+  result.evaluations = 1;
+
+  for (std::size_t k = 0; k < options_.iterations; ++k) {
+    const double ak =
+        options_.a /
+        std::pow(static_cast<double>(k) + 1.0 + options_.stability,
+                 options_.alpha);
+    const double ck =
+        options_.c / std::pow(static_cast<double>(k) + 1.0, options_.gamma);
+
+    for (std::size_t i = 0; i < dim; ++i) {
+      delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;  // Rademacher
+      plus[i] = params[i] + ck * delta[i];
+      minus[i] = params[i] - ck * delta[i];
+    }
+    const double f_plus = objective(plus);
+    const double f_minus = objective(minus);
+    result.evaluations += 2;
+
+    const double scale = (f_plus - f_minus) / (2.0 * ck);
+    for (std::size_t i = 0; i < dim; ++i)
+      params[i] -= ak * scale / delta[i];
+
+    const double current = std::min(f_plus, f_minus);
+    if (current < result.best_value) {
+      result.best_value = current;
+      result.best_params = (f_plus < f_minus) ? plus : minus;
+    }
+    result.history.push_back(result.best_value);
+  }
+
+  // Final evaluation at the settled parameters.
+  const double final_value = objective(params);
+  result.evaluations += 1;
+  if (final_value < result.best_value) {
+    result.best_value = final_value;
+    result.best_params = params;
+  }
+  return result;
+}
+
+NelderMeadOptimizer::NelderMeadOptimizer() : NelderMeadOptimizer(Options{}) {}
+
+NelderMeadOptimizer::NelderMeadOptimizer(Options options) : options_(options) {
+  expects(options_.max_evaluations > 2, "NelderMead: evaluation budget too small");
+}
+
+OptimizationResult NelderMeadOptimizer::minimize(
+    const Objective& objective, std::vector<double> initial) const {
+  expects(!initial.empty(), "NelderMead: empty parameter vector");
+  const std::size_t dim = initial.size();
+
+  struct Vertex {
+    std::vector<double> x;
+    double f = 0.0;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+
+  OptimizationResult result;
+  result.evaluations = 0;
+  const auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return objective(x);
+  };
+
+  simplex.push_back({initial, eval(initial)});
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> x = initial;
+    x[i] += options_.initial_step;
+    simplex.push_back({x, eval(x)});
+  }
+
+  const auto by_value = [](const Vertex& a, const Vertex& b) {
+    return a.f < b.f;
+  };
+
+  while (result.evaluations < options_.max_evaluations) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    result.history.push_back(simplex.front().f);
+    if (std::abs(simplex.back().f - simplex.front().f) < options_.tolerance)
+      break;
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t v = 0; v < dim; ++v)
+      for (std::size_t i = 0; i < dim; ++i)
+        centroid[i] += simplex[v].x[i] / static_cast<double>(dim);
+
+    Vertex& worst = simplex.back();
+    const auto blend = [&](double t) {
+      std::vector<double> x(dim);
+      for (std::size_t i = 0; i < dim; ++i)
+        x[i] = centroid[i] + t * (worst.x[i] - centroid[i]);
+      return x;
+    };
+
+    const auto reflected = blend(-1.0);
+    const double f_reflected = eval(reflected);
+    if (f_reflected < simplex.front().f) {
+      const auto expanded = blend(-2.0);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected)
+        worst = {expanded, f_expanded};
+      else
+        worst = {reflected, f_reflected};
+    } else if (f_reflected < simplex[dim - 1].f) {
+      worst = {reflected, f_reflected};
+    } else {
+      const auto contracted = blend(0.5);
+      const double f_contracted = eval(contracted);
+      if (f_contracted < worst.f) {
+        worst = {contracted, f_contracted};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= dim; ++v) {
+          for (std::size_t i = 0; i < dim; ++i)
+            simplex[v].x[i] =
+                0.5 * (simplex[v].x[i] + simplex.front().x[i]);
+          simplex[v].f = eval(simplex[v].x);
+        }
+      }
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  result.best_params = simplex.front().x;
+  result.best_value = simplex.front().f;
+  return result;
+}
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,220 @@
+#include "hpcqc/hybrid/pauli.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/rng.hpp"
+
+namespace hpcqc::hybrid {
+
+PauliString::PauliString(const std::string& label) : ops_(label) {
+  for (char op : ops_)
+    expects(op == 'I' || op == 'X' || op == 'Y' || op == 'Z',
+            "PauliString: label characters must be in {I, X, Y, Z}");
+}
+
+char PauliString::op(int qubit) const {
+  expects(qubit >= 0 && qubit < num_qubits(),
+          "PauliString::op: qubit out of range");
+  return ops_[static_cast<std::size_t>(qubit)];
+}
+
+bool PauliString::is_identity() const {
+  return std::all_of(ops_.begin(), ops_.end(),
+                     [](char op) { return op == 'I'; });
+}
+
+std::uint64_t PauliString::support() const {
+  std::uint64_t mask = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (ops_[q] != 'I') mask |= std::uint64_t{1} << q;
+  return mask;
+}
+
+std::string PauliString::basis_key() const {
+  // Z and I are both measurable in the computational basis; X/Y need their
+  // specific rotation. Two strings commute qubit-wise iff on every qubit
+  // their non-identity ops agree.
+  std::string key = ops_;
+  for (char& op : key)
+    if (op == 'Z') op = 'I';
+  return key;
+}
+
+void PauliString::append_basis_rotation(circuit::Circuit& circuit) const {
+  expects(circuit.num_qubits() >= num_qubits(),
+          "append_basis_rotation: circuit register too small");
+  for (int q = 0; q < num_qubits(); ++q) {
+    switch (op(q)) {
+      case 'X': circuit.h(q); break;
+      case 'Y':
+        circuit.sdg(q);
+        circuit.h(q);
+        break;
+      default: break;
+    }
+  }
+}
+
+namespace {
+
+/// Applies a Pauli string to an amplitude vector (matrix-free).
+std::vector<qsim::Complex> apply_pauli(const PauliString& pauli,
+                                       const std::vector<qsim::Complex>& in,
+                                       int num_qubits) {
+  std::uint64_t flip_mask = 0;   // X and Y flip the bit
+  std::uint64_t phase_mask = 0;  // Z and Y read the bit for a sign
+  int y_count = 0;
+  for (int q = 0; q < pauli.num_qubits(); ++q) {
+    switch (pauli.op(q)) {
+      case 'X': flip_mask |= std::uint64_t{1} << q; break;
+      case 'Y':
+        flip_mask |= std::uint64_t{1} << q;
+        phase_mask |= std::uint64_t{1} << q;
+        ++y_count;
+        break;
+      case 'Z': phase_mask |= std::uint64_t{1} << q; break;
+      default: break;
+    }
+  }
+  (void)num_qubits;
+  // Global factor from Y = i * X * Z: each Y contributes i, and the sign
+  // convention below applies Z *before* X.
+  qsim::Complex y_factor{1.0, 0.0};
+  for (int i = 0; i < y_count; ++i) y_factor *= qsim::Complex{0.0, 1.0};
+
+  std::vector<qsim::Complex> out(in.size());
+  for (std::uint64_t idx = 0; idx < in.size(); ++idx) {
+    const std::uint64_t target = idx ^ flip_mask;
+    const int sign_bits = std::popcount(idx & phase_mask) & 1;
+    out[target] = (sign_bits ? -1.0 : 1.0) * y_factor * in[idx];
+  }
+  return out;
+}
+
+}  // namespace
+
+double PauliString::expectation(const qsim::StateVector& state) const {
+  expects(state.num_qubits() >= num_qubits(),
+          "PauliString::expectation: state register too small");
+  const auto& amps = state.amplitudes();
+  const auto transformed = apply_pauli(*this, amps, state.num_qubits());
+  qsim::Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    acc += std::conj(amps[i]) * transformed[i];
+  return acc.real();
+}
+
+double PauliString::expectation_from_counts(const qsim::Counts& counts) const {
+  return counts.expectation_z(support());
+}
+
+Hamiltonian::Hamiltonian(int num_qubits) : num_qubits_(num_qubits) {
+  expects(num_qubits >= 1 && num_qubits <= 20,
+          "Hamiltonian: qubit count in [1, 20]");
+}
+
+void Hamiltonian::add_term(double coefficient, const std::string& label) {
+  expects(static_cast<int>(label.size()) == num_qubits_,
+          "Hamiltonian::add_term: label length must equal the register");
+  terms_.push_back({coefficient, PauliString(label)});
+}
+
+double Hamiltonian::identity_offset() const {
+  double offset = 0.0;
+  for (const auto& term : terms_)
+    if (term.pauli.is_identity()) offset += term.coefficient;
+  return offset;
+}
+
+double Hamiltonian::expectation(const qsim::StateVector& state) const {
+  double energy = 0.0;
+  for (const auto& term : terms_)
+    energy += term.coefficient * term.pauli.expectation(state);
+  return energy;
+}
+
+double Hamiltonian::ground_state_energy(int iterations) const {
+  // Power iteration on (shift*I - H), which makes the ground state the
+  // dominant eigenvector.
+  double shift = 0.0;
+  for (const auto& term : terms_) shift += std::abs(term.coefficient);
+  shift += 1.0;
+
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits_;
+  Rng rng(0xbeefcafeULL);
+  std::vector<qsim::Complex> vec(dim);
+  for (auto& amp : vec) amp = {rng.normal(), rng.normal()};
+
+  const auto apply_h = [&](const std::vector<qsim::Complex>& in) {
+    std::vector<qsim::Complex> out(in.size(), {0.0, 0.0});
+    for (const auto& term : terms_) {
+      const auto contribution = apply_pauli(term.pauli, in, num_qubits_);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] += term.coefficient * contribution[i];
+    }
+    return out;
+  };
+  const auto normalize = [](std::vector<qsim::Complex>& v) {
+    double norm = 0.0;
+    for (const auto& amp : v) norm += std::norm(amp);
+    norm = std::sqrt(norm);
+    for (auto& amp : v) amp /= norm;
+  };
+
+  normalize(vec);
+  for (int iter = 0; iter < iterations; ++iter) {
+    auto hv = apply_h(vec);
+    for (std::size_t i = 0; i < vec.size(); ++i)
+      vec[i] = shift * vec[i] - hv[i];
+    normalize(vec);
+  }
+  // Rayleigh quotient <v|H|v>.
+  const auto hv = apply_h(vec);
+  qsim::Complex energy{0.0, 0.0};
+  for (std::size_t i = 0; i < vec.size(); ++i)
+    energy += std::conj(vec[i]) * hv[i];
+  return energy.real();
+}
+
+std::vector<std::vector<PauliTerm>> Hamiltonian::measurement_groups() const {
+  std::map<std::string, std::vector<PauliTerm>> groups;
+  for (const auto& term : terms_)
+    groups[term.pauli.basis_key()].push_back(term);
+  std::vector<std::vector<PauliTerm>> out;
+  for (auto& [key, terms] : groups) out.push_back(std::move(terms));
+  return out;
+}
+
+Hamiltonian h2_hamiltonian() {
+  // O'Malley et al. / standard parity-mapped 2-qubit reduction at the
+  // equilibrium geometry; ground energy -1.8572750 Ha.
+  Hamiltonian h(2);
+  h.add_term(-1.052373245772859, "II");
+  h.add_term(+0.39793742484318045, "ZI");
+  h.add_term(-0.39793742484318045, "IZ");
+  h.add_term(-0.01128010425623538, "ZZ");
+  h.add_term(+0.18093119978423156, "XX");
+  return h;
+}
+
+Hamiltonian maxcut_hamiltonian(int num_qubits,
+                               const std::vector<std::pair<int, int>>& edges) {
+  Hamiltonian h(num_qubits);
+  std::string identity(static_cast<std::size_t>(num_qubits), 'I');
+  for (const auto& [a, b] : edges) {
+    expects(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits && a != b,
+            "maxcut_hamiltonian: invalid edge");
+    h.add_term(0.5, identity);
+    std::string zz = identity;
+    zz[static_cast<std::size_t>(a)] = 'Z';
+    zz[static_cast<std::size_t>(b)] = 'Z';
+    h.add_term(-0.5, zz);
+  }
+  return h;
+}
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,78 @@
+#include "hpcqc/hybrid/qaoa.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::hybrid {
+
+QaoaMaxCut::QaoaMaxCut(int num_qubits, std::vector<std::pair<int, int>> edges,
+                       QaoaOptions options)
+    : num_qubits_(num_qubits),
+      edges_(edges),
+      options_(options),
+      ansatz_(num_qubits, std::move(edges), options.depth),
+      cost_(maxcut_hamiltonian(num_qubits, edges_)) {}
+
+double QaoaMaxCut::cut_value(std::uint64_t bitstring) const {
+  double cut = 0.0;
+  for (const auto& [a, b] : edges_) {
+    const bool side_a = (bitstring >> a) & 1;
+    const bool side_b = (bitstring >> b) & 1;
+    if (side_a != side_b) cut += 1.0;
+  }
+  return cut;
+}
+
+QaoaMaxCut::Result QaoaMaxCut::run(const CircuitRunner& runner,
+                                   Rng& rng) const {
+  expects(runner != nullptr, "QaoaMaxCut::run: null runner");
+  std::size_t circuits = 0;
+
+  // The cost observable is all-Z, so a single computational-basis
+  // measurement evaluates every term.
+  const auto expected_cut = [&](std::span<const double> params) {
+    circuit::Circuit circuit = ansatz_.bind(params);
+    circuit.measure();
+    const qsim::Counts counts = runner(circuit, options_.shots);
+    ++circuits;
+    double value = 0.0;
+    for (const auto& term : cost_.terms()) {
+      if (term.pauli.is_identity())
+        value += term.coefficient;
+      else
+        value += term.coefficient * term.pauli.expectation_from_counts(counts);
+    }
+    return value;
+  };
+
+  const Objective objective = [&](std::span<const double> params) {
+    return -expected_cut(params);  // maximize the cut
+  };
+
+  std::vector<double> initial(ansatz_.parameter_count());
+  for (auto& p : initial) p = rng.uniform(0.1, 0.8);
+  const auto opt =
+      SpsaOptimizer(options_.spsa).minimize(objective, std::move(initial), rng);
+
+  // Sample the optimized circuit and keep the best observed cut.
+  circuit::Circuit final_circuit = ansatz_.bind(opt.best_params);
+  final_circuit.measure();
+  const qsim::Counts counts = runner(final_circuit, options_.shots);
+  ++circuits;
+
+  Result result;
+  result.expected_cut = -opt.best_value;
+  result.parameters = opt.best_params;
+  result.circuits_run = circuits;
+  for (const auto& [outcome, count] : counts.raw()) {
+    const double cut = cut_value(outcome);
+    if (cut > result.best_cut) {
+      result.best_cut = cut;
+      result.best_bitstring = outcome;
+    }
+  }
+  return result;
+}
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,100 @@
+#include "hpcqc/hybrid/vqe.hpp"
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::hybrid {
+
+VqeDriver::VqeDriver(Hamiltonian hamiltonian, HardwareEfficientAnsatz ansatz,
+                     VqeOptions options)
+    : hamiltonian_(std::move(hamiltonian)),
+      ansatz_(ansatz),
+      options_(options) {
+  expects(hamiltonian_.num_qubits() == ansatz_.num_qubits(),
+          "VqeDriver: Hamiltonian and ansatz register sizes differ");
+}
+
+double estimate_expectation(const Hamiltonian& observable,
+                            const circuit::Circuit& preparation,
+                            const CircuitRunner& runner,
+                            std::size_t shots_per_group) {
+  expects(runner != nullptr, "estimate_expectation: null runner");
+  expects(preparation.num_qubits() >= observable.num_qubits(),
+          "estimate_expectation: preparation register too small");
+  double total = 0.0;
+  for (const auto& group : observable.measurement_groups()) {
+    // Identity-only groups contribute their constant without a circuit.
+    const bool all_identity =
+        std::all_of(group.begin(), group.end(), [](const PauliTerm& t) {
+          return t.pauli.is_identity();
+        });
+    if (all_identity) {
+      for (const auto& term : group) total += term.coefficient;
+      continue;
+    }
+    circuit::Circuit circuit = preparation;
+    // The group's shared basis rotation (X/Y pattern of its basis key).
+    const PauliString basis(group.front().pauli.basis_key());
+    basis.append_basis_rotation(circuit);
+    circuit.measure();
+    const qsim::Counts counts = runner(circuit, shots_per_group);
+    for (const auto& term : group) {
+      if (term.pauli.is_identity())
+        total += term.coefficient;
+      else
+        total += term.coefficient * term.pauli.expectation_from_counts(counts);
+    }
+  }
+  return total;
+}
+
+double VqeDriver::energy(std::span<const double> params,
+                         const CircuitRunner& runner,
+                         std::size_t shots) const {
+  // Count circuits through a wrapping runner so Result statistics hold.
+  const CircuitRunner counting = [&](const circuit::Circuit& circuit,
+                                     std::size_t n) {
+    ++circuits_run_;
+    return runner(circuit, n);
+  };
+  return estimate_expectation(hamiltonian_, ansatz_.bind(params), counting,
+                              shots);
+}
+
+double VqeDriver::exact_energy(std::span<const double> params) const {
+  const circuit::Circuit circuit = ansatz_.bind(params);
+  qsim::StateVector state(circuit.num_qubits());
+  circuit::apply_gates(state, circuit);
+  return hamiltonian_.expectation(state);
+}
+
+VqeDriver::Result VqeDriver::run(const CircuitRunner& runner, Rng& rng) const {
+  circuits_run_ = 0;
+  const Objective objective = [&](std::span<const double> params) {
+    return runner ? energy(params, runner, options_.shots_per_group)
+                  : exact_energy(params);
+  };
+
+  std::vector<double> initial(ansatz_.parameter_count());
+  for (auto& p : initial) p = rng.uniform(-0.4, 0.4);
+
+  OptimizationResult opt;
+  if (options_.use_nelder_mead) {
+    opt = NelderMeadOptimizer(options_.nelder_mead)
+              .minimize(objective, std::move(initial));
+  } else {
+    opt = SpsaOptimizer(options_.spsa)
+              .minimize(objective, std::move(initial), rng);
+  }
+
+  Result result;
+  result.energy = opt.best_value;
+  result.parameters = std::move(opt.best_params);
+  result.objective_evaluations = opt.evaluations;
+  result.convergence = std::move(opt.history);
+  result.circuits_run = circuits_run_;
+  result.total_shots = runner ? circuits_run_ * options_.shots_per_group : 0;
+  return result;
+}
+
+}  // namespace hpcqc::hybrid

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/qsim/counts.hpp"
+
+namespace hpcqc::mitigation {
+
+/// Tensored readout-error mitigation — one of the "error mitigation methods
+/// tailored to the machine" the onboarding program teaches (§4). Each
+/// qubit's 2x2 assignment matrix
+///
+///     A_q = [[1-p01, p10], [p01, 1-p10]]
+///
+/// is estimated from calibration circuits (all-|0> and all-|1>
+/// preparations), and measured distributions are corrected by applying
+/// A_q^{-1} along every qubit axis. The result is a quasi-probability
+/// vector (entries may be slightly negative); expectation values computed
+/// from it are unbiased estimates of the noiseless-readout values.
+class ReadoutMitigator {
+public:
+  /// Per-qubit assignment-error estimates, indexed by *measured-bit*
+  /// position (bit i of the outcomes being mitigated).
+  struct QubitAssignment {
+    double p_read1_given0 = 0.0;
+    double p_read0_given1 = 0.0;
+  };
+
+  explicit ReadoutMitigator(std::vector<QubitAssignment> per_bit);
+
+  /// Calibrates against the device by running the two standard preparation
+  /// circuits (|0...0> and |1...1>) on `physical_qubits` with `shots` each.
+  /// Bit i of the mitigator corresponds to physical_qubits[i].
+  static ReadoutMitigator calibrate(device::DeviceModel& device,
+                                    const std::vector<int>& physical_qubits,
+                                    std::size_t shots, Rng& rng);
+
+  int num_bits() const { return static_cast<int>(per_bit_.size()); }
+  const QubitAssignment& bit(int i) const;
+
+  /// Corrected quasi-probability distribution over 2^n outcomes.
+  std::vector<double> mitigate(const qsim::Counts& counts) const;
+
+  /// <Z_mask> computed from the mitigated quasi-probabilities.
+  double mitigated_expectation_z(const qsim::Counts& counts,
+                                 std::uint64_t mask) const;
+
+private:
+  std::vector<QubitAssignment> per_bit_;
+};
+
+}  // namespace hpcqc::mitigation

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hpcqc/circuit/circuit.hpp"
+
+namespace hpcqc::mitigation {
+
+/// How the zero-noise limit is extrapolated from the scaled measurements.
+enum class ExtrapolationMethod {
+  kLinear,      ///< least-squares line through (scale, value)
+  kRichardson,  ///< exact polynomial through all points, evaluated at 0
+  kExponential, ///< fit v = A * exp(-b * scale); right for depolarizing decay
+};
+
+const char* to_string(ExtrapolationMethod method);
+
+/// Result of one ZNE run.
+struct ZneResult {
+  std::vector<int> scales;
+  std::vector<double> measured;  ///< expectation at each noise scale
+  double mitigated = 0.0;        ///< extrapolated zero-noise value
+};
+
+/// Zero-noise extrapolation by unitary (gate) folding: the circuit is
+/// executed at noise scales 1, 3, 5, ... via G(G†G)^k insertions, and the
+/// observable is extrapolated back to scale 0. The second of the tailored
+/// error-mitigation methods covered in the §4 user training.
+class ZeroNoiseExtrapolator {
+public:
+  struct Options {
+    std::vector<int> scales = {1, 3, 5};
+    ExtrapolationMethod method = ExtrapolationMethod::kExponential;
+  };
+
+  /// Measures one folded circuit and returns the observable value.
+  using Executor = std::function<double(const circuit::Circuit& folded)>;
+
+  ZeroNoiseExtrapolator();
+  explicit ZeroNoiseExtrapolator(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Runs the circuit at every configured scale through `executor` and
+  /// extrapolates.
+  ZneResult run(const circuit::Circuit& circuit,
+                const Executor& executor) const;
+
+  /// The bare extrapolation (exposed for tests).
+  static double extrapolate(const std::vector<int>& scales,
+                            const std::vector<double>& values,
+                            ExtrapolationMethod method);
+
+private:
+  Options options_;
+};
+
+}  // namespace hpcqc::mitigation

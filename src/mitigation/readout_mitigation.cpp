@@ -1,0 +1,108 @@
+#include "hpcqc/mitigation/readout_mitigation.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mitigation {
+
+ReadoutMitigator::ReadoutMitigator(std::vector<QubitAssignment> per_bit)
+    : per_bit_(std::move(per_bit)) {
+  expects(!per_bit_.empty() && per_bit_.size() <= 20,
+          "ReadoutMitigator: 1 to 20 measured bits supported");
+  for (const auto& assignment : per_bit_) {
+    expects(assignment.p_read1_given0 >= 0.0 &&
+                assignment.p_read1_given0 < 0.5 &&
+                assignment.p_read0_given1 >= 0.0 &&
+                assignment.p_read0_given1 < 0.5,
+            "ReadoutMitigator: assignment errors must be in [0, 0.5) for "
+            "the matrix to be invertible");
+  }
+}
+
+const ReadoutMitigator::QubitAssignment& ReadoutMitigator::bit(int i) const {
+  expects(i >= 0 && i < num_bits(), "ReadoutMitigator::bit: out of range");
+  return per_bit_[static_cast<std::size_t>(i)];
+}
+
+ReadoutMitigator ReadoutMitigator::calibrate(
+    device::DeviceModel& device, const std::vector<int>& physical_qubits,
+    std::size_t shots, Rng& rng) {
+  expects(!physical_qubits.empty(),
+          "ReadoutMitigator::calibrate: need at least one qubit");
+  const int n = static_cast<int>(physical_qubits.size());
+
+  // Preparation circuits on the device register.
+  circuit::Circuit zeros(device.num_qubits());
+  zeros.measure(physical_qubits);
+  circuit::Circuit ones(device.num_qubits());
+  for (int q : physical_qubits) ones.x(q);
+  ones.measure(physical_qubits);
+
+  const auto run = [&](const circuit::Circuit& circuit) {
+    return device.execute(circuit, shots, rng,
+                          device::ExecutionMode::kGlobalDepolarizing);
+  };
+  const auto zeros_counts = run(zeros).counts;
+  const auto ones_counts = run(ones).counts;
+
+  std::vector<QubitAssignment> per_bit(static_cast<std::size_t>(n));
+  for (int bit_index = 0; bit_index < n; ++bit_index) {
+    const std::uint64_t mask = std::uint64_t{1} << bit_index;
+    std::uint64_t ones_when_zero = 0;
+    for (const auto& [outcome, count] : zeros_counts.raw())
+      if (outcome & mask) ones_when_zero += count;
+    std::uint64_t zeros_when_one = 0;
+    for (const auto& [outcome, count] : ones_counts.raw())
+      if (!(outcome & mask)) zeros_when_one += count;
+    per_bit[static_cast<std::size_t>(bit_index)] = {
+        static_cast<double>(ones_when_zero) / static_cast<double>(shots),
+        static_cast<double>(zeros_when_one) / static_cast<double>(shots)};
+  }
+  return ReadoutMitigator(std::move(per_bit));
+}
+
+std::vector<double> ReadoutMitigator::mitigate(
+    const qsim::Counts& counts) const {
+  const int n = num_bits();
+  expects(counts.num_qubits() == n,
+          "ReadoutMitigator::mitigate: bit-count mismatch");
+  const std::uint64_t total = counts.total_shots();
+  expects(total > 0, "ReadoutMitigator::mitigate: empty counts");
+
+  std::vector<double> probs(std::size_t{1} << n, 0.0);
+  for (const auto& [outcome, count] : counts.raw())
+    probs[outcome] = static_cast<double>(count) / static_cast<double>(total);
+
+  // Apply A_q^{-1} along each bit axis. For A = [[1-a, b], [a, 1-b]],
+  // A^{-1} = 1/det [[1-b, -b], [-a, 1-a]] with det = 1 - a - b.
+  for (int bit_index = 0; bit_index < n; ++bit_index) {
+    const auto& assignment = per_bit_[static_cast<std::size_t>(bit_index)];
+    const double a = assignment.p_read1_given0;
+    const double b = assignment.p_read0_given1;
+    const double det = 1.0 - a - b;
+    const std::uint64_t stride = std::uint64_t{1} << bit_index;
+    for (std::uint64_t base = 0; base < probs.size(); ++base) {
+      if (base & stride) continue;
+      const double p0 = probs[base];
+      const double p1 = probs[base | stride];
+      probs[base] = ((1.0 - b) * p0 - b * p1) / det;
+      probs[base | stride] = (-a * p0 + (1.0 - a) * p1) / det;
+    }
+  }
+  return probs;
+}
+
+double ReadoutMitigator::mitigated_expectation_z(const qsim::Counts& counts,
+                                                 std::uint64_t mask) const {
+  const auto quasi = mitigate(counts);
+  double expectation = 0.0;
+  for (std::uint64_t outcome = 0; outcome < quasi.size(); ++outcome) {
+    const int parity = std::popcount(outcome & mask) & 1;
+    expectation += (parity ? -1.0 : 1.0) * quasi[outcome];
+  }
+  return expectation;
+}
+
+}  // namespace hpcqc::mitigation

@@ -1,0 +1,114 @@
+#include "hpcqc/mitigation/zne.hpp"
+
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mitigation {
+
+const char* to_string(ExtrapolationMethod method) {
+  switch (method) {
+    case ExtrapolationMethod::kLinear: return "linear";
+    case ExtrapolationMethod::kRichardson: return "richardson";
+    case ExtrapolationMethod::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+ZeroNoiseExtrapolator::ZeroNoiseExtrapolator()
+    : ZeroNoiseExtrapolator(Options{}) {}
+
+ZeroNoiseExtrapolator::ZeroNoiseExtrapolator(Options options)
+    : options_(std::move(options)) {
+  expects(options_.scales.size() >= 2,
+          "ZeroNoiseExtrapolator: need at least two noise scales");
+  for (std::size_t i = 0; i < options_.scales.size(); ++i) {
+    expects(options_.scales[i] >= 1 && options_.scales[i] % 2 == 1,
+            "ZeroNoiseExtrapolator: scales must be odd positive integers");
+    expects(i == 0 || options_.scales[i] > options_.scales[i - 1],
+            "ZeroNoiseExtrapolator: scales must be strictly increasing");
+  }
+}
+
+ZneResult ZeroNoiseExtrapolator::run(const circuit::Circuit& circuit,
+                                     const Executor& executor) const {
+  expects(executor != nullptr, "ZeroNoiseExtrapolator: null executor");
+  ZneResult result;
+  result.scales = options_.scales;
+  for (int scale : options_.scales)
+    result.measured.push_back(executor(circuit.folded(scale)));
+  result.mitigated =
+      extrapolate(result.scales, result.measured, options_.method);
+  return result;
+}
+
+double ZeroNoiseExtrapolator::extrapolate(const std::vector<int>& scales,
+                                          const std::vector<double>& values,
+                                          ExtrapolationMethod method) {
+  expects(scales.size() == values.size() && scales.size() >= 2,
+          "extrapolate: need matching scales/values, at least two");
+  const std::size_t n = scales.size();
+
+  switch (method) {
+    case ExtrapolationMethod::kLinear: {
+      double sx = 0.0;
+      double sy = 0.0;
+      double sxx = 0.0;
+      double sxy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(scales[i]);
+        sx += x;
+        sy += values[i];
+        sxx += x * x;
+        sxy += x * values[i];
+      }
+      const double denom = static_cast<double>(n) * sxx - sx * sx;
+      const double slope =
+          (static_cast<double>(n) * sxy - sx * sy) / denom;
+      return (sy - slope * sx) / static_cast<double>(n);
+    }
+    case ExtrapolationMethod::kRichardson: {
+      // Lagrange interpolation evaluated at scale = 0.
+      double value = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double weight = 1.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          weight *= static_cast<double>(-scales[j]) /
+                    static_cast<double>(scales[i] - scales[j]);
+        }
+        value += weight * values[i];
+      }
+      return value;
+    }
+    case ExtrapolationMethod::kExponential: {
+      // v(s) = A exp(-b s): linear fit of log|v| vs s; the sign is taken
+      // from the least-noisy point. Falls back to linear when any value's
+      // magnitude is too small for the log.
+      const double sign = values[0] >= 0.0 ? 1.0 : -1.0;
+      for (double value : values)
+        if (std::abs(value) < 1e-9 || value * sign <= 0.0)
+          return extrapolate(scales, values, ExtrapolationMethod::kLinear);
+      double sx = 0.0;
+      double sy = 0.0;
+      double sxx = 0.0;
+      double sxy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(scales[i]);
+        const double y = std::log(std::abs(values[i]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+      }
+      const double denom = static_cast<double>(n) * sxx - sx * sx;
+      const double slope =
+          (static_cast<double>(n) * sxy - sx * sy) / denom;
+      const double intercept = (sy - slope * sx) / static_cast<double>(n);
+      return sign * std::exp(intercept);
+    }
+  }
+  throw Error("extrapolate: unhandled method");
+}
+
+}  // namespace hpcqc::mitigation

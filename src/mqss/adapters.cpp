@@ -1,0 +1,54 @@
+#include "hpcqc/mqss/adapters.hpp"
+
+#include "hpcqc/circuit/text.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mqss {
+
+QpiProgram::QpiProgram(int num_qubits) : circuit_(num_qubits) {}
+
+QpiProgram& QpiProgram::op(const std::string& name, std::vector<int> qubits,
+                           std::vector<double> params) {
+  circuit_.append({circuit::op_kind_from_name(name), std::move(qubits),
+                   std::move(params)});
+  return *this;
+}
+
+QpiProgram& QpiProgram::measure_all() {
+  circuit_.measure();
+  return *this;
+}
+
+AdapterRegistry AdapterRegistry::with_builtins() {
+  AdapterRegistry registry;
+  registry.register_adapter("text", [](const std::string& source) {
+    return circuit::from_text(source);
+  });
+  return registry;
+}
+
+void AdapterRegistry::register_adapter(const std::string& name, AdapterFn fn) {
+  expects(!name.empty(), "AdapterRegistry: adapter needs a name");
+  expects(fn != nullptr, "AdapterRegistry: null adapter function");
+  adapters_[name] = std::move(fn);
+}
+
+bool AdapterRegistry::has_adapter(const std::string& name) const {
+  return adapters_.contains(name);
+}
+
+std::vector<std::string> AdapterRegistry::adapter_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : adapters_) names.push_back(name);
+  return names;
+}
+
+circuit::Circuit AdapterRegistry::translate(const std::string& adapter,
+                                            const std::string& source) const {
+  const auto it = adapters_.find(adapter);
+  if (it == adapters_.end())
+    throw NotFoundError("AdapterRegistry: no adapter named '" + adapter + "'");
+  return it->second(source);
+}
+
+}  // namespace hpcqc::mqss

@@ -1,0 +1,129 @@
+#include "hpcqc/mqss/client.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mqss {
+
+const char* to_string(AccessPath path) {
+  switch (path) {
+    case AccessPath::kAuto: return "auto";
+    case AccessPath::kHpc: return "hpc";
+    case AccessPath::kRest: return "rest";
+  }
+  return "?";
+}
+
+bool detect_inside_hpc() {
+  const char* override_flag = std::getenv("HPCQC_INSIDE_HPC");
+  if (override_flag != nullptr)
+    return std::strcmp(override_flag, "0") != 0;
+  return std::getenv("SLURM_JOB_ID") != nullptr ||
+         std::getenv("PBS_JOBID") != nullptr;
+}
+
+Client::Client(QpuService& service, SimClock& clock, AccessPath path,
+               RestClientParams rest)
+    : service_(&service), clock_(&clock), path_(path), rest_(rest) {
+  if (path_ == AccessPath::kAuto)
+    path_ = detect_inside_hpc() ? AccessPath::kHpc : AccessPath::kRest;
+}
+
+JobTicket Client::submit(const circuit::Circuit& circuit, std::size_t shots,
+                         std::string name) {
+  const int id = next_id_++;
+  PendingJob job;
+  job.name = std::move(name);
+  job.submitted_at = clock_->now();
+
+  if (path_ == AccessPath::kHpc) {
+    // Tightly-coupled path: the run happens synchronously inside the
+    // allocation; only the execution time itself elapses.
+    job.result = service_->run(circuit, shots);
+    clock_->advance(job.result.qpu_time);
+    job.ready_at = clock_->now();
+  } else {
+    // REST path: the request travels out, waits in the shared remote queue,
+    // executes, and the result becomes available for download.
+    job.result = service_->run(circuit, shots);
+    job.ready_at = clock_->now() + rest_.request_latency + rest_.queue_delay +
+                   job.result.qpu_time;
+  }
+  jobs_.emplace(id, std::move(job));
+  return {id, path_};
+}
+
+std::vector<JobTicket> Client::submit_batch(
+    const std::vector<circuit::Circuit>& circuits, std::size_t shots,
+    std::string name) {
+  expects(!circuits.empty(), "Client::submit_batch: empty batch");
+  std::vector<JobTicket> tickets;
+  tickets.reserve(circuits.size());
+
+  if (path_ == AccessPath::kHpc) {
+    for (std::size_t i = 0; i < circuits.size(); ++i)
+      tickets.push_back(
+          submit(circuits[i], shots, name + "-" + std::to_string(i)));
+    return tickets;
+  }
+
+  // REST: one request carries the whole batch; jobs run back to back on
+  // the shared QPU, so completion times accumulate.
+  Seconds ready_at = clock_->now() + rest_.request_latency + rest_.queue_delay;
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const int id = next_id_++;
+    PendingJob job;
+    job.name = name + "-" + std::to_string(i);
+    job.submitted_at = clock_->now();
+    job.result = service_->run(circuits[i], shots);
+    ready_at += job.result.qpu_time;
+    job.ready_at = ready_at;
+    jobs_.emplace(id, std::move(job));
+    tickets.push_back({id, path_});
+  }
+  return tickets;
+}
+
+std::vector<ClientResult> Client::wait_all(
+    const std::vector<JobTicket>& tickets) {
+  std::vector<ClientResult> results;
+  results.reserve(tickets.size());
+  for (const auto& ticket : tickets) results.push_back(wait(ticket));
+  return results;
+}
+
+bool Client::ready(const JobTicket& ticket) const {
+  const auto it = jobs_.find(ticket.id);
+  if (it == jobs_.end())
+    throw NotFoundError("Client: unknown job id " + std::to_string(ticket.id));
+  return clock_->now() >= it->second.ready_at;
+}
+
+ClientResult Client::wait(const JobTicket& ticket) {
+  const auto it = jobs_.find(ticket.id);
+  if (it == jobs_.end())
+    throw NotFoundError("Client: unknown job id " + std::to_string(ticket.id));
+  PendingJob& job = it->second;
+
+  if (path_ == AccessPath::kRest) {
+    // Poll the queue until the result materializes, then download it.
+    while (clock_->now() < job.ready_at) {
+      clock_->advance(std::min(rest_.poll_interval,
+                               job.ready_at - clock_->now()));
+      clock_->advance(rest_.request_latency);
+      ++job.polls;
+    }
+    clock_->advance(rest_.request_latency);  // result download
+  }
+
+  ClientResult result;
+  result.run = job.result;
+  result.path = path_;
+  result.turnaround = clock_->now() - job.submitted_at;
+  result.polls = job.polls;
+  return result;
+}
+
+}  // namespace hpcqc::mqss

@@ -1,0 +1,530 @@
+#include "hpcqc/mqss/compiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mqss {
+
+using circuit::Circuit;
+using circuit::Operation;
+using circuit::OpKind;
+
+const char* to_string(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kCore: return "core";
+    case Dialect::kPlaced: return "placed";
+    case Dialect::kRouted: return "routed";
+    case Dialect::kNative: return "native";
+  }
+  return "?";
+}
+
+const char* to_string(PlacementStrategy strategy) {
+  return strategy == PlacementStrategy::kStatic ? "static"
+                                                : "fidelity-aware";
+}
+
+void PassManager::add(std::unique_ptr<Pass> pass) {
+  expects(pass != nullptr, "PassManager: null pass");
+  passes_.push_back(std::move(pass));
+}
+
+void PassManager::run(CompilationUnit& unit,
+                      const qdmi::DeviceInterface& device) const {
+  for (const auto& pass : passes_) {
+    pass->run(unit, device);
+    unit.trace.push_back(pass->name());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double qubit_quality(const qdmi::DeviceInterface& device, int q) {
+  return device.qubit_property(qdmi::QubitProperty::kFidelity1q, q) *
+         device.qubit_property(qdmi::QubitProperty::kReadoutFidelity, q);
+}
+
+}  // namespace
+
+std::vector<int> fidelity_aware_layout(int virtual_qubits,
+                                       const qdmi::DeviceInterface& device) {
+  const int n = device.num_qubits();
+  expects(virtual_qubits >= 1 && virtual_qubits <= n,
+          "fidelity_aware_layout: circuit larger than the device");
+  const auto edges = device.coupling_map();
+
+  if (virtual_qubits == 1) {
+    int best = 0;
+    for (int q = 1; q < n; ++q)
+      if (qubit_quality(device, q) > qubit_quality(device, best)) best = q;
+    return {best};
+  }
+
+  // Seed with the best coupler (cz fidelity x endpoint quality), then grow
+  // the connected set greedily by the best (coupler x quality) frontier.
+  const auto edge_score = [&](int a, int b) {
+    return device.coupler_property(qdmi::CouplerProperty::kFidelityCz, a, b) *
+           qubit_quality(device, a) * qubit_quality(device, b);
+  };
+  int seed_a = edges.front().first;
+  int seed_b = edges.front().second;
+  for (const auto& [a, b] : edges)
+    if (edge_score(a, b) > edge_score(seed_a, seed_b)) {
+      seed_a = a;
+      seed_b = b;
+    }
+
+  std::vector<int> chosen{seed_a, seed_b};
+  std::set<int> in_set{seed_a, seed_b};
+  while (static_cast<int>(chosen.size()) < virtual_qubits) {
+    int best_candidate = -1;
+    double best_score = -1.0;
+    for (const auto& [a, b] : edges) {
+      const bool a_in = in_set.contains(a);
+      const bool b_in = in_set.contains(b);
+      if (a_in == b_in) continue;  // need exactly one endpoint inside
+      const int candidate = a_in ? b : a;
+      const double score =
+          device.coupler_property(qdmi::CouplerProperty::kFidelityCz, a, b) *
+          qubit_quality(device, candidate);
+      if (score > best_score) {
+        best_score = score;
+        best_candidate = candidate;
+      }
+    }
+    ensure_state(best_candidate >= 0,
+                 "fidelity_aware_layout: device coupling graph disconnected");
+    chosen.push_back(best_candidate);
+    in_set.insert(best_candidate);
+  }
+  return chosen;
+}
+
+std::string PlacementPass::name() const {
+  return std::string("place-") + to_string(strategy_);
+}
+
+void PlacementPass::run(CompilationUnit& unit,
+                        const qdmi::DeviceInterface& device) const {
+  expects(unit.dialect == Dialect::kCore,
+          "PlacementPass: expected the core dialect");
+  const int virtual_qubits = unit.circuit.num_qubits();
+  std::vector<int> layout;
+  if (strategy_ == PlacementStrategy::kStatic) {
+    layout.resize(static_cast<std::size_t>(virtual_qubits));
+    std::iota(layout.begin(), layout.end(), 0);
+  } else {
+    layout = fidelity_aware_layout(virtual_qubits, device);
+  }
+  unit.circuit = unit.circuit.remapped(layout, device.num_qubits());
+  unit.layout = std::move(layout);
+  unit.dialect = Dialect::kPlaced;
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Weighted shortest path between two device qubits (Dijkstra; a uniform
+/// weight of 1 reduces to BFS hop-count routing).
+std::vector<int> shortest_path(
+    const std::vector<std::vector<std::pair<int, double>>>& adjacency,
+    int from, int to) {
+  const std::size_t n = adjacency.size();
+  std::vector<double> distance(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent(n, -1);
+  std::vector<bool> settled(n, false);
+  distance[static_cast<std::size_t>(from)] = 0.0;
+  parent[static_cast<std::size_t>(from)] = from;
+  for (std::size_t round = 0; round < n; ++round) {
+    int node = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!settled[i] && distance[i] < best) {
+        best = distance[i];
+        node = static_cast<int>(i);
+      }
+    }
+    if (node < 0 || node == to) break;
+    settled[static_cast<std::size_t>(node)] = true;
+    for (const auto& [next, weight] : adjacency[static_cast<std::size_t>(node)]) {
+      const double candidate = distance[static_cast<std::size_t>(node)] + weight;
+      if (candidate < distance[static_cast<std::size_t>(next)]) {
+        distance[static_cast<std::size_t>(next)] = candidate;
+        parent[static_cast<std::size_t>(next)] = node;
+      }
+    }
+  }
+  ensure_state(parent[static_cast<std::size_t>(to)] >= 0,
+               "RoutingPass: coupling graph disconnected");
+  std::vector<int> path{to};
+  while (path.back() != from)
+    path.push_back(parent[static_cast<std::size_t>(path.back())]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+void RoutingPass::run(CompilationUnit& unit,
+                      const qdmi::DeviceInterface& device) const {
+  expects(unit.dialect == Dialect::kPlaced,
+          "RoutingPass: expected the placed dialect");
+  const int n = device.num_qubits();
+  std::vector<std::vector<std::pair<int, double>>> adjacency(
+      static_cast<std::size_t>(n));
+  std::set<std::pair<int, int>> edge_set;
+  for (const auto& [a, b] : device.coupling_map()) {
+    double weight = 1.0;
+    if (fidelity_aware_) {
+      // -log F per coupler plus a hop penalty so equal-fidelity routes
+      // still prefer fewer SWAPs. Floor F to keep weights finite.
+      const double fidelity = std::max(
+          0.5, device.coupler_property(qdmi::CouplerProperty::kFidelityCz,
+                                       a, b));
+      weight = -std::log(fidelity) + 0.01;
+    }
+    adjacency[static_cast<std::size_t>(a)].emplace_back(b, weight);
+    adjacency[static_cast<std::size_t>(b)].emplace_back(a, weight);
+    edge_set.insert({std::min(a, b), std::max(a, b)});
+  }
+  const auto coupled = [&](int a, int b) {
+    return edge_set.contains({std::min(a, b), std::max(a, b)});
+  };
+
+  // wire_to_phys[w]: current physical position of the logical wire that
+  // started at physical position w after placement.
+  std::vector<int> wire_to_phys(static_cast<std::size_t>(n));
+  std::iota(wire_to_phys.begin(), wire_to_phys.end(), 0);
+  std::vector<int> phys_to_wire = wire_to_phys;
+
+  const auto apply_swap = [&](int pa, int pb) {
+    const int wa = phys_to_wire[static_cast<std::size_t>(pa)];
+    const int wb = phys_to_wire[static_cast<std::size_t>(pb)];
+    std::swap(phys_to_wire[static_cast<std::size_t>(pa)],
+              phys_to_wire[static_cast<std::size_t>(pb)]);
+    wire_to_phys[static_cast<std::size_t>(wa)] = pb;
+    wire_to_phys[static_cast<std::size_t>(wb)] = pa;
+  };
+
+  Circuit routed(n);
+  for (const auto& op : unit.circuit.ops()) {
+    if (op.kind == OpKind::kBarrier) {
+      routed.append(op);
+      continue;
+    }
+    if (op.kind == OpKind::kMeasure) {
+      Operation measure = op;
+      for (auto& q : measure.qubits)
+        q = wire_to_phys[static_cast<std::size_t>(q)];
+      routed.append(std::move(measure));
+      continue;
+    }
+    if (!circuit::op_is_two_qubit(op.kind)) {
+      Operation mapped = op;
+      mapped.qubits[0] = wire_to_phys[static_cast<std::size_t>(op.qubits[0])];
+      routed.append(std::move(mapped));
+      continue;
+    }
+    // Two-qubit gate: bring the operands adjacent with SWAPs.
+    int pa = wire_to_phys[static_cast<std::size_t>(op.qubits[0])];
+    const int pb = wire_to_phys[static_cast<std::size_t>(op.qubits[1])];
+    if (!coupled(pa, pb)) {
+      const std::vector<int> path = shortest_path(adjacency, pa, pb);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        routed.swap(path[i], path[i + 1]);
+        apply_swap(path[i], path[i + 1]);
+        ++unit.swaps_inserted;
+      }
+      pa = wire_to_phys[static_cast<std::size_t>(op.qubits[0])];
+    }
+    Operation mapped = op;
+    mapped.qubits[0] = pa;
+    mapped.qubits[1] = wire_to_phys[static_cast<std::size_t>(op.qubits[1])];
+    routed.append(std::move(mapped));
+  }
+  unit.circuit = std::move(routed);
+  unit.dialect = Dialect::kRouted;
+}
+
+// ---------------------------------------------------------------------------
+// Native decomposition (virtual-Z / PRX + CZ)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ZYZ parameters (theta, phi, lambda) with U = RZ(phi) RY(theta) RZ(lambda)
+/// up to global phase.
+struct U3 {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+};
+
+constexpr double kPi = M_PI;
+constexpr double kHalfPi = M_PI / 2.0;
+
+U3 u3_of(const Operation& op) {
+  switch (op.kind) {
+    case OpKind::kI: return {0.0, 0.0, 0.0};
+    case OpKind::kX: return {kPi, 0.0, kPi};
+    case OpKind::kY: return {kPi, kHalfPi, kHalfPi};
+    case OpKind::kZ: return {0.0, 0.0, kPi};
+    case OpKind::kH: return {kHalfPi, 0.0, kPi};
+    case OpKind::kS: return {0.0, 0.0, kHalfPi};
+    case OpKind::kSdg: return {0.0, 0.0, -kHalfPi};
+    case OpKind::kT: return {0.0, 0.0, kPi / 4.0};
+    case OpKind::kTdg: return {0.0, 0.0, -kPi / 4.0};
+    case OpKind::kSx: return {kHalfPi, -kHalfPi, kHalfPi};
+    case OpKind::kRx: return {op.params[0], -kHalfPi, kHalfPi};
+    case OpKind::kRy: return {op.params[0], 0.0, 0.0};
+    case OpKind::kRz: return {0.0, 0.0, op.params[0]};
+    case OpKind::kU: return {op.params[0], op.params[1], op.params[2]};
+    case OpKind::kPrx:
+      return {op.params[0], op.params[1] - kHalfPi, kHalfPi - op.params[1]};
+    default:
+      throw Error("u3_of: not a single-qubit gate");
+  }
+}
+
+/// Expands a non-native two-qubit gate into 1q gates + CZ, appending to
+/// `out` (recursively for SWAP-built gates).
+void expand_2q(const Operation& op, std::vector<Operation>& out) {
+  const int a = op.qubits[0];
+  const int b = op.qubits[1];
+  const auto cx = [&out](int control, int target) {
+    out.push_back({OpKind::kH, {target}, {}});
+    out.push_back({OpKind::kCz, {control, target}, {}});
+    out.push_back({OpKind::kH, {target}, {}});
+  };
+  switch (op.kind) {
+    case OpKind::kCz:
+      out.push_back(op);
+      return;
+    case OpKind::kCx:
+      cx(a, b);
+      return;
+    case OpKind::kSwap:
+      cx(a, b);
+      cx(b, a);
+      cx(a, b);
+      return;
+    case OpKind::kIswap:
+      // iSWAP = SWAP . CZ . (S (x) S)   (operator order; circuit order below)
+      out.push_back({OpKind::kS, {a}, {}});
+      out.push_back({OpKind::kS, {b}, {}});
+      out.push_back({OpKind::kCz, {a, b}, {}});
+      expand_2q({OpKind::kSwap, {a, b}, {}}, out);
+      return;
+    case OpKind::kCphase: {
+      const double theta = op.params[0];
+      out.push_back({OpKind::kRz, {a}, {theta / 2.0}});
+      cx(a, b);
+      out.push_back({OpKind::kRz, {b}, {-theta / 2.0}});
+      cx(a, b);
+      out.push_back({OpKind::kRz, {b}, {theta / 2.0}});
+      return;
+    }
+    default:
+      throw Error("expand_2q: not a two-qubit gate");
+  }
+}
+
+bool is_multiple_of_two_pi(double angle) {
+  const double wrapped = std::remainder(angle, 2.0 * M_PI);
+  return std::abs(wrapped) < 1e-12;
+}
+
+}  // namespace
+
+void NativeDecompositionPass::run(CompilationUnit& unit,
+                                  const qdmi::DeviceInterface& device) const {
+  expects(unit.dialect == Dialect::kRouted || unit.dialect == Dialect::kPlaced,
+          "NativeDecompositionPass: expected a routed/placed circuit");
+  (void)device;
+
+  // Stage 1: eliminate non-native two-qubit gates.
+  std::vector<Operation> intermediate;
+  intermediate.reserve(unit.circuit.size() * 2);
+  for (const auto& op : unit.circuit.ops()) {
+    if (circuit::op_is_two_qubit(op.kind)) {
+      expand_2q(op, intermediate);
+    } else {
+      intermediate.push_back(op);
+    }
+  }
+
+  // Stage 2: virtual-Z lowering of all single-qubit gates to PRX.
+  // Invariant: logical state = RZ(frame[q]) applied to the emitted state;
+  // frames commute through CZ and are irrelevant at Z-basis measurement.
+  Circuit native(unit.circuit.num_qubits());
+  std::vector<double> frame(
+      static_cast<std::size_t>(unit.circuit.num_qubits()), 0.0);
+  for (const auto& op : intermediate) {
+    if (op.kind == OpKind::kBarrier || op.kind == OpKind::kMeasure ||
+        op.kind == OpKind::kCz) {
+      native.append(op);
+      continue;
+    }
+    const U3 u = u3_of(op);
+    const auto q = static_cast<std::size_t>(op.qubits[0]);
+    if (!is_multiple_of_two_pi(u.theta)) {
+      native.prx(u.theta, kHalfPi - u.lambda - frame[q], op.qubits[0]);
+    }
+    frame[q] += u.phi + u.lambda;
+  }
+  unit.circuit = std::move(native);
+  unit.dialect = Dialect::kNative;
+}
+
+// ---------------------------------------------------------------------------
+// Peephole optimization
+// ---------------------------------------------------------------------------
+
+void PeepholePass::run(CompilationUnit& unit,
+                       const qdmi::DeviceInterface& device) const {
+  (void)device;
+  expects(unit.dialect == Dialect::kNative,
+          "PeepholePass: expected the native dialect");
+
+  std::vector<Operation> ops(unit.circuit.ops().begin(),
+                             unit.circuit.ops().end());
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < 32) {
+    changed = false;
+    // last_touch[q]: index into `result` of the last op acting on q.
+    std::vector<long> last_touch(
+        static_cast<std::size_t>(unit.circuit.num_qubits()), -1);
+    std::vector<Operation> result;
+    result.reserve(ops.size());
+
+    const auto touch = [&](const Operation& op) {
+      for (int q : op.qubits)
+        last_touch[static_cast<std::size_t>(q)] =
+            static_cast<long>(result.size());
+    };
+
+    for (const auto& op : ops) {
+      if (op.kind == OpKind::kPrx && is_multiple_of_two_pi(op.params[0])) {
+        changed = true;
+        continue;  // identity rotation
+      }
+      if (op.kind == OpKind::kPrx) {
+        const auto q = static_cast<std::size_t>(op.qubits[0]);
+        const long prev = last_touch[q];
+        if (prev >= 0) {
+          Operation& before = result[static_cast<std::size_t>(prev)];
+          if (before.kind == OpKind::kPrx && before.qubits == op.qubits &&
+              std::abs(std::remainder(before.params[1] - op.params[1],
+                                      2.0 * M_PI)) < 1e-12) {
+            before.params[0] += op.params[0];  // same-axis fusion
+            changed = true;
+            continue;
+          }
+        }
+      }
+      if (op.kind == OpKind::kCz) {
+        const auto a = static_cast<std::size_t>(op.qubits[0]);
+        const auto b = static_cast<std::size_t>(op.qubits[1]);
+        const long pa = last_touch[a];
+        if (pa >= 0 && pa == last_touch[b]) {
+          const Operation& before = result[static_cast<std::size_t>(pa)];
+          if (before.kind == OpKind::kCz &&
+              ((before.qubits[0] == op.qubits[0] &&
+                before.qubits[1] == op.qubits[1]) ||
+               (before.qubits[0] == op.qubits[1] &&
+                before.qubits[1] == op.qubits[0]))) {
+            // CZ . CZ = I: drop both. Mark the earlier one as identity PRX
+            // so indices stay stable, and skip this one.
+            result[static_cast<std::size_t>(pa)] = {OpKind::kPrx,
+                                                    {op.qubits[0]},
+                                                    {0.0, 0.0}};
+            changed = true;
+            continue;
+          }
+        }
+      }
+      if (op.kind == OpKind::kBarrier) {
+        std::fill(last_touch.begin(), last_touch.end(),
+                  static_cast<long>(result.size()));
+        result.push_back(op);
+        continue;
+      }
+      touch(op);
+      result.push_back(op);
+    }
+    ops = std::move(result);
+  }
+
+  Circuit cleaned(unit.circuit.num_qubits());
+  for (auto& op : ops) {
+    if (op.kind == OpKind::kPrx && is_multiple_of_two_pi(op.params[0]))
+      continue;  // identities introduced by CZ cancellation
+    cleaned.append(std::move(op));
+  }
+  unit.circuit = std::move(cleaned);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline assembly
+// ---------------------------------------------------------------------------
+
+PassManager standard_pipeline(const CompilerOptions& options) {
+  PassManager pm;
+  pm.add(std::make_unique<PlacementPass>(options.placement));
+  pm.add(std::make_unique<RoutingPass>(options.fidelity_aware_routing));
+  pm.add(std::make_unique<NativeDecompositionPass>());
+  if (options.optimize) pm.add(std::make_unique<PeepholePass>());
+  return pm;
+}
+
+std::string CompiledProgram::describe() const {
+  std::string report = "compilation report\n  passes:";
+  for (const auto& pass : pass_trace) report += " " + pass;
+  report += "\n  initial layout (virtual -> physical):";
+  for (std::size_t v = 0; v < initial_layout.size(); ++v)
+    report += " q" + std::to_string(v) + "->q" +
+              std::to_string(initial_layout[v]);
+  report += "\n  native gates: " + std::to_string(native_gate_count);
+  report += " (2q: " +
+            std::to_string(native_circuit.two_qubit_gate_count()) +
+            ", SWAPs routed: " + std::to_string(swap_count) + ")";
+  report += "\n  depth: " + std::to_string(native_circuit.depth());
+  report += "\n  native program:\n";
+  for (const auto& op : native_circuit.ops())
+    report += "    " + circuit::to_string(op) + "\n";
+  return report;
+}
+
+CompiledProgram compile(const circuit::Circuit& circuit,
+                        const qdmi::DeviceInterface& device,
+                        const CompilerOptions& options) {
+  expects(circuit.num_qubits() <= device.num_qubits(),
+          "compile: circuit does not fit the device");
+  CompilationUnit unit;
+  unit.circuit = circuit;
+  unit.dialect = Dialect::kCore;
+  standard_pipeline(options).run(unit, device);
+
+  CompiledProgram program;
+  program.native_circuit = std::move(unit.circuit);
+  program.initial_layout = std::move(unit.layout);
+  program.pass_trace = std::move(unit.trace);
+  program.native_gate_count = program.native_circuit.gate_count();
+  program.swap_count = unit.swaps_inserted;
+  return program;
+}
+
+}  // namespace hpcqc::mqss

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcqc/circuit/circuit.hpp"
+
+namespace hpcqc::mqss {
+
+/// The QPI-style native programmatic frontend: a thin, name-driven builder
+/// so that host applications (or FFI layers) can construct circuits without
+/// touching the IR types — the role of the paper's "native C-based QPI"
+/// adapter. Operations are validated as they are added.
+class QpiProgram {
+public:
+  explicit QpiProgram(int num_qubits);
+
+  /// Appends an operation by mnemonic ("h", "cx", "prx", ...).
+  QpiProgram& op(const std::string& name, std::vector<int> qubits,
+                 std::vector<double> params = {});
+
+  /// Terminal measurement of all qubits.
+  QpiProgram& measure_all();
+
+  int num_qubits() const { return circuit_.num_qubits(); }
+  std::size_t size() const { return circuit_.size(); }
+
+  /// The built core-dialect circuit.
+  const circuit::Circuit& circuit() const { return circuit_; }
+
+private:
+  circuit::Circuit circuit_;
+};
+
+/// Source-to-circuit translation function of one frontend.
+using AdapterFn = std::function<circuit::Circuit(const std::string& source)>;
+
+/// Frontend adapter registry: "modular Adapters for frameworks such as
+/// CUDAQ, Qiskit, Pennylane, and its own QPI" — here, named translation
+/// entry points into the shared core dialect. Ships with the built-in
+/// "text" adapter (the hpcqc text format).
+class AdapterRegistry {
+public:
+  /// A registry pre-loaded with the built-in adapters.
+  static AdapterRegistry with_builtins();
+
+  void register_adapter(const std::string& name, AdapterFn fn);
+  bool has_adapter(const std::string& name) const;
+  std::vector<std::string> adapter_names() const;
+
+  /// Translates `source` with the named adapter; throws NotFoundError for
+  /// unknown adapters and ParseError for bad source.
+  circuit::Circuit translate(const std::string& adapter,
+                             const std::string& source) const;
+
+private:
+  std::map<std::string, AdapterFn> adapters_;
+};
+
+}  // namespace hpcqc::mqss

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/mqss/service.hpp"
+
+namespace hpcqc::mqss {
+
+/// How a job reaches the QPU (§2.6's "two fundamentally distinct
+/// user-interaction modes").
+enum class AccessPath {
+  kAuto,  ///< detect from the execution environment
+  kHpc,   ///< in-HPC accelerator-style, tightly-coupled low-latency path
+  kRest,  ///< remote asynchronous REST-queue path
+};
+
+const char* to_string(AccessPath path);
+
+/// Environment detection: inside an HPC allocation when a batch-system
+/// job variable (SLURM_JOB_ID / PBS_JOBID) or the explicit override
+/// HPCQC_INSIDE_HPC=1 is present.
+bool detect_inside_hpc();
+
+/// Handle of a submitted job.
+struct JobTicket {
+  int id = 0;
+  AccessPath path = AccessPath::kHpc;
+};
+
+/// Completed-job view returned by Client::wait.
+struct ClientResult {
+  RunResult run;
+  AccessPath path = AccessPath::kHpc;
+  Seconds turnaround = 0.0;  ///< submit -> result, in simulated time
+  std::size_t polls = 0;     ///< REST poll count (0 on the HPC path)
+};
+
+/// Latency model of the REST access path.
+struct RestClientParams {
+  Seconds request_latency = milliseconds(60.0);  ///< one HTTP round trip
+  Seconds queue_delay = seconds(5.0);            ///< shared-queue wait
+  Seconds poll_interval = seconds(2.0);
+};
+
+/// The MQSS client of Fig. 2: "without requiring any code modifications
+/// from the user, the client automatically detects whether a job originates
+/// inside or outside an HPC environment and routes it accordingly" — to the
+/// HPC backend (synchronous, microsecond-scale overhead) or the REST
+/// backend (asynchronous submission, polling, queueing latency).
+class Client {
+public:
+  /// `service` and `clock` must outlive the client. `path` kAuto engages
+  /// environment detection at construction.
+  Client(QpuService& service, SimClock& clock,
+         AccessPath path = AccessPath::kAuto, RestClientParams rest = {});
+
+  /// The path this client resolved to.
+  AccessPath resolved_path() const { return path_; }
+
+  /// Submits a frontend circuit. On the HPC path execution is immediate
+  /// (the call returns after the tightly-coupled run); on the REST path
+  /// the job enters the remote queue and completes asynchronously.
+  JobTicket submit(const circuit::Circuit& circuit, std::size_t shots,
+                   std::string name = "job");
+
+  /// Batch submission — the feature the early users asked for in §4
+  /// ("users requested features such as batch-job support"). On the REST
+  /// path the whole batch travels in one request, so the per-job round-trip
+  /// latency is amortized; jobs still execute sequentially on the QPU.
+  std::vector<JobTicket> submit_batch(
+      const std::vector<circuit::Circuit>& circuits, std::size_t shots,
+      std::string name = "batch");
+
+  /// Waits for every ticket, in order.
+  std::vector<ClientResult> wait_all(const std::vector<JobTicket>& tickets);
+
+  /// True when the job's result is available at the current clock time.
+  bool ready(const JobTicket& ticket) const;
+
+  /// Blocks (advancing the simulated clock through REST polling) until the
+  /// job completes, then returns the result.
+  ClientResult wait(const JobTicket& ticket);
+
+private:
+  struct PendingJob {
+    std::string name;
+    Seconds submitted_at = 0.0;
+    Seconds ready_at = 0.0;
+    RunResult result;
+    std::size_t polls = 0;
+  };
+
+  QpuService* service_;
+  SimClock* clock_;
+  AccessPath path_;
+  RestClientParams rest_;
+  int next_id_ = 1;
+  std::map<int, PendingJob> jobs_;
+};
+
+}  // namespace hpcqc::mqss

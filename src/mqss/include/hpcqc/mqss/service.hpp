@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/net/formats.hpp"
+#include "hpcqc/qdmi/qdmi.hpp"
+
+namespace hpcqc::mqss {
+
+/// Result of one job run through the stack.
+struct RunResult {
+  qsim::Counts counts;
+  double estimated_fidelity = 1.0;
+  Seconds qpu_time = 0.0;  ///< shots x shot duration on the device
+  std::size_t native_gate_count = 0;
+  std::size_t swap_count = 0;
+  std::vector<int> initial_layout;
+};
+
+/// The execution core both access paths converge on: JIT-compiles the
+/// frontend circuit against live QDMI data and executes it on the device
+/// twin. This is the "QRM + JIT LLVM-based compiler" box of Fig. 2 reduced
+/// to its semantics: compile with live metrics, then run.
+class QpuService {
+public:
+  QpuService(device::DeviceModel& device, const qdmi::DeviceInterface& qdmi,
+             Rng& rng, CompilerOptions options = {});
+
+  const device::DeviceModel& device() const { return *device_; }
+  const qdmi::DeviceInterface& qdmi() const { return *qdmi_; }
+  const CompilerOptions& compiler_options() const { return options_; }
+
+  /// Compile (JIT, against the current calibration) and execute.
+  RunResult run(const circuit::Circuit& circuit, std::size_t shots);
+
+  /// Compile only (exposed for transparency — §4's users asked for
+  /// "greater transparency in the quantum circuit compilation process").
+  CompiledProgram compile_only(const circuit::Circuit& circuit) const;
+
+  /// JIT compile cache: hits while the device's calibration epoch is
+  /// unchanged (recalibration invalidates everything — the JIT placement
+  /// must see the new metrics). Keyed by the circuit's structural hash.
+  /// Enabled by default; repeated variational submissions of *identical*
+  /// circuits skip recompilation.
+  void set_compile_cache_enabled(bool enabled);
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
+  /// Serializes a run's counts in the given §2.4 output format.
+  net::Payload serialize(const RunResult& result,
+                         net::ResultFormat format) const;
+
+private:
+  device::DeviceModel* device_;
+  const qdmi::DeviceInterface* qdmi_;
+  Rng* rng_;
+  CompilerOptions options_;
+
+  bool cache_enabled_ = true;
+  mutable std::map<std::uint64_t, CompiledProgram> cache_;
+  mutable double cache_epoch_ = -1.0;  ///< calibration timestamp of entries
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_misses_ = 0;
+};
+
+}  // namespace hpcqc::mqss

@@ -1,0 +1,92 @@
+#include "hpcqc/mqss/service.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mqss {
+
+QpuService::QpuService(device::DeviceModel& device,
+                       const qdmi::DeviceInterface& qdmi, Rng& rng,
+                       CompilerOptions options)
+    : device_(&device), qdmi_(&qdmi), rng_(&rng), options_(options) {}
+
+RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots) {
+  expects(shots > 0, "QpuService::run: need at least one shot");
+  const CompiledProgram program = compile_only(circuit);
+  const auto exec = device_->execute(program.native_circuit, shots, *rng_);
+  RunResult result;
+  result.counts = exec.counts;
+  result.estimated_fidelity = exec.estimated_fidelity;
+  result.qpu_time = exec.wall_time;
+  result.native_gate_count = program.native_gate_count;
+  result.swap_count = program.swap_count;
+  result.initial_layout = program.initial_layout;
+  return result;
+}
+
+CompiledProgram QpuService::compile_only(const circuit::Circuit& circuit) const {
+  if (!cache_enabled_) return compile(circuit, *qdmi_, options_);
+
+  // A recalibration moves the epoch; stale entries were compiled against
+  // metrics the JIT must no longer trust.
+  const double epoch = device_->calibration().calibrated_at;
+  if (epoch != cache_epoch_) {
+    cache_.clear();
+    cache_epoch_ = epoch;
+  }
+  const std::uint64_t key = circuit.structural_hash();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  auto program = compile(circuit, *qdmi_, options_);
+  cache_.emplace(key, program);
+  return program;
+}
+
+void QpuService::set_compile_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) {
+    cache_.clear();
+    cache_epoch_ = -1.0;
+  }
+}
+
+net::Payload QpuService::serialize(const RunResult& result,
+                                   net::ResultFormat format) const {
+  switch (format) {
+    case net::ResultFormat::kHistogram:
+      return net::encode_histogram(result.counts);
+    case net::ResultFormat::kBitstringsPerShot: {
+      // Expand the histogram back into per-shot records (order is not
+      // semantically meaningful for terminal measurements).
+      std::vector<std::uint64_t> samples;
+      samples.reserve(result.counts.total_shots());
+      for (const auto& [outcome, count] : result.counts.raw())
+        samples.insert(samples.end(), count, outcome);
+      return net::encode_bitstrings(samples, result.counts.num_qubits());
+    }
+    case net::ResultFormat::kRawIq: {
+      // Synthesize IQ-plane points consistent with the classified bits:
+      // |0> clusters near (+1, 0), |1> near (-1, 0), with spread.
+      std::vector<float> iq;
+      const int nq = result.counts.num_qubits();
+      iq.reserve(2 * static_cast<std::size_t>(nq) *
+                 result.counts.total_shots());
+      for (const auto& [outcome, count] : result.counts.raw()) {
+        for (std::uint64_t s = 0; s < count; ++s) {
+          for (int q = 0; q < nq; ++q) {
+            const double center = (outcome >> q) & 1 ? -1.0 : 1.0;
+            iq.push_back(static_cast<float>(center + 0.2 * rng_->normal()));
+            iq.push_back(static_cast<float>(0.2 * rng_->normal()));
+          }
+        }
+      }
+      return net::encode_raw_iq(iq, nq, result.counts.total_shots());
+    }
+  }
+  throw Error("QpuService::serialize: unhandled format");
+}
+
+}  // namespace hpcqc::mqss

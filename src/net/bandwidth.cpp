@@ -1,0 +1,44 @@
+#include "hpcqc/net/bandwidth.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::net {
+
+BitsPerSecond output_data_rate(const BandwidthScenario& scenario) {
+  expects(scenario.num_qubits > 0, "output_data_rate: need qubits");
+  expects(scenario.shot_period > 0.0, "output_data_rate: need a shot period");
+  expects(scenario.duty_cycle > 0.0 && scenario.duty_cycle <= 1.0,
+          "output_data_rate: duty cycle in (0, 1]");
+  double bits_per_shot = 0.0;
+  switch (scenario.format) {
+    case ResultFormat::kBitstringsPerShot:
+      // One byte per measured bit: the 8x inefficiency of §2.4.
+      bits_per_shot = 8.0 * scenario.num_qubits;
+      break;
+    case ResultFormat::kRawIq:
+      // Two float32 per qubit per shot.
+      bits_per_shot = 64.0 * scenario.num_qubits;
+      break;
+    case ResultFormat::kHistogram:
+      // Streaming histograms amortize to ~0 per shot; account the 16-byte
+      // bucket update as if each shot touched one bucket delta of 1 bit of
+      // entropy — in practice the transfer happens once per job, so treat
+      // it as the per-shot floor of 1 bit.
+      bits_per_shot = 1.0;
+      break;
+  }
+  return bits_per_shot / scenario.shot_period * scenario.duty_cycle;
+}
+
+Seconds LinkModel::transfer_time(std::size_t bytes) const {
+  expects(capacity > 0.0 && efficiency > 0.0, "LinkModel: invalid link");
+  return latency +
+         static_cast<double>(bytes) * 8.0 / (capacity * efficiency);
+}
+
+double LinkModel::utilization(BitsPerSecond rate) const {
+  expects(capacity > 0.0, "LinkModel: invalid capacity");
+  return rate / (capacity * efficiency);
+}
+
+}  // namespace hpcqc::net

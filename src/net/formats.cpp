@@ -1,0 +1,154 @@
+#include "hpcqc/net/formats.hpp"
+
+#include <cstring>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::net {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t offset) {
+  expects(offset + 8 <= in.size(), "payload truncated");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)])
+             << (8 * i);
+  return value;
+}
+
+void put_header(Payload& payload, std::uint64_t entries) {
+  put_u64(payload.bytes, static_cast<std::uint64_t>(payload.num_qubits));
+  put_u64(payload.bytes, payload.shots);
+  put_u64(payload.bytes, entries);
+}
+
+}  // namespace
+
+const char* to_string(ResultFormat format) {
+  switch (format) {
+    case ResultFormat::kHistogram: return "histogram";
+    case ResultFormat::kBitstringsPerShot: return "bitstrings-per-shot";
+    case ResultFormat::kRawIq: return "raw-iq";
+  }
+  return "?";
+}
+
+Payload encode_histogram(const qsim::Counts& counts) {
+  Payload payload;
+  payload.format = ResultFormat::kHistogram;
+  payload.num_qubits = counts.num_qubits();
+  payload.shots = counts.total_shots();
+  put_header(payload, counts.raw().size());
+  for (const auto& [outcome, count] : counts.raw()) {
+    put_u64(payload.bytes, outcome);
+    put_u64(payload.bytes, count);
+  }
+  return payload;
+}
+
+qsim::Counts decode_histogram(const Payload& payload) {
+  expects(payload.format == ResultFormat::kHistogram,
+          "decode_histogram: wrong format tag");
+  const auto num_qubits = get_u64(payload.bytes, 0);
+  const auto entries = get_u64(payload.bytes, 16);
+  qsim::Counts counts;
+  counts.set_num_qubits(static_cast<int>(num_qubits));
+  std::size_t offset = kHeaderBytes;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::uint64_t outcome = get_u64(payload.bytes, offset);
+    const std::uint64_t count = get_u64(payload.bytes, offset + 8);
+    counts.add(outcome, count);
+    offset += 16;
+  }
+  return counts;
+}
+
+Payload encode_bitstrings(std::span<const std::uint64_t> samples,
+                          int num_qubits) {
+  expects(num_qubits >= 1 && num_qubits <= 64,
+          "encode_bitstrings: qubit count out of range");
+  Payload payload;
+  payload.format = ResultFormat::kBitstringsPerShot;
+  payload.num_qubits = num_qubits;
+  payload.shots = samples.size();
+  put_header(payload, samples.size());
+  payload.bytes.reserve(kHeaderBytes +
+                        samples.size() * static_cast<std::size_t>(num_qubits));
+  for (std::uint64_t sample : samples)
+    for (int q = 0; q < num_qubits; ++q)
+      payload.bytes.push_back(
+          static_cast<std::uint8_t>((sample >> q) & 1));  // 8 bits per bit
+  return payload;
+}
+
+std::vector<std::uint64_t> decode_bitstrings(const Payload& payload) {
+  expects(payload.format == ResultFormat::kBitstringsPerShot,
+          "decode_bitstrings: wrong format tag");
+  const auto num_qubits = static_cast<int>(get_u64(payload.bytes, 0));
+  const auto shots = get_u64(payload.bytes, 8);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(shots);
+  std::size_t offset = kHeaderBytes;
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    std::uint64_t sample = 0;
+    for (int q = 0; q < num_qubits; ++q) {
+      expects(offset < payload.bytes.size(), "decode_bitstrings: truncated");
+      if (payload.bytes[offset++] != 0) sample |= std::uint64_t{1} << q;
+    }
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+Payload encode_raw_iq(std::span<const float> iq_interleaved, int num_qubits,
+                      std::uint64_t shots) {
+  expects(iq_interleaved.size() ==
+              2 * static_cast<std::size_t>(num_qubits) * shots,
+          "encode_raw_iq: sample count must be 2 * qubits * shots");
+  Payload payload;
+  payload.format = ResultFormat::kRawIq;
+  payload.num_qubits = num_qubits;
+  payload.shots = shots;
+  put_header(payload, iq_interleaved.size());
+  payload.bytes.resize(kHeaderBytes + iq_interleaved.size() * sizeof(float));
+  std::memcpy(payload.bytes.data() + kHeaderBytes, iq_interleaved.data(),
+              iq_interleaved.size() * sizeof(float));
+  return payload;
+}
+
+std::vector<float> decode_raw_iq(const Payload& payload) {
+  expects(payload.format == ResultFormat::kRawIq,
+          "decode_raw_iq: wrong format tag");
+  const auto entries = get_u64(payload.bytes, 16);
+  expects(payload.bytes.size() == kHeaderBytes + entries * sizeof(float),
+          "decode_raw_iq: truncated payload");
+  std::vector<float> samples(entries);
+  std::memcpy(samples.data(), payload.bytes.data() + kHeaderBytes,
+              entries * sizeof(float));
+  return samples;
+}
+
+std::size_t payload_size_bytes(ResultFormat format, int num_qubits,
+                               std::uint64_t shots,
+                               std::size_t distinct_outcomes) {
+  switch (format) {
+    case ResultFormat::kHistogram:
+      return kHeaderBytes + distinct_outcomes * 16;
+    case ResultFormat::kBitstringsPerShot:
+      return kHeaderBytes + static_cast<std::size_t>(num_qubits) * shots;
+    case ResultFormat::kRawIq:
+      return kHeaderBytes +
+             2 * sizeof(float) * static_cast<std::size_t>(num_qubits) * shots;
+  }
+  return 0;
+}
+
+}  // namespace hpcqc::net

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/net/formats.hpp"
+
+namespace hpcqc::net {
+
+/// Inputs of the paper's §2.4 back-of-the-envelope estimate.
+struct BandwidthScenario {
+  int num_qubits = 20;
+  /// Passive reset dominates the shot: 300 µs per shot.
+  Seconds shot_period = microseconds(300.0);
+  ResultFormat format = ResultFormat::kBitstringsPerShot;
+  /// Fraction of wall time actually spent measuring (control-software
+  /// overhead means "fully continuous measurements are not possible").
+  double duty_cycle = 1.0;
+};
+
+/// Sustained output data rate of continuously measured circuits:
+/// for the paper's numbers (20 qubits, 300 µs, byte-per-bit, duty 1.0)
+/// this returns 533.3 kbit/s.
+BitsPerSecond output_data_rate(const BandwidthScenario& scenario);
+
+/// Network link between the QPU and the HPC resources (1 Gbit Ethernet in
+/// the installation described).
+struct LinkModel {
+  BitsPerSecond capacity = gigabits_per_second(1.0);
+  Seconds latency = milliseconds(0.5);
+  /// Protocol efficiency (framing/TCP overhead).
+  double efficiency = 0.94;
+
+  /// Time to move a payload of the given size.
+  Seconds transfer_time(std::size_t bytes) const;
+  /// Fraction of the link a sustained data rate occupies.
+  double utilization(BitsPerSecond rate) const;
+};
+
+}  // namespace hpcqc::net

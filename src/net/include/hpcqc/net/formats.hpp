@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hpcqc/qsim/counts.hpp"
+
+namespace hpcqc::net {
+
+/// The three job-output formats §2.4 describes, in increasing size order
+/// for typical jobs:
+///  - kHistogram: measured bitstrings and their occurrence counts — "the
+///    most common output format for circuit-based jobs";
+///  - kBitstringsPerShot: one bitstring per prescribed shot, each measured
+///    bit consuming one byte (the 8-bits-per-bit inefficiency of the
+///    paper's naive estimate);
+///  - kRawIq: pulse-level readout — a complex (a + bi) sample per qubit per
+///    shot as a pair of floats.
+enum class ResultFormat {
+  kHistogram,
+  kBitstringsPerShot,
+  kRawIq,
+};
+
+const char* to_string(ResultFormat format);
+
+/// Serialized payload plus its logical description.
+struct Payload {
+  ResultFormat format = ResultFormat::kHistogram;
+  int num_qubits = 0;
+  std::uint64_t shots = 0;
+  std::vector<std::uint8_t> bytes;
+
+  std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Histogram codec: little-endian header (qubits, shots, entries) followed
+/// by (outcome: u64, count: u64) pairs.
+Payload encode_histogram(const qsim::Counts& counts);
+qsim::Counts decode_histogram(const Payload& payload);
+
+/// Per-shot bitstring codec: one byte per measured bit per shot (the
+/// deliberately inefficient representation of the paper's estimate).
+Payload encode_bitstrings(std::span<const std::uint64_t> samples,
+                          int num_qubits);
+std::vector<std::uint64_t> decode_bitstrings(const Payload& payload);
+
+/// Raw-IQ codec: per shot, per qubit, two float32 (I, Q). The caller
+/// supplies the complex samples flattened shot-major.
+Payload encode_raw_iq(std::span<const float> iq_interleaved, int num_qubits,
+                      std::uint64_t shots);
+std::vector<float> decode_raw_iq(const Payload& payload);
+
+/// Payload size in bytes without materializing it — used for the §2.4
+/// estimate at large qubit counts.
+std::size_t payload_size_bytes(ResultFormat format, int num_qubits,
+                               std::uint64_t shots,
+                               std::size_t distinct_outcomes = 0);
+
+}  // namespace hpcqc::net

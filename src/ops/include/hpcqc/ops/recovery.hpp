@@ -1,0 +1,56 @@
+#pragma once
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/calibration/routines.hpp"
+#include "hpcqc/common/log.hpp"
+#include "hpcqc/cryo/cryostat.hpp"
+#include "hpcqc/device/device_model.hpp"
+
+namespace hpcqc::ops {
+
+/// Timing breakdown of one §3.5 recovery: "First, the underlying issue ...
+/// must be identified and resolved. Once the issue is addressed, the
+/// cryostat must be cooled down to its operating temperature ... Once the
+/// system is below 100 mK ... recalibration and benchmark verification of
+/// the system can occur."
+struct RecoveryReport {
+  Kelvin peak_temperature = 0.0;
+  bool calibration_preserved = false;  ///< excursion stayed below 1 K
+  Seconds fault_resolution = 0.0;
+  Seconds cooldown = 0.0;
+  Seconds calibration = 0.0;
+  Seconds verification = 0.0;
+  calibration::CalibrationKind calibration_used =
+      calibration::CalibrationKind::kQuick;
+  double post_recovery_ghz = 0.0;
+
+  Seconds total() const {
+    return fault_resolution + cooldown + calibration + verification;
+  }
+};
+
+/// Executes the sequential §3.5 restart procedure against the thermal and
+/// device models. The cryostat must already have cooling restored
+/// (underlying issue fixed) when `execute` is called; `fault_resolution`
+/// is the time the caller spent diagnosing and fixing it.
+class RecoveryProcedure {
+public:
+  struct Params {
+    Seconds thermal_step = minutes(5.0);
+    Seconds verification_duration = minutes(15.0);
+    calibration::GhzBenchmark::Params benchmark;
+  };
+
+  RecoveryProcedure();
+  explicit RecoveryProcedure(Params params);
+
+  RecoveryReport execute(cryo::Cryostat& cryostat,
+                         device::DeviceModel& device,
+                         Seconds fault_resolution, Rng& rng,
+                         EventLog* log = nullptr, Seconds start = 0.0) const;
+
+private:
+  Params params_;
+};
+
+}  // namespace hpcqc::ops

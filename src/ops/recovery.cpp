@@ -1,0 +1,74 @@
+#include "hpcqc/ops/recovery.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::ops {
+
+RecoveryProcedure::RecoveryProcedure() : RecoveryProcedure(Params{}) {}
+
+RecoveryProcedure::RecoveryProcedure(Params params) : params_(params) {
+  expects(params_.thermal_step > 0.0,
+          "RecoveryProcedure: thermal step must be positive");
+}
+
+RecoveryReport RecoveryProcedure::execute(cryo::Cryostat& cryostat,
+                                          device::DeviceModel& device,
+                                          Seconds fault_resolution, Rng& rng,
+                                          EventLog* log, Seconds start) const {
+  ensure_state(cryostat.cooling_active(),
+               "RecoveryProcedure: restore cooling (fix the fault) first");
+
+  RecoveryReport report;
+  report.fault_resolution = fault_resolution;
+  report.peak_temperature = cryostat.peak_since_operating();
+  report.calibration_preserved = cryostat.calibration_preserved();
+
+  Seconds t = start + fault_resolution;
+  if (log)
+    log->info(t, "recovery",
+              "fault resolved; peak excursion " +
+                  std::to_string(report.peak_temperature) + " K, cooldown " +
+                  "starting");
+
+  // Stage 2: cooldown to operating temperature.
+  while (!cryostat.at_base()) {
+    cryostat.step(params_.thermal_step);
+    report.cooldown += params_.thermal_step;
+    t += params_.thermal_step;
+    expects(report.cooldown < days(30.0),
+            "RecoveryProcedure: cooldown did not converge");
+  }
+  if (log)
+    log->info(t, "recovery",
+              "back at base temperature after " +
+                  std::to_string(to_days(report.cooldown)) + " days");
+
+  // Stage 3: recalibration. Small excursions (< 1 K) are recoverable by
+  // the automated quick calibration; larger ones require the full
+  // procedure (§3.5).
+  report.calibration_used = report.calibration_preserved
+                                ? calibration::CalibrationKind::kQuick
+                                : calibration::CalibrationKind::kFull;
+  const calibration::CalibrationEngine engine;
+  const auto outcome = engine.run(device, report.calibration_used, t, rng);
+  report.calibration = outcome.duration;
+  t += outcome.duration;
+
+  // Stage 4: benchmark verification.
+  const calibration::GhzBenchmark benchmark(params_.benchmark);
+  const auto verification = benchmark.run(device, t, rng);
+  report.post_recovery_ghz = verification.ghz_success;
+  report.verification = params_.verification_duration;
+  t += params_.verification_duration;
+
+  cryostat.acknowledge_recovery();
+  if (log)
+    log->info(t, "recovery",
+              std::string("recovery complete (") +
+                  to_string(report.calibration_used) +
+                  " calibration, ghz=" +
+                  std::to_string(report.post_recovery_ghz) + ")");
+  return report;
+}
+
+}  // namespace hpcqc::ops

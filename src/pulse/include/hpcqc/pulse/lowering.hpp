@@ -1,0 +1,41 @@
+#pragma once
+
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/pulse/schedule.hpp"
+
+namespace hpcqc::pulse {
+
+/// Pulse-level calibration constants used when lowering native gates to
+/// waveforms. Derived from the device spec; a pulse-level user can tweak
+/// them (that is the point of pulse access).
+struct PulseCalibration {
+  double dt_ns = 1.0;
+  double prx_duration_ns = 20.0;
+  double prx_sigma_ns = 5.0;
+  double drag_beta = 0.6;
+  /// Drive amplitude producing a pi rotation over one PRX duration.
+  double pi_amplitude = 0.8;
+  double cz_duration_ns = 40.0;
+  double cz_flux_amplitude = 0.5;
+  double cz_edge_sigma_ns = 5.0;
+  double readout_duration_ns = 2000.0;
+  double readout_amplitude = 0.3;
+
+  /// Defaults consistent with a device spec's gate timings.
+  static PulseCalibration from_spec(const device::DeviceSpec& spec);
+};
+
+/// Lowers a *native* circuit (PRX / CZ / measure, post-compiler) to a pulse
+/// schedule — the final lowering stage below the gate-level ISA:
+///  - PRX(theta, phi): DRAG pulse on the qubit's drive channel, amplitude
+///    proportional to theta/pi, IQ envelope rotated by phi;
+///  - CZ: flat-top flux pulse on the coupler channel, synchronizing both
+///    qubits' drive channels;
+///  - measure: readout tones on the measured qubits, after all gates.
+/// Throws PreconditionError on non-native gates (compile first).
+Schedule lower_to_pulses(const circuit::Circuit& circuit,
+                         const device::Topology& topology,
+                         const PulseCalibration& calibration = {});
+
+}  // namespace hpcqc::pulse

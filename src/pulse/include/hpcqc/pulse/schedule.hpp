@@ -1,0 +1,76 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcqc/pulse/waveform.hpp"
+
+namespace hpcqc::pulse {
+
+/// Control channels of the transmon stack: a microwave drive line per
+/// qubit, a flux line per tunable coupler, and a readout line per qubit.
+enum class ChannelKind { kDrive, kFlux, kReadout };
+
+const char* to_string(ChannelKind kind);
+
+struct Channel {
+  ChannelKind kind = ChannelKind::kDrive;
+  int index = 0;  ///< qubit id for drive/readout, coupler edge id for flux
+
+  auto operator<=>(const Channel&) const = default;
+};
+
+/// One timed playback on a channel.
+struct PlayInstruction {
+  Channel channel;
+  double start_ns = 0.0;
+  PulseWaveform waveform;
+
+  double end_ns() const { return start_ns + waveform.duration_ns(); }
+};
+
+/// A timed pulse program — the artifact pulse-level users build and the
+/// gate-level compiler lowers into. Instructions on the same channel must
+/// not overlap; different channels are free to play concurrently.
+class Schedule {
+public:
+  /// Schedules the waveform at an explicit time; rejects channel overlap.
+  void play_at(Channel channel, double start_ns, PulseWaveform waveform);
+
+  /// Schedules as early as possible on the channel (right-aligned to the
+  /// channel's current end).
+  void play(Channel channel, PulseWaveform waveform);
+
+  /// Schedules after *all* listed channels are free and blocks each of
+  /// them until it finishes (the cross-channel sync a 2-qubit gate needs).
+  /// The waveform itself plays on `target`.
+  void play_synchronized(const std::vector<Channel>& channels,
+                         Channel target, PulseWaveform waveform);
+
+  /// Inserts idle time on a channel.
+  void delay(Channel channel, double duration_ns);
+
+  std::size_t size() const { return instructions_.size(); }
+  const std::vector<PlayInstruction>& instructions() const {
+    return instructions_;
+  }
+
+  /// Total program duration (max channel end time).
+  double duration_ns() const;
+
+  /// End time of one channel (0 when unused).
+  double channel_end_ns(Channel channel) const;
+
+  /// Instructions on one channel, in time order.
+  std::vector<PlayInstruction> channel_program(Channel channel) const;
+
+  /// Every channel referenced by the program.
+  std::vector<Channel> channels() const;
+
+private:
+  std::vector<PlayInstruction> instructions_;
+  std::map<Channel, double> channel_end_;
+};
+
+}  // namespace hpcqc::pulse

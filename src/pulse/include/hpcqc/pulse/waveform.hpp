@@ -1,0 +1,59 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace hpcqc::pulse {
+
+/// Complex (IQ) baseband envelope, sampled at the control electronics' DAC
+/// rate. This is the representation users with pulse-level access (§4
+/// identified them explicitly) hand to the stack "as pulses" instead of
+/// gate-level circuits.
+class PulseWaveform {
+public:
+  PulseWaveform() = default;
+  PulseWaveform(double sample_dt_ns, std::vector<std::complex<double>> samples);
+
+  double sample_dt_ns() const { return sample_dt_ns_; }
+  const std::vector<std::complex<double>>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  double duration_ns() const {
+    return sample_dt_ns_ * static_cast<double>(samples_.size());
+  }
+
+  /// Integral of the envelope (drives the rotation angle), in amp x ns.
+  std::complex<double> area() const;
+  /// Largest |sample|; control hardware clips beyond 1.0.
+  double peak_amplitude() const;
+  bool within_hardware_range() const { return peak_amplitude() <= 1.0; }
+
+  /// Scales every sample by a complex factor (amplitude and/or phase).
+  PulseWaveform scaled(std::complex<double> factor) const;
+
+  // ---- Standard analytic envelopes ----------------------------------------
+
+  /// Gaussian envelope, truncated at +-2 sigma around the center.
+  static PulseWaveform gaussian(double amplitude, double sigma_ns,
+                                double duration_ns, double dt_ns = 1.0);
+
+  /// DRAG envelope: gaussian I component with a derivative Q component
+  /// (beta x dG/dt), the standard single-qubit pulse on transmons.
+  static PulseWaveform drag(double amplitude, double sigma_ns, double beta,
+                            double duration_ns, double dt_ns = 1.0);
+
+  /// Flat-top: square body with gaussian rising/falling edges — the shape
+  /// of flux pulses driving tunable-coupler CZ gates.
+  static PulseWaveform gaussian_square(double amplitude, double duration_ns,
+                                       double edge_sigma_ns,
+                                       double dt_ns = 1.0);
+
+  /// Constant envelope.
+  static PulseWaveform constant(double amplitude, double duration_ns,
+                                double dt_ns = 1.0);
+
+private:
+  double sample_dt_ns_ = 1.0;
+  std::vector<std::complex<double>> samples_;
+};
+
+}  // namespace hpcqc::pulse

@@ -1,0 +1,98 @@
+#include "hpcqc/pulse/lowering.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::pulse {
+
+PulseCalibration PulseCalibration::from_spec(const device::DeviceSpec& spec) {
+  PulseCalibration calibration;
+  calibration.prx_duration_ns = spec.prx_duration_ns;
+  calibration.prx_sigma_ns = spec.prx_duration_ns / 4.0;
+  calibration.cz_duration_ns = spec.cz_duration_ns;
+  calibration.cz_edge_sigma_ns = spec.cz_duration_ns / 8.0;
+  calibration.readout_duration_ns = spec.readout_duration_us * 1e3;
+  return calibration;
+}
+
+Schedule lower_to_pulses(const circuit::Circuit& circuit,
+                         const device::Topology& topology,
+                         const PulseCalibration& calibration) {
+  expects(circuit.num_qubits() <= topology.num_qubits(),
+          "lower_to_pulses: circuit does not fit the device");
+  Schedule schedule;
+
+  for (const auto& op : circuit.ops()) {
+    switch (op.kind) {
+      case circuit::OpKind::kBarrier: {
+        // Align every touched channel to the current global frontier.
+        const double frontier = schedule.duration_ns();
+        for (const Channel& channel : schedule.channels()) {
+          const double gap = frontier - schedule.channel_end_ns(channel);
+          if (gap > 0.0) schedule.delay(channel, gap);
+        }
+        break;
+      }
+      case circuit::OpKind::kPrx: {
+        const double theta =
+            std::remainder(op.params[0], 4.0 * M_PI);  // [-2pi, 2pi]
+        const double phi = op.params[1];
+        const double amplitude =
+            calibration.pi_amplitude * theta / M_PI;
+        const PulseWaveform envelope =
+            PulseWaveform::drag(std::abs(amplitude), calibration.prx_sigma_ns,
+                                calibration.drag_beta,
+                                calibration.prx_duration_ns,
+                                calibration.dt_ns);
+        // The axis phase rotates the IQ envelope; a negative angle adds pi.
+        const double frame = phi + (amplitude < 0.0 ? M_PI : 0.0);
+        schedule.play({ChannelKind::kDrive, op.qubits[0]},
+                      envelope.scaled(std::polar(1.0, frame)));
+        break;
+      }
+      case circuit::OpKind::kCz: {
+        const int edge = topology.edge_index(op.qubits[0], op.qubits[1]);
+        const PulseWaveform flux = PulseWaveform::gaussian_square(
+            calibration.cz_flux_amplitude, calibration.cz_duration_ns,
+            calibration.cz_edge_sigma_ns, calibration.dt_ns);
+        // The flux pulse must not overlap with either qubit's drives.
+        schedule.play_synchronized(
+            {{ChannelKind::kDrive, op.qubits[0]},
+             {ChannelKind::kDrive, op.qubits[1]},
+             {ChannelKind::kFlux, edge}},
+            {ChannelKind::kFlux, edge}, flux);
+        break;
+      }
+      case circuit::OpKind::kMeasure: {
+        std::vector<int> measured = op.qubits;
+        if (measured.empty())
+          for (int q = 0; q < circuit.num_qubits(); ++q)
+            measured.push_back(q);
+        // Readout starts after every gate has finished (global barrier).
+        const double frontier = schedule.duration_ns();
+        for (int q : measured) {
+          const PulseWaveform tone = PulseWaveform::constant(
+              calibration.readout_amplitude, calibration.readout_duration_ns,
+              calibration.dt_ns);
+          schedule.play_at({ChannelKind::kReadout, q},
+                           std::max(frontier,
+                                    schedule.channel_end_ns(
+                                        {ChannelKind::kReadout, q})),
+                           tone);
+        }
+        break;
+      }
+      case circuit::OpKind::kI:
+        break;
+      default:
+        throw PreconditionError(
+            std::string("lower_to_pulses: non-native gate '") +
+            circuit::op_name(op.kind) + "' — run the compiler first");
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hpcqc::pulse

@@ -1,0 +1,82 @@
+#include "hpcqc/pulse/schedule.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::pulse {
+
+const char* to_string(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::kDrive: return "drive";
+    case ChannelKind::kFlux: return "flux";
+    case ChannelKind::kReadout: return "readout";
+  }
+  return "?";
+}
+
+void Schedule::play_at(Channel channel, double start_ns,
+                       PulseWaveform waveform) {
+  expects(start_ns >= 0.0, "Schedule::play_at: negative start time");
+  const double busy_until = channel_end_ns(channel);
+  expects(start_ns >= busy_until - 1e-9,
+          "Schedule::play_at: overlapping instructions on one channel");
+  PlayInstruction instruction{channel, start_ns, std::move(waveform)};
+  channel_end_[channel] = instruction.end_ns();
+  instructions_.push_back(std::move(instruction));
+}
+
+void Schedule::play(Channel channel, PulseWaveform waveform) {
+  play_at(channel, channel_end_ns(channel), std::move(waveform));
+}
+
+void Schedule::play_synchronized(const std::vector<Channel>& channels,
+                                 Channel target, PulseWaveform waveform) {
+  expects(std::find(channels.begin(), channels.end(), target) !=
+              channels.end(),
+          "Schedule::play_synchronized: target must be one of the channels");
+  double start = 0.0;
+  for (const Channel& channel : channels)
+    start = std::max(start, channel_end_ns(channel));
+  const double end = start + waveform.duration_ns();
+  play_at(target, start, std::move(waveform));
+  for (const Channel& channel : channels)
+    if (!(channel == target)) channel_end_[channel] = end;
+}
+
+void Schedule::delay(Channel channel, double duration_ns) {
+  expects(duration_ns >= 0.0, "Schedule::delay: negative duration");
+  channel_end_[channel] = channel_end_ns(channel) + duration_ns;
+}
+
+double Schedule::duration_ns() const {
+  double end = 0.0;
+  for (const auto& [channel, channel_end] : channel_end_)
+    end = std::max(end, channel_end);
+  return end;
+}
+
+double Schedule::channel_end_ns(Channel channel) const {
+  const auto it = channel_end_.find(channel);
+  return it == channel_end_.end() ? 0.0 : it->second;
+}
+
+std::vector<PlayInstruction> Schedule::channel_program(
+    Channel channel) const {
+  std::vector<PlayInstruction> program;
+  for (const auto& instruction : instructions_)
+    if (instruction.channel == channel) program.push_back(instruction);
+  std::sort(program.begin(), program.end(),
+            [](const PlayInstruction& a, const PlayInstruction& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return program;
+}
+
+std::vector<Channel> Schedule::channels() const {
+  std::vector<Channel> out;
+  for (const auto& [channel, end] : channel_end_) out.push_back(channel);
+  return out;
+}
+
+}  // namespace hpcqc::pulse

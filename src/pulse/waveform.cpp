@@ -1,0 +1,111 @@
+#include "hpcqc/pulse/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::pulse {
+
+PulseWaveform::PulseWaveform(double sample_dt_ns,
+                             std::vector<std::complex<double>> samples)
+    : sample_dt_ns_(sample_dt_ns), samples_(std::move(samples)) {
+  expects(sample_dt_ns_ > 0.0, "PulseWaveform: sample period must be > 0");
+}
+
+std::complex<double> PulseWaveform::area() const {
+  std::complex<double> acc{0.0, 0.0};
+  for (const auto& sample : samples_) acc += sample;
+  return acc * sample_dt_ns_;
+}
+
+double PulseWaveform::peak_amplitude() const {
+  double peak = 0.0;
+  for (const auto& sample : samples_)
+    peak = std::max(peak, std::abs(sample));
+  return peak;
+}
+
+PulseWaveform PulseWaveform::scaled(std::complex<double> factor) const {
+  std::vector<std::complex<double>> scaled_samples = samples_;
+  for (auto& sample : scaled_samples) sample *= factor;
+  return PulseWaveform(sample_dt_ns_, std::move(scaled_samples));
+}
+
+namespace {
+
+std::size_t sample_count(double duration_ns, double dt_ns) {
+  expects(duration_ns > 0.0 && dt_ns > 0.0,
+          "pulse envelope: duration and dt must be positive");
+  return static_cast<std::size_t>(std::llround(duration_ns / dt_ns));
+}
+
+}  // namespace
+
+PulseWaveform PulseWaveform::gaussian(double amplitude, double sigma_ns,
+                                      double duration_ns, double dt_ns) {
+  expects(sigma_ns > 0.0, "gaussian: sigma must be positive");
+  const std::size_t n = sample_count(duration_ns, dt_ns);
+  const double center = duration_ns / 2.0;
+  std::vector<std::complex<double>> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt_ns;
+    const double arg = (t - center) / sigma_ns;
+    samples[i] = amplitude * std::exp(-0.5 * arg * arg);
+  }
+  return PulseWaveform(dt_ns, std::move(samples));
+}
+
+PulseWaveform PulseWaveform::drag(double amplitude, double sigma_ns,
+                                  double beta, double duration_ns,
+                                  double dt_ns) {
+  expects(sigma_ns > 0.0, "drag: sigma must be positive");
+  const std::size_t n = sample_count(duration_ns, dt_ns);
+  const double center = duration_ns / 2.0;
+  std::vector<std::complex<double>> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt_ns;
+    const double arg = (t - center) / sigma_ns;
+    const double gauss = amplitude * std::exp(-0.5 * arg * arg);
+    // Q component: beta * dG/dt = -beta * (t - center)/sigma^2 * G.
+    const double derivative = -beta * (t - center) / (sigma_ns * sigma_ns) *
+                              gauss;
+    samples[i] = std::complex<double>(gauss, derivative);
+  }
+  return PulseWaveform(dt_ns, std::move(samples));
+}
+
+PulseWaveform PulseWaveform::gaussian_square(double amplitude,
+                                             double duration_ns,
+                                             double edge_sigma_ns,
+                                             double dt_ns) {
+  expects(edge_sigma_ns > 0.0, "gaussian_square: edge sigma must be positive");
+  const std::size_t n = sample_count(duration_ns, dt_ns);
+  const double rise_end = 2.0 * edge_sigma_ns;
+  const double fall_start = duration_ns - 2.0 * edge_sigma_ns;
+  expects(fall_start > rise_end,
+          "gaussian_square: duration too short for the edges");
+  std::vector<std::complex<double>> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt_ns;
+    double value = amplitude;
+    if (t < rise_end) {
+      const double arg = (t - rise_end) / edge_sigma_ns;
+      value = amplitude * std::exp(-0.5 * arg * arg);
+    } else if (t > fall_start) {
+      const double arg = (t - fall_start) / edge_sigma_ns;
+      value = amplitude * std::exp(-0.5 * arg * arg);
+    }
+    samples[i] = value;
+  }
+  return PulseWaveform(dt_ns, std::move(samples));
+}
+
+PulseWaveform PulseWaveform::constant(double amplitude, double duration_ns,
+                                      double dt_ns) {
+  return PulseWaveform(
+      dt_ns, std::vector<std::complex<double>>(
+                 sample_count(duration_ns, dt_ns), amplitude));
+}
+
+}  // namespace hpcqc::pulse

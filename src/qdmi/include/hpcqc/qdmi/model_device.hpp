@@ -1,0 +1,35 @@
+#pragma once
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/qdmi/qdmi.hpp"
+
+namespace hpcqc::qdmi {
+
+/// QDMI device backed directly by the live DeviceModel — the integration
+/// used when the compiler and scheduler run co-located with the QPU control
+/// software. Status is owned by whoever operates the device (the QRM /
+/// calibration controller flips it around jobs and calibration windows).
+class ModelBackedDevice final : public DeviceInterface {
+public:
+  /// Both referents must outlive this adapter.
+  ModelBackedDevice(const device::DeviceModel& model, const SimClock& clock);
+
+  std::string name() const override;
+  int num_qubits() const override;
+  std::vector<std::pair<int, int>> coupling_map() const override;
+  std::vector<std::string> native_gates() const override;
+  double qubit_property(QubitProperty prop, int qubit) const override;
+  double coupler_property(CouplerProperty prop, int a, int b) const override;
+  double device_property(DeviceProperty prop) const override;
+  DeviceStatus status() const override { return status_; }
+
+  void set_status(DeviceStatus status) { status_ = status; }
+
+private:
+  const device::DeviceModel* model_;
+  const SimClock* clock_;
+  DeviceStatus status_ = DeviceStatus::kIdle;
+};
+
+}  // namespace hpcqc::qdmi

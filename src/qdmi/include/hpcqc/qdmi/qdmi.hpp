@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcqc::qdmi {
+
+/// Queryable per-qubit metrics (QDMI "device properties" at qubit scope).
+enum class QubitProperty {
+  kT1Us,
+  kT2Us,
+  kFidelity1q,
+  kReadoutFidelity,
+  kHasTlsDefect,  // 1.0 / 0.0
+};
+
+/// Queryable per-coupler metrics.
+enum class CouplerProperty {
+  kFidelityCz,
+};
+
+/// Queryable device-scope metrics.
+enum class DeviceProperty {
+  kNumQubits,
+  kNumCouplers,
+  kMedianFidelity1q,
+  kMedianFidelityCz,
+  kMedianReadoutFidelity,
+  kCalibrationAgeHours,
+  kShotResetUs,  ///< passive reset period dominating the shot duration
+};
+
+/// Operational state of the backend, as exposed to schedulers and clients.
+enum class DeviceStatus {
+  kIdle,
+  kExecuting,
+  kCalibrating,
+  kMaintenance,
+  kOffline,
+};
+
+const char* to_string(DeviceStatus status);
+
+/// The Quantum Device Management Interface: a narrow, query-based contract
+/// between hardware backends and software tools (compilers, schedulers,
+/// monitoring). Mirrors the published QDMI design: "software tools query
+/// backend-specific metrics, including topology, gate fidelities, noise
+/// characteristics, and resource constraints, at runtime", enabling JIT
+/// adaptation of compilation and scheduling.
+class DeviceInterface {
+public:
+  virtual ~DeviceInterface() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_qubits() const = 0;
+  virtual std::vector<std::pair<int, int>> coupling_map() const = 0;
+  virtual std::vector<std::string> native_gates() const = 0;
+
+  virtual double qubit_property(QubitProperty prop, int qubit) const = 0;
+  virtual double coupler_property(CouplerProperty prop, int a, int b) const = 0;
+  virtual double device_property(DeviceProperty prop) const = 0;
+  virtual DeviceStatus status() const = 0;
+};
+
+}  // namespace hpcqc::qdmi

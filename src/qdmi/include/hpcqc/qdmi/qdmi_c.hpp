@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "hpcqc/qdmi/qdmi.hpp"
+
+namespace hpcqc::qdmi::c {
+
+/// Status codes of the C-style QDMI shim. The published QDMI is "a
+/// lightweight header-only C interface"; this shim exposes the same
+/// query-based contract with integer handles, out-parameters and status
+/// codes so that C tools (or FFI bindings) could consume the stack without
+/// touching C++ types or exceptions.
+enum Status : int {
+  kSuccess = 0,
+  kErrorInvalidHandle = 1,
+  kErrorOutOfRange = 2,
+  kErrorInvalidArgument = 3,
+  kErrorBufferTooSmall = 4,
+};
+
+using DeviceHandle = int;
+
+/// Owns the handle table of one QDMI session. Devices are borrowed (the
+/// session never owns backends) and must outlive their handles.
+class Session {
+public:
+  /// Registers a backend; returns a positive handle.
+  DeviceHandle open_device(const DeviceInterface& device);
+
+  /// Unregisters; later queries on the handle return kErrorInvalidHandle.
+  Status close_device(DeviceHandle handle);
+
+  std::size_t open_device_count() const { return devices_.size(); }
+
+  Status query_device_property(DeviceHandle handle, DeviceProperty prop,
+                               double* out) const;
+  Status query_qubit_property(DeviceHandle handle, QubitProperty prop,
+                              int qubit, double* out) const;
+  Status query_coupler_property(DeviceHandle handle, CouplerProperty prop,
+                                int qubit_a, int qubit_b, double* out) const;
+
+  /// Writes the coupling map as flat (a, b) pairs into `buffer` (capacity in
+  /// ints). `*written` receives the number of ints needed; returns
+  /// kErrorBufferTooSmall (with *written set) when capacity is insufficient.
+  Status query_coupling_map(DeviceHandle handle, int* buffer,
+                            std::size_t capacity, std::size_t* written) const;
+
+  /// Writes the NUL-terminated device name; same buffer protocol.
+  Status query_name(DeviceHandle handle, char* buffer, std::size_t capacity,
+                    std::size_t* written) const;
+
+  /// Writes the DeviceStatus as an int.
+  Status query_status(DeviceHandle handle, int* out) const;
+
+private:
+  const DeviceInterface* find(DeviceHandle handle) const;
+
+  DeviceHandle next_handle_ = 1;
+  std::map<DeviceHandle, const DeviceInterface*> devices_;
+};
+
+}  // namespace hpcqc::qdmi::c

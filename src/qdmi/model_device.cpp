@@ -1,0 +1,80 @@
+#include "hpcqc/qdmi/model_device.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::qdmi {
+
+const char* to_string(DeviceStatus status) {
+  switch (status) {
+    case DeviceStatus::kIdle: return "idle";
+    case DeviceStatus::kExecuting: return "executing";
+    case DeviceStatus::kCalibrating: return "calibrating";
+    case DeviceStatus::kMaintenance: return "maintenance";
+    case DeviceStatus::kOffline: return "offline";
+  }
+  return "?";
+}
+
+ModelBackedDevice::ModelBackedDevice(const device::DeviceModel& model,
+                                     const SimClock& clock)
+    : model_(&model), clock_(&clock) {}
+
+std::string ModelBackedDevice::name() const { return model_->name(); }
+
+int ModelBackedDevice::num_qubits() const { return model_->num_qubits(); }
+
+std::vector<std::pair<int, int>> ModelBackedDevice::coupling_map() const {
+  return model_->topology().edges();
+}
+
+std::vector<std::string> ModelBackedDevice::native_gates() const {
+  return {"prx", "cz"};
+}
+
+double ModelBackedDevice::qubit_property(QubitProperty prop, int qubit) const {
+  expects(qubit >= 0 && qubit < model_->num_qubits(),
+          "qubit_property: qubit out of range");
+  const auto& metrics =
+      model_->calibration().qubits[static_cast<std::size_t>(qubit)];
+  switch (prop) {
+    case QubitProperty::kT1Us: return metrics.t1_us;
+    case QubitProperty::kT2Us: return metrics.t2_us;
+    case QubitProperty::kFidelity1q: return metrics.fidelity_1q;
+    case QubitProperty::kReadoutFidelity: return metrics.readout_fidelity;
+    case QubitProperty::kHasTlsDefect: return metrics.tls_defect ? 1.0 : 0.0;
+  }
+  throw Error("qubit_property: unhandled property");
+}
+
+double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
+                                           int b) const {
+  const int edge = model_->topology().edge_index(a, b);
+  switch (prop) {
+    case CouplerProperty::kFidelityCz:
+      return model_->calibration()
+          .couplers[static_cast<std::size_t>(edge)]
+          .fidelity_cz;
+  }
+  throw Error("coupler_property: unhandled property");
+}
+
+double ModelBackedDevice::device_property(DeviceProperty prop) const {
+  const auto& cal = model_->calibration();
+  switch (prop) {
+    case DeviceProperty::kNumQubits:
+      return static_cast<double>(model_->num_qubits());
+    case DeviceProperty::kNumCouplers:
+      return static_cast<double>(model_->topology().num_edges());
+    case DeviceProperty::kMedianFidelity1q: return cal.median_fidelity_1q();
+    case DeviceProperty::kMedianFidelityCz: return cal.median_fidelity_cz();
+    case DeviceProperty::kMedianReadoutFidelity:
+      return cal.median_readout_fidelity();
+    case DeviceProperty::kCalibrationAgeHours:
+      return to_hours(clock_->now() - cal.calibrated_at);
+    case DeviceProperty::kShotResetUs:
+      return model_->spec().passive_reset_us;
+  }
+  throw Error("device_property: unhandled property");
+}
+
+}  // namespace hpcqc::qdmi

@@ -1,0 +1,106 @@
+#include "hpcqc/qdmi/qdmi_c.hpp"
+
+#include <cstring>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::qdmi::c {
+
+DeviceHandle Session::open_device(const DeviceInterface& device) {
+  const DeviceHandle handle = next_handle_++;
+  devices_.emplace(handle, &device);
+  return handle;
+}
+
+Status Session::close_device(DeviceHandle handle) {
+  return devices_.erase(handle) == 1 ? kSuccess : kErrorInvalidHandle;
+}
+
+const DeviceInterface* Session::find(DeviceHandle handle) const {
+  const auto it = devices_.find(handle);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+Status Session::query_device_property(DeviceHandle handle, DeviceProperty prop,
+                                      double* out) const {
+  if (out == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  try {
+    *out = device->device_property(prop);
+  } catch (const Error&) {
+    return kErrorInvalidArgument;
+  }
+  return kSuccess;
+}
+
+Status Session::query_qubit_property(DeviceHandle handle, QubitProperty prop,
+                                     int qubit, double* out) const {
+  if (out == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  if (qubit < 0 || qubit >= device->num_qubits()) return kErrorOutOfRange;
+  try {
+    *out = device->qubit_property(prop, qubit);
+  } catch (const Error&) {
+    return kErrorInvalidArgument;
+  }
+  return kSuccess;
+}
+
+Status Session::query_coupler_property(DeviceHandle handle,
+                                       CouplerProperty prop, int qubit_a,
+                                       int qubit_b, double* out) const {
+  if (out == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  try {
+    *out = device->coupler_property(prop, qubit_a, qubit_b);
+  } catch (const NotFoundError&) {
+    return kErrorOutOfRange;
+  } catch (const Error&) {
+    return kErrorInvalidArgument;
+  }
+  return kSuccess;
+}
+
+Status Session::query_coupling_map(DeviceHandle handle, int* buffer,
+                                   std::size_t capacity,
+                                   std::size_t* written) const {
+  if (written == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  const auto edges = device->coupling_map();
+  *written = 2 * edges.size();
+  if (capacity < *written) return kErrorBufferTooSmall;
+  if (buffer == nullptr) return kErrorInvalidArgument;
+  std::size_t i = 0;
+  for (const auto& [a, b] : edges) {
+    buffer[i++] = a;
+    buffer[i++] = b;
+  }
+  return kSuccess;
+}
+
+Status Session::query_name(DeviceHandle handle, char* buffer,
+                           std::size_t capacity, std::size_t* written) const {
+  if (written == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  const std::string name = device->name();
+  *written = name.size() + 1;
+  if (capacity < *written) return kErrorBufferTooSmall;
+  if (buffer == nullptr) return kErrorInvalidArgument;
+  std::memcpy(buffer, name.c_str(), *written);
+  return kSuccess;
+}
+
+Status Session::query_status(DeviceHandle handle, int* out) const {
+  if (out == nullptr) return kErrorInvalidArgument;
+  const DeviceInterface* device = find(handle);
+  if (device == nullptr) return kErrorInvalidHandle;
+  *out = static_cast<int>(device->status());
+  return kSuccess;
+}
+
+}  // namespace hpcqc::qdmi::c

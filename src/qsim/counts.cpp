@@ -1,0 +1,97 @@
+#include "hpcqc/qsim/counts.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::qsim {
+
+Counts::Counts(std::span<const std::uint64_t> samples, int num_qubits)
+    : num_qubits_(num_qubits) {
+  for (std::uint64_t s : samples) add(s);
+}
+
+void Counts::add(std::uint64_t outcome, std::uint64_t count) {
+  counts_[outcome] += count;
+}
+
+std::uint64_t Counts::total_shots() const {
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : counts_) total += count;
+  return total;
+}
+
+std::uint64_t Counts::count_of(std::uint64_t outcome) const {
+  const auto it = counts_.find(outcome);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Counts::probability_of(std::uint64_t outcome) const {
+  const std::uint64_t total = total_shots();
+  if (total == 0) return 0.0;
+  return static_cast<double>(count_of(outcome)) / static_cast<double>(total);
+}
+
+std::string Counts::bitstring(std::uint64_t outcome) const {
+  expects(num_qubits_ > 0, "Counts::bitstring: qubit count not set");
+  std::string out(static_cast<std::size_t>(num_qubits_), '0');
+  for (int q = 0; q < num_qubits_; ++q)
+    if (outcome & (std::uint64_t{1} << q))
+      out[static_cast<std::size_t>(num_qubits_ - 1 - q)] = '1';
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counts::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items(counts_.begin(),
+                                                             counts_.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t i = 0; i < std::min(k, items.size()); ++i)
+    out.emplace_back(bitstring(items[i].first), items[i].second);
+  return out;
+}
+
+double Counts::expectation_z(std::uint64_t mask) const {
+  const std::uint64_t total = total_shots();
+  if (total == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [outcome, count] : counts_) {
+    const int parity = std::popcount(outcome & mask) & 1;
+    acc += (parity ? -1.0 : 1.0) * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total);
+}
+
+double Counts::total_variation_distance(std::span<const double> exact) const {
+  const std::uint64_t total = total_shots();
+  expects(total > 0, "total_variation_distance: empty counts");
+  double tv = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double empirical =
+        static_cast<double>(count_of(i)) / static_cast<double>(total);
+    tv += std::abs(empirical - exact[i]);
+  }
+  // Outcomes beyond the exact support contribute their full mass.
+  for (const auto& [outcome, count] : counts_)
+    if (outcome >= exact.size())
+      tv += static_cast<double>(count) / static_cast<double>(total);
+  return 0.5 * tv;
+}
+
+double Counts::hellinger_fidelity(std::span<const double> exact) const {
+  const std::uint64_t total = total_shots();
+  expects(total > 0, "hellinger_fidelity: empty counts");
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double empirical =
+        static_cast<double>(count_of(i)) / static_cast<double>(total);
+    bc += std::sqrt(empirical * exact[i]);
+  }
+  return bc * bc;
+}
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpcqc::qsim {
+
+/// Histogram of measured bitstrings — the "most common output format for
+/// circuit-based jobs" described in §2.4 of the paper. Keys are basis-state
+/// indices (qubit 0 = least significant bit).
+class Counts {
+public:
+  Counts() = default;
+  Counts(std::span<const std::uint64_t> samples, int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  void set_num_qubits(int n) { num_qubits_ = n; }
+
+  void add(std::uint64_t outcome, std::uint64_t count = 1);
+
+  std::uint64_t total_shots() const;
+  std::uint64_t count_of(std::uint64_t outcome) const;
+  double probability_of(std::uint64_t outcome) const;
+  std::size_t distinct_outcomes() const { return counts_.size(); }
+
+  const std::map<std::uint64_t, std::uint64_t>& raw() const { return counts_; }
+
+  /// Renders an outcome as a bitstring, qubit (n-1) first (Qiskit order).
+  std::string bitstring(std::uint64_t outcome) const;
+
+  /// The `k` most frequent outcomes as (bitstring, count), descending.
+  std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k) const;
+
+  /// Empirical expectation of Z on the qubits in `mask`.
+  double expectation_z(std::uint64_t mask) const;
+
+  /// Total-variation distance to an exact distribution over 2^n outcomes.
+  double total_variation_distance(std::span<const double> exact) const;
+
+  /// Hellinger fidelity against an exact distribution.
+  double hellinger_fidelity(std::span<const double> exact) const;
+
+private:
+  int num_qubits_ = 0;
+  std::map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <complex>
+
+namespace hpcqc::qsim {
+
+using Complex = std::complex<double>;
+
+/// Row-major 2x2 unitary acting on one qubit.
+using Matrix2 = std::array<Complex, 4>;
+
+/// Row-major 4x4 unitary acting on two qubits; index convention is
+/// |q_hi q_lo> with q_lo the first qubit argument of apply_2q.
+using Matrix4 = std::array<Complex, 16>;
+
+/// Matrix product of two 2x2 matrices (a * b).
+Matrix2 matmul(const Matrix2& a, const Matrix2& b);
+
+/// Matrix product of two 4x4 matrices (a * b).
+Matrix4 matmul(const Matrix4& a, const Matrix4& b);
+
+/// Hermitian adjoint.
+Matrix2 adjoint(const Matrix2& m);
+Matrix4 adjoint(const Matrix4& m);
+
+/// Kronecker product a ⊗ b (a acts on the high qubit).
+Matrix4 kron(const Matrix2& a, const Matrix2& b);
+
+/// True when m is unitary to within `tol` in max-norm.
+bool is_unitary(const Matrix2& m, double tol = 1e-10);
+bool is_unitary(const Matrix4& m, double tol = 1e-10);
+
+// ---- Standard single-qubit gates -----------------------------------------
+
+Matrix2 gate_i();
+Matrix2 gate_x();
+Matrix2 gate_y();
+Matrix2 gate_z();
+Matrix2 gate_h();
+Matrix2 gate_s();
+Matrix2 gate_sdg();
+Matrix2 gate_t();
+Matrix2 gate_tdg();
+Matrix2 gate_sx();
+
+Matrix2 gate_rx(double theta);
+Matrix2 gate_ry(double theta);
+Matrix2 gate_rz(double theta);
+
+/// Generic U(theta, phi, lambda) in the OpenQASM convention.
+Matrix2 gate_u(double theta, double phi, double lambda);
+
+/// IQM-style phased-RX: rotation by `theta` about the axis
+/// cos(phi)·X + sin(phi)·Y. This is the native single-qubit gate of the
+/// 20-qubit transmon device reproduced here: PRX(θ,φ) = RZ(φ)·RX(θ)·RZ(−φ).
+Matrix2 gate_prx(double theta, double phi);
+
+// ---- Standard two-qubit gates ---------------------------------------------
+
+Matrix4 gate_cz();
+Matrix4 gate_cx();  ///< control = first qubit argument (low index bit).
+Matrix4 gate_swap();
+Matrix4 gate_iswap();
+Matrix4 gate_cphase(double theta);
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/qsim/counts.hpp"
+
+namespace hpcqc::qsim {
+
+/// Per-qubit binary readout confusion. `p_read1_given0` is the probability of
+/// classifying a qubit prepared in |0> as 1, and vice versa. The symmetric
+/// assignment fidelity of the qubit is 1 − (p01 + p10)/2 — this is the
+/// "readout fidelity" series plotted in the paper's Figure 4.
+struct ReadoutConfusion {
+  double p_read1_given0 = 0.0;
+  double p_read0_given1 = 0.0;
+
+  double assignment_fidelity() const {
+    return 1.0 - 0.5 * (p_read1_given0 + p_read0_given1);
+  }
+};
+
+/// Readout error model for a full register: one confusion per qubit,
+/// applied independently (crosstalk-free, as for dispersive multiplexed
+/// readout with well-separated resonators).
+class ReadoutError {
+public:
+  ReadoutError() = default;
+  explicit ReadoutError(std::vector<ReadoutConfusion> per_qubit);
+
+  /// Uniform confusion across `num_qubits` qubits.
+  static ReadoutError uniform(int num_qubits, double p01, double p10);
+
+  int num_qubits() const { return static_cast<int>(per_qubit_.size()); }
+  const ReadoutConfusion& qubit(int q) const;
+
+  /// Applies classification errors to one sampled outcome.
+  std::uint64_t corrupt(std::uint64_t outcome, Rng& rng) const;
+
+  /// Applies classification errors to a batch of samples in place.
+  void corrupt_all(std::span<std::uint64_t> outcomes, Rng& rng) const;
+
+  /// Mean assignment fidelity over the register.
+  double mean_assignment_fidelity() const;
+
+private:
+  std::vector<ReadoutConfusion> per_qubit_;
+};
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,51 @@
+#include "hpcqc/qsim/readout.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::qsim {
+
+ReadoutError::ReadoutError(std::vector<ReadoutConfusion> per_qubit)
+    : per_qubit_(std::move(per_qubit)) {
+  for (const auto& conf : per_qubit_) {
+    expects(conf.p_read1_given0 >= 0.0 && conf.p_read1_given0 <= 1.0 &&
+                conf.p_read0_given1 >= 0.0 && conf.p_read0_given1 <= 1.0,
+            "ReadoutError: confusion probabilities outside [0,1]");
+  }
+}
+
+ReadoutError ReadoutError::uniform(int num_qubits, double p01, double p10) {
+  expects(num_qubits > 0, "ReadoutError::uniform: need at least one qubit");
+  return ReadoutError(std::vector<ReadoutConfusion>(
+      static_cast<std::size_t>(num_qubits), ReadoutConfusion{p01, p10}));
+}
+
+const ReadoutConfusion& ReadoutError::qubit(int q) const {
+  expects(q >= 0 && q < num_qubits(), "ReadoutError::qubit: out of range");
+  return per_qubit_[static_cast<std::size_t>(q)];
+}
+
+std::uint64_t ReadoutError::corrupt(std::uint64_t outcome, Rng& rng) const {
+  std::uint64_t corrupted = outcome;
+  for (int q = 0; q < num_qubits(); ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const auto& conf = per_qubit_[static_cast<std::size_t>(q)];
+    const double flip_prob =
+        (outcome & bit) ? conf.p_read0_given1 : conf.p_read1_given0;
+    if (rng.bernoulli(flip_prob)) corrupted ^= bit;
+  }
+  return corrupted;
+}
+
+void ReadoutError::corrupt_all(std::span<std::uint64_t> outcomes,
+                               Rng& rng) const {
+  for (auto& outcome : outcomes) outcome = corrupt(outcome, rng);
+}
+
+double ReadoutError::mean_assignment_fidelity() const {
+  if (per_qubit_.empty()) return 1.0;
+  double acc = 0.0;
+  for (const auto& conf : per_qubit_) acc += conf.assignment_fidelity();
+  return acc / static_cast<double>(per_qubit_.size());
+}
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,275 @@
+#include "hpcqc/qsim/state_vector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::qsim {
+
+namespace {
+// Below this state size the OpenMP fork costs more than the loop.
+constexpr std::uint64_t kParallelThreshold = std::uint64_t{1} << 14;
+}  // namespace
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  expects(num_qubits >= 1 && num_qubits <= 28,
+          "StateVector: qubit count must be in [1, 28]");
+  amps_.assign(std::uint64_t{1} << num_qubits, Complex{0.0, 0.0});
+  amps_[0] = Complex{1.0, 0.0};
+}
+
+Complex StateVector::amplitude(std::uint64_t basis_state) const {
+  expects(basis_state < dimension(), "amplitude: basis state out of range");
+  return amps_[basis_state];
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+  amps_[0] = Complex{1.0, 0.0};
+}
+
+void StateVector::apply_1q(const Matrix2& u, int qubit) {
+  expects(qubit >= 0 && qubit < num_qubits_, "apply_1q: qubit out of range");
+  const std::uint64_t stride = std::uint64_t{1} << qubit;
+  const std::uint64_t dim = dimension();
+  const std::int64_t pairs = static_cast<std::int64_t>(dim >> 1);
+  Complex* a = amps_.data();
+
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t k = 0; k < pairs; ++k) {
+    // Index of the amplitude with the target bit clear.
+    const auto kk = static_cast<std::uint64_t>(k);
+    const std::uint64_t i0 = ((kk & ~(stride - 1)) << 1) | (kk & (stride - 1));
+    const std::uint64_t i1 = i0 | stride;
+    const Complex lo = a[i0];
+    const Complex hi = a[i1];
+    a[i0] = u[0] * lo + u[1] * hi;
+    a[i1] = u[2] * lo + u[3] * hi;
+  }
+}
+
+void StateVector::apply_2q(const Matrix4& u, int qubit0, int qubit1) {
+  expects(qubit0 >= 0 && qubit0 < num_qubits_ && qubit1 >= 0 &&
+              qubit1 < num_qubits_,
+          "apply_2q: qubit out of range");
+  expects(qubit0 != qubit1, "apply_2q: qubits must differ");
+  const std::uint64_t s0 = std::uint64_t{1} << qubit0;
+  const std::uint64_t s1 = std::uint64_t{1} << qubit1;
+  const std::uint64_t lo_stride = std::min(s0, s1);
+  const std::uint64_t hi_stride = std::max(s0, s1);
+  const std::uint64_t dim = dimension();
+  const std::int64_t groups = static_cast<std::int64_t>(dim >> 2);
+  Complex* a = amps_.data();
+
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t g = 0; g < groups; ++g) {
+    // Expand the group index into a base index with both target bits clear:
+    // split g into (low | mid | top) around the two strides and shift the
+    // mid/top parts up by one bit each.
+    const auto gg = static_cast<std::uint64_t>(g);
+    const std::uint64_t rest = gg / lo_stride;
+    const std::uint64_t mid_combos = hi_stride / lo_stride / 2;
+    std::uint64_t base = gg & (lo_stride - 1);
+    base |= (rest % mid_combos) * (lo_stride * 2);
+    base |= (rest / mid_combos) * (hi_stride * 2);
+
+    const std::uint64_t i00 = base;
+    const std::uint64_t i01 = base | s0;
+    const std::uint64_t i10 = base | s1;
+    const std::uint64_t i11 = base | s0 | s1;
+    const Complex a00 = a[i00];
+    const Complex a01 = a[i01];  // q0 = 1
+    const Complex a10 = a[i10];  // q1 = 1
+    const Complex a11 = a[i11];
+    // Matrix basis |q1 q0>: index = 2*q1 + q0.
+    a[i00] = u[0] * a00 + u[1] * a01 + u[2] * a10 + u[3] * a11;
+    a[i01] = u[4] * a00 + u[5] * a01 + u[6] * a10 + u[7] * a11;
+    a[i10] = u[8] * a00 + u[9] * a01 + u[10] * a10 + u[11] * a11;
+    a[i11] = u[12] * a00 + u[13] * a01 + u[14] * a10 + u[15] * a11;
+  }
+}
+
+void StateVector::apply_cphase(double theta, int qubit0, int qubit1) {
+  expects(qubit0 >= 0 && qubit0 < num_qubits_ && qubit1 >= 0 &&
+              qubit1 < num_qubits_ && qubit0 != qubit1,
+          "apply_cphase: invalid qubits");
+  const std::uint64_t mask =
+      (std::uint64_t{1} << qubit0) | (std::uint64_t{1} << qubit1);
+  const Complex phase = std::polar(1.0, theta);
+  const std::uint64_t dim = dimension();
+  Complex* a = amps_.data();
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    if ((idx & mask) == mask) a[idx] *= phase;
+  }
+}
+
+double StateVector::norm() const {
+  double acc = 0.0;
+  const std::uint64_t dim = dimension();
+  const Complex* a = amps_.data();
+#pragma omp parallel for if (dim >= kParallelThreshold) reduction(+ : acc) \
+    schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i)
+    acc += std::norm(a[i]);
+  return std::sqrt(acc);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  ensure_state(n > 1e-300, "normalize: state has collapsed to zero");
+  const double inv = 1.0 / n;
+  for (auto& amp : amps_) amp *= inv;
+}
+
+double StateVector::probability_one(int qubit) const {
+  expects(qubit >= 0 && qubit < num_qubits_,
+          "probability_one: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dimension(); ++i)
+    if (i & bit) acc += std::norm(amps_[i]);
+  return acc;
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> probs(dimension());
+  for (std::uint64_t i = 0; i < dimension(); ++i) probs[i] = std::norm(amps_[i]);
+  return probs;
+}
+
+int StateVector::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.bernoulli(p1) ? 1 : 0;
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one != (outcome == 1)) amps_[i] = Complex{0.0, 0.0};
+  }
+  normalize();
+  return outcome;
+}
+
+std::vector<std::uint64_t> StateVector::sample(std::size_t shots,
+                                               Rng& rng) const {
+  // Cumulative distribution + binary search per shot: O(2^n + S log 2^n).
+  std::vector<double> cdf(dimension());
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    acc += std::norm(amps_[i]);
+    cdf[i] = acc;
+  }
+  ensure_state(acc > 0.0, "sample: zero-norm state");
+  std::vector<std::uint64_t> out(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * acc;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+    out[s] = static_cast<std::uint64_t>(std::distance(cdf.begin(), it));
+    if (out[s] >= dimension()) out[s] = dimension() - 1;
+  }
+  return out;
+}
+
+double StateVector::expectation_z(std::uint64_t mask) const {
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    const int parity = std::popcount(i & mask) & 1;
+    acc += (parity ? -1.0 : 1.0) * std::norm(amps_[i]);
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+Complex StateVector::inner_product(const StateVector& other) const {
+  expects(num_qubits_ == other.num_qubits_,
+          "inner_product: qubit count mismatch");
+  Complex acc{0.0, 0.0};
+  for (std::uint64_t i = 0; i < dimension(); ++i)
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  return acc;
+}
+
+void StateVector::apply_pauli_error(int qubit, double p, Rng& rng) {
+  expects(p >= 0.0 && p <= 1.0, "apply_pauli_error: p outside [0,1]");
+  if (!rng.bernoulli(p)) return;
+  switch (rng.uniform_index(3)) {
+    case 0: apply_1q(gate_x(), qubit); break;
+    case 1: apply_1q(gate_y(), qubit); break;
+    default: apply_1q(gate_z(), qubit); break;
+  }
+}
+
+void StateVector::apply_pauli_error_2q(int qubit0, int qubit1, double p,
+                                       Rng& rng) {
+  expects(p >= 0.0 && p <= 1.0, "apply_pauli_error_2q: p outside [0,1]");
+  if (!rng.bernoulli(p)) return;
+  // Uniform over the 15 non-identity two-qubit Paulis.
+  const std::uint64_t which = 1 + rng.uniform_index(15);
+  const int p0 = static_cast<int>(which % 4);
+  const int p1 = static_cast<int>(which / 4);
+  const auto apply_pauli = [this](int pauli, int q) {
+    switch (pauli) {
+      case 1: apply_1q(gate_x(), q); break;
+      case 2: apply_1q(gate_y(), q); break;
+      case 3: apply_1q(gate_z(), q); break;
+      default: break;
+    }
+  };
+  apply_pauli(p0, qubit0);
+  apply_pauli(p1, qubit1);
+}
+
+void StateVector::apply_amplitude_damping(int qubit, double gamma, Rng& rng) {
+  expects(gamma >= 0.0 && gamma <= 1.0,
+          "apply_amplitude_damping: gamma outside [0,1]");
+  if (gamma == 0.0) return;
+  // Jump probability = gamma * P(|1>).
+  const double p_jump = gamma * probability_one(qubit);
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  if (rng.bernoulli(p_jump)) {
+    // Jump: K1 = sqrt(gamma) |0><1| — move |1> amplitude into |0>.
+    for (std::uint64_t i = 0; i < dimension(); ++i) {
+      if (i & bit) {
+        amps_[i & ~bit] = amps_[i];
+        amps_[i] = Complex{0.0, 0.0};
+      }
+    }
+  } else {
+    // No jump: K0 = diag(1, sqrt(1-gamma)).
+    const double damp = std::sqrt(1.0 - gamma);
+    for (std::uint64_t i = 0; i < dimension(); ++i)
+      if (i & bit) amps_[i] *= damp;
+  }
+  normalize();
+}
+
+void StateVector::apply_phase_damping(int qubit, double lambda, Rng& rng) {
+  expects(lambda >= 0.0 && lambda <= 1.0,
+          "apply_phase_damping: lambda outside [0,1]");
+  if (rng.bernoulli(lambda)) apply_1q(gate_z(), qubit);
+}
+
+double pauli_error_prob_from_avg_fidelity(double avg_fidelity,
+                                          int num_qubits) {
+  expects(num_qubits == 1 || num_qubits == 2,
+          "pauli_error_prob: only 1- and 2-qubit gates supported");
+  const double d = num_qubits == 1 ? 2.0 : 4.0;
+  const double process_fidelity = ((d + 1.0) * avg_fidelity - 1.0) / d;
+  return std::clamp(1.0 - process_fidelity, 0.0, 1.0);
+}
+
+double avg_fidelity_from_pauli_error_prob(double p, int num_qubits) {
+  expects(num_qubits == 1 || num_qubits == 2,
+          "avg_fidelity_from_pauli_error_prob: only 1- and 2-qubit gates");
+  const double d = num_qubits == 1 ? 2.0 : 4.0;
+  const double process_fidelity = 1.0 - p;
+  return (d * process_fidelity + 1.0) / (d + 1.0);
+}
+
+}  // namespace hpcqc::qsim

@@ -1,0 +1,73 @@
+#include "hpcqc/sched/accounting.hpp"
+
+#include <ostream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+void Accounting::register_project(const std::string& project,
+                                  Seconds budget) {
+  expects(!project.empty(), "Accounting: project needs a name");
+  expects(budget >= 0.0, "Accounting: budget cannot be negative");
+  auto [it, inserted] = projects_.try_emplace(project);
+  it->second.project = project;
+  it->second.budget += budget;
+}
+
+bool Accounting::has_project(const std::string& project) const {
+  return projects_.contains(project);
+}
+
+bool Accounting::can_afford(const std::string& project,
+                            Seconds estimated) const {
+  const auto it = projects_.find(project);
+  if (it == projects_.end()) return false;
+  return it->second.used + estimated <= it->second.budget;
+}
+
+void Accounting::charge(const std::string& project, Seconds used,
+                        std::uint64_t shots) {
+  const auto it = projects_.find(project);
+  if (it == projects_.end())
+    throw NotFoundError("Accounting: unknown project '" + project + "'");
+  expects(used >= 0.0, "Accounting::charge: negative usage");
+  it->second.used += used;
+  it->second.jobs += 1;
+  it->second.shots += shots;
+}
+
+Accounting::ProjectStatus Accounting::status(
+    const std::string& project) const {
+  const auto it = projects_.find(project);
+  if (it == projects_.end())
+    throw NotFoundError("Accounting: unknown project '" + project + "'");
+  return it->second;
+}
+
+std::vector<Accounting::ProjectStatus> Accounting::all_projects() const {
+  std::vector<ProjectStatus> out;
+  for (const auto& [name, status] : projects_) out.push_back(status);
+  return out;
+}
+
+double Accounting::total_utilization() const {
+  Seconds budget = 0.0;
+  Seconds used = 0.0;
+  for (const auto& [name, status] : projects_) {
+    budget += status.budget;
+    used += status.used;
+  }
+  return budget > 0.0 ? used / budget : 0.0;
+}
+
+void Accounting::print(std::ostream& os) const {
+  os << "QPU usage by project:\n";
+  for (const auto& [name, status] : projects_) {
+    os << "  " << name << ": " << status.used << " / " << status.budget
+       << " QPU-s (" << 100.0 * status.utilization() << " %), "
+       << status.jobs << " jobs, " << status.shots << " shots\n";
+  }
+}
+
+}  // namespace hpcqc::sched

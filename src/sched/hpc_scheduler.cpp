@@ -1,0 +1,180 @@
+#include "hpcqc/sched/hpc_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+HpcScheduler::HpcScheduler(int total_nodes)
+    : total_nodes_(total_nodes), free_nodes_(total_nodes) {
+  expects(total_nodes >= 1, "HpcScheduler: need at least one node");
+}
+
+int HpcScheduler::submit(HpcJob job) {
+  expects(job.nodes >= 1 && job.nodes <= total_nodes_,
+          "HpcScheduler::submit: job node count outside the cluster");
+  expects(job.walltime > 0.0, "HpcScheduler::submit: walltime must be > 0");
+  const int id = next_id_++;
+  JobRecord record;
+  record.id = id;
+  record.job = std::move(job);
+  record.submit_time = now_;
+  records_.emplace(id, std::move(record));
+  queue_.push_back(id);
+  schedule();
+  return id;
+}
+
+void HpcScheduler::start(JobRecord& record) {
+  record.state = JobState::kRunning;
+  record.start_time = now_;
+  record.end_time = now_ + record.job.walltime;
+  free_nodes_ -= record.job.nodes;
+  running_.push_back(record.id);
+}
+
+void HpcScheduler::schedule() {
+  // FCFS: start queue-head jobs while they fit.
+  while (!queue_.empty()) {
+    JobRecord& head = records_.at(queue_.front());
+    if (head.job.nodes > free_nodes_) break;
+    start(head);
+    queue_.erase(queue_.begin());
+  }
+  if (queue_.empty()) return;
+
+  // EASY backfill. Compute the shadow time: the earliest time the head job
+  // can start, and the number of nodes spare at that moment.
+  const JobRecord& head = records_.at(queue_.front());
+  std::vector<std::pair<Seconds, int>> releases;  // (end_time, nodes)
+  releases.reserve(running_.size());
+  for (int id : running_) {
+    const JobRecord& r = records_.at(id);
+    releases.emplace_back(r.end_time, r.job.nodes);
+  }
+  std::sort(releases.begin(), releases.end());
+  int available = free_nodes_;
+  Seconds shadow_time = std::numeric_limits<double>::infinity();
+  for (const auto& [end_time, nodes] : releases) {
+    available += nodes;
+    if (available >= head.job.nodes) {
+      shadow_time = end_time;
+      break;
+    }
+  }
+  // Nodes spare at the shadow time once the head's reservation is taken.
+  const int spare_at_shadow = available - head.job.nodes;
+
+  // A later job may start now iff it fits now AND it does not delay the
+  // head: it either ends before the shadow time or uses only spare nodes.
+  for (std::size_t i = 1; i < queue_.size();) {
+    JobRecord& candidate = records_.at(queue_[i]);
+    const bool fits_now = candidate.job.nodes <= free_nodes_;
+    const bool ends_before_shadow =
+        now_ + candidate.job.walltime <= shadow_time;
+    const bool within_spare = candidate.job.nodes <= spare_at_shadow;
+    if (fits_now && (ends_before_shadow || within_spare)) {
+      start(candidate);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void HpcScheduler::complete_due_jobs(Seconds until) {
+  while (true) {
+    // Earliest-finishing running job not later than `until`.
+    int earliest_id = -1;
+    Seconds earliest_end = until;
+    for (int id : running_) {
+      const JobRecord& r = records_.at(id);
+      if (r.end_time <= earliest_end) {
+        earliest_end = r.end_time;
+        earliest_id = id;
+      }
+    }
+    if (earliest_id < 0) return;
+    JobRecord& done = records_.at(earliest_id);
+    now_ = std::max(now_, done.end_time);
+    done.state = JobState::kCompleted;
+    free_nodes_ += done.job.nodes;
+    running_.erase(std::find(running_.begin(), running_.end(), earliest_id));
+    schedule();
+  }
+}
+
+void HpcScheduler::advance_to(Seconds t) {
+  expects(t >= now_, "HpcScheduler::advance_to: time cannot go backwards");
+  complete_due_jobs(t);
+  now_ = t;
+}
+
+void HpcScheduler::drain() {
+  while (!running_.empty() || !queue_.empty())
+    complete_due_jobs(std::numeric_limits<double>::infinity());
+}
+
+const JobRecord& HpcScheduler::record(int id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end())
+    throw NotFoundError("HpcScheduler: unknown job id " + std::to_string(id));
+  return it->second;
+}
+
+std::vector<int> HpcScheduler::queued_ids() const { return queue_; }
+std::vector<int> HpcScheduler::running_ids() const { return running_; }
+
+std::size_t HpcScheduler::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const auto& kv) {
+        return kv.second.state == JobState::kCompleted;
+      }));
+}
+
+Seconds HpcScheduler::mean_wait() const {
+  Seconds total = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.state == JobState::kCompleted) {
+      total += record.wait_time();
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double HpcScheduler::utilization(Seconds t0, Seconds t1) const {
+  expects(t1 > t0, "utilization: empty window");
+  double node_seconds = 0.0;
+  for (const auto& [id, record] : records_) {
+    if (record.start_time < 0.0) continue;
+    const Seconds start = std::max(t0, record.start_time);
+    const Seconds end =
+        std::min(t1, record.end_time < 0.0 ? t1 : record.end_time);
+    if (end > start) node_seconds += record.job.nodes * (end - start);
+  }
+  return node_seconds / (static_cast<double>(total_nodes_) * (t1 - t0));
+}
+
+Seconds HpcScheduler::earliest_slot(int nodes) const {
+  expects(nodes >= 1 && nodes <= total_nodes_,
+          "earliest_slot: node count outside the cluster");
+  if (nodes <= free_nodes_) return now_;
+  std::vector<std::pair<Seconds, int>> releases;
+  for (int id : running_) {
+    const JobRecord& r = records_.at(id);
+    releases.emplace_back(r.end_time, r.job.nodes);
+  }
+  std::sort(releases.begin(), releases.end());
+  int available = free_nodes_;
+  for (const auto& [end_time, released] : releases) {
+    available += released;
+    if (available >= nodes) return end_time;
+  }
+  return now_;  // unreachable when job fits the cluster
+}
+
+}  // namespace hpcqc::sched

@@ -1,0 +1,67 @@
+#include "hpcqc/sched/hybrid_workflow.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+HybridWorkflowRunner::HybridWorkflowRunner(HpcScheduler& hpc, Qrm& qrm)
+    : hpc_(&hpc), qrm_(&qrm) {}
+
+void HybridWorkflowRunner::advance_both(Seconds t) {
+  if (t > hpc_->now()) hpc_->advance_to(t);
+  if (t > qrm_->now()) qrm_->advance_to(t);
+}
+
+HybridWorkflowResult HybridWorkflowRunner::run(
+    const HybridWorkflowSpec& spec) {
+  expects(spec.iterations > 0, "HybridWorkflowRunner: need iterations");
+  expects(!spec.circuit.empty(), "HybridWorkflowRunner: empty quantum step");
+
+  HybridWorkflowResult result;
+  // Start from whichever scheduler is further along.
+  Seconds t = std::max(hpc_->now(), qrm_->now());
+  advance_both(t);
+
+  // 1. Acquire the classical allocation.
+  result.submitted_at = t;
+  result.hpc_job_id = hpc_->submit(
+      {spec.name, spec.classical_nodes, spec.walltime_request});
+  while (hpc_->record(result.hpc_job_id).state == JobState::kQueued) {
+    const Seconds slot = hpc_->earliest_slot(spec.classical_nodes);
+    advance_both(std::max(slot, hpc_->now() + minutes(1.0)));
+  }
+  t = std::max(hpc_->now(), qrm_->now());
+  result.allocation_started_at = hpc_->record(result.hpc_job_id).start_time;
+
+  // 2. The tight loop: classical step, then a quantum step on the shared
+  //    QPU (which may be busy with other users' jobs or a calibration).
+  for (int iteration = 0; iteration < spec.iterations; ++iteration) {
+    t += spec.classical_step;
+    result.classical_time += spec.classical_step;
+    advance_both(t);
+
+    const int quantum_id = qrm_->submit(
+        {spec.name + "-iter" + std::to_string(iteration), spec.circuit,
+         spec.shots_per_iteration, /*project=*/""});
+    int safety = 0;
+    while (qrm_->record(quantum_id).state != QuantumJobState::kCompleted) {
+      advance_both(std::max(hpc_->now(), qrm_->now()) + minutes(1.0));
+      expects(++safety < 1000000,
+              "HybridWorkflowRunner: quantum step never completed");
+    }
+    const auto& record = qrm_->record(quantum_id);
+    result.quantum_time += record.result.wall_time;
+    result.quantum_wait += (record.end_time - record.submit_time) -
+                           record.result.wall_time;
+    t = std::max({t, record.end_time, hpc_->now()});
+    advance_both(t);
+    ++result.iterations_completed;
+  }
+
+  result.finished_at = t;
+  return result;
+}
+
+}  // namespace hpcqc::sched

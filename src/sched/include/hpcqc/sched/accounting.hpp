@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::sched {
+
+/// Per-project QPU usage ledger. §4's FAQ ends with the categories users
+/// actually asked about — "Resource Usage; and Budgeting" — because early-
+/// user programs hand out QPU-time allocations per project and need to
+/// meter them. Budgets are in QPU-seconds (wall time the job occupies the
+/// machine, which the 300 µs shot period makes roughly proportional to
+/// shots).
+class Accounting {
+public:
+  struct ProjectStatus {
+    std::string project;
+    Seconds budget = 0.0;
+    Seconds used = 0.0;
+    std::size_t jobs = 0;
+    std::uint64_t shots = 0;
+
+    Seconds remaining() const { return budget - used; }
+    double utilization() const { return budget > 0.0 ? used / budget : 0.0; }
+  };
+
+  /// Creates a project with a QPU-time budget; re-registering tops the
+  /// budget up by `budget`.
+  void register_project(const std::string& project, Seconds budget);
+
+  bool has_project(const std::string& project) const;
+
+  /// True when the project can start a job of the estimated duration.
+  /// Unknown projects are always rejected.
+  bool can_afford(const std::string& project, Seconds estimated) const;
+
+  /// Records completed usage (also charges overruns — the estimate gate
+  /// happens before execution, the charge after).
+  void charge(const std::string& project, Seconds used,
+              std::uint64_t shots);
+
+  ProjectStatus status(const std::string& project) const;
+  std::vector<ProjectStatus> all_projects() const;
+
+  /// Fraction of the total granted budget that has been consumed.
+  double total_utilization() const;
+
+  void print(std::ostream& os) const;
+
+private:
+  std::map<std::string, ProjectStatus> projects_;
+};
+
+}  // namespace hpcqc::sched

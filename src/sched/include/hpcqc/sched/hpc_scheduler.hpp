@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::sched {
+
+/// One classical batch job (nodes x walltime rectangle).
+struct HpcJob {
+  std::string name;
+  int nodes = 1;
+  Seconds walltime = hours(1.0);
+};
+
+enum class JobState { kQueued, kRunning, kCompleted };
+
+/// Lifecycle record of a submitted job.
+struct JobRecord {
+  int id = 0;
+  HpcJob job;
+  JobState state = JobState::kQueued;
+  Seconds submit_time = 0.0;
+  Seconds start_time = -1.0;
+  Seconds end_time = -1.0;
+
+  Seconds wait_time() const {
+    return start_time < 0.0 ? -1.0 : start_time - submit_time;
+  }
+};
+
+/// Classical cluster batch scheduler: FCFS with EASY backfilling. This is
+/// the "existing resource management framework" the QPU must live inside —
+/// the QRM (second-level scheduler) requests calibration slots from it and
+/// hybrid jobs co-allocate classical nodes here.
+class HpcScheduler {
+public:
+  explicit HpcScheduler(int total_nodes);
+
+  int total_nodes() const { return total_nodes_; }
+  int free_nodes() const { return free_nodes_; }
+  Seconds now() const { return now_; }
+
+  /// Submits at the current simulated time; returns the job id.
+  int submit(HpcJob job);
+
+  /// Advances simulated time, completing and starting jobs along the way.
+  void advance_to(Seconds t);
+
+  /// Runs the event loop until every submitted job has completed.
+  void drain();
+
+  const JobRecord& record(int id) const;
+  std::vector<int> queued_ids() const;
+  std::vector<int> running_ids() const;
+  std::size_t completed_count() const;
+
+  /// Mean wait of completed jobs; 0 when none completed.
+  Seconds mean_wait() const;
+
+  /// Node-hours used / node-hours available over [t0, t1], from records.
+  double utilization(Seconds t0, Seconds t1) const;
+
+  /// Earliest time at which `nodes` nodes will be simultaneously free,
+  /// assuming running jobs end at their walltime and nothing else starts.
+  /// Used by the QRM to place deferrable calibration slots.
+  Seconds earliest_slot(int nodes) const;
+
+private:
+  void schedule();  ///< FCFS head + EASY backfill pass
+  void complete_due_jobs(Seconds until);
+  void start(JobRecord& record);
+
+  int total_nodes_;
+  int free_nodes_;
+  Seconds now_ = 0.0;
+  int next_id_ = 1;
+  std::map<int, JobRecord> records_;
+  std::vector<int> queue_;    ///< FCFS order
+  std::vector<int> running_;  ///< ids of running jobs
+};
+
+}  // namespace hpcqc::sched

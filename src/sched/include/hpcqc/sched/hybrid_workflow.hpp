@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "hpcqc/sched/hpc_scheduler.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::sched {
+
+/// A hybrid quantum-classical workflow in the accelerator model (§2.6):
+/// classical nodes are held for the whole run while the workflow alternates
+/// classical compute phases with quantum phases on the shared QPU — the
+/// VQE shape, where "quantum operations [are] executed within a
+/// tightly-coupled, low-latency loop".
+struct HybridWorkflowSpec {
+  std::string name = "hybrid";
+  int classical_nodes = 4;
+  /// Upper bound requested from the batch system.
+  Seconds walltime_request = hours(8.0);
+  int iterations = 20;
+  /// Classical compute per iteration (optimizer step, pre/post-processing).
+  Seconds classical_step = minutes(2.0);
+  /// Quantum step: a topology-legal circuit and its shot budget.
+  circuit::Circuit circuit{1};
+  std::size_t shots_per_iteration = 2000;
+};
+
+/// Timing breakdown of one completed workflow.
+struct HybridWorkflowResult {
+  int hpc_job_id = 0;
+  Seconds submitted_at = 0.0;
+  Seconds allocation_started_at = 0.0;
+  Seconds finished_at = 0.0;
+  std::size_t iterations_completed = 0;
+  Seconds classical_time = 0.0;
+  /// QPU execution time of this workflow's jobs.
+  Seconds quantum_time = 0.0;
+  /// Time the classical allocation sat blocked on the QPU (queueing behind
+  /// other users' jobs and calibration slots) — the cost of sharing one
+  /// QPU across a centre, and the coupling Lesson 2's scheduling control
+  /// exists to manage.
+  Seconds quantum_wait = 0.0;
+
+  Seconds makespan() const { return finished_at - allocation_started_at; }
+  /// Fraction of the held allocation spent blocked on the QPU.
+  double qpu_blocking_fraction() const {
+    return makespan() > 0.0 ? quantum_wait / makespan() : 0.0;
+  }
+};
+
+/// Drives one hybrid workflow across both schedulers, keeping their clocks
+/// in lockstep: acquires the classical allocation from the batch system,
+/// then alternates classical steps with quantum submissions to the QRM.
+class HybridWorkflowRunner {
+public:
+  /// Both schedulers must outlive the runner; their clocks must not be
+  /// advanced externally past each other while a workflow runs.
+  HybridWorkflowRunner(HpcScheduler& hpc, Qrm& qrm);
+
+  HybridWorkflowResult run(const HybridWorkflowSpec& spec);
+
+private:
+  /// Advances both schedulers to the same instant.
+  void advance_both(Seconds t);
+
+  HpcScheduler* hpc_;
+  Qrm* qrm_;
+};
+
+}  // namespace hpcqc::sched

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/calibration/controller.hpp"
+#include "hpcqc/calibration/routines.hpp"
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/common/log.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/qdmi/qdmi.hpp"
+#include "hpcqc/sched/accounting.hpp"
+
+namespace hpcqc::sched {
+
+/// One quantum job: a compiled (topology-legal) circuit and a shot budget.
+struct QuantumJob {
+  std::string name;
+  circuit::Circuit circuit{1};  ///< trivial placeholder until assigned
+  std::size_t shots = 1000;
+  /// Accounting project; empty = unmetered (system/benchmark jobs).
+  std::string project;
+};
+
+enum class QuantumJobState { kQueued, kRunning, kCompleted };
+
+/// Lifecycle + result record of a quantum job.
+struct QuantumJobRecord {
+  int id = 0;
+  std::string name;
+  std::size_t shots = 0;
+  QuantumJobState state = QuantumJobState::kQueued;
+  Seconds submit_time = 0.0;
+  Seconds start_time = -1.0;
+  Seconds end_time = -1.0;
+  device::ExecutionResult result;  ///< valid when completed
+
+  Seconds wait_time() const {
+    return start_time < 0.0 ? -1.0 : start_time - submit_time;
+  }
+};
+
+/// Aggregate throughput / quality metrics of a QRM run.
+struct QrmMetrics {
+  std::size_t jobs_completed = 0;
+  std::size_t total_shots = 0;
+  /// Fidelity-weighted shots: sum over jobs of shots x estimated circuit
+  /// fidelity — the "useful work" measure the calibration-policy ablation
+  /// compares.
+  double good_shots = 0.0;
+  Seconds busy_time = 0.0;
+  Seconds calibration_time = 0.0;
+  Seconds benchmark_time = 0.0;
+  Seconds mean_wait = 0.0;
+};
+
+/// The Quantum Resource Manager: the second-level scheduler of the MQSS
+/// architecture (Fig. 2). It serializes access to the single QPU, runs the
+/// periodic health benchmarks, and starts the automated recalibrations at
+/// times chosen by its trigger policy — including the scheduler-controlled
+/// policy that aligns calibration slots with the user workload (Lesson 2).
+class Qrm {
+public:
+  struct Config {
+    calibration::AutoCalibrationController::Config controller;
+    calibration::GhzBenchmark::Params benchmark;
+    /// Compile + queue + transfer overhead added to every execution.
+    Seconds job_overhead = seconds(2.0);
+    /// Fixed overhead of a benchmark run (control-software setup).
+    Seconds benchmark_overhead = minutes(2.0);
+    /// A scheduler-controlled policy may defer calibration at most this
+    /// factor past max_calibration_age before forcing a slot.
+    double max_defer_factor = 1.5;
+    /// How user jobs are executed on the device model; multi-month
+    /// simulations use kEstimateOnly.
+    device::ExecutionMode execution_mode =
+        device::ExecutionMode::kGlobalDepolarizing;
+  };
+
+  Qrm(device::DeviceModel& device, Config config, Rng& rng,
+      EventLog* log = nullptr);
+
+  Seconds now() const { return now_; }
+  qdmi::DeviceStatus status() const { return status_; }
+  bool queue_empty() const { return queue_.empty(); }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Submits a compiled job at the current time; returns its id. With
+  /// accounting attached, metered jobs are admission-checked against the
+  /// project budget (StateError when it cannot afford the estimate).
+  int submit(QuantumJob job);
+
+  /// Attaches a usage ledger (§4: "Resource Usage; and Budgeting"). The
+  /// ledger must outlive the QRM; pass nullptr to detach.
+  void set_accounting(Accounting* accounting) { accounting_ = accounting; }
+
+  /// Advances simulated time, executing jobs / benchmarks / calibrations
+  /// and applying calibration drift along the way.
+  void advance_to(Seconds t);
+
+  /// Runs until the queue drains and the device is idle.
+  void drain();
+
+  /// Marks the QPU unavailable (outage); queued jobs are retained. While
+  /// offline, time advances but nothing executes.
+  void set_offline(const std::string& reason);
+  /// Returns the QPU to service.
+  void set_online();
+  bool online() const { return online_; }
+
+  /// Enqueues a forced calibration (used by recovery procedures).
+  void request_calibration(calibration::CalibrationKind kind);
+
+  const QuantumJobRecord& record(int id) const;
+  QrmMetrics metrics() const;
+
+  const calibration::AutoCalibrationController& controller() const {
+    return controller_;
+  }
+
+private:
+  enum class Phase { kIdle, kJob, kBenchmark, kCalibration };
+
+  void finish_phase(Rng& rng);
+  void begin_next_work();
+  void apply_drift_until(Seconds t);
+
+  device::DeviceModel* device_;
+  Config config_;
+  Rng* rng_;
+  EventLog* log_;
+
+  Seconds now_ = 0.0;
+  Seconds drifted_until_ = 0.0;
+  bool online_ = true;
+  qdmi::DeviceStatus status_ = qdmi::DeviceStatus::kIdle;
+
+  Phase phase_ = Phase::kIdle;
+  Seconds phase_start_ = 0.0;
+  Seconds phase_end_ = 0.0;
+  int active_job_ = -1;
+  std::optional<calibration::CalibrationKind> active_calibration_;
+  std::optional<calibration::CalibrationKind> forced_calibration_;
+
+  Accounting* accounting_ = nullptr;
+  int next_id_ = 1;
+  std::vector<int> queue_;
+  std::map<int, QuantumJobRecord> records_;
+  std::map<int, QuantumJob> pending_jobs_;
+
+  calibration::AutoCalibrationController controller_;
+  calibration::GhzBenchmark benchmark_;
+  calibration::CalibrationEngine engine_;
+
+  QrmMetrics metrics_;
+};
+
+}  // namespace hpcqc::sched

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/sched/hpc_scheduler.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::sched {
+
+/// Synthetic quantum job stream: Poisson arrivals of topology-legal
+/// circuits (GHZ chains and PRX/CZ brickwork on the device serpentine) —
+/// the shape of the early-user workloads of §4.
+struct QuantumWorkloadParams {
+  Seconds duration = hours(24.0);
+  double jobs_per_hour = 6.0;
+  int min_qubits = 4;
+  int max_qubits = 20;
+  std::size_t min_shots = 500;
+  std::size_t max_shots = 4000;
+  int max_layers = 6;
+};
+
+/// (arrival time, job) pairs in arrival order.
+std::vector<std::pair<Seconds, QuantumJob>> generate_quantum_workload(
+    const device::DeviceModel& device, const QuantumWorkloadParams& params,
+    Rng& rng);
+
+/// Builds a topology-legal layered circuit on the device serpentine:
+/// `layers` alternating PRX layers and CZ brickwork over `qubits` chain
+/// qubits, terminated by a measurement of the chain.
+circuit::Circuit chain_brickwork_circuit(const device::DeviceModel& device,
+                                         int qubits, int layers, Rng& rng);
+
+/// Synthetic classical batch stream with lognormal-ish sizes/walltimes.
+struct ClassicalWorkloadParams {
+  Seconds duration = hours(24.0);
+  double jobs_per_hour = 12.0;
+  int max_nodes = 64;
+  Seconds min_walltime = minutes(10.0);
+  Seconds max_walltime = hours(8.0);
+};
+
+std::vector<std::pair<Seconds, HpcJob>> generate_classical_workload(
+    const ClassicalWorkloadParams& params, Rng& rng);
+
+}  // namespace hpcqc::sched

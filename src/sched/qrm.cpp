@@ -1,0 +1,274 @@
+#include "hpcqc/sched/qrm.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
+    : device_(&device),
+      config_(config),
+      rng_(&rng),
+      log_(log),
+      controller_(config.controller),
+      benchmark_(config.benchmark),
+      engine_() {}
+
+int Qrm::submit(QuantumJob job) {
+  expects(job.shots > 0, "Qrm::submit: need at least one shot");
+  if (accounting_ != nullptr && !job.project.empty()) {
+    const Seconds estimate =
+        static_cast<double>(job.shots) * device_->shot_duration(job.circuit);
+    ensure_state(accounting_->can_afford(job.project, estimate),
+                 "Qrm::submit: project '" + job.project +
+                     "' cannot afford the estimated " +
+                     std::to_string(estimate) + " QPU-seconds");
+  }
+  const int id = next_id_++;
+  QuantumJobRecord record;
+  record.id = id;
+  record.name = job.name;
+  record.shots = job.shots;
+  record.submit_time = now_;
+  records_.emplace(id, std::move(record));
+  pending_jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  return id;
+}
+
+void Qrm::set_offline(const std::string& reason) {
+  online_ = false;
+  status_ = qdmi::DeviceStatus::kOffline;
+  // An outage aborts whatever was in flight; the job returns to the queue
+  // head (the "more robust job restart tools after system outages" users
+  // asked for in §4 exist because of exactly this path).
+  if (phase_ == Phase::kJob && active_job_ >= 0) {
+    auto& record = records_.at(active_job_);
+    record.state = QuantumJobState::kQueued;
+    record.start_time = -1.0;
+    record.end_time = -1.0;
+    queue_.insert(queue_.begin(), active_job_);
+  }
+  phase_ = Phase::kIdle;
+  active_job_ = -1;
+  active_calibration_.reset();
+  if (log_) log_->warning(now_, "qrm", "QPU offline: " + reason);
+}
+
+void Qrm::set_online() {
+  online_ = true;
+  status_ = qdmi::DeviceStatus::kIdle;
+  if (log_) log_->info(now_, "qrm", "QPU back in service");
+}
+
+void Qrm::request_calibration(calibration::CalibrationKind kind) {
+  // A full request supersedes a pending quick one, never the reverse.
+  if (!forced_calibration_.has_value() ||
+      kind == calibration::CalibrationKind::kFull)
+    forced_calibration_ = kind;
+}
+
+void Qrm::apply_drift_until(Seconds t) {
+  if (t > drifted_until_) {
+    device_->drift(t - drifted_until_, *rng_);
+    drifted_until_ = t;
+  }
+}
+
+void Qrm::finish_phase(Rng& rng) {
+  switch (phase_) {
+    case Phase::kIdle:
+      break;
+    case Phase::kJob: {
+      auto& record = records_.at(active_job_);
+      record.state = QuantumJobState::kCompleted;
+      record.end_time = now_;
+      metrics_.jobs_completed += 1;
+      metrics_.total_shots += record.shots;
+      metrics_.good_shots += static_cast<double>(record.shots) *
+                             record.result.estimated_fidelity;
+      metrics_.busy_time += now_ - record.start_time;
+      if (log_)
+        log_->debug(now_, "qrm",
+                    "job '" + record.name + "' completed (est. fidelity " +
+                        std::to_string(record.result.estimated_fidelity) + ")");
+      const QuantumJob& job = pending_jobs_.at(active_job_);
+      if (accounting_ != nullptr && !job.project.empty())
+        accounting_->charge(job.project, record.result.wall_time,
+                            record.shots);
+      pending_jobs_.erase(active_job_);
+      active_job_ = -1;
+      break;
+    }
+    case Phase::kBenchmark: {
+      const auto result = benchmark_.run(*device_, now_, rng);
+      controller_.note_benchmark(result);
+      metrics_.benchmark_time += config_.benchmark_overhead;
+      if (log_)
+        log_->debug(now_, "qrm",
+                    "health benchmark: ghz_success=" +
+                        std::to_string(result.ghz_success));
+      break;
+    }
+    case Phase::kCalibration: {
+      const auto outcome =
+          engine_.run(*device_, *active_calibration_, phase_start_, rng);
+      controller_.note_calibration(outcome);
+      metrics_.calibration_time += outcome.duration;
+      if (log_)
+        log_->info(now_, "qrm",
+                   std::string("calibration (") + to_string(outcome.kind) +
+                       ") done: median 1q=" +
+                       std::to_string(outcome.median_fidelity_1q_after) +
+                       " cz=" +
+                       std::to_string(outcome.median_fidelity_cz_after));
+      active_calibration_.reset();
+      break;
+    }
+  }
+  phase_ = Phase::kIdle;
+  status_ = qdmi::DeviceStatus::kIdle;
+}
+
+void Qrm::begin_next_work() {
+  // 1. Forced calibrations (recovery procedures) run first.
+  if (forced_calibration_.has_value()) {
+    active_calibration_ = *forced_calibration_;
+    forced_calibration_.reset();
+    const auto procedure =
+        *active_calibration_ == calibration::CalibrationKind::kQuick
+            ? calibration::quick_procedure()
+            : calibration::full_procedure();
+    phase_ = Phase::kCalibration;
+    phase_start_ = now_;
+    phase_end_ = now_ + procedure.total_duration();
+    status_ = qdmi::DeviceStatus::kCalibrating;
+    return;
+  }
+
+  // 2. Periodic health benchmark.
+  if (controller_.benchmark_due(now_)) {
+    const auto ghz = calibration::GhzBenchmark::chain_circuit(
+        *device_, benchmark_.params().qubits == 0
+                      ? device_->num_qubits()
+                      : benchmark_.params().qubits);
+    phase_ = Phase::kBenchmark;
+    phase_start_ = now_;
+    phase_end_ = now_ + config_.benchmark_overhead +
+                 static_cast<double>(benchmark_.params().shots) *
+                     device_->shot_duration(ghz);
+    status_ = qdmi::DeviceStatus::kExecuting;
+    return;
+  }
+
+  // 3. Controller-driven calibration. A scheduler-controlled policy waits
+  //    for an empty queue, but is forced past the defer bound.
+  const Seconds age = now_ - device_->calibration().calibrated_at;
+  const bool defer_expired =
+      age > config_.max_defer_factor * config_.controller.max_calibration_age;
+  const auto request =
+      controller_.decide(now_, *device_, queue_.empty() || defer_expired);
+  if (request.has_value()) {
+    active_calibration_ = request->kind;
+    const auto procedure =
+        request->kind == calibration::CalibrationKind::kQuick
+            ? calibration::quick_procedure()
+            : calibration::full_procedure();
+    phase_ = Phase::kCalibration;
+    phase_start_ = now_;
+    phase_end_ = now_ + procedure.total_duration();
+    status_ = qdmi::DeviceStatus::kCalibrating;
+    if (log_)
+      log_->info(now_, "qrm",
+                 std::string("starting ") + to_string(request->kind) +
+                     " calibration: " + request->reason);
+    return;
+  }
+
+  // 4. User jobs.
+  if (!queue_.empty()) {
+    const int id = queue_.front();
+    queue_.erase(queue_.begin());
+    auto& record = records_.at(id);
+    const QuantumJob& job = pending_jobs_.at(id);
+    record.state = QuantumJobState::kRunning;
+    record.start_time = now_;
+    record.result = device_->execute(job.circuit, job.shots, *rng_,
+                                     config_.execution_mode);
+    phase_ = Phase::kJob;
+    phase_start_ = now_;
+    phase_end_ = now_ + config_.job_overhead + record.result.wall_time;
+    active_job_ = id;
+    status_ = qdmi::DeviceStatus::kExecuting;
+    return;
+  }
+}
+
+void Qrm::advance_to(Seconds t) {
+  expects(t >= now_, "Qrm::advance_to: time cannot go backwards");
+  while (true) {
+    if (!online_) {
+      apply_drift_until(t);
+      now_ = t;
+      return;
+    }
+    if (phase_ != Phase::kIdle) {
+      if (phase_end_ <= t) {
+        apply_drift_until(phase_end_);
+        now_ = phase_end_;
+        finish_phase(*rng_);
+        continue;
+      }
+      apply_drift_until(t);
+      now_ = t;
+      return;
+    }
+    begin_next_work();
+    if (phase_ != Phase::kIdle) continue;
+
+    // Nothing to do now; wake at the next benchmark due time if it falls
+    // inside the window.
+    Seconds wake = t;
+    if (!controller_.benchmark_history().empty()) {
+      const Seconds due = controller_.benchmark_history().back().run_at +
+                          config_.controller.benchmark_period;
+      if (due > now_ && due < wake) wake = due;
+    }
+    apply_drift_until(wake);
+    now_ = wake;
+    if (wake >= t) return;
+  }
+}
+
+void Qrm::drain() {
+  int safety = 0;
+  while (phase_ != Phase::kIdle || !queue_.empty() ||
+         forced_calibration_.has_value()) {
+    advance_to(now_ + hours(1.0));
+    expects(++safety < 100000, "Qrm::drain: runaway event loop");
+  }
+}
+
+const QuantumJobRecord& Qrm::record(int id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end())
+    throw NotFoundError("Qrm: unknown job id " + std::to_string(id));
+  return it->second;
+}
+
+QrmMetrics Qrm::metrics() const {
+  QrmMetrics metrics = metrics_;
+  Seconds total_wait = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.state == QuantumJobState::kCompleted) {
+      total_wait += record.wait_time();
+      ++n;
+    }
+  }
+  metrics.mean_wait = n == 0 ? 0.0 : total_wait / static_cast<double>(n);
+  return metrics;
+}
+
+}  // namespace hpcqc::sched

@@ -1,0 +1,92 @@
+#include "hpcqc/sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+circuit::Circuit chain_brickwork_circuit(const device::DeviceModel& device,
+                                         int qubits, int layers, Rng& rng) {
+  const std::vector<int> chain = device.topology().coupled_chain();
+  expects(qubits >= 2 && qubits <= static_cast<int>(chain.size()),
+          "chain_brickwork_circuit: qubit count outside the device chain");
+  circuit::Circuit circuit(device.num_qubits());
+  std::vector<int> used(chain.begin(), chain.begin() + qubits);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q : used)
+      circuit.prx(rng.uniform(0.0, 2.0 * M_PI), rng.uniform(0.0, 2.0 * M_PI),
+                  q);
+    // CZ brickwork along the chain (even pairs, then odd pairs by layer).
+    for (int i = layer % 2; i + 1 < qubits; i += 2)
+      circuit.cz(used[static_cast<std::size_t>(i)],
+                 used[static_cast<std::size_t>(i + 1)]);
+  }
+  circuit.measure(used);
+  return circuit;
+}
+
+std::vector<std::pair<Seconds, QuantumJob>> generate_quantum_workload(
+    const device::DeviceModel& device, const QuantumWorkloadParams& params,
+    Rng& rng) {
+  expects(params.jobs_per_hour > 0.0, "workload: need a positive rate");
+  expects(params.min_qubits >= 2 && params.max_qubits >= params.min_qubits,
+          "workload: invalid qubit range");
+  std::vector<std::pair<Seconds, QuantumJob>> jobs;
+  Seconds t = 0.0;
+  int index = 0;
+  while (true) {
+    t += rng.exponential(params.jobs_per_hour / hours(1.0));
+    if (t >= params.duration) break;
+    const int qubits =
+        params.min_qubits +
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+            params.max_qubits - params.min_qubits + 1)));
+    const std::size_t shots =
+        params.min_shots +
+        rng.uniform_index(params.max_shots - params.min_shots + 1);
+    QuantumJob job;
+    job.shots = shots;
+    if (rng.bernoulli(0.4)) {
+      job.name = "ghz-" + std::to_string(index);
+      job.circuit = calibration::GhzBenchmark::chain_circuit(device, qubits);
+    } else {
+      const int layers = 1 + static_cast<int>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(params.max_layers)));
+      job.name = "brickwork-" + std::to_string(index);
+      job.circuit = chain_brickwork_circuit(device, qubits, layers, rng);
+    }
+    jobs.emplace_back(t, std::move(job));
+    ++index;
+  }
+  return jobs;
+}
+
+std::vector<std::pair<Seconds, HpcJob>> generate_classical_workload(
+    const ClassicalWorkloadParams& params, Rng& rng) {
+  expects(params.jobs_per_hour > 0.0, "workload: need a positive rate");
+  std::vector<std::pair<Seconds, HpcJob>> jobs;
+  Seconds t = 0.0;
+  int index = 0;
+  while (true) {
+    t += rng.exponential(params.jobs_per_hour / hours(1.0));
+    if (t >= params.duration) break;
+    HpcJob job;
+    job.name = "batch-" + std::to_string(index++);
+    // Power-of-two-ish node counts, skewed small.
+    const double u = rng.uniform();
+    job.nodes = std::max(
+        1, static_cast<int>(std::pow(static_cast<double>(params.max_nodes),
+                                     u * u)));
+    job.walltime = std::clamp(
+        params.min_walltime *
+            std::exp(rng.normal(1.2, 0.9)),  // lognormal walltimes
+        params.min_walltime, params.max_walltime);
+    jobs.emplace_back(t, std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace hpcqc::sched

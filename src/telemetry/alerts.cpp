@@ -1,0 +1,62 @@
+#include "hpcqc/telemetry/alerts.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::telemetry {
+
+void AlertEngine::add_rule(AlertRule rule) {
+  expects(!rule.name.empty() && !rule.sensor.empty(),
+          "AlertEngine: rule needs a name and a sensor");
+  expects(std::none_of(rules_.begin(), rules_.end(),
+                       [&](const RuleState& rs) {
+                         return rs.rule.name == rule.name;
+                       }),
+          "AlertEngine: duplicate rule name '" + rule.name + "'");
+  rules_.push_back({std::move(rule), false, std::nullopt});
+}
+
+std::vector<AlertEvent> AlertEngine::evaluate(const TimeSeriesStore& store,
+                                              Seconds now) {
+  std::vector<AlertEvent> events;
+  for (auto& state : rules_) {
+    const auto sample = store.latest(state.rule.sensor);
+    if (!sample.has_value()) continue;
+    const bool breached =
+        state.rule.condition == AlertCondition::kAbove
+            ? sample->value > state.rule.threshold
+            : sample->value < state.rule.threshold;
+
+    if (breached) {
+      if (!state.breach_since.has_value()) state.breach_since = now;
+      const bool held = now - *state.breach_since >= state.rule.hold;
+      if (held && !state.active) {
+        state.active = true;
+        events.push_back({state.rule.name, now, true, sample->value});
+      }
+    } else {
+      state.breach_since.reset();
+      if (state.active) {
+        state.active = false;
+        events.push_back({state.rule.name, now, false, sample->value});
+      }
+    }
+  }
+  history_.insert(history_.end(), events.begin(), events.end());
+  return events;
+}
+
+bool AlertEngine::is_active(const std::string& rule_name) const {
+  for (const auto& state : rules_)
+    if (state.rule.name == rule_name) return state.active;
+  throw NotFoundError("AlertEngine: unknown rule '" + rule_name + "'");
+}
+
+std::size_t AlertEngine::active_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(rules_.begin(), rules_.end(),
+                    [](const RuleState& rs) { return rs.active; }));
+}
+
+}  // namespace hpcqc::telemetry

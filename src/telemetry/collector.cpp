@@ -1,0 +1,33 @@
+#include "hpcqc/telemetry/collector.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::telemetry {
+
+void TelemetryHub::add_collector(std::unique_ptr<Collector> collector,
+                                 Seconds period) {
+  expects(collector != nullptr, "TelemetryHub: null collector");
+  expects(period > 0.0, "TelemetryHub: polling period must be positive");
+  entries_.push_back({std::move(collector), period, -1.0});
+}
+
+std::size_t TelemetryHub::poll(Seconds now) {
+  std::size_t fired = 0;
+  for (auto& entry : entries_) {
+    if (entry.last_run < 0.0 || now - entry.last_run >= entry.period) {
+      entry.collector->collect(now, store_);
+      entry.last_run = now;
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+void TelemetryHub::collect_all(Seconds now) {
+  for (auto& entry : entries_) {
+    entry.collector->collect(now, store_);
+    entry.last_run = now;
+  }
+}
+
+}  // namespace hpcqc::telemetry

@@ -1,0 +1,66 @@
+#include "hpcqc/telemetry/collectors.hpp"
+
+namespace hpcqc::telemetry {
+
+std::string element_path(char prefix, int index) {
+  std::string out(1, prefix);
+  if (index < 10) out += '0';
+  out += std::to_string(index);
+  return out;
+}
+
+void CryostatCollector::collect(Seconds now, TimeSeriesStore& store) {
+  store.append("cryo.mxc_temperature_k", now, cryostat_->temperature());
+  store.append("cryo.peak_temperature_k", now,
+               cryostat_->peak_since_operating());
+  store.append("cryo.cooling_active", now,
+               cryostat_->cooling_active() ? 1.0 : 0.0);
+  store.append("cryo.vacuum_intact", now,
+               cryostat_->vacuum_intact() ? 1.0 : 0.0);
+}
+
+void GasHandlingCollector::collect(Seconds now, TimeSeriesStore& store) {
+  store.append("ghs.pumps_running", now, ghs_->running() ? 1.0 : 0.0);
+  store.append("ghs.water_temperature_c", now, ghs_->water_temperature());
+  store.append("ghs.ln2_level_l", now, ghs_->ln2_level_l());
+  store.append("ghs.tip_seal_health", now, ghs_->tip_seal_health());
+}
+
+void CoolingLoopCollector::collect(Seconds now, TimeSeriesStore& store) {
+  store.append("facility.water_supply_c", now, loop_->supply_temperature_c());
+  store.append("facility.chiller_ok", now,
+               loop_->primary_chiller_ok() ? 1.0 : 0.0);
+  store.append("facility.backup_engaged", now,
+               loop_->backup_engaged() ? 1.0 : 0.0);
+}
+
+void PowerCollector::collect(Seconds now, TimeSeriesStore& store) {
+  store.append("power.draw_kw", now, to_kilowatts(model_->draw(*state_)));
+  store.append("power.heat_to_water_kw", now,
+               to_kilowatts(model_->heat_to_water(*state_)));
+}
+
+void DeviceCalibrationCollector::collect(Seconds now, TimeSeriesStore& store) {
+  const auto& cal = model_->calibration();
+  for (std::size_t q = 0; q < cal.qubits.size(); ++q) {
+    const std::string base = "qpu." + element_path('q', static_cast<int>(q));
+    store.append(base + ".fidelity_1q", now, cal.qubits[q].fidelity_1q);
+    store.append(base + ".readout_fidelity", now,
+                 cal.qubits[q].readout_fidelity);
+    store.append(base + ".t1_us", now, cal.qubits[q].t1_us);
+    store.append(base + ".tls_defect", now,
+                 cal.qubits[q].tls_defect ? 1.0 : 0.0);
+  }
+  for (std::size_t c = 0; c < cal.couplers.size(); ++c) {
+    const std::string base = "qpu." + element_path('c', static_cast<int>(c));
+    store.append(base + ".fidelity_cz", now, cal.couplers[c].fidelity_cz);
+  }
+  store.append("qpu.median_fidelity_1q", now, cal.median_fidelity_1q());
+  store.append("qpu.median_fidelity_cz", now, cal.median_fidelity_cz());
+  store.append("qpu.median_readout_fidelity", now,
+               cal.median_readout_fidelity());
+  store.append("qpu.tls_defect_count", now,
+               static_cast<double>(cal.tls_defect_count()));
+}
+
+}  // namespace hpcqc::telemetry

@@ -1,0 +1,139 @@
+#include "hpcqc/telemetry/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/telemetry/collectors.hpp"
+
+namespace hpcqc::telemetry {
+
+const char* to_string(QubitHealthClass cls) {
+  switch (cls) {
+    case QubitHealthClass::kHealthy: return "healthy";
+    case QubitHealthClass::kDrifting: return "drifting";
+    case QubitHealthClass::kDegraded: return "degraded";
+    case QubitHealthClass::kTlsSuspect: return "tls-suspect";
+  }
+  return "?";
+}
+
+std::vector<int> HealthSummary::attention_list() const {
+  std::vector<int> out;
+  for (const auto& report : qubits)
+    if (report.classification != QubitHealthClass::kHealthy)
+      out.push_back(report.qubit);
+  return out;
+}
+
+void HealthSummary::print(std::ostream& os) const {
+  os << "Qubit health: " << healthy << " healthy, " << drifting
+     << " drifting, " << degraded << " degraded, " << tls_suspect
+     << " TLS-suspect\n";
+  for (const auto& report : qubits) {
+    if (report.classification == QubitHealthClass::kHealthy) continue;
+    os << "  q" << report.qubit << ": " << to_string(report.classification)
+       << " (score " << report.score << ", 1q " << report.fidelity_1q
+       << ", readout " << report.readout_fidelity << ", trend "
+       << report.error_trend_per_day << "/day)\n";
+  }
+}
+
+HealthAnalyzer::HealthAnalyzer() : HealthAnalyzer(Params{}) {}
+
+HealthAnalyzer::HealthAnalyzer(Params params) : params_(params) {
+  expects(params_.window > 0.0, "HealthAnalyzer: window must be positive");
+  expects(params_.degraded_score > 0.0 && params_.degraded_score < 1.0,
+          "HealthAnalyzer: degraded score in (0,1)");
+}
+
+namespace {
+
+/// Least-squares slope of (time, value) samples, per day; 0 with < 2 points.
+double slope_per_day(const std::vector<Sample>& samples) {
+  if (samples.size() < 2) return 0.0;
+  double st = 0.0;
+  double sv = 0.0;
+  double stt = 0.0;
+  double stv = 0.0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& sample : samples) {
+    const double t = to_days(sample.time);
+    st += t;
+    sv += sample.value;
+    stt += t * t;
+    stv += t * sample.value;
+  }
+  const double denom = n * stt - st * st;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (n * stv - st * sv) / denom;
+}
+
+}  // namespace
+
+QubitHealthReport HealthAnalyzer::analyze_qubit(const TimeSeriesStore& store,
+                                                int qubit, Seconds now) const {
+  const std::string base = "qpu." + element_path('q', qubit);
+  QubitHealthReport report;
+  report.qubit = qubit;
+
+  const auto f1q = store.latest(base + ".fidelity_1q");
+  const auto readout = store.latest(base + ".readout_fidelity");
+  if (!f1q.has_value() || !readout.has_value()) {
+    report.classification = QubitHealthClass::kDegraded;
+    report.score = 0.0;
+    return report;
+  }
+  report.fidelity_1q = f1q->value;
+  report.readout_fidelity = readout->value;
+
+  // Score: error ratios vs nominal, clamped; 1.0 == at nominal or better.
+  const auto error_ratio = [](double fidelity, double nominal) {
+    const double err = 1.0 - fidelity;
+    const double nominal_err = 1.0 - nominal;
+    return std::max(1.0, err / nominal_err);
+  };
+  report.score =
+      1.0 / (error_ratio(report.fidelity_1q, params_.nominal_fidelity_1q) *
+             error_ratio(report.readout_fidelity,
+                         params_.nominal_readout_fidelity));
+
+  // Trend of the 1q *error* over the window.
+  auto history =
+      store.range(base + ".fidelity_1q", now - params_.window, now);
+  for (auto& sample : history) sample.value = 1.0 - sample.value;
+  report.error_trend_per_day = slope_per_day(history);
+
+  // Classification, most severe first.
+  const auto tls = store.aggregate(base + ".tls_defect",
+                                   now - params_.window, now);
+  if (tls.count > 0 && tls.max > 0.5) {
+    report.classification = QubitHealthClass::kTlsSuspect;
+  } else if (report.score < params_.degraded_score) {
+    report.classification = QubitHealthClass::kDegraded;
+  } else if (report.error_trend_per_day > params_.drifting_error_per_day) {
+    report.classification = QubitHealthClass::kDrifting;
+  } else {
+    report.classification = QubitHealthClass::kHealthy;
+  }
+  return report;
+}
+
+HealthSummary HealthAnalyzer::analyze(const TimeSeriesStore& store,
+                                      int num_qubits, Seconds now) const {
+  expects(num_qubits >= 1, "HealthAnalyzer: need qubits");
+  HealthSummary summary;
+  for (int q = 0; q < num_qubits; ++q) {
+    summary.qubits.push_back(analyze_qubit(store, q, now));
+    switch (summary.qubits.back().classification) {
+      case QubitHealthClass::kHealthy: ++summary.healthy; break;
+      case QubitHealthClass::kDrifting: ++summary.drifting; break;
+      case QubitHealthClass::kDegraded: ++summary.degraded; break;
+      case QubitHealthClass::kTlsSuspect: ++summary.tls_suspect; break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace hpcqc::telemetry

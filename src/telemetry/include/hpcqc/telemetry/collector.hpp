@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc::telemetry {
+
+/// One telemetry plugin: reads a subsystem and appends samples to the
+/// store. Mirrors DCDB's "open-source, plugin-based system designed for
+/// continuous and holistic collection of operational and environmental
+/// metrics" (§3.1).
+class Collector {
+public:
+  virtual ~Collector() = default;
+  virtual std::string name() const = 0;
+  virtual void collect(Seconds now, TimeSeriesStore& store) = 0;
+};
+
+/// Owns the store and a set of collectors, each with its own polling
+/// period, and drives them from the simulation loop.
+class TelemetryHub {
+public:
+  TelemetryHub() = default;
+
+  TimeSeriesStore& store() { return store_; }
+  const TimeSeriesStore& store() const { return store_; }
+
+  /// Registers a plugin with a polling period.
+  void add_collector(std::unique_ptr<Collector> collector, Seconds period);
+
+  std::size_t collector_count() const { return entries_.size(); }
+
+  /// Runs every collector whose period has elapsed since its last run.
+  /// Returns the number of collectors that fired.
+  std::size_t poll(Seconds now);
+
+  /// Forces every collector to run now.
+  void collect_all(Seconds now);
+
+private:
+  struct Entry {
+    std::unique_ptr<Collector> collector;
+    Seconds period = 0.0;
+    Seconds last_run = -1.0;
+  };
+
+  TimeSeriesStore store_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hpcqc::telemetry

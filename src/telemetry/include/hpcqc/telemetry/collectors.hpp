@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+
+#include "hpcqc/cryo/cryostat.hpp"
+#include "hpcqc/cryo/gas_handling.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/facility/cooling.hpp"
+#include "hpcqc/facility/power.hpp"
+#include "hpcqc/telemetry/collector.hpp"
+
+namespace hpcqc::telemetry {
+
+/// Cryogenic sensors: MXC temperature, cooling/vacuum state, peak excursion.
+/// Sensor paths: cryo.mxc_temperature_k, cryo.cooling_active,
+/// cryo.vacuum_intact, cryo.peak_temperature_k.
+class CryostatCollector final : public Collector {
+public:
+  explicit CryostatCollector(const cryo::Cryostat& cryostat)
+      : cryostat_(&cryostat) {}
+  std::string name() const override { return "cryostat"; }
+  void collect(Seconds now, TimeSeriesStore& store) override;
+
+private:
+  const cryo::Cryostat* cryostat_;
+};
+
+/// Gas handling sensors: pump state, cooling-water temperature, LN2 level.
+class GasHandlingCollector final : public Collector {
+public:
+  explicit GasHandlingCollector(const cryo::GasHandlingSystem& ghs)
+      : ghs_(&ghs) {}
+  std::string name() const override { return "gas-handling"; }
+  void collect(Seconds now, TimeSeriesStore& store) override;
+
+private:
+  const cryo::GasHandlingSystem* ghs_;
+};
+
+/// Facility sensors: cooling-loop supply temperature, chiller/backup state.
+class CoolingLoopCollector final : public Collector {
+public:
+  explicit CoolingLoopCollector(const facility::CoolingLoop& loop)
+      : loop_(&loop) {}
+  std::string name() const override { return "cooling-loop"; }
+  void collect(Seconds now, TimeSeriesStore& store) override;
+
+private:
+  const facility::CoolingLoop* loop_;
+};
+
+/// Power sensors: system draw for the current power state.
+class PowerCollector final : public Collector {
+public:
+  PowerCollector(const facility::QcPowerModel& model,
+                 const facility::QcPowerState& state)
+      : model_(&model), state_(&state) {}
+  std::string name() const override { return "power"; }
+  void collect(Seconds now, TimeSeriesStore& store) override;
+
+private:
+  const facility::QcPowerModel* model_;
+  const facility::QcPowerState* state_;
+};
+
+/// QPU calibration telemetry: per-qubit and per-coupler fidelities plus the
+/// device medians — the "fine-grained real-time data, for example, qubit
+/// fidelities" the Fig. 3 integration consumes. Paths:
+/// qpu.q<NN>.fidelity_1q, qpu.q<NN>.readout_fidelity, qpu.q<NN>.t1_us,
+/// qpu.c<NN>.fidelity_cz, qpu.median_fidelity_1q, ...
+class DeviceCalibrationCollector final : public Collector {
+public:
+  explicit DeviceCalibrationCollector(const device::DeviceModel& model)
+      : model_(&model) {}
+  std::string name() const override { return "qpu-calibration"; }
+  void collect(Seconds now, TimeSeriesStore& store) override;
+
+private:
+  const device::DeviceModel* model_;
+};
+
+/// Zero-padded sensor path fragment: q03, c11, ...
+std::string element_path(char prefix, int index);
+
+}  // namespace hpcqc::telemetry

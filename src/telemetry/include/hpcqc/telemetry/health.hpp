@@ -1,0 +1,84 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc::telemetry {
+
+/// Health classification of one qubit, derived from its telemetry history —
+/// the "advanced operational analytics" DCDB lays the foundation for
+/// (§3.1), in the spirit of the qubit-health-analytics companion work the
+/// paper cites.
+enum class QubitHealthClass {
+  kHealthy,     ///< at its calibrated working point, stable
+  kDrifting,    ///< fidelity trending down faster than the fleet
+  kDegraded,    ///< fidelity below the acceptable floor
+  kTlsSuspect,  ///< TLS-defect flag seen in the window
+};
+
+const char* to_string(QubitHealthClass cls);
+
+/// Assessment of one qubit over the analysis window.
+struct QubitHealthReport {
+  int qubit = 0;
+  QubitHealthClass classification = QubitHealthClass::kHealthy;
+  /// Composite score in [0, 1]: gate x readout quality vs nominal.
+  double score = 1.0;
+  double fidelity_1q = 0.0;
+  double readout_fidelity = 0.0;
+  /// Fitted 1q-error growth per day over the window (positive = degrading).
+  double error_trend_per_day = 0.0;
+};
+
+/// Fleet-level summary.
+struct HealthSummary {
+  std::vector<QubitHealthReport> qubits;
+  int healthy = 0;
+  int drifting = 0;
+  int degraded = 0;
+  int tls_suspect = 0;
+
+  /// Qubits to avoid in placement / to prioritize at the next calibration.
+  std::vector<int> attention_list() const;
+  void print(std::ostream& os) const;
+};
+
+/// Analyzes the per-qubit calibration telemetry written by
+/// DeviceCalibrationCollector (paths qpu.qNN.*).
+class HealthAnalyzer {
+public:
+  struct Params {
+    Seconds window = hours(24.0);
+    /// Score floor below which a qubit is kDegraded. The score is the
+    /// inverse product of the error ratios vs nominal, so 0.25 means the
+    /// combined (gate x readout) error grew ~4x past its calibrated
+    /// values — well beyond routine between-calibration drift (which sits
+    /// near a combined ratio of ~3 under the default drift model).
+    double degraded_score = 0.25;
+    /// 1q-error growth (absolute, per day) beyond which it is kDrifting.
+    double drifting_error_per_day = 0.002;
+    /// Nominal targets for score normalization.
+    double nominal_fidelity_1q = 0.9991;
+    double nominal_readout_fidelity = 0.98;
+  };
+
+  HealthAnalyzer();
+  explicit HealthAnalyzer(Params params);
+
+  const Params& params() const { return params_; }
+
+  /// Assesses qubits 0..num_qubits-1 from the store at time `now`.
+  /// Qubits without telemetry yet are reported kDegraded with score 0.
+  HealthSummary analyze(const TimeSeriesStore& store, int num_qubits,
+                        Seconds now) const;
+
+private:
+  QubitHealthReport analyze_qubit(const TimeSeriesStore& store, int qubit,
+                                  Seconds now) const;
+
+  Params params_;
+};
+
+}  // namespace hpcqc::telemetry

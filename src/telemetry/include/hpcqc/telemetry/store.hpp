@@ -1,0 +1,84 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::telemetry {
+
+/// One timestamped reading of one sensor.
+struct Sample {
+  Seconds time = 0.0;
+  double value = 0.0;
+};
+
+/// Window aggregate of one sensor.
+struct Aggregate {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+/// Append-only, in-memory time-series store — the stand-in for DCDB's
+/// "distributed noSQL data store" (§3.1). Sensors are named hierarchically
+/// with dot-separated paths ("cryo.mxc_temperature_k",
+/// "qpu.q03.fidelity_1q") so that subsystems can be queried by prefix, which
+/// is what enables the cross-system correlation the paper describes.
+class TimeSeriesStore {
+public:
+  /// Appends one sample; timestamps per sensor must be non-decreasing.
+  void append(const std::string& sensor, Sample sample);
+  void append(const std::string& sensor, Seconds time, double value) {
+    append(sensor, Sample{time, value});
+  }
+
+  bool has_sensor(const std::string& sensor) const;
+  std::size_t total_samples() const;
+
+  /// All sensor names, sorted; optionally filtered by path prefix.
+  std::vector<std::string> sensors(const std::string& prefix = "") const;
+
+  /// Latest sample of a sensor, if any.
+  std::optional<Sample> latest(const std::string& sensor) const;
+
+  /// Samples with t0 <= time <= t1, in time order.
+  std::vector<Sample> range(const std::string& sensor, Seconds t0,
+                            Seconds t1) const;
+
+  /// Aggregate over [t0, t1]; count==0 when the window is empty.
+  Aggregate aggregate(const std::string& sensor, Seconds t0, Seconds t1) const;
+
+  /// Mean-downsampled series with the given bucket width, covering
+  /// [t0, t1); empty buckets are skipped. Bucket timestamps are centers.
+  std::vector<Sample> downsample(const std::string& sensor, Seconds t0,
+                                 Seconds t1, Seconds bucket) const;
+
+  /// Writes "sensor,time_s,value" CSV rows for the selected prefix.
+  void export_csv(std::ostream& os, const std::string& prefix = "") const;
+
+  /// Reads rows in export_csv's format (header required) and appends them.
+  /// Returns the number of samples imported; throws ParseError on
+  /// malformed rows and PreconditionError on per-sensor time regressions.
+  std::size_t import_csv(std::istream& is);
+
+  /// Retention policy: samples older than `before` are replaced by their
+  /// per-bucket means (bucket centers become the timestamps). A months-long
+  /// campaign keeps full-resolution recent data and coarse history — the
+  /// practical shape of a DCDB-scale operational store. Returns the number
+  /// of samples removed.
+  std::size_t compact(Seconds before, Seconds bucket);
+
+private:
+  const std::vector<Sample>* find(const std::string& sensor) const;
+
+  std::map<std::string, std::vector<Sample>> series_;
+};
+
+}  // namespace hpcqc::telemetry

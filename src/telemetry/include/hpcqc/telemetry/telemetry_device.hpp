@@ -1,0 +1,48 @@
+#pragma once
+
+#include "hpcqc/device/topology.hpp"
+#include "hpcqc/qdmi/qdmi.hpp"
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc::telemetry {
+
+/// The Fig. 3 integration: a QDMI device whose property queries are served
+/// from live telemetry rather than from the control software directly.
+/// "A QDMI Device has been developed that interfaces with DCDB to acquire
+/// telemetry from quantum hardware and its operational environment" — this
+/// adapter lets the JIT compiler and external tools consume the same data
+/// stream the monitoring stack records, without altering their workflows.
+class TelemetryBackedDevice final : public qdmi::DeviceInterface {
+public:
+  /// `store` must outlive the adapter; the topology is copied because the
+  /// telemetry consumer may outlive the control-side device object.
+  TelemetryBackedDevice(std::string name, device::Topology topology,
+                        const TimeSeriesStore& store);
+
+  std::string name() const override { return name_; }
+  int num_qubits() const override { return topology_.num_qubits(); }
+  std::vector<std::pair<int, int>> coupling_map() const override {
+    return topology_.edges();
+  }
+  std::vector<std::string> native_gates() const override {
+    return {"prx", "cz"};
+  }
+  double qubit_property(qdmi::QubitProperty prop, int qubit) const override;
+  double coupler_property(qdmi::CouplerProperty prop, int a,
+                          int b) const override;
+  double device_property(qdmi::DeviceProperty prop) const override;
+  qdmi::DeviceStatus status() const override;
+
+  /// Sensor path carrying the device status (written by the operations
+  /// layer as a numeric DeviceStatus).
+  static constexpr const char* kStatusSensor = "qpu.status";
+
+private:
+  double latest_or_throw(const std::string& sensor) const;
+
+  std::string name_;
+  device::Topology topology_;
+  const TimeSeriesStore* store_;
+};
+
+}  // namespace hpcqc::telemetry

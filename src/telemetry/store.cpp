@@ -1,0 +1,181 @@
+#include "hpcqc/telemetry/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::telemetry {
+
+void TimeSeriesStore::append(const std::string& sensor, Sample sample) {
+  expects(!sensor.empty(), "TimeSeriesStore: sensor name cannot be empty");
+  auto& series = series_[sensor];
+  expects(series.empty() || series.back().time <= sample.time,
+          "TimeSeriesStore: timestamps must be non-decreasing per sensor");
+  series.push_back(sample);
+}
+
+bool TimeSeriesStore::has_sensor(const std::string& sensor) const {
+  return series_.contains(sensor);
+}
+
+std::size_t TimeSeriesStore::total_samples() const {
+  std::size_t total = 0;
+  for (const auto& [name, series] : series_) total += series.size();
+  return total;
+}
+
+std::vector<std::string> TimeSeriesStore::sensors(
+    const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, series] : series_)
+    if (name.starts_with(prefix)) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+const std::vector<Sample>* TimeSeriesStore::find(
+    const std::string& sensor) const {
+  const auto it = series_.find(sensor);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::optional<Sample> TimeSeriesStore::latest(const std::string& sensor) const {
+  const auto* series = find(sensor);
+  if (series == nullptr || series->empty()) return std::nullopt;
+  return series->back();
+}
+
+std::vector<Sample> TimeSeriesStore::range(const std::string& sensor,
+                                           Seconds t0, Seconds t1) const {
+  const auto* series = find(sensor);
+  if (series == nullptr) return {};
+  const auto lo = std::lower_bound(
+      series->begin(), series->end(), t0,
+      [](const Sample& s, Seconds t) { return s.time < t; });
+  const auto hi = std::upper_bound(
+      series->begin(), series->end(), t1,
+      [](Seconds t, const Sample& s) { return t < s.time; });
+  return {lo, hi};
+}
+
+Aggregate TimeSeriesStore::aggregate(const std::string& sensor, Seconds t0,
+                                     Seconds t1) const {
+  Aggregate agg;
+  for (const Sample& sample : range(sensor, t0, t1)) {
+    if (agg.count == 0) {
+      agg.min = sample.value;
+      agg.max = sample.value;
+    } else {
+      agg.min = std::min(agg.min, sample.value);
+      agg.max = std::max(agg.max, sample.value);
+    }
+    ++agg.count;
+    agg.mean += (sample.value - agg.mean) / static_cast<double>(agg.count);
+    agg.last = sample.value;
+  }
+  return agg;
+}
+
+std::vector<Sample> TimeSeriesStore::downsample(const std::string& sensor,
+                                                Seconds t0, Seconds t1,
+                                                Seconds bucket) const {
+  expects(bucket > 0.0, "downsample: bucket width must be positive");
+  std::vector<Sample> out;
+  for (Seconds start = t0; start < t1; start += bucket) {
+    const Aggregate agg =
+        aggregate(sensor, start, std::min(t1, start + bucket) -
+                                     1e-9 /* right-open bucket */);
+    if (agg.count > 0) out.push_back({start + bucket / 2.0, agg.mean});
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::compact(Seconds before, Seconds bucket) {
+  expects(bucket > 0.0, "compact: bucket width must be positive");
+  std::size_t removed = 0;
+  for (auto& [name, series] : series_) {
+    // Split at the retention boundary.
+    const auto boundary = std::lower_bound(
+        series.begin(), series.end(), before,
+        [](const Sample& s, Seconds t) { return s.time < t; });
+    const auto old_count =
+        static_cast<std::size_t>(std::distance(series.begin(), boundary));
+    if (old_count < 2) continue;
+
+    std::vector<Sample> compacted;
+    std::size_t i = 0;
+    while (i < old_count) {
+      const Seconds bucket_start =
+          std::floor(series[i].time / bucket) * bucket;
+      const Seconds bucket_end = bucket_start + bucket;
+      double sum = 0.0;
+      std::size_t count = 0;
+      while (i < old_count && series[i].time < bucket_end) {
+        sum += series[i].value;
+        ++count;
+        ++i;
+      }
+      compacted.push_back(
+          {bucket_start + bucket / 2.0, sum / static_cast<double>(count)});
+    }
+    // Compacted timestamps (bucket centers) may exceed the first retained
+    // sample's time; clamp the last center to preserve monotonicity in
+    // both directions.
+    if (boundary != series.end() && !compacted.empty()) {
+      compacted.back().time = std::min(compacted.back().time, boundary->time);
+      if (compacted.size() >= 2)
+        compacted.back().time = std::max(
+            compacted.back().time, compacted[compacted.size() - 2].time);
+    }
+
+    removed += old_count - compacted.size();
+    compacted.insert(compacted.end(), boundary, series.end());
+    series = std::move(compacted);
+  }
+  return removed;
+}
+
+void TimeSeriesStore::export_csv(std::ostream& os,
+                                 const std::string& prefix) const {
+  os << "sensor,time_s,value\n";
+  const auto previous = os.precision(17);
+  for (const auto& [name, series] : series_) {
+    if (!name.starts_with(prefix)) continue;
+    for (const Sample& sample : series)
+      os << name << ',' << sample.time << ',' << sample.value << '\n';
+  }
+  os.precision(previous);
+}
+
+std::size_t TimeSeriesStore::import_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "sensor,time_s,value")
+    throw ParseError("import_csv: missing 'sensor,time_s,value' header");
+  std::size_t imported = 0;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto first = line.find(',');
+    const auto second = line.find(',', first + 1);
+    if (first == std::string::npos || second == std::string::npos)
+      throw ParseError("import_csv: malformed row at line " +
+                       std::to_string(line_number));
+    const std::string sensor = line.substr(0, first);
+    try {
+      const double time = std::stod(line.substr(first + 1, second - first - 1));
+      const double value = std::stod(line.substr(second + 1));
+      append(sensor, time, value);
+    } catch (const std::invalid_argument&) {
+      throw ParseError("import_csv: non-numeric field at line " +
+                       std::to_string(line_number));
+    }
+    ++imported;
+  }
+  return imported;
+}
+
+}  // namespace hpcqc::telemetry

@@ -1,0 +1,83 @@
+#include "hpcqc/telemetry/telemetry_device.hpp"
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/telemetry/collectors.hpp"
+
+namespace hpcqc::telemetry {
+
+TelemetryBackedDevice::TelemetryBackedDevice(std::string name,
+                                             device::Topology topology,
+                                             const TimeSeriesStore& store)
+    : name_(std::move(name)), topology_(std::move(topology)), store_(&store) {}
+
+double TelemetryBackedDevice::latest_or_throw(const std::string& sensor) const {
+  const auto sample = store_->latest(sensor);
+  if (!sample.has_value())
+    throw NotFoundError("TelemetryBackedDevice: no telemetry for sensor '" +
+                        sensor + "' yet");
+  return sample->value;
+}
+
+double TelemetryBackedDevice::qubit_property(qdmi::QubitProperty prop,
+                                             int qubit) const {
+  expects(qubit >= 0 && qubit < num_qubits(),
+          "qubit_property: qubit out of range");
+  const std::string base = "qpu." + element_path('q', qubit);
+  switch (prop) {
+    case qdmi::QubitProperty::kT1Us: return latest_or_throw(base + ".t1_us");
+    case qdmi::QubitProperty::kT2Us:
+      // T2 is not exported by the calibration collector; approximate with
+      // the typical T2/T1 ratio of the device class.
+      return 0.6 * latest_or_throw(base + ".t1_us");
+    case qdmi::QubitProperty::kFidelity1q:
+      return latest_or_throw(base + ".fidelity_1q");
+    case qdmi::QubitProperty::kReadoutFidelity:
+      return latest_or_throw(base + ".readout_fidelity");
+    case qdmi::QubitProperty::kHasTlsDefect:
+      return latest_or_throw(base + ".tls_defect");
+  }
+  throw Error("qubit_property: unhandled property");
+}
+
+double TelemetryBackedDevice::coupler_property(qdmi::CouplerProperty prop,
+                                               int a, int b) const {
+  const int edge = topology_.edge_index(a, b);
+  switch (prop) {
+    case qdmi::CouplerProperty::kFidelityCz:
+      return latest_or_throw("qpu." + element_path('c', edge) +
+                             ".fidelity_cz");
+  }
+  throw Error("coupler_property: unhandled property");
+}
+
+double TelemetryBackedDevice::device_property(qdmi::DeviceProperty prop) const {
+  switch (prop) {
+    case qdmi::DeviceProperty::kNumQubits:
+      return static_cast<double>(topology_.num_qubits());
+    case qdmi::DeviceProperty::kNumCouplers:
+      return static_cast<double>(topology_.num_edges());
+    case qdmi::DeviceProperty::kMedianFidelity1q:
+      return latest_or_throw("qpu.median_fidelity_1q");
+    case qdmi::DeviceProperty::kMedianFidelityCz:
+      return latest_or_throw("qpu.median_fidelity_cz");
+    case qdmi::DeviceProperty::kMedianReadoutFidelity:
+      return latest_or_throw("qpu.median_readout_fidelity");
+    case qdmi::DeviceProperty::kCalibrationAgeHours: {
+      const auto sample = store_->latest("qpu.calibration_age_hours");
+      return sample.has_value() ? sample->value : 0.0;
+    }
+    case qdmi::DeviceProperty::kShotResetUs: {
+      const auto sample = store_->latest("qpu.shot_reset_us");
+      return sample.has_value() ? sample->value : 300.0;
+    }
+  }
+  throw Error("device_property: unhandled property");
+}
+
+qdmi::DeviceStatus TelemetryBackedDevice::status() const {
+  const auto sample = store_->latest(kStatusSensor);
+  if (!sample.has_value()) return qdmi::DeviceStatus::kIdle;
+  return static_cast<qdmi::DeviceStatus>(static_cast<int>(sample->value));
+}
+
+}  // namespace hpcqc::telemetry

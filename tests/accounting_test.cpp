@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/sched/accounting.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::sched {
+namespace {
+
+TEST(Accounting, RegisterAndQuery) {
+  Accounting ledger;
+  ledger.register_project("chemistry", hours(2.0));
+  EXPECT_TRUE(ledger.has_project("chemistry"));
+  EXPECT_FALSE(ledger.has_project("unknown"));
+  const auto status = ledger.status("chemistry");
+  EXPECT_DOUBLE_EQ(status.budget, hours(2.0));
+  EXPECT_DOUBLE_EQ(status.used, 0.0);
+  EXPECT_DOUBLE_EQ(status.remaining(), hours(2.0));
+  EXPECT_THROW(ledger.status("unknown"), NotFoundError);
+  EXPECT_THROW(ledger.register_project("", 1.0), PreconditionError);
+}
+
+TEST(Accounting, ReRegisteringTopsUp) {
+  Accounting ledger;
+  ledger.register_project("p", hours(1.0));
+  ledger.register_project("p", hours(0.5));
+  EXPECT_DOUBLE_EQ(ledger.status("p").budget, hours(1.5));
+}
+
+TEST(Accounting, AffordabilityAndCharging) {
+  Accounting ledger;
+  ledger.register_project("p", 100.0);
+  EXPECT_TRUE(ledger.can_afford("p", 100.0));
+  EXPECT_FALSE(ledger.can_afford("p", 100.1));
+  EXPECT_FALSE(ledger.can_afford("unknown", 1.0));
+
+  ledger.charge("p", 60.0, 5000);
+  EXPECT_TRUE(ledger.can_afford("p", 40.0));
+  EXPECT_FALSE(ledger.can_afford("p", 40.1));
+  const auto status = ledger.status("p");
+  EXPECT_DOUBLE_EQ(status.used, 60.0);
+  EXPECT_EQ(status.jobs, 1u);
+  EXPECT_EQ(status.shots, 5000u);
+  EXPECT_NEAR(status.utilization(), 0.6, 1e-12);
+  EXPECT_THROW(ledger.charge("unknown", 1.0, 1), NotFoundError);
+}
+
+TEST(Accounting, TotalUtilizationAcrossProjects) {
+  Accounting ledger;
+  ledger.register_project("a", 100.0);
+  ledger.register_project("b", 300.0);
+  ledger.charge("a", 100.0, 1);
+  ledger.charge("b", 100.0, 1);
+  EXPECT_NEAR(ledger.total_utilization(), 0.5, 1e-12);
+  std::ostringstream os;
+  ledger.print(os);
+  EXPECT_NE(os.str().find("a: 100"), std::string::npos);
+}
+
+class QrmAccountingTest : public ::testing::Test {
+protected:
+  QrmAccountingTest() : rng_(41), device_(device::make_iqm20(rng_)) {
+    Qrm::Config config;
+    config.benchmark.qubits = 8;
+    config.benchmark.analytic = true;
+    config.execution_mode = device::ExecutionMode::kEstimateOnly;
+    qrm_ = std::make_unique<Qrm>(device_, config, rng_, nullptr);
+    qrm_->set_accounting(&ledger_);
+  }
+
+  QuantumJob metered_job(std::size_t shots, const std::string& project) {
+    QuantumJob job;
+    job.name = "metered";
+    job.circuit = calibration::GhzBenchmark::chain_circuit(device_, 6);
+    job.shots = shots;
+    job.project = project;
+    return job;
+  }
+
+  Rng rng_;
+  device::DeviceModel device_;
+  Accounting ledger_;
+  std::unique_ptr<Qrm> qrm_;
+};
+
+TEST_F(QrmAccountingTest, MeteredJobChargedOnCompletion) {
+  // ~302 us per shot: 100k shots ~ 30 QPU-seconds.
+  ledger_.register_project("chem", 100.0);
+  const int id = qrm_->submit(metered_job(100000, "chem"));
+  qrm_->drain();
+  EXPECT_EQ(qrm_->record(id).state, QuantumJobState::kCompleted);
+  const auto status = ledger_.status("chem");
+  EXPECT_NEAR(status.used, 30.2, 0.5);
+  EXPECT_EQ(status.jobs, 1u);
+  EXPECT_EQ(status.shots, 100000u);
+}
+
+TEST_F(QrmAccountingTest, OverBudgetSubmissionRejected) {
+  ledger_.register_project("small", 10.0);
+  // 100k shots ~ 30 s > the 10 s budget.
+  EXPECT_THROW(qrm_->submit(metered_job(100000, "small")), StateError);
+  // A job that fits goes through.
+  EXPECT_NO_THROW(qrm_->submit(metered_job(20000, "small")));
+  qrm_->drain();
+  // After consuming most of the budget, the next same-size job is refused.
+  EXPECT_THROW(qrm_->submit(metered_job(20000, "small")), StateError);
+}
+
+TEST_F(QrmAccountingTest, UnknownProjectRejected) {
+  EXPECT_THROW(qrm_->submit(metered_job(1000, "nobody")), StateError);
+}
+
+TEST_F(QrmAccountingTest, UnmeteredJobsBypassTheLedger) {
+  const int id = qrm_->submit(metered_job(100000, ""));  // no project
+  qrm_->drain();
+  EXPECT_EQ(qrm_->record(id).state, QuantumJobState::kCompleted);
+  EXPECT_NEAR(ledger_.total_utilization(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcqc::sched

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/calibration/controller.hpp"
+#include "hpcqc/calibration/routines.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+
+namespace hpcqc::calibration {
+namespace {
+
+TEST(Procedures, PaperDurations) {
+  // §3.2: quick 40 minutes, full 100 minutes.
+  EXPECT_NEAR(to_minutes(quick_procedure().total_duration()), 40.0, 1e-9);
+  EXPECT_NEAR(to_minutes(full_procedure().total_duration()), 100.0, 1e-9);
+}
+
+TEST(Procedures, OnlyFullRetunesFrequencies) {
+  EXPECT_FALSE(quick_procedure().retunes_frequencies());
+  EXPECT_TRUE(full_procedure().retunes_frequencies());
+}
+
+class EngineTest : public ::testing::Test {
+protected:
+  EngineTest() : rng_(5), device_(device::make_iqm20(rng_)) {}
+
+  void degrade(Seconds amount = days(6.0)) { device_.drift(amount, rng_); }
+
+  Rng rng_;
+  device::DeviceModel device_;
+  CalibrationEngine engine_;
+};
+
+TEST_F(EngineTest, FullCalibrationRestoresFidelity) {
+  const double fresh = device_.calibration().median_fidelity_1q();
+  degrade();
+  const double degraded = device_.calibration().median_fidelity_1q();
+  EXPECT_LT(degraded, fresh);
+
+  const auto outcome =
+      engine_.run(device_, CalibrationKind::kFull, days(6.0), rng_);
+  EXPECT_EQ(outcome.kind, CalibrationKind::kFull);
+  EXPECT_NEAR(to_minutes(outcome.duration), 100.0, 1e-9);
+  EXPECT_GT(outcome.median_fidelity_1q_after, degraded);
+  EXPECT_NEAR(outcome.median_fidelity_1q_after, fresh, 0.001);
+  // The device's calibration timestamp advances past the procedure.
+  EXPECT_NEAR(device_.calibration().calibrated_at,
+              days(6.0) + outcome.duration, 1e-6);
+}
+
+TEST_F(EngineTest, QuickCalibrationLeavesResidual) {
+  degrade();
+  Rng rng_a(77);
+  Rng rng_b(77);
+  device::DeviceModel twin_a = device_;
+  device::DeviceModel twin_b = device_;
+  const auto quick =
+      engine_.run(twin_a, CalibrationKind::kQuick, days(6.0), rng_a);
+  const auto full =
+      engine_.run(twin_b, CalibrationKind::kFull, days(6.0), rng_b);
+  // "quick recalibration ... generally results in lower system performance"
+  EXPECT_LT(quick.median_fidelity_1q_after, full.median_fidelity_1q_after);
+  EXPECT_LT(quick.median_fidelity_cz_after,
+            full.median_fidelity_cz_after + 0.002);
+  EXPECT_NEAR(to_minutes(quick.duration), 40.0, 1e-9);
+}
+
+TEST_F(EngineTest, FullClearsTlsDefectsQuickDoesNot) {
+  // Force TLS defects.
+  auto state = device_.calibration();
+  state.qubits[2].tls_defect = true;
+  state.qubits[2].fidelity_1q = 0.985;
+  state.qubits[7].tls_defect = true;
+  state.qubits[7].fidelity_1q = 0.99;
+  device_.install_live_state(std::move(state));
+
+  device::DeviceModel twin = device_;
+  Rng rng2(9);
+  const auto quick =
+      engine_.run(twin, CalibrationKind::kQuick, 0.0, rng2);
+  EXPECT_EQ(quick.tls_defects_remaining, 2);
+  EXPECT_EQ(quick.tls_defects_cleared, 0);
+  // The TLS qubit recovers only partially under a quick calibration.
+  EXPECT_LT(twin.calibration().qubits[2].fidelity_1q, 0.998);
+
+  const auto full = engine_.run(device_, CalibrationKind::kFull, 0.0, rng2);
+  EXPECT_EQ(full.tls_defects_remaining, 0);
+  EXPECT_EQ(full.tls_defects_cleared, 2);
+}
+
+TEST_F(EngineTest, GhzBenchmarkReflectsCalibrationQuality) {
+  const GhzBenchmark benchmark(
+      {12, 600, 0.5, /*analytic=*/false});
+  const auto fresh = benchmark.run(device_, 0.0, rng_);
+  EXPECT_GT(fresh.ghz_success, 0.55);
+  EXPECT_EQ(fresh.qubits_used, 12);
+  EXPECT_TRUE(benchmark.passes(fresh));
+
+  degrade(days(12.0));
+  const auto degraded = benchmark.run(device_, days(12.0), rng_);
+  EXPECT_LT(degraded.ghz_success, fresh.ghz_success);
+}
+
+TEST_F(EngineTest, AnalyticBenchmarkAgreesWithSampled) {
+  const GhzBenchmark sampled({10, 4000, 0.5, false});
+  const GhzBenchmark analytic({10, 4000, 0.5, true});
+  const auto s = sampled.run(device_, 0.0, rng_);
+  const auto a = analytic.run(device_, 0.0, rng_);
+  EXPECT_NEAR(a.ghz_success, s.ghz_success, 0.05);
+  EXPECT_NEAR(a.estimated_fidelity, s.estimated_fidelity, 1e-12);
+}
+
+TEST_F(EngineTest, BenchmarkChainIsTopologyLegal) {
+  const auto circuit = GhzBenchmark::chain_circuit(device_, 20);
+  for (const auto& op : circuit.ops()) {
+    if (circuit::op_is_two_qubit(op.kind)) {
+      EXPECT_TRUE(device_.topology().has_edge(op.qubits[0], op.qubits[1]));
+    }
+  }
+  EXPECT_EQ(circuit.measured_qubits().size(), 20u);
+  EXPECT_THROW(GhzBenchmark::chain_circuit(device_, 25), PreconditionError);
+}
+
+// ---- Controller -----------------------------------------------------------
+
+AutoCalibrationController::Config threshold_config(TriggerPolicy policy) {
+  AutoCalibrationController::Config config;
+  config.policy = policy;
+  config.benchmark_period = hours(2.0);
+  config.quick_fraction = 0.8;
+  config.full_fraction = 0.55;
+  config.max_calibration_age = hours(36.0);
+  return config;
+}
+
+BenchmarkResult bench_at(Seconds t, double ghz) {
+  BenchmarkResult result;
+  result.run_at = t;
+  result.ghz_success = ghz;
+  return result;
+}
+
+TEST(Controller, BenchmarkCadence) {
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kOnThreshold));
+  EXPECT_TRUE(controller.benchmark_due(0.0));
+  controller.note_benchmark(bench_at(0.0, 0.6));
+  EXPECT_FALSE(controller.benchmark_due(hours(1.0)));
+  EXPECT_TRUE(controller.benchmark_due(hours(2.5)));
+}
+
+TEST(Controller, RelativeThresholdTriggersQuickThenFull) {
+  Rng rng(1);
+  device::DeviceModel device = device::make_iqm20(rng);
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kOnThreshold));
+  controller.note_benchmark(bench_at(0.0, 0.60));  // baseline = 0.60
+  EXPECT_FALSE(controller.decide(hours(1.0), device, false).has_value());
+
+  controller.note_benchmark(bench_at(hours(2.0), 0.45));  // < 0.8 x 0.60
+  auto request = controller.decide(hours(2.0), device, false);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, CalibrationKind::kQuick);
+
+  controller.note_benchmark(bench_at(hours(4.0), 0.25));  // < 0.55 x 0.60
+  request = controller.decide(hours(4.0), device, false);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, CalibrationKind::kFull);
+}
+
+TEST(Controller, TlsDefectUpgradesToFull) {
+  Rng rng(2);
+  device::DeviceModel device = device::make_iqm20(rng);
+  auto state = device.calibration();
+  state.qubits[0].tls_defect = true;
+  device.install_live_state(std::move(state));
+
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kOnThreshold));
+  controller.note_benchmark(bench_at(0.0, 0.60));
+  controller.note_benchmark(bench_at(hours(2.0), 0.45));  // quick band
+  const auto request = controller.decide(hours(2.0), device, false);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, CalibrationKind::kFull);
+}
+
+TEST(Controller, BaselineReanchorsAfterCalibration) {
+  Rng rng(3);
+  device::DeviceModel device = device::make_iqm20(rng);
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kOnThreshold));
+  controller.note_benchmark(bench_at(0.0, 0.60));
+  EXPECT_DOUBLE_EQ(controller.baseline(), 0.60);
+
+  CalibrationOutcome outcome;
+  outcome.kind = CalibrationKind::kQuick;
+  controller.note_calibration(outcome);
+  // Stale baseline: threshold logic pauses until the next benchmark.
+  controller.note_benchmark(bench_at(hours(2.0), 0.50));
+  EXPECT_DOUBLE_EQ(controller.baseline(), 0.50);
+  // 0.45 is fine against the new 0.50 baseline (0.8 x 0.50 = 0.40).
+  controller.note_benchmark(bench_at(hours(4.0), 0.45));
+  EXPECT_FALSE(controller.decide(hours(4.0), device, false).has_value());
+}
+
+TEST(Controller, SchedulerControlledDefersUntilIdle) {
+  Rng rng(4);
+  device::DeviceModel device = device::make_iqm20(rng);
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kSchedulerControlled));
+  controller.note_benchmark(bench_at(0.0, 0.60));
+  controller.note_benchmark(bench_at(hours(2.0), 0.40));
+  EXPECT_FALSE(controller.decide(hours(2.0), device, false).has_value());
+  const auto request = controller.decide(hours(2.0), device, true);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(request->deferrable);
+}
+
+TEST(Controller, AgeLimitForcesFullCalibration) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  AutoCalibrationController controller(
+      threshold_config(TriggerPolicy::kOnThreshold));
+  controller.note_benchmark(bench_at(0.0, 0.60));
+  controller.note_benchmark(bench_at(hours(40.0), 0.58));  // healthy
+  const auto request = controller.decide(hours(40.0), device, false);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, CalibrationKind::kFull);
+  EXPECT_NE(request->reason.find("age"), std::string::npos);
+}
+
+TEST(Controller, FixedIntervalPolicy) {
+  Rng rng(6);
+  device::DeviceModel device = device::make_iqm20(rng);
+  AutoCalibrationController::Config config;
+  config.policy = TriggerPolicy::kFixedInterval;
+  config.fixed_interval = hours(24.0);
+  AutoCalibrationController controller(config);
+
+  auto request = controller.decide(0.0, device, false);
+  ASSERT_TRUE(request.has_value());  // never calibrated yet
+  CalibrationOutcome outcome;
+  outcome.kind = CalibrationKind::kFull;
+  outcome.started_at = 0.0;
+  outcome.duration = minutes(100.0);
+  controller.note_calibration(outcome);
+  EXPECT_FALSE(controller.decide(hours(12.0), device, false).has_value());
+  EXPECT_TRUE(controller.decide(hours(26.0), device, false).has_value());
+  EXPECT_EQ(controller.calibration_count(CalibrationKind::kFull), 1u);
+}
+
+TEST(Controller, ConfigValidation) {
+  AutoCalibrationController::Config bad;
+  bad.quick_fraction = 0.5;
+  bad.full_fraction = 0.9;
+  EXPECT_THROW(AutoCalibrationController{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpcqc::calibration

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/circuit/text.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::circuit {
+namespace {
+
+TEST(Op, NameRoundTrip) {
+  for (const auto kind :
+       {OpKind::kH, OpKind::kPrx, OpKind::kCz, OpKind::kMeasure,
+        OpKind::kCphase, OpKind::kSdg, OpKind::kU}) {
+    EXPECT_EQ(op_kind_from_name(op_name(kind)), kind);
+  }
+  EXPECT_THROW(op_kind_from_name("bogus"), ParseError);
+}
+
+TEST(Op, Metadata) {
+  EXPECT_EQ(op_arity(OpKind::kCz), 2);
+  EXPECT_EQ(op_arity(OpKind::kH), 1);
+  EXPECT_EQ(op_arity(OpKind::kMeasure), 0);
+  EXPECT_EQ(op_param_count(OpKind::kU), 3);
+  EXPECT_EQ(op_param_count(OpKind::kPrx), 2);
+  EXPECT_TRUE(op_is_native(OpKind::kPrx));
+  EXPECT_TRUE(op_is_native(OpKind::kCz));
+  EXPECT_FALSE(op_is_native(OpKind::kCx));
+  EXPECT_TRUE(op_is_two_qubit(OpKind::kSwap));
+  EXPECT_FALSE(op_is_two_qubit(OpKind::kRx));
+}
+
+TEST(Circuit, BuilderValidatesOperands) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), PreconditionError);
+  EXPECT_THROW(c.cz(0, 0), PreconditionError);
+  EXPECT_THROW(c.append({OpKind::kRx, {0}, {}}), PreconditionError);
+  EXPECT_THROW(c.append({OpKind::kH, {0, 1}, {}}), PreconditionError);
+  EXPECT_THROW(c.measure({5}), PreconditionError);
+}
+
+TEST(Circuit, GateCountsAndDepth) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).barrier().x(0);
+  c.measure();
+  EXPECT_EQ(c.gate_count(), 4u);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2u);
+  // h(0) depth1; cx(0,1) depth2; cx(1,2) depth3; barrier; x(0) depth4.
+  EXPECT_EQ(c.depth(), 4u);
+}
+
+TEST(Circuit, DepthParallelGates) {
+  Circuit c(4);
+  c.h(0).h(1).h(2).h(3);
+  EXPECT_EQ(c.depth(), 1u);
+  c.cz(0, 1).cz(2, 3);
+  EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, MeasuredQubitsExplicitOrderPreserved) {
+  Circuit c(4);
+  c.h(0);
+  c.measure({3, 1});
+  const auto measured = c.measured_qubits();
+  ASSERT_EQ(measured.size(), 2u);
+  EXPECT_EQ(measured[0], 3);
+  EXPECT_EQ(measured[1], 1);
+}
+
+TEST(Circuit, MeasureAllImpliesAllQubits) {
+  Circuit c(3);
+  c.h(0);
+  EXPECT_EQ(c.measured_qubits().size(), 3u);  // implicit
+  c.measure();
+  EXPECT_EQ(c.measured_qubits().size(), 3u);  // explicit measure-all
+}
+
+TEST(Circuit, IsNative) {
+  Circuit native(2);
+  native.prx(0.5, 0.1, 0).cz(0, 1).barrier().measure();
+  EXPECT_TRUE(native.is_native());
+  Circuit frontend(2);
+  frontend.h(0);
+  EXPECT_FALSE(frontend.is_native());
+}
+
+TEST(Circuit, RemappedMovesQubits) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure();
+  const std::vector<int> layout{5, 2};
+  const Circuit mapped = c.remapped(layout, 8);
+  EXPECT_EQ(mapped.num_qubits(), 8);
+  EXPECT_EQ(mapped.ops()[0].qubits[0], 5);
+  EXPECT_EQ(mapped.ops()[1].qubits[0], 5);
+  EXPECT_EQ(mapped.ops()[1].qubits[1], 2);
+  // measure-all became an explicit ordered measurement of the images.
+  const auto measured = mapped.measured_qubits();
+  ASSERT_EQ(measured.size(), 2u);
+  EXPECT_EQ(measured[0], 5);
+  EXPECT_EQ(measured[1], 2);
+}
+
+TEST(Circuit, GhzFactory) {
+  const Circuit ghz = Circuit::ghz(5);
+  EXPECT_EQ(ghz.num_qubits(), 5);
+  EXPECT_EQ(ghz.two_qubit_gate_count(), 4u);
+  Rng rng(1);
+  const auto dist = ideal_distribution(ghz);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[31], 0.5, 1e-12);
+}
+
+TEST(Circuit, QftOnBasisStateGivesUniformMagnitudes) {
+  const Circuit qft = Circuit::qft(3);
+  qsim::StateVector state(3);
+  state.apply_1q(qsim::gate_x(), 0);
+  apply_gates(state, qft);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::norm(state.amplitude(i)), 0.125, 1e-12);
+}
+
+TEST(Circuit, RandomFactoryIsValidAndDeterministic) {
+  Rng rng1(77);
+  Rng rng2(77);
+  const Circuit a = Circuit::random(5, 4, rng1);
+  const Circuit b = Circuit::random(5, 4, rng2);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.gate_count(), 0u);
+}
+
+TEST(Text, SerializeParseRoundTrip) {
+  Circuit c(3);
+  c.h(0).prx(1.25, -0.5, 1).cz(0, 2).cphase(0.75, 1, 2).barrier();
+  c.measure({0, 2});
+  const Circuit parsed = from_text(to_text(c));
+  EXPECT_EQ(parsed, c);
+}
+
+class TextRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextRoundTrip, RandomCircuitsSurviveRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const Circuit c = Circuit::random(4, 3, rng);
+  const Circuit parsed = from_text(to_text(c));
+  ASSERT_EQ(parsed.num_qubits(), c.num_qubits());
+  ASSERT_EQ(parsed.size(), c.size());
+  // Angles go through decimal text: compare distributions, not bits.
+  const auto da = ideal_distribution(c);
+  const auto db = ideal_distribution(parsed);
+  for (std::size_t i = 0; i < da.size(); ++i) EXPECT_NEAR(da[i], db[i], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextRoundTrip, ::testing::Range(1, 11));
+
+TEST(Text, ParseExamples) {
+  const Circuit c = from_text(
+      "# a comment\n"
+      "qubits 2\n"
+      "h q0  # trailing comment\n"
+      "cx q0, q1\n"
+      "measure\n");
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Text, ParseErrors) {
+  EXPECT_THROW(from_text(""), ParseError);
+  EXPECT_THROW(from_text("h q0\n"), ParseError);            // missing qubits
+  EXPECT_THROW(from_text("qubits 2\nqubits 3\n"), ParseError);
+  EXPECT_THROW(from_text("qubits 0\n"), ParseError);
+  EXPECT_THROW(from_text("qubits 2\nfrobnicate q0\n"), ParseError);
+  EXPECT_THROW(from_text("qubits 2\nrx q0\n"), ParseError);  // missing param
+  EXPECT_THROW(from_text("qubits 2\nh q7\n"), ParseError);   // out of range
+  EXPECT_THROW(from_text("qubits 2\nh q0 junk\n"), ParseError);
+  EXPECT_THROW(from_text("qubits 2\nprx(1.0 q0\n"), ParseError);
+}
+
+TEST(Execute, ApplyOpRejectsMeasure) {
+  qsim::StateVector state(1);
+  EXPECT_THROW(apply_op(state, {OpKind::kMeasure, {}, {}}),
+               PreconditionError);
+}
+
+TEST(Execute, RunIdealBellCounts) {
+  Rng rng(4);
+  const auto counts = run_ideal(Circuit::bell(), 10000, rng);
+  EXPECT_EQ(counts.total_shots(), 10000u);
+  EXPECT_NEAR(counts.probability_of(0b00), 0.5, 0.03);
+  EXPECT_NEAR(counts.probability_of(0b11), 0.5, 0.03);
+  EXPECT_EQ(counts.count_of(0b01), 0u);
+}
+
+TEST(Execute, MarginalDistributionOfSubsetMeasurement) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  c.measure({2});
+  const auto dist = ideal_distribution(c);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+}
+
+TEST(Execute, CompactOutcomeOrdering) {
+  const std::vector<int> qubits{3, 1};
+  // full outcome with q3=1, q1=0 -> compact bit0 (q3) = 1, bit1 (q1) = 0.
+  EXPECT_EQ(compact_outcome(0b1000, qubits), 0b01u);
+  EXPECT_EQ(compact_outcome(0b0010, qubits), 0b10u);
+}
+
+}  // namespace
+}  // namespace hpcqc::circuit

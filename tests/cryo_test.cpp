@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/cryo/cryostat.hpp"
+#include "hpcqc/cryo/gas_handling.hpp"
+
+namespace hpcqc::cryo {
+namespace {
+
+TEST(Cryostat, StartsOperatingAtBase) {
+  Cryostat cryostat;
+  EXPECT_EQ(cryostat.state(), CryoState::kOperating);
+  EXPECT_TRUE(cryostat.at_base());
+  EXPECT_NEAR(cryostat.temperature(), millikelvin(10.0), 1e-9);
+  EXPECT_TRUE(cryostat.vacuum_intact());
+}
+
+TEST(Cryostat, TwoMinutesToExceedOneKelvin) {
+  // §3.5: "it takes two minutes to exceed this temperature after a fault
+  // in the cooling system."
+  Cryostat cryostat;
+  const Seconds predicted = cryostat.warmup_time_to(1.0);
+  EXPECT_NEAR(to_minutes(predicted), 2.0, 0.3);
+
+  cryostat.set_cooling(false);
+  cryostat.step(predicted * 0.9);
+  EXPECT_LT(cryostat.temperature(), 1.0);
+  EXPECT_TRUE(cryostat.calibration_preserved());
+  cryostat.step(predicted * 0.2);
+  EXPECT_GT(cryostat.temperature(), 1.0);
+  EXPECT_FALSE(cryostat.calibration_preserved());
+}
+
+TEST(Cryostat, WarmupIsMonotoneAndSaturates) {
+  Cryostat cryostat;
+  cryostat.set_cooling(false);
+  double last = cryostat.temperature();
+  for (int i = 0; i < 20; ++i) {
+    cryostat.step(hours(12.0));
+    EXPECT_GE(cryostat.temperature(), last);
+    last = cryostat.temperature();
+  }
+  EXPECT_EQ(cryostat.state(), CryoState::kWarm);
+  EXPECT_LE(cryostat.temperature(), cryostat.params().ambient + 0.1);
+}
+
+TEST(Cryostat, FullCooldownTakesTwoToFiveDays) {
+  // §3.5: cooldown "can take from two to five days depending on the
+  // thermal mass of the cryostat and the temperature reached".
+  for (const double mass : {1.0, 1.4, 1.8}) {
+    CryostatParams params;
+    params.thermal_mass_factor = mass;
+    Cryostat cryostat(params);
+    const Seconds predicted = cryostat.cooldown_time_from(params.ambient);
+    EXPECT_GE(to_days(predicted), 2.0) << "mass " << mass;
+    EXPECT_LE(to_days(predicted), 5.0) << "mass " << mass;
+  }
+}
+
+TEST(Cryostat, CooldownSimulationMatchesAnalyticEstimate) {
+  Cryostat cryostat;
+  cryostat.set_cooling(false);
+  cryostat.step(days(10.0));  // fully warm
+  const double from = cryostat.temperature();
+  const Seconds predicted = cryostat.cooldown_time_from(from);
+
+  cryostat.set_cooling(true);
+  Seconds elapsed = 0.0;
+  while (!cryostat.at_base() && elapsed < days(30.0)) {
+    cryostat.step(minutes(30.0));
+    elapsed += minutes(30.0);
+  }
+  EXPECT_TRUE(cryostat.at_base());
+  EXPECT_NEAR(elapsed / predicted, 1.0, 0.05);
+}
+
+TEST(Cryostat, ShortExcursionRecoversFast) {
+  Cryostat cryostat;
+  cryostat.set_cooling(false);
+  cryostat.step(seconds(60.0));  // under the 2-minute window
+  EXPECT_TRUE(cryostat.calibration_preserved());
+  cryostat.set_cooling(true);
+  const Seconds back = cryostat.cooldown_time_from(cryostat.temperature());
+  EXPECT_LT(to_hours(back), 12.0);
+}
+
+TEST(Cryostat, PeakTrackerPersistsThroughRecovery) {
+  Cryostat cryostat;
+  cryostat.set_cooling(false);
+  cryostat.step(hours(2.0));
+  const double peak = cryostat.peak_since_operating();
+  EXPECT_GT(peak, 1.0);
+  cryostat.set_cooling(true);
+  cryostat.step(days(10.0));
+  EXPECT_TRUE(cryostat.at_base());
+  // Still remembers the excursion until recovery is acknowledged.
+  EXPECT_DOUBLE_EQ(cryostat.peak_since_operating(), peak);
+  cryostat.acknowledge_recovery();
+  EXPECT_LT(cryostat.peak_since_operating(), 1.0);
+}
+
+TEST(Cryostat, VacuumRules) {
+  Cryostat cryostat;
+  // Cannot open cold or with cooling running.
+  EXPECT_THROW(cryostat.open_vessel(), StateError);
+  cryostat.set_cooling(false);
+  EXPECT_THROW(cryostat.open_vessel(), StateError);  // still cold
+  cryostat.step(days(10.0));                          // warm up
+  cryostat.open_vessel();
+  EXPECT_FALSE(cryostat.vacuum_intact());
+  // Cannot cool with broken vacuum.
+  EXPECT_THROW(cryostat.set_cooling(true), StateError);
+  cryostat.restore_vacuum();
+  EXPECT_TRUE(cryostat.vacuum_intact());
+  cryostat.set_cooling(true);
+}
+
+TEST(Cryostat, VacuumSurvivesWeeksWarmThenDegrades) {
+  // §3.5: "the vacuum integrity of the system is typically maintained
+  // during outages for several weeks".
+  Cryostat cryostat;
+  cryostat.set_cooling(false);
+  cryostat.step(days(14.0));
+  EXPECT_TRUE(cryostat.vacuum_intact());
+  cryostat.step(days(30.0));
+  EXPECT_FALSE(cryostat.vacuum_intact());
+}
+
+TEST(GasHandling, TripsOnOverTemperatureWater) {
+  GasHandlingSystem ghs;
+  EXPECT_TRUE(ghs.running());
+  EXPECT_FALSE(ghs.update_water_temperature(24.0));
+  EXPECT_TRUE(ghs.running());
+  EXPECT_TRUE(ghs.update_water_temperature(26.0));  // trip edge
+  EXPECT_FALSE(ghs.running());
+  EXPECT_FALSE(ghs.update_water_temperature(27.0));  // already tripped
+  // Restart refused while hot, allowed after cooling.
+  EXPECT_THROW(ghs.restart(), StateError);
+  ghs.update_water_temperature(20.0);
+  ghs.restart();
+  EXPECT_TRUE(ghs.running());
+}
+
+TEST(GasHandling, Ln2ConsumptionWeeklyCadence) {
+  GasHandlingSystem ghs;
+  EXPECT_FALSE(ghs.ln2_low());
+  ghs.step(days(7.0));
+  // ~10 l consumed of a 15 l trap -> low.
+  EXPECT_NEAR(ghs.ln2_level_l(), 5.0, 0.1);
+  ghs.step(days(3.0));
+  EXPECT_TRUE(ghs.ln2_low());
+  ghs.refill_ln2();
+  EXPECT_NEAR(ghs.ln2_level_l(), 15.0, 1e-9);
+}
+
+TEST(GasHandling, NoConsumptionWhileTripped) {
+  GasHandlingSystem ghs;
+  ghs.trip();
+  ghs.step(days(7.0));
+  EXPECT_NEAR(ghs.ln2_level_l(), 15.0, 1e-9);
+}
+
+TEST(GasHandling, TipSealWearAndMaintenance) {
+  GasHandlingSystem ghs;
+  EXPECT_NEAR(ghs.tip_seal_health(), 1.0, 1e-9);
+  ghs.step(days(365.0 / 2.0));
+  EXPECT_NEAR(ghs.tip_seal_health(), 0.5, 0.01);
+  ghs.replace_tip_seals();
+  EXPECT_NEAR(ghs.tip_seal_health(), 1.0, 1e-9);
+}
+
+TEST(GasHandling, FlushCadenceSixMonths) {
+  GasHandlingSystem ghs;
+  EXPECT_FALSE(ghs.needs_flush());
+  ghs.step(days(200.0));
+  EXPECT_TRUE(ghs.needs_flush());
+  ghs.flush_ln2_system();
+  EXPECT_FALSE(ghs.needs_flush());
+}
+
+}  // namespace
+}  // namespace hpcqc::cryo

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/qsim/density_matrix.hpp"
+
+namespace hpcqc::qsim {
+namespace {
+
+TEST(DensityMatrix, StartsPureInGroundState) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.element(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-12);
+  EXPECT_THROW(DensityMatrix(11), PreconditionError);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStateVector) {
+  Rng rng(1);
+  StateVector psi(3);
+  DensityMatrix rho(3);
+  for (int step = 0; step < 20; ++step) {
+    const int q0 = static_cast<int>(rng.uniform_index(3));
+    if (rng.bernoulli(0.6)) {
+      const auto u = gate_prx(rng.uniform(0.0, 6.28), rng.uniform(0.0, 6.28));
+      psi.apply_1q(u, q0);
+      rho.apply_1q(u, q0);
+    } else {
+      int q1 = static_cast<int>(rng.uniform_index(3));
+      if (q1 == q0) q1 = (q1 + 1) % 3;
+      const auto u = gate_cphase(rng.uniform(0.0, 6.28));
+      psi.apply_2q(u, q0, q1);
+      rho.apply_2q(u, q0, q1);
+    }
+  }
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.fidelity(psi), 1.0, 1e-10);
+  const auto probs_psi = psi.probabilities();
+  const auto probs_rho = rho.probabilities();
+  for (std::size_t i = 0; i < probs_psi.size(); ++i)
+    EXPECT_NEAR(probs_psi[i], probs_rho[i], 1e-10);
+}
+
+TEST(DensityMatrix, FromStateMatchesProjector) {
+  StateVector psi(2);
+  psi.apply_1q(gate_h(), 0);
+  psi.apply_2q(gate_cx(), 0, 1);
+  const auto rho = DensityMatrix::from_state(psi);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.fidelity(psi), 1.0, 1e-12);
+  EXPECT_NEAR(rho.element(0, 3).real(), 0.5, 1e-12);  // Bell coherence
+  EXPECT_NEAR(rho.expectation_z(0b11), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurityPreservesTrace) {
+  DensityMatrix rho(1);
+  rho.apply_1q(gate_h(), 0);
+  rho.apply_depolarizing(0, 0.3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_LT(rho.purity(), 1.0);
+  // Fully depolarizing with p = 3/4 gives the maximally mixed state.
+  DensityMatrix mixed(1);
+  mixed.apply_1q(gate_h(), 0);
+  mixed.apply_depolarizing(0, 0.75);
+  EXPECT_NEAR(mixed.purity(), 0.5, 1e-12);
+  EXPECT_NEAR(mixed.element(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingSteadyState) {
+  DensityMatrix rho(1);
+  rho.apply_1q(gate_x(), 0);  // |1><1|
+  rho.apply_amplitude_damping(0, 0.4);
+  EXPECT_NEAR(rho.probabilities()[1], 0.6, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  // Repeated damping relaxes fully to |0>.
+  for (int i = 0; i < 60; ++i) rho.apply_amplitude_damping(0, 0.4);
+  EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-9);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherenceKeepsPopulations) {
+  DensityMatrix rho(1);
+  rho.apply_1q(gate_h(), 0);
+  EXPECT_NEAR(std::abs(rho.element(0, 1)), 0.5, 1e-12);
+  rho.apply_phase_damping(0, 0.5);  // full dephasing at lambda = 1/2
+  EXPECT_NEAR(std::abs(rho.element(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.probabilities()[0], 0.5, 1e-12);
+  EXPECT_NEAR(rho.probabilities()[1], 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, TrajectoryAverageConvergesToChannel) {
+  // The validation this class exists for: averaging StateVector noise
+  // trajectories reproduces the exact channel.
+  const double p = 0.2;
+  const double gamma = 0.15;
+
+  DensityMatrix exact(2);
+  exact.apply_1q(gate_h(), 0);
+  exact.apply_2q(gate_cx(), 0, 1);
+  exact.apply_depolarizing(0, p);
+  exact.apply_amplitude_damping(1, gamma);
+  const auto exact_probs = exact.probabilities();
+  const double exact_zz = exact.expectation_z(0b11);
+
+  Rng rng(7);
+  std::vector<double> avg_probs(4, 0.0);
+  double avg_zz = 0.0;
+  const int trajectories = 40000;
+  for (int t = 0; t < trajectories; ++t) {
+    StateVector psi(2);
+    psi.apply_1q(gate_h(), 0);
+    psi.apply_2q(gate_cx(), 0, 1);
+    psi.apply_pauli_error(0, p, rng);
+    psi.apply_amplitude_damping(1, gamma, rng);
+    const auto probs = psi.probabilities();
+    for (std::size_t i = 0; i < probs.size(); ++i) avg_probs[i] += probs[i];
+    avg_zz += psi.expectation_z(0b11);
+  }
+  for (auto& value : avg_probs) value /= trajectories;
+  avg_zz /= trajectories;
+
+  for (std::size_t i = 0; i < avg_probs.size(); ++i)
+    EXPECT_NEAR(avg_probs[i], exact_probs[i], 0.01) << "outcome " << i;
+  EXPECT_NEAR(avg_zz, exact_zz, 0.01);
+}
+
+TEST(DensityMatrix, KrausSetMustBeTracePreservingToKeepTrace) {
+  // A deliberately non-trace-preserving set shows up in the trace.
+  DensityMatrix rho(1);
+  Matrix2 half = gate_i();
+  for (auto& entry : half) entry *= 0.5;
+  const Matrix2 kraus[] = {half};
+  rho.apply_kraus_1q(kraus, 0);
+  EXPECT_NEAR(rho.trace(), 0.25, 1e-12);
+  EXPECT_THROW(rho.apply_kraus_1q({}, 0), PreconditionError);
+}
+
+TEST(DensityMatrix, GhzCircuitViaOps) {
+  DensityMatrix rho(3);
+  const auto ghz = circuit::Circuit::ghz(3);
+  for (const auto& op : ghz.ops()) {
+    if (op.kind == circuit::OpKind::kMeasure) continue;
+    if (op.kind == circuit::OpKind::kH) rho.apply_1q(gate_h(), op.qubits[0]);
+    if (op.kind == circuit::OpKind::kCx)
+      rho.apply_2q(gate_cx(), op.qubits[0], op.qubits[1]);
+  }
+  const auto probs = rho.probabilities();
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[7], 0.5, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcqc::qsim

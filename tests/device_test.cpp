@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+
+namespace hpcqc::device {
+namespace {
+
+TEST(Topology, SquareGridShape) {
+  const Topology grid = Topology::square_grid(4, 5);
+  EXPECT_EQ(grid.num_qubits(), 20);
+  // (rows-1)*cols + rows*(cols-1) = 15 + 16 = 31 couplers.
+  EXPECT_EQ(grid.num_edges(), 31);
+  EXPECT_TRUE(grid.is_connected());
+  EXPECT_TRUE(grid.has_edge(0, 1));
+  EXPECT_TRUE(grid.has_edge(0, 5));
+  EXPECT_FALSE(grid.has_edge(0, 6));
+  EXPECT_FALSE(grid.has_edge(4, 5));  // row wrap is not a coupler
+}
+
+TEST(Topology, Distances) {
+  const Topology grid = Topology::square_grid(4, 5);
+  EXPECT_EQ(grid.distance(0, 0), 0);
+  EXPECT_EQ(grid.distance(0, 1), 1);
+  EXPECT_EQ(grid.distance(0, 19), 7);  // (0,0) -> (3,4): 3 + 4
+  EXPECT_EQ(grid.distance(19, 0), 7);
+}
+
+TEST(Topology, EdgeIndexLookup) {
+  const Topology grid = Topology::square_grid(2, 2);
+  EXPECT_EQ(grid.num_edges(), 4);
+  EXPECT_GE(grid.edge_index(1, 0), 0);
+  EXPECT_EQ(grid.edge_index(0, 1), grid.edge_index(1, 0));
+  EXPECT_THROW(grid.edge_index(0, 3), NotFoundError);
+}
+
+TEST(Topology, CoupledChainIsSerpentine) {
+  const Topology grid = Topology::square_grid(3, 3);
+  const auto chain = grid.coupled_chain();
+  ASSERT_EQ(chain.size(), 9u);
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+    EXPECT_TRUE(grid.has_edge(chain[i], chain[i + 1]))
+        << "chain step " << i << ": " << chain[i] << "->" << chain[i + 1];
+}
+
+TEST(Topology, RejectsInvalidEdges) {
+  EXPECT_THROW(Topology(2, {{0, 0}}), PreconditionError);
+  EXPECT_THROW(Topology(2, {{0, 5}}), PreconditionError);
+  EXPECT_THROW(Topology(2, {{0, 1}, {1, 0}}), PreconditionError);  // dup
+}
+
+TEST(CalibrationState, Medians) {
+  CalibrationState state;
+  state.qubits = {QubitMetrics{50, 30, 0.999, 0.98, false},
+                  QubitMetrics{50, 30, 0.995, 0.97, true},
+                  QubitMetrics{50, 30, 0.997, 0.99, false}};
+  state.couplers = {CouplerMetrics{0.99}, CouplerMetrics{0.98}};
+  EXPECT_NEAR(state.median_fidelity_1q(), 0.997, 1e-12);
+  EXPECT_NEAR(state.median_readout_fidelity(), 0.98, 1e-12);
+  EXPECT_NEAR(state.median_fidelity_cz(), 0.985, 1e-12);
+  EXPECT_NEAR(state.min_fidelity_cz(), 0.98, 1e-12);
+  EXPECT_EQ(state.tls_defect_count(), 1);
+}
+
+TEST(DeviceSpec, ShotDurationDominatedByReset) {
+  const DeviceSpec spec;
+  const Seconds shot = spec.shot_duration(10, 10);
+  // 300 us reset + 2 us readout + 10*20ns + 10*40ns.
+  EXPECT_NEAR(shot, 302.6e-6, 1e-9);
+}
+
+TEST(Device, FreshCalibrationNearNominal) {
+  Rng rng(1);
+  const DeviceModel device = make_iqm20(rng);
+  const auto& cal = device.calibration();
+  EXPECT_EQ(cal.qubits.size(), 20u);
+  EXPECT_EQ(cal.couplers.size(), 31u);
+  EXPECT_NEAR(cal.median_fidelity_1q(), 0.9991, 0.0005);
+  EXPECT_NEAR(cal.median_fidelity_cz(), 0.995, 0.002);
+  EXPECT_NEAR(cal.median_readout_fidelity(), 0.98, 0.008);
+  EXPECT_EQ(cal.tls_defect_count(), 0);
+}
+
+TEST(Device, PresetSizes) {
+  Rng rng(2);
+  EXPECT_EQ(make_iqm20(rng).num_qubits(), 20);
+  EXPECT_EQ(make_grid54(rng).num_qubits(), 54);
+  EXPECT_EQ(make_grid150(rng).num_qubits(), 150);
+}
+
+TEST(Drift, ErrorRatesDegradeOverTime) {
+  Rng rng(3);
+  DeviceModel device = make_iqm20(rng);
+  const double fresh_1q = device.calibration().median_fidelity_1q();
+  const double fresh_ro = device.calibration().median_readout_fidelity();
+  device.drift(days(4.0), rng);
+  EXPECT_LT(device.calibration().median_fidelity_1q(), fresh_1q);
+  EXPECT_LT(device.calibration().median_readout_fidelity(), fresh_ro);
+  // Degradation is bounded by the asymptote (roughly 3x the fresh error).
+  const double fresh_err = 1.0 - fresh_1q;
+  const double err_now = 1.0 - device.calibration().median_fidelity_1q();
+  EXPECT_LT(err_now, 8.0 * fresh_err);
+}
+
+TEST(Drift, TlsEventsArriveAtExpectedRate) {
+  DriftParams params;
+  params.tls_rate_per_qubit_day = 0.05;
+  Rng rng(4);
+  int total_defects = 0;
+  const int repeats = 30;
+  for (int i = 0; i < repeats; ++i) {
+    DeviceModel device = make_grid("t", 4, 5, DeviceSpec{}, params, rng);
+    device.drift(days(10.0), rng);
+    total_defects += device.calibration().tls_defect_count();
+  }
+  // Expectation: 20 qubits x 0.05/day x 10 days = 10 per repeat (capped by
+  // one defect per qubit, so somewhat fewer).
+  const double mean_defects = static_cast<double>(total_defects) / repeats;
+  EXPECT_GT(mean_defects, 4.0);
+  EXPECT_LT(mean_defects, 12.0);
+}
+
+TEST(Drift, ZeroIntervalIsNoOp) {
+  Rng rng(5);
+  DeviceModel device = make_iqm20(rng);
+  const auto before = device.calibration().median_fidelity_1q();
+  device.drift(0.0, rng);
+  EXPECT_DOUBLE_EQ(device.calibration().median_fidelity_1q(), before);
+}
+
+TEST(Device, InstallCalibrationResetsDriftAnchor) {
+  Rng rng(6);
+  DeviceModel device = make_iqm20(rng);
+  device.drift(days(5.0), rng);
+  auto fresh = device.sample_fresh_calibration(days(5.0), rng);
+  const double target = fresh.median_fidelity_1q();
+  device.install_calibration(std::move(fresh));
+  EXPECT_DOUBLE_EQ(device.calibration().median_fidelity_1q(), target);
+  EXPECT_DOUBLE_EQ(device.fresh_reference().median_fidelity_1q(), target);
+}
+
+TEST(Device, ExecuteRejectsUnroutedCircuits) {
+  Rng rng(7);
+  DeviceModel device = make_iqm20(rng);
+  circuit::Circuit bad(20);
+  bad.cz(0, 19);  // not coupled
+  bad.measure();
+  EXPECT_THROW(device.execute(bad, 100, rng), PreconditionError);
+
+  circuit::Circuit wrong_size(5);
+  wrong_size.h(0);
+  EXPECT_THROW(device.execute(wrong_size, 100, rng), PreconditionError);
+}
+
+TEST(Device, EstimateFidelityDecreasesWithDepth) {
+  Rng rng(8);
+  DeviceModel device = make_iqm20(rng);
+  circuit::Circuit shallow(20);
+  shallow.h(0).measure({0});
+  circuit::Circuit deep(20);
+  for (int i = 0; i < 10; ++i) deep.h(0);
+  deep.cz(0, 1).cz(0, 1).measure({0});
+  EXPECT_GT(device.estimate_circuit_fidelity(shallow),
+            device.estimate_circuit_fidelity(deep));
+}
+
+TEST(Device, TrajectoryAndGlobalDepolarizingAgreeOnGhz) {
+  Rng rng(9);
+  DeviceModel device = make_iqm20(rng);
+  // Small GHZ along a coupled chain of 4 qubits.
+  const auto chain = device.topology().coupled_chain();
+  circuit::Circuit ghz(20);
+  ghz.h(chain[0]);
+  for (int i = 1; i < 4; ++i) ghz.cx(chain[i - 1], chain[i]);
+  ghz.measure({chain[0], chain[1], chain[2], chain[3]});
+
+  const auto success = [&](ExecutionMode mode, std::size_t shots) {
+    const auto result = device.execute(ghz, shots, rng, mode);
+    return (static_cast<double>(result.counts.count_of(0)) +
+            static_cast<double>(result.counts.count_of(0b1111))) /
+           static_cast<double>(shots);
+  };
+  const double traj = success(ExecutionMode::kTrajectory, 3000);
+  const double global = success(ExecutionMode::kGlobalDepolarizing, 3000);
+  EXPECT_NEAR(traj, global, 0.05);
+  EXPECT_GT(traj, 0.75);  // fresh calibration: high success
+}
+
+TEST(Device, EstimateOnlyModeSkipsSampling) {
+  Rng rng(10);
+  DeviceModel device = make_iqm20(rng);
+  circuit::Circuit c(20);
+  c.h(0).measure({0});
+  const auto result = device.execute(c, 500, rng, ExecutionMode::kEstimateOnly);
+  EXPECT_EQ(result.counts.total_shots(), 0u);
+  EXPECT_EQ(result.shots, 500u);
+  EXPECT_GT(result.estimated_fidelity, 0.9);
+  EXPECT_GT(result.wall_time, 0.0);
+}
+
+TEST(Device, AmbientDriftDegradesReadout) {
+  Rng rng(11);
+  DeviceModel device = make_iqm20(rng);
+  circuit::Circuit c(20);
+  c.x(0).measure({0});
+  const double stable = device.estimate_circuit_fidelity(c);
+  device.set_ambient_drift_rate(5.0);  // 5 degC/day: way out of spec
+  const double drifting = device.estimate_circuit_fidelity(c);
+  EXPECT_LT(drifting, stable);
+  EXPECT_THROW(device.set_ambient_drift_rate(-1.0), PreconditionError);
+}
+
+TEST(Device, WallTimeScalesWithShots) {
+  Rng rng(12);
+  DeviceModel device = make_iqm20(rng);
+  circuit::Circuit c(20);
+  c.h(0).measure({0});
+  const auto r1 =
+      device.execute(c, 1000, rng, ExecutionMode::kEstimateOnly);
+  const auto r2 =
+      device.execute(c, 2000, rng, ExecutionMode::kEstimateOnly);
+  EXPECT_NEAR(r2.wall_time / r1.wall_time, 2.0, 1e-9);
+  // 1000 shots x ~302 us = ~0.3 s.
+  EXPECT_NEAR(r1.wall_time, 0.302, 0.01);
+}
+
+TEST(Device, LargePresetsCompileAndEstimate) {
+  // The §2.4 scale-up devices (54 and 150 qubits) must support the full
+  // compile + estimate path even though state-vector execution is out of
+  // reach at those sizes.
+  Rng rng(31);
+  for (auto make : {device::make_grid54, device::make_grid150}) {
+    device::DeviceModel device = make(rng);
+    const auto chain = device.topology().coupled_chain();
+    circuit::Circuit ghz(device.num_qubits());
+    ghz.h(chain[0]);
+    std::vector<int> measured{chain[0]};
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      ghz.cx(chain[i - 1], chain[i]);
+      measured.push_back(chain[i]);
+    }
+    ghz.measure(measured);
+    const auto result =
+        device.execute(ghz, 1000, rng, device::ExecutionMode::kEstimateOnly);
+    EXPECT_GT(result.estimated_fidelity, 0.0);
+    EXPECT_LT(result.estimated_fidelity, 1.0);
+    EXPECT_GT(result.wall_time, 0.0);
+    // Drift scales to the larger register too.
+    device.drift(days(1.0), rng);
+    EXPECT_LT(device.calibration().median_fidelity_1q(), 1.0);
+  }
+}
+
+TEST(Device, TwoQubitApplyMatchesDenseReference) {
+  // apply_2q on arbitrary (including reversed / distant) qubit pairs must
+  // match the explicit kron-expanded dense matrix applied to the state.
+  Rng rng(32);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 5;
+    qsim::StateVector state(n);
+    // Random product state.
+    for (int q = 0; q < n; ++q)
+      state.apply_1q(qsim::gate_prx(rng.uniform(0.0, 6.28),
+                                    rng.uniform(0.0, 6.28)),
+                     q);
+    qsim::StateVector reference = state;
+
+    int q0 = static_cast<int>(rng.uniform_index(n));
+    int q1 = static_cast<int>(rng.uniform_index(n));
+    if (q1 == q0) q1 = (q1 + 1) % n;
+    const auto u = qsim::gate_cphase(rng.uniform(0.0, 6.28));
+    state.apply_2q(u, q0, q1);
+
+    // Dense reference: iterate basis states, gather/scatter the 4 indices.
+    std::vector<qsim::Complex> dense(reference.amplitudes());
+    std::vector<qsim::Complex> out(dense.size(), {0.0, 0.0});
+    const std::uint64_t b0 = 1u << q0;
+    const std::uint64_t b1 = 1u << q1;
+    for (std::uint64_t idx = 0; idx < dense.size(); ++idx) {
+      const int row = static_cast<int>(((idx & b1) ? 2 : 0) |
+                                       ((idx & b0) ? 1 : 0));
+      const std::uint64_t base = idx & ~(b0 | b1);
+      for (int col = 0; col < 4; ++col) {
+        std::uint64_t src = base;
+        if (col & 1) src |= b0;
+        if (col & 2) src |= b1;
+        out[idx] += u[static_cast<std::size_t>(4 * row + col)] * dense[src];
+      }
+    }
+    for (std::uint64_t idx = 0; idx < dense.size(); ++idx)
+      EXPECT_NEAR(std::abs(state.amplitudes()[idx] - out[idx]), 0.0, 1e-10)
+          << "trial " << trial << " idx " << idx;
+  }
+}
+
+TEST(Device, ExecutionUsesPerQubitReadout) {
+  // Degrade one qubit's readout heavily; measuring it must show more noise
+  // than measuring a good one.
+  Rng rng(13);
+  DeviceModel device = make_iqm20(rng);
+  auto state = device.calibration();
+  state.qubits[3].readout_fidelity = 0.70;
+  device.install_live_state(std::move(state));
+
+  circuit::Circuit on_bad(20);
+  on_bad.measure({3});
+  circuit::Circuit on_good(20);
+  on_good.measure({0});
+  const auto bad =
+      device.execute(on_bad, 4000, rng, ExecutionMode::kGlobalDepolarizing);
+  const auto good =
+      device.execute(on_good, 4000, rng, ExecutionMode::kGlobalDepolarizing);
+  // Both prepare |0>; the bad qubit should misread much more often.
+  EXPECT_GT(bad.counts.probability_of(1), 0.15);
+  EXPECT_LT(good.counts.probability_of(1), 0.08);
+}
+
+}  // namespace
+}  // namespace hpcqc::device

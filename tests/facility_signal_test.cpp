@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/facility/signal.hpp"
+#include "hpcqc/facility/survey.hpp"
+
+namespace hpcqc::facility {
+namespace {
+
+Waveform make_wave(double sample_rate, Seconds duration) {
+  Waveform wave;
+  wave.sample_rate_hz = sample_rate;
+  wave.samples.assign(static_cast<std::size_t>(duration * sample_rate), 0.0);
+  return wave;
+}
+
+TEST(Waveform, BasicStatistics) {
+  Waveform wave = make_wave(1000.0, 2.0);
+  wave.add_dc(3.0);
+  EXPECT_NEAR(wave.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(wave.rms(), 3.0, 1e-12);
+  EXPECT_NEAR(wave.peak_to_peak(), 0.0, 1e-12);
+  wave.add_sinusoid(2.0, 50.0);
+  EXPECT_NEAR(wave.mean(), 3.0, 1e-3);
+  EXPECT_NEAR(wave.peak_to_peak(), 4.0, 0.01);
+  // RMS of DC 3 + sinusoid amplitude 2: sqrt(9 + 2) = 3.317.
+  EXPECT_NEAR(wave.rms(), std::sqrt(11.0), 0.01);
+}
+
+TEST(Fft, RecoversSingleTone) {
+  constexpr std::size_t n = 1024;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::sin(2.0 * M_PI * 10.0 * static_cast<double>(i) /
+                       static_cast<double>(n));
+  fft(data);
+  // Bin 10 should carry amplitude n/2 (for a sin, magnitude n/2).
+  EXPECT_NEAR(std::abs(data[10]), static_cast<double>(n) / 2.0, 1e-6);
+  // All other (positive-frequency) bins near zero.
+  EXPECT_NEAR(std::abs(data[11]), 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[200]), 0.0, 1e-6);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(100);
+  EXPECT_THROW(fft(data), PreconditionError);
+}
+
+TEST(Goertzel, MatchesKnownAmplitude) {
+  Waveform wave = make_wave(4096.0, 1.0);
+  wave.add_sinusoid(0.75, 64.0);
+  EXPECT_NEAR(goertzel_amplitude(wave, 64.0), 0.75, 1e-6);
+  EXPECT_NEAR(goertzel_amplitude(wave, 200.0), 0.0, 1e-6);
+}
+
+TEST(Spectrum, AmplitudeCalibration) {
+  Waveform wave = make_wave(4096.0, 4.0);
+  wave.add_sinusoid(2.5, 100.0);
+  wave.add_sinusoid(1.0, 300.0);
+  const Spectrum spectrum = compute_spectrum(wave);
+  EXPECT_NEAR(spectrum.peak_amplitude_in_band(90.0, 110.0), 2.5, 0.05);
+  EXPECT_NEAR(spectrum.peak_amplitude_in_band(290.0, 310.0), 1.0, 0.05);
+  EXPECT_LT(spectrum.peak_amplitude_in_band(500.0, 1000.0), 0.01);
+}
+
+TEST(Spectrum, BandRmsOfTwoTones) {
+  Waveform wave = make_wave(4096.0, 4.0);
+  wave.add_sinusoid(3.0, 50.0);
+  wave.add_sinusoid(4.0, 120.0);
+  const Spectrum spectrum = compute_spectrum(wave);
+  // Total RMS = sqrt(3^2/2 + 4^2/2) = sqrt(12.5).
+  EXPECT_NEAR(spectrum.band_rms(1.0, 200.0), std::sqrt(12.5), 0.05);
+  // Narrow band around one tone only.
+  EXPECT_NEAR(spectrum.band_rms(110.0, 130.0), 4.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Spectrum, RequiresEnoughSamples) {
+  Waveform wave = make_wave(1000.0, 0.1);
+  EXPECT_THROW(compute_spectrum(wave, 4096), PreconditionError);
+}
+
+TEST(AWeighting, StandardValues) {
+  // A-weighting is 0 dB at 1 kHz, about -19.1 dB at 100 Hz and +1.2 dB
+  // near 2-3 kHz.
+  EXPECT_NEAR(20.0 * std::log10(a_weighting(1000.0)), 0.0, 0.05);
+  EXPECT_NEAR(20.0 * std::log10(a_weighting(100.0)), -19.1, 0.3);
+  EXPECT_NEAR(20.0 * std::log10(a_weighting(20.0)), -50.5, 0.5);
+  EXPECT_GT(a_weighting(2500.0), 1.0);
+}
+
+TEST(SoundLevel, PureToneAt1kHz) {
+  // A 1 Pa RMS tone at 1 kHz is 94 dB SPL and its dBA equals its dB SPL.
+  Waveform wave = make_wave(44100.0, 1.0);
+  wave.add_sinusoid(std::sqrt(2.0), 1000.0);
+  EXPECT_NEAR(sound_level_dba(wave), 94.0, 0.5);
+}
+
+TEST(SoundLevel, LowFrequencyIsDiscounted) {
+  Waveform tone_1k = make_wave(44100.0, 1.0);
+  tone_1k.add_sinusoid(std::sqrt(2.0), 1000.0);
+  Waveform tone_50 = make_wave(44100.0, 1.0);
+  tone_50.add_sinusoid(std::sqrt(2.0), 50.0);
+  EXPECT_LT(sound_level_dba(tone_50), sound_level_dba(tone_1k) - 25.0);
+}
+
+TEST(WorstWindow, SlidingRangeDetection) {
+  // 1-minute sampling; a 2-degree step in the middle.
+  Waveform temp = make_wave(1.0 / 60.0, hours(48.0));
+  temp.add_dc(22.0);
+  for (std::size_t i = temp.samples.size() / 2; i < temp.samples.size(); ++i)
+    temp.samples[i] += 2.0;
+  const double worst = worst_window_half_range(temp, hours(12.0));
+  EXPECT_NEAR(worst, 1.0, 1e-9);
+}
+
+TEST(WorstWindow, SlowDriftOutsideWindowIgnored) {
+  // Linear drift of 4 degC over 96 h: within any 12 h window the swing is
+  // 0.5 degC (half-range 0.25) — the per-window statistic must not see the
+  // full-series range.
+  Waveform temp = make_wave(1.0 / 60.0, hours(96.0));
+  for (std::size_t i = 0; i < temp.samples.size(); ++i)
+    temp.samples[i] =
+        22.0 + 4.0 * static_cast<double>(i) /
+                   static_cast<double>(temp.samples.size());
+  const double worst = worst_window_half_range(temp, hours(12.0));
+  EXPECT_NEAR(worst, 0.25, 0.01);
+}
+
+TEST(WorstWindow, ShortSeriesFallsBackToFullRange) {
+  Waveform temp = make_wave(1.0 / 60.0, hours(3.0));
+  temp.add_dc(20.0);
+  temp.samples.front() = 19.0;
+  temp.samples.back() = 21.0;
+  EXPECT_NEAR(worst_window_half_range(temp, hours(12.0)), 1.0, 1e-9);
+}
+
+TEST(Burst, DecaysAsConfigured) {
+  Waveform wave = make_wave(1024.0, 10.0);
+  wave.add_burst(1.0, 20.0, 2.0, 0.5);
+  // Before the burst: zero.
+  EXPECT_NEAR(wave.samples[1000], 0.0, 1e-12);
+  // Shortly after onset: alive.
+  double peak = 0.0;
+  for (std::size_t i = 2048; i < 2560; ++i)
+    peak = std::max(peak, std::abs(wave.samples[i]));
+  EXPECT_GT(peak, 0.5);
+  // Long after: decayed away.
+  double tail = 0.0;
+  for (std::size_t i = 8192; i < wave.samples.size(); ++i)
+    tail = std::max(tail, std::abs(wave.samples[i]));
+  EXPECT_LT(tail, 1e-3);
+}
+
+}  // namespace
+}  // namespace hpcqc::facility

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/facility/cooling.hpp"
+#include "hpcqc/facility/power.hpp"
+#include "hpcqc/facility/survey.hpp"
+
+namespace hpcqc::facility {
+namespace {
+
+/// Shorter captures so the full three-site survey stays fast in CI; the
+/// acceptance logic is identical.
+SurveyDurations fast_durations() {
+  SurveyDurations durations;
+  durations.magnetic = seconds(16.0);
+  durations.vibration = minutes(8.0);
+  durations.sound = seconds(8.0);
+  durations.climate = hours(25.0);
+  return durations;
+}
+
+const MeasurementResult& row(const SurveyReport& report,
+                             MeasurementKind kind) {
+  for (const auto& result : report.measurements)
+    if (result.kind == kind) return result;
+  throw Error("missing measurement row");
+}
+
+class SurveyTest : public ::testing::Test {
+protected:
+  SurveyTest() : survey_(AcceptanceLimits{}, fast_durations()), rng_(17) {}
+  SiteSurvey survey_;
+  Rng rng_;
+};
+
+TEST_F(SurveyTest, CleanRoomPassesAllRows) {
+  const auto sites = standard_candidate_sites();
+  const SurveyReport report = survey_.run(sites[0], rng_);
+  for (const auto& result : report.measurements)
+    EXPECT_TRUE(result.pass) << to_string(result.kind) << " measured "
+                             << result.measured << ' ' << result.unit;
+  EXPECT_TRUE(report.delivery_path_ok);
+  EXPECT_TRUE(report.floor_ok);
+  EXPECT_TRUE(report.mast_distance_ok);
+  EXPECT_TRUE(report.lighting_distance_ok);
+  EXPECT_TRUE(report.accepted());
+}
+
+TEST_F(SurveyTest, TramSideFailsVibrationAndMagnetics) {
+  const auto sites = standard_candidate_sites();
+  const SurveyReport report = survey_.run(sites[1], rng_);
+  EXPECT_FALSE(row(report, MeasurementKind::kFloorVibration).pass);
+  EXPECT_FALSE(row(report, MeasurementKind::kAcMagneticField).pass);
+  EXPECT_FALSE(report.mast_distance_ok);  // 80 m < 100 m rule
+  EXPECT_FALSE(report.accepted());
+}
+
+TEST_F(SurveyTest, BasementFailsClimateLightingAndDoorway) {
+  const auto sites = standard_candidate_sites();
+  const SurveyReport report = survey_.run(sites[2], rng_);
+  EXPECT_FALSE(row(report, MeasurementKind::kTemperature).pass);
+  EXPECT_FALSE(row(report, MeasurementKind::kHumidity).pass);
+  EXPECT_FALSE(report.lighting_distance_ok);  // 0.8 m < 2 m rule
+  EXPECT_FALSE(report.delivery_path_ok);      // 85 cm doorway
+  EXPECT_FALSE(report.accepted());
+  // The close fluorescent fixture also shows up in the AC magnetics row.
+  EXPECT_FALSE(row(report, MeasurementKind::kAcMagneticField).pass);
+}
+
+TEST_F(SurveyTest, SelectSitePicksFirstAccepted) {
+  const auto sites = standard_candidate_sites();
+  std::vector<SurveyReport> reports;
+  for (const auto& site : sites) reports.push_back(survey_.run(site, rng_));
+  EXPECT_EQ(SiteSurvey::select_site(reports), 0);
+  // With the good site removed, nothing passes.
+  reports.erase(reports.begin());
+  EXPECT_EQ(SiteSurvey::select_site(reports), -1);
+}
+
+TEST_F(SurveyTest, DcRowSeesGeomagneticBackgroundOnly) {
+  const auto sites = standard_candidate_sites();
+  const SurveyReport report = survey_.run(sites[0], rng_);
+  const auto& result = row(report, MeasurementKind::kDcMagneticField);
+  // Earth's field ~48 uT, well under the 100 uT limit.
+  EXPECT_GT(result.measured, 30.0);
+  EXPECT_LT(result.measured, 60.0);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST_F(SurveyTest, TransformerNextDoorFailsDcRow) {
+  SiteDescription site = standard_candidate_sites()[0];
+  site.name = "transformer room";
+  site.transformer_distance_m = 2.0;
+  const auto report = survey_.run(site, rng_);
+  EXPECT_FALSE(row(report, MeasurementKind::kDcMagneticField).pass);
+}
+
+TEST_F(SurveyTest, DeathMetalFailsSoundRow) {
+  SiteDescription site = standard_candidate_sites()[0];
+  site.name = "next to the venue";
+  site.concert_distance_m = 4.0;
+  const auto report = survey_.run(site, rng_);
+  EXPECT_FALSE(row(report, MeasurementKind::kSoundPressure).pass);
+  EXPECT_GT(row(report, MeasurementKind::kSoundPressure).measured, 80.0);
+}
+
+TEST(PowerModel, PaperNumbers) {
+  const QcPowerModel qc;
+  // §2.2: peak power consumption of 30 kW during cooldown.
+  EXPECT_NEAR(to_kilowatts(qc.draw(QcPowerState::kCooldown)), 30.0, 1e-9);
+  EXPECT_LT(qc.draw(QcPowerState::kSteady), qc.draw(QcPowerState::kCooldown));
+  EXPECT_LT(qc.draw(QcPowerState::kOff), qc.draw(QcPowerState::kMaintenance));
+
+  const CrayEx4000Reference cray;
+  // ~140 kW real power from 141 kVA.
+  EXPECT_NEAR(to_kilowatts(cray.real_power()), 139.6, 0.5);
+
+  const auto rows = power_comparison(qc, cray);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].power_kw, 30.0, 1e-9);
+  EXPECT_NEAR(rows[3].power_kw, 300.0, 1e-9);
+}
+
+TEST(PowerModel, HeatBalance) {
+  const QcPowerModel qc;
+  for (const auto state : {QcPowerState::kSteady, QcPowerState::kCooldown}) {
+    EXPECT_NEAR(qc.heat_to_air(state) + qc.heat_to_water(state),
+                qc.draw(state), 1e-9);
+  }
+}
+
+TEST(CoolingLoop, HoldsSetpointWhenHealthy) {
+  CoolingLoop loop;
+  loop.step(hours(2.0));
+  EXPECT_TRUE(loop.in_spec());
+  EXPECT_NEAR(loop.supply_temperature_c(), 19.0, 0.1);
+}
+
+TEST(CoolingLoop, ChillerFailureHeatsPastTripLimit) {
+  CoolingLoop loop;
+  loop.fail_primary_chiller();
+  const Seconds grace = loop.time_to_trip_from_setpoint();
+  // The grace window before the pumps trip is tens of minutes, not days.
+  EXPECT_GT(to_minutes(grace), 5.0);
+  EXPECT_LT(to_minutes(grace), 60.0);
+  loop.step(grace * 0.8);
+  EXPECT_FALSE(loop.over_temperature());
+  loop.step(grace * 0.5);
+  EXPECT_TRUE(loop.over_temperature());
+}
+
+TEST(CoolingLoop, RedundantChillerRidesThrough) {
+  CoolingLoop::Params params;
+  params.redundant = true;
+  CoolingLoop loop(params);
+  loop.fail_primary_chiller();
+  // Failover happens within the delay; supply never leaves spec.
+  for (int i = 0; i < 120; ++i) {
+    loop.step(seconds(30.0));
+    EXPECT_FALSE(loop.over_temperature());
+  }
+  EXPECT_TRUE(loop.backup_engaged());
+  loop.repair_primary_chiller();
+  EXPECT_FALSE(loop.backup_engaged());
+}
+
+TEST(Ups, RideThroughAndDepletion) {
+  Ups ups;
+  EXPECT_TRUE(ups.output_ok());
+  EXPECT_FALSE(ups.on_battery());
+  const Watts load = kilowatts(15.0);
+  // 10 kWh at 15 kW: 40 minutes of ride-through.
+  EXPECT_NEAR(to_minutes(ups.runtime_remaining(load)), 40.0, 1.0);
+
+  ups.set_mains(false);
+  ups.step(minutes(20.0), load);
+  EXPECT_TRUE(ups.output_ok());
+  EXPECT_NEAR(ups.charge_fraction(), 0.5, 0.02);
+  ups.step(minutes(30.0), load);
+  EXPECT_FALSE(ups.output_ok());
+
+  ups.set_mains(true);
+  ups.step(hours(3.0), load);
+  EXPECT_NEAR(ups.charge_fraction(), 1.0, 1e-6);
+}
+
+TEST(Ups, BatteriesAgeUntilReplaced) {
+  Ups ups;
+  ups.step(days(4.0 * 365.0), kilowatts(15.0));
+  EXPECT_LT(ups.battery_health(), 0.6);
+  ups.replace_batteries();
+  EXPECT_NEAR(ups.battery_health(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hpcqc::facility

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/calibration/ghz_fidelity.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+
+namespace hpcqc::calibration {
+namespace {
+
+/// A device with (numerically) perfect gates and readout, for protocol
+/// self-tests.
+device::DeviceModel perfect_device(Rng& rng) {
+  device::DeviceSpec spec;
+  spec.nominal_fidelity_1q = 0.999999;
+  spec.nominal_fidelity_cz = 0.999999;
+  spec.nominal_readout_fidelity = 0.999999;
+  spec.calibration_spread = 0.0;
+  return device::make_grid("perfect", 4, 5, spec, device::DriftParams{}, rng);
+}
+
+TEST(GhzFidelity, PerfectDeviceMeasuresUnitFidelity) {
+  Rng rng(1);
+  device::DeviceModel device = perfect_device(rng);
+  GhzFidelityEstimator::Params params;
+  params.qubits = 4;
+  params.shots_per_setting = 6000;
+  const GhzFidelityEstimator estimator(params);
+  const auto result = estimator.run(device, rng);
+  EXPECT_NEAR(result.populations, 1.0, 0.02);
+  EXPECT_NEAR(result.coherence, 1.0, 0.03);
+  EXPECT_NEAR(result.fidelity, 1.0, 0.03);
+  EXPECT_EQ(result.parity_curve.size(), 10u);  // 2n+2 settings
+}
+
+TEST(GhzFidelity, ParityCurveOscillatesAtFrequencyN) {
+  Rng rng(2);
+  device::DeviceModel device = perfect_device(rng);
+  GhzFidelityEstimator::Params params;
+  params.qubits = 3;
+  params.shots_per_setting = 8000;
+  const auto result = GhzFidelityEstimator(params).run(device, rng);
+  // Ideal curve: cos(n * phi_k) with phi_k = k*pi/(n+1).
+  for (std::size_t k = 0; k < result.parity_curve.size(); ++k) {
+    const double phi = M_PI * static_cast<double>(k) / 4.0;
+    EXPECT_NEAR(result.parity_curve[k], std::cos(3.0 * phi), 0.05)
+        << "setting " << k;
+  }
+}
+
+TEST(GhzFidelity, NoisyDeviceMeasuresLowerFidelity) {
+  Rng rng(3);
+  device::DeviceModel noisy = device::make_iqm20(rng);
+  noisy.drift(days(4.0), rng);
+  device::DeviceModel clean = perfect_device(rng);
+
+  GhzFidelityEstimator::Params params;
+  params.qubits = 4;
+  params.shots_per_setting = 4000;
+  const GhzFidelityEstimator estimator(params);
+  const auto noisy_result = estimator.run(noisy, rng);
+  const auto clean_result = estimator.run(clean, rng);
+  EXPECT_LT(noisy_result.fidelity, clean_result.fidelity - 0.05);
+  EXPECT_GT(noisy_result.fidelity, 0.3);
+  EXPECT_LE(noisy_result.fidelity, 1.0);
+  // Coherence cannot exceed the populations by much on physical states.
+  EXPECT_LT(noisy_result.coherence, noisy_result.populations + 0.1);
+}
+
+TEST(GhzFidelity, ClassicalMixtureHasNoCoherence) {
+  // A fully dephased "GHZ" (50/50 classical mixture of |0000> and |1111>)
+  // keeps the populations but loses the parity oscillation. We emulate it
+  // by measuring the parity of a state whose coherence was killed: prepare
+  // GHZ, then crush it with maximal readout-independent dephasing via an
+  // ambient-like dephasing trick — here simply verify on the simulator
+  // that populations alone cap F at 1/2 when coherence is absent:
+  GhzFidelityResult mixture;
+  mixture.populations = 1.0;
+  mixture.coherence = 0.0;
+  mixture.fidelity = 0.5 * (mixture.populations + mixture.coherence);
+  EXPECT_NEAR(mixture.fidelity, 0.5, 1e-12);
+}
+
+TEST(GhzFidelity, ParamValidation) {
+  GhzFidelityEstimator::Params bad;
+  bad.qubits = 1;
+  EXPECT_THROW(GhzFidelityEstimator{bad}, PreconditionError);
+  bad.qubits = 4;
+  bad.mode = device::ExecutionMode::kEstimateOnly;
+  EXPECT_THROW(GhzFidelityEstimator{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpcqc::calibration

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/telemetry/collectors.hpp"
+#include "hpcqc/telemetry/health.hpp"
+
+namespace hpcqc::telemetry {
+namespace {
+
+/// Writes synthetic per-qubit telemetry for one qubit.
+void write_series(TimeSeriesStore& store, int qubit, Seconds t, double f1q,
+                  double readout, bool tls = false) {
+  const std::string base = "qpu." + element_path('q', qubit);
+  store.append(base + ".fidelity_1q", t, f1q);
+  store.append(base + ".readout_fidelity", t, readout);
+  store.append(base + ".tls_defect", t, tls ? 1.0 : 0.0);
+  store.append(base + ".t1_us", t, 50.0);
+}
+
+TEST(HealthAnalyzer, ClassifiesHealthyQubit) {
+  TimeSeriesStore store;
+  for (int h = 0; h <= 24; ++h)
+    write_series(store, 0, hours(static_cast<double>(h)), 0.9991, 0.980);
+  const HealthAnalyzer analyzer;
+  const auto summary = analyzer.analyze(store, 1, hours(24.0));
+  ASSERT_EQ(summary.qubits.size(), 1u);
+  EXPECT_EQ(summary.qubits[0].classification, QubitHealthClass::kHealthy);
+  EXPECT_NEAR(summary.qubits[0].score, 1.0, 0.05);
+  EXPECT_EQ(summary.healthy, 1);
+  EXPECT_TRUE(summary.attention_list().empty());
+}
+
+TEST(HealthAnalyzer, ClassifiesDegradedQubit) {
+  TimeSeriesStore store;
+  // Stable but far below nominal: 1q error 5x, readout error 2x.
+  for (int h = 0; h <= 24; ++h)
+    write_series(store, 0, hours(static_cast<double>(h)), 0.9955, 0.960);
+  const HealthAnalyzer analyzer;
+  const auto summary = analyzer.analyze(store, 1, hours(24.0));
+  EXPECT_EQ(summary.qubits[0].classification, QubitHealthClass::kDegraded);
+  EXPECT_LT(summary.qubits[0].score, 0.4);
+}
+
+TEST(HealthAnalyzer, ClassifiesDriftingQubit) {
+  TimeSeriesStore store;
+  // Error growing from 0.09% to 0.6% over the day: strong downward trend
+  // while the absolute level is still acceptable mid-window.
+  for (int h = 0; h <= 24; ++h) {
+    const double error = 0.0009 + 0.0002 * static_cast<double>(h);
+    write_series(store, 0, hours(static_cast<double>(h)), 1.0 - error,
+                 0.980);
+  }
+  HealthAnalyzer::Params params;
+  params.degraded_score = 0.15;  // keep it out of the degraded class
+  const HealthAnalyzer analyzer(params);
+  const auto summary = analyzer.analyze(store, 1, hours(24.0));
+  EXPECT_EQ(summary.qubits[0].classification, QubitHealthClass::kDrifting);
+  EXPECT_NEAR(summary.qubits[0].error_trend_per_day, 0.0048, 0.0005);
+}
+
+TEST(HealthAnalyzer, TlsFlagDominates) {
+  TimeSeriesStore store;
+  write_series(store, 0, 0.0, 0.9991, 0.980, false);
+  write_series(store, 0, hours(12.0), 0.993, 0.980, true);
+  const HealthAnalyzer analyzer;
+  const auto summary = analyzer.analyze(store, 1, hours(24.0));
+  EXPECT_EQ(summary.qubits[0].classification,
+            QubitHealthClass::kTlsSuspect);
+  EXPECT_EQ(summary.tls_suspect, 1);
+}
+
+TEST(HealthAnalyzer, MissingTelemetryReportsDegraded) {
+  TimeSeriesStore store;
+  write_series(store, 0, 0.0, 0.9991, 0.980);
+  const HealthAnalyzer analyzer;
+  const auto summary = analyzer.analyze(store, 3, hours(1.0));
+  EXPECT_EQ(summary.qubits[1].classification, QubitHealthClass::kDegraded);
+  EXPECT_EQ(summary.qubits[2].classification, QubitHealthClass::kDegraded);
+  EXPECT_EQ(summary.attention_list().size(), 2u);
+}
+
+TEST(HealthAnalyzer, WorksOnRealCollectorOutput) {
+  Rng rng(9);
+  device::DeviceModel device = device::make_iqm20(rng);
+  // Plant a TLS defect and a heavily degraded qubit.
+  auto state = device.calibration();
+  state.qubits[4].tls_defect = true;
+  state.qubits[9].fidelity_1q = 0.992;
+  state.qubits[9].readout_fidelity = 0.94;
+  device.install_live_state(std::move(state));
+
+  TimeSeriesStore store;
+  DeviceCalibrationCollector collector(device);
+  collector.collect(0.0, store);
+  collector.collect(hours(1.0), store);
+
+  const HealthAnalyzer analyzer;
+  const auto summary = analyzer.analyze(store, 20, hours(1.0));
+  EXPECT_EQ(summary.qubits[4].classification,
+            QubitHealthClass::kTlsSuspect);
+  EXPECT_EQ(summary.qubits[9].classification, QubitHealthClass::kDegraded);
+  // The fleet is otherwise healthy after a fresh calibration.
+  EXPECT_GE(summary.healthy, 16);
+
+  std::ostringstream os;
+  summary.print(os);
+  EXPECT_NE(os.str().find("q4: tls-suspect"), std::string::npos);
+  EXPECT_NE(os.str().find("q9: degraded"), std::string::npos);
+}
+
+TEST(HealthAnalyzer, ParamValidation) {
+  HealthAnalyzer::Params bad;
+  bad.window = 0.0;
+  EXPECT_THROW(HealthAnalyzer{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpcqc::telemetry

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/hybrid/qaoa.hpp"
+#include "hpcqc/hybrid/vqe.hpp"
+
+namespace hpcqc::hybrid {
+namespace {
+
+TEST(PauliString, LabelValidation) {
+  EXPECT_NO_THROW(PauliString("IXYZ"));
+  EXPECT_THROW(PauliString("ABCD"), PreconditionError);
+  const PauliString p("IXZI");
+  EXPECT_EQ(p.num_qubits(), 4);
+  EXPECT_EQ(p.op(1), 'X');
+  EXPECT_FALSE(p.is_identity());
+  EXPECT_TRUE(PauliString("III").is_identity());
+  EXPECT_EQ(p.support(), 0b0110u);
+}
+
+TEST(PauliString, ExactExpectationsOnKnownStates) {
+  qsim::StateVector zero(2);
+  EXPECT_NEAR(PauliString("ZI").expectation(zero), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString("XI").expectation(zero), 0.0, 1e-12);
+
+  qsim::StateVector plus(2);
+  plus.apply_1q(qsim::gate_h(), 0);
+  EXPECT_NEAR(PauliString("XI").expectation(plus), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString("ZI").expectation(plus), 0.0, 1e-12);
+
+  // |i+> = S H |0>: eigenstate of Y.
+  qsim::StateVector yplus(1);
+  yplus.apply_1q(qsim::gate_h(), 0);
+  yplus.apply_1q(qsim::gate_s(), 0);
+  EXPECT_NEAR(PauliString("Y").expectation(yplus), 1.0, 1e-12);
+
+  // Bell state: <XX> = <ZZ> = 1, <YY> = -1.
+  qsim::StateVector bell(2);
+  bell.apply_1q(qsim::gate_h(), 0);
+  bell.apply_2q(qsim::gate_cx(), 0, 1);
+  EXPECT_NEAR(PauliString("XX").expectation(bell), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString("ZZ").expectation(bell), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString("YY").expectation(bell), -1.0, 1e-12);
+}
+
+TEST(PauliString, BasisRotationMatchesExactExpectation) {
+  // Prepare an arbitrary state, measure <XY> two ways.
+  circuit::Circuit prep(2);
+  prep.ry(0.8, 0).rx(-0.4, 1).cz(0, 1);
+
+  qsim::StateVector state(2);
+  circuit::apply_gates(state, prep);
+  const PauliString xy("XY");
+  const double exact = xy.expectation(state);
+
+  circuit::Circuit measured = prep;
+  xy.append_basis_rotation(measured);
+  measured.measure();
+  Rng rng(7);
+  const auto counts = circuit::run_ideal(measured, 200000, rng);
+  EXPECT_NEAR(xy.expectation_from_counts(counts), exact, 0.01);
+}
+
+TEST(Hamiltonian, H2GroundEnergyMatchesLiterature) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  EXPECT_EQ(h2.num_qubits(), 2);
+  EXPECT_EQ(h2.term_count(), 5u);
+  EXPECT_NEAR(h2.ground_state_energy(), -1.8572750, 1e-5);
+  EXPECT_NEAR(h2.identity_offset(), -1.052373245772859, 1e-12);
+}
+
+TEST(Hamiltonian, MeasurementGroupsMergeCompatibleTerms) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  // II, ZI, IZ, ZZ share the computational basis; XX needs its own.
+  EXPECT_EQ(h2.measurement_groups().size(), 2u);
+
+  Hamiltonian mixed(2);
+  mixed.add_term(1.0, "XI");
+  mixed.add_term(1.0, "XZ");  // qubit-wise compatible with XI
+  mixed.add_term(1.0, "YI");  // different basis
+  EXPECT_EQ(mixed.measurement_groups().size(), 2u);
+}
+
+TEST(Hamiltonian, ExpectationIsLinear) {
+  Hamiltonian h(1);
+  h.add_term(2.0, "Z");
+  h.add_term(-0.5, "I");
+  qsim::StateVector zero(1);
+  EXPECT_NEAR(h.expectation(zero), 1.5, 1e-12);
+  qsim::StateVector one(1);
+  one.apply_1q(qsim::gate_x(), 0);
+  EXPECT_NEAR(h.expectation(one), -2.5, 1e-12);
+}
+
+TEST(Hamiltonian, AddTermValidation) {
+  Hamiltonian h(2);
+  EXPECT_THROW(h.add_term(1.0, "XYZ"), PreconditionError);
+}
+
+TEST(Ansatz, ParameterCountAndBind) {
+  const HardwareEfficientAnsatz ansatz(3, 2);
+  EXPECT_EQ(ansatz.parameter_count(), 18u);
+  std::vector<double> params(18, 0.1);
+  const auto circuit = ansatz.bind(params);
+  EXPECT_EQ(circuit.num_qubits(), 3);
+  EXPECT_EQ(circuit.two_qubit_gate_count(), 4u);  // 2 layers x 2 CZ
+  EXPECT_THROW(ansatz.bind(std::vector<double>(5, 0.0)), PreconditionError);
+}
+
+TEST(Ansatz, ZeroParamsIsIdentityPreparation) {
+  const HardwareEfficientAnsatz ansatz(2, 1);
+  std::vector<double> zeros(ansatz.parameter_count(), 0.0);
+  qsim::StateVector state(2);
+  circuit::apply_gates(state, ansatz.bind(zeros));
+  // RY(0)/RZ(0)/CZ on |00> leave the state at |00>.
+  EXPECT_NEAR(std::norm(state.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(Optimizer, SpsaMinimizesQuadratic) {
+  Rng rng(5);
+  SpsaOptimizer::Options options;
+  options.iterations = 400;
+  options.a = 0.4;
+  const SpsaOptimizer spsa(options);
+  const Objective bowl = [](std::span<const double> x) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      value += (x[i] - 1.0) * (x[i] - 1.0);
+    return value;
+  };
+  const auto result = spsa.minimize(bowl, {4.0, -3.0, 0.0}, rng);
+  EXPECT_LT(result.best_value, 0.05);
+  EXPECT_EQ(result.evaluations, 2u * 400u + 2u);
+  EXPECT_FALSE(result.history.empty());
+}
+
+TEST(Optimizer, NelderMeadMinimizesRosenbrockish) {
+  const NelderMeadOptimizer nm;
+  const Objective rosen = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 10.0 * b * b;
+  };
+  const auto result = nm.minimize(rosen, {-1.0, 2.0});
+  EXPECT_LT(result.best_value, 1e-6);
+  EXPECT_NEAR(result.best_params[0], 1.0, 0.01);
+  EXPECT_NEAR(result.best_params[1], 1.0, 0.01);
+}
+
+TEST(Optimizer, HistoryIsMonotoneNonIncreasing) {
+  Rng rng(6);
+  const SpsaOptimizer spsa;
+  const Objective bowl = [](std::span<const double> x) {
+    return x[0] * x[0];
+  };
+  const auto result = spsa.minimize(bowl, {3.0}, rng);
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_LE(result.history[i], result.history[i - 1]);
+}
+
+TEST(Vqe, ExactObjectiveReachesGroundEnergy) {
+  Rng rng(9);
+  VqeOptions options;
+  options.use_nelder_mead = true;
+  const VqeDriver vqe(h2_hamiltonian(), HardwareEfficientAnsatz(2, 1),
+                      options);
+  const auto result = vqe.run(nullptr, rng);
+  EXPECT_NEAR(result.energy, -1.8572750, 1e-4);
+  EXPECT_EQ(result.total_shots, 0u);
+}
+
+TEST(Vqe, SampledObjectiveMatchesExactAtSamePoint) {
+  Rng rng(10);
+  const VqeDriver vqe(h2_hamiltonian(), HardwareEfficientAnsatz(2, 1));
+  std::vector<double> params(8);
+  for (auto& p : params) p = rng.uniform(-1.0, 1.0);
+
+  Rng sampler(11);
+  const CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                   std::size_t shots) {
+    return circuit::run_ideal(circuit, shots, sampler);
+  };
+  const double sampled = vqe.energy(params, runner, 200000);
+  const double exact = vqe.exact_energy(params);
+  EXPECT_NEAR(sampled, exact, 0.01);
+}
+
+TEST(Observable, EstimateExpectationMatchesExact) {
+  // <H2> on the Bell-pair-like state prepared by RY(0.6) + CZ.
+  circuit::Circuit prep(2);
+  prep.ry(0.6, 0).ry(-1.1, 1).cz(0, 1);
+  const Hamiltonian h2 = h2_hamiltonian();
+
+  qsim::StateVector state(2);
+  circuit::apply_gates(state, prep);
+  const double exact = h2.expectation(state);
+
+  Rng sampler(21);
+  const CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                   std::size_t shots) {
+    return circuit::run_ideal(circuit, shots, sampler);
+  };
+  const double estimated = estimate_expectation(h2, prep, runner, 200000);
+  EXPECT_NEAR(estimated, exact, 0.01);
+}
+
+TEST(Observable, EstimateExpectationValidation) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  circuit::Circuit tiny(1);
+  tiny.h(0);
+  const CircuitRunner runner = [](const circuit::Circuit&, std::size_t) {
+    return qsim::Counts{};
+  };
+  EXPECT_THROW(estimate_expectation(h2, tiny, runner, 100),
+               PreconditionError);
+  circuit::Circuit ok(2);
+  EXPECT_THROW(estimate_expectation(h2, ok, nullptr, 100),
+               PreconditionError);
+}
+
+TEST(Vqe, RegisterSizeMismatchRejected) {
+  EXPECT_THROW(
+      VqeDriver(h2_hamiltonian(), HardwareEfficientAnsatz(3, 1), {}),
+      PreconditionError);
+}
+
+TEST(Qaoa, CutValueCounting) {
+  const QaoaMaxCut qaoa(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, {});
+  EXPECT_DOUBLE_EQ(qaoa.cut_value(0b0101), 4.0);  // alternating: full cut
+  EXPECT_DOUBLE_EQ(qaoa.cut_value(0b0000), 0.0);
+  EXPECT_DOUBLE_EQ(qaoa.cut_value(0b0001), 2.0);
+}
+
+TEST(Qaoa, CostHamiltonianMatchesCutFunction) {
+  const std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}};
+  const Hamiltonian cost = maxcut_hamiltonian(3, edges);
+  // On the computational basis state |010>, cut = 2.
+  qsim::StateVector state(3);
+  state.apply_1q(qsim::gate_x(), 1);
+  EXPECT_NEAR(cost.expectation(state), 2.0, 1e-12);
+}
+
+TEST(Qaoa, FindsGoodCutOnTriangleFreeGraph) {
+  Rng rng(12);
+  QaoaOptions options;
+  options.depth = 2;
+  options.shots = 1200;
+  options.spsa.iterations = 60;
+  const QaoaMaxCut qaoa(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, options);
+  Rng sampler(13);
+  const CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                   std::size_t shots) {
+    return circuit::run_ideal(circuit, shots, sampler);
+  };
+  const auto result = qaoa.run(runner, rng);
+  EXPECT_GE(result.best_cut, 3.0);  // optimum 4, accept near-optimal
+  EXPECT_GT(result.expected_cut, 2.0);
+}
+
+}  // namespace
+}  // namespace hpcqc::hybrid

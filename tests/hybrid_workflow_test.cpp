@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/sched/hybrid_workflow.hpp"
+#include "hpcqc/sched/workload.hpp"
+
+namespace hpcqc::sched {
+namespace {
+
+Qrm::Config fast_qrm_config() {
+  Qrm::Config config;
+  config.benchmark.qubits = 8;
+  config.benchmark.analytic = true;
+  config.execution_mode = device::ExecutionMode::kEstimateOnly;
+  return config;
+}
+
+HybridWorkflowSpec small_spec(const device::DeviceModel& device) {
+  HybridWorkflowSpec spec;
+  spec.name = "vqe-like";
+  spec.classical_nodes = 8;
+  spec.iterations = 5;
+  spec.classical_step = minutes(3.0);
+  spec.circuit = calibration::GhzBenchmark::chain_circuit(device, 6);
+  spec.shots_per_iteration = 2000;
+  return spec;
+}
+
+TEST(HybridWorkflow, RunsToCompletionOnIdleSystems) {
+  Rng rng(1);
+  device::DeviceModel device = device::make_iqm20(rng);
+  HpcScheduler hpc(64);
+  Qrm qrm(device, fast_qrm_config(), rng, nullptr);
+  HybridWorkflowRunner runner(hpc, qrm);
+
+  const auto result = runner.run(small_spec(device));
+  EXPECT_EQ(result.iterations_completed, 5u);
+  // On an idle cluster the allocation starts immediately.
+  EXPECT_DOUBLE_EQ(result.allocation_started_at, result.submitted_at);
+  EXPECT_NEAR(result.classical_time, 5 * minutes(3.0), 1e-9);
+  EXPECT_GT(result.quantum_time, 0.0);
+  EXPECT_GT(result.finished_at, result.allocation_started_at);
+  // The HPC side really held the nodes.
+  EXPECT_EQ(hpc.record(result.hpc_job_id).job.nodes, 8);
+}
+
+TEST(HybridWorkflow, WaitsForClassicalAllocation) {
+  Rng rng(2);
+  device::DeviceModel device = device::make_iqm20(rng);
+  HpcScheduler hpc(16);
+  hpc.submit({"blocker", 16, hours(2.0)});  // cluster fully busy
+  Qrm qrm(device, fast_qrm_config(), rng, nullptr);
+  HybridWorkflowRunner runner(hpc, qrm);
+
+  const auto result = runner.run(small_spec(device));
+  EXPECT_GE(result.allocation_started_at, hours(2.0) - 1e-6);
+  EXPECT_EQ(result.iterations_completed, 5u);
+}
+
+TEST(HybridWorkflow, SharedQpuContentionShowsUpAsQuantumWait) {
+  Rng rng(3);
+  device::DeviceModel device = device::make_iqm20(rng);
+  HpcScheduler hpc(64);
+  Qrm qrm(device, fast_qrm_config(), rng, nullptr);
+
+  // Alone on the machine: minimal blocking.
+  HybridWorkflowRunner runner(hpc, qrm);
+  const auto alone = runner.run(small_spec(device));
+
+  // Now with a pile of big jobs from other users in front of each step.
+  Rng workload_rng(5);
+  for (int i = 0; i < 20; ++i) {
+    qrm.submit({"other-user-" + std::to_string(i),
+                chain_brickwork_circuit(device, 16, 4, workload_rng),
+                400000, ""});
+  }
+  const auto contended = runner.run(small_spec(device));
+  EXPECT_GT(contended.quantum_wait, alone.quantum_wait);
+  EXPECT_GT(contended.qpu_blocking_fraction(),
+            alone.qpu_blocking_fraction());
+}
+
+TEST(HybridWorkflow, SpecValidation) {
+  Rng rng(4);
+  device::DeviceModel device = device::make_iqm20(rng);
+  HpcScheduler hpc(8);
+  Qrm qrm(device, fast_qrm_config(), rng, nullptr);
+  HybridWorkflowRunner runner(hpc, qrm);
+  HybridWorkflowSpec bad = small_spec(device);
+  bad.iterations = 0;
+  EXPECT_THROW(runner.run(bad), PreconditionError);
+  HybridWorkflowSpec empty = small_spec(device);
+  empty.circuit = circuit::Circuit(1);
+  EXPECT_THROW(runner.run(empty), PreconditionError);
+}
+
+TEST(HybridWorkflow, TwoWorkflowsShareTheQpuSequentially) {
+  Rng rng(6);
+  device::DeviceModel device = device::make_iqm20(rng);
+  HpcScheduler hpc(64);
+  Qrm qrm(device, fast_qrm_config(), rng, nullptr);
+  HybridWorkflowRunner runner(hpc, qrm);
+
+  const auto first = runner.run(small_spec(device));
+  const auto second = runner.run(small_spec(device));
+  EXPECT_GE(second.submitted_at, first.finished_at - 1e-6);
+  EXPECT_EQ(second.iterations_completed, 5u);
+}
+
+}  // namespace
+}  // namespace hpcqc::sched

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/facility/installation.hpp"
+
+namespace hpcqc::facility {
+namespace {
+
+TEST(Installation, LinearChainSchedulesSequentially) {
+  const std::vector<InstallationTask> tasks = {
+      {"a", days(1.0), {}, true},
+      {"b", days(2.0), {0}, true},
+      {"c", days(3.0), {1}, true},
+  };
+  const auto plan = plan_installation(tasks);
+  EXPECT_NEAR(to_days(plan.makespan), 6.0, 1e-9);
+  EXPECT_NEAR(to_days(plan.tasks[1].earliest_start), 1.0, 1e-9);
+  EXPECT_NEAR(to_days(plan.tasks[2].earliest_start), 3.0, 1e-9);
+  // Everything is critical in a chain.
+  for (const auto& task : plan.tasks) {
+    EXPECT_TRUE(task.on_critical_path);
+    EXPECT_NEAR(task.slack, 0.0, 1e-9);
+  }
+  EXPECT_EQ(plan.critical_path.size(), 3u);
+}
+
+TEST(Installation, ParallelBranchesAndSlack) {
+  const std::vector<InstallationTask> tasks = {
+      {"start", days(1.0), {}, true},
+      {"long-branch", days(5.0), {0}, true},
+      {"short-branch", days(2.0), {0}, true},
+      {"join", days(1.0), {1, 2}, true},
+  };
+  const auto plan = plan_installation(tasks);
+  EXPECT_NEAR(to_days(plan.makespan), 7.0, 1e-9);
+  EXPECT_TRUE(plan.tasks[1].on_critical_path);
+  EXPECT_FALSE(plan.tasks[2].on_critical_path);
+  EXPECT_NEAR(to_days(plan.tasks[2].slack), 3.0, 1e-9);
+  // The join starts when the long branch finishes.
+  EXPECT_NEAR(to_days(plan.tasks[3].earliest_start), 6.0, 1e-9);
+}
+
+TEST(Installation, DetectsCycles) {
+  const std::vector<InstallationTask> cyclic = {
+      {"a", days(1.0), {1}, true},
+      {"b", days(1.0), {0}, true},
+  };
+  EXPECT_THROW(plan_installation(cyclic), PreconditionError);
+  EXPECT_THROW(plan_installation({}), PreconditionError);
+  const std::vector<InstallationTask> bad_dep = {{"a", days(1.0), {5}, true}};
+  EXPECT_THROW(plan_installation(bad_dep), PreconditionError);
+}
+
+TEST(Installation, ReferencePlanIsMultiDayToMultiWeek) {
+  const auto plan = plan_installation(reference_installation_tasks());
+  // §2.5: "multi-day (or multi-week) process".
+  EXPECT_GE(to_days(plan.makespan), 10.0);
+  EXPECT_LE(to_days(plan.makespan), 25.0);
+  // Cooldown and calibration sit at the end of the critical path.
+  ASSERT_GE(plan.critical_path.size(), 3u);
+  EXPECT_EQ(plan.critical_path.back(),
+            "GHZ acceptance benchmarks and handover");
+  EXPECT_NE(std::find(plan.critical_path.begin(), plan.critical_path.end(),
+                      "initial cooldown to base temperature"),
+            plan.critical_path.end());
+  // Specialist crew is needed for most, but not all, of the work.
+  EXPECT_GT(to_days(plan.vendor_crew_days), 5.0);
+  EXPECT_LT(plan.vendor_crew_days, plan.makespan * 2.0);
+
+  std::ostringstream os;
+  plan.print(os);
+  EXPECT_NE(os.str().find("cryostat assembly"), std::string::npos);
+}
+
+TEST(Installation, DependentNeverStartsBeforeDependency) {
+  const auto tasks = reference_installation_tasks();
+  const auto plan = plan_installation(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (int dep : tasks[i].depends_on) {
+      EXPECT_GE(plan.tasks[i].earliest_start,
+                plan.tasks[static_cast<std::size_t>(dep)].earliest_finish -
+                    1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcqc::facility

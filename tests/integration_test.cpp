@@ -1,0 +1,156 @@
+// End-to-end integration of the full stack: frontend -> client routing ->
+// JIT compilation against QDMI -> noisy execution -> result formats, plus
+// the telemetry-backed compilation loop of Fig. 3 and a hybrid VQE through
+// the in-HPC path.
+
+#include <gtest/gtest.h>
+
+#include "hpcqc/calibration/routines.hpp"
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/net/bandwidth.hpp"
+#include "hpcqc/hybrid/vqe.hpp"
+#include "hpcqc/mqss/adapters.hpp"
+#include "hpcqc/mqss/client.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/telemetry/collectors.hpp"
+#include "hpcqc/telemetry/telemetry_device.hpp"
+
+namespace hpcqc {
+namespace {
+
+TEST(Integration, TextFrontendToHistogramThroughBothPaths) {
+  Rng rng(100);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(device, clock);
+  mqss::QpuService service(device, qdmi_device, rng);
+
+  const auto registry = mqss::AdapterRegistry::with_builtins();
+  const auto circuit = registry.translate("text",
+                                          "qubits 4\n"
+                                          "h q0\n"
+                                          "cx q0, q1\n"
+                                          "cx q1, q2\n"
+                                          "cx q2, q3\n"
+                                          "measure\n");
+
+  for (const auto path : {mqss::AccessPath::kHpc, mqss::AccessPath::kRest}) {
+    mqss::Client client(service, clock, path);
+    const auto result =
+        client.wait(client.submit(circuit, 3000, "integration-ghz"));
+    const double ghz_success = result.run.counts.probability_of(0) +
+                               result.run.counts.probability_of(0b1111);
+    EXPECT_GT(ghz_success, 0.75) << "path " << mqss::to_string(path);
+    EXPECT_EQ(result.run.counts.total_shots(), 3000u);
+
+    // Result travels over the 1 Gbit link in well under a second.
+    const auto payload =
+        service.serialize(result.run, net::ResultFormat::kHistogram);
+    const net::LinkModel link;
+    EXPECT_LT(link.transfer_time(payload.size_bytes()), 0.1);
+  }
+}
+
+TEST(Integration, TelemetryBackedJitCompilationLoop) {
+  // Fig. 3: the compiler consumes live telemetry instead of direct control-
+  // software access — and reacts when the telemetry shows a degraded qubit.
+  Rng rng(101);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+
+  // Wreck one qubit, then publish calibration data into the store.
+  auto state = device.calibration();
+  const auto good_layout_probe = circuit::Circuit::ghz(4);
+  state.qubits[5].fidelity_1q = 0.92;
+  state.qubits[5].readout_fidelity = 0.75;
+  device.install_live_state(std::move(state));
+
+  telemetry::TimeSeriesStore store;
+  telemetry::DeviceCalibrationCollector collector(device);
+  collector.collect(0.0, store);
+
+  const telemetry::TelemetryBackedDevice telemetry_device(
+      "iqm-20q", device.topology(), store);
+  const auto program = mqss::compile(good_layout_probe, telemetry_device);
+  for (int q : program.initial_layout) EXPECT_NE(q, 5);
+
+  // The compiled circuit is executable on the real device model.
+  const auto exec = device.execute(program.native_circuit, 500, rng);
+  EXPECT_EQ(exec.counts.total_shots(), 500u);
+}
+
+TEST(Integration, VqeThroughClientUsesJitPlacement) {
+  Rng rng(102);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(device, clock);
+  mqss::QpuService service(device, qdmi_device, rng);
+  mqss::Client client(service, clock, mqss::AccessPath::kHpc);
+
+  hybrid::VqeOptions options;
+  options.shots_per_group = 1500;
+  options.spsa.iterations = 150;
+  options.spsa.a = 0.4;
+  const hybrid::VqeDriver vqe(hybrid::h2_hamiltonian(),
+                              hybrid::HardwareEfficientAnsatz(2, 1), options);
+  const hybrid::CircuitRunner runner = [&](const circuit::Circuit& circuit,
+                                           std::size_t shots) {
+    return client.wait(client.submit(circuit, shots, "vqe")).run.counts;
+  };
+  const auto result = vqe.run(runner, rng);
+  // Noisy hardware: demand qualitative convergence into the well.
+  EXPECT_LT(result.energy, -1.4);
+  EXPECT_GT(result.circuits_run, 100u);
+  // Simulated QPU time was consumed on the shared clock.
+  EXPECT_GT(clock.now(), 60.0);
+}
+
+TEST(Integration, DriftDegradesUserResultsUntilRecalibration) {
+  Rng rng(103);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi_device(device, clock);
+  mqss::QpuService service(device, qdmi_device, rng);
+  mqss::Client client(service, clock, mqss::AccessPath::kHpc);
+
+  const auto ghz = circuit::Circuit::ghz(6);
+  const auto run_success = [&] {
+    const auto result = client.wait(client.submit(ghz, 3000, "probe"));
+    return result.run.counts.probability_of(0) +
+           result.run.counts.probability_of(0b111111);
+  };
+
+  const double fresh = run_success();
+  device.drift(days(10.0), rng);
+  const double degraded = run_success();
+  EXPECT_LT(degraded, fresh);
+
+  const calibration::CalibrationEngine engine;
+  engine.run(device, calibration::CalibrationKind::kFull, days(10.0), rng);
+  const double recovered = run_success();
+  EXPECT_GT(recovered, degraded);
+  EXPECT_NEAR(recovered, fresh, 0.1);
+}
+
+TEST(Integration, CompiledProgramsStayFaithfulUnderRouting) {
+  // Random frontend circuits, compiled and executed noiselessly on the
+  // device register, must reproduce the ideal distribution.
+  Rng rng(104);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  const qdmi::ModelBackedDevice qdmi_device(device, clock);
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng circuit_rng(static_cast<std::uint64_t>(seed) + 500);
+    const auto source = circuit::Circuit::random(5, 3, circuit_rng);
+    const auto program = mqss::compile(source, qdmi_device);
+    const auto expected = circuit::ideal_distribution(source);
+    const auto actual = circuit::ideal_distribution(program.native_circuit);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_NEAR(expected[i], actual[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace hpcqc

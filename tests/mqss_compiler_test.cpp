@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+
+namespace hpcqc::mqss {
+namespace {
+
+/// Compares the measured-qubit distribution of the source circuit against
+/// the compiled native circuit. Because measurement is Z-basis and the
+/// compiled measure preserves the virtual bit order, the distributions must
+/// match exactly (up to tolerance).
+void expect_semantically_equal(const circuit::Circuit& source,
+                               const circuit::Circuit& compiled,
+                               double tol = 1e-9) {
+  const auto original = circuit::ideal_distribution(source);
+  const auto lowered = circuit::ideal_distribution(compiled);
+  ASSERT_EQ(original.size(), lowered.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_NEAR(original[i], lowered[i], tol) << "outcome " << i;
+}
+
+class CompilerTest : public ::testing::Test {
+protected:
+  CompilerTest()
+      : rng_(3), device_(device::make_iqm20(rng_)), qdmi_(device_, clock_) {}
+
+  Rng rng_;
+  SimClock clock_;
+  device::DeviceModel device_;
+  qdmi::ModelBackedDevice qdmi_;
+};
+
+TEST_F(CompilerTest, GhzCompilesToLegalNativeCircuit) {
+  const auto source = circuit::Circuit::ghz(5);
+  const CompiledProgram program = compile(source, qdmi_);
+  EXPECT_TRUE(program.native_circuit.is_native());
+  EXPECT_EQ(program.native_circuit.num_qubits(), 20);
+  for (const auto& op : program.native_circuit.ops()) {
+    if (circuit::op_is_two_qubit(op.kind)) {
+      EXPECT_TRUE(device_.topology().has_edge(op.qubits[0], op.qubits[1]));
+    }
+  }
+  EXPECT_EQ(program.initial_layout.size(), 5u);
+  expect_semantically_equal(source, program.native_circuit);
+}
+
+TEST_F(CompilerTest, PassTraceRecordsPipeline) {
+  const CompiledProgram program =
+      compile(circuit::Circuit::bell(), qdmi_,
+              {PlacementStrategy::kFidelityAware, true, true});
+  ASSERT_EQ(program.pass_trace.size(), 4u);
+  EXPECT_EQ(program.pass_trace[0], "place-fidelity-aware");
+  EXPECT_EQ(program.pass_trace[1], "route-fidelity-aware");
+  EXPECT_EQ(program.pass_trace[2], "decompose-native");
+  EXPECT_EQ(program.pass_trace[3], "peephole");
+  const CompiledProgram hop_routed =
+      compile(circuit::Circuit::bell(), qdmi_,
+              {PlacementStrategy::kStatic, true, false});
+  EXPECT_EQ(hop_routed.pass_trace[1], "route");
+}
+
+TEST_F(CompilerTest, FidelityAwareRoutingAvoidsDegradedCoupler) {
+  // Degrade the direct coupler between q0 and q1 badly; routing a distant
+  // interaction through it should be avoided when fidelity-aware.
+  auto state = device_.calibration();
+  // Kill every coupler on the top row except via the second row, so the
+  // hop-optimal q0..q4 route is bad and the detour is good.
+  for (int c = 0; c < 4; ++c) {
+    const int edge = device_.topology().edge_index(c, c + 1);
+    state.couplers[static_cast<std::size_t>(edge)].fidelity_cz = 0.85;
+  }
+  device_.install_live_state(std::move(state));
+
+  circuit::Circuit distant(20);
+  distant.h(0).cx(0, 4).measure({0, 4});
+
+  CompilerOptions hop_options;
+  hop_options.placement = PlacementStrategy::kStatic;
+  hop_options.fidelity_aware_routing = false;
+  CompilerOptions aware_options = hop_options;
+  aware_options.fidelity_aware_routing = true;
+
+  const auto hop = compile(distant, qdmi_, hop_options);
+  const auto aware = compile(distant, qdmi_, aware_options);
+  // The detour costs at least as many SWAPs but wins on fidelity.
+  EXPECT_GE(aware.swap_count, hop.swap_count);
+  EXPECT_GT(device_.estimate_circuit_fidelity(aware.native_circuit),
+            device_.estimate_circuit_fidelity(hop.native_circuit));
+  // Both still compute the right thing.
+  const auto expected = circuit::ideal_distribution(distant);
+  const auto actual = circuit::ideal_distribution(aware.native_circuit);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(expected[i], actual[i], 1e-9);
+}
+
+TEST_F(CompilerTest, EveryFrontendGateLowersCorrectly) {
+  // One circuit exercising every op kind in the vocabulary.
+  circuit::Circuit kitchen_sink(3);
+  kitchen_sink.i(0).x(0).y(1).z(2).h(0).s(1).sdg(2).t(0).tdg(1).sx(2);
+  kitchen_sink.rx(0.3, 0).ry(-0.7, 1).rz(1.1, 2).u(0.4, 0.5, 0.6, 0);
+  kitchen_sink.prx(0.9, 0.2, 1);
+  kitchen_sink.cz(0, 1).cx(1, 2).swap(0, 2).iswap(1, 2).cphase(0.8, 0, 1);
+  kitchen_sink.barrier();
+  kitchen_sink.measure();
+  const CompiledProgram program = compile(kitchen_sink, qdmi_);
+  EXPECT_TRUE(program.native_circuit.is_native());
+  expect_semantically_equal(kitchen_sink, program.native_circuit);
+}
+
+class RandomCompileEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCompileEquivalence, RandomCircuitsSurviveLowering) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  const qdmi::ModelBackedDevice qdmi(device, clock);
+  const int qubits = 2 + static_cast<int>(rng.uniform_index(5));
+  const auto source = circuit::Circuit::random(qubits, 4, rng);
+  for (const auto strategy :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    const CompiledProgram program = compile(source, qdmi, {strategy, true});
+    EXPECT_TRUE(program.native_circuit.is_native());
+    for (const auto& op : program.native_circuit.ops()) {
+      if (circuit::op_is_two_qubit(op.kind)) {
+        ASSERT_TRUE(device.topology().has_edge(op.qubits[0], op.qubits[1]));
+      }
+    }
+    expect_semantically_equal(source, program.native_circuit, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCompileEquivalence,
+                         ::testing::Range(1, 13));
+
+TEST_F(CompilerTest, RoutingInsertsSwapsOnlyWhenNeeded) {
+  // Adjacent pair on the grid: no SWAPs.
+  circuit::Circuit local(2);
+  local.h(0).cx(0, 1).measure();
+  CompilerOptions options;
+  options.placement = PlacementStrategy::kStatic;
+  const auto adjacent = compile(local, qdmi_, options);
+  EXPECT_EQ(adjacent.swap_count, 0u);
+
+  // Distant pair (0 and 19 on static placement of a 20q circuit): SWAPs.
+  circuit::Circuit distant(20);
+  distant.h(0).cx(0, 19).measure({0, 19});
+  const auto routed = compile(distant, qdmi_, options);
+  EXPECT_GE(routed.swap_count, 5u);
+  expect_semantically_equal(distant, routed.native_circuit);
+}
+
+TEST_F(CompilerTest, PeepholeReducesGateCount) {
+  circuit::Circuit redundant(2);
+  // Adjacent inverse rotations and a CZ pair that cancels.
+  redundant.rx(0.5, 0).rx(-0.5, 0).cz(0, 1).cz(0, 1).h(0).h(0);
+  redundant.measure();
+  const auto optimized = compile(redundant, qdmi_,
+                                 {PlacementStrategy::kStatic, true});
+  const auto raw = compile(redundant, qdmi_,
+                           {PlacementStrategy::kStatic, false});
+  EXPECT_LT(optimized.native_gate_count, raw.native_gate_count);
+  expect_semantically_equal(redundant, optimized.native_circuit);
+  // The cancelling CZ pair disappears entirely.
+  EXPECT_EQ(optimized.native_circuit.two_qubit_gate_count(), 0u);
+}
+
+TEST_F(CompilerTest, VirtualZMakesRzFree) {
+  // A circuit of only RZ/S/T gates costs zero native pulses.
+  circuit::Circuit phases(1);
+  phases.rz(0.3, 0).s(0).t(0).z(0);
+  phases.measure();
+  const auto program = compile(phases, qdmi_,
+                               {PlacementStrategy::kStatic, false});
+  EXPECT_EQ(program.native_gate_count, 0u);
+}
+
+TEST_F(CompilerTest, FidelityAwareLayoutAvoidsBadQubits) {
+  // Wreck qubit 0's fidelity; a fidelity-aware placement of a small circuit
+  // must avoid it, while static placement uses it.
+  auto state = device_.calibration();
+  state.qubits[0].fidelity_1q = 0.90;
+  state.qubits[0].readout_fidelity = 0.70;
+  device_.install_live_state(std::move(state));
+
+  const auto layout = fidelity_aware_layout(4, qdmi_);
+  for (int q : layout) EXPECT_NE(q, 0);
+
+  const auto source = circuit::Circuit::ghz(4);
+  const auto aware =
+      compile(source, qdmi_, {PlacementStrategy::kFidelityAware, true});
+  const auto fixed =
+      compile(source, qdmi_, {PlacementStrategy::kStatic, true});
+  EXPECT_GT(device_.estimate_circuit_fidelity(aware.native_circuit),
+            device_.estimate_circuit_fidelity(fixed.native_circuit));
+}
+
+TEST_F(CompilerTest, SingleQubitPlacementPicksBestQubit) {
+  auto state = device_.calibration();
+  for (auto& qubit : state.qubits) qubit.readout_fidelity = 0.95;
+  state.qubits[13].readout_fidelity = 0.999;
+  state.qubits[13].fidelity_1q = 0.9999;
+  device_.install_live_state(std::move(state));
+  const auto layout = fidelity_aware_layout(1, qdmi_);
+  ASSERT_EQ(layout.size(), 1u);
+  EXPECT_EQ(layout[0], 13);
+}
+
+TEST_F(CompilerTest, LayoutIsConnectedSubgraph) {
+  const auto layout = fidelity_aware_layout(9, qdmi_);
+  ASSERT_EQ(layout.size(), 9u);
+  // Every chosen qubit after the first couples to an earlier chosen one.
+  for (std::size_t i = 1; i < layout.size(); ++i) {
+    bool coupled = false;
+    for (std::size_t j = 0; j < i; ++j)
+      if (device_.topology().has_edge(layout[i], layout[j])) coupled = true;
+    EXPECT_TRUE(coupled) << "qubit " << layout[i];
+  }
+}
+
+TEST_F(CompilerTest, DescribeReportsTheCompilation) {
+  const auto program = compile(circuit::Circuit::ghz(3), qdmi_);
+  const std::string report = program.describe();
+  EXPECT_NE(report.find("place-fidelity-aware"), std::string::npos);
+  EXPECT_NE(report.find("q0->q"), std::string::npos);
+  EXPECT_NE(report.find("native gates:"), std::string::npos);
+  EXPECT_NE(report.find("prx("), std::string::npos);
+  EXPECT_NE(report.find("cz "), std::string::npos);
+}
+
+TEST_F(CompilerTest, RejectsOversizedCircuits) {
+  circuit::Circuit huge(21);
+  huge.h(0);
+  EXPECT_THROW(compile(huge, qdmi_), PreconditionError);
+}
+
+TEST_F(CompilerTest, DialectProgression) {
+  CompilationUnit unit;
+  unit.circuit = circuit::Circuit::bell();
+  unit.dialect = Dialect::kCore;
+  PlacementPass(PlacementStrategy::kStatic).run(unit, qdmi_);
+  EXPECT_EQ(unit.dialect, Dialect::kPlaced);
+  RoutingPass().run(unit, qdmi_);
+  EXPECT_EQ(unit.dialect, Dialect::kRouted);
+  NativeDecompositionPass().run(unit, qdmi_);
+  EXPECT_EQ(unit.dialect, Dialect::kNative);
+  // Passes reject out-of-order invocation.
+  CompilationUnit native_unit;
+  native_unit.circuit = circuit::Circuit::bell();
+  native_unit.dialect = Dialect::kNative;
+  EXPECT_THROW(PlacementPass(PlacementStrategy::kStatic)
+                   .run(native_unit, qdmi_),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpcqc::mqss

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/net/bandwidth.hpp"
+#include "hpcqc/net/formats.hpp"
+
+namespace hpcqc::net {
+namespace {
+
+TEST(Formats, HistogramRoundTrip) {
+  qsim::Counts counts;
+  counts.set_num_qubits(5);
+  counts.add(0, 400);
+  counts.add(31, 380);
+  counts.add(7, 20);
+  const Payload payload = encode_histogram(counts);
+  EXPECT_EQ(payload.format, ResultFormat::kHistogram);
+  EXPECT_EQ(payload.shots, 800u);
+  const qsim::Counts decoded = decode_histogram(payload);
+  EXPECT_EQ(decoded.num_qubits(), 5);
+  EXPECT_EQ(decoded.raw(), counts.raw());
+}
+
+class BitstringsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitstringsRoundTrip, RandomSamplesSurvive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int num_qubits = 1 + static_cast<int>(rng.uniform_index(20));
+  std::vector<std::uint64_t> samples(200);
+  for (auto& sample : samples)
+    sample = rng.uniform_index(std::uint64_t{1} << num_qubits);
+  const Payload payload = encode_bitstrings(samples, num_qubits);
+  EXPECT_EQ(decode_bitstrings(payload), samples);
+  // One byte per measured bit, plus the 24-byte header.
+  EXPECT_EQ(payload.size_bytes(),
+            24u + samples.size() * static_cast<std::size_t>(num_qubits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstringsRoundTrip, ::testing::Range(1, 9));
+
+TEST(Formats, RawIqRoundTrip) {
+  std::vector<float> iq;
+  for (int i = 0; i < 2 * 3 * 10; ++i)
+    iq.push_back(static_cast<float>(i) * 0.25f);
+  const Payload payload = encode_raw_iq(iq, 3, 10);
+  EXPECT_EQ(decode_raw_iq(payload), iq);
+  EXPECT_THROW(encode_raw_iq(iq, 3, 11), PreconditionError);
+}
+
+TEST(Formats, WrongFormatTagRejected) {
+  qsim::Counts counts;
+  counts.set_num_qubits(2);
+  counts.add(1, 10);
+  Payload payload = encode_histogram(counts);
+  payload.format = ResultFormat::kRawIq;
+  EXPECT_THROW(decode_histogram(payload), PreconditionError);
+}
+
+TEST(Formats, PayloadSizePredictions) {
+  EXPECT_EQ(payload_size_bytes(ResultFormat::kBitstringsPerShot, 20, 1000),
+            24u + 20000u);
+  EXPECT_EQ(payload_size_bytes(ResultFormat::kRawIq, 20, 1000),
+            24u + 2u * 4u * 20u * 1000u);
+  EXPECT_EQ(payload_size_bytes(ResultFormat::kHistogram, 20, 1000, 50),
+            24u + 800u);
+}
+
+TEST(Bandwidth, PaperEstimate533Kbps) {
+  // §2.4: 1/300 us x 20 qubits x 8 bit = 533 kbit/s.
+  BandwidthScenario scenario;  // defaults are exactly the paper's inputs
+  const BitsPerSecond rate = output_data_rate(scenario);
+  EXPECT_NEAR(to_kilobits_per_second(rate), 533.33, 0.1);
+}
+
+TEST(Bandwidth, LinearScalingWithQubits) {
+  BandwidthScenario base;
+  BandwidthScenario mid = base;
+  mid.num_qubits = 54;
+  BandwidthScenario large = base;
+  large.num_qubits = 150;
+  const double r20 = output_data_rate(base);
+  const double r54 = output_data_rate(mid);
+  const double r150 = output_data_rate(large);
+  EXPECT_NEAR(r54 / r20, 54.0 / 20.0, 1e-9);
+  EXPECT_NEAR(r150 / r20, 150.0 / 20.0, 1e-9);
+}
+
+TEST(Bandwidth, RawIqIsEightTimesBitstrings) {
+  BandwidthScenario bits;
+  BandwidthScenario iq = bits;
+  iq.format = ResultFormat::kRawIq;
+  EXPECT_NEAR(output_data_rate(iq) / output_data_rate(bits), 8.0, 1e-9);
+}
+
+TEST(Bandwidth, DutyCycleReducesRate) {
+  BandwidthScenario scenario;
+  scenario.duty_cycle = 0.5;
+  EXPECT_NEAR(to_kilobits_per_second(output_data_rate(scenario)), 266.67,
+              0.1);
+  scenario.duty_cycle = 0.0;
+  EXPECT_THROW(output_data_rate(scenario), PreconditionError);
+}
+
+TEST(Bandwidth, WellBelowGigabitLink) {
+  const LinkModel link;  // 1 Gbit Ethernet
+  BandwidthScenario scenario;
+  const double utilization = link.utilization(output_data_rate(scenario));
+  EXPECT_LT(utilization, 0.001);
+  // Even 150 qubits streaming raw IQ fits comfortably.
+  scenario.num_qubits = 150;
+  scenario.format = ResultFormat::kRawIq;
+  EXPECT_LT(link.utilization(output_data_rate(scenario)), 0.05);
+}
+
+TEST(Bandwidth, TransferTimeIncludesLatency) {
+  LinkModel link;
+  link.latency = milliseconds(1.0);
+  const Seconds tiny = link.transfer_time(100);
+  EXPECT_GT(tiny, milliseconds(1.0));
+  EXPECT_LT(tiny, milliseconds(1.1));
+  // 1 GB at ~0.94 Gbit/s: about 8.5 s.
+  const Seconds big = link.transfer_time(1'000'000'000);
+  EXPECT_NEAR(big, 8.51, 0.1);
+}
+
+}  // namespace
+}  // namespace hpcqc::net

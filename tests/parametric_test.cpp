@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/circuit/parametric.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::circuit {
+namespace {
+
+TEST(ParamExpr, LiteralAndSymbol) {
+  const auto lit = ParamExpr::literal(1.5);
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_DOUBLE_EQ(lit.evaluate({}), 1.5);
+
+  const auto sym = ParamExpr::symbol("theta", 2.0, 0.5);
+  EXPECT_FALSE(sym.is_literal());
+  EXPECT_DOUBLE_EQ(sym.evaluate({{"theta", 1.0}}), 2.5);
+  EXPECT_THROW(sym.evaluate({}), NotFoundError);
+  EXPECT_THROW(ParamExpr::symbol(""), PreconditionError);
+}
+
+TEST(ParametricCircuit, ParameterDiscovery) {
+  ParametricCircuit circuit(2);
+  circuit.ry(ParamExpr::symbol("a"), 0)
+      .rz(ParamExpr::symbol("b"), 1)
+      .cz(0, 1)
+      .ry(ParamExpr::symbol("a", -1.0), 1)  // reused symbol
+      .rx(ParamExpr::literal(0.5), 0)
+      .measure();
+  const auto params = circuit.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], "a");
+  EXPECT_EQ(params[1], "b");
+}
+
+TEST(ParametricCircuit, BindMatchesHandBuiltCircuit) {
+  ParametricCircuit templ(2);
+  templ.h(0)
+      .ry(ParamExpr::symbol("t"), 0)
+      .prx(ParamExpr::symbol("t", 0.5), ParamExpr::literal(0.2), 1)
+      .cphase(ParamExpr::symbol("g", 1.0, M_PI / 4), 0, 1)
+      .measure();
+
+  const Circuit bound = templ.bind({{"t", 0.8}, {"g", 0.3}});
+
+  Circuit expected(2);
+  expected.h(0)
+      .ry(0.8, 0)
+      .prx(0.4, 0.2, 1)
+      .cphase(0.3 + M_PI / 4, 0, 1)
+      .measure();
+  EXPECT_EQ(bound, expected);
+}
+
+TEST(ParametricCircuit, RebindingChangesOnlyAngles) {
+  ParametricCircuit templ(1);
+  templ.ry(ParamExpr::symbol("t"), 0).measure();
+  const auto a = templ.bind({{"t", 0.0}});
+  const auto b = templ.bind({{"t", M_PI}});
+  Rng rng(1);
+  EXPECT_NEAR(ideal_distribution(a)[0], 1.0, 1e-12);
+  EXPECT_NEAR(ideal_distribution(b)[1], 1.0, 1e-12);
+}
+
+TEST(ParametricCircuit, BindValidation) {
+  ParametricCircuit templ(1);
+  templ.ry(ParamExpr::symbol("t"), 0);
+  EXPECT_THROW(templ.bind({}), NotFoundError);                    // missing
+  EXPECT_THROW(templ.bind({{"t", 1.0}, {"typo", 2.0}}),
+               PreconditionError);                                 // unknown
+}
+
+TEST(ParametricCircuit, StructureValidatedAtAppendTime) {
+  ParametricCircuit circuit(2);
+  EXPECT_THROW(circuit.ry(ParamExpr::literal(1.0), 5), PreconditionError);
+  EXPECT_THROW(circuit.cz(1, 1), PreconditionError);
+  EXPECT_THROW(circuit.append({OpKind::kRx, {0}, {}}), PreconditionError);
+}
+
+TEST(ParametricCircuit, VqeStyleSweepReusesOneTemplate) {
+  // One template, many bindings — the optimizer-iteration pattern.
+  ParametricCircuit ansatz(2);
+  ansatz.ry(ParamExpr::symbol("t0"), 0)
+      .ry(ParamExpr::symbol("t1"), 1)
+      .cz(0, 1)
+      .ry(ParamExpr::symbol("t2"), 0)
+      .measure();
+  double last_p11 = -1.0;
+  for (double sweep = 0.0; sweep < 3.0; sweep += 1.0) {
+    const auto circuit =
+        ansatz.bind({{"t0", sweep}, {"t1", 0.3}, {"t2", -sweep}});
+    const auto dist = ideal_distribution(circuit);
+    // P(|11>) = sin^2(0.15) sin^2(t0): distinct for each binding.
+    EXPECT_GT(std::abs(dist[3] - last_p11), 1e-6);
+    last_p11 = dist[3];
+  }
+}
+
+}  // namespace
+}  // namespace hpcqc::circuit

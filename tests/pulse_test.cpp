@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/pulse/lowering.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+
+namespace hpcqc::pulse {
+namespace {
+
+TEST(Waveform, GaussianShape) {
+  const auto gauss = PulseWaveform::gaussian(0.5, 5.0, 20.0);
+  EXPECT_EQ(gauss.size(), 20u);
+  EXPECT_NEAR(gauss.duration_ns(), 20.0, 1e-12);
+  // Peak at the center, symmetric, max = amplitude.
+  EXPECT_NEAR(gauss.peak_amplitude(), 0.5, 0.01);
+  EXPECT_NEAR(std::abs(gauss.samples()[3]), std::abs(gauss.samples()[16]),
+              1e-12);
+  EXPECT_TRUE(gauss.within_hardware_range());
+}
+
+TEST(Waveform, GaussianAreaScalesWithAmplitude) {
+  const auto a = PulseWaveform::gaussian(0.2, 5.0, 20.0);
+  const auto b = PulseWaveform::gaussian(0.4, 5.0, 20.0);
+  EXPECT_NEAR(std::abs(b.area()) / std::abs(a.area()), 2.0, 1e-9);
+}
+
+TEST(Waveform, DragHasQuadratureComponent) {
+  const auto drag = PulseWaveform::drag(0.5, 5.0, 0.6, 20.0);
+  // I is the gaussian; Q is antisymmetric around the center and zero there.
+  const auto& samples = drag.samples();
+  EXPECT_NEAR(samples[10].imag(), 0.0, 0.02);
+  EXPECT_GT(samples[4].imag(), 0.0);   // rising edge
+  EXPECT_LT(samples[15].imag(), 0.0);  // falling edge
+  EXPECT_NEAR(samples[4].imag(), -samples[15].imag(), 1e-9);
+  // beta = 0 collapses to a plain gaussian.
+  const auto plain = PulseWaveform::drag(0.5, 5.0, 0.0, 20.0);
+  for (const auto& sample : plain.samples())
+    EXPECT_NEAR(sample.imag(), 0.0, 1e-12);
+}
+
+TEST(Waveform, GaussianSquareFlatTop) {
+  const auto flat = PulseWaveform::gaussian_square(0.5, 40.0, 5.0);
+  // Middle is flat at the amplitude.
+  for (std::size_t i = 15; i < 25; ++i)
+    EXPECT_NEAR(std::abs(flat.samples()[i]), 0.5, 1e-9);
+  // Edges ramp.
+  EXPECT_LT(std::abs(flat.samples()[0]), 0.1);
+  EXPECT_LT(std::abs(flat.samples()[39]), 0.1);
+  EXPECT_THROW(PulseWaveform::gaussian_square(0.5, 10.0, 5.0),
+               PreconditionError);
+}
+
+TEST(Waveform, ScaledAppliesPhase) {
+  const auto gauss = PulseWaveform::gaussian(0.5, 5.0, 20.0);
+  const auto rotated = gauss.scaled(std::polar(1.0, M_PI / 2.0));
+  EXPECT_NEAR(rotated.samples()[10].real(), 0.0, 1e-12);
+  EXPECT_NEAR(rotated.samples()[10].imag(),
+              gauss.samples()[10].real(), 1e-12);
+}
+
+TEST(Schedule, ChannelsAreIndependentTimelines) {
+  Schedule schedule;
+  schedule.play({ChannelKind::kDrive, 0},
+                PulseWaveform::constant(0.1, 20.0));
+  schedule.play({ChannelKind::kDrive, 1},
+                PulseWaveform::constant(0.1, 30.0));
+  schedule.play({ChannelKind::kDrive, 0},
+                PulseWaveform::constant(0.1, 20.0));
+  EXPECT_EQ(schedule.size(), 3u);
+  EXPECT_NEAR(schedule.channel_end_ns({ChannelKind::kDrive, 0}), 40.0, 1e-9);
+  EXPECT_NEAR(schedule.channel_end_ns({ChannelKind::kDrive, 1}), 30.0, 1e-9);
+  EXPECT_NEAR(schedule.duration_ns(), 40.0, 1e-9);
+  // Second q0 pulse starts back-to-back.
+  const auto program = schedule.channel_program({ChannelKind::kDrive, 0});
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_NEAR(program[1].start_ns, 20.0, 1e-9);
+}
+
+TEST(Schedule, OverlapRejected) {
+  Schedule schedule;
+  schedule.play_at({ChannelKind::kDrive, 0}, 0.0,
+                   PulseWaveform::constant(0.1, 20.0));
+  EXPECT_THROW(schedule.play_at({ChannelKind::kDrive, 0}, 10.0,
+                                PulseWaveform::constant(0.1, 20.0)),
+               PreconditionError);
+}
+
+TEST(Schedule, SynchronizedPlayBlocksAllChannels) {
+  Schedule schedule;
+  schedule.play({ChannelKind::kDrive, 0},
+                PulseWaveform::constant(0.1, 20.0));
+  // CZ-style flux pulse must wait for q0's drive and block both drives.
+  schedule.play_synchronized(
+      {{ChannelKind::kDrive, 0}, {ChannelKind::kDrive, 1},
+       {ChannelKind::kFlux, 7}},
+      {ChannelKind::kFlux, 7}, PulseWaveform::constant(0.5, 40.0));
+  EXPECT_NEAR(schedule.channel_end_ns({ChannelKind::kFlux, 7}), 60.0, 1e-9);
+  EXPECT_NEAR(schedule.channel_end_ns({ChannelKind::kDrive, 0}), 60.0, 1e-9);
+  EXPECT_NEAR(schedule.channel_end_ns({ChannelKind::kDrive, 1}), 60.0, 1e-9);
+  // A later drive on q1 starts only after the flux pulse.
+  schedule.play({ChannelKind::kDrive, 1},
+                PulseWaveform::constant(0.1, 20.0));
+  const auto program = schedule.channel_program({ChannelKind::kDrive, 1});
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_NEAR(program[0].start_ns, 60.0, 1e-9);
+}
+
+TEST(Schedule, DelayAdvancesChannel) {
+  Schedule schedule;
+  schedule.delay({ChannelKind::kDrive, 0}, 15.0);
+  schedule.play({ChannelKind::kDrive, 0},
+                PulseWaveform::constant(0.1, 10.0));
+  EXPECT_NEAR(schedule.channel_program({ChannelKind::kDrive, 0})[0].start_ns,
+              15.0, 1e-9);
+}
+
+class LoweringTest : public ::testing::Test {
+protected:
+  LoweringTest()
+      : rng_(5),
+        device_(device::make_iqm20(rng_)),
+        calibration_(PulseCalibration::from_spec(device_.spec())) {}
+
+  Rng rng_;
+  device::DeviceModel device_;
+  PulseCalibration calibration_;
+};
+
+TEST_F(LoweringTest, PrxBecomesDragOnDriveChannel) {
+  circuit::Circuit native(20);
+  native.prx(M_PI, 0.3, 4);
+  const auto schedule =
+      lower_to_pulses(native, device_.topology(), calibration_);
+  ASSERT_EQ(schedule.size(), 1u);
+  const auto& instruction = schedule.instructions()[0];
+  EXPECT_EQ(instruction.channel.kind, ChannelKind::kDrive);
+  EXPECT_EQ(instruction.channel.index, 4);
+  EXPECT_NEAR(instruction.waveform.duration_ns(),
+              calibration_.prx_duration_ns, 1e-9);
+  EXPECT_NEAR(instruction.waveform.peak_amplitude(),
+              calibration_.pi_amplitude, 0.15);
+}
+
+TEST_F(LoweringTest, PrxAmplitudeProportionalToAngle) {
+  circuit::Circuit half(20);
+  half.prx(M_PI / 2.0, 0.0, 0);
+  circuit::Circuit full(20);
+  full.prx(M_PI, 0.0, 0);
+  const auto schedule_half =
+      lower_to_pulses(half, device_.topology(), calibration_);
+  const auto schedule_full =
+      lower_to_pulses(full, device_.topology(), calibration_);
+  EXPECT_NEAR(schedule_full.instructions()[0].waveform.peak_amplitude() /
+                  schedule_half.instructions()[0].waveform.peak_amplitude(),
+              2.0, 1e-9);
+}
+
+TEST_F(LoweringTest, PrxPhaseRotatesEnvelope) {
+  circuit::Circuit native(20);
+  native.prx(M_PI, M_PI / 2.0, 0);
+  const auto schedule =
+      lower_to_pulses(native, device_.topology(), calibration_);
+  // At phi = pi/2 the (real) gaussian body moves onto the Q axis: the
+  // center sample's real part is (almost) only the DRAG derivative term,
+  // which is ~0 at the center.
+  const auto& waveform = schedule.instructions()[0].waveform;
+  const auto center = waveform.samples()[waveform.size() / 2];
+  EXPECT_GT(std::abs(center.imag()), 10.0 * std::abs(center.real()));
+}
+
+TEST_F(LoweringTest, CzSynchronizesDrivesAndFlux) {
+  circuit::Circuit native(20);
+  native.prx(M_PI, 0.0, 0);
+  native.cz(0, 1);
+  native.prx(M_PI, 0.0, 1);
+  const auto schedule =
+      lower_to_pulses(native, device_.topology(), calibration_);
+  const int edge = device_.topology().edge_index(0, 1);
+  const auto flux = schedule.channel_program({ChannelKind::kFlux, edge});
+  ASSERT_EQ(flux.size(), 1u);
+  // Flux waits for q0's PRX.
+  EXPECT_NEAR(flux[0].start_ns, calibration_.prx_duration_ns, 1e-9);
+  // q1's later PRX waits for the flux pulse.
+  const auto drive1 = schedule.channel_program({ChannelKind::kDrive, 1});
+  ASSERT_EQ(drive1.size(), 1u);
+  EXPECT_NEAR(drive1[0].start_ns,
+              calibration_.prx_duration_ns + calibration_.cz_duration_ns,
+              1e-9);
+}
+
+TEST_F(LoweringTest, MeasureEmitsReadoutTonesAfterGates) {
+  circuit::Circuit native(20);
+  native.prx(M_PI, 0.0, 2).cz(2, 3);
+  native.measure({2, 3});
+  const auto schedule =
+      lower_to_pulses(native, device_.topology(), calibration_);
+  for (int q : {2, 3}) {
+    const auto readout = schedule.channel_program({ChannelKind::kReadout, q});
+    ASSERT_EQ(readout.size(), 1u);
+    EXPECT_NEAR(readout[0].start_ns,
+                calibration_.prx_duration_ns + calibration_.cz_duration_ns,
+                1e-9);
+    EXPECT_NEAR(readout[0].waveform.duration_ns(),
+                calibration_.readout_duration_ns, 1e-9);
+  }
+}
+
+TEST_F(LoweringTest, RejectsNonNativeGates) {
+  circuit::Circuit frontend(20);
+  frontend.h(0);
+  EXPECT_THROW(lower_to_pulses(frontend, device_.topology(), calibration_),
+               PreconditionError);
+}
+
+TEST_F(LoweringTest, CompiledCircuitLowersEndToEnd) {
+  // Full chain: frontend -> gate compiler -> pulse schedule.
+  SimClock clock;
+  const qdmi::ModelBackedDevice qdmi_device(device_, clock);
+  const auto program = mqss::compile(circuit::Circuit::ghz(5), qdmi_device);
+  const auto schedule = lower_to_pulses(program.native_circuit,
+                                        device_.topology(), calibration_);
+  EXPECT_GT(schedule.size(), 5u);
+  // Schedule duration is consistent with the device's per-shot gate time
+  // (well under the 300 us reset that dominates the shot).
+  EXPECT_LT(schedule.duration_ns(), 300e3);
+  EXPECT_GT(schedule.duration_ns(), calibration_.cz_duration_ns);
+  // Every instruction is hardware-representable.
+  for (const auto& instruction : schedule.instructions())
+    EXPECT_TRUE(instruction.waveform.within_hardware_range());
+}
+
+TEST_F(LoweringTest, CalibrationFromSpecMatchesTimings) {
+  const auto calibration = PulseCalibration::from_spec(device_.spec());
+  EXPECT_NEAR(calibration.prx_duration_ns, device_.spec().prx_duration_ns,
+              1e-12);
+  EXPECT_NEAR(calibration.cz_duration_ns, device_.spec().cz_duration_ns,
+              1e-12);
+  EXPECT_NEAR(calibration.readout_duration_ns,
+              device_.spec().readout_duration_us * 1e3, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpcqc::pulse

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/qdmi/qdmi_c.hpp"
+
+namespace hpcqc::qdmi {
+namespace {
+
+class QdmiTest : public ::testing::Test {
+protected:
+  QdmiTest() : rng_(1), device_(device::make_iqm20(rng_)), adapter_(device_, clock_) {}
+
+  Rng rng_;
+  SimClock clock_;
+  device::DeviceModel device_;
+  ModelBackedDevice adapter_;
+};
+
+TEST_F(QdmiTest, BasicDeviceProperties) {
+  EXPECT_EQ(adapter_.name(), "iqm-20q");
+  EXPECT_EQ(adapter_.num_qubits(), 20);
+  EXPECT_EQ(adapter_.coupling_map().size(), 31u);
+  EXPECT_EQ(adapter_.device_property(DeviceProperty::kNumQubits), 20.0);
+  EXPECT_EQ(adapter_.device_property(DeviceProperty::kNumCouplers), 31.0);
+  EXPECT_DOUBLE_EQ(adapter_.device_property(DeviceProperty::kShotResetUs),
+                   300.0);
+}
+
+TEST_F(QdmiTest, NativeGateSet) {
+  const auto gates = adapter_.native_gates();
+  ASSERT_EQ(gates.size(), 2u);
+  EXPECT_EQ(gates[0], "prx");
+  EXPECT_EQ(gates[1], "cz");
+}
+
+TEST_F(QdmiTest, QubitPropertiesMatchModel) {
+  for (int q = 0; q < 20; ++q) {
+    const auto& metrics =
+        device_.calibration().qubits[static_cast<std::size_t>(q)];
+    EXPECT_DOUBLE_EQ(adapter_.qubit_property(QubitProperty::kFidelity1q, q),
+                     metrics.fidelity_1q);
+    EXPECT_DOUBLE_EQ(
+        adapter_.qubit_property(QubitProperty::kReadoutFidelity, q),
+        metrics.readout_fidelity);
+    EXPECT_DOUBLE_EQ(adapter_.qubit_property(QubitProperty::kT1Us, q),
+                     metrics.t1_us);
+  }
+  EXPECT_THROW(adapter_.qubit_property(QubitProperty::kT1Us, 99),
+               PreconditionError);
+}
+
+TEST_F(QdmiTest, CouplerPropertiesMatchModel) {
+  const auto [a, b] = device_.topology().edges().front();
+  const int edge = device_.topology().edge_index(a, b);
+  EXPECT_DOUBLE_EQ(
+      adapter_.coupler_property(CouplerProperty::kFidelityCz, a, b),
+      device_.calibration().couplers[static_cast<std::size_t>(edge)]
+          .fidelity_cz);
+  EXPECT_THROW(adapter_.coupler_property(CouplerProperty::kFidelityCz, 0, 19),
+               NotFoundError);
+}
+
+TEST_F(QdmiTest, CalibrationAgeTracksClock) {
+  EXPECT_DOUBLE_EQ(
+      adapter_.device_property(DeviceProperty::kCalibrationAgeHours), 0.0);
+  clock_.advance(hours(5.0));
+  EXPECT_NEAR(adapter_.device_property(DeviceProperty::kCalibrationAgeHours),
+              5.0, 1e-9);
+}
+
+TEST_F(QdmiTest, StatusIsMutable) {
+  EXPECT_EQ(adapter_.status(), DeviceStatus::kIdle);
+  adapter_.set_status(DeviceStatus::kCalibrating);
+  EXPECT_EQ(adapter_.status(), DeviceStatus::kCalibrating);
+  EXPECT_STREQ(to_string(DeviceStatus::kCalibrating), "calibrating");
+}
+
+TEST_F(QdmiTest, LivePropertiesReflectDrift) {
+  const double before =
+      adapter_.device_property(DeviceProperty::kMedianFidelity1q);
+  device_.drift(days(3.0), rng_);
+  const double after =
+      adapter_.device_property(DeviceProperty::kMedianFidelity1q);
+  EXPECT_LT(after, before);
+}
+
+// ---- C shim ---------------------------------------------------------------
+
+TEST_F(QdmiTest, CShimQueries) {
+  c::Session session;
+  const auto handle = session.open_device(adapter_);
+  EXPECT_GT(handle, 0);
+  EXPECT_EQ(session.open_device_count(), 1u);
+
+  double value = 0.0;
+  EXPECT_EQ(session.query_device_property(
+                handle, DeviceProperty::kNumQubits, &value),
+            c::kSuccess);
+  EXPECT_EQ(value, 20.0);
+
+  EXPECT_EQ(session.query_qubit_property(handle, QubitProperty::kFidelity1q,
+                                         3, &value),
+            c::kSuccess);
+  EXPECT_GT(value, 0.99);
+
+  int status = -1;
+  EXPECT_EQ(session.query_status(handle, &status), c::kSuccess);
+  EXPECT_EQ(status, static_cast<int>(DeviceStatus::kIdle));
+}
+
+TEST_F(QdmiTest, CShimErrorCodes) {
+  c::Session session;
+  const auto handle = session.open_device(adapter_);
+  double value = 0.0;
+
+  EXPECT_EQ(session.query_device_property(9999, DeviceProperty::kNumQubits,
+                                          &value),
+            c::kErrorInvalidHandle);
+  EXPECT_EQ(session.query_device_property(handle, DeviceProperty::kNumQubits,
+                                          nullptr),
+            c::kErrorInvalidArgument);
+  EXPECT_EQ(session.query_qubit_property(handle, QubitProperty::kT1Us, 99,
+                                         &value),
+            c::kErrorOutOfRange);
+  EXPECT_EQ(session.query_coupler_property(
+                handle, CouplerProperty::kFidelityCz, 0, 19, &value),
+            c::kErrorOutOfRange);
+}
+
+TEST_F(QdmiTest, CShimBufferProtocol) {
+  c::Session session;
+  const auto handle = session.open_device(adapter_);
+
+  std::size_t needed = 0;
+  EXPECT_EQ(session.query_coupling_map(handle, nullptr, 0, &needed),
+            c::kErrorBufferTooSmall);
+  EXPECT_EQ(needed, 62u);  // 31 edges x 2 ints
+  std::vector<int> buffer(needed);
+  EXPECT_EQ(session.query_coupling_map(handle, buffer.data(), buffer.size(),
+                                       &needed),
+            c::kSuccess);
+  EXPECT_TRUE(device_.topology().has_edge(buffer[0], buffer[1]));
+
+  char name[64];
+  std::size_t name_len = 0;
+  EXPECT_EQ(session.query_name(handle, name, 2, &name_len),
+            c::kErrorBufferTooSmall);
+  EXPECT_EQ(session.query_name(handle, name, sizeof(name), &name_len),
+            c::kSuccess);
+  EXPECT_STREQ(name, "iqm-20q");
+}
+
+TEST_F(QdmiTest, CShimCloseInvalidatesHandle) {
+  c::Session session;
+  const auto handle = session.open_device(adapter_);
+  EXPECT_EQ(session.close_device(handle), c::kSuccess);
+  EXPECT_EQ(session.close_device(handle), c::kErrorInvalidHandle);
+  double value = 0.0;
+  EXPECT_EQ(session.query_device_property(handle, DeviceProperty::kNumQubits,
+                                          &value),
+            c::kErrorInvalidHandle);
+}
+
+}  // namespace
+}  // namespace hpcqc::qdmi

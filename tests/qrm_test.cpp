@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/sched/qrm.hpp"
+#include "hpcqc/sched/workload.hpp"
+
+namespace hpcqc::sched {
+namespace {
+
+Qrm::Config fast_config() {
+  Qrm::Config config;
+  config.benchmark.qubits = 8;
+  config.benchmark.shots = 200;
+  config.benchmark.analytic = true;
+  config.execution_mode = device::ExecutionMode::kEstimateOnly;
+  config.benchmark_overhead = minutes(2.0);
+  return config;
+}
+
+QuantumJob ghz_job(const device::DeviceModel& device, int qubits,
+                   std::size_t shots, const std::string& name) {
+  QuantumJob job;
+  job.name = name;
+  job.circuit = calibration::GhzBenchmark::chain_circuit(device, qubits);
+  job.shots = shots;
+  return job;
+}
+
+class QrmTest : public ::testing::Test {
+protected:
+  QrmTest()
+      : rng_(21),
+        device_(device::make_iqm20(rng_)),
+        qrm_(device_, fast_config(), rng_, &log_) {}
+
+  Rng rng_;
+  device::DeviceModel device_;
+  EventLog log_;
+  Qrm qrm_;
+};
+
+TEST_F(QrmTest, JobLifecycle) {
+  const int id = qrm_.submit(ghz_job(device_, 6, 2000, "job-a"));
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kQueued);
+  qrm_.drain();
+  const auto& record = qrm_.record(id);
+  EXPECT_EQ(record.state, QuantumJobState::kCompleted);
+  EXPECT_GE(record.start_time, record.submit_time);
+  EXPECT_GT(record.end_time, record.start_time);
+  EXPECT_GT(record.result.estimated_fidelity, 0.5);
+  const auto metrics = qrm_.metrics();
+  EXPECT_EQ(metrics.jobs_completed, 1u);
+  EXPECT_EQ(metrics.total_shots, 2000u);
+  EXPECT_GT(metrics.good_shots, 1000.0);
+  EXPECT_LE(metrics.good_shots, 2000.0);
+}
+
+TEST_F(QrmTest, JobsRunInSubmissionOrder) {
+  const int a = qrm_.submit(ghz_job(device_, 4, 500, "a"));
+  const int b = qrm_.submit(ghz_job(device_, 4, 500, "b"));
+  qrm_.drain();
+  EXPECT_LE(qrm_.record(a).end_time, qrm_.record(b).start_time);
+}
+
+TEST_F(QrmTest, PeriodicBenchmarksHappen) {
+  qrm_.advance_to(hours(10.0));
+  // Benchmarks every 2 h: at least 4 recorded in 10 h.
+  EXPECT_GE(qrm_.controller().benchmark_history().size(), 4u);
+}
+
+TEST_F(QrmTest, DriftTriggersCalibrationEventually) {
+  qrm_.advance_to(days(14.0));
+  const auto& controller = qrm_.controller();
+  EXPECT_GT(controller.calibration_history().size(), 0u);
+  // All calibrations happened while the queue was idle (scheduler policy).
+  const auto metrics = qrm_.metrics();
+  EXPECT_GT(metrics.calibration_time, 0.0);
+}
+
+TEST_F(QrmTest, ForcedCalibrationRunsFirst) {
+  qrm_.request_calibration(calibration::CalibrationKind::kFull);
+  const int id = qrm_.submit(ghz_job(device_, 4, 100, "after-cal"));
+  qrm_.drain();
+  EXPECT_EQ(qrm_.controller().calibration_count(
+                calibration::CalibrationKind::kFull),
+            1u);
+  // The job still completed, after the calibration.
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kCompleted);
+  EXPECT_GE(qrm_.record(id).start_time, minutes(100.0));
+}
+
+TEST_F(QrmTest, FullCalibrationRequestSupersedesQuick) {
+  qrm_.request_calibration(calibration::CalibrationKind::kQuick);
+  qrm_.request_calibration(calibration::CalibrationKind::kFull);
+  qrm_.drain();
+  EXPECT_EQ(qrm_.controller().calibration_count(
+                calibration::CalibrationKind::kFull),
+            1u);
+  EXPECT_EQ(qrm_.controller().calibration_count(
+                calibration::CalibrationKind::kQuick),
+            0u);
+}
+
+TEST_F(QrmTest, OfflineRequeuesActiveJob) {
+  const int id = qrm_.submit(ghz_job(device_, 6, 500000, "long"));
+  // Step a little so the job starts but does not finish.
+  qrm_.advance_to(minutes(3.0));
+  ASSERT_EQ(qrm_.record(id).state, QuantumJobState::kRunning);
+  qrm_.set_offline("cooling lost");
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kQueued);
+  EXPECT_EQ(qrm_.status(), qdmi::DeviceStatus::kOffline);
+  // While offline nothing runs.
+  qrm_.advance_to(hours(2.0));
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kQueued);
+  // Back online: the job restarts and completes.
+  qrm_.set_online();
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kCompleted);
+}
+
+TEST_F(QrmTest, StatusTransitions) {
+  EXPECT_EQ(qrm_.status(), qdmi::DeviceStatus::kIdle);
+  qrm_.submit(ghz_job(device_, 6, 500000, "long"));
+  qrm_.advance_to(minutes(3.0));
+  EXPECT_EQ(qrm_.status(), qdmi::DeviceStatus::kExecuting);
+  qrm_.drain();
+  EXPECT_EQ(qrm_.status(), qdmi::DeviceStatus::kIdle);
+}
+
+TEST_F(QrmTest, WaitTimesAccumulate) {
+  qrm_.submit(ghz_job(device_, 6, 400000, "first"));
+  qrm_.submit(ghz_job(device_, 6, 400000, "second"));
+  qrm_.drain();
+  const auto metrics = qrm_.metrics();
+  EXPECT_EQ(metrics.jobs_completed, 2u);
+  EXPECT_GT(metrics.mean_wait, 0.0);
+}
+
+TEST_F(QrmTest, UnknownJobThrows) {
+  EXPECT_THROW(qrm_.record(404), NotFoundError);
+  EXPECT_THROW(qrm_.advance_to(-1.0), PreconditionError);
+}
+
+TEST(QrmPolicy, SchedulerControlledBeatsFixedIntervalOnGoodShots) {
+  // The Lesson-2 ablation in miniature: identical workloads, different
+  // calibration trigger policies, compared on fidelity-weighted shots.
+  const auto run_policy = [](calibration::TriggerPolicy policy) {
+    Rng rng(33);
+    device::DeviceModel device = device::make_iqm20(rng);
+    Qrm::Config config = fast_config();
+    config.controller.policy = policy;
+    config.controller.fixed_interval = hours(48.0);
+    Qrm qrm(device, config, rng, nullptr);
+
+    Rng workload_rng(7);
+    auto jobs = generate_quantum_workload(
+        device, {days(7.0), 3.0, 4, 16, 500, 2000, 4}, workload_rng);
+    for (auto& [at, job] : jobs) {
+      qrm.advance_to(at);
+      qrm.submit(std::move(job));
+    }
+    qrm.advance_to(days(7.0));
+    qrm.drain();
+    const auto metrics = qrm.metrics();
+    return metrics.good_shots / static_cast<double>(metrics.total_shots);
+  };
+
+  const double adaptive =
+      run_policy(calibration::TriggerPolicy::kSchedulerControlled);
+  const double fixed = run_policy(calibration::TriggerPolicy::kFixedInterval);
+  EXPECT_GT(adaptive, fixed);
+}
+
+}  // namespace
+}  // namespace hpcqc::sched

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcqc/qsim/gates.hpp"
+
+namespace hpcqc::qsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+void expect_matrix_near(const Matrix2& a, const Matrix2& b,
+                        double tol = kTol) {
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, tol);
+}
+
+/// Equal up to global phase.
+bool equal_up_to_phase(const Matrix2& a, const Matrix2& b,
+                       double tol = 1e-10) {
+  // Find the first entry of b with significant magnitude.
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(b[i]) > 1e-8) {
+      const Complex phase = a[i] / b[i];
+      if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+      for (int j = 0; j < 4; ++j)
+        if (std::abs(a[j] - phase * b[j]) > tol) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Gates, AllStandardGatesAreUnitary) {
+  EXPECT_TRUE(is_unitary(gate_i()));
+  EXPECT_TRUE(is_unitary(gate_x()));
+  EXPECT_TRUE(is_unitary(gate_y()));
+  EXPECT_TRUE(is_unitary(gate_z()));
+  EXPECT_TRUE(is_unitary(gate_h()));
+  EXPECT_TRUE(is_unitary(gate_s()));
+  EXPECT_TRUE(is_unitary(gate_sdg()));
+  EXPECT_TRUE(is_unitary(gate_t()));
+  EXPECT_TRUE(is_unitary(gate_tdg()));
+  EXPECT_TRUE(is_unitary(gate_sx()));
+  EXPECT_TRUE(is_unitary(gate_cz()));
+  EXPECT_TRUE(is_unitary(gate_cx()));
+  EXPECT_TRUE(is_unitary(gate_swap()));
+  EXPECT_TRUE(is_unitary(gate_iswap()));
+}
+
+class RotationGateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationGateTest, RotationsAreUnitary) {
+  const double theta = GetParam();
+  EXPECT_TRUE(is_unitary(gate_rx(theta)));
+  EXPECT_TRUE(is_unitary(gate_ry(theta)));
+  EXPECT_TRUE(is_unitary(gate_rz(theta)));
+  EXPECT_TRUE(is_unitary(gate_cphase(theta)));
+  EXPECT_TRUE(is_unitary(gate_prx(theta, theta / 2.0)));
+  EXPECT_TRUE(is_unitary(gate_u(theta, 0.3, -0.7)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleSweep, RotationGateTest,
+                         ::testing::Values(0.0, 0.1, M_PI / 4, M_PI / 2,
+                                           M_PI, 3.0, 2 * M_PI, -1.3));
+
+TEST(Gates, HadamardSquaresToIdentity) {
+  expect_matrix_near(matmul(gate_h(), gate_h()), gate_i());
+}
+
+TEST(Gates, PauliAlgebra) {
+  // X Y = i Z
+  const Matrix2 xy = matmul(gate_x(), gate_y());
+  Matrix2 iz = gate_z();
+  for (auto& entry : iz) entry *= Complex{0.0, 1.0};
+  expect_matrix_near(xy, iz);
+  // S^2 = Z, T^2 = S
+  expect_matrix_near(matmul(gate_s(), gate_s()), gate_z());
+  expect_matrix_near(matmul(gate_t(), gate_t()), gate_s());
+  // SX^2 = X (up to global phase)
+  EXPECT_TRUE(equal_up_to_phase(matmul(gate_sx(), gate_sx()), gate_x()));
+}
+
+TEST(Gates, AdjointInvertsRotations) {
+  const Matrix2 rx = gate_rx(0.7);
+  expect_matrix_near(matmul(adjoint(rx), rx), gate_i());
+  const Matrix4 cp = gate_cphase(1.1);
+  const Matrix4 prod = matmul(adjoint(cp), cp);
+  Matrix4 identity{};
+  identity[0] = identity[5] = identity[10] = identity[15] = Complex{1.0, 0.0};
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(std::abs(prod[i] - identity[i]), 0.0, kTol);
+}
+
+TEST(Gates, PrxSpecialCases) {
+  // PRX(theta, 0) == RX(theta)
+  expect_matrix_near(gate_prx(0.9, 0.0), gate_rx(0.9));
+  // PRX(theta, pi/2) == RY(theta)
+  expect_matrix_near(gate_prx(0.9, M_PI / 2.0), gate_ry(0.9), 1e-10);
+  // PRX(pi, 0) == X up to global phase
+  EXPECT_TRUE(equal_up_to_phase(gate_prx(M_PI, 0.0), gate_x()));
+}
+
+TEST(Gates, PrxIsConjugatedRx) {
+  // PRX(theta, phi) = RZ(phi) RX(theta) RZ(-phi)
+  const double theta = 1.234;
+  const double phi = 0.567;
+  const Matrix2 expected =
+      matmul(gate_rz(phi), matmul(gate_rx(theta), gate_rz(-phi)));
+  EXPECT_TRUE(equal_up_to_phase(gate_prx(theta, phi), expected));
+}
+
+TEST(Gates, UGateConvention) {
+  // U(pi, 0, pi) == X up to phase; U(pi/2, 0, pi) == H up to phase.
+  EXPECT_TRUE(equal_up_to_phase(gate_u(M_PI, 0.0, M_PI), gate_x()));
+  EXPECT_TRUE(equal_up_to_phase(gate_u(M_PI / 2, 0.0, M_PI), gate_h()));
+  // U(theta, -pi/2, pi/2) == RX(theta)
+  EXPECT_TRUE(equal_up_to_phase(gate_u(0.8, -M_PI / 2, M_PI / 2),
+                                gate_rx(0.8)));
+}
+
+TEST(Gates, CzIsCphasePi) {
+  const Matrix4 cz = gate_cz();
+  const Matrix4 cp = gate_cphase(M_PI);
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(std::abs(cz[i] - cp[i]), 0.0, kTol);
+}
+
+TEST(Gates, KronComposesCorrectly) {
+  // Z (high qubit) kron X (low qubit) applied to |01> (low=1,high=0):
+  const Matrix4 zx = kron(gate_z(), gate_x());
+  // Basis |q1 q0>: index 1 = |01>. ZX|01> = Z|0> kron X|1> = |00>.
+  EXPECT_NEAR(std::abs(zx[4 * 0 + 1] - Complex{1.0, 0.0}), 0.0, kTol);
+  // index 3 = |11>: -> Z|1> X|1> = -|10> (index 2).
+  EXPECT_NEAR(std::abs(zx[4 * 2 + 3] - Complex{-1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(Gates, SwapMatrixAction) {
+  const Matrix4 swap = gate_swap();
+  // |01> (q0=1) -> |10> (q1=1): column 1 has a 1 in row 2.
+  EXPECT_NEAR(std::abs(swap[4 * 2 + 1] - Complex{1.0, 0.0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(swap[4 * 1 + 2] - Complex{1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(Gates, IswapPhases) {
+  const Matrix4 iswap = gate_iswap();
+  EXPECT_NEAR(std::abs(iswap[4 * 2 + 1] - Complex{0.0, 1.0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(iswap[4 * 1 + 2] - Complex{0.0, 1.0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(iswap[4 * 0 + 0] - Complex{1.0, 0.0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(iswap[4 * 3 + 3] - Complex{1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(Gates, IsUnitaryRejectsNonUnitary) {
+  Matrix2 broken = gate_h();
+  broken[0] *= 2.0;
+  EXPECT_FALSE(is_unitary(broken));
+}
+
+}  // namespace
+}  // namespace hpcqc::qsim

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/qsim/counts.hpp"
+#include "hpcqc/qsim/readout.hpp"
+#include "hpcqc/qsim/state_vector.hpp"
+
+namespace hpcqc::qsim {
+namespace {
+
+TEST(StateVector, StartsInGroundState) {
+  StateVector state(3);
+  EXPECT_EQ(state.dimension(), 8u);
+  EXPECT_NEAR(std::abs(state.amplitude(0) - Complex{1.0, 0.0}), 0.0, 1e-15);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, RejectsBadQubitCounts) {
+  EXPECT_THROW(StateVector(0), PreconditionError);
+  EXPECT_THROW(StateVector(29), PreconditionError);
+}
+
+TEST(StateVector, XFlipsTargetBit) {
+  StateVector state(3);
+  state.apply_1q(gate_x(), 1);
+  EXPECT_NEAR(std::abs(state.amplitude(0b010)), 1.0, 1e-15);
+  EXPECT_NEAR(state.probability_one(1), 1.0, 1e-15);
+  EXPECT_NEAR(state.probability_one(0), 0.0, 1e-15);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector state(1);
+  state.apply_1q(gate_h(), 0);
+  EXPECT_NEAR(state.probability_one(0), 0.5, 1e-12);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, BellStateCorrelations) {
+  StateVector state(2);
+  state.apply_1q(gate_h(), 0);
+  state.apply_2q(gate_cx(), 0, 1);
+  const auto probs = state.probabilities();
+  EXPECT_NEAR(probs[0b00], 0.5, 1e-12);
+  EXPECT_NEAR(probs[0b11], 0.5, 1e-12);
+  EXPECT_NEAR(probs[0b01], 0.0, 1e-12);
+  EXPECT_NEAR(probs[0b10], 0.0, 1e-12);
+  // <Z0 Z1> = +1 for a Bell phi+ state.
+  EXPECT_NEAR(state.expectation_z(0b11), 1.0, 1e-12);
+  EXPECT_NEAR(state.expectation_z(0b01), 0.0, 1e-12);
+}
+
+TEST(StateVector, CxControlConvention) {
+  // Control = first argument. |q0=1> should flip q1.
+  StateVector state(2);
+  state.apply_1q(gate_x(), 0);
+  state.apply_2q(gate_cx(), 0, 1);
+  EXPECT_NEAR(std::abs(state.amplitude(0b11)), 1.0, 1e-12);
+  // Control = q1 = 0: nothing happens to a fresh state.
+  StateVector idle(2);
+  idle.apply_2q(gate_cx(), 1, 0);
+  EXPECT_NEAR(std::abs(idle.amplitude(0b00)), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitOnNonAdjacentIndices) {
+  // Apply CX with control qubit 0 and target qubit 3 of a 4-qubit state.
+  StateVector state(4);
+  state.apply_1q(gate_x(), 0);
+  state.apply_2q(gate_cx(), 0, 3);
+  EXPECT_NEAR(std::abs(state.amplitude(0b1001)), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitQubitOrderMatters) {
+  // CX(2, 0): control 2, target 0.
+  StateVector state(3);
+  state.apply_1q(gate_x(), 2);
+  state.apply_2q(gate_cx(), 2, 0);
+  EXPECT_NEAR(std::abs(state.amplitude(0b101)), 1.0, 1e-12);
+}
+
+TEST(StateVector, CphaseFastPathMatchesDenseGate) {
+  StateVector fast(3);
+  StateVector slow(3);
+  for (int q = 0; q < 3; ++q) {
+    fast.apply_1q(gate_h(), q);
+    slow.apply_1q(gate_h(), q);
+  }
+  fast.apply_cphase(0.77, 0, 2);
+  slow.apply_2q(gate_cphase(0.77), 0, 2);
+  EXPECT_NEAR(fast.fidelity(slow), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapViaUnitary) {
+  StateVector state(2);
+  state.apply_1q(gate_x(), 0);
+  state.apply_2q(gate_swap(), 0, 1);
+  EXPECT_NEAR(std::abs(state.amplitude(0b10)), 1.0, 1e-12);
+}
+
+class RandomCircuitUnitarity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitUnitarity, NormPreservedUnderRandomGates) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  StateVector state(6);
+  for (int step = 0; step < 60; ++step) {
+    const int q0 = static_cast<int>(rng.uniform_index(6));
+    if (rng.bernoulli(0.5)) {
+      state.apply_1q(gate_prx(rng.uniform(0.0, 6.28), rng.uniform(0.0, 6.28)),
+                     q0);
+    } else {
+      int q1 = static_cast<int>(rng.uniform_index(6));
+      if (q1 == q0) q1 = (q1 + 1) % 6;
+      state.apply_2q(gate_cphase(rng.uniform(0.0, 6.28)), q0, q1);
+    }
+  }
+  EXPECT_NEAR(state.norm(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitUnitarity,
+                         ::testing::Range(1, 9));
+
+TEST(StateVector, MeasureCollapsesDeterministicState) {
+  StateVector state(2);
+  state.apply_1q(gate_x(), 1);
+  Rng rng(1);
+  EXPECT_EQ(state.measure(1, rng), 1);
+  EXPECT_EQ(state.measure(0, rng), 0);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasureStatisticsOnPlusState) {
+  Rng rng(42);
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    StateVector state(1);
+    state.apply_1q(gate_h(), 0);
+    ones += state.measure(0, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.05);
+}
+
+TEST(StateVector, SamplingMatchesExactDistribution) {
+  StateVector state(3);
+  state.apply_1q(gate_h(), 0);
+  state.apply_1q(gate_rx(1.0), 1);
+  state.apply_2q(gate_cx(), 0, 2);
+  const auto exact = state.probabilities();
+  Rng rng(9);
+  const auto samples = state.sample(200000, rng);
+  Counts counts(samples, 3);
+  EXPECT_LT(counts.total_variation_distance(exact), 0.01);
+  EXPECT_GT(counts.hellinger_fidelity(exact), 0.999);
+}
+
+TEST(StateVector, InnerProductAndFidelity) {
+  StateVector a(2);
+  StateVector b(2);
+  b.apply_1q(gate_x(), 0);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 0.0, 1e-15);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-15);
+}
+
+TEST(StateVector, AmplitudeDampingFullyDecaysExcitedState) {
+  StateVector state(1);
+  state.apply_1q(gate_x(), 0);
+  Rng rng(5);
+  state.apply_amplitude_damping(0, 1.0, rng);
+  EXPECT_NEAR(state.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, AmplitudeDampingStatistics) {
+  // P(|1> survives) = 1 - gamma for an excited qubit.
+  Rng rng(6);
+  const double gamma = 0.3;
+  int survived = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    StateVector state(1);
+    state.apply_1q(gate_x(), 0);
+    state.apply_amplitude_damping(0, gamma, rng);
+    if (state.probability_one(0) > 0.5) ++survived;
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / trials, 1.0 - gamma, 0.03);
+}
+
+TEST(StateVector, PauliErrorProbabilityConversionRoundTrip) {
+  for (const double f : {0.9991, 0.995, 0.98, 0.9}) {
+    for (const int nq : {1, 2}) {
+      const double p = pauli_error_prob_from_avg_fidelity(f, nq);
+      EXPECT_NEAR(avg_fidelity_from_pauli_error_prob(p, nq), f, 1e-12);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+  // Perfect gate -> zero error.
+  EXPECT_NEAR(pauli_error_prob_from_avg_fidelity(1.0, 1), 0.0, 1e-12);
+}
+
+TEST(StateVector, PauliErrorAtRateOne) {
+  // With p = 1 something non-trivial always happens to |0> under X or Y
+  // (Z leaves |0> invariant up to phase) — check the distribution over
+  // many trials has ~2/3 bit flips.
+  Rng rng(8);
+  int flipped = 0;
+  const int trials = 9000;
+  for (int i = 0; i < trials; ++i) {
+    StateVector state(1);
+    state.apply_pauli_error(0, 1.0, rng);
+    if (state.probability_one(0) > 0.5) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / trials, 2.0 / 3.0, 0.03);
+}
+
+TEST(Counts, BitstringRendering) {
+  Counts counts;
+  counts.set_num_qubits(4);
+  counts.add(0b0011, 5);
+  EXPECT_EQ(counts.bitstring(0b0011), "0011");
+  EXPECT_EQ(counts.count_of(0b0011), 5u);
+  EXPECT_EQ(counts.total_shots(), 5u);
+  EXPECT_DOUBLE_EQ(counts.probability_of(0b0011), 1.0);
+}
+
+TEST(Counts, TopOutcomesSorted) {
+  Counts counts;
+  counts.set_num_qubits(2);
+  counts.add(0, 10);
+  counts.add(3, 30);
+  counts.add(1, 20);
+  const auto top = counts.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "11");
+  EXPECT_EQ(top[0].second, 30u);
+  EXPECT_EQ(top[1].second, 20u);
+}
+
+TEST(Counts, ExpectationZ) {
+  Counts counts;
+  counts.set_num_qubits(1);
+  counts.add(0, 75);
+  counts.add(1, 25);
+  EXPECT_NEAR(counts.expectation_z(1), 0.5, 1e-12);
+}
+
+TEST(ReadoutError, AssignmentFidelity) {
+  const ReadoutConfusion conf{0.02, 0.04};
+  EXPECT_NEAR(conf.assignment_fidelity(), 0.97, 1e-12);
+  const auto readout = ReadoutError::uniform(4, 0.02, 0.04);
+  EXPECT_NEAR(readout.mean_assignment_fidelity(), 0.97, 1e-12);
+}
+
+TEST(ReadoutError, CorruptionRateMatchesConfusion) {
+  Rng rng(12);
+  const auto readout = ReadoutError::uniform(1, 0.1, 0.3);
+  int flips0 = 0;
+  int flips1 = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (readout.corrupt(0, rng) == 1) ++flips0;
+    if (readout.corrupt(1, rng) == 0) ++flips1;
+  }
+  EXPECT_NEAR(static_cast<double>(flips0) / trials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(flips1) / trials, 0.3, 0.01);
+}
+
+TEST(ReadoutError, PerfectReadoutIsIdentity) {
+  Rng rng(3);
+  const auto readout = ReadoutError::uniform(8, 0.0, 0.0);
+  for (std::uint64_t outcome : {0ull, 0xAAull, 0xFFull})
+    EXPECT_EQ(readout.corrupt(outcome, rng), outcome);
+}
+
+}  // namespace
+}  // namespace hpcqc::qsim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/sched/hpc_scheduler.hpp"
+#include "hpcqc/sched/workload.hpp"
+
+namespace hpcqc::sched {
+namespace {
+
+TEST(HpcScheduler, FcfsStartsImmediatelyWhenFree) {
+  HpcScheduler scheduler(16);
+  const int id = scheduler.submit({"a", 8, hours(1.0)});
+  EXPECT_EQ(scheduler.record(id).state, JobState::kRunning);
+  EXPECT_EQ(scheduler.free_nodes(), 8);
+  scheduler.advance_to(hours(2.0));
+  EXPECT_EQ(scheduler.record(id).state, JobState::kCompleted);
+  EXPECT_EQ(scheduler.free_nodes(), 16);
+  EXPECT_DOUBLE_EQ(scheduler.record(id).wait_time(), 0.0);
+}
+
+TEST(HpcScheduler, QueuesWhenFull) {
+  HpcScheduler scheduler(10);
+  scheduler.submit({"big", 10, hours(2.0)});
+  const int waiting = scheduler.submit({"next", 10, hours(1.0)});
+  EXPECT_EQ(scheduler.record(waiting).state, JobState::kQueued);
+  scheduler.advance_to(hours(2.0));
+  EXPECT_EQ(scheduler.record(waiting).state, JobState::kRunning);
+  EXPECT_NEAR(scheduler.record(waiting).wait_time(), hours(2.0), 1e-9);
+}
+
+TEST(HpcScheduler, EasyBackfillFillsHoles) {
+  HpcScheduler scheduler(10);
+  scheduler.submit({"running", 6, hours(4.0)});
+  const int head = scheduler.submit({"head", 8, hours(1.0)});   // must wait
+  const int small = scheduler.submit({"small", 4, hours(2.0)}); // fits now,
+  // ends (t=2) before the head's shadow time (t=4): backfilled.
+  EXPECT_EQ(scheduler.record(head).state, JobState::kQueued);
+  EXPECT_EQ(scheduler.record(small).state, JobState::kRunning);
+  scheduler.drain();
+  // The head started exactly at its shadow time — backfill did not delay it.
+  EXPECT_NEAR(scheduler.record(head).start_time, hours(4.0), 1e-9);
+}
+
+TEST(HpcScheduler, BackfillNeverDelaysQueueHead) {
+  HpcScheduler scheduler(10);
+  scheduler.submit({"running", 6, hours(4.0)});
+  const int head = scheduler.submit({"head", 8, hours(1.0)});
+  // This one fits now but would still run at the shadow time (3 > spare 2):
+  const int blocker = scheduler.submit({"long", 3, hours(10.0)});
+  EXPECT_EQ(scheduler.record(blocker).state, JobState::kQueued);
+  // A job within the spare nodes at shadow time may run long.
+  const int spare_ok = scheduler.submit({"thin", 2, hours(10.0)});
+  EXPECT_EQ(scheduler.record(spare_ok).state, JobState::kRunning);
+  scheduler.drain();
+  EXPECT_NEAR(scheduler.record(head).start_time, hours(4.0), 1e-9);
+}
+
+TEST(HpcScheduler, NoOversubscription) {
+  Rng rng(1);
+  HpcScheduler scheduler(64);
+  const auto jobs = generate_classical_workload(
+      {hours(24.0), 20.0, 64, minutes(10.0), hours(6.0)}, rng);
+  for (const auto& [at, job] : jobs) {
+    scheduler.advance_to(at);
+    scheduler.submit(job);
+    // Invariant: running node total never exceeds the cluster.
+    int in_use = 0;
+    for (int id : scheduler.running_ids())
+      in_use += scheduler.record(id).job.nodes;
+    EXPECT_LE(in_use, 64);
+    EXPECT_EQ(in_use, 64 - scheduler.free_nodes());
+  }
+  scheduler.drain();
+  EXPECT_EQ(scheduler.completed_count(), jobs.size());
+}
+
+TEST(HpcScheduler, FcfsOrderAmongEqualJobs) {
+  HpcScheduler scheduler(4);
+  const int first = scheduler.submit({"1", 4, hours(1.0)});
+  const int second = scheduler.submit({"2", 4, hours(1.0)});
+  const int third = scheduler.submit({"3", 4, hours(1.0)});
+  scheduler.drain();
+  EXPECT_LT(scheduler.record(first).start_time,
+            scheduler.record(second).start_time);
+  EXPECT_LT(scheduler.record(second).start_time,
+            scheduler.record(third).start_time);
+}
+
+TEST(HpcScheduler, UtilizationAccounting) {
+  HpcScheduler scheduler(10);
+  scheduler.submit({"half", 5, hours(10.0)});
+  scheduler.advance_to(hours(10.0));
+  EXPECT_NEAR(scheduler.utilization(0.0, hours(10.0)), 0.5, 1e-9);
+}
+
+TEST(HpcScheduler, EarliestSlotPrediction) {
+  HpcScheduler scheduler(10);
+  scheduler.submit({"a", 6, hours(3.0)});
+  scheduler.submit({"b", 4, hours(5.0)});
+  // Cluster fully busy: the first release (job a at t=3h) frees 6 nodes.
+  EXPECT_NEAR(scheduler.earliest_slot(4), hours(3.0), 1e-9);
+  EXPECT_NEAR(scheduler.earliest_slot(6), hours(3.0), 1e-9);
+  EXPECT_NEAR(scheduler.earliest_slot(10), hours(5.0), 1e-9);
+}
+
+TEST(HpcScheduler, SubmitValidation) {
+  HpcScheduler scheduler(4);
+  EXPECT_THROW(scheduler.submit({"too-big", 5, hours(1.0)}),
+               PreconditionError);
+  EXPECT_THROW(scheduler.submit({"no-time", 1, 0.0}), PreconditionError);
+  EXPECT_THROW(scheduler.record(999), NotFoundError);
+  EXPECT_THROW(scheduler.advance_to(-1.0), PreconditionError);
+}
+
+TEST(HpcScheduler, MeanWaitComputation) {
+  HpcScheduler scheduler(1);
+  scheduler.submit({"a", 1, hours(2.0)});
+  scheduler.submit({"b", 1, hours(2.0)});
+  scheduler.drain();
+  EXPECT_NEAR(scheduler.mean_wait(), hours(1.0), 1e-9);
+}
+
+TEST(Workload, QuantumJobsAreTopologyLegal) {
+  Rng rng(3);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  const auto jobs = generate_quantum_workload(
+      device, {hours(12.0), 8.0, 4, 20, 100, 1000, 4}, rng);
+  EXPECT_GT(jobs.size(), 40u);
+  Seconds last = 0.0;
+  for (const auto& [at, job] : jobs) {
+    EXPECT_GE(at, last);
+    last = at;
+    EXPECT_GE(job.shots, 100u);
+    EXPECT_LE(job.shots, 1000u);
+    for (const auto& op : job.circuit.ops()) {
+      if (circuit::op_is_two_qubit(op.kind)) {
+        EXPECT_TRUE(device.topology().has_edge(op.qubits[0], op.qubits[1]));
+      }
+    }
+  }
+}
+
+TEST(Workload, BrickworkCircuitShape) {
+  Rng rng(4);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  const auto circuit = chain_brickwork_circuit(device, 8, 3, rng);
+  EXPECT_EQ(circuit.num_qubits(), 20);
+  EXPECT_EQ(circuit.measured_qubits().size(), 8u);
+  EXPECT_GT(circuit.two_qubit_gate_count(), 6u);
+  EXPECT_THROW(chain_brickwork_circuit(device, 1, 1, rng),
+               PreconditionError);
+}
+
+TEST(Workload, PoissonArrivalRateRoughlyCorrect) {
+  Rng rng(5);
+  const auto jobs = generate_classical_workload(
+      {hours(100.0), 10.0, 32, minutes(10.0), hours(4.0)}, rng);
+  EXPECT_NEAR(static_cast<double>(jobs.size()), 1000.0, 120.0);
+}
+
+}  // namespace
+}  // namespace hpcqc::sched

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/telemetry/alerts.hpp"
+#include "hpcqc/telemetry/collectors.hpp"
+#include "hpcqc/telemetry/telemetry_device.hpp"
+
+namespace hpcqc::telemetry {
+namespace {
+
+TEST(Store, AppendAndLatest) {
+  TimeSeriesStore store;
+  store.append("a.x", 1.0, 10.0);
+  store.append("a.x", 2.0, 20.0);
+  EXPECT_TRUE(store.has_sensor("a.x"));
+  EXPECT_FALSE(store.has_sensor("a.y"));
+  const auto latest = store.latest("a.x");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 20.0);
+  EXPECT_FALSE(store.latest("missing").has_value());
+  EXPECT_EQ(store.total_samples(), 2u);
+}
+
+TEST(Store, EnforcesMonotoneTimestamps) {
+  TimeSeriesStore store;
+  store.append("a.x", 5.0, 1.0);
+  EXPECT_THROW(store.append("a.x", 4.0, 2.0), PreconditionError);
+  store.append("a.x", 5.0, 3.0);  // equal timestamps allowed
+}
+
+TEST(Store, RangeQuery) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 10; ++i)
+    store.append("s", static_cast<double>(i), static_cast<double>(i * i));
+  const auto slice = store.range("s", 3.0, 6.0);
+  ASSERT_EQ(slice.size(), 4u);
+  EXPECT_DOUBLE_EQ(slice.front().value, 9.0);
+  EXPECT_DOUBLE_EQ(slice.back().value, 36.0);
+  EXPECT_TRUE(store.range("nope", 0.0, 1.0).empty());
+}
+
+TEST(Store, Aggregates) {
+  TimeSeriesStore store;
+  store.append("s", 0.0, 2.0);
+  store.append("s", 1.0, 4.0);
+  store.append("s", 2.0, 9.0);
+  const auto agg = store.aggregate("s", 0.0, 2.0);
+  EXPECT_EQ(agg.count, 3u);
+  EXPECT_DOUBLE_EQ(agg.mean, 5.0);
+  EXPECT_DOUBLE_EQ(agg.min, 2.0);
+  EXPECT_DOUBLE_EQ(agg.max, 9.0);
+  EXPECT_DOUBLE_EQ(agg.last, 9.0);
+  EXPECT_EQ(store.aggregate("s", 10.0, 20.0).count, 0u);
+}
+
+TEST(Store, Downsample) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 100; ++i)
+    store.append("s", static_cast<double>(i), static_cast<double>(i));
+  const auto buckets = store.downsample("s", 0.0, 100.0, 10.0);
+  ASSERT_EQ(buckets.size(), 10u);
+  EXPECT_NEAR(buckets[0].value, 4.5, 1e-9);
+  EXPECT_NEAR(buckets[9].value, 94.5, 1e-9);
+}
+
+TEST(Store, PrefixFilterAndCsv) {
+  TimeSeriesStore store;
+  store.append("cryo.temp", 0.0, 1.0);
+  store.append("qpu.q00.f", 0.0, 2.0);
+  store.append("qpu.q01.f", 0.0, 3.0);
+  EXPECT_EQ(store.sensors().size(), 3u);
+  EXPECT_EQ(store.sensors("qpu.").size(), 2u);
+  std::ostringstream csv;
+  store.export_csv(csv, "cryo.");
+  EXPECT_NE(csv.str().find("cryo.temp,0,1"), std::string::npos);
+  EXPECT_EQ(csv.str().find("qpu."), std::string::npos);
+}
+
+TEST(Store, CompactionPreservesRecentAndAverandesOld) {
+  TimeSeriesStore store;
+  // One sample per minute for two hours.
+  for (int m = 0; m < 120; ++m)
+    store.append("s", minutes(static_cast<double>(m)),
+                 static_cast<double>(m));
+  const std::size_t before = store.total_samples();
+  // Keep the last 30 minutes at full resolution; bucket the rest to 15 min.
+  const std::size_t removed = store.compact(minutes(90.0), minutes(15.0));
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(store.total_samples(), before - removed);
+  // Old region: 90 samples became 6 buckets of 15.
+  EXPECT_EQ(store.range("s", 0.0, minutes(89.9)).size(), 6u);
+  // Bucket means are correct (first bucket covers minutes 0..14, mean 7).
+  EXPECT_NEAR(store.range("s", 0.0, minutes(15.0))[0].value, 7.0, 1e-9);
+  // Recent region untouched.
+  const auto recent = store.range("s", minutes(90.0), minutes(120.0));
+  EXPECT_EQ(recent.size(), 30u);
+  EXPECT_DOUBLE_EQ(recent.front().value, 90.0);
+  // Timestamps remain monotone, so queries still work.
+  Seconds last = -1.0;
+  for (const auto& sample : store.range("s", 0.0, minutes(120.0))) {
+    EXPECT_GE(sample.time, last);
+    last = sample.time;
+  }
+  // Appending after compaction still works.
+  store.append("s", minutes(121.0), 121.0);
+  EXPECT_THROW(store.compact(minutes(60.0), 0.0), PreconditionError);
+}
+
+TEST(Store, CompactionNoOpOnRecentOnlyData) {
+  TimeSeriesStore store;
+  store.append("s", 100.0, 1.0);
+  EXPECT_EQ(store.compact(50.0, 10.0), 0u);
+  EXPECT_EQ(store.total_samples(), 1u);
+}
+
+TEST(Store, CsvRoundTrip) {
+  TimeSeriesStore store;
+  store.append("cryo.temp", 0.0, 0.0101);
+  store.append("cryo.temp", 60.0, 0.0102);
+  store.append("qpu.q00.fidelity_1q", 30.0, 0.99912345678901234);
+  std::ostringstream out;
+  store.export_csv(out);
+
+  TimeSeriesStore imported;
+  std::istringstream in(out.str());
+  EXPECT_EQ(imported.import_csv(in), 3u);
+  EXPECT_EQ(imported.total_samples(), 3u);
+  EXPECT_DOUBLE_EQ(imported.latest("cryo.temp")->value, 0.0102);
+  EXPECT_DOUBLE_EQ(imported.latest("qpu.q00.fidelity_1q")->value,
+                   0.99912345678901234);
+}
+
+TEST(Store, CsvImportRejectsMalformedInput) {
+  TimeSeriesStore store;
+  std::istringstream missing_header("a,b\n");
+  EXPECT_THROW(store.import_csv(missing_header), ParseError);
+  std::istringstream bad_row("sensor,time_s,value\nonly-one-field\n");
+  EXPECT_THROW(store.import_csv(bad_row), ParseError);
+  std::istringstream bad_number("sensor,time_s,value\ns,abc,1.0\n");
+  EXPECT_THROW(store.import_csv(bad_number), ParseError);
+}
+
+class CountingCollector final : public Collector {
+public:
+  explicit CountingCollector(int* counter) : counter_(counter) {}
+  std::string name() const override { return "counting"; }
+  void collect(Seconds now, TimeSeriesStore& store) override {
+    ++*counter_;
+    store.append("count", now, static_cast<double>(*counter_));
+  }
+
+private:
+  int* counter_;
+};
+
+TEST(Hub, RespectsPollingPeriods) {
+  TelemetryHub hub;
+  int fast = 0;
+  int slow = 0;
+  hub.add_collector(std::make_unique<CountingCollector>(&fast), 10.0);
+  hub.add_collector(std::make_unique<CountingCollector>(&slow), 100.0);
+  for (int t = 0; t <= 100; t += 10) hub.poll(static_cast<Seconds>(t));
+  EXPECT_EQ(fast, 11);
+  EXPECT_EQ(slow, 2);  // t=0 and t=100
+}
+
+TEST(Hub, CollectAllForcesEveryPlugin) {
+  TelemetryHub hub;
+  int count = 0;
+  hub.add_collector(std::make_unique<CountingCollector>(&count), 1000.0);
+  hub.collect_all(0.0);
+  hub.collect_all(1.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(hub.collector_count(), 1u);
+}
+
+TEST(Collectors, DeviceCalibrationSensorPaths) {
+  Rng rng(1);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  TimeSeriesStore store;
+  DeviceCalibrationCollector collector(device);
+  collector.collect(0.0, store);
+  EXPECT_TRUE(store.has_sensor("qpu.q00.fidelity_1q"));
+  EXPECT_TRUE(store.has_sensor("qpu.q19.readout_fidelity"));
+  EXPECT_TRUE(store.has_sensor("qpu.c30.fidelity_cz"));
+  EXPECT_TRUE(store.has_sensor("qpu.median_fidelity_1q"));
+  EXPECT_DOUBLE_EQ(store.latest("qpu.median_fidelity_1q")->value,
+                   device.calibration().median_fidelity_1q());
+  // 20 qubits x 4 + 31 couplers + 4 device-level sensors.
+  EXPECT_EQ(store.sensors("qpu.").size(), 20u * 4u + 31u + 4u);
+}
+
+TEST(Collectors, CryostatAndFacilitySensors) {
+  cryo::Cryostat cryostat;
+  cryo::GasHandlingSystem ghs;
+  facility::CoolingLoop loop;
+  TimeSeriesStore store;
+  CryostatCollector(cryostat).collect(0.0, store);
+  GasHandlingCollector(ghs).collect(0.0, store);
+  CoolingLoopCollector(loop).collect(0.0, store);
+  EXPECT_NEAR(store.latest("cryo.mxc_temperature_k")->value, 0.01, 1e-9);
+  EXPECT_DOUBLE_EQ(store.latest("ghs.pumps_running")->value, 1.0);
+  EXPECT_NEAR(store.latest("facility.water_supply_c")->value, 19.0, 1e-9);
+}
+
+TEST(Collectors, ElementPathZeroPadding) {
+  EXPECT_EQ(element_path('q', 3), "q03");
+  EXPECT_EQ(element_path('q', 19), "q19");
+  EXPECT_EQ(element_path('c', 0), "c00");
+}
+
+TEST(Alerts, EdgeTriggeredRaiseAndClear) {
+  TimeSeriesStore store;
+  AlertEngine engine;
+  engine.add_rule({"water-hot", "water", AlertCondition::kAbove, 25.0, 0.0});
+
+  store.append("water", 0.0, 20.0);
+  EXPECT_TRUE(engine.evaluate(store, 0.0).empty());
+  store.append("water", 1.0, 26.0);
+  auto events = engine.evaluate(store, 1.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].raised);
+  EXPECT_TRUE(engine.is_active("water-hot"));
+  // Still breached: no new event (edge-triggered).
+  store.append("water", 2.0, 27.0);
+  EXPECT_TRUE(engine.evaluate(store, 2.0).empty());
+  // Clears.
+  store.append("water", 3.0, 20.0);
+  events = engine.evaluate(store, 3.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].raised);
+  EXPECT_FALSE(engine.is_active("water-hot"));
+  EXPECT_EQ(engine.history().size(), 2u);
+}
+
+TEST(Alerts, HoldTimeSuppressesTransients) {
+  TimeSeriesStore store;
+  AlertEngine engine;
+  engine.add_rule({"sustained", "s", AlertCondition::kBelow, 0.5, 10.0});
+  store.append("s", 0.0, 0.2);
+  EXPECT_TRUE(engine.evaluate(store, 0.0).empty());  // breach starts
+  store.append("s", 5.0, 0.2);
+  EXPECT_TRUE(engine.evaluate(store, 5.0).empty());  // not held long enough
+  store.append("s", 7.0, 0.9);
+  EXPECT_TRUE(engine.evaluate(store, 7.0).empty());  // recovered in time
+  store.append("s", 8.0, 0.2);
+  engine.evaluate(store, 8.0);
+  store.append("s", 19.0, 0.2);
+  const auto events = engine.evaluate(store, 19.0);  // held 11 s
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].raised);
+}
+
+TEST(Alerts, DuplicateAndUnknownRules) {
+  AlertEngine engine;
+  engine.add_rule({"r", "s", AlertCondition::kAbove, 1.0, 0.0});
+  EXPECT_THROW(engine.add_rule({"r", "s2", AlertCondition::kAbove, 1.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW(engine.is_active("unknown"), NotFoundError);
+  EXPECT_EQ(engine.active_count(), 0u);
+}
+
+TEST(TelemetryDevice, ServesQdmiFromStore) {
+  Rng rng(2);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  TimeSeriesStore store;
+  DeviceCalibrationCollector collector(device);
+  collector.collect(0.0, store);
+
+  const SimClock clock;
+  const qdmi::ModelBackedDevice direct(device, clock);
+  const TelemetryBackedDevice via_store("iqm-20q", device.topology(), store);
+
+  EXPECT_EQ(via_store.num_qubits(), direct.num_qubits());
+  for (int q = 0; q < 20; q += 5) {
+    EXPECT_DOUBLE_EQ(
+        via_store.qubit_property(qdmi::QubitProperty::kFidelity1q, q),
+        direct.qubit_property(qdmi::QubitProperty::kFidelity1q, q));
+  }
+  EXPECT_DOUBLE_EQ(
+      via_store.device_property(qdmi::DeviceProperty::kMedianFidelityCz),
+      direct.device_property(qdmi::DeviceProperty::kMedianFidelityCz));
+  const auto [a, b] = device.topology().edges().front();
+  EXPECT_DOUBLE_EQ(
+      via_store.coupler_property(qdmi::CouplerProperty::kFidelityCz, a, b),
+      direct.coupler_property(qdmi::CouplerProperty::kFidelityCz, a, b));
+}
+
+TEST(TelemetryDevice, ThrowsWithoutTelemetry) {
+  Rng rng(3);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  TimeSeriesStore store;  // empty
+  const TelemetryBackedDevice via_store("iqm-20q", device.topology(), store);
+  EXPECT_THROW(
+      via_store.qubit_property(qdmi::QubitProperty::kFidelity1q, 0),
+      NotFoundError);
+  // Status defaults to idle when the sensor is absent.
+  EXPECT_EQ(via_store.status(), qdmi::DeviceStatus::kIdle);
+}
+
+TEST(TelemetryDevice, StatusSensorRoundTrip) {
+  Rng rng(4);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  TimeSeriesStore store;
+  store.append(TelemetryBackedDevice::kStatusSensor, 0.0,
+               static_cast<double>(qdmi::DeviceStatus::kCalibrating));
+  const TelemetryBackedDevice via_store("iqm-20q", device.topology(), store);
+  EXPECT_EQ(via_store.status(), qdmi::DeviceStatus::kCalibrating);
+}
+
+}  // namespace
+}  // namespace hpcqc::telemetry
