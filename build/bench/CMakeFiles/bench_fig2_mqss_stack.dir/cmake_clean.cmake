@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mqss_stack.dir/bench_fig2_mqss_stack.cpp.o"
+  "CMakeFiles/bench_fig2_mqss_stack.dir/bench_fig2_mqss_stack.cpp.o.d"
+  "bench_fig2_mqss_stack"
+  "bench_fig2_mqss_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mqss_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_telemetry.dir/bench_fig3_telemetry.cpp.o"
+  "CMakeFiles/bench_fig3_telemetry.dir/bench_fig3_telemetry.cpp.o.d"
+  "bench_fig3_telemetry"
+  "bench_fig3_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qsim.dir/bench_qsim.cpp.o"
+  "CMakeFiles/bench_qsim.dir/bench_qsim.cpp.o.d"
+  "bench_qsim"
+  "bench_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

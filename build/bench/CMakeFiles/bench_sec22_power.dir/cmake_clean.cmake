@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec22_power.dir/bench_sec22_power.cpp.o"
+  "CMakeFiles/bench_sec22_power.dir/bench_sec22_power.cpp.o.d"
+  "bench_sec22_power"
+  "bench_sec22_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec22_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec23_thermal_stability.
+# This may be replaced when dependencies are built.

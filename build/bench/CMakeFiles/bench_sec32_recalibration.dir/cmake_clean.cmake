@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_recalibration.dir/bench_sec32_recalibration.cpp.o"
+  "CMakeFiles/bench_sec32_recalibration.dir/bench_sec32_recalibration.cpp.o.d"
+  "bench_sec32_recalibration"
+  "bench_sec32_recalibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_recalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

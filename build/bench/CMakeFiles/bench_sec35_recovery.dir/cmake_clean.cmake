@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec35_recovery.dir/bench_sec35_recovery.cpp.o"
+  "CMakeFiles/bench_sec35_recovery.dir/bench_sec35_recovery.cpp.o.d"
+  "bench_sec35_recovery"
+  "bench_sec35_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec35_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_site_survey.dir/bench_table1_site_survey.cpp.o"
+  "CMakeFiles/bench_table1_site_survey.dir/bench_table1_site_survey.cpp.o.d"
+  "bench_table1_site_survey"
+  "bench_table1_site_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_site_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_cosched.dir/hybrid_cosched.cpp.o"
+  "CMakeFiles/hybrid_cosched.dir/hybrid_cosched.cpp.o.d"
+  "hybrid_cosched"
+  "hybrid_cosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_cosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

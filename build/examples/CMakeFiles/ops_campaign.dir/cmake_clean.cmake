@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_campaign.dir/ops_campaign.cpp.o"
+  "CMakeFiles/ops_campaign.dir/ops_campaign.cpp.o.d"
+  "ops_campaign"
+  "ops_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_access.dir/pulse_access.cpp.o"
+  "CMakeFiles/pulse_access.dir/pulse_access.cpp.o.d"
+  "pulse_access"
+  "pulse_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("qsim")
+subdirs("circuit")
+subdirs("device")
+subdirs("qdmi")
+subdirs("cryo")
+subdirs("facility")
+subdirs("net")
+subdirs("telemetry")
+subdirs("calibration")
+subdirs("sched")
+subdirs("mqss")
+subdirs("hybrid")
+subdirs("ops")
+subdirs("mitigation")
+subdirs("pulse")

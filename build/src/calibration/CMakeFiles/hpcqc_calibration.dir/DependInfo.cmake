@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibration/benchmark.cpp" "src/calibration/CMakeFiles/hpcqc_calibration.dir/benchmark.cpp.o" "gcc" "src/calibration/CMakeFiles/hpcqc_calibration.dir/benchmark.cpp.o.d"
+  "/root/repo/src/calibration/controller.cpp" "src/calibration/CMakeFiles/hpcqc_calibration.dir/controller.cpp.o" "gcc" "src/calibration/CMakeFiles/hpcqc_calibration.dir/controller.cpp.o.d"
+  "/root/repo/src/calibration/ghz_fidelity.cpp" "src/calibration/CMakeFiles/hpcqc_calibration.dir/ghz_fidelity.cpp.o" "gcc" "src/calibration/CMakeFiles/hpcqc_calibration.dir/ghz_fidelity.cpp.o.d"
+  "/root/repo/src/calibration/routines.cpp" "src/calibration/CMakeFiles/hpcqc_calibration.dir/routines.cpp.o" "gcc" "src/calibration/CMakeFiles/hpcqc_calibration.dir/routines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

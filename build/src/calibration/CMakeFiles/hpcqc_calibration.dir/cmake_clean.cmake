@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_calibration.dir/benchmark.cpp.o"
+  "CMakeFiles/hpcqc_calibration.dir/benchmark.cpp.o.d"
+  "CMakeFiles/hpcqc_calibration.dir/controller.cpp.o"
+  "CMakeFiles/hpcqc_calibration.dir/controller.cpp.o.d"
+  "CMakeFiles/hpcqc_calibration.dir/ghz_fidelity.cpp.o"
+  "CMakeFiles/hpcqc_calibration.dir/ghz_fidelity.cpp.o.d"
+  "CMakeFiles/hpcqc_calibration.dir/routines.cpp.o"
+  "CMakeFiles/hpcqc_calibration.dir/routines.cpp.o.d"
+  "libhpcqc_calibration.a"
+  "libhpcqc_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

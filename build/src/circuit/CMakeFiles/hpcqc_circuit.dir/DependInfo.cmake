@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/hpcqc_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/hpcqc_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/execute.cpp" "src/circuit/CMakeFiles/hpcqc_circuit.dir/execute.cpp.o" "gcc" "src/circuit/CMakeFiles/hpcqc_circuit.dir/execute.cpp.o.d"
+  "/root/repo/src/circuit/op.cpp" "src/circuit/CMakeFiles/hpcqc_circuit.dir/op.cpp.o" "gcc" "src/circuit/CMakeFiles/hpcqc_circuit.dir/op.cpp.o.d"
+  "/root/repo/src/circuit/parametric.cpp" "src/circuit/CMakeFiles/hpcqc_circuit.dir/parametric.cpp.o" "gcc" "src/circuit/CMakeFiles/hpcqc_circuit.dir/parametric.cpp.o.d"
+  "/root/repo/src/circuit/text.cpp" "src/circuit/CMakeFiles/hpcqc_circuit.dir/text.cpp.o" "gcc" "src/circuit/CMakeFiles/hpcqc_circuit.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

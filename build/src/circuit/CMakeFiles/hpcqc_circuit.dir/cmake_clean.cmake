@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/hpcqc_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/hpcqc_circuit.dir/execute.cpp.o"
+  "CMakeFiles/hpcqc_circuit.dir/execute.cpp.o.d"
+  "CMakeFiles/hpcqc_circuit.dir/op.cpp.o"
+  "CMakeFiles/hpcqc_circuit.dir/op.cpp.o.d"
+  "CMakeFiles/hpcqc_circuit.dir/parametric.cpp.o"
+  "CMakeFiles/hpcqc_circuit.dir/parametric.cpp.o.d"
+  "CMakeFiles/hpcqc_circuit.dir/text.cpp.o"
+  "CMakeFiles/hpcqc_circuit.dir/text.cpp.o.d"
+  "libhpcqc_circuit.a"
+  "libhpcqc_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_common.dir/log.cpp.o"
+  "CMakeFiles/hpcqc_common.dir/log.cpp.o.d"
+  "CMakeFiles/hpcqc_common.dir/stats.cpp.o"
+  "CMakeFiles/hpcqc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcqc_common.dir/table.cpp.o"
+  "CMakeFiles/hpcqc_common.dir/table.cpp.o.d"
+  "libhpcqc_common.a"
+  "libhpcqc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

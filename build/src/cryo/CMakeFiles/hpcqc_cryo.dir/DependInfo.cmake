@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cryo/cryostat.cpp" "src/cryo/CMakeFiles/hpcqc_cryo.dir/cryostat.cpp.o" "gcc" "src/cryo/CMakeFiles/hpcqc_cryo.dir/cryostat.cpp.o.d"
+  "/root/repo/src/cryo/gas_handling.cpp" "src/cryo/CMakeFiles/hpcqc_cryo.dir/gas_handling.cpp.o" "gcc" "src/cryo/CMakeFiles/hpcqc_cryo.dir/gas_handling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_cryo.dir/cryostat.cpp.o"
+  "CMakeFiles/hpcqc_cryo.dir/cryostat.cpp.o.d"
+  "CMakeFiles/hpcqc_cryo.dir/gas_handling.cpp.o"
+  "CMakeFiles/hpcqc_cryo.dir/gas_handling.cpp.o.d"
+  "libhpcqc_cryo.a"
+  "libhpcqc_cryo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_cryo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration_state.cpp" "src/device/CMakeFiles/hpcqc_device.dir/calibration_state.cpp.o" "gcc" "src/device/CMakeFiles/hpcqc_device.dir/calibration_state.cpp.o.d"
+  "/root/repo/src/device/device_model.cpp" "src/device/CMakeFiles/hpcqc_device.dir/device_model.cpp.o" "gcc" "src/device/CMakeFiles/hpcqc_device.dir/device_model.cpp.o.d"
+  "/root/repo/src/device/drift.cpp" "src/device/CMakeFiles/hpcqc_device.dir/drift.cpp.o" "gcc" "src/device/CMakeFiles/hpcqc_device.dir/drift.cpp.o.d"
+  "/root/repo/src/device/presets.cpp" "src/device/CMakeFiles/hpcqc_device.dir/presets.cpp.o" "gcc" "src/device/CMakeFiles/hpcqc_device.dir/presets.cpp.o.d"
+  "/root/repo/src/device/topology.cpp" "src/device/CMakeFiles/hpcqc_device.dir/topology.cpp.o" "gcc" "src/device/CMakeFiles/hpcqc_device.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

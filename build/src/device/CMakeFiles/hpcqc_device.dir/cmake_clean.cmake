@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_device.dir/calibration_state.cpp.o"
+  "CMakeFiles/hpcqc_device.dir/calibration_state.cpp.o.d"
+  "CMakeFiles/hpcqc_device.dir/device_model.cpp.o"
+  "CMakeFiles/hpcqc_device.dir/device_model.cpp.o.d"
+  "CMakeFiles/hpcqc_device.dir/drift.cpp.o"
+  "CMakeFiles/hpcqc_device.dir/drift.cpp.o.d"
+  "CMakeFiles/hpcqc_device.dir/presets.cpp.o"
+  "CMakeFiles/hpcqc_device.dir/presets.cpp.o.d"
+  "CMakeFiles/hpcqc_device.dir/topology.cpp.o"
+  "CMakeFiles/hpcqc_device.dir/topology.cpp.o.d"
+  "libhpcqc_device.a"
+  "libhpcqc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

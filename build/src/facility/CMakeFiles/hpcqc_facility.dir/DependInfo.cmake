@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facility/cooling.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/cooling.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/cooling.cpp.o.d"
+  "/root/repo/src/facility/environment.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/environment.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/environment.cpp.o.d"
+  "/root/repo/src/facility/installation.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/installation.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/installation.cpp.o.d"
+  "/root/repo/src/facility/power.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/power.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/power.cpp.o.d"
+  "/root/repo/src/facility/signal.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/signal.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/signal.cpp.o.d"
+  "/root/repo/src/facility/survey.cpp" "src/facility/CMakeFiles/hpcqc_facility.dir/survey.cpp.o" "gcc" "src/facility/CMakeFiles/hpcqc_facility.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

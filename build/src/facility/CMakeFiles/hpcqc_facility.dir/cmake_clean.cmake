@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_facility.dir/cooling.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/cooling.cpp.o.d"
+  "CMakeFiles/hpcqc_facility.dir/environment.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/environment.cpp.o.d"
+  "CMakeFiles/hpcqc_facility.dir/installation.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/installation.cpp.o.d"
+  "CMakeFiles/hpcqc_facility.dir/power.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/power.cpp.o.d"
+  "CMakeFiles/hpcqc_facility.dir/signal.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/signal.cpp.o.d"
+  "CMakeFiles/hpcqc_facility.dir/survey.cpp.o"
+  "CMakeFiles/hpcqc_facility.dir/survey.cpp.o.d"
+  "libhpcqc_facility.a"
+  "libhpcqc_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/ansatz.cpp" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/ansatz.cpp.o" "gcc" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/ansatz.cpp.o.d"
+  "/root/repo/src/hybrid/optimizer.cpp" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/optimizer.cpp.o" "gcc" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/optimizer.cpp.o.d"
+  "/root/repo/src/hybrid/pauli.cpp" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/pauli.cpp.o" "gcc" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/pauli.cpp.o.d"
+  "/root/repo/src/hybrid/qaoa.cpp" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/qaoa.cpp.o" "gcc" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/qaoa.cpp.o.d"
+  "/root/repo/src/hybrid/vqe.cpp" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/vqe.cpp.o" "gcc" "src/hybrid/CMakeFiles/hpcqc_hybrid.dir/vqe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

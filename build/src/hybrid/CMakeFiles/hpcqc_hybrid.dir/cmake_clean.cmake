@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_hybrid.dir/ansatz.cpp.o"
+  "CMakeFiles/hpcqc_hybrid.dir/ansatz.cpp.o.d"
+  "CMakeFiles/hpcqc_hybrid.dir/optimizer.cpp.o"
+  "CMakeFiles/hpcqc_hybrid.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hpcqc_hybrid.dir/pauli.cpp.o"
+  "CMakeFiles/hpcqc_hybrid.dir/pauli.cpp.o.d"
+  "CMakeFiles/hpcqc_hybrid.dir/qaoa.cpp.o"
+  "CMakeFiles/hpcqc_hybrid.dir/qaoa.cpp.o.d"
+  "CMakeFiles/hpcqc_hybrid.dir/vqe.cpp.o"
+  "CMakeFiles/hpcqc_hybrid.dir/vqe.cpp.o.d"
+  "libhpcqc_hybrid.a"
+  "libhpcqc_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

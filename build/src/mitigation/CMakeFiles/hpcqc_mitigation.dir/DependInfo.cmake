@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/readout_mitigation.cpp" "src/mitigation/CMakeFiles/hpcqc_mitigation.dir/readout_mitigation.cpp.o" "gcc" "src/mitigation/CMakeFiles/hpcqc_mitigation.dir/readout_mitigation.cpp.o.d"
+  "/root/repo/src/mitigation/zne.cpp" "src/mitigation/CMakeFiles/hpcqc_mitigation.dir/zne.cpp.o" "gcc" "src/mitigation/CMakeFiles/hpcqc_mitigation.dir/zne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

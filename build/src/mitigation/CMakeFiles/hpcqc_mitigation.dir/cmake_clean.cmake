@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_mitigation.dir/readout_mitigation.cpp.o"
+  "CMakeFiles/hpcqc_mitigation.dir/readout_mitigation.cpp.o.d"
+  "CMakeFiles/hpcqc_mitigation.dir/zne.cpp.o"
+  "CMakeFiles/hpcqc_mitigation.dir/zne.cpp.o.d"
+  "libhpcqc_mitigation.a"
+  "libhpcqc_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

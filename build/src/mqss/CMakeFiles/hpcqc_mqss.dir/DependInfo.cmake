@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mqss/adapters.cpp" "src/mqss/CMakeFiles/hpcqc_mqss.dir/adapters.cpp.o" "gcc" "src/mqss/CMakeFiles/hpcqc_mqss.dir/adapters.cpp.o.d"
+  "/root/repo/src/mqss/client.cpp" "src/mqss/CMakeFiles/hpcqc_mqss.dir/client.cpp.o" "gcc" "src/mqss/CMakeFiles/hpcqc_mqss.dir/client.cpp.o.d"
+  "/root/repo/src/mqss/compiler.cpp" "src/mqss/CMakeFiles/hpcqc_mqss.dir/compiler.cpp.o" "gcc" "src/mqss/CMakeFiles/hpcqc_mqss.dir/compiler.cpp.o.d"
+  "/root/repo/src/mqss/service.cpp" "src/mqss/CMakeFiles/hpcqc_mqss.dir/service.cpp.o" "gcc" "src/mqss/CMakeFiles/hpcqc_mqss.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qdmi/CMakeFiles/hpcqc_qdmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcqc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_mqss.dir/adapters.cpp.o"
+  "CMakeFiles/hpcqc_mqss.dir/adapters.cpp.o.d"
+  "CMakeFiles/hpcqc_mqss.dir/client.cpp.o"
+  "CMakeFiles/hpcqc_mqss.dir/client.cpp.o.d"
+  "CMakeFiles/hpcqc_mqss.dir/compiler.cpp.o"
+  "CMakeFiles/hpcqc_mqss.dir/compiler.cpp.o.d"
+  "CMakeFiles/hpcqc_mqss.dir/service.cpp.o"
+  "CMakeFiles/hpcqc_mqss.dir/service.cpp.o.d"
+  "libhpcqc_mqss.a"
+  "libhpcqc_mqss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_mqss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth.cpp" "src/net/CMakeFiles/hpcqc_net.dir/bandwidth.cpp.o" "gcc" "src/net/CMakeFiles/hpcqc_net.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/net/formats.cpp" "src/net/CMakeFiles/hpcqc_net.dir/formats.cpp.o" "gcc" "src/net/CMakeFiles/hpcqc_net.dir/formats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

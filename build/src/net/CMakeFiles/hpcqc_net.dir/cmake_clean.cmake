@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/hpcqc_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/hpcqc_net.dir/formats.cpp.o"
+  "CMakeFiles/hpcqc_net.dir/formats.cpp.o.d"
+  "libhpcqc_net.a"
+  "libhpcqc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_ops.dir/campaign.cpp.o"
+  "CMakeFiles/hpcqc_ops.dir/campaign.cpp.o.d"
+  "CMakeFiles/hpcqc_ops.dir/recovery.cpp.o"
+  "CMakeFiles/hpcqc_ops.dir/recovery.cpp.o.d"
+  "libhpcqc_ops.a"
+  "libhpcqc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

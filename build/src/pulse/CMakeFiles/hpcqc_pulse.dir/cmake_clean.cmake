@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_pulse.dir/lowering.cpp.o"
+  "CMakeFiles/hpcqc_pulse.dir/lowering.cpp.o.d"
+  "CMakeFiles/hpcqc_pulse.dir/schedule.cpp.o"
+  "CMakeFiles/hpcqc_pulse.dir/schedule.cpp.o.d"
+  "CMakeFiles/hpcqc_pulse.dir/waveform.cpp.o"
+  "CMakeFiles/hpcqc_pulse.dir/waveform.cpp.o.d"
+  "libhpcqc_pulse.a"
+  "libhpcqc_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

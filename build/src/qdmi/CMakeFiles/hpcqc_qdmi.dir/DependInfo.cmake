@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdmi/model_device.cpp" "src/qdmi/CMakeFiles/hpcqc_qdmi.dir/model_device.cpp.o" "gcc" "src/qdmi/CMakeFiles/hpcqc_qdmi.dir/model_device.cpp.o.d"
+  "/root/repo/src/qdmi/qdmi_c.cpp" "src/qdmi/CMakeFiles/hpcqc_qdmi.dir/qdmi_c.cpp.o" "gcc" "src/qdmi/CMakeFiles/hpcqc_qdmi.dir/qdmi_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

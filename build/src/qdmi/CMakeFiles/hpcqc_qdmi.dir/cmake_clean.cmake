@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_qdmi.dir/model_device.cpp.o"
+  "CMakeFiles/hpcqc_qdmi.dir/model_device.cpp.o.d"
+  "CMakeFiles/hpcqc_qdmi.dir/qdmi_c.cpp.o"
+  "CMakeFiles/hpcqc_qdmi.dir/qdmi_c.cpp.o.d"
+  "libhpcqc_qdmi.a"
+  "libhpcqc_qdmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_qdmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

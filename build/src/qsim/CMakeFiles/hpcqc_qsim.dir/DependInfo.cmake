@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsim/counts.cpp" "src/qsim/CMakeFiles/hpcqc_qsim.dir/counts.cpp.o" "gcc" "src/qsim/CMakeFiles/hpcqc_qsim.dir/counts.cpp.o.d"
+  "/root/repo/src/qsim/density_matrix.cpp" "src/qsim/CMakeFiles/hpcqc_qsim.dir/density_matrix.cpp.o" "gcc" "src/qsim/CMakeFiles/hpcqc_qsim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/qsim/gates.cpp" "src/qsim/CMakeFiles/hpcqc_qsim.dir/gates.cpp.o" "gcc" "src/qsim/CMakeFiles/hpcqc_qsim.dir/gates.cpp.o.d"
+  "/root/repo/src/qsim/readout.cpp" "src/qsim/CMakeFiles/hpcqc_qsim.dir/readout.cpp.o" "gcc" "src/qsim/CMakeFiles/hpcqc_qsim.dir/readout.cpp.o.d"
+  "/root/repo/src/qsim/state_vector.cpp" "src/qsim/CMakeFiles/hpcqc_qsim.dir/state_vector.cpp.o" "gcc" "src/qsim/CMakeFiles/hpcqc_qsim.dir/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_qsim.dir/counts.cpp.o"
+  "CMakeFiles/hpcqc_qsim.dir/counts.cpp.o.d"
+  "CMakeFiles/hpcqc_qsim.dir/density_matrix.cpp.o"
+  "CMakeFiles/hpcqc_qsim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/hpcqc_qsim.dir/gates.cpp.o"
+  "CMakeFiles/hpcqc_qsim.dir/gates.cpp.o.d"
+  "CMakeFiles/hpcqc_qsim.dir/readout.cpp.o"
+  "CMakeFiles/hpcqc_qsim.dir/readout.cpp.o.d"
+  "CMakeFiles/hpcqc_qsim.dir/state_vector.cpp.o"
+  "CMakeFiles/hpcqc_qsim.dir/state_vector.cpp.o.d"
+  "libhpcqc_qsim.a"
+  "libhpcqc_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

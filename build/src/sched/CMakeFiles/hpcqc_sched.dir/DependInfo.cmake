@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/accounting.cpp" "src/sched/CMakeFiles/hpcqc_sched.dir/accounting.cpp.o" "gcc" "src/sched/CMakeFiles/hpcqc_sched.dir/accounting.cpp.o.d"
+  "/root/repo/src/sched/hpc_scheduler.cpp" "src/sched/CMakeFiles/hpcqc_sched.dir/hpc_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/hpcqc_sched.dir/hpc_scheduler.cpp.o.d"
+  "/root/repo/src/sched/hybrid_workflow.cpp" "src/sched/CMakeFiles/hpcqc_sched.dir/hybrid_workflow.cpp.o" "gcc" "src/sched/CMakeFiles/hpcqc_sched.dir/hybrid_workflow.cpp.o.d"
+  "/root/repo/src/sched/qrm.cpp" "src/sched/CMakeFiles/hpcqc_sched.dir/qrm.cpp.o" "gcc" "src/sched/CMakeFiles/hpcqc_sched.dir/qrm.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/hpcqc_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/hpcqc_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/hpcqc_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/qdmi/CMakeFiles/hpcqc_qdmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_sched.dir/accounting.cpp.o"
+  "CMakeFiles/hpcqc_sched.dir/accounting.cpp.o.d"
+  "CMakeFiles/hpcqc_sched.dir/hpc_scheduler.cpp.o"
+  "CMakeFiles/hpcqc_sched.dir/hpc_scheduler.cpp.o.d"
+  "CMakeFiles/hpcqc_sched.dir/hybrid_workflow.cpp.o"
+  "CMakeFiles/hpcqc_sched.dir/hybrid_workflow.cpp.o.d"
+  "CMakeFiles/hpcqc_sched.dir/qrm.cpp.o"
+  "CMakeFiles/hpcqc_sched.dir/qrm.cpp.o.d"
+  "CMakeFiles/hpcqc_sched.dir/workload.cpp.o"
+  "CMakeFiles/hpcqc_sched.dir/workload.cpp.o.d"
+  "libhpcqc_sched.a"
+  "libhpcqc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

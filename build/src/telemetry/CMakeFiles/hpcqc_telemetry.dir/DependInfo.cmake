@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/alerts.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/alerts.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/alerts.cpp.o.d"
+  "/root/repo/src/telemetry/collector.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/collector.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/collector.cpp.o.d"
+  "/root/repo/src/telemetry/collectors.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/collectors.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/collectors.cpp.o.d"
+  "/root/repo/src/telemetry/health.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/health.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/health.cpp.o.d"
+  "/root/repo/src/telemetry/store.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/store.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/store.cpp.o.d"
+  "/root/repo/src/telemetry/telemetry_device.cpp" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/telemetry_device.cpp.o" "gcc" "src/telemetry/CMakeFiles/hpcqc_telemetry.dir/telemetry_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/qdmi/CMakeFiles/hpcqc_qdmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cryo/CMakeFiles/hpcqc_cryo.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/hpcqc_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

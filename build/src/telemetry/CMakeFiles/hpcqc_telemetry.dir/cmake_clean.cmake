@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcqc_telemetry.dir/alerts.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/alerts.cpp.o.d"
+  "CMakeFiles/hpcqc_telemetry.dir/collector.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/collector.cpp.o.d"
+  "CMakeFiles/hpcqc_telemetry.dir/collectors.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/collectors.cpp.o.d"
+  "CMakeFiles/hpcqc_telemetry.dir/health.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/health.cpp.o.d"
+  "CMakeFiles/hpcqc_telemetry.dir/store.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/store.cpp.o.d"
+  "CMakeFiles/hpcqc_telemetry.dir/telemetry_device.cpp.o"
+  "CMakeFiles/hpcqc_telemetry.dir/telemetry_device.cpp.o.d"
+  "libhpcqc_telemetry.a"
+  "libhpcqc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcqc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_test.dir/cryo_test.cpp.o"
+  "CMakeFiles/cryo_test.dir/cryo_test.cpp.o.d"
+  "cryo_test"
+  "cryo_test.pdb"
+  "cryo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

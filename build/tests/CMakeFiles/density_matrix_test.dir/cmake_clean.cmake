@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_matrix_test.dir/density_matrix_test.cpp.o"
+  "CMakeFiles/density_matrix_test.dir/density_matrix_test.cpp.o.d"
+  "density_matrix_test"
+  "density_matrix_test.pdb"
+  "density_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_signal_test.dir/facility_signal_test.cpp.o"
+  "CMakeFiles/facility_signal_test.dir/facility_signal_test.cpp.o.d"
+  "facility_signal_test"
+  "facility_signal_test.pdb"
+  "facility_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_survey_test.dir/facility_survey_test.cpp.o"
+  "CMakeFiles/facility_survey_test.dir/facility_survey_test.cpp.o.d"
+  "facility_survey_test"
+  "facility_survey_test.pdb"
+  "facility_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghz_fidelity_test.dir/ghz_fidelity_test.cpp.o"
+  "CMakeFiles/ghz_fidelity_test.dir/ghz_fidelity_test.cpp.o.d"
+  "ghz_fidelity_test"
+  "ghz_fidelity_test.pdb"
+  "ghz_fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghz_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

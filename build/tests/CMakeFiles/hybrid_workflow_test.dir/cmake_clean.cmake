@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_workflow_test.dir/hybrid_workflow_test.cpp.o"
+  "CMakeFiles/hybrid_workflow_test.dir/hybrid_workflow_test.cpp.o.d"
+  "hybrid_workflow_test"
+  "hybrid_workflow_test.pdb"
+  "hybrid_workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/installation_test.dir/installation_test.cpp.o"
+  "CMakeFiles/installation_test.dir/installation_test.cpp.o.d"
+  "installation_test"
+  "installation_test.pdb"
+  "installation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/installation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mitigation_test.cpp" "tests/CMakeFiles/mitigation_test.dir/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/mitigation_test.dir/mitigation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mqss/CMakeFiles/hpcqc_mqss.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hpcqc_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/hpcqc_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/hpcqc_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcqc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hpcqc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpcqc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/hpcqc_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/cryo/CMakeFiles/hpcqc_cryo.dir/DependInfo.cmake"
+  "/root/repo/build/src/qdmi/CMakeFiles/hpcqc_qdmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hpcqc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/hpcqc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/hpcqc_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcqc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/hpcqc_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/hpcqc_pulse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqss_client_test.dir/mqss_client_test.cpp.o"
+  "CMakeFiles/mqss_client_test.dir/mqss_client_test.cpp.o.d"
+  "mqss_client_test"
+  "mqss_client_test.pdb"
+  "mqss_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqss_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

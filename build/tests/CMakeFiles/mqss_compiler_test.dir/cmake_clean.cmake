@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqss_compiler_test.dir/mqss_compiler_test.cpp.o"
+  "CMakeFiles/mqss_compiler_test.dir/mqss_compiler_test.cpp.o.d"
+  "mqss_compiler_test"
+  "mqss_compiler_test.pdb"
+  "mqss_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqss_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

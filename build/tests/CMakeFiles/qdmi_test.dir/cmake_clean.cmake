@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdmi_test.dir/qdmi_test.cpp.o"
+  "CMakeFiles/qdmi_test.dir/qdmi_test.cpp.o.d"
+  "qdmi_test"
+  "qdmi_test.pdb"
+  "qdmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

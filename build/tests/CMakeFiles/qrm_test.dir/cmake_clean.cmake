@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrm_test.dir/qrm_test.cpp.o"
+  "CMakeFiles/qrm_test.dir/qrm_test.cpp.o.d"
+  "qrm_test"
+  "qrm_test.pdb"
+  "qrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_gates_test.dir/qsim_gates_test.cpp.o"
+  "CMakeFiles/qsim_gates_test.dir/qsim_gates_test.cpp.o.d"
+  "qsim_gates_test"
+  "qsim_gates_test.pdb"
+  "qsim_gates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_state_test.dir/qsim_state_test.cpp.o"
+  "CMakeFiles/qsim_state_test.dir/qsim_state_test.cpp.o.d"
+  "qsim_state_test"
+  "qsim_state_test.pdb"
+  "qsim_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/qsim_gates_test[1]_include.cmake")
+include("/root/repo/build/tests/qsim_state_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/qdmi_test[1]_include.cmake")
+include("/root/repo/build/tests/cryo_test[1]_include.cmake")
+include("/root/repo/build/tests/facility_signal_test[1]_include.cmake")
+include("/root/repo/build/tests/facility_survey_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/qrm_test[1]_include.cmake")
+include("/root/repo/build/tests/mqss_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/mqss_client_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/mitigation_test[1]_include.cmake")
+include("/root/repo/build/tests/pulse_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/health_test[1]_include.cmake")
+include("/root/repo/build/tests/installation_test[1]_include.cmake")
+include("/root/repo/build/tests/density_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/parametric_test[1]_include.cmake")
+include("/root/repo/build/tests/ghz_fidelity_test[1]_include.cmake")
