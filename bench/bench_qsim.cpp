@@ -104,6 +104,48 @@ void BM_NoisyExecutionTrajectory(benchmark::State& state) {
 }
 BENCHMARK(BM_NoisyExecutionTrajectory)->Unit(benchmark::kMillisecond);
 
+// The headline trajectory workload: 20 qubits, ~40 layers of PRX + CZ
+// along the coupled chain, 256 shots. This is the configuration the
+// parallel trajectory engine is sized for; the shot loop dominates.
+void BM_TrajectoryExecute(benchmark::State& state) {
+  Rng rng(4);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  const int n = static_cast<int>(chain.size());
+  circuit::Circuit c(20);
+  for (int layer = 0; layer < 20; ++layer) {
+    for (int i = 0; i < n; ++i)
+      c.prx(0.3 + 0.01 * layer, 0.1 * i, chain[static_cast<std::size_t>(i)]);
+    for (int i = layer % 2; i + 1 < n; i += 2)
+      c.cz(chain[static_cast<std::size_t>(i)],
+           chain[static_cast<std::size_t>(i + 1)]);
+  }
+  c.measure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.execute(
+        c, 256, rng, device::ExecutionMode::kTrajectory));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TrajectoryExecute)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// Sampling cost per shot batch on a 20-qubit state. Arg(1) exercises the
+// single-shot path used once per trajectory (previously an O(2^n) CDF
+// allocation per call), larger args the batched CDF path.
+void BM_SampleShots(benchmark::State& state) {
+  Rng rng(5);
+  qsim::StateVector sv(20);
+  const auto circuit = circuit::Circuit::ghz(20);
+  circuit::apply_gates(sv, circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sv.sample(static_cast<std::size_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleShots)->Arg(1)->Arg(256)->Unit(benchmark::kMicrosecond);
+
 void BM_NoisyExecutionGlobalDepolarizing(benchmark::State& state) {
   Rng rng(3);
   device::DeviceModel device = device::make_iqm20(rng);

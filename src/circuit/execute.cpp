@@ -8,6 +8,20 @@ namespace hpcqc::circuit {
 void apply_op(qsim::StateVector& state, const Operation& op) {
   using qsim::Matrix2;
   using qsim::Matrix4;
+  // Constant gate matrices are built once per process, not per call —
+  // the trajectory engine funnels every gate of every shot through here.
+  static const Matrix2 kX = qsim::gate_x();
+  static const Matrix2 kY = qsim::gate_y();
+  static const Matrix2 kZ = qsim::gate_z();
+  static const Matrix2 kH = qsim::gate_h();
+  static const Matrix2 kS = qsim::gate_s();
+  static const Matrix2 kSdg = qsim::gate_sdg();
+  static const Matrix2 kT = qsim::gate_t();
+  static const Matrix2 kTdg = qsim::gate_tdg();
+  static const Matrix2 kSx = qsim::gate_sx();
+  static const Matrix4 kCx = qsim::gate_cx();
+  static const Matrix4 kSwap = qsim::gate_swap();
+  static const Matrix4 kIswap = qsim::gate_iswap();
   switch (op.kind) {
     case OpKind::kBarrier:
       return;
@@ -16,15 +30,15 @@ void apply_op(qsim::StateVector& state, const Operation& op) {
           "apply_op: measurements are handled by run_ideal, not apply_op");
     case OpKind::kI:
       return;
-    case OpKind::kX: state.apply_1q(qsim::gate_x(), op.qubits[0]); return;
-    case OpKind::kY: state.apply_1q(qsim::gate_y(), op.qubits[0]); return;
-    case OpKind::kZ: state.apply_1q(qsim::gate_z(), op.qubits[0]); return;
-    case OpKind::kH: state.apply_1q(qsim::gate_h(), op.qubits[0]); return;
-    case OpKind::kS: state.apply_1q(qsim::gate_s(), op.qubits[0]); return;
-    case OpKind::kSdg: state.apply_1q(qsim::gate_sdg(), op.qubits[0]); return;
-    case OpKind::kT: state.apply_1q(qsim::gate_t(), op.qubits[0]); return;
-    case OpKind::kTdg: state.apply_1q(qsim::gate_tdg(), op.qubits[0]); return;
-    case OpKind::kSx: state.apply_1q(qsim::gate_sx(), op.qubits[0]); return;
+    case OpKind::kX: state.apply_1q(kX, op.qubits[0]); return;
+    case OpKind::kY: state.apply_1q(kY, op.qubits[0]); return;
+    case OpKind::kZ: state.apply_1q(kZ, op.qubits[0]); return;
+    case OpKind::kH: state.apply_1q(kH, op.qubits[0]); return;
+    case OpKind::kS: state.apply_1q(kS, op.qubits[0]); return;
+    case OpKind::kSdg: state.apply_1q(kSdg, op.qubits[0]); return;
+    case OpKind::kT: state.apply_1q(kT, op.qubits[0]); return;
+    case OpKind::kTdg: state.apply_1q(kTdg, op.qubits[0]); return;
+    case OpKind::kSx: state.apply_1q(kSx, op.qubits[0]); return;
     case OpKind::kRx:
       state.apply_1q(qsim::gate_rx(op.params[0]), op.qubits[0]);
       return;
@@ -46,13 +60,13 @@ void apply_op(qsim::StateVector& state, const Operation& op) {
       state.apply_cphase(M_PI, op.qubits[0], op.qubits[1]);
       return;
     case OpKind::kCx:
-      state.apply_2q(qsim::gate_cx(), op.qubits[0], op.qubits[1]);
+      state.apply_2q(kCx, op.qubits[0], op.qubits[1]);
       return;
     case OpKind::kSwap:
-      state.apply_2q(qsim::gate_swap(), op.qubits[0], op.qubits[1]);
+      state.apply_2q(kSwap, op.qubits[0], op.qubits[1]);
       return;
     case OpKind::kIswap:
-      state.apply_2q(qsim::gate_iswap(), op.qubits[0], op.qubits[1]);
+      state.apply_2q(kIswap, op.qubits[0], op.qubits[1]);
       return;
     case OpKind::kCphase:
       state.apply_cphase(op.params[0], op.qubits[0], op.qubits[1]);

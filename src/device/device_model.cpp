@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "hpcqc/circuit/execute.hpp"
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/device/compiled_program.hpp"
 #include "hpcqc/qsim/state_vector.hpp"
 
 namespace hpcqc::device {
@@ -160,71 +162,123 @@ ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
 
   if (mode == ExecutionMode::kEstimateOnly) return result;
 
-  // Simulate only the active (touched or measured) qubits: idle qubits of
-  // the register stay in |0> and would only waste state-vector memory.
-  std::vector<int> active;
-  {
-    std::vector<bool> used(static_cast<std::size_t>(num_qubits()), false);
-    for (const auto& op : circuit.ops())
-      for (int q : op.qubits) used[static_cast<std::size_t>(q)] = true;
-    for (int q : measured) used[static_cast<std::size_t>(q)] = true;
-    for (int q = 0; q < num_qubits(); ++q)
-      if (used[static_cast<std::size_t>(q)]) active.push_back(q);
-  }
-  std::vector<int> phys_to_dense(static_cast<std::size_t>(num_qubits()), -1);
-  for (std::size_t d = 0; d < active.size(); ++d)
-    phys_to_dense[static_cast<std::size_t>(active[d])] = static_cast<int>(d);
-  const int dense_qubits = static_cast<int>(active.size());
-  const auto dense_op = [&](const circuit::Operation& op) {
-    circuit::Operation out = op;
-    for (auto& q : out.qubits) q = phys_to_dense[static_cast<std::size_t>(q)];
-    return out;
-  };
-  std::vector<int> dense_measured;
-  dense_measured.reserve(measured.size());
-  for (int q : measured)
-    dense_measured.push_back(phys_to_dense[static_cast<std::size_t>(q)]);
+  // Compile once per job: densified indices, fused matrices, precomputed
+  // error rates. Every shot replays this flat program.
+  const CompiledProgram program(circuit, topology_, state_);
 
   // Per-dense-qubit readout confusion from the physical elements.
   const qsim::ReadoutError full_readout = readout_error();
   std::vector<qsim::ReadoutConfusion> dense_confusion;
-  dense_confusion.reserve(active.size());
-  for (int q : active) dense_confusion.push_back(full_readout.qubit(q));
+  dense_confusion.reserve(program.active_qubits().size());
+  for (int q : program.active_qubits())
+    dense_confusion.push_back(full_readout.qubit(q));
   const qsim::ReadoutError readout(std::move(dense_confusion));
 
   if (mode == ExecutionMode::kAuto) {
-    mode = (dense_qubits <= 12 && shots <= 256)
+    mode = (program.dense_qubits() <= 12 && shots <= 256)
                ? ExecutionMode::kTrajectory
                : ExecutionMode::kGlobalDepolarizing;
   }
 
   if (mode == ExecutionMode::kTrajectory) {
-    qsim::StateVector state(dense_qubits);
-    for (std::size_t shot = 0; shot < shots; ++shot) {
-      state.reset();
-      for (const auto& op : circuit.ops()) {
-        if (op.kind == circuit::OpKind::kMeasure ||
-            op.kind == circuit::OpKind::kBarrier)
-          continue;
-        const circuit::Operation mapped = dense_op(op);
-        circuit::apply_op(state, mapped);
-        if (circuit::op_is_two_qubit(op.kind)) {
-          const int edge = topology_.edge_index(op.qubits[0], op.qubits[1]);
-          const double p = qsim::pauli_error_prob_from_avg_fidelity(
-              state_.couplers[static_cast<std::size_t>(edge)].fidelity_cz, 2);
-          state.apply_pauli_error_2q(mapped.qubits[0], mapped.qubits[1], p,
-                                     rng);
-        } else if (op.kind != circuit::OpKind::kI) {
-          const double p = qsim::pauli_error_prob_from_avg_fidelity(
-              state_.qubits[static_cast<std::size_t>(op.qubits[0])]
-                  .fidelity_1q,
-              1);
-          state.apply_pauli_error(mapped.qubits[0], p, rng);
-        }
+    // Shot-parallel trajectory engine. Three properties make it fast and
+    // reproducible:
+    //  1. Per-shot RNG streams: each shot's generator is seeded from a
+    //     SplitMix64 stream anchored at one draw from the caller's
+    //     generator, so counts are bit-identical for any OMP_NUM_THREADS
+    //     (and the caller's stream always advances by exactly one draw).
+    //  2. Pre-drawn error realizations: the stochastic Pauli insertions
+    //     are state-independent, so each shot's realization is drawn up
+    //     front. Shots with no errors sample the shared ideal final state
+    //     without evolving anything.
+    //  3. Prefix sharing: the ideal evolution is checkpointed once; an
+    //     errored shot copies the nearest checkpoint at or before its
+    //     first insertion and evolves only the remaining suffix.
+    // Arithmetic is identical to evolving each shot from |0..0>, so the
+    // engine is bit-exact against the unshared path.
+    const std::uint64_t stream_base = rng();
+    const auto shot_count = static_cast<std::int64_t>(shots);
+    const std::vector<int>& dense_measured = program.dense_measured();
+    const std::size_t n_ops = program.ops().size();
+
+    // Phase A: realize every shot's error insertions (serial; cheap).
+    std::vector<Rng> shot_rngs;
+    shot_rngs.reserve(shots);
+    std::vector<std::vector<CompiledProgram::PauliInsertion>> realizations(
+        shots);
+    for (std::size_t s = 0; s < shots; ++s) {
+      std::uint64_t stream = stream_base + static_cast<std::uint64_t>(s);
+      Rng shot_rng(splitmix64(stream));
+      program.draw_insertions(shot_rng, realizations[s]);
+      shot_rngs.push_back(shot_rng);  // positioned after the error draws
+    }
+
+    // Phase B: checkpoint the ideal prefix evolution. The checkpoint
+    // count adapts to the state size so the memory budget stays bounded;
+    // with zero checkpoints the engine degrades to full re-evolution
+    // from |0..0> per errored shot (still sharing the final state).
+    constexpr std::uint64_t kCheckpointBudgetBytes = 256ull << 20;
+    const std::uint64_t state_bytes =
+        sizeof(qsim::Complex) << program.dense_qubits();
+    const std::uint64_t max_ckpts =
+        std::min<std::uint64_t>(32, kCheckpointBudgetBytes / state_bytes);
+    const std::size_t stride =
+        max_ckpts > 0
+            ? std::max<std::size_t>(1, n_ops / static_cast<std::size_t>(
+                                            max_ckpts + 1))
+            : n_ops + 1;
+    std::vector<std::size_t> boundaries;    // prefix[j] = state after
+    std::vector<qsim::StateVector> prefix;  //   ops [0, boundaries[j])
+    qsim::StateVector sweep(program.dense_qubits());
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      if (i > 0 && i % stride == 0 &&
+          prefix.size() < static_cast<std::size_t>(max_ckpts)) {
+        boundaries.push_back(i);
+        prefix.push_back(sweep);
       }
-      const std::uint64_t dense = state.sample(1, rng).front();
-      const std::uint64_t noisy = readout.corrupt(dense, rng);
-      result.counts.add(circuit::compact_outcome(noisy, dense_measured));
+      program.apply_step(sweep, i);
+    }
+    const qsim::StateVector& ideal_final = sweep;
+
+    // Phase C: the shot loop. Threads own private states and histograms;
+    // integer merges commute, so the merged counts are order-independent.
+    // A std::mutex (not `omp critical`) guards the merge so ThreadSanitizer
+    // can see the lock (libgomp's critical locks are invisible to it).
+    std::mutex merge_mutex;
+#pragma omp parallel if (shots > 1)
+    {
+      qsim::StateVector state(program.dense_qubits());
+      qsim::Counts local;
+#pragma omp for schedule(dynamic)
+      for (std::int64_t s = 0; s < shot_count; ++s) {
+        Rng shot_rng = shot_rngs[static_cast<std::size_t>(s)];
+        const auto& insertions = realizations[static_cast<std::size_t>(s)];
+        std::uint64_t dense = 0;
+        if (insertions.empty()) {
+          dense = ideal_final.sample_one(shot_rng);
+        } else {
+          const std::size_t first = insertions.front().op_index;
+          const auto it = std::upper_bound(boundaries.begin(),
+                                           boundaries.end(), first);
+          std::size_t start = 0;
+          if (it == boundaries.begin()) {
+            state.reset();
+          } else {
+            const auto j =
+                static_cast<std::size_t>(it - boundaries.begin() - 1);
+            state = prefix[j];
+            start = boundaries[j];
+          }
+          program.run_range(state, start, insertions);
+          dense = state.sample_one(shot_rng);
+        }
+        const std::uint64_t noisy = readout.corrupt(dense, shot_rng);
+        local.add(circuit::compact_outcome(noisy, dense_measured));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        result.counts.merge(local);
+      }
     }
     return result;
   }
@@ -235,21 +289,17 @@ ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
   for (const auto& op : circuit.ops())
     gate_process_product *= gate_process_fidelity(op);
 
-  qsim::StateVector state(dense_qubits);
-  for (const auto& op : circuit.ops()) {
-    if (op.kind == circuit::OpKind::kMeasure ||
-        op.kind == circuit::OpKind::kBarrier)
-      continue;
-    circuit::apply_op(state, dense_op(op));
-  }
+  qsim::StateVector state(program.dense_qubits());
+  program.run_ideal(state);
   const auto samples = state.sample(shots, rng);
-  const std::uint64_t dense_dim = std::uint64_t{1} << dense_qubits;
+  const std::uint64_t dense_dim = std::uint64_t{1} << program.dense_qubits();
   for (std::uint64_t sample : samples) {
     std::uint64_t outcome = sample;
     if (!rng.bernoulli(gate_process_product))
       outcome = rng.uniform_index(dense_dim);
     outcome = readout.corrupt(outcome, rng);
-    result.counts.add(circuit::compact_outcome(outcome, dense_measured));
+    result.counts.add(
+        circuit::compact_outcome(outcome, program.dense_measured()));
   }
   return result;
 }

@@ -15,12 +15,11 @@ Counts::Counts(std::span<const std::uint64_t> samples, int num_qubits)
 
 void Counts::add(std::uint64_t outcome, std::uint64_t count) {
   counts_[outcome] += count;
+  total_ += count;
 }
 
-std::uint64_t Counts::total_shots() const {
-  std::uint64_t total = 0;
-  for (const auto& [outcome, count] : counts_) total += count;
-  return total;
+void Counts::merge(const Counts& other) {
+  for (const auto& [outcome, count] : other.counts_) add(outcome, count);
 }
 
 std::uint64_t Counts::count_of(std::uint64_t outcome) const {

@@ -21,7 +21,14 @@ public:
 
   void add(std::uint64_t outcome, std::uint64_t count = 1);
 
-  std::uint64_t total_shots() const;
+  /// Accumulates another histogram into this one (the reduction step of
+  /// the shot-parallel trajectory engine: thread-local Counts merge here).
+  void merge(const Counts& other);
+
+  /// O(1): the running total is maintained by add()/merge(), so metric
+  /// loops (TVD, Hellinger, expectation) no longer re-sum the histogram
+  /// per call.
+  std::uint64_t total_shots() const { return total_; }
   std::uint64_t count_of(std::uint64_t outcome) const;
   double probability_of(std::uint64_t outcome) const;
   std::size_t distinct_outcomes() const { return counts_.size(); }
@@ -45,6 +52,7 @@ public:
 
 private:
   int num_qubits_ = 0;
+  std::uint64_t total_ = 0;
   std::map<std::uint64_t, std::uint64_t> counts_;
 };
 

@@ -66,6 +66,12 @@ public:
   /// preparations measured repeatedly).
   std::vector<std::uint64_t> sample(std::size_t shots, Rng& rng) const;
 
+  /// Samples one full-register outcome by single-pass inverse-transform
+  /// over the amplitudes: O(2^n) time, zero allocation. This is the
+  /// per-shot sampler of the trajectory engine — the batched `sample`
+  /// builds an O(2^n) CDF which is wasteful for one draw.
+  std::uint64_t sample_one(Rng& rng) const;
+
   /// <Z_mask>: expectation of the tensor product of Z on the qubits set in
   /// `mask` (identity elsewhere).
   double expectation_z(std::uint64_t mask) const;

@@ -35,18 +35,49 @@ void StateVector::apply_1q(const Matrix2& u, int qubit) {
   const std::uint64_t stride = std::uint64_t{1} << qubit;
   const std::uint64_t dim = dimension();
   const std::int64_t pairs = static_cast<std::int64_t>(dim >> 1);
-  Complex* a = amps_.data();
 
+  // The kernels below spell the complex arithmetic out over doubles:
+  // std::complex operator* blocks vectorization at this optimization
+  // level, and the gate kernels are the hot loops of the digital twin.
+  double* a = reinterpret_cast<double*>(amps_.data());
+
+  // Diagonal fast path (rz / z / s / t and their fusions): no pairing,
+  // one multiply per amplitude, half the memory traffic.
+  if (u[1] == Complex{0.0, 0.0} && u[2] == Complex{0.0, 0.0}) {
+    const double d0r = u[0].real();
+    const double d0i = u[0].imag();
+    const double d1r = u[3].real();
+    const double d1i = u[3].imag();
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+      const auto idx = static_cast<std::uint64_t>(i);
+      const double dr = (idx & stride) ? d1r : d0r;
+      const double di = (idx & stride) ? d1i : d0i;
+      const double re = a[2 * idx];
+      const double im = a[2 * idx + 1];
+      a[2 * idx] = dr * re - di * im;
+      a[2 * idx + 1] = dr * im + di * re;
+    }
+    return;
+  }
+
+  const double u0r = u[0].real(), u0i = u[0].imag();
+  const double u1r = u[1].real(), u1i = u[1].imag();
+  const double u2r = u[2].real(), u2i = u[2].imag();
+  const double u3r = u[3].real(), u3i = u[3].imag();
 #pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
   for (std::int64_t k = 0; k < pairs; ++k) {
     // Index of the amplitude with the target bit clear.
     const auto kk = static_cast<std::uint64_t>(k);
-    const std::uint64_t i0 = ((kk & ~(stride - 1)) << 1) | (kk & (stride - 1));
-    const std::uint64_t i1 = i0 | stride;
-    const Complex lo = a[i0];
-    const Complex hi = a[i1];
-    a[i0] = u[0] * lo + u[1] * hi;
-    a[i1] = u[2] * lo + u[3] * hi;
+    const std::uint64_t i0 =
+        (((kk & ~(stride - 1)) << 1) | (kk & (stride - 1))) * 2;
+    const std::uint64_t i1 = i0 + stride * 2;
+    const double lr = a[i0], li = a[i0 + 1];
+    const double hr = a[i1], hi = a[i1 + 1];
+    a[i0] = (u0r * lr - u0i * li) + (u1r * hr - u1i * hi);
+    a[i0 + 1] = (u0r * li + u0i * lr) + (u1r * hi + u1i * hr);
+    a[i1] = (u2r * lr - u2i * li) + (u3r * hr - u3i * hi);
+    a[i1 + 1] = (u2r * li + u2i * lr) + (u3r * hi + u3i * hr);
   }
 }
 
@@ -61,7 +92,16 @@ void StateVector::apply_2q(const Matrix4& u, int qubit0, int qubit1) {
   const std::uint64_t hi_stride = std::max(s0, s1);
   const std::uint64_t dim = dimension();
   const std::int64_t groups = static_cast<std::int64_t>(dim >> 2);
-  Complex* a = amps_.data();
+  double* a = reinterpret_cast<double*>(amps_.data());
+
+  // Split the matrix into real/imag planes once; the group loop then runs
+  // entirely on doubles (see apply_1q for why).
+  double ur[16];
+  double ui[16];
+  for (int e = 0; e < 16; ++e) {
+    ur[e] = u[static_cast<std::size_t>(e)].real();
+    ui[e] = u[static_cast<std::size_t>(e)].imag();
+  }
 
 #pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
   for (std::int64_t g = 0; g < groups; ++g) {
@@ -75,19 +115,27 @@ void StateVector::apply_2q(const Matrix4& u, int qubit0, int qubit1) {
     base |= (rest % mid_combos) * (lo_stride * 2);
     base |= (rest / mid_combos) * (hi_stride * 2);
 
-    const std::uint64_t i00 = base;
-    const std::uint64_t i01 = base | s0;
-    const std::uint64_t i10 = base | s1;
-    const std::uint64_t i11 = base | s0 | s1;
-    const Complex a00 = a[i00];
-    const Complex a01 = a[i01];  // q0 = 1
-    const Complex a10 = a[i10];  // q1 = 1
-    const Complex a11 = a[i11];
     // Matrix basis |q1 q0>: index = 2*q1 + q0.
-    a[i00] = u[0] * a00 + u[1] * a01 + u[2] * a10 + u[3] * a11;
-    a[i01] = u[4] * a00 + u[5] * a01 + u[6] * a10 + u[7] * a11;
-    a[i10] = u[8] * a00 + u[9] * a01 + u[10] * a10 + u[11] * a11;
-    a[i11] = u[12] * a00 + u[13] * a01 + u[14] * a10 + u[15] * a11;
+    const std::uint64_t idx[4] = {base, base | s0, base | s1,
+                                  base | s0 | s1};
+    double vr[4];
+    double vi[4];
+    for (int col = 0; col < 4; ++col) {
+      vr[col] = a[2 * idx[col]];
+      vi[col] = a[2 * idx[col] + 1];
+    }
+    for (int row = 0; row < 4; ++row) {
+      double re = 0.0;
+      double im = 0.0;
+      for (int col = 0; col < 4; ++col) {
+        const double er = ur[4 * row + col];
+        const double ei = ui[4 * row + col];
+        re += er * vr[col] - ei * vi[col];
+        im += er * vi[col] + ei * vr[col];
+      }
+      a[2 * idx[row]] = re;
+      a[2 * idx[row] + 1] = im;
+    }
   }
 }
 
@@ -122,22 +170,35 @@ void StateVector::normalize() {
   const double n = norm();
   ensure_state(n > 1e-300, "normalize: state has collapsed to zero");
   const double inv = 1.0 / n;
-  for (auto& amp : amps_) amp *= inv;
+  const std::uint64_t dim = dimension();
+  Complex* a = amps_.data();
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i)
+    a[i] *= inv;
 }
 
 double StateVector::probability_one(int qubit) const {
   expects(qubit >= 0 && qubit < num_qubits_,
           "probability_one: qubit out of range");
   const std::uint64_t bit = std::uint64_t{1} << qubit;
+  const std::uint64_t dim = dimension();
+  const Complex* a = amps_.data();
   double acc = 0.0;
-  for (std::uint64_t i = 0; i < dimension(); ++i)
-    if (i & bit) acc += std::norm(amps_[i]);
+#pragma omp parallel for if (dim >= kParallelThreshold) reduction(+ : acc) \
+    schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i)
+    if (static_cast<std::uint64_t>(i) & bit) acc += std::norm(a[i]);
   return acc;
 }
 
 std::vector<double> StateVector::probabilities() const {
-  std::vector<double> probs(dimension());
-  for (std::uint64_t i = 0; i < dimension(); ++i) probs[i] = std::norm(amps_[i]);
+  const std::uint64_t dim = dimension();
+  std::vector<double> probs(dim);
+  const Complex* a = amps_.data();
+  double* p = probs.data();
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i)
+    p[i] = std::norm(a[i]);
   return probs;
 }
 
@@ -145,16 +206,46 @@ int StateVector::measure(int qubit, Rng& rng) {
   const double p1 = probability_one(qubit);
   const int outcome = rng.bernoulli(p1) ? 1 : 0;
   const std::uint64_t bit = std::uint64_t{1} << qubit;
-  for (std::uint64_t i = 0; i < dimension(); ++i) {
-    const bool is_one = (i & bit) != 0;
-    if (is_one != (outcome == 1)) amps_[i] = Complex{0.0, 0.0};
+  const std::uint64_t dim = dimension();
+  Complex* a = amps_.data();
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+    const bool is_one = (static_cast<std::uint64_t>(i) & bit) != 0;
+    if (is_one != (outcome == 1)) a[i] = Complex{0.0, 0.0};
   }
   normalize();
   return outcome;
 }
 
+std::uint64_t StateVector::sample_one(Rng& rng) const {
+  // Single-pass inverse transform: walk the amplitudes once, subtracting
+  // each probability from the draw until it is exhausted. No CDF is
+  // materialized, so the per-shot cost is a read-only O(2^n) sweep.
+  // Kept strictly serial: the trajectory engine calls this from inside an
+  // OpenMP shot loop and the scan order must not depend on thread count.
+  const std::uint64_t dim = dimension();
+  double r = rng.uniform();
+  std::uint64_t last_nonzero = 0;
+  bool seen_nonzero = false;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const double p = std::norm(amps_[i]);
+    if (p > 0.0) {
+      last_nonzero = i;
+      seen_nonzero = true;
+    }
+    r -= p;
+    if (r < 0.0) return i;
+  }
+  // The draw fell past the accumulated mass (sub-unit norm or rounding):
+  // attribute it to the last outcome with support.
+  ensure_state(seen_nonzero, "sample_one: zero-norm state");
+  return last_nonzero;
+}
+
 std::vector<std::uint64_t> StateVector::sample(std::size_t shots,
                                                Rng& rng) const {
+  // One draw does not amortize a CDF build — use the single-pass sampler.
+  if (shots == 1) return {sample_one(rng)};
   // Cumulative distribution + binary search per shot: O(2^n + S log 2^n).
   std::vector<double> cdf(dimension());
   double acc = 0.0;
@@ -174,10 +265,15 @@ std::vector<std::uint64_t> StateVector::sample(std::size_t shots,
 }
 
 double StateVector::expectation_z(std::uint64_t mask) const {
+  const std::uint64_t dim = dimension();
+  const Complex* a = amps_.data();
   double acc = 0.0;
-  for (std::uint64_t i = 0; i < dimension(); ++i) {
-    const int parity = std::popcount(i & mask) & 1;
-    acc += (parity ? -1.0 : 1.0) * std::norm(amps_[i]);
+#pragma omp parallel for if (dim >= kParallelThreshold) reduction(+ : acc) \
+    schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+    const int parity =
+        std::popcount(static_cast<std::uint64_t>(i) & mask) & 1;
+    acc += (parity ? -1.0 : 1.0) * std::norm(a[i]);
   }
   return acc;
 }
@@ -189,19 +285,32 @@ double StateVector::fidelity(const StateVector& other) const {
 Complex StateVector::inner_product(const StateVector& other) const {
   expects(num_qubits_ == other.num_qubits_,
           "inner_product: qubit count mismatch");
-  Complex acc{0.0, 0.0};
-  for (std::uint64_t i = 0; i < dimension(); ++i)
-    acc += std::conj(amps_[i]) * other.amps_[i];
-  return acc;
+  const std::uint64_t dim = dimension();
+  const Complex* a = amps_.data();
+  const Complex* b = other.amps_.data();
+  // OpenMP has no portable std::complex reduction — reduce the parts.
+  double re = 0.0;
+  double im = 0.0;
+#pragma omp parallel for if (dim >= kParallelThreshold) \
+    reduction(+ : re, im) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+    const Complex term = std::conj(a[i]) * b[i];
+    re += term.real();
+    im += term.imag();
+  }
+  return Complex{re, im};
 }
 
 void StateVector::apply_pauli_error(int qubit, double p, Rng& rng) {
   expects(p >= 0.0 && p <= 1.0, "apply_pauli_error: p outside [0,1]");
   if (!rng.bernoulli(p)) return;
+  static const Matrix2 kX = gate_x();
+  static const Matrix2 kY = gate_y();
+  static const Matrix2 kZ = gate_z();
   switch (rng.uniform_index(3)) {
-    case 0: apply_1q(gate_x(), qubit); break;
-    case 1: apply_1q(gate_y(), qubit); break;
-    default: apply_1q(gate_z(), qubit); break;
+    case 0: apply_1q(kX, qubit); break;
+    case 1: apply_1q(kY, qubit); break;
+    default: apply_1q(kZ, qubit); break;
   }
 }
 
@@ -213,11 +322,14 @@ void StateVector::apply_pauli_error_2q(int qubit0, int qubit1, double p,
   const std::uint64_t which = 1 + rng.uniform_index(15);
   const int p0 = static_cast<int>(which % 4);
   const int p1 = static_cast<int>(which / 4);
+  static const Matrix2 kX = gate_x();
+  static const Matrix2 kY = gate_y();
+  static const Matrix2 kZ = gate_z();
   const auto apply_pauli = [this](int pauli, int q) {
     switch (pauli) {
-      case 1: apply_1q(gate_x(), q); break;
-      case 2: apply_1q(gate_y(), q); break;
-      case 3: apply_1q(gate_z(), q); break;
+      case 1: apply_1q(kX, q); break;
+      case 2: apply_1q(kY, q); break;
+      case 3: apply_1q(kZ, q); break;
       default: break;
     }
   };
