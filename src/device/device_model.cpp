@@ -59,6 +59,7 @@ void DeviceModel::install_calibration(CalibrationState snapshot) {
           "install_calibration: snapshot shape mismatch");
   fresh_ = snapshot;
   state_ = std::move(snapshot);
+  ++calibration_epoch_;
 }
 
 void DeviceModel::install_live_state(CalibrationState snapshot) {
@@ -66,6 +67,7 @@ void DeviceModel::install_live_state(CalibrationState snapshot) {
               snapshot.couplers.size() == state_.couplers.size(),
           "install_live_state: snapshot shape mismatch");
   state_ = std::move(snapshot);
+  ++calibration_epoch_;
 }
 
 void DeviceModel::drift(Seconds dt, Rng& rng) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "hpcqc/circuit/circuit.hpp"
@@ -59,6 +60,13 @@ public:
   CalibrationState& mutable_calibration() { return state_; }
   const CalibrationState& fresh_reference() const { return fresh_; }
 
+  /// Monotonic counter bumped by every calibration install. Compile caches
+  /// key on this instead of `calibrated_at`: two recalibrations can land at
+  /// the identical simulated timestamp (quick recoveries in coarse-stepped
+  /// campaigns do), and a timestamp key would then fail to invalidate
+  /// programs compiled against the superseded metrics.
+  std::uint64_t calibration_epoch() const { return calibration_epoch_; }
+
   /// Generates a freshly-calibrated snapshot from the spec: every metric is
   /// drawn around its nominal with the spec's calibration spread.
   CalibrationState sample_fresh_calibration(Seconds at, Rng& rng) const;
@@ -108,6 +116,7 @@ private:
   DriftModel drift_model_;
   CalibrationState state_;
   CalibrationState fresh_;
+  std::uint64_t calibration_epoch_ = 0;
   double ambient_drift_c_per_day_ = 0.0;
 };
 

@@ -1,0 +1,72 @@
+#include "hpcqc/fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/rng.hpp"
+
+namespace hpcqc::fault {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kQdmiQuery: return "qdmi-query";
+    case FaultSite::kDeviceExecution: return "device-execution";
+    case FaultSite::kNetworkTransfer: return "network-transfer";
+    case FaultSite::kThermalExcursion: return "thermal-excursion";
+    case FaultSite::kCalibration: return "calibration";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  expects(event.at >= 0.0 && event.duration >= 0.0,
+          "FaultPlan::add: event times must be non-negative");
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(pos, std::move(event));
+  return *this;
+}
+
+std::size_t FaultPlan::count(FaultSite site) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [site](const FaultEvent& e) { return e.site == site; }));
+}
+
+FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
+  expects(params.horizon > 0.0, "FaultPlan::generate: horizon must be positive");
+  FaultPlan plan;
+  Rng root(seed);
+
+  const std::pair<FaultSite, const SiteRate*> sites[] = {
+      {FaultSite::kQdmiQuery, &params.qdmi_query},
+      {FaultSite::kDeviceExecution, &params.device_execution},
+      {FaultSite::kNetworkTransfer, &params.network_transfer},
+      {FaultSite::kThermalExcursion, &params.thermal_excursion},
+      {FaultSite::kCalibration, &params.calibration},
+  };
+  // One independent child stream per site: adding a site to the plan never
+  // perturbs the draws of the others, so scenarios stay comparable across
+  // configuration changes.
+  for (const auto& [site, rate] : sites) {
+    Rng stream = root.fork();
+    if (rate->mtbf <= 0.0) continue;
+    expects(rate->mean_duration > 0.0,
+            "FaultPlan::generate: mean_duration must be positive");
+    Seconds t = stream.exponential(1.0 / rate->mtbf);
+    while (t < params.horizon) {
+      FaultEvent event;
+      event.at = t;
+      event.site = site;
+      event.duration = std::max(params.min_duration,
+                                stream.exponential(1.0 / rate->mean_duration));
+      event.description = std::string("injected ") + to_string(site);
+      plan.add(std::move(event));
+      t += stream.exponential(1.0 / rate->mtbf);
+    }
+  }
+  return plan;
+}
+
+}  // namespace hpcqc::fault

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::fault {
+
+/// Named injection sites: the places in the stack where a deterministic
+/// chaos campaign is allowed to break things. They mirror the failure
+/// surface the paper's operations story (§3.5) and its users' feature
+/// requests ("more robust job restart tools after system outages", §4)
+/// circle around.
+enum class FaultSite {
+  kQdmiQuery,         ///< QDMI metric queries time out (compiler front end)
+  kDeviceExecution,   ///< the QPU aborts the running job
+  kNetworkTransfer,   ///< result transfer / serialization corrupted in flight
+  kThermalExcursion,  ///< cryostat loses active cooling (facility outage)
+  kCalibration,       ///< a calibration run fails to converge
+};
+
+inline constexpr std::size_t kNumFaultSites = 5;
+
+const char* to_string(FaultSite site);
+
+/// One scheduled fault: the site misbehaves during [at, at + duration).
+/// For kThermalExcursion the duration is the time until the underlying
+/// facility issue is identified and resolved (cooling can be restored);
+/// the peak temperature — and hence quick-vs-full recalibration — follows
+/// from the thermal model, not from the event.
+struct FaultEvent {
+  Seconds at = 0.0;
+  FaultSite site = FaultSite::kDeviceExecution;
+  Seconds duration = 0.0;
+  std::string description;
+
+  Seconds end() const { return at + duration; }
+};
+
+/// A deterministic, replayable fault schedule. Either hand-authored via
+/// add() (regression tests pin exact scenarios) or drawn from per-site
+/// mean-time-between-failure rates with a seeded RNG (chaos campaigns):
+/// the same seed always yields the same plan, so every run is replayable.
+class FaultPlan {
+public:
+  /// Poisson-process rate of one site. mtbf == 0 disables the site.
+  struct SiteRate {
+    Seconds mtbf = 0.0;
+    Seconds mean_duration = minutes(10.0);
+  };
+
+  struct Params {
+    Seconds horizon = days(1.0);
+    SiteRate qdmi_query;
+    SiteRate device_execution;
+    SiteRate network_transfer;
+    SiteRate thermal_excursion;
+    SiteRate calibration;
+    /// Fault windows never collapse below this (a zero-length window would
+    /// be unobservable by any injection site).
+    Seconds min_duration = seconds(30.0);
+  };
+
+  /// Draws exponential inter-arrival times and window lengths per site from
+  /// independent child streams of `seed`.
+  static FaultPlan generate(const Params& params, std::uint64_t seed);
+
+  /// Inserts an event, keeping the schedule sorted by start time.
+  FaultPlan& add(FaultEvent event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  std::size_t count(FaultSite site) const;
+
+private:
+  std::vector<FaultEvent> events_;  ///< sorted by `at`
+};
+
+}  // namespace hpcqc::fault

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hpcqc/fault/fault_plan.hpp"
+
+namespace hpcqc::fault {
+
+/// Replays a FaultPlan against simulated time. Two consumption styles:
+///
+///  - poll(now): time-driven events (thermal excursions) that an
+///    orchestrator reacts to when their start time arrives. Each event is
+///    delivered exactly once.
+///  - active(site, now): site-scoped checks placed inside the job path
+///    (QDMI queries, device execution, transfers, calibrations) — true
+///    while a fault window of that site covers `now`. Every positive check
+///    is counted, so campaigns can report how often each site actually
+///    tripped, not just how many windows were scheduled.
+///
+/// The injector holds no RNG: all randomness lives in FaultPlan::generate,
+/// which makes replaying a campaign bit-identical by construction.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Events whose start time has arrived since the previous poll, in
+  /// schedule order. `now` must be non-decreasing across calls.
+  std::vector<FaultEvent> poll(Seconds now);
+
+  /// True while a window for `site` covers `now`; increments the site's
+  /// trip counter when it does.
+  bool active(FaultSite site, Seconds now) const;
+
+  /// The covering event, or nullptr when the site is healthy at `now`.
+  const FaultEvent* active_event(FaultSite site, Seconds now) const;
+
+  /// Number of positive active() observations per site.
+  std::size_t trips(FaultSite site) const;
+
+  /// Scheduled windows per site (plan-level, independent of observation).
+  std::size_t scheduled(FaultSite site) const { return plan_.count(site); }
+
+private:
+  FaultPlan plan_;
+  std::vector<std::size_t> by_site_[kNumFaultSites];  ///< indices into plan
+  std::size_t poll_cursor_ = 0;
+  Seconds last_poll_ = -1.0;
+  mutable std::array<std::size_t, kNumFaultSites> trip_counts_{};
+};
+
+}  // namespace hpcqc::fault

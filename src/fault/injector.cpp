@@ -1,0 +1,49 @@
+#include "hpcqc/fault/injector.hpp"
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (std::size_t i = 0; i < plan_.events().size(); ++i) {
+    const auto& event = plan_.events()[i];
+    by_site_[static_cast<std::size_t>(event.site)].push_back(i);
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::poll(Seconds now) {
+  expects(now >= last_poll_, "FaultInjector::poll: time cannot go backwards");
+  last_poll_ = now;
+  std::vector<FaultEvent> due;
+  while (poll_cursor_ < plan_.events().size() &&
+         plan_.events()[poll_cursor_].at <= now) {
+    due.push_back(plan_.events()[poll_cursor_]);
+    ++poll_cursor_;
+  }
+  return due;
+}
+
+const FaultEvent* FaultInjector::active_event(FaultSite site,
+                                              Seconds now) const {
+  // Plans hold at most a handful of windows per site; a linear scan over
+  // the (time-sorted) site index is cheaper than maintaining cursors that
+  // would constrain callers to monotone query times.
+  for (const std::size_t index : by_site_[static_cast<std::size_t>(site)]) {
+    const FaultEvent& event = plan_.events()[index];
+    if (event.at > now) break;
+    if (now < event.end()) return &event;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::active(FaultSite site, Seconds now) const {
+  const FaultEvent* event = active_event(site, now);
+  if (event != nullptr) ++trip_counts_[static_cast<std::size_t>(site)];
+  return event != nullptr;
+}
+
+std::size_t FaultInjector::trips(FaultSite site) const {
+  return trip_counts_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace hpcqc::fault

@@ -1,5 +1,6 @@
 #include "hpcqc/mqss/client.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,6 +17,15 @@ const char* to_string(AccessPath path) {
   return "?";
 }
 
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 bool detect_inside_hpc() {
   const char* override_flag = std::getenv("HPCQC_INSIDE_HPC");
   if (override_flag != nullptr)
@@ -25,10 +35,79 @@ bool detect_inside_hpc() {
 }
 
 Client::Client(QpuService& service, SimClock& clock, AccessPath path,
-               RestClientParams rest)
-    : service_(&service), clock_(&clock), path_(path), rest_(rest) {
+               RestClientParams rest, ResilienceParams resilience)
+    : service_(&service),
+      clock_(&clock),
+      path_(path),
+      rest_(rest),
+      resilience_(resilience) {
   if (path_ == AccessPath::kAuto)
     path_ = detect_inside_hpc() ? AccessPath::kHpc : AccessPath::kRest;
+}
+
+BreakerState Client::breaker_state() const {
+  if (!breaker_open_) return BreakerState::kClosed;
+  return clock_->now() >= breaker_open_until_ ? BreakerState::kHalfOpen
+                                              : BreakerState::kOpen;
+}
+
+void Client::note_failure() {
+  ++retries_;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= resilience_.breaker_threshold &&
+      !breaker_open_) {
+    breaker_open_ = true;
+    ++breaker_opens_;
+  }
+  if (breaker_open_)
+    breaker_open_until_ = clock_->now() + resilience_.breaker_cooldown;
+}
+
+RunResult Client::emulator_fallback(const circuit::Circuit& circuit,
+                                    std::size_t shots) {
+  if (!resilience_.emulator_fallback)
+    throw TransientError(
+        "Client: QPU unavailable and emulator fallback disabled",
+        ErrorCode::kDeviceUnavailable);
+  ++fallbacks_;
+  return service_->run_emulated(circuit, shots);
+}
+
+RunResult Client::execute_resilient(const circuit::Circuit& circuit,
+                                    std::size_t shots) {
+  // Open breaker, cooldown not yet over: don't touch the machine at all —
+  // it is mid-recovery and the paper's ops story (§3.5) is explicit that
+  // recovery is staged and slow. Serve the emulator instead.
+  if (breaker_state() == BreakerState::kOpen)
+    return emulator_fallback(circuit, shots);
+
+  // Half-open probes get exactly one attempt; a closed breaker spends the
+  // full retry budget.
+  const bool probing = breaker_state() == BreakerState::kHalfOpen;
+  const std::size_t attempts =
+      probing ? 1 : std::max<std::size_t>(1, resilience_.max_attempts);
+  Seconds backoff = resilience_.initial_backoff;
+
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      RunResult result = service_->run(circuit, shots);
+      consecutive_failures_ = 0;
+      breaker_open_ = false;  // a success closes the breaker
+      return result;
+    } catch (const Error& error) {
+      if (!error.transient()) throw;  // permanent: retrying is wasted time
+      // The failed attempt burned its submission timeout waiting on a
+      // machine that never answered.
+      clock_->advance(resilience_.submit_timeout);
+      note_failure();
+      if (breaker_open_) break;  // threshold crossed mid-loop
+      if (attempt + 1 < attempts) {
+        clock_->advance(backoff);
+        backoff *= resilience_.backoff_factor;
+      }
+    }
+  }
+  return emulator_fallback(circuit, shots);
 }
 
 JobTicket Client::submit(const circuit::Circuit& circuit, std::size_t shots,
@@ -41,13 +120,13 @@ JobTicket Client::submit(const circuit::Circuit& circuit, std::size_t shots,
   if (path_ == AccessPath::kHpc) {
     // Tightly-coupled path: the run happens synchronously inside the
     // allocation; only the execution time itself elapses.
-    job.result = service_->run(circuit, shots);
+    job.result = execute_resilient(circuit, shots);
     clock_->advance(job.result.qpu_time);
     job.ready_at = clock_->now();
   } else {
     // REST path: the request travels out, waits in the shared remote queue,
     // executes, and the result becomes available for download.
-    job.result = service_->run(circuit, shots);
+    job.result = execute_resilient(circuit, shots);
     job.ready_at = clock_->now() + rest_.request_latency + rest_.queue_delay +
                    job.result.qpu_time;
   }
@@ -77,8 +156,8 @@ std::vector<JobTicket> Client::submit_batch(
     PendingJob job;
     job.name = name + "-" + std::to_string(i);
     job.submitted_at = clock_->now();
-    job.result = service_->run(circuits[i], shots);
-    ready_at += job.result.qpu_time;
+    job.result = execute_resilient(circuits[i], shots);
+    ready_at = std::max(ready_at, clock_->now()) + job.result.qpu_time;
     job.ready_at = ready_at;
     jobs_.emplace(id, std::move(job));
     tickets.push_back({id, path_});

@@ -19,6 +19,15 @@ enum class AccessPath {
 
 const char* to_string(AccessPath path);
 
+/// Circuit-breaker state of a client's QPU path.
+enum class BreakerState {
+  kClosed,    ///< QPU path healthy; submissions go to the machine
+  kOpen,      ///< too many consecutive failures; all traffic to the emulator
+  kHalfOpen,  ///< cooldown elapsed; the next submission probes the QPU once
+};
+
+const char* to_string(BreakerState state);
+
 /// Environment detection: inside an HPC allocation when a batch-system
 /// job variable (SLURM_JOB_ID / PBS_JOBID) or the explicit override
 /// HPCQC_INSIDE_HPC=1 is present.
@@ -45,6 +54,24 @@ struct RestClientParams {
   Seconds poll_interval = seconds(2.0);
 };
 
+/// Client-side resilience: per-submission timeout + retry with exponential
+/// backoff over transient failures, and a circuit breaker that degrades to
+/// the digital-twin emulator path (results tagged `emulated`) while the
+/// QPU is down, instead of hammering a machine that is mid-recovery.
+struct ResilienceParams {
+  std::size_t max_attempts = 3;  ///< per submission, including the first
+  Seconds submit_timeout = seconds(10.0);  ///< burned by each failed attempt
+  Seconds initial_backoff = seconds(1.0);
+  double backoff_factor = 2.0;
+  /// Consecutive underlying failures that open the breaker.
+  std::size_t breaker_threshold = 3;
+  /// Open-state hold before a half-open probe is allowed.
+  Seconds breaker_cooldown = minutes(10.0);
+  /// Degrade to run_emulated when attempts are exhausted or the breaker is
+  /// open. When false, exhausted submissions rethrow the TransientError.
+  bool emulator_fallback = true;
+};
+
 /// The MQSS client of Fig. 2: "without requiring any code modifications
 /// from the user, the client automatically detects whether a job originates
 /// inside or outside an HPC environment and routes it accordingly" — to the
@@ -55,7 +82,8 @@ public:
   /// `service` and `clock` must outlive the client. `path` kAuto engages
   /// environment detection at construction.
   Client(QpuService& service, SimClock& clock,
-         AccessPath path = AccessPath::kAuto, RestClientParams rest = {});
+         AccessPath path = AccessPath::kAuto, RestClientParams rest = {},
+         ResilienceParams resilience = {});
 
   /// The path this client resolved to.
   AccessPath resolved_path() const { return path_; }
@@ -63,6 +91,9 @@ public:
   /// Submits a frontend circuit. On the HPC path execution is immediate
   /// (the call returns after the tightly-coupled run); on the REST path
   /// the job enters the remote queue and completes asynchronously.
+  /// Transient QPU failures are retried with backoff; when the circuit
+  /// breaker is open (or attempts run out) the submission transparently
+  /// falls back to the emulator and the result is tagged `emulated`.
   JobTicket submit(const circuit::Circuit& circuit, std::size_t shots,
                    std::string name = "job");
 
@@ -84,6 +115,13 @@ public:
   /// job completes, then returns the result.
   ClientResult wait(const JobTicket& ticket);
 
+  /// Breaker state at the current clock time.
+  BreakerState breaker_state() const;
+  const ResilienceParams& resilience() const { return resilience_; }
+  std::size_t retries() const { return retries_; }          ///< failed attempts
+  std::size_t fallbacks() const { return fallbacks_; }      ///< emulated runs
+  std::size_t breaker_opens() const { return breaker_opens_; }
+
 private:
   struct PendingJob {
     std::string name;
@@ -93,12 +131,26 @@ private:
     std::size_t polls = 0;
   };
 
+  RunResult execute_resilient(const circuit::Circuit& circuit,
+                              std::size_t shots);
+  RunResult emulator_fallback(const circuit::Circuit& circuit,
+                              std::size_t shots);
+  void note_failure();
+
   QpuService* service_;
   SimClock* clock_;
   AccessPath path_;
   RestClientParams rest_;
+  ResilienceParams resilience_;
   int next_id_ = 1;
   std::map<int, PendingJob> jobs_;
+
+  bool breaker_open_ = false;
+  Seconds breaker_open_until_ = 0.0;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t fallbacks_ = 0;
+  std::size_t breaker_opens_ = 0;
 };
 
 }  // namespace hpcqc::mqss

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <deque>
 #include <map>
 
 #include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/sim_clock.hpp"
 #include "hpcqc/device/device_model.hpp"
+#include "hpcqc/fault/injector.hpp"
 #include "hpcqc/mqss/compiler.hpp"
 #include "hpcqc/net/formats.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
@@ -18,6 +21,10 @@ struct RunResult {
   std::size_t native_gate_count = 0;
   std::size_t swap_count = 0;
   std::vector<int> initial_layout;
+  /// True when the result came from the noiseless digital-twin emulator
+  /// (the §4 onboarding path) instead of the QPU — the degraded-mode
+  /// fallback clients take while the circuit breaker is open.
+  bool emulated = false;
 };
 
 /// The execution core both access paths converge on: JIT-compiles the
@@ -33,19 +40,37 @@ public:
   const qdmi::DeviceInterface& qdmi() const { return *qdmi_; }
   const CompilerOptions& compiler_options() const { return options_; }
 
-  /// Compile (JIT, against the current calibration) and execute.
+  /// Compile (JIT, against the current calibration) and execute. Throws
+  /// TransientError (kDeviceUnavailable / kTimeout / kNetwork) when the
+  /// QPU is offline or an attached fault injector has an open window over
+  /// one of the path's injection sites.
   RunResult run(const circuit::Circuit& circuit, std::size_t shots);
+
+  /// The onboarding-emulator path (§4): same JIT compilation, but the
+  /// native program is sampled from its ideal distribution instead of the
+  /// noisy device. Always available — it is what clients degrade to when
+  /// the QPU is down. Results are tagged `emulated`.
+  RunResult run_emulated(const circuit::Circuit& circuit, std::size_t shots);
 
   /// Compile only (exposed for transparency — §4's users asked for
   /// "greater transparency in the quantum circuit compilation process").
   CompiledProgram compile_only(const circuit::Circuit& circuit) const;
 
-  /// JIT compile cache: hits while the device's calibration epoch is
-  /// unchanged (recalibration invalidates everything — the JIT placement
-  /// must see the new metrics). Keyed by the circuit's structural hash.
-  /// Enabled by default; repeated variational submissions of *identical*
-  /// circuits skip recompilation.
+  /// Attaches a fault injector + the clock used to position queries inside
+  /// its windows. Both must outlive the service; pass nullptr to detach.
+  void set_fault_context(const fault::FaultInjector* injector,
+                         const SimClock* clock);
+
+  /// JIT compile cache: hits while the device's calibration epoch counter
+  /// is unchanged (any recalibration bumps it — the JIT placement must see
+  /// the new metrics, even when a recovery lands at an identical simulated
+  /// timestamp). Keyed by the circuit's structural hash. Enabled by
+  /// default; repeated variational submissions of *identical* circuits
+  /// skip recompilation. Bounded: the oldest entries are evicted past
+  /// `capacity` so long variational campaigns cannot grow it unboundedly.
   void set_compile_cache_enabled(bool enabled);
+  void set_compile_cache_capacity(std::size_t capacity);
+  std::size_t cache_size() const { return cache_.size(); }
   std::size_t cache_hits() const { return cache_hits_; }
   std::size_t cache_misses() const { return cache_misses_; }
 
@@ -54,14 +79,21 @@ public:
                          net::ResultFormat format) const;
 
 private:
+  bool fault_active(fault::FaultSite site) const;
+
   device::DeviceModel* device_;
   const qdmi::DeviceInterface* qdmi_;
   Rng* rng_;
   CompilerOptions options_;
 
+  const fault::FaultInjector* injector_ = nullptr;
+  const SimClock* clock_ = nullptr;
+
   bool cache_enabled_ = true;
+  std::size_t cache_capacity_ = 256;
   mutable std::map<std::uint64_t, CompiledProgram> cache_;
-  mutable double cache_epoch_ = -1.0;  ///< calibration timestamp of entries
+  mutable std::deque<std::uint64_t> cache_order_;  ///< insertion order (FIFO)
+  mutable std::uint64_t cache_epoch_ = ~std::uint64_t{0};
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_misses_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "hpcqc/mqss/service.hpp"
 
+#include "hpcqc/circuit/execute.hpp"
 #include "hpcqc/common/error.hpp"
 
 namespace hpcqc::mqss {
@@ -9,10 +10,36 @@ QpuService::QpuService(device::DeviceModel& device,
                        CompilerOptions options)
     : device_(&device), qdmi_(&qdmi), rng_(&rng), options_(options) {}
 
+void QpuService::set_fault_context(const fault::FaultInjector* injector,
+                                   const SimClock* clock) {
+  injector_ = injector;
+  clock_ = clock;
+}
+
+bool QpuService::fault_active(fault::FaultSite site) const {
+  return injector_ != nullptr && clock_ != nullptr &&
+         injector_->active(site, clock_->now());
+}
+
 RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots) {
   expects(shots > 0, "QpuService::run: need at least one shot");
+  if (fault_active(fault::FaultSite::kQdmiQuery))
+    throw TransientError("QpuService::run: QDMI metric query timed out",
+                         ErrorCode::kTimeout);
+  const auto status = qdmi_->status();
+  if (status == qdmi::DeviceStatus::kOffline ||
+      status == qdmi::DeviceStatus::kMaintenance)
+    throw TransientError(std::string("QpuService::run: QPU unavailable (") +
+                             qdmi::to_string(status) + ")",
+                         ErrorCode::kDeviceUnavailable);
   const CompiledProgram program = compile_only(circuit);
+  if (fault_active(fault::FaultSite::kDeviceExecution))
+    throw TransientError("QpuService::run: QPU aborted the job",
+                         ErrorCode::kDeviceUnavailable);
   const auto exec = device_->execute(program.native_circuit, shots, *rng_);
+  if (fault_active(fault::FaultSite::kNetworkTransfer))
+    throw TransientError("QpuService::run: result transfer corrupted",
+                         ErrorCode::kNetwork);
   RunResult result;
   result.counts = exec.counts;
   result.estimated_fidelity = exec.estimated_fidelity;
@@ -23,14 +50,35 @@ RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots) {
   return result;
 }
 
+RunResult QpuService::run_emulated(const circuit::Circuit& circuit,
+                                   std::size_t shots) {
+  expects(shots > 0, "QpuService::run_emulated: need at least one shot");
+  // Compilation reuses the cache and the twin's last-known metrics — the
+  // emulator keeps serving even while the physical machine (and its live
+  // QDMI feed) is down.
+  const CompiledProgram program = compile_only(circuit);
+  RunResult result;
+  result.counts = circuit::run_ideal(program.native_circuit, shots, *rng_);
+  result.estimated_fidelity = 1.0;  // noiseless by construction
+  result.qpu_time = 0.0;            // no QPU seconds consumed
+  result.native_gate_count = program.native_gate_count;
+  result.swap_count = program.swap_count;
+  result.initial_layout = program.initial_layout;
+  result.emulated = true;
+  return result;
+}
+
 CompiledProgram QpuService::compile_only(const circuit::Circuit& circuit) const {
   if (!cache_enabled_) return compile(circuit, *qdmi_, options_);
 
-  // A recalibration moves the epoch; stale entries were compiled against
-  // metrics the JIT must no longer trust.
-  const double epoch = device_->calibration().calibrated_at;
+  // A recalibration bumps the device's epoch counter; stale entries were
+  // compiled against metrics the JIT must no longer trust. (The counter —
+  // not the calibration timestamp — is the key: two calibrations can land
+  // at the same simulated instant.)
+  const std::uint64_t epoch = device_->calibration_epoch();
   if (epoch != cache_epoch_) {
     cache_.clear();
+    cache_order_.clear();
     cache_epoch_ = epoch;
   }
   const std::uint64_t key = circuit.structural_hash();
@@ -41,7 +89,12 @@ CompiledProgram QpuService::compile_only(const circuit::Circuit& circuit) const 
   }
   ++cache_misses_;
   auto program = compile(circuit, *qdmi_, options_);
+  while (cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
   cache_.emplace(key, program);
+  cache_order_.push_back(key);
   return program;
 }
 
@@ -49,7 +102,17 @@ void QpuService::set_compile_cache_enabled(bool enabled) {
   cache_enabled_ = enabled;
   if (!enabled) {
     cache_.clear();
-    cache_epoch_ = -1.0;
+    cache_order_.clear();
+    cache_epoch_ = ~std::uint64_t{0};
+  }
+}
+
+void QpuService::set_compile_cache_capacity(std::size_t capacity) {
+  expects(capacity > 0, "compile cache capacity must be positive");
+  cache_capacity_ = capacity;
+  while (cache_.size() > cache_capacity_ && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
   }
 }
 
@@ -86,7 +149,8 @@ net::Payload QpuService::serialize(const RunResult& result,
       return net::encode_raw_iq(iq, nq, result.counts.total_shots());
     }
   }
-  throw Error("QpuService::serialize: unhandled format");
+  throw PermanentError("QpuService::serialize: unhandled format",
+                       ErrorCode::kInternal);
 }
 
 }  // namespace hpcqc::mqss

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/log.hpp"
+#include "hpcqc/cryo/cryostat.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/fault/injector.hpp"
+#include "hpcqc/ops/recovery.hpp"
+#include "hpcqc/sched/qrm.hpp"
+#include "hpcqc/telemetry/alerts.hpp"
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc::ops {
+
+/// Outage / recovery bookkeeping of one supervised campaign.
+struct ResilienceStats {
+  std::size_t outages = 0;
+  std::size_t recoveries = 0;
+  Seconds total_downtime = 0.0;
+  std::vector<RecoveryReport> reports;
+
+  /// Mean time to recovery: fault onset -> back in service.
+  Seconds mttr() const {
+    return recoveries == 0 ? 0.0
+                           : total_downtime / static_cast<double>(recoveries);
+  }
+  /// Fraction of `window` the QPU was in service.
+  double availability(Seconds window) const {
+    return window <= 0.0 ? 1.0 : 1.0 - total_downtime / window;
+  }
+};
+
+/// Tunables of the outage supervisor (namespace scope so it can serve as a
+/// defaulted constructor argument).
+struct SupervisorParams {
+  RecoveryProcedure::Params recovery;
+  std::string sensor_prefix = "resilience";
+};
+
+/// Wires injected facility faults to the §3.5 recovery staging. On a
+/// kThermalExcursion event it takes the QPU offline (the QRM retains its
+/// queue) and lets the cryostat warm; when the underlying fault is repaired
+/// (the event window closes) it restores cooling and runs
+/// ops::RecoveryProcedure — which picks quick vs full recalibration from
+/// the peak excursion temperature — then returns the QRM to service, at
+/// which point the retained queue (and any retry backlog) resumes.
+/// Every transition is timestamped into the EventLog and, when a store is
+/// attached, onto "<prefix>.*" telemetry sensors so campaigns can report
+/// availability and MTTR through the same analytics layer as Fig. 3.
+class ResilienceSupervisor {
+public:
+  using Params = SupervisorParams;
+
+  /// All referents must outlive the supervisor; `log` / `store` optional.
+  ResilienceSupervisor(sched::Qrm& qrm, cryo::Cryostat& cryostat,
+                       device::DeviceModel& device,
+                       fault::FaultInjector& injector, Rng& rng,
+                       EventLog* log = nullptr,
+                       telemetry::TimeSeriesStore* store = nullptr,
+                       Params params = {});
+
+  /// Advances outage orchestration to time `t` (non-decreasing): consumes
+  /// due injector events, steps the cryostat thermal model, and drives the
+  /// offline -> repair -> recover -> online staging. Call once per campaign
+  /// step, before Qrm::advance_to(t).
+  void step(Seconds t);
+
+  bool outage_active() const { return outage_active_; }
+  const ResilienceStats& stats() const { return stats_; }
+
+  /// Standard alert rules over the supervisor's sensors: QPU-down and
+  /// dead-letter accumulation.
+  static void install_alert_rules(telemetry::AlertEngine& alerts,
+                                  const std::string& prefix = "resilience");
+
+private:
+  void begin_outage(const fault::FaultEvent& event);
+  void repair_and_recover();
+  void record_sensors(Seconds t);
+
+  sched::Qrm* qrm_;
+  cryo::Cryostat* cryostat_;
+  device::DeviceModel* device_;
+  fault::FaultInjector* injector_;
+  Rng* rng_;
+  EventLog* log_;
+  telemetry::TimeSeriesStore* store_;
+  RecoveryProcedure recovery_;
+  std::string prefix_;
+
+  Seconds last_step_ = 0.0;
+  bool outage_active_ = false;
+  bool recovery_done_ = false;
+  Seconds outage_started_ = 0.0;
+  Seconds repair_at_ = 0.0;
+  Seconds online_at_ = 0.0;
+  ResilienceStats stats_;
+};
+
+}  // namespace hpcqc::ops

@@ -1,0 +1,145 @@
+#include "hpcqc/ops/resilience.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::ops {
+
+ResilienceSupervisor::ResilienceSupervisor(
+    sched::Qrm& qrm, cryo::Cryostat& cryostat, device::DeviceModel& device,
+    fault::FaultInjector& injector, Rng& rng, EventLog* log,
+    telemetry::TimeSeriesStore* store, Params params)
+    : qrm_(&qrm),
+      cryostat_(&cryostat),
+      device_(&device),
+      injector_(&injector),
+      rng_(&rng),
+      log_(log),
+      store_(store),
+      recovery_(params.recovery),
+      prefix_(std::move(params.sensor_prefix)) {}
+
+void ResilienceSupervisor::step(Seconds t) {
+  expects(t >= last_step_,
+          "ResilienceSupervisor::step: time must not go backwards");
+
+  // One-shot event delivery: only thermal excursions drive the outage
+  // staging here (execution / calibration / query faults are handled in
+  // place by the QRM and the MQSS service through the same injector).
+  std::vector<fault::FaultEvent> thermal;
+  for (const auto& event : injector_->poll(t))
+    if (event.site == fault::FaultSite::kThermalExcursion)
+      thermal.push_back(event);
+
+  // Walk the interval [last_step_, t] segment by segment so the cryostat is
+  // in the right cooling state across each boundary: an excursion flips
+  // cooling off at its onset; the repair boundary flips it back on and runs
+  // the staged recovery.
+  std::size_t next_event = 0;
+  while (true) {
+    Seconds boundary = t;
+    if (next_event < thermal.size())
+      boundary = std::min(boundary, std::max(last_step_,
+                                             thermal[next_event].at));
+    if (outage_active_ && !recovery_done_)
+      boundary = std::min(boundary, std::max(last_step_, repair_at_));
+
+    if (boundary > last_step_) {
+      cryostat_->step(boundary - last_step_);
+      last_step_ = boundary;
+    }
+
+    if (next_event < thermal.size() &&
+        thermal[next_event].at <= last_step_) {
+      const fault::FaultEvent& event = thermal[next_event++];
+      if (!outage_active_) {
+        begin_outage(event);
+      } else {
+        // Overlapping excursion extends the repair window.
+        repair_at_ = std::max(repair_at_, event.end());
+      }
+      continue;
+    }
+    if (outage_active_ && !recovery_done_ && last_step_ >= repair_at_) {
+      repair_and_recover();
+      continue;
+    }
+    if (last_step_ >= t && next_event >= thermal.size()) break;
+  }
+
+  if (outage_active_ && recovery_done_ && t >= online_at_) {
+    const Seconds downtime = online_at_ - outage_started_;
+    stats_.recoveries += 1;
+    stats_.total_downtime += downtime;
+    outage_active_ = false;
+    recovery_done_ = false;
+    qrm_->set_online();
+    if (log_)
+      log_->info(online_at_, "resilience",
+                 "QPU returned to service after " +
+                     std::to_string(downtime / hours(1.0)) + " h downtime");
+    if (store_)
+      store_->append(prefix_ + ".recovery_duration_s", t, downtime);
+  }
+
+  record_sensors(t);
+}
+
+void ResilienceSupervisor::begin_outage(const fault::FaultEvent& event) {
+  outage_active_ = true;
+  recovery_done_ = false;
+  outage_started_ = event.at;
+  repair_at_ = event.end();
+  stats_.outages += 1;
+  cryostat_->set_cooling(false);
+  qrm_->set_offline(event.description.empty() ? "thermal excursion"
+                                              : event.description);
+  if (log_)
+    log_->warning(event.at, "resilience",
+                  "outage: " + event.description + "; repair expected in " +
+                      std::to_string(event.duration / hours(1.0)) + " h");
+}
+
+void ResilienceSupervisor::repair_and_recover() {
+  // Underlying issue fixed at repair_at_: restore cooling and run the §3.5
+  // staging. RecoveryProcedure steps the cryostat to base and recalibrates
+  // the device itself (quick vs full from the peak excursion temperature),
+  // so we must not also schedule a QRM calibration for it.
+  cryostat_->set_cooling(true);
+  const Seconds fault_resolution = repair_at_ - outage_started_;
+  RecoveryReport report = recovery_.execute(*cryostat_, *device_,
+                                            fault_resolution, *rng_, log_,
+                                            repair_at_);
+  online_at_ =
+      repair_at_ + report.cooldown + report.calibration + report.verification;
+  recovery_done_ = true;
+  stats_.reports.push_back(report);
+  if (store_) {
+    store_->append(prefix_ + ".recovery_cooldown_s", repair_at_,
+                   report.cooldown);
+    store_->append(prefix_ + ".recovery_peak_k", repair_at_,
+                   report.peak_temperature);
+  }
+}
+
+void ResilienceSupervisor::record_sensors(Seconds t) {
+  if (store_ == nullptr) return;
+  store_->append(prefix_ + ".qpu_online", t, outage_active_ ? 0.0 : 1.0);
+  store_->append(prefix_ + ".dead_letters", t,
+                 static_cast<double>(qrm_->dead_letters().size()));
+  store_->append(prefix_ + ".retry_backlog", t,
+                 static_cast<double>(qrm_->retry_backlog()));
+  store_->append(prefix_ + ".queue_length", t,
+                 static_cast<double>(qrm_->queue_length()));
+}
+
+void ResilienceSupervisor::install_alert_rules(telemetry::AlertEngine& alerts,
+                                               const std::string& prefix) {
+  alerts.add_rule({prefix + ".qpu_down", prefix + ".qpu_online",
+                   telemetry::AlertCondition::kBelow, 0.5, 0.0});
+  alerts.add_rule({prefix + ".jobs_lost", prefix + ".dead_letters",
+                   telemetry::AlertCondition::kAbove, 0.5, 0.0});
+}
+
+}  // namespace hpcqc::ops

@@ -43,7 +43,8 @@ double ModelBackedDevice::qubit_property(QubitProperty prop, int qubit) const {
     case QubitProperty::kReadoutFidelity: return metrics.readout_fidelity;
     case QubitProperty::kHasTlsDefect: return metrics.tls_defect ? 1.0 : 0.0;
   }
-  throw Error("qubit_property: unhandled property");
+  throw PermanentError("qubit_property: unhandled property",
+                       ErrorCode::kInternal);
 }
 
 double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
@@ -55,7 +56,8 @@ double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
           .couplers[static_cast<std::size_t>(edge)]
           .fidelity_cz;
   }
-  throw Error("coupler_property: unhandled property");
+  throw PermanentError("coupler_property: unhandled property",
+                       ErrorCode::kInternal);
 }
 
 double ModelBackedDevice::device_property(DeviceProperty prop) const {
@@ -74,7 +76,8 @@ double ModelBackedDevice::device_property(DeviceProperty prop) const {
     case DeviceProperty::kShotResetUs:
       return model_->spec().passive_reset_us;
   }
-  throw Error("device_property: unhandled property");
+  throw PermanentError("device_property: unhandled property",
+                       ErrorCode::kInternal);
 }
 
 }  // namespace hpcqc::qdmi

@@ -11,6 +11,7 @@
 #include "hpcqc/circuit/circuit.hpp"
 #include "hpcqc/common/log.hpp"
 #include "hpcqc/device/device_model.hpp"
+#include "hpcqc/fault/injector.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/sched/accounting.hpp"
 
@@ -25,7 +26,29 @@ struct QuantumJob {
   std::string project;
 };
 
-enum class QuantumJobState { kQueued, kRunning, kCompleted };
+enum class QuantumJobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kRetrying,   ///< failed an attempt, waiting out its backoff
+  kFailed,     ///< retry budget exhausted; dead-lettered
+  kCancelled,  ///< withdrawn before completion
+};
+
+const char* to_string(QuantumJobState state);
+
+/// Per-job retry policy: attempts are spent on transient execution faults
+/// (not on outages — an offline QPU requeues the job without charging an
+/// attempt), with exponential backoff in simulated time between attempts.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total attempts, including the first
+  Seconds initial_backoff = seconds(30.0);
+  double backoff_factor = 2.0;
+  Seconds max_backoff = hours(2.0);
+
+  /// Backoff after the `failures`-th failed attempt (1-based).
+  Seconds backoff(std::size_t failures) const;
+};
 
 /// Lifecycle + result record of a quantum job.
 struct QuantumJobRecord {
@@ -38,9 +61,25 @@ struct QuantumJobRecord {
   Seconds end_time = -1.0;
   device::ExecutionResult result;  ///< valid when completed
 
+  std::size_t attempts = 0;       ///< execution attempts started
+  std::size_t interruptions = 0;  ///< outage requeues (no attempt charged)
+  Seconds next_retry_at = -1.0;   ///< valid while kRetrying
+  std::string failure_reason;     ///< last failure / cancellation reason
+
   Seconds wait_time() const {
     return start_time < 0.0 ? -1.0 : start_time - submit_time;
   }
+};
+
+/// Terminal record of a job whose retry budget ran out — the §4 "robust
+/// job restart" story's other half: exhausted jobs land here instead of
+/// silently vanishing, so operators (and tests) can audit what was lost.
+struct DeadLetterRecord {
+  int id = 0;
+  std::string name;
+  std::size_t attempts = 0;
+  std::string reason;
+  Seconds failed_at = 0.0;
 };
 
 /// Aggregate throughput / quality metrics of a QRM run.
@@ -55,6 +94,14 @@ struct QrmMetrics {
   Seconds calibration_time = 0.0;
   Seconds benchmark_time = 0.0;
   Seconds mean_wait = 0.0;
+
+  std::size_t jobs_failed = 0;      ///< dead-lettered (budget exhausted)
+  std::size_t jobs_cancelled = 0;
+  std::size_t retries = 0;          ///< failed attempts that were rescheduled
+  std::size_t execution_faults = 0;  ///< injected device faults observed
+  std::size_t calibrations_failed = 0;
+
+  bool operator==(const QrmMetrics&) const = default;
 };
 
 /// The Quantum Resource Manager: the second-level scheduler of the MQSS
@@ -78,6 +125,8 @@ public:
     /// simulations use kEstimateOnly.
     device::ExecutionMode execution_mode =
         device::ExecutionMode::kGlobalDepolarizing;
+    /// Retry budget + backoff for transient execution faults.
+    RetryPolicy retry;
   };
 
   Qrm(device::DeviceModel& device, Config config, Rng& rng,
@@ -87,25 +136,42 @@ public:
   qdmi::DeviceStatus status() const { return status_; }
   bool queue_empty() const { return queue_.empty(); }
   std::size_t queue_length() const { return queue_.size(); }
+  /// Jobs waiting out their retry backoff (not yet requeued).
+  std::size_t retry_backlog() const { return retry_queue_.size(); }
 
   /// Submits a compiled job at the current time; returns its id. With
   /// accounting attached, metered jobs are admission-checked against the
   /// project budget (StateError when it cannot afford the estimate).
   int submit(QuantumJob job);
 
+  /// Cancels a job that has not started (queued or awaiting retry).
+  /// Returns false when the job is running or already terminal.
+  bool cancel(int id, const std::string& reason = "cancelled by user");
+
   /// Attaches a usage ledger (§4: "Resource Usage; and Budgeting"). The
   /// ledger must outlive the QRM; pass nullptr to detach.
   void set_accounting(Accounting* accounting) { accounting_ = accounting; }
+
+  /// Attaches a fault injector: execution attempts and calibrations that
+  /// fall inside one of its windows fail (and retry per the policy). The
+  /// injector must outlive the QRM; pass nullptr to detach.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Advances simulated time, executing jobs / benchmarks / calibrations
   /// and applying calibration drift along the way.
   void advance_to(Seconds t);
 
-  /// Runs until the queue drains and the device is idle.
+  /// Runs until the queue (including retry backlog) drains and the device
+  /// is idle.
   void drain();
 
-  /// Marks the QPU unavailable (outage); queued jobs are retained. While
-  /// offline, time advances but nothing executes.
+  /// Marks the QPU unavailable (outage); queued jobs are retained. An
+  /// in-flight job returns to the queue head with an interruption recorded
+  /// (no retry attempt is charged — the outage is not the job's fault); an
+  /// in-flight forced/recovery calibration is re-armed so it runs when the
+  /// QPU returns. While offline, time advances but nothing executes.
   void set_offline(const std::string& reason);
   /// Returns the QPU to service.
   void set_online();
@@ -116,6 +182,9 @@ public:
 
   const QuantumJobRecord& record(int id) const;
   QrmMetrics metrics() const;
+  const std::vector<DeadLetterRecord>& dead_letters() const {
+    return dead_letters_;
+  }
 
   const calibration::AutoCalibrationController& controller() const {
     return controller_;
@@ -127,6 +196,8 @@ private:
   void finish_phase(Rng& rng);
   void begin_next_work();
   void apply_drift_until(Seconds t);
+  void promote_due_retries();
+  void fail_active_job();
 
   device::DeviceModel* device_;
   Config config_;
@@ -142,14 +213,18 @@ private:
   Seconds phase_start_ = 0.0;
   Seconds phase_end_ = 0.0;
   int active_job_ = -1;
+  bool active_job_faulted_ = false;
   std::optional<calibration::CalibrationKind> active_calibration_;
   std::optional<calibration::CalibrationKind> forced_calibration_;
 
   Accounting* accounting_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
   int next_id_ = 1;
   std::vector<int> queue_;
+  std::vector<int> retry_queue_;  ///< ids waiting out next_retry_at
   std::map<int, QuantumJobRecord> records_;
   std::map<int, QuantumJob> pending_jobs_;
+  std::vector<DeadLetterRecord> dead_letters_;
 
   calibration::AutoCalibrationController controller_;
   calibration::GhzBenchmark benchmark_;

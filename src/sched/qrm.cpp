@@ -1,10 +1,31 @@
 #include "hpcqc/sched/qrm.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "hpcqc/common/error.hpp"
 
 namespace hpcqc::sched {
+
+const char* to_string(QuantumJobState state) {
+  switch (state) {
+    case QuantumJobState::kQueued: return "queued";
+    case QuantumJobState::kRunning: return "running";
+    case QuantumJobState::kCompleted: return "completed";
+    case QuantumJobState::kRetrying: return "retrying";
+    case QuantumJobState::kFailed: return "failed";
+    case QuantumJobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Seconds RetryPolicy::backoff(std::size_t failures) const {
+  expects(failures > 0, "RetryPolicy::backoff: failures is 1-based");
+  const double scaled =
+      initial_backoff *
+      std::pow(backoff_factor, static_cast<double>(failures - 1));
+  return std::min(scaled, max_backoff);
+}
 
 Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
     : device_(&device),
@@ -37,21 +58,60 @@ int Qrm::submit(QuantumJob job) {
   return id;
 }
 
+bool Qrm::cancel(int id, const std::string& reason) {
+  const auto it = records_.find(id);
+  if (it == records_.end())
+    throw NotFoundError("Qrm: unknown job id " + std::to_string(id));
+  QuantumJobRecord& record = it->second;
+  if (record.state != QuantumJobState::kQueued &&
+      record.state != QuantumJobState::kRetrying)
+    return false;
+  std::erase(queue_, id);
+  std::erase(retry_queue_, id);
+  record.state = QuantumJobState::kCancelled;
+  record.failure_reason = reason;
+  record.end_time = now_;
+  record.next_retry_at = -1.0;
+  pending_jobs_.erase(id);
+  metrics_.jobs_cancelled += 1;
+  if (log_)
+    log_->info(now_, "qrm", "job '" + record.name + "' cancelled: " + reason);
+  return true;
+}
+
 void Qrm::set_offline(const std::string& reason) {
   online_ = false;
   status_ = qdmi::DeviceStatus::kOffline;
   // An outage aborts whatever was in flight; the job returns to the queue
   // head (the "more robust job restart tools after system outages" users
-  // asked for in §4 exist because of exactly this path).
+  // asked for in §4 exist because of exactly this path). The interruption
+  // is recorded but no retry attempt is charged: the outage is the
+  // facility's fault, not the job's.
   if (phase_ == Phase::kJob && active_job_ >= 0) {
     auto& record = records_.at(active_job_);
     record.state = QuantumJobState::kQueued;
     record.start_time = -1.0;
     record.end_time = -1.0;
+    if (record.attempts > 0) record.attempts -= 1;
+    record.interruptions += 1;
+    record.failure_reason = "interrupted by outage: " + reason;
     queue_.insert(queue_.begin(), active_job_);
+    if (log_)
+      log_->warning(now_, "qrm",
+                    "job '" + record.name + "' requeued (outage mid-run)");
+  }
+  // A recovery/forced calibration that was interrupted must not be lost:
+  // re-arm it so it runs first when the QPU returns to service.
+  if (phase_ == Phase::kCalibration && active_calibration_.has_value()) {
+    if (!forced_calibration_.has_value() ||
+        *active_calibration_ == calibration::CalibrationKind::kFull)
+      forced_calibration_ = *active_calibration_;
+    if (log_)
+      log_->warning(now_, "qrm", "calibration aborted by outage; re-armed");
   }
   phase_ = Phase::kIdle;
   active_job_ = -1;
+  active_job_faulted_ = false;
   active_calibration_.reset();
   if (log_) log_->warning(now_, "qrm", "QPU offline: " + reason);
 }
@@ -76,11 +136,72 @@ void Qrm::apply_drift_until(Seconds t) {
   }
 }
 
+void Qrm::promote_due_retries() {
+  // Due retries re-enter at the queue head, preserving their backoff order,
+  // so a recovered job does not start over behind a day of fresh arrivals.
+  std::vector<int> due;
+  for (const int id : retry_queue_)
+    if (records_.at(id).next_retry_at <= now_) due.push_back(id);
+  if (due.empty()) return;
+  for (auto it = due.rbegin(); it != due.rend(); ++it)
+    queue_.insert(queue_.begin(), *it);
+  for (const int id : due) {
+    std::erase(retry_queue_, id);
+    auto& record = records_.at(id);
+    record.state = QuantumJobState::kQueued;
+    record.next_retry_at = -1.0;
+  }
+}
+
+void Qrm::fail_active_job() {
+  auto& record = records_.at(active_job_);
+  const QuantumJob& job = pending_jobs_.at(active_job_);
+  metrics_.execution_faults += 1;
+  // Retries are metered: the failed attempt occupied the machine for its
+  // full wall time, and the project pays for it (shots yield nothing).
+  if (accounting_ != nullptr && !job.project.empty())
+    accounting_->charge(job.project, record.result.wall_time, 0);
+  metrics_.busy_time += now_ - record.start_time;
+
+  if (record.attempts >= config_.retry.max_attempts) {
+    record.state = QuantumJobState::kFailed;
+    record.end_time = now_;
+    record.failure_reason = "execution fault; retry budget exhausted after " +
+                            std::to_string(record.attempts) + " attempts";
+    dead_letters_.push_back({record.id, record.name, record.attempts,
+                             record.failure_reason, now_});
+    metrics_.jobs_failed += 1;
+    pending_jobs_.erase(active_job_);
+    if (log_)
+      log_->error(now_, "qrm",
+                  "job '" + record.name + "' dead-lettered after " +
+                      std::to_string(record.attempts) + " attempts");
+  } else {
+    record.state = QuantumJobState::kRetrying;
+    record.failure_reason = "execution fault (attempt " +
+                            std::to_string(record.attempts) + ")";
+    record.next_retry_at = now_ + config_.retry.backoff(record.attempts);
+    retry_queue_.push_back(active_job_);
+    metrics_.retries += 1;
+    if (log_)
+      log_->warning(now_, "qrm",
+                    "job '" + record.name + "' failed attempt " +
+                        std::to_string(record.attempts) + "; retry in " +
+                        std::to_string(record.next_retry_at - now_) + " s");
+  }
+  active_job_ = -1;
+  active_job_faulted_ = false;
+}
+
 void Qrm::finish_phase(Rng& rng) {
   switch (phase_) {
     case Phase::kIdle:
       break;
     case Phase::kJob: {
+      if (active_job_faulted_) {
+        fail_active_job();
+        break;
+      }
       auto& record = records_.at(active_job_);
       record.state = QuantumJobState::kCompleted;
       record.end_time = now_;
@@ -112,6 +233,24 @@ void Qrm::finish_phase(Rng& rng) {
       break;
     }
     case Phase::kCalibration: {
+      // An injected calibration fault makes the run not converge: the
+      // device keeps its drifted state and the slot is re-armed so the
+      // calibration retries once the window passes.
+      if (injector_ != nullptr &&
+          injector_->active(fault::FaultSite::kCalibration, phase_start_)) {
+        metrics_.calibrations_failed += 1;
+        metrics_.calibration_time += now_ - phase_start_;
+        if (!forced_calibration_.has_value() ||
+            *active_calibration_ == calibration::CalibrationKind::kFull)
+          forced_calibration_ = *active_calibration_;
+        if (log_)
+          log_->error(now_, "qrm",
+                      std::string("calibration (") +
+                          to_string(*active_calibration_) +
+                          ") failed to converge (injected fault); re-armed");
+        active_calibration_.reset();
+        break;
+      }
       const auto outcome =
           engine_.run(*device_, *active_calibration_, phase_start_, rng);
       controller_.note_calibration(outcome);
@@ -132,6 +271,8 @@ void Qrm::finish_phase(Rng& rng) {
 }
 
 void Qrm::begin_next_work() {
+  promote_due_retries();
+
   // 1. Forced calibrations (recovery procedures) run first.
   if (forced_calibration_.has_value()) {
     active_calibration_ = *forced_calibration_;
@@ -194,8 +335,15 @@ void Qrm::begin_next_work() {
     const QuantumJob& job = pending_jobs_.at(id);
     record.state = QuantumJobState::kRunning;
     record.start_time = now_;
+    record.attempts += 1;
     record.result = device_->execute(job.circuit, job.shots, *rng_,
                                      config_.execution_mode);
+    // The attempt occupies the machine for its full wall time either way;
+    // whether it comes back with results or an abort is decided by the
+    // fault window covering its start.
+    active_job_faulted_ =
+        injector_ != nullptr &&
+        injector_->active(fault::FaultSite::kDeviceExecution, now_);
     phase_ = Phase::kJob;
     phase_start_ = now_;
     phase_end_ = now_ + config_.job_overhead + record.result.wall_time;
@@ -227,12 +375,16 @@ void Qrm::advance_to(Seconds t) {
     begin_next_work();
     if (phase_ != Phase::kIdle) continue;
 
-    // Nothing to do now; wake at the next benchmark due time if it falls
-    // inside the window.
+    // Nothing to do now; wake at the next benchmark due time or retry
+    // release if one falls inside the window.
     Seconds wake = t;
     if (!controller_.benchmark_history().empty()) {
       const Seconds due = controller_.benchmark_history().back().run_at +
                           config_.controller.benchmark_period;
+      if (due > now_ && due < wake) wake = due;
+    }
+    for (const int id : retry_queue_) {
+      const Seconds due = records_.at(id).next_retry_at;
       if (due > now_ && due < wake) wake = due;
     }
     apply_drift_until(wake);
@@ -243,7 +395,7 @@ void Qrm::advance_to(Seconds t) {
 
 void Qrm::drain() {
   int safety = 0;
-  while (phase_ != Phase::kIdle || !queue_.empty() ||
+  while (phase_ != Phase::kIdle || !queue_.empty() || !retry_queue_.empty() ||
          forced_calibration_.has_value()) {
     advance_to(now_ + hours(1.0));
     expects(++safety < 100000, "Qrm::drain: runaway event loop");

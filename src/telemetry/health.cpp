@@ -40,6 +40,31 @@ void HealthSummary::print(std::ostream& os) const {
   }
 }
 
+AvailabilityReport availability_from_store(const TimeSeriesStore& store,
+                                           const std::string& sensor,
+                                           Seconds t0, Seconds t1) {
+  expects(t1 >= t0, "availability_from_store: window must not be negative");
+  AvailabilityReport report;
+  report.window = t1 - t0;
+
+  // Walk the 1/0 step function; samples before t0 only establish the state
+  // at the window start.
+  double value = 1.0;
+  Seconds cursor = t0;
+  for (const Sample& sample : store.range(sensor, 0.0, t1)) {
+    if (sample.time <= t0) {
+      value = sample.value;
+      continue;
+    }
+    if (value < 0.5) report.downtime += sample.time - cursor;
+    if (value >= 0.5 && sample.value < 0.5) report.outages += 1;
+    cursor = sample.time;
+    value = sample.value;
+  }
+  if (value < 0.5 && t1 > cursor) report.downtime += t1 - cursor;
+  return report;
+}
+
 HealthAnalyzer::HealthAnalyzer() : HealthAnalyzer(Params{}) {}
 
 HealthAnalyzer::HealthAnalyzer(Params params) : params_(params) {

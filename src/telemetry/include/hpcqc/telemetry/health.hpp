@@ -45,6 +45,33 @@ struct HealthSummary {
   void print(std::ostream& os) const;
 };
 
+/// Service-availability view of a campaign window, reconstructed from an
+/// online/offline (1/0) step sensor such as the ResilienceSupervisor's
+/// "resilience.qpu_online" — the paper's multi-day integration campaigns
+/// report exactly this pair of numbers (uptime fraction and how long each
+/// §3.5 recovery took).
+struct AvailabilityReport {
+  Seconds window = 0.0;    ///< analysis window length
+  Seconds downtime = 0.0;  ///< time the sensor read offline
+  std::size_t outages = 0;  ///< online -> offline transitions in the window
+
+  double availability() const {
+    return window <= 0.0 ? 1.0 : 1.0 - downtime / window;
+  }
+  /// Mean time to recovery over the window's outages.
+  Seconds mttr() const {
+    return outages == 0 ? 0.0 : downtime / static_cast<double>(outages);
+  }
+};
+
+/// Walks the step function of a 1/0 availability sensor over [t0, t1].
+/// Samples before t0 establish the state at the window start (online is
+/// assumed when no earlier sample exists); an outage still open at t1
+/// contributes downtime up to t1.
+AvailabilityReport availability_from_store(const TimeSeriesStore& store,
+                                           const std::string& sensor,
+                                           Seconds t0, Seconds t1);
+
 /// Analyzes the per-qubit calibration telemetry written by
 /// DeviceCalibrationCollector (paths qpu.qNN.*).
 class HealthAnalyzer {

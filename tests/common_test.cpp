@@ -29,6 +29,38 @@ TEST(Error, EnsureStateThrowsStateError) {
   EXPECT_THROW(ensure_state(false, "bad state"), StateError);
 }
 
+TEST(Error, TransientVsPermanentTaxonomy) {
+  // The retry machinery keys off the code: transient codes are retriable,
+  // everything else is not.
+  EXPECT_TRUE(is_transient(ErrorCode::kTransient));
+  EXPECT_TRUE(is_transient(ErrorCode::kTimeout));
+  EXPECT_TRUE(is_transient(ErrorCode::kDeviceUnavailable));
+  EXPECT_TRUE(is_transient(ErrorCode::kNetwork));
+  EXPECT_TRUE(is_transient(ErrorCode::kCalibrationFailed));
+  EXPECT_FALSE(is_transient(ErrorCode::kGeneric));
+  EXPECT_FALSE(is_transient(ErrorCode::kPrecondition));
+  EXPECT_FALSE(is_transient(ErrorCode::kInternal));
+
+  const TransientError transient("qpu busy");
+  EXPECT_TRUE(transient.transient());
+  EXPECT_EQ(transient.code(), ErrorCode::kTransient);
+  const TransientError timeout("no answer", ErrorCode::kTimeout);
+  EXPECT_EQ(timeout.code(), ErrorCode::kTimeout);
+
+  const PermanentError permanent("bad circuit");
+  EXPECT_FALSE(permanent.transient());
+
+  // The legacy subclasses carry fixed, non-transient codes.
+  try {
+    expects(false, "contract");
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kPrecondition);
+    EXPECT_FALSE(error.transient());
+  }
+  EXPECT_STREQ(to_string(ErrorCode::kDeviceUnavailable),
+               "device-unavailable");
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123);
   Rng b(123);

@@ -4,6 +4,8 @@
 
 #include "hpcqc/common/error.hpp"
 #include "hpcqc/device/presets.hpp"
+#include "hpcqc/fault/fault_plan.hpp"
+#include "hpcqc/fault/injector.hpp"
 #include "hpcqc/mqss/adapters.hpp"
 #include "hpcqc/mqss/client.hpp"
 #include "hpcqc/qdmi/model_device.hpp"
@@ -175,6 +177,124 @@ TEST_F(ClientTest, CompileCacheCanBeDisabled) {
   service_.compile_only(ghz);
   EXPECT_EQ(service_.cache_hits(), 0u);
   EXPECT_EQ(service_.cache_misses(), 0u);
+}
+
+TEST_F(ClientTest, OfflineQpuFallsBackToEmulatorAndBreakerRecovers) {
+  ResilienceParams resilience;
+  resilience.max_attempts = 2;
+  resilience.breaker_threshold = 2;
+  resilience.breaker_cooldown = minutes(5.0);
+  Client client(service_, clock_, AccessPath::kHpc, {}, resilience);
+
+  // QPU forced offline: both attempts fail, the breaker opens, and the
+  // submission degrades to the digital-twin emulator.
+  qdmi_.set_status(qdmi::DeviceStatus::kOffline);
+  const auto down =
+      client.wait(client.submit(circuit::Circuit::bell(), 500, "down"));
+  EXPECT_TRUE(down.run.emulated);
+  EXPECT_DOUBLE_EQ(down.run.estimated_fidelity, 1.0);
+  EXPECT_DOUBLE_EQ(down.run.qpu_time, 0.0);
+  EXPECT_EQ(down.run.counts.total_shots(), 500u);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(client.breaker_opens(), 1u);
+  EXPECT_EQ(client.fallbacks(), 1u);
+  EXPECT_EQ(client.breaker_state(), BreakerState::kOpen);
+
+  // While open, submissions go straight to the emulator without touching
+  // the machine: no new failed attempts accumulate.
+  const auto held =
+      client.wait(client.submit(circuit::Circuit::bell(), 300, "held"));
+  EXPECT_TRUE(held.run.emulated);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(client.fallbacks(), 2u);
+
+  // The machine recovers; after the cooldown the half-open probe succeeds
+  // and closes the breaker.
+  qdmi_.set_status(qdmi::DeviceStatus::kIdle);
+  clock_.advance(resilience.breaker_cooldown);
+  EXPECT_EQ(client.breaker_state(), BreakerState::kHalfOpen);
+  const auto probe =
+      client.wait(client.submit(circuit::Circuit::bell(), 400, "probe"));
+  EXPECT_FALSE(probe.run.emulated);
+  EXPECT_EQ(probe.run.counts.total_shots(), 400u);
+  EXPECT_EQ(client.breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(ClientTest, TransientFaultIsRetriedWithoutFallback) {
+  // A network-transfer fault window covers the first attempt only; the
+  // submission timeout pushes the retry past it.
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kNetworkTransfer, seconds(5.0),
+            "result transfer corrupted"});
+  fault::FaultInjector injector(plan);
+  service_.set_fault_context(&injector, &clock_);
+
+  Client client(service_, clock_, AccessPath::kHpc);
+  const auto result =
+      client.wait(client.submit(circuit::Circuit::bell(), 200, "retried"));
+  EXPECT_FALSE(result.run.emulated);
+  EXPECT_EQ(result.run.counts.total_shots(), 200u);
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.fallbacks(), 0u);
+  EXPECT_EQ(client.breaker_state(), BreakerState::kClosed);
+  service_.set_fault_context(nullptr, nullptr);
+}
+
+TEST_F(ClientTest, ServiceFaultSitesThrowTypedTransientErrors) {
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kQdmiQuery, seconds(5.0), "QDMI timeout"});
+  fault::FaultInjector injector(plan);
+  service_.set_fault_context(&injector, &clock_);
+  try {
+    service_.run(circuit::Circuit::bell(), 100);
+    FAIL() << "expected TransientError";
+  } catch (const TransientError& error) {
+    EXPECT_TRUE(error.transient());
+    EXPECT_EQ(error.code(), ErrorCode::kTimeout);
+  }
+  clock_.advance(seconds(10.0));  // window over
+  EXPECT_EQ(service_.run(circuit::Circuit::bell(), 100).counts.total_shots(),
+            100u);
+  service_.set_fault_context(nullptr, nullptr);
+}
+
+TEST_F(ClientTest, FallbackDisabledRethrowsAfterExhaustion) {
+  ResilienceParams resilience;
+  resilience.max_attempts = 1;
+  resilience.emulator_fallback = false;
+  Client client(service_, clock_, AccessPath::kHpc, {}, resilience);
+  qdmi_.set_status(qdmi::DeviceStatus::kOffline);
+  EXPECT_THROW(client.submit(circuit::Circuit::bell(), 100), TransientError);
+}
+
+TEST_F(ClientTest, CompileCacheEpochIgnoresTimestampCollisions) {
+  const auto ghz = circuit::Circuit::ghz(4);
+  service_.compile_only(ghz);
+  // Two recalibrations landing at the same simulated instant must both
+  // invalidate: the monotonic epoch counter, not the timestamp, is the key.
+  device_.install_calibration(device_.sample_fresh_calibration(50.0, rng_));
+  service_.compile_only(ghz);
+  device_.install_calibration(device_.sample_fresh_calibration(50.0, rng_));
+  service_.compile_only(ghz);
+  EXPECT_EQ(service_.cache_misses(), 3u);
+  EXPECT_EQ(service_.cache_hits(), 0u);
+}
+
+TEST_F(ClientTest, CompileCacheCapacityEvictsOldestFirst) {
+  service_.set_compile_cache_capacity(2);
+  service_.compile_only(circuit::Circuit::ghz(3));
+  service_.compile_only(circuit::Circuit::ghz(4));
+  service_.compile_only(circuit::Circuit::ghz(5));  // evicts ghz(3)
+  EXPECT_EQ(service_.cache_size(), 2u);
+  service_.compile_only(circuit::Circuit::ghz(5));  // still cached
+  EXPECT_EQ(service_.cache_hits(), 1u);
+  service_.compile_only(circuit::Circuit::ghz(3));  // was evicted: miss
+  EXPECT_EQ(service_.cache_misses(), 4u);
+  EXPECT_EQ(service_.cache_size(), 2u);
+
+  service_.set_compile_cache_capacity(1);  // shrinking evicts immediately
+  EXPECT_EQ(service_.cache_size(), 1u);
+  EXPECT_THROW(service_.set_compile_cache_capacity(0), PreconditionError);
 }
 
 TEST(CircuitHash, StableAndDiscriminating) {

@@ -3,6 +3,8 @@
 #include "hpcqc/calibration/benchmark.hpp"
 #include "hpcqc/common/error.hpp"
 #include "hpcqc/device/presets.hpp"
+#include "hpcqc/fault/fault_plan.hpp"
+#include "hpcqc/fault/injector.hpp"
 #include "hpcqc/sched/qrm.hpp"
 #include "hpcqc/sched/workload.hpp"
 
@@ -141,6 +143,153 @@ TEST_F(QrmTest, WaitTimesAccumulate) {
 TEST_F(QrmTest, UnknownJobThrows) {
   EXPECT_THROW(qrm_.record(404), NotFoundError);
   EXPECT_THROW(qrm_.advance_to(-1.0), PreconditionError);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = seconds(30.0);
+  policy.backoff_factor = 2.0;
+  policy.max_backoff = minutes(2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(1), 30.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(2), 60.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(3), 120.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(4), 120.0);  // capped
+  EXPECT_THROW(policy.backoff(0), PreconditionError);
+}
+
+TEST_F(QrmTest, OfflineMidJobRecordsInterruptionWithoutChargingAnAttempt) {
+  // Pinned set_offline mid-phase semantics: the in-flight job returns to
+  // the queue head, the interruption is recorded, and no retry attempt is
+  // consumed — an outage is the facility's fault, not the job's.
+  const int id = qrm_.submit(ghz_job(device_, 6, 500000, "long"));
+  qrm_.advance_to(minutes(3.0));
+  ASSERT_EQ(qrm_.record(id).state, QuantumJobState::kRunning);
+  EXPECT_EQ(qrm_.record(id).attempts, 1u);
+
+  qrm_.set_offline("cooling lost");
+  const QuantumJobRecord& record = qrm_.record(id);
+  EXPECT_EQ(record.state, QuantumJobState::kQueued);
+  EXPECT_EQ(record.attempts, 0u);
+  EXPECT_EQ(record.interruptions, 1u);
+  EXPECT_NE(record.failure_reason.find("outage"), std::string::npos);
+
+  qrm_.set_online();
+  qrm_.drain();
+  EXPECT_EQ(record.state, QuantumJobState::kCompleted);
+  EXPECT_EQ(record.attempts, 1u);
+  // The restart is not a retry: no attempt failed.
+  EXPECT_EQ(qrm_.metrics().retries, 0u);
+  EXPECT_EQ(qrm_.metrics().execution_faults, 0u);
+}
+
+TEST_F(QrmTest, OfflineMidCalibrationReArmsIt) {
+  qrm_.request_calibration(calibration::CalibrationKind::kFull);
+  qrm_.advance_to(minutes(10.0));
+  ASSERT_EQ(qrm_.status(), qdmi::DeviceStatus::kCalibrating);
+  qrm_.set_offline("power cut");
+  qrm_.set_online();
+  qrm_.drain();
+  // The interrupted calibration ran to completion after the outage.
+  EXPECT_EQ(qrm_.controller().calibration_count(
+                calibration::CalibrationKind::kFull),
+            1u);
+}
+
+TEST_F(QrmTest, TransientExecutionFaultRetriesThenCompletes) {
+  // A short device-execution fault window covers the first attempt; the
+  // retry backoff pushes the second attempt past it.
+  qrm_.advance_to(minutes(10.0));
+  fault::FaultPlan plan;
+  plan.add({minutes(10.0), fault::FaultSite::kDeviceExecution, seconds(10.0),
+            "control electronics glitch"});
+  fault::FaultInjector injector(plan);
+  qrm_.set_fault_injector(&injector);
+
+  const int id = qrm_.submit(ghz_job(device_, 4, 1000, "flaky"));
+  qrm_.drain();
+  const QuantumJobRecord& record = qrm_.record(id);
+  EXPECT_EQ(record.state, QuantumJobState::kCompleted);
+  EXPECT_EQ(record.attempts, 2u);
+  const auto metrics = qrm_.metrics();
+  EXPECT_EQ(metrics.retries, 1u);
+  EXPECT_EQ(metrics.execution_faults, 1u);
+  EXPECT_EQ(metrics.jobs_failed, 0u);
+  EXPECT_EQ(qrm_.dead_letters().size(), 0u);
+}
+
+TEST_F(QrmTest, ExhaustedRetryBudgetDeadLetters) {
+  // The fault window outlasts every backoff: all three attempts fail and
+  // the job lands in the dead-letter record instead of silently vanishing.
+  qrm_.advance_to(minutes(10.0));
+  fault::FaultPlan plan;
+  plan.add({minutes(10.0), fault::FaultSite::kDeviceExecution, minutes(10.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm_.set_fault_injector(&injector);
+
+  const int id = qrm_.submit(ghz_job(device_, 4, 1000, "doomed"));
+  qrm_.drain();
+  const QuantumJobRecord& record = qrm_.record(id);
+  EXPECT_EQ(record.state, QuantumJobState::kFailed);
+  EXPECT_EQ(record.attempts, 3u);
+  ASSERT_EQ(qrm_.dead_letters().size(), 1u);
+  EXPECT_EQ(qrm_.dead_letters()[0].id, id);
+  EXPECT_EQ(qrm_.dead_letters()[0].attempts, 3u);
+  const auto metrics = qrm_.metrics();
+  EXPECT_EQ(metrics.jobs_failed, 1u);
+  EXPECT_EQ(metrics.retries, 2u);
+  EXPECT_EQ(metrics.execution_faults, 3u);
+  EXPECT_EQ(metrics.jobs_completed, 0u);
+
+  // The machine is fine once the window passes: the next job completes.
+  const int ok = qrm_.submit(ghz_job(device_, 4, 1000, "fine"));
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(ok).state, QuantumJobState::kCompleted);
+}
+
+TEST_F(QrmTest, CalibrationFaultReArmsAndRetries) {
+  qrm_.advance_to(minutes(10.0));
+  fault::FaultPlan plan;
+  plan.add({minutes(10.0), fault::FaultSite::kCalibration, minutes(2.0),
+            "calibration did not converge"});
+  fault::FaultInjector injector(plan);
+  qrm_.set_fault_injector(&injector);
+
+  qrm_.request_calibration(calibration::CalibrationKind::kQuick);
+  qrm_.drain();
+  EXPECT_EQ(qrm_.metrics().calibrations_failed, 1u);
+  // The re-armed calibration succeeded once the window passed.
+  EXPECT_EQ(qrm_.controller().calibration_count(
+                calibration::CalibrationKind::kQuick),
+            1u);
+}
+
+TEST_F(QrmTest, CancelQueuedAndRetryingJobs) {
+  qrm_.set_offline("maintenance");  // hold the queue so nothing starts
+  const int a = qrm_.submit(ghz_job(device_, 4, 500, "a"));
+  const int b = qrm_.submit(ghz_job(device_, 4, 500, "b"));
+  EXPECT_TRUE(qrm_.cancel(a, "superseded"));
+  EXPECT_FALSE(qrm_.cancel(a));  // already terminal
+  EXPECT_EQ(qrm_.record(a).state, QuantumJobState::kCancelled);
+  EXPECT_EQ(qrm_.record(a).failure_reason, "superseded");
+  EXPECT_THROW(qrm_.cancel(404), NotFoundError);
+
+  qrm_.set_online();
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(a).state, QuantumJobState::kCancelled);
+  EXPECT_EQ(qrm_.record(b).state, QuantumJobState::kCompleted);
+  const auto metrics = qrm_.metrics();
+  EXPECT_EQ(metrics.jobs_cancelled, 1u);
+  EXPECT_EQ(metrics.jobs_completed, 1u);
+}
+
+TEST_F(QrmTest, RunningJobCannotBeCancelled) {
+  const int id = qrm_.submit(ghz_job(device_, 6, 500000, "long"));
+  qrm_.advance_to(minutes(3.0));
+  ASSERT_EQ(qrm_.record(id).state, QuantumJobState::kRunning);
+  EXPECT_FALSE(qrm_.cancel(id));
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kCompleted);
 }
 
 TEST(QrmPolicy, SchedulerControlledBeatsFixedIntervalOnGoodShots) {
