@@ -1,0 +1,85 @@
+// Cost of the correctness harness itself: how expensive is one fuzz seed?
+//
+// The tier-1 gate runs 200 seeds through the equivalence oracle; this bench
+// breaks that budget down — circuit generation, full-unitary construction,
+// the layout-aware compiled-equivalence check, and an end-to-end seed
+// (generate + compile + check) — so seed-budget choices in CI are grounded
+// in measured per-seed cost rather than guesswork.
+
+#include <benchmark/benchmark.h>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/equivalence.hpp"
+#include "hpcqc/verify/harness.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+struct Fixture {
+  Fixture()
+      : rng(17),
+        device(device::make_grid("bench-2x3", 2, 3, device::DeviceSpec{},
+                                 device::DriftParams{}, rng)),
+        qdmi(device, clock) {}
+
+  Rng rng;
+  SimClock clock;
+  device::DeviceModel device;
+  qdmi::ModelBackedDevice qdmi;
+};
+
+void BM_FuzzerGenerate(benchmark::State& state) {
+  const verify::CircuitFuzzer fuzzer;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzer.generate(seed++));
+  }
+}
+BENCHMARK(BM_FuzzerGenerate);
+
+void BM_CircuitUnitary(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  auto qft = circuit::Circuit::qft(qubits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::circuit_unitary(qft));
+  }
+}
+BENCHMARK(BM_CircuitUnitary)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_VerifyEquivalence(benchmark::State& state) {
+  // The oracle alone: a pre-compiled QFT, checked every iteration. Size is
+  // the virtual register; the native circuit spans the full 2x3 device.
+  Fixture f;
+  const int qubits = static_cast<int>(state.range(0));
+  circuit::Circuit source = circuit::Circuit::qft(qubits);
+  source.measure();
+  const auto program = mqss::compile(source, f.qdmi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::compiled_equivalent(source, program));
+  }
+}
+BENCHMARK(BM_VerifyEquivalence)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_FuzzSeedEndToEnd(benchmark::State& state) {
+  // One full fuzz seed: generate, compile through the standard pipeline,
+  // check equivalence. 200x this number is the tier-1 fuzz budget.
+  Fixture f;
+  const verify::CircuitFuzzer fuzzer;
+  const auto compile = verify::standard_compile(f.qdmi, {});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto circuit = fuzzer.generate(seed++);
+    benchmark::DoNotOptimize(
+        verify::compiled_equivalent(circuit, compile(circuit)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FuzzSeedEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

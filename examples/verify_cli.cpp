@@ -1,0 +1,144 @@
+// verify_cli: the fuzz tier as a standalone tool.
+//
+// Runs the metamorphic compiler oracle (verify::run_equivalence_fuzz) over
+// every placement x routing x optimize combination and prints a per-config
+// failure table. A failing seed is a single replayable number:
+//
+//   verify_cli --seeds=200          # 200 seeds per option set (CI default)
+//   verify_cli --seed=0x2a          # replay one seed through every config,
+//                                   # shrinking any failure to a minimal
+//                                   # counterexample
+//
+// Exit status is non-zero iff any configuration failed, so CI can gate on
+// it directly.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hpcqc/circuit/text.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/harness.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t seeds_per_config = 25;
+  std::optional<std::uint64_t> replay_seed;
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      const long n = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (n <= 0) return std::nullopt;
+      options.seeds_per_config = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.replay_seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+struct Config {
+  hpcqc::mqss::CompilerOptions compiler;
+  std::string label;
+};
+
+std::vector<Config> all_configs() {
+  using hpcqc::mqss::PlacementStrategy;
+  std::vector<Config> configs;
+  for (const auto placement :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    for (const bool optimize : {false, true}) {
+      for (const bool fidelity_routing : {false, true}) {
+        hpcqc::mqss::CompilerOptions compiler{placement, optimize,
+                                              fidelity_routing};
+        std::string label = hpcqc::mqss::to_string(placement);
+        label += optimize ? "+opt" : "";
+        label += fidelity_routing ? "+fid-route" : "";
+        configs.push_back({compiler, std::move(label)});
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcqc;
+
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    std::cerr << "usage: verify_cli [--seeds=N] [--seed=0xHEX]\n";
+    return 2;
+  }
+
+  Rng rng(17);
+  SimClock clock;
+  auto device = device::make_grid("verify-2x3", 2, 3, device::DeviceSpec{},
+                                  device::DriftParams{}, rng);
+  qdmi::ModelBackedDevice qdmi(device, clock);
+  const verify::CircuitFuzzer fuzzer;
+
+  if (options->replay_seed) {
+    // Replay mode: one seed, every config, full counterexample on failure.
+    const std::uint64_t seed = *options->replay_seed;
+    std::cout << "replaying seed 0x" << std::hex << seed << std::dec << ":\n"
+              << circuit::to_text(fuzzer.generate(seed)) << "\n";
+    bool any_failed = false;
+    for (const auto& config : all_configs()) {
+      const auto report = verify::run_equivalence_fuzz(
+          fuzzer, seed, 1, verify::standard_compile(qdmi, config.compiler));
+      if (report.failures == 0) {
+        std::cout << config.label << ": ok\n";
+        continue;
+      }
+      any_failed = true;
+      std::cout << config.label << ": FAILED\n";
+      if (report.first_counterexample)
+        std::cout << report.first_counterexample->describe();
+    }
+    return any_failed ? 1 : 0;
+  }
+
+  Table table({"config", "seeds", "failures", "first failing seed"});
+  std::size_t total_failures = 0;
+  std::uint64_t base_seed = 0;
+  std::optional<verify::Counterexample> first_counterexample;
+  for (const auto& config : all_configs()) {
+    const auto report = verify::run_equivalence_fuzz(
+        fuzzer, base_seed, options->seeds_per_config,
+        verify::standard_compile(qdmi, config.compiler));
+    total_failures += report.failures;
+    if (!first_counterexample && report.first_counterexample)
+      first_counterexample = report.first_counterexample;
+    std::string first_failing = "-";
+    if (!report.failing_seeds.empty()) {
+      std::ostringstream hex;
+      hex << "0x" << std::hex << report.failing_seeds.front();
+      first_failing = hex.str();
+    }
+    table.add_row({config.label, std::to_string(report.seeds_run),
+                   std::to_string(report.failures), first_failing});
+    base_seed += options->seeds_per_config;
+  }
+  table.print(std::cout);
+  if (first_counterexample) std::cout << "\n" << first_counterexample->describe();
+  std::cout << (total_failures == 0 ? "\nall configurations equivalent\n"
+                                    : "\nEQUIVALENCE FAILURES DETECTED\n");
+  return total_failures == 0 ? 0 : 1;
+}

@@ -26,6 +26,15 @@ void Circuit::append(Operation op) {
   if (op.qubits.size() == 2)
     expects(op.qubits[0] != op.qubits[1],
             "Circuit::append: two-qubit op needs distinct qubits");
+  if (op.kind == OpKind::kMeasure && op.qubits.size() > 1) {
+    // A repeated index would alias two outcome bits to one qubit, making
+    // compact_outcome's bit order ambiguous — rejected, like repeated
+    // operands on two-qubit gates.
+    std::vector<int> sorted = op.qubits;
+    std::sort(sorted.begin(), sorted.end());
+    expects(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "Circuit::append: measure lists a qubit twice");
+  }
   ops_.push_back(std::move(op));
 }
 

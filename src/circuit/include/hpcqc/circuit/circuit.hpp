@@ -22,8 +22,9 @@ public:
   std::size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
 
-  /// Appends a validated operation (qubits in range, distinct; parameter
-  /// arity matches the op kind).
+  /// Appends a validated operation (qubits in range and distinct — for
+  /// two-qubit gates and measure lists alike; parameter arity matches the
+  /// op kind).
   void append(Operation op);
 
   // ---- Builder convenience -------------------------------------------------
@@ -60,8 +61,10 @@ public:
   /// synchronize all qubits; measurements are excluded).
   std::size_t depth() const;
 
-  /// Qubits measured by the terminal measure op, in ascending order; all
-  /// qubits if the circuit measures implicitly (no measure op present).
+  /// Qubits measured by the terminal measure op, in the declared order
+  /// (bit i of an outcome corresponds to entry i — compiled circuits rely
+  /// on this to keep virtual bit order); all qubits, ascending, if the
+  /// circuit measures implicitly (no measure op present).
   std::vector<int> measured_qubits() const;
 
   /// True when every gate is in the native set (PRX / CZ).

@@ -103,6 +103,31 @@ void DensityMatrix::apply_depolarizing(int qubit, double p) {
   apply_kraus_1q(kraus, qubit);
 }
 
+void DensityMatrix::apply_depolarizing_2q(int qubit0, int qubit1, double p) {
+  expects(qubit0 >= 0 && qubit0 < num_qubits_ && qubit1 >= 0 &&
+              qubit1 < num_qubits_ && qubit0 != qubit1,
+          "DensityMatrix::apply_depolarizing_2q: invalid qubits");
+  expects(p >= 0.0 && p <= 1.0,
+          "DensityMatrix::apply_depolarizing_2q: p outside [0,1]");
+  if (p == 0.0) return;
+  // rho -> (1-p) rho + p/15 sum_{P != I (x) I} P rho P over the 15
+  // non-identity two-qubit Paulis (all Hermitian, so P = P^dag).
+  const Matrix2 paulis[4] = {gate_i(), gate_x(), gate_y(), gate_z()};
+  std::vector<Complex> accumulated(super_.amplitudes().size(),
+                                   Complex{0.0, 0.0});
+  for (int k = 0; k < 16; ++k) {
+    const double weight = k == 0 ? 1.0 - p : p / 15.0;
+    StateVector branch = super_;
+    const Matrix4 pair = kron(paulis[k / 4], paulis[k % 4]);
+    branch.apply_2q(pair, num_qubits_ + qubit0, num_qubits_ + qubit1);
+    branch.apply_2q(conjugated(pair), qubit0, qubit1);
+    const auto& amps = branch.amplitudes();
+    for (std::size_t i = 0; i < accumulated.size(); ++i)
+      accumulated[i] += weight * amps[i];
+  }
+  super_.mutable_amplitudes() = std::move(accumulated);
+}
+
 void DensityMatrix::apply_amplitude_damping(int qubit, double gamma) {
   expects(gamma >= 0.0 && gamma <= 1.0,
           "DensityMatrix::apply_amplitude_damping: gamma outside [0,1]");

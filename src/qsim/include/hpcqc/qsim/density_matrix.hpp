@@ -36,6 +36,14 @@ public:
   /// average: with probability p a uniformly random non-identity Pauli.
   void apply_depolarizing(int qubit, double p);
 
+  /// Two-qubit depolarizing channel matching
+  /// StateVector::apply_pauli_error_2q's average: with probability p a
+  /// uniformly random non-identity two-qubit Pauli on the pair. This is the
+  /// exact channel the trajectory engine samples per noisy two-qubit step,
+  /// which is what lets the differential oracle in `verify/` compare the
+  /// two simulators without sampling error on this side.
+  void apply_depolarizing_2q(int qubit0, int qubit1, double p);
+
   /// Amplitude damping with decay probability gamma (T1 channel).
   void apply_amplitude_damping(int qubit, double gamma);
 

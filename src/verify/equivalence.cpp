@@ -1,0 +1,253 @@
+#include "hpcqc/verify/equivalence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/qsim/state_vector.hpp"
+
+namespace hpcqc::verify {
+
+using circuit::Circuit;
+using qsim::Complex;
+
+const char* to_string(FrameTolerance frame) {
+  return frame == FrameTolerance::kGlobalPhase ? "global-phase"
+                                               : "output-z-frame";
+}
+
+std::vector<Complex> circuit_unitary(const Circuit& c) {
+  expects(c.num_qubits() <= 10,
+          "circuit_unitary: capped at 10 qubits (16 MiB matrix)");
+  const std::uint64_t dim = std::uint64_t{1} << c.num_qubits();
+  std::vector<Complex> u(dim * dim);
+  qsim::StateVector state(c.num_qubits());
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    auto& amps = state.mutable_amplitudes();
+    std::fill(amps.begin(), amps.end(), Complex{0.0, 0.0});
+    amps[x] = Complex{1.0, 0.0};
+    circuit::apply_gates(state, c);
+    std::copy(state.amplitudes().begin(), state.amplitudes().end(),
+              u.begin() + static_cast<std::ptrdiff_t>(x * dim));
+  }
+  return u;
+}
+
+namespace {
+
+/// Residual of M (= V U^dag, column-major) against the allowed frame set.
+/// For kGlobalPhase the best frame is d0 * I; for kOutputZFrame it is the
+/// tensor-factorized diagonal extracted from M's single-bit entries.
+std::pair<double, std::string> frame_residual(const std::vector<Complex>& m,
+                                              std::uint64_t dim,
+                                              int num_qubits,
+                                              FrameTolerance frame) {
+  const auto at = [&](std::uint64_t r, std::uint64_t c) {
+    return m[r + c * dim];
+  };
+  const Complex d0 = at(0, 0);
+  double worst = std::abs(1.0 - std::abs(d0));
+  std::ostringstream detail;
+  if (worst > 1e-6)
+    detail << "reference diagonal entry M[0,0] has modulus " << std::abs(d0)
+           << "; ";
+
+  // Off-diagonal residual (both modes demand a diagonal M).
+  double off_worst = 0.0;
+  std::uint64_t off_r = 0, off_c = 0;
+  for (std::uint64_t c = 0; c < dim; ++c) {
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      if (r == c) continue;
+      const double mag = std::abs(at(r, c));
+      if (mag > off_worst) {
+        off_worst = mag;
+        off_r = r;
+        off_c = c;
+      }
+    }
+  }
+  if (off_worst > worst) worst = off_worst;
+
+  // Diagonal residual against the allowed frame.
+  double diag_worst = 0.0;
+  std::uint64_t diag_at = 0;
+  for (std::uint64_t y = 0; y < dim; ++y) {
+    Complex predicted = d0;
+    if (frame == FrameTolerance::kOutputZFrame) {
+      for (int v = 0; v < num_qubits; ++v) {
+        if (!(y >> v & 1)) continue;
+        const std::uint64_t e = std::uint64_t{1} << v;
+        predicted *= at(e, e) / d0;
+      }
+    }
+    const double dev = std::abs(at(y, y) - predicted);
+    if (dev > diag_worst) {
+      diag_worst = dev;
+      diag_at = y;
+    }
+  }
+  if (diag_worst > worst) worst = diag_worst;
+
+  if (off_worst >= diag_worst && off_worst > 0.0)
+    detail << "off-diagonal residual " << off_worst << " at (" << off_r
+           << ", " << off_c << ")";
+  else if (diag_worst > 0.0)
+    detail << (frame == FrameTolerance::kGlobalPhase
+                   ? "global-phase diagonal residual "
+                   : "non-factorizing Z-frame residual ")
+           << diag_worst << " at outcome " << diag_at;
+  return {worst, detail.str()};
+}
+
+EquivalenceResult from_residual(double residual, double leaked, double tol,
+                                std::string detail) {
+  EquivalenceResult result;
+  result.max_deviation = residual;
+  result.leaked_norm = leaked;
+  result.equivalent = residual <= tol && leaked <= tol;
+  if (!result.equivalent) result.detail = std::move(detail);
+  return result;
+}
+
+EquivalenceResult failed(std::string detail) {
+  EquivalenceResult result;
+  result.equivalent = false;
+  result.max_deviation = 1.0;
+  result.detail = std::move(detail);
+  return result;
+}
+
+/// M = V U^dag for two column-major dim x dim matrices.
+std::vector<Complex> times_adjoint(const std::vector<Complex>& v,
+                                   const std::vector<Complex>& u,
+                                   std::uint64_t dim) {
+  std::vector<Complex> m(dim * dim);
+  for (std::uint64_t c = 0; c < dim; ++c) {
+    for (std::uint64_t k = 0; k < dim; ++k) {
+      // (V U^dag)[r, c] = sum_k V[r, k] * conj(U[c, k])
+      const Complex w = std::conj(u[c + k * dim]);
+      if (w == Complex{0.0, 0.0}) continue;
+      const Complex* v_col = v.data() + k * dim;
+      Complex* m_col = m.data() + c * dim;
+      for (std::uint64_t r = 0; r < dim; ++r) m_col[r] += v_col[r] * w;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+EquivalenceResult equivalent_up_to_phase(const Circuit& a, const Circuit& b,
+                                         double tol) {
+  expects(a.num_qubits() == b.num_qubits(),
+          "equivalent_up_to_phase: register sizes differ");
+  const std::uint64_t dim = std::uint64_t{1} << a.num_qubits();
+  const auto u = circuit_unitary(a);
+  const auto v = circuit_unitary(b);
+  const auto m = times_adjoint(v, u, dim);
+  auto [residual, detail] =
+      frame_residual(m, dim, a.num_qubits(), FrameTolerance::kGlobalPhase);
+  return from_residual(residual, 0.0, tol, std::move(detail));
+}
+
+EquivalenceResult compiled_equivalent(const Circuit& source,
+                                      const mqss::CompiledProgram& program,
+                                      FrameTolerance frame, double tol) {
+  const int n_v = source.num_qubits();
+  expects(n_v <= 10, "compiled_equivalent: capped at 10 virtual qubits");
+  {
+    const auto& ops = source.ops();
+    expects(std::any_of(ops.begin(), ops.end(),
+                        [](const circuit::Operation& op) {
+                          return op.kind == circuit::OpKind::kMeasure;
+                        }),
+            "compiled_equivalent: source needs a terminal measurement — the "
+            "final wire permutation is read off the compiled measure op");
+    std::vector<int> expected(static_cast<std::size_t>(n_v));
+    std::iota(expected.begin(), expected.end(), 0);
+    expects(source.measured_qubits() == expected,
+            "compiled_equivalent: source must terminally measure all qubits "
+            "in ascending order (Circuit::measure())");
+  }
+  const Circuit& native = program.native_circuit;
+  const int n_d = native.num_qubits();
+  expects(n_d <= 12, "compiled_equivalent: capped at 12 device qubits");
+
+  // Everything below reports compiler bugs as failures (not exceptions):
+  // broken passes are exactly what this oracle exists to catch.
+  const auto& layout = program.initial_layout;
+  if (static_cast<int>(layout.size()) != n_v)
+    return failed("initial_layout has " + std::to_string(layout.size()) +
+                  " entries for " + std::to_string(n_v) + " virtual qubits");
+  std::vector<bool> used(static_cast<std::size_t>(n_d), false);
+  for (int p : layout) {
+    if (p < 0 || p >= n_d)
+      return failed("initial_layout entry " + std::to_string(p) +
+                    " outside the device register");
+    if (used[static_cast<std::size_t>(p)])
+      return failed("initial_layout maps two virtual qubits to physical q" +
+                    std::to_string(p));
+    used[static_cast<std::size_t>(p)] = true;
+  }
+
+  const std::vector<int> final_pos = native.measured_qubits();
+  if (static_cast<int>(final_pos.size()) != n_v)
+    return failed("compiled circuit measures " +
+                  std::to_string(final_pos.size()) + " qubits, expected " +
+                  std::to_string(n_v));
+  std::uint64_t final_mask = 0;
+  for (int p : final_pos) {
+    if (p < 0 || p >= n_d)
+      return failed("compiled measure touches q" + std::to_string(p) +
+                    " outside the device register");
+    const std::uint64_t bit = std::uint64_t{1} << p;
+    if (final_mask & bit)
+      return failed("compiled measure lists physical q" + std::to_string(p) +
+                    " twice");
+    final_mask |= bit;
+  }
+
+  // Column x of the effective virtual-register operator E: evolve the
+  // device register with |x>'s bits injected at the layout positions.
+  const std::uint64_t dim_v = std::uint64_t{1} << n_v;
+  const std::uint64_t dim_d = std::uint64_t{1} << n_d;
+  std::vector<Complex> e(dim_v * dim_v);
+  double leaked = 0.0;
+  qsim::StateVector state(n_d);
+  for (std::uint64_t x = 0; x < dim_v; ++x) {
+    std::uint64_t injected = 0;
+    for (int v = 0; v < n_v; ++v)
+      if (x >> v & 1)
+        injected |= std::uint64_t{1} << layout[static_cast<std::size_t>(v)];
+    auto& amps = state.mutable_amplitudes();
+    std::fill(amps.begin(), amps.end(), Complex{0.0, 0.0});
+    amps[injected] = Complex{1.0, 0.0};
+    circuit::apply_gates(state, native);
+    double column_leak = 0.0;
+    for (std::uint64_t y = 0; y < dim_d; ++y) {
+      const Complex amp = state.amplitudes()[y];
+      if (std::norm(amp) < 1e-30) continue;
+      if (y & ~final_mask) {
+        column_leak += std::norm(amp);  // an ancilla did not return to |0>
+        continue;
+      }
+      e[circuit::compact_outcome(y, final_pos) + x * dim_v] = amp;
+    }
+    // Report the worst input state's leaked probability, a quantity in
+    // [0, 1] regardless of the register size.
+    leaked = std::max(leaked, column_leak);
+  }
+
+  const auto u = circuit_unitary(source);
+  const auto m = times_adjoint(e, u, dim_v);
+  auto [residual, detail] = frame_residual(m, dim_v, n_v, frame);
+  if (leaked > tol)
+    detail = "leaked " + std::to_string(leaked) +
+             " probability onto ancilla qubits; " + detail;
+  return from_residual(residual, leaked, tol, std::move(detail));
+}
+
+}  // namespace hpcqc::verify

@@ -1,0 +1,102 @@
+#include "hpcqc/verify/harness.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "hpcqc/circuit/text.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::verify {
+
+mqss::CompiledProgram run_pipeline(const mqss::PassManager& pipeline,
+                                   const circuit::Circuit& circuit,
+                                   const qdmi::DeviceInterface& device) {
+  expects(circuit.num_qubits() <= device.num_qubits(),
+          "run_pipeline: circuit does not fit the device");
+  mqss::CompilationUnit unit;
+  unit.circuit = circuit;
+  unit.dialect = mqss::Dialect::kCore;
+  pipeline.run(unit, device);
+
+  mqss::CompiledProgram program;
+  program.native_circuit = std::move(unit.circuit);
+  program.initial_layout = std::move(unit.layout);
+  program.pass_trace = std::move(unit.trace);
+  program.native_gate_count = program.native_circuit.gate_count();
+  program.swap_count = unit.swaps_inserted;
+  return program;
+}
+
+CompileFn standard_compile(const qdmi::DeviceInterface& device,
+                           const mqss::CompilerOptions& options) {
+  return [&device, options](const circuit::Circuit& circuit) {
+    return mqss::compile(circuit, device, options);
+  };
+}
+
+std::string Counterexample::describe() const {
+  std::ostringstream os;
+  os << "fuzz counterexample (replay: verify_cli --seed=0x" << std::hex
+     << seed << std::dec << ")\n"
+     << "  original: " << original.num_qubits() << " qubits, "
+     << original.gate_count() << " gates; shrunk: " << shrunk.num_qubits()
+     << " qubits, " << shrunk.gate_count() << " gates\n"
+     << "  failure: "
+     << (failure.detail.empty() ? "compile threw" : failure.detail) << "\n"
+     << "  shrunk circuit:\n";
+  std::istringstream lines(circuit::to_text(shrunk));
+  for (std::string line; std::getline(lines, line);)
+    os << "    " << line << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// Oracle verdict for one circuit; a throwing compile is a failure whose
+/// detail carries the exception text.
+EquivalenceResult judge(const circuit::Circuit& circuit,
+                        const CompileFn& compile, double tol,
+                        FrameTolerance frame) {
+  try {
+    const mqss::CompiledProgram program = compile(circuit);
+    return compiled_equivalent(circuit, program, frame, tol);
+  } catch (const std::exception& e) {
+    EquivalenceResult result;
+    result.equivalent = false;
+    result.max_deviation = 1.0;
+    result.detail = std::string("compile threw: ") + e.what();
+    return result;
+  }
+}
+
+}  // namespace
+
+FuzzReport run_equivalence_fuzz(const CircuitFuzzer& fuzzer,
+                                std::uint64_t first_seed,
+                                std::size_t num_seeds,
+                                const CompileFn& compile, double tol,
+                                FrameTolerance frame) {
+  FuzzReport report;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const circuit::Circuit circuit = fuzzer.generate(seed);
+    const EquivalenceResult verdict = judge(circuit, compile, tol, frame);
+    ++report.seeds_run;
+    if (verdict.equivalent) continue;
+    ++report.failures;
+    report.failing_seeds.push_back(seed);
+    if (!report.first_counterexample) {
+      Counterexample example;
+      example.seed = seed;
+      example.original = circuit;
+      example.shrunk = shrink(circuit, [&](const circuit::Circuit& c) {
+        return !judge(c, compile, tol, frame).equivalent;
+      });
+      example.failure = judge(example.shrunk, compile, tol, frame);
+      report.first_counterexample = std::move(example);
+    }
+  }
+  return report;
+}
+
+}  // namespace hpcqc::verify

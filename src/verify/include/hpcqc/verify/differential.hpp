@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/compiled_program.hpp"
+#include "hpcqc/device/device_model.hpp"
+#include "hpcqc/qsim/readout.hpp"
+#include "hpcqc/verify/stat_assert.hpp"
+
+namespace hpcqc::verify {
+
+/// Exact outcome distribution of a compiled device program under the full
+/// noise model: every step's unitary is applied to a density matrix, each
+/// step's depolarizing channel (the average of the trajectory engine's
+/// stochastic Pauli) follows exactly, the per-qubit readout confusion is
+/// applied analytically, and the result is marginalized onto the measured
+/// bits. This is what the trajectory engine's empirical counts converge to
+/// as shots -> infinity; `dense_readout` must index the program's dense
+/// qubits. Capped at 10 dense qubits (the density matrix's own cap).
+std::vector<double> exact_noisy_distribution(
+    const device::CompiledProgram& program,
+    const qsim::ReadoutError& dense_readout);
+
+/// The per-dense-qubit readout confusion DeviceModel::execute uses for
+/// `program` (the device's full-register readout restricted to the active
+/// qubits).
+qsim::ReadoutError dense_readout_for(const device::DeviceModel& device,
+                                     const device::CompiledProgram& program);
+
+/// Result of one trajectory-vs-density-matrix comparison.
+struct DifferentialReport {
+  ChiSquared chi_squared;
+  TvdCheck tvd;
+  std::vector<double> exact;  ///< the density-matrix side's distribution
+
+  bool pass() const { return chi_squared.pass && tvd.pass; }
+};
+
+/// Differential oracle: executes `circuit` (full-register, topology-legal)
+/// on `device` in trajectory mode with `shots` shots, evolves the identical
+/// compiled program through the exact density matrix, and compares the two
+/// with a chi-squared goodness-of-fit at level `alpha` plus a TVD bound at
+/// false-positive rate `delta`. Both failure probabilities are explicit and
+/// every input is seeded, so a failing report is a deterministic repro.
+DifferentialReport differential_check(device::DeviceModel& device,
+                                      const circuit::Circuit& circuit,
+                                      std::size_t shots, Rng& rng,
+                                      double alpha = 1e-6,
+                                      double delta = 1e-6);
+
+}  // namespace hpcqc::verify

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qsim/gates.hpp"
+
+namespace hpcqc::verify {
+
+/// Dense unitary of the circuit's gate content (barriers and measurements
+/// are skipped), built column by column from basis-state evolutions.
+/// Column-major: entry U|x>_y lives at index y + x * 2^n. Capped at 10
+/// qubits (a 2^10 x 2^10 complex matrix is 16 MiB; beyond that the checker
+/// is the wrong tool).
+std::vector<qsim::Complex> circuit_unitary(const circuit::Circuit& c);
+
+/// What residual operator the checker tolerates between the two unitaries.
+enum class FrameTolerance {
+  /// V = e^{i gamma} U: strict equivalence up to one global phase. Holds
+  /// for individual unitary-preserving rewrites (peephole, routing with
+  /// its permutation undone).
+  kGlobalPhase,
+  /// V = D U with D a tensor product of per-qubit diagonal phases (times a
+  /// global phase). This is the full pipeline's actual contract: native
+  /// decomposition tracks RZ frames virtually and never emits the final
+  /// frame rotations, because they are invisible to Z-basis measurement.
+  /// Any such D leaves every outcome distribution of every input state
+  /// untouched; requiring D to *factorize* per qubit still pins down the
+  /// virtual-Z bookkeeping far tighter than distribution tests do.
+  kOutputZFrame,
+};
+
+const char* to_string(FrameTolerance frame);
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// Worst entry-wise residual against the best-fitting allowed frame.
+  double max_deviation = 0.0;
+  /// Probability mass the compiled circuit leaks outside the image of the
+  /// layout-mapped subspace (ancilla qubits not returned to |0>).
+  double leaked_norm = 0.0;
+  /// Human-readable reason on failure, empty on success.
+  std::string detail;
+
+  explicit operator bool() const { return equivalent; }
+};
+
+/// Compares two circuits over the same register up to global phase.
+EquivalenceResult equivalent_up_to_phase(const circuit::Circuit& a,
+                                         const circuit::Circuit& b,
+                                         double tol = 1e-9);
+
+/// The compiler oracle: checks that `program` (a full-device native
+/// circuit) acts on the layout-mapped input subspace exactly as `source`
+/// does on its virtual register, up to `frame`. Inputs are injected at
+/// `program.initial_layout` positions (ancillas |0>), and the final wire
+/// permutation is read off the compiled terminal measurement — so `source`
+/// must terminally measure all of its qubits in ascending order (what
+/// `Circuit::measure()` produces). Ancillas must return to |0>: any leaked
+/// amplitude fails the check.
+EquivalenceResult compiled_equivalent(
+    const circuit::Circuit& source, const mqss::CompiledProgram& program,
+    FrameTolerance frame = FrameTolerance::kOutputZFrame, double tol = 1e-7);
+
+}  // namespace hpcqc::verify

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/qdmi.hpp"
+#include "hpcqc/verify/equivalence.hpp"
+#include "hpcqc/verify/fuzzer.hpp"
+
+namespace hpcqc::verify {
+
+/// How a fuzz case compiles a circuit. Wrapping compilation in a callback
+/// lets the harness drive custom pipelines — including deliberately broken
+/// passes (mutation checks) — not just mqss::compile.
+using CompileFn =
+    std::function<mqss::CompiledProgram(const circuit::Circuit&)>;
+
+/// Runs an explicit PassManager the way mqss::compile runs the standard
+/// pipeline, producing the same artifact (exposed so tests can splice
+/// broken or ablated passes into the pipeline).
+mqss::CompiledProgram run_pipeline(const mqss::PassManager& pipeline,
+                                   const circuit::Circuit& circuit,
+                                   const qdmi::DeviceInterface& device);
+
+/// A CompileFn for the standard pipeline against `device` (which must
+/// outlive the returned callable).
+CompileFn standard_compile(const qdmi::DeviceInterface& device,
+                           const mqss::CompilerOptions& options);
+
+/// A minimal failing input: the seed that produced it, the original
+/// generated circuit, and its greedy shrink (the smallest circuit for
+/// which the oracle still rejects the compilation).
+struct Counterexample {
+  std::uint64_t seed = 0;
+  circuit::Circuit original{1};
+  circuit::Circuit shrunk{1};
+  EquivalenceResult failure;
+
+  /// Replay-ready report: seed (hex), failure reason, and the shrunk
+  /// circuit in the text format.
+  std::string describe() const;
+};
+
+struct FuzzReport {
+  std::size_t seeds_run = 0;
+  std::size_t failures = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  /// Shrunk for the first failure only (shrinking re-compiles many times).
+  std::optional<Counterexample> first_counterexample;
+};
+
+/// The metamorphic oracle loop: for every seed in [first_seed, first_seed +
+/// num_seeds), generates a circuit, compiles it through `compile`, and
+/// checks layout-aware unitary equivalence at `tol` under `frame`. A
+/// compile-time exception counts as a failure too. The first failing seed
+/// is shrunk to a minimal counterexample.
+FuzzReport run_equivalence_fuzz(
+    const CircuitFuzzer& fuzzer, std::uint64_t first_seed,
+    std::size_t num_seeds, const CompileFn& compile, double tol = 1e-7,
+    FrameTolerance frame = FrameTolerance::kOutputZFrame);
+
+}  // namespace hpcqc::verify

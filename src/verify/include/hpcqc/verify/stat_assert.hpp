@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "hpcqc/qsim/counts.hpp"
+
+namespace hpcqc::verify {
+
+/// Upper tail of the chi-squared distribution with `dof` degrees of
+/// freedom: P(X >= x). Computed via the regularized incomplete gamma
+/// function Q(dof/2, x/2).
+double chi_squared_sf(double x, int dof);
+
+/// Regularized upper incomplete gamma function Q(a, x) = Gamma(a, x) /
+/// Gamma(a), a > 0, x >= 0 (series / continued-fraction evaluation).
+double regularized_gamma_q(double a, double x);
+
+/// Result of a chi-squared goodness-of-fit or two-sample test. `pass` means
+/// "the null hypothesis (same distribution) is NOT rejected at level
+/// alpha": under the null, pass is false with probability <= alpha — that
+/// is the test's explicit false-positive budget. All inputs are seeded, so
+/// a failing assertion is a deterministic repro, not a flake.
+struct ChiSquared {
+  double statistic = 0.0;
+  int dof = 0;
+  double p_value = 1.0;
+  double alpha = 0.0;
+  bool pass = true;
+
+  std::string describe() const;
+};
+
+/// Pearson chi-squared goodness-of-fit of `counts` against the exact
+/// distribution `expected` (size 2^num_qubits). Outcomes whose expected
+/// count falls below `min_expected` are pooled into one tail bin so the
+/// chi-squared approximation stays valid.
+ChiSquared chi_squared_test(const qsim::Counts& counts,
+                            std::span<const double> expected, double alpha,
+                            double min_expected = 5.0);
+
+/// Two-sample chi-squared homogeneity test between two histograms over the
+/// same outcome space (do `a` and `b` draw from the same distribution?).
+ChiSquared chi_squared_two_sample(const qsim::Counts& a, const qsim::Counts& b,
+                                  double alpha, double min_expected = 5.0);
+
+/// High-probability upper bound on the total-variation distance between
+/// the empirical distribution of `shots` iid draws and their true
+/// distribution over `num_outcomes` support points:
+///
+///   E[TVD] <= sqrt(num_outcomes / (4 shots))            (Cauchy-Schwarz)
+///   P(TVD >= E[TVD] + t) <= exp(-2 shots t^2)           (McDiarmid)
+///
+/// so with t = sqrt(ln(1/false_positive_rate) / (2 shots)) the returned
+/// bound is exceeded with probability at most `false_positive_rate`.
+double tvd_bound(std::size_t shots, std::size_t num_outcomes,
+                 double false_positive_rate);
+
+struct TvdCheck {
+  double tvd = 0.0;
+  double bound = 0.0;
+  bool pass = true;
+
+  std::string describe() const;
+};
+
+/// Asserts the empirical TVD of `counts` against `exact` stays under
+/// tvd_bound(total_shots, 2^n, false_positive_rate).
+TvdCheck check_tvd(const qsim::Counts& counts, std::span<const double> exact,
+                   double false_positive_rate);
+
+}  // namespace hpcqc::verify

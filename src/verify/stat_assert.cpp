@@ -1,0 +1,203 @@
+#include "hpcqc/verify/stat_assert.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::verify {
+
+namespace {
+
+/// Lower regularized incomplete gamma P(a, x) by series expansion
+/// (converges fast for x < a + 1).
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper regularized incomplete gamma Q(a, x) by Lentz continued fraction
+/// (converges fast for x >= a + 1).
+double gamma_q_fraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_q(double a, double x) {
+  expects(a > 0.0 && x >= 0.0, "regularized_gamma_q: need a > 0, x >= 0");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_fraction(a, x);
+}
+
+double chi_squared_sf(double x, int dof) {
+  expects(dof >= 1, "chi_squared_sf: need at least one degree of freedom");
+  if (x <= 0.0) return 1.0;
+  return regularized_gamma_q(0.5 * dof, 0.5 * x);
+}
+
+std::string ChiSquared::describe() const {
+  std::ostringstream os;
+  os << "chi2 = " << statistic << " (dof " << dof << "), p = " << p_value
+     << (pass ? " >= " : " < ") << "alpha = " << alpha;
+  return os.str();
+}
+
+ChiSquared chi_squared_test(const qsim::Counts& counts,
+                            std::span<const double> expected, double alpha,
+                            double min_expected) {
+  expects(alpha > 0.0 && alpha < 1.0, "chi_squared_test: alpha in (0, 1)");
+  const std::uint64_t total = counts.total_shots();
+  expects(total > 0, "chi_squared_test: empty counts");
+  expects(expected.size() == (std::size_t{1} << counts.num_qubits()),
+          "chi_squared_test: expected distribution size mismatch");
+
+  // Pool outcomes with small expectation into one tail bin so Pearson's
+  // approximation holds; the tail keeps its own contribution.
+  double statistic = 0.0;
+  int bins = 0;
+  double tail_expected = 0.0;
+  std::uint64_t tail_observed = 0;
+  for (std::size_t outcome = 0; outcome < expected.size(); ++outcome) {
+    const double exp_count = expected[outcome] * static_cast<double>(total);
+    const auto obs = counts.count_of(outcome);
+    if (exp_count < min_expected) {
+      tail_expected += exp_count;
+      tail_observed += obs;
+      continue;
+    }
+    const double diff = static_cast<double>(obs) - exp_count;
+    statistic += diff * diff / exp_count;
+    ++bins;
+  }
+  if (tail_expected >= min_expected) {
+    const double diff = static_cast<double>(tail_observed) - tail_expected;
+    statistic += diff * diff / tail_expected;
+    ++bins;
+  } else if (tail_observed > 0 && bins > 0) {
+    // Shots landed where the exact distribution has (almost) no mass:
+    // fold them in against the floored expectation rather than ignore
+    // impossible outcomes entirely.
+    const double floor_expected = std::max(tail_expected, 0.5);
+    const double diff = static_cast<double>(tail_observed) - floor_expected;
+    statistic += diff * diff / floor_expected;
+    ++bins;
+  }
+
+  ChiSquared result;
+  result.statistic = statistic;
+  result.dof = std::max(bins - 1, 0);
+  result.alpha = alpha;
+  result.p_value = result.dof == 0 ? 1.0 : chi_squared_sf(statistic, result.dof);
+  result.pass = result.p_value >= alpha;
+  return result;
+}
+
+ChiSquared chi_squared_two_sample(const qsim::Counts& a, const qsim::Counts& b,
+                                  double alpha, double min_expected) {
+  expects(alpha > 0.0 && alpha < 1.0,
+          "chi_squared_two_sample: alpha in (0, 1)");
+  expects(a.num_qubits() == b.num_qubits(),
+          "chi_squared_two_sample: outcome spaces differ");
+  const double n_a = static_cast<double>(a.total_shots());
+  const double n_b = static_cast<double>(b.total_shots());
+  expects(n_a > 0 && n_b > 0, "chi_squared_two_sample: empty counts");
+
+  double statistic = 0.0;
+  int bins = 0;
+  double tail_a = 0.0, tail_b = 0.0, tail_pooled = 0.0;
+  const auto contribution = [&](double obs_a, double obs_b, double pooled) {
+    // Expected split of the pooled count proportional to sample sizes.
+    const double exp_a = pooled * n_a / (n_a + n_b);
+    const double exp_b = pooled * n_b / (n_a + n_b);
+    statistic += (obs_a - exp_a) * (obs_a - exp_a) / exp_a +
+                 (obs_b - exp_b) * (obs_b - exp_b) / exp_b;
+    ++bins;
+  };
+  const std::uint64_t dim = std::uint64_t{1} << a.num_qubits();
+  for (std::uint64_t outcome = 0; outcome < dim; ++outcome) {
+    const double obs_a = static_cast<double>(a.count_of(outcome));
+    const double obs_b = static_cast<double>(b.count_of(outcome));
+    const double pooled = obs_a + obs_b;
+    if (pooled == 0.0) continue;
+    const double min_exp =
+        pooled * std::min(n_a, n_b) / (n_a + n_b);
+    if (min_exp < min_expected) {
+      tail_a += obs_a;
+      tail_b += obs_b;
+      tail_pooled += pooled;
+      continue;
+    }
+    contribution(obs_a, obs_b, pooled);
+  }
+  if (tail_pooled > 0.0 &&
+      tail_pooled * std::min(n_a, n_b) / (n_a + n_b) >= min_expected)
+    contribution(tail_a, tail_b, tail_pooled);
+
+  ChiSquared result;
+  result.statistic = statistic;
+  result.dof = std::max(bins - 1, 0);
+  result.alpha = alpha;
+  result.p_value = result.dof == 0 ? 1.0 : chi_squared_sf(statistic, result.dof);
+  result.pass = result.p_value >= alpha;
+  return result;
+}
+
+double tvd_bound(std::size_t shots, std::size_t num_outcomes,
+                 double false_positive_rate) {
+  expects(shots > 0, "tvd_bound: need at least one shot");
+  expects(false_positive_rate > 0.0 && false_positive_rate < 1.0,
+          "tvd_bound: false_positive_rate in (0, 1)");
+  const double n = static_cast<double>(shots);
+  const double k = static_cast<double>(num_outcomes);
+  const double mean_bound = std::sqrt(k / (4.0 * n));
+  const double tail = std::sqrt(std::log(1.0 / false_positive_rate) /
+                                (2.0 * n));
+  return mean_bound + tail;
+}
+
+std::string TvdCheck::describe() const {
+  std::ostringstream os;
+  os << "tvd = " << tvd << (pass ? " <= " : " > ") << "bound = " << bound;
+  return os.str();
+}
+
+TvdCheck check_tvd(const qsim::Counts& counts, std::span<const double> exact,
+                   double false_positive_rate) {
+  expects(exact.size() == (std::size_t{1} << counts.num_qubits()),
+          "check_tvd: exact distribution size mismatch");
+  TvdCheck check;
+  check.tvd = counts.total_variation_distance(exact);
+  check.bound =
+      tvd_bound(counts.total_shots(), exact.size(), false_positive_rate);
+  check.pass = check.tvd <= check.bound;
+  return check;
+}
+
+}  // namespace hpcqc::verify

@@ -38,6 +38,18 @@ TEST(Circuit, BuilderValidatesOperands) {
   EXPECT_THROW(c.measure({5}), PreconditionError);
 }
 
+TEST(Circuit, RejectsRepeatedMeasureQubits) {
+  // A repeated index would alias two outcome bits onto one qubit; the
+  // compaction bit order would be ambiguous, so append rejects it just
+  // like repeated operands on a two-qubit gate.
+  Circuit c(3);
+  EXPECT_THROW(c.measure({0, 1, 0}), PreconditionError);
+  EXPECT_THROW(c.measure({2, 2}), PreconditionError);
+  // Distinct (even unsorted) lists stay legal, and declared order sticks.
+  c.measure({2, 0});
+  EXPECT_EQ(c.measured_qubits(), (std::vector<int>{2, 0}));
+}
+
 TEST(Circuit, GateCountsAndDepth) {
   Circuit c(3);
   c.h(0).cx(0, 1).cx(1, 2).barrier().x(0);

@@ -128,6 +128,72 @@ TEST(DensityMatrix, TrajectoryAverageConvergesToChannel) {
   EXPECT_NEAR(avg_zz, exact_zz, 0.01);
 }
 
+TEST(DensityMatrix, Depolarizing2qPreservesTraceAndIsIdentityAtZero) {
+  DensityMatrix rho(2);
+  rho.apply_1q(gate_h(), 0);
+  rho.apply_2q(gate_cx(), 0, 1);
+  const auto before = rho.probabilities();
+  const auto coherence = rho.element(0, 3);
+  rho.apply_depolarizing_2q(0, 1, 0.0);
+  const auto after = rho.probabilities();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_NEAR(after[i], before[i], 1e-12);
+  EXPECT_NEAR(std::abs(rho.element(0, 3) - coherence), 0.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+
+  rho.apply_depolarizing_2q(0, 1, 0.3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, Depolarizing2qFullStrengthOnGroundState) {
+  // p = 1: uniformly one of the 15 non-identity two-qubit Paulis. On
+  // |00><00| the Paulis whose both factors are diagonal (I/Z on each
+  // qubit, minus the identity itself: 3 of 15) leave the outcome at 00;
+  // each bit-flip pattern collects 4 of the 16 I/X/Y/Z combinations.
+  DensityMatrix rho(2);
+  rho.apply_depolarizing_2q(0, 1, 1.0);
+  const auto probs = rho.probabilities();
+  EXPECT_NEAR(probs[0], 3.0 / 15.0, 1e-12);
+  EXPECT_NEAR(probs[1], 4.0 / 15.0, 1e-12);
+  EXPECT_NEAR(probs[2], 4.0 / 15.0, 1e-12);
+  EXPECT_NEAR(probs[3], 4.0 / 15.0, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, TrajectoryAverageConvergesToChannel2q) {
+  // apply_depolarizing_2q is the exact average of the trajectory engine's
+  // stochastic two-qubit Pauli — the identity the differential oracle in
+  // verify/ rests on.
+  const double p = 0.25;
+  DensityMatrix exact(2);
+  exact.apply_1q(gate_h(), 0);
+  exact.apply_2q(gate_cx(), 0, 1);
+  exact.apply_depolarizing_2q(0, 1, p);
+  const auto exact_probs = exact.probabilities();
+  const double exact_zz = exact.expectation_z(0b11);
+
+  Rng rng(9);
+  std::vector<double> avg_probs(4, 0.0);
+  double avg_zz = 0.0;
+  const int trajectories = 40000;
+  for (int t = 0; t < trajectories; ++t) {
+    StateVector psi(2);
+    psi.apply_1q(gate_h(), 0);
+    psi.apply_2q(gate_cx(), 0, 1);
+    psi.apply_pauli_error_2q(0, 1, p, rng);
+    const auto probs = psi.probabilities();
+    for (std::size_t i = 0; i < probs.size(); ++i) avg_probs[i] += probs[i];
+    avg_zz += psi.expectation_z(0b11);
+  }
+  for (auto& value : avg_probs) value /= trajectories;
+  avg_zz /= trajectories;
+
+  for (std::size_t i = 0; i < avg_probs.size(); ++i)
+    EXPECT_NEAR(avg_probs[i], exact_probs[i], 0.01) << "outcome " << i;
+  EXPECT_NEAR(avg_zz, exact_zz, 0.01);
+}
+
 TEST(DensityMatrix, KrausSetMustBeTracePreservingToKeepTrace) {
   // A deliberately non-trace-preserving set shows up in the trace.
   DensityMatrix rho(1);

@@ -137,6 +137,40 @@ TEST(ReadoutMitigator, Validation) {
   EXPECT_THROW(mitigator.mitigate(wrong), PreconditionError);
 }
 
+TEST(ReadoutMitigator, RejectsSingularConfusionMatrices) {
+  // At p01 + p10 = 1 the per-qubit confusion matrix is singular and the
+  // correction is undefined; the constructor draws the line at 0.5 per
+  // error so the matrix always stays invertible.
+  EXPECT_THROW(ReadoutMitigator({{0.5, 0.5}}), PreconditionError);
+  EXPECT_THROW(ReadoutMitigator({{0.5, 0.0}}), PreconditionError);
+  EXPECT_THROW(ReadoutMitigator({{0.0, 0.5}}), PreconditionError);
+  EXPECT_THROW(ReadoutMitigator({{0.01, 0.01}, {0.7, 0.2}}),
+               PreconditionError);
+}
+
+TEST(ReadoutMitigator, NearSingularConfusionStaysFiniteAndNormalized) {
+  // Just inside the validity region (det = 1 - a - b = 0.02) the inverse
+  // amplifies noise by ~1/det but must stay finite, and the mitigated
+  // quasi-probabilities must still sum to one exactly.
+  const ReadoutMitigator mitigator({{0.49, 0.49}, {0.49, 0.49}});
+  qsim::Counts counts;
+  counts.set_num_qubits(2);
+  counts.add(0b00, 520);
+  counts.add(0b01, 480);
+  counts.add(0b10, 510);
+  counts.add(0b11, 490);
+  const auto quasi = mitigator.mitigate(counts);
+  ASSERT_EQ(quasi.size(), 4u);
+  double sum = 0.0;
+  for (const double q : quasi) {
+    EXPECT_TRUE(std::isfinite(q));
+    // Amplification is bounded by (1/det)^2 per bit pair.
+    EXPECT_LT(std::abs(q), 1.0 / (0.02 * 0.02));
+    sum += q;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
 TEST(Zne, ExtrapolationMethodsOnSyntheticDecay) {
   // v(s) = 0.9 * exp(-0.1 s): zero-noise value 0.9.
   const std::vector<int> scales{1, 3, 5};

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "hpcqc/circuit/execute.hpp"
 #include "hpcqc/common/error.hpp"
 #include "hpcqc/common/sim_clock.hpp"
@@ -255,6 +257,80 @@ TEST_F(CompilerTest, DialectProgression) {
   EXPECT_THROW(PlacementPass(PlacementStrategy::kStatic)
                    .run(native_unit, qdmi_),
                PreconditionError);
+}
+
+TEST_F(CompilerTest, CompiledProgramInvariantsHoldForBothStrategies) {
+  auto source = circuit::Circuit::qft(5);
+  source.measure();
+  for (const auto strategy :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    const CompiledProgram program =
+        compile(source, qdmi_, {strategy, true, true});
+
+    // The native unit carries only the device gate set, on coupled pairs.
+    for (const auto& op : program.native_circuit.ops()) {
+      if (op.kind == circuit::OpKind::kBarrier ||
+          op.kind == circuit::OpKind::kMeasure)
+        continue;
+      EXPECT_TRUE(circuit::op_is_native(op.kind))
+          << to_string(strategy) << ": " << circuit::to_string(op);
+      if (circuit::op_is_two_qubit(op.kind)) {
+        EXPECT_TRUE(device_.topology().has_edge(op.qubits[0], op.qubits[1]))
+            << to_string(strategy) << ": " << circuit::to_string(op);
+      }
+    }
+
+    // initial_layout is an injective map into the device register.
+    ASSERT_EQ(program.initial_layout.size(), 5u) << to_string(strategy);
+    std::vector<bool> used(static_cast<std::size_t>(device_.num_qubits()));
+    for (const int phys : program.initial_layout) {
+      ASSERT_GE(phys, 0) << to_string(strategy);
+      ASSERT_LT(phys, device_.num_qubits()) << to_string(strategy);
+      EXPECT_FALSE(used[static_cast<std::size_t>(phys)])
+          << to_string(strategy) << ": physical qubit used twice";
+      used[static_cast<std::size_t>(phys)] = true;
+    }
+
+    // Bookkeeping mirrors the circuit it describes.
+    EXPECT_EQ(program.native_gate_count, program.native_circuit.gate_count())
+        << to_string(strategy);
+    ASSERT_FALSE(program.pass_trace.empty());
+    EXPECT_EQ(program.pass_trace.front(),
+              strategy == PlacementStrategy::kStatic
+                  ? "place-static"
+                  : "place-fidelity-aware");
+  }
+}
+
+TEST_F(CompilerTest, SwapsInsertedMatchesTheRoutedCircuitForBothStrategies) {
+  // ghz(8) on the identity layout crosses the 4x5 grid's row boundary, so
+  // routing must insert SWAPs; the counter must agree with the op list
+  // (counted before native decomposition melts SWAPs into CZ/PRX).
+  const auto source = circuit::Circuit::ghz(8);  // contains no SWAP ops
+  for (const auto strategy :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    for (const bool fidelity_aware : {false, true}) {
+      CompilationUnit unit;
+      unit.circuit = source;
+      unit.dialect = Dialect::kCore;
+      PassManager pipeline;
+      pipeline.add(std::make_unique<PlacementPass>(strategy));
+      pipeline.add(std::make_unique<RoutingPass>(fidelity_aware));
+      pipeline.run(unit, qdmi_);
+      std::size_t swap_ops = 0;
+      for (const auto& op : unit.circuit.ops())
+        if (op.kind == circuit::OpKind::kSwap) ++swap_ops;
+      EXPECT_EQ(swap_ops, unit.swaps_inserted)
+          << to_string(strategy) << " fidelity_aware=" << fidelity_aware;
+      ASSERT_EQ(unit.trace.size(), 2u);
+      EXPECT_EQ(unit.trace[1],
+                fidelity_aware ? "route-fidelity-aware" : "route");
+      if (strategy == PlacementStrategy::kStatic) {
+        EXPECT_GT(unit.swaps_inserted, 0u) << "identity layout of a ghz(8) "
+                                              "chain should need routing";
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+// The differential noise oracle: the stochastic trajectory engine's
+// empirical counts must match the exact density-matrix evolution of the
+// identical compiled program, under explicit seeded false-positive budgets
+// (chi-squared at alpha, TVD bound at delta).
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "hpcqc/circuit/execute.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/compiled_program.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/differential.hpp"
+#include "hpcqc/verify/fuzzer.hpp"
+
+namespace hpcqc::verify {
+namespace {
+
+device::DeviceSpec noiseless_spec() {
+  device::DeviceSpec spec;
+  spec.nominal_fidelity_1q = 1.0;
+  spec.nominal_fidelity_cz = 1.0;
+  spec.nominal_readout_fidelity = 1.0;
+  spec.calibration_spread = 0.0;
+  return spec;
+}
+
+class DifferentialTest : public ::testing::Test {
+protected:
+  DifferentialTest()
+      : rng_(5),
+        device_(device::make_grid("diff-2x3", 2, 3, device::DeviceSpec{},
+                                  device::DriftParams{}, rng_)),
+        qdmi_(device_, clock_) {}
+
+  Rng rng_;
+  SimClock clock_;
+  device::DeviceModel device_;
+  qdmi::ModelBackedDevice qdmi_;
+};
+
+TEST(ExactNoisyDistribution, NoiselessProgramIsDeterministic) {
+  Rng rng(1);
+  auto device = device::make_grid("ideal-2x2", 2, 2, noiseless_spec(),
+                                  device::DriftParams{}, rng);
+  circuit::Circuit c(device.num_qubits());
+  c.prx(M_PI, 0.0, 0);  // X on qubit 0
+  c.measure({0, 1});
+  const device::CompiledProgram program(c, device.topology(),
+                                        device.calibration());
+  const auto exact =
+      exact_noisy_distribution(program, dense_readout_for(device, program));
+  ASSERT_EQ(exact.size(), 4u);
+  // The twin clamps element errors to a 1e-6 floor even at nominal
+  // fidelity 1.0 (no physical device is perfect), hence the tolerance.
+  EXPECT_NEAR(exact[1], 1.0, 1e-4);  // bit 0 set, bit 1 clear
+  EXPECT_NEAR(exact[0] + exact[2] + exact[3], 0.0, 1e-4);
+}
+
+TEST(ExactNoisyDistribution, ReadoutConfusionIsAppliedAnalytically) {
+  Rng rng(2);
+  auto spec = noiseless_spec();
+  spec.nominal_readout_fidelity = 0.9;
+  auto device = device::make_grid("readout-2x2", 2, 2, spec,
+                                  device::DriftParams{}, rng);
+  circuit::Circuit c(device.num_qubits());
+  c.prx(M_PI, 0.0, 0);
+  c.measure({0, 1});
+  const device::CompiledProgram program(c, device.topology(),
+                                        device.calibration());
+  const auto readout = dense_readout_for(device, program);
+  const auto exact = exact_noisy_distribution(program, readout);
+  ASSERT_EQ(exact.size(), 4u);
+  const double sum = std::accumulate(exact.begin(), exact.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // True outcome is 01 (bit 0 set). Cross-check against the per-qubit
+  // confusion the device reports for these bits.
+  const double keep0 = 1.0 - readout.qubit(0).p_read0_given1;
+  const double keep1 = 1.0 - readout.qubit(1).p_read1_given0;
+  // 1e-4 headroom for the twin's 1e-6 gate-error floor (see above).
+  EXPECT_NEAR(exact[1], keep0 * keep1, 1e-4);
+  EXPECT_GT(exact[1], exact[0]);
+  EXPECT_GT(exact[1], exact[3]);
+}
+
+TEST_F(DifferentialTest, TrajectoryEngineMatchesDensityMatrixOnGhz) {
+  const auto program = mqss::compile(circuit::Circuit::ghz(4), qdmi_);
+  Rng shots_rng(101);
+  const auto report =
+      differential_check(device_, program.native_circuit, 4000, shots_rng);
+  EXPECT_TRUE(report.pass())
+      << report.chi_squared.describe() << "\n"
+      << report.tvd.describe();
+  const double sum =
+      std::accumulate(report.exact.begin(), report.exact.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(DifferentialTest, TrajectoryEngineMatchesDensityMatrixOnFuzzCircuits) {
+  FuzzerConfig config;
+  config.min_qubits = 2;
+  config.max_qubits = 4;
+  config.max_ops = 15;
+  const CircuitFuzzer fuzzer(config);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto program = mqss::compile(fuzzer.generate(seed), qdmi_);
+    Rng shots_rng(200 + seed);
+    const auto report =
+        differential_check(device_, program.native_circuit, 3000, shots_rng);
+    EXPECT_TRUE(report.pass())
+        << "seed " << seed << "\n"
+        << report.chi_squared.describe() << "\n"
+        << report.tvd.describe();
+  }
+}
+
+TEST_F(DifferentialTest, OracleHasPowerToDetectAWrongNoiseModel) {
+  // Crank up CZ noise, then compare the trajectory counts against the
+  // *ideal* (noise-free) distribution: if the chi-squared accepted this,
+  // the oracle could never distinguish the two simulators disagreeing.
+  Rng make_rng(9);
+  auto spec = device::DeviceSpec{};
+  spec.nominal_fidelity_cz = 0.8;
+  auto noisy = device::make_grid("noisy-2x3", 2, 3, spec,
+                                 device::DriftParams{}, make_rng);
+  SimClock clock;
+  qdmi::ModelBackedDevice qdmi(noisy, clock);
+  const auto program = mqss::compile(circuit::Circuit::ghz(4), qdmi);
+
+  Rng shots_rng(303);
+  const auto counts =
+      noisy
+          .execute(program.native_circuit, 4000, shots_rng,
+                   device::ExecutionMode::kTrajectory)
+          .counts;
+  const auto ideal = circuit::ideal_distribution(program.native_circuit);
+  const auto wrong = chi_squared_test(counts, ideal, 1e-6);
+  EXPECT_FALSE(wrong.pass) << wrong.describe();
+
+  // While the honest comparison against the exact noisy evolution passes.
+  Rng repeat_rng(303);
+  const auto report =
+      differential_check(noisy, program.native_circuit, 4000, repeat_rng);
+  EXPECT_TRUE(report.pass())
+      << report.chi_squared.describe() << "\n"
+      << report.tvd.describe();
+}
+
+TEST_F(DifferentialTest, ReportIsBitIdenticalAcrossSeedsAndThreadCounts) {
+  const auto program = mqss::compile(circuit::Circuit::ghz(3), qdmi_);
+  const auto run_once = [&] {
+    Rng shots_rng(77);
+    return differential_check(device_, program.native_circuit, 1500,
+                              shots_rng);
+  };
+  omp_set_num_threads(1);
+  const auto serial = run_once();
+  omp_set_num_threads(omp_get_num_procs());
+  const auto parallel = run_once();
+  EXPECT_EQ(serial.chi_squared.statistic, parallel.chi_squared.statistic);
+  EXPECT_EQ(serial.tvd.tvd, parallel.tvd.tvd);
+  EXPECT_EQ(serial.exact, parallel.exact);
+}
+
+}  // namespace
+}  // namespace hpcqc::verify

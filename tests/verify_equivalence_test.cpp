@@ -1,0 +1,292 @@
+// Tests for the verify/ metamorphic oracle: dense circuit unitaries,
+// phase-tolerant equivalence, the compiled-program checker (layout
+// injection, frame tolerance, ancilla leakage), and the seeded fuzzer
+// with its greedy shrinker.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/equivalence.hpp"
+#include "hpcqc/verify/fuzzer.hpp"
+
+namespace hpcqc::verify {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+TEST(CircuitUnitary, HadamardMatchesKnownMatrix) {
+  circuit::Circuit c(1);
+  c.h(0);
+  const auto u = circuit_unitary(c);
+  ASSERT_EQ(u.size(), 4u);
+  // Column-major: entry (row y, column x) at y + x * dim.
+  EXPECT_NEAR(u[0].real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(u[1].real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(u[2].real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(u[3].real(), -kInvSqrt2, 1e-12);
+}
+
+TEST(CircuitUnitary, CxPermutesBasisStates) {
+  circuit::Circuit c(2);
+  c.cx(0, 1);
+  const auto u = circuit_unitary(c);
+  ASSERT_EQ(u.size(), 16u);
+  // CX(control=0, target=1): |01> (x=1, q0 set) -> |11> (y=3).
+  EXPECT_NEAR(std::abs(u[3 + 1 * 4]), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(u[1 + 1 * 4]), 0.0, 1e-12);
+  // |00> and |10> (q0 clear) are fixed points.
+  EXPECT_NEAR(std::abs(u[0 + 0 * 4]), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(u[2 + 2 * 4]), 1.0, 1e-12);
+}
+
+TEST(CircuitUnitary, SkipsBarriersAndMeasurements) {
+  circuit::Circuit plain(2);
+  plain.h(0).cz(0, 1);
+  circuit::Circuit decorated(2);
+  decorated.h(0).barrier().cz(0, 1).measure();
+  const auto a = circuit_unitary(plain);
+  const auto b = circuit_unitary(decorated);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+}
+
+TEST(CircuitUnitary, RejectsRegistersAboveTheCap) {
+  const circuit::Circuit c(11);
+  EXPECT_THROW((void)circuit_unitary(c), Error);
+}
+
+TEST(EquivalentUpToPhase, ZEqualsRzPiUpToGlobalPhase) {
+  circuit::Circuit a(1);
+  a.z(0);
+  circuit::Circuit b(1);
+  b.rz(M_PI, 0);  // diag(e^{-i pi/2}, e^{i pi/2}) = -i Z
+  const auto result = equivalent_up_to_phase(a, b);
+  EXPECT_TRUE(result) << result.detail;
+  EXPECT_LT(result.max_deviation, 1e-9);
+}
+
+TEST(EquivalentUpToPhase, DistinguishesXFromY) {
+  circuit::Circuit a(1);
+  a.x(0);
+  circuit::Circuit b(1);
+  b.y(0);
+  const auto result = equivalent_up_to_phase(a, b);
+  EXPECT_FALSE(result);
+  EXPECT_FALSE(result.detail.empty());
+  EXPECT_GT(result.max_deviation, 0.1);
+}
+
+TEST(EquivalentUpToPhase, QftTimesInverseIsIdentity) {
+  const auto qft = circuit::Circuit::qft(3);
+  const auto inverse = qft.inverse();
+  circuit::Circuit round_trip(3);
+  for (const auto& op : qft.ops()) round_trip.append(op);
+  for (const auto& op : inverse.ops()) round_trip.append(op);
+  const circuit::Circuit identity(3);
+  const auto result = equivalent_up_to_phase(round_trip, identity);
+  EXPECT_TRUE(result) << result.detail;
+}
+
+// ---- Compiled-program oracle ----------------------------------------------
+
+class CompiledEquivalenceTest : public ::testing::Test {
+protected:
+  CompiledEquivalenceTest()
+      : rng_(7),
+        device_(device::make_grid("grid-2x3", 2, 3, device::DeviceSpec{},
+                                  device::DriftParams{}, rng_)),
+        qdmi_(device_, clock_) {}
+
+  Rng rng_;
+  SimClock clock_;
+  device::DeviceModel device_;
+  qdmi::ModelBackedDevice qdmi_;
+};
+
+TEST_F(CompiledEquivalenceTest, GhzCompilesEquivalentUnderAllOptionSets) {
+  const auto source = circuit::Circuit::ghz(4);
+  for (const auto placement : {mqss::PlacementStrategy::kStatic,
+                               mqss::PlacementStrategy::kFidelityAware}) {
+    for (const bool optimize : {false, true}) {
+      for (const bool fidelity_routing : {false, true}) {
+        const auto program = mqss::compile(
+            source, qdmi_, {placement, optimize, fidelity_routing});
+        const auto result = compiled_equivalent(source, program);
+        EXPECT_TRUE(result)
+            << "placement=" << mqss::to_string(placement)
+            << " optimize=" << optimize << " routing=" << fidelity_routing
+            << ": " << result.detail;
+      }
+    }
+  }
+}
+
+TEST_F(CompiledEquivalenceTest, QftWithRoutingStaysEquivalent) {
+  auto source = circuit::Circuit::qft(4);
+  source.measure();
+  const auto program = mqss::compile(
+      source, qdmi_, {mqss::PlacementStrategy::kStatic, true, false});
+  // QFT on a static 2x3-grid layout forces SWAP routing; the oracle must
+  // see through the inserted permutation.
+  const auto result = compiled_equivalent(source, program);
+  EXPECT_TRUE(result) << result.detail;
+  EXPECT_LT(result.leaked_norm, 1e-9);
+}
+
+TEST_F(CompiledEquivalenceTest, TrailingRzIsToleratedAsOutputZFrame) {
+  const auto source = circuit::Circuit::ghz(3);
+  auto program = mqss::compile(source, qdmi_);
+  // An extra Z-rotation on a measured wire changes only its output frame:
+  // invisible to Z-basis measurement, so the Z-frame contract accepts it
+  // while strict global-phase equivalence must not.
+  const int wire0 = program.native_circuit.measured_qubits()[0];
+  program.native_circuit.rz(0.7, wire0);
+  EXPECT_TRUE(
+      compiled_equivalent(source, program, FrameTolerance::kOutputZFrame));
+  const auto strict =
+      compiled_equivalent(source, program, FrameTolerance::kGlobalPhase);
+  EXPECT_FALSE(strict);
+  EXPECT_FALSE(strict.detail.empty());
+}
+
+TEST_F(CompiledEquivalenceTest, TamperedGateIsDetected) {
+  const auto source = circuit::Circuit::ghz(3);
+  auto program = mqss::compile(source, qdmi_);
+  const int wire1 = program.native_circuit.measured_qubits()[1];
+  program.native_circuit.prx(0.3, 0.0, wire1);
+  const auto result = compiled_equivalent(source, program);
+  EXPECT_FALSE(result);
+  EXPECT_GT(result.max_deviation, 1e-3);
+}
+
+TEST_F(CompiledEquivalenceTest, EntangledPhaseResidualIsNotAValidFrame) {
+  const auto source = circuit::Circuit::ghz(3);
+  auto program = mqss::compile(source, qdmi_);
+  // A trailing CZ between two measured wires leaves a diagonal residual
+  // that does NOT factorize into per-qubit phases. It is invisible to any
+  // single-circuit outcome distribution, yet the Z-frame oracle still
+  // rejects it — this is exactly the extra strength unitary-level checking
+  // buys over distribution tests.
+  const auto measured = program.native_circuit.measured_qubits();
+  program.native_circuit.cz(measured[0], measured[1]);
+  const auto result =
+      compiled_equivalent(source, program, FrameTolerance::kOutputZFrame);
+  EXPECT_FALSE(result);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST_F(CompiledEquivalenceTest, LeakedAncillaAmplitudeFailsTheCheck) {
+  circuit::Circuit source(2);
+  source.measure();
+  mqss::CompiledProgram program;
+  program.native_circuit = circuit::Circuit(3);
+  program.native_circuit.prx(M_PI, 0.0, 2);  // X on an untouched ancilla
+  program.native_circuit.measure({0, 1});
+  program.initial_layout = {0, 1};
+  const auto result = compiled_equivalent(source, program);
+  EXPECT_FALSE(result);
+  EXPECT_NEAR(result.leaked_norm, 1.0, 1e-9);
+}
+
+TEST_F(CompiledEquivalenceTest, BrokenLayoutIsAFailureNotACrash) {
+  circuit::Circuit source(2);
+  source.h(0);
+  source.measure();
+  mqss::CompiledProgram program;
+  program.native_circuit = circuit::Circuit(3);
+  program.native_circuit.measure({0, 1});
+  program.initial_layout = {0, 0};  // not a permutation
+  const auto result = compiled_equivalent(source, program);
+  EXPECT_FALSE(result);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST_F(CompiledEquivalenceTest, SourceMustTerminallyMeasureAllQubits) {
+  circuit::Circuit source(2);
+  source.h(0);  // no terminal measure: the wire permutation is unreadable
+  const auto program = mqss::compile(circuit::Circuit::ghz(2), qdmi_);
+  EXPECT_THROW((void)compiled_equivalent(source, program), Error);
+}
+
+// ---- Fuzzer & shrinker -----------------------------------------------------
+
+TEST(CircuitFuzzer, SameSeedReplaysTheSameCircuit) {
+  const CircuitFuzzer fuzzer;
+  EXPECT_EQ(fuzzer.generate(42), fuzzer.generate(42));
+  EXPECT_NE(fuzzer.generate(42), fuzzer.generate(43));
+}
+
+TEST(CircuitFuzzer, GeneratedCircuitsRespectTheConfig) {
+  FuzzerConfig config;
+  config.min_qubits = 2;
+  config.max_qubits = 4;
+  config.min_ops = 3;
+  config.max_ops = 12;
+  const CircuitFuzzer fuzzer(config);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto c = fuzzer.generate(seed);
+    EXPECT_GE(c.num_qubits(), 2) << "seed " << seed;
+    EXPECT_LE(c.num_qubits(), 4) << "seed " << seed;
+    EXPECT_LE(c.size(), 13u) << "seed " << seed;  // ops + terminal measure
+    ASSERT_FALSE(c.empty());
+    EXPECT_EQ(c.ops().back().kind, circuit::OpKind::kMeasure);
+    EXPECT_TRUE(c.ops().back().qubits.empty());  // measure-all
+  }
+}
+
+TEST(CircuitFuzzer, VocabularyRestrictionHolds) {
+  FuzzerConfig config;
+  config.vocabulary = {circuit::OpKind::kH, circuit::OpKind::kCx};
+  config.barrier_prob = 0.0;
+  const CircuitFuzzer fuzzer(config);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto generated = fuzzer.generate(seed);
+    for (const auto& op : generated.ops()) {
+      if (op.kind == circuit::OpKind::kMeasure) continue;
+      EXPECT_TRUE(op.kind == circuit::OpKind::kH ||
+                  op.kind == circuit::OpKind::kCx)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Shrink, RemoveQubitRemapsAndDropsTouchingOps) {
+  circuit::Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.5, 2);
+  c.measure();
+  const auto without_q2 = remove_qubit(c, 2);
+  EXPECT_EQ(without_q2.num_qubits(), 2);
+  EXPECT_EQ(without_q2.gate_count(), 2u);  // rz on q2 vanished
+  const auto without_q0 = remove_qubit(c, 0);
+  EXPECT_EQ(without_q0.num_qubits(), 2);
+  ASSERT_EQ(without_q0.gate_count(), 1u);
+  // rz moved from qubit 2 down to qubit 1.
+  EXPECT_EQ(without_q0.ops()[0].kind, circuit::OpKind::kRz);
+  EXPECT_EQ(without_q0.ops()[0].qubits[0], 1);
+}
+
+TEST(Shrink, ReachesALocallyMinimalCounterexample) {
+  circuit::Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.3, 2).h(2).cz(1, 2);
+  c.measure();
+  // Failure predicate: "has at least one two-qubit gate". The minimal
+  // circuit satisfying it is a single 2q gate over two qubits.
+  const auto shrunk = shrink(c, [](const circuit::Circuit& candidate) {
+    return candidate.two_qubit_gate_count() >= 1;
+  });
+  EXPECT_EQ(shrunk.gate_count(), 1u);
+  EXPECT_EQ(shrunk.two_qubit_gate_count(), 1u);
+  EXPECT_EQ(shrunk.num_qubits(), 2);
+  EXPECT_EQ(shrunk.ops().back().kind, circuit::OpKind::kMeasure);
+}
+
+}  // namespace
+}  // namespace hpcqc::verify

@@ -1,0 +1,139 @@
+// Tests for the statistical assertion toolkit: the incomplete-gamma /
+// chi-squared tail, goodness-of-fit and two-sample tests with bin pooling,
+// and the finite-shot TVD bound. Every test is seeded: a red run is a
+// deterministic repro, never a flake.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/qsim/counts.hpp"
+#include "hpcqc/verify/stat_assert.hpp"
+
+namespace hpcqc::verify {
+namespace {
+
+/// Samples `shots` iid draws from `probs` (outcomes 0..probs.size()-1).
+qsim::Counts sample(std::span<const double> probs, std::size_t shots,
+                    int num_qubits, Rng& rng) {
+  qsim::Counts counts;
+  counts.set_num_qubits(num_qubits);
+  for (std::size_t s = 0; s < shots; ++s) {
+    double u = rng.uniform(0.0, 1.0);
+    std::uint64_t outcome = 0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      u -= probs[i];
+      if (u <= 0.0) {
+        outcome = i;
+        break;
+      }
+      outcome = i;  // numerical slop lands in the last bin
+    }
+    counts.add(outcome);
+  }
+  return counts;
+}
+
+TEST(GammaQ, MatchesClosedFormsAtHalfIntegerShape) {
+  // Q(1, x) = e^{-x}.
+  EXPECT_NEAR(regularized_gamma_q(1.0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_q(1.0, 0.5), std::exp(-0.5), 1e-12);
+  // Q(1/2, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_q(0.5, 1.0), std::erfc(1.0), 1e-10);
+  // Boundaries.
+  EXPECT_NEAR(regularized_gamma_q(3.0, 0.0), 1.0, 1e-15);
+}
+
+TEST(ChiSquaredSf, MatchesTabulatedCriticalValues) {
+  // Classic 5%-level critical values.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1), 0.05, 5e-4);
+  EXPECT_NEAR(chi_squared_sf(11.070, 5), 0.05, 5e-4);
+  EXPECT_NEAR(chi_squared_sf(18.307, 10), 0.05, 5e-4);
+  EXPECT_NEAR(chi_squared_sf(0.0, 5), 1.0, 1e-12);
+  EXPECT_LT(chi_squared_sf(200.0, 2), 1e-40);
+  // Monotone decreasing in the statistic.
+  EXPECT_GT(chi_squared_sf(1.0, 3), chi_squared_sf(2.0, 3));
+}
+
+TEST(ChiSquaredTest, AcceptsSamplesFromTheTrueDistribution) {
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  Rng rng(11);
+  const auto counts = sample(probs, 20000, 2, rng);
+  const auto result = chi_squared_test(counts, probs, 1e-6);
+  EXPECT_TRUE(result.pass) << result.describe();
+  EXPECT_EQ(result.dof, 3);
+  EXPECT_GT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquaredTest, RejectsAMismatchedDistribution) {
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  Rng rng(12);
+  const auto counts = sample(probs, 20000, 2, rng);
+  const auto result = chi_squared_test(counts, uniform, 1e-6);
+  EXPECT_FALSE(result.pass);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_FALSE(result.describe().empty());
+}
+
+TEST(ChiSquaredTest, PoolsSparseBinsToKeepTheApproximationValid) {
+  const std::vector<double> probs = {0.997, 0.001, 0.001, 0.001};
+  Rng rng(13);
+  const auto counts = sample(probs, 1000, 2, rng);
+  const auto result = chi_squared_test(counts, probs, 1e-6);
+  // Expected counts 997, 1, 1, 1: the three sparse bins must have been
+  // pooled, shrinking the degrees of freedom below bins - 1 = 3.
+  EXPECT_LT(result.dof, 3);
+  EXPECT_GE(result.dof, 1);
+  EXPECT_TRUE(result.pass) << result.describe();
+}
+
+TEST(ChiSquaredTwoSample, AcceptsTwoDrawsOfTheSameDistribution) {
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  Rng rng_a(21);
+  Rng rng_b(22);
+  const auto a = sample(probs, 8000, 2, rng_a);
+  const auto b = sample(probs, 8000, 2, rng_b);
+  const auto result = chi_squared_two_sample(a, b, 1e-6);
+  EXPECT_TRUE(result.pass) << result.describe();
+}
+
+TEST(ChiSquaredTwoSample, SeparatesDistinctDistributions) {
+  const std::vector<double> p = {0.5, 0.25, 0.125, 0.125};
+  const std::vector<double> q = {0.25, 0.5, 0.125, 0.125};
+  Rng rng_a(23);
+  Rng rng_b(24);
+  const auto a = sample(p, 8000, 2, rng_a);
+  const auto b = sample(q, 8000, 2, rng_b);
+  const auto result = chi_squared_two_sample(a, b, 1e-6);
+  EXPECT_FALSE(result.pass);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(TvdBound, ShrinksWithShotsAndGrowsWithSupport) {
+  EXPECT_GT(tvd_bound(1000, 4, 1e-6), tvd_bound(10000, 4, 1e-6));
+  EXPECT_GT(tvd_bound(10000, 64, 1e-6), tvd_bound(10000, 4, 1e-6));
+  EXPECT_GT(tvd_bound(10000, 4, 1e-9), tvd_bound(10000, 4, 1e-3));
+  EXPECT_GT(tvd_bound(10000, 4, 1e-6), 0.0);
+  EXPECT_LT(tvd_bound(1000000, 4, 1e-6), 0.01);
+}
+
+TEST(CheckTvd, AcceptsTrueDistributionAndRejectsAShiftedOne) {
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  Rng rng(31);
+  const auto counts = sample(probs, 20000, 2, rng);
+  const auto good = check_tvd(counts, probs, 1e-6);
+  EXPECT_TRUE(good.pass) << good.describe();
+  EXPECT_LE(good.tvd, good.bound);
+
+  const std::vector<double> shifted = {0.1, 0.2, 0.3, 0.4};
+  const auto bad = check_tvd(counts, shifted, 1e-6);
+  EXPECT_FALSE(bad.pass);
+  EXPECT_GT(bad.tvd, bad.bound);
+  EXPECT_FALSE(bad.describe().empty());
+}
+
+}  // namespace
+}  // namespace hpcqc::verify
