@@ -1,0 +1,167 @@
+// Measures what degraded-mode serving costs: compiling onto a masked
+// topology versus the full device, deriving a health mask from live
+// calibration, the per-circuit legality oracle, and the admission-control
+// decision that refuses overload at the front door.
+//
+// Expected shape: masked compilation pays a small constant for the
+// usable-subgraph BFS but stays in the same regime as the healthy path
+// (routing around a hole can even shrink the search space); mask derivation
+// and legality checks are microseconds; an admission rejection is a cheap,
+// terminal bookkeeping entry — orders of magnitude below running the job.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/device/health_mask.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+// Masks three qubits and two couplers away from the serpentine chain so an
+// 8-qubit GHZ still fits on the largest healthy component.
+void apply_drill_mask(device::DeviceModel& device) {
+  device.set_qubit_health(3, false);
+  device.set_qubit_health(11, false);
+  device.set_qubit_health(16, false);
+  const auto& edges = device.topology().edges();
+  device.set_coupler_health(edges[5].first, edges[5].second, false);
+  device.set_coupler_health(edges[20].first, edges[20].second, false);
+}
+
+void print_reproduction() {
+  std::cout << "=== Degraded-mode compilation: healthy vs masked ===\n\n";
+  Table table({"GHZ width", "Device", "Largest comp", "SWAPs",
+               "Native gates", "Legal on mask"});
+
+  for (const int width : {4, 8, 12}) {
+    for (const bool masked : {false, true}) {
+      Rng rng(5);
+      SimClock clock;
+      device::DeviceModel device = device::make_iqm20(rng);
+      if (masked) apply_drill_mask(device);
+      qdmi::ModelBackedDevice qdmi(device, clock);
+      const auto program = mqss::compile(circuit::Circuit::ghz(width), qdmi);
+      table.add_row(
+          {std::to_string(width), masked ? "3q+2c masked" : "healthy",
+           std::to_string(
+               device.health().largest_component(device.topology()).size()),
+           std::to_string(program.swap_count),
+           std::to_string(program.native_gate_count),
+           device.health().circuit_legal(device.topology(),
+                                         program.native_circuit)
+               ? "yes"
+               : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void compile_bench(benchmark::State& state, bool masked) {
+  Rng rng(5);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  if (masked) apply_drill_mask(device);
+  qdmi::ModelBackedDevice qdmi(device, clock);
+  const auto circuit = circuit::Circuit::ghz(8);
+  mqss::CompilerOptions options;
+  options.placement = static_cast<mqss::PlacementStrategy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mqss::compile(circuit, qdmi, options));
+  }
+}
+
+void BM_CompileHealthy(benchmark::State& state) {
+  compile_bench(state, false);
+}
+BENCHMARK(BM_CompileHealthy)
+    ->Arg(static_cast<int>(mqss::PlacementStrategy::kStatic))
+    ->Arg(static_cast<int>(mqss::PlacementStrategy::kFidelityAware))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CompileMasked(benchmark::State& state) { compile_bench(state, true); }
+BENCHMARK(BM_CompileMasked)
+    ->Arg(static_cast<int>(mqss::PlacementStrategy::kStatic))
+    ->Arg(static_cast<int>(mqss::PlacementStrategy::kFidelityAware))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeriveHealthMask(benchmark::State& state) {
+  Rng rng(5);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  device::HealthPolicy policy;
+  policy.min_fidelity_1q = 0.995;
+  policy.min_readout_fidelity = 0.95;
+  policy.min_fidelity_cz = 0.97;
+  policy.mask_tls_defects = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device::derive_health(
+        device.topology(), device.calibration(), policy));
+  }
+}
+BENCHMARK(BM_DeriveHealthMask);
+
+void BM_CircuitLegalCheck(benchmark::State& state) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  apply_drill_mask(device);
+  SimClock clock;
+  qdmi::ModelBackedDevice qdmi(device, clock);
+  const auto program = mqss::compile(circuit::Circuit::ghz(8), qdmi);
+  const auto mask = device.health();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mask.circuit_legal(device.topology(), program.native_circuit));
+  }
+}
+BENCHMARK(BM_CircuitLegalCheck);
+
+void BM_AdmissionRejectOverload(benchmark::State& state) {
+  // Cost of refusing a job at a full queue: a terminal record, no execution.
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  sched::Qrm::Config config;
+  config.benchmark.qubits = 8;
+  config.benchmark.shots = 200;
+  config.benchmark.analytic = true;
+  config.execution_mode = device::ExecutionMode::kEstimateOnly;
+  config.admission.queue_capacity = 4;
+  sched::Qrm qrm(device, config, rng, nullptr);
+  qrm.set_offline("bench: hold the queue");
+  const auto circuit = calibration::GhzBenchmark::chain_circuit(device, 4);
+  for (int i = 0; i < 4; ++i) {
+    sched::QuantumJob filler;
+    filler.name = "filler";
+    filler.circuit = circuit;
+    filler.shots = 100;
+    qrm.submit(std::move(filler));
+  }
+  for (auto _ : state) {
+    sched::QuantumJob job;
+    job.name = "overflow";
+    job.circuit = circuit;
+    job.shots = 100;
+    benchmark::DoNotOptimize(qrm.submit(std::move(job)));
+  }
+}
+BENCHMARK(BM_AdmissionRejectOverload)
+    ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

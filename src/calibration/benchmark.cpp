@@ -20,13 +20,44 @@ circuit::Circuit GhzBenchmark::chain_circuit(const device::DeviceModel& device,
   const std::vector<int> chain = device.topology().coupled_chain();
   expects(qubits >= 2 && qubits <= static_cast<int>(chain.size()),
           "GhzBenchmark: qubit count outside the device chain");
+
+  // Longest contiguous run of the serpentine where every qubit is up and
+  // every consecutive coupler is usable. On a fully healthy device this is
+  // the whole chain.
+  const auto& mask = device.health();
+  const auto& topology = device.topology();
+  std::size_t best_start = 0, best_len = 0, run_start = 0, run_len = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const bool linked =
+        run_len > 0 &&
+        mask.coupler_usable(topology,
+                            topology.edge_index(chain[i - 1], chain[i]));
+    if (mask.qubit_up(chain[i]) && (run_len == 0 || linked)) {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+    } else {
+      run_start = i;
+      run_len = mask.qubit_up(chain[i]) ? 1 : 0;
+    }
+    if (run_len > best_len) {
+      best_len = run_len;
+      best_start = run_start;
+    }
+  }
+  if (best_len < 2) {
+    throw TransientError(
+        "GhzBenchmark: fewer than 2 contiguous healthy qubits on the chain",
+        ErrorCode::kDeviceUnavailable);
+  }
+  const std::size_t used =
+      std::min(best_len, static_cast<std::size_t>(qubits));
+
   circuit::Circuit circuit(device.num_qubits());
-  circuit.h(chain[0]);
-  std::vector<int> measured{chain[0]};
-  for (int i = 1; i < qubits; ++i) {
-    circuit.cx(chain[static_cast<std::size_t>(i - 1)],
-               chain[static_cast<std::size_t>(i)]);
-    measured.push_back(chain[static_cast<std::size_t>(i)]);
+  circuit.h(chain[best_start]);
+  std::vector<int> measured{chain[best_start]};
+  for (std::size_t i = 1; i < used; ++i) {
+    circuit.cx(chain[best_start + i - 1], chain[best_start + i]);
+    measured.push_back(chain[best_start + i]);
   }
   circuit.measure(std::move(measured));
   return circuit;
@@ -34,9 +65,11 @@ circuit::Circuit GhzBenchmark::chain_circuit(const device::DeviceModel& device,
 
 BenchmarkResult GhzBenchmark::run(device::DeviceModel& device, Seconds at,
                                   Rng& rng) const {
-  const int qubits =
+  const int requested =
       params_.qubits == 0 ? device.num_qubits() : params_.qubits;
-  const circuit::Circuit circuit = chain_circuit(device, qubits);
+  const circuit::Circuit circuit = chain_circuit(device, requested);
+  // May be fewer than requested when the device is degraded.
+  const int qubits = static_cast<int>(circuit.measured_qubits().size());
 
   if (params_.analytic) {
     // ghz_success = P(survive all errors) + depolarized floor, plus the

@@ -49,6 +49,11 @@ public:
   }
 
   /// Builds the topology-legal GHZ chain circuit on the device register.
+  /// When the device is degraded, the chain shrinks to (a prefix of) the
+  /// longest contiguous healthy run of the serpentine, so the health check
+  /// keeps running on the surviving capacity instead of aborting. Throws
+  /// TransientError(kDeviceUnavailable) when fewer than two contiguous
+  /// healthy qubits remain.
   static circuit::Circuit chain_circuit(const device::DeviceModel& device,
                                         int qubits);
 

@@ -16,9 +16,35 @@ DeviceModel::DeviceModel(std::string name, Topology topology, DeviceSpec spec,
     : name_(std::move(name)),
       topology_(std::move(topology)),
       spec_(spec),
-      drift_model_(drift) {
+      drift_model_(drift),
+      health_(topology_) {
   fresh_ = sample_fresh_calibration(0.0, rng);
   state_ = fresh_;
+}
+
+void DeviceModel::set_health(HealthMask mask) {
+  expects(mask.num_qubits() == topology_.num_qubits() &&
+              mask.num_couplers() == topology_.num_edges(),
+          "set_health: mask shape mismatch");
+  if (mask == health_) return;
+  health_ = std::move(mask);
+  ++calibration_epoch_;
+}
+
+void DeviceModel::set_qubit_health(int qubit, bool up) {
+  HealthMask mask = health_;
+  mask.set_qubit(qubit, up);
+  set_health(std::move(mask));
+}
+
+void DeviceModel::set_coupler_health(int a, int b, bool up) {
+  HealthMask mask = health_;
+  mask.set_coupler(topology_.edge_index(a, b), up);
+  set_health(std::move(mask));
+}
+
+HealthMask DeviceModel::derive_health(const HealthPolicy& policy) const {
+  return device::derive_health(topology_, state_, policy);
 }
 
 CalibrationState DeviceModel::sample_fresh_calibration(Seconds at,
@@ -137,6 +163,12 @@ void DeviceModel::validate_executable(const circuit::Circuit& circuit) const {
                   std::to_string(op.qubits[0]) + ", q" +
                   std::to_string(op.qubits[1]) + " — route the circuit first");
     }
+  }
+  if (!health_.all_healthy() && !health_.circuit_legal(topology_, circuit)) {
+    throw TransientError(
+        "execute: circuit touches a masked qubit or coupler — recompile "
+        "against the degraded topology",
+        ErrorCode::kDeviceUnavailable);
   }
 }
 

@@ -1,0 +1,140 @@
+#include "hpcqc/device/health_mask.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::device {
+
+HealthMask::HealthMask(const Topology& topology)
+    : qubit_up_(static_cast<std::size_t>(topology.num_qubits()), 1),
+      coupler_up_(static_cast<std::size_t>(topology.num_edges()), 1) {}
+
+bool HealthMask::qubit_up(int qubit) const {
+  expects(qubit >= 0 && qubit < num_qubits(), "HealthMask: qubit out of range");
+  return qubit_up_[static_cast<std::size_t>(qubit)] != 0;
+}
+
+bool HealthMask::coupler_up(int edge_index) const {
+  expects(edge_index >= 0 && edge_index < num_couplers(),
+          "HealthMask: coupler out of range");
+  return coupler_up_[static_cast<std::size_t>(edge_index)] != 0;
+}
+
+bool HealthMask::coupler_usable(const Topology& topology,
+                                int edge_index) const {
+  if (!coupler_up(edge_index)) return false;
+  const Topology::Edge& edge =
+      topology.edges()[static_cast<std::size_t>(edge_index)];
+  return qubit_up(edge.first) && qubit_up(edge.second);
+}
+
+void HealthMask::set_qubit(int qubit, bool up) {
+  expects(qubit >= 0 && qubit < num_qubits(), "HealthMask: qubit out of range");
+  qubit_up_[static_cast<std::size_t>(qubit)] = up ? 1 : 0;
+}
+
+void HealthMask::set_coupler(int edge_index, bool up) {
+  expects(edge_index >= 0 && edge_index < num_couplers(),
+          "HealthMask: coupler out of range");
+  coupler_up_[static_cast<std::size_t>(edge_index)] = up ? 1 : 0;
+}
+
+bool HealthMask::all_healthy() const {
+  const auto up = [](char c) { return c != 0; };
+  return std::all_of(qubit_up_.begin(), qubit_up_.end(), up) &&
+         std::all_of(coupler_up_.begin(), coupler_up_.end(), up);
+}
+
+int HealthMask::healthy_qubit_count() const {
+  return static_cast<int>(
+      std::count(qubit_up_.begin(), qubit_up_.end(), char{1}));
+}
+
+int HealthMask::usable_coupler_count(const Topology& topology) const {
+  int count = 0;
+  for (int e = 0; e < num_couplers(); ++e)
+    if (coupler_usable(topology, e)) ++count;
+  return count;
+}
+
+std::vector<std::vector<int>> HealthMask::healthy_components(
+    const Topology& topology) const {
+  expects(topology.num_qubits() == num_qubits() &&
+              topology.num_edges() == num_couplers(),
+          "HealthMask: topology shape mismatch");
+  std::vector<std::vector<int>> components;
+  std::vector<char> visited(qubit_up_.size(), 0);
+  for (int start = 0; start < num_qubits(); ++start) {
+    if (visited[static_cast<std::size_t>(start)] || !qubit_up(start)) continue;
+    // BFS over usable couplers only.
+    std::vector<int> component{start};
+    visited[static_cast<std::size_t>(start)] = 1;
+    for (std::size_t head = 0; head < component.size(); ++head) {
+      const int q = component[head];
+      for (int next : topology.neighbors(q)) {
+        if (visited[static_cast<std::size_t>(next)] || !qubit_up(next))
+          continue;
+        if (!coupler_up(topology.edge_index(q, next))) continue;
+        visited[static_cast<std::size_t>(next)] = 1;
+        component.push_back(next);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::stable_sort(components.begin(), components.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     if (a.size() != b.size()) return a.size() > b.size();
+                     return a.front() < b.front();
+                   });
+  return components;
+}
+
+std::vector<int> HealthMask::largest_component(const Topology& topology) const {
+  auto components = healthy_components(topology);
+  if (components.empty()) return {};
+  return std::move(components.front());
+}
+
+bool HealthMask::circuit_legal(const Topology& topology,
+                               const circuit::Circuit& circuit) const {
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == circuit::OpKind::kBarrier) continue;
+    if (circuit::op_is_two_qubit(op.kind)) {
+      if (!qubit_up(op.qubits[0]) || !qubit_up(op.qubits[1])) return false;
+      if (!coupler_up(topology.edge_index(op.qubits[0], op.qubits[1])))
+        return false;
+      continue;
+    }
+    for (int q : op.qubits)
+      if (!qubit_up(q)) return false;
+  }
+  return true;
+}
+
+HealthMask derive_health(const Topology& topology,
+                         const CalibrationState& calibration,
+                         const HealthPolicy& policy) {
+  expects(calibration.qubits.size() ==
+                  static_cast<std::size_t>(topology.num_qubits()) &&
+              calibration.couplers.size() ==
+                  static_cast<std::size_t>(topology.num_edges()),
+          "derive_health: calibration shape mismatch");
+  HealthMask mask(topology);
+  for (int q = 0; q < topology.num_qubits(); ++q) {
+    const QubitMetrics& m = calibration.qubits[static_cast<std::size_t>(q)];
+    const bool down = m.fidelity_1q < policy.min_fidelity_1q ||
+                      m.readout_fidelity < policy.min_readout_fidelity ||
+                      (policy.mask_tls_defects && m.tls_defect);
+    if (down) mask.set_qubit(q, false);
+  }
+  for (int e = 0; e < topology.num_edges(); ++e) {
+    const CouplerMetrics& m = calibration.couplers[static_cast<std::size_t>(e)];
+    if (m.fidelity_cz < policy.min_fidelity_cz) mask.set_coupler(e, false);
+  }
+  return mask;
+}
+
+}  // namespace hpcqc::device

@@ -7,6 +7,7 @@
 #include "hpcqc/common/rng.hpp"
 #include "hpcqc/device/calibration_state.hpp"
 #include "hpcqc/device/drift.hpp"
+#include "hpcqc/device/health_mask.hpp"
 #include "hpcqc/device/topology.hpp"
 #include "hpcqc/qsim/counts.hpp"
 #include "hpcqc/qsim/readout.hpp"
@@ -60,12 +61,28 @@ public:
   CalibrationState& mutable_calibration() { return state_; }
   const CalibrationState& fresh_reference() const { return fresh_; }
 
-  /// Monotonic counter bumped by every calibration install. Compile caches
-  /// key on this instead of `calibrated_at`: two recalibrations can land at
-  /// the identical simulated timestamp (quick recoveries in coarse-stepped
-  /// campaigns do), and a timestamp key would then fail to invalidate
-  /// programs compiled against the superseded metrics.
+  /// Monotonic counter bumped by every calibration install and every health
+  /// mask change. Compile caches key on this instead of `calibrated_at`: two
+  /// recalibrations can land at the identical simulated timestamp (quick
+  /// recoveries in coarse-stepped campaigns do), and a timestamp key would
+  /// then fail to invalidate programs compiled against the superseded
+  /// metrics. Mask changes bump it too, so cached placements never keep
+  /// routing through a qubit that has since dropped out.
   std::uint64_t calibration_epoch() const { return calibration_epoch_; }
+
+  /// Per-element up/down state. Starts all-healthy; the operations layer
+  /// installs degraded masks when qubits or couplers drop out.
+  const HealthMask& health() const { return health_; }
+
+  /// Replaces the health mask; bumps calibration_epoch() when it changes.
+  void set_health(HealthMask mask);
+
+  /// Single-element conveniences over set_health().
+  void set_qubit_health(int qubit, bool up);
+  void set_coupler_health(int a, int b, bool up);
+
+  /// Mask derived from the live calibration under `policy` (not installed).
+  HealthMask derive_health(const HealthPolicy& policy) const;
 
   /// Generates a freshly-calibrated snapshot from the spec: every metric is
   /// drawn around its nominal with the spec's calibration spread.
@@ -99,7 +116,8 @@ public:
   /// Executes a circuit whose two-qubit gates respect the topology.
   /// The circuit register must match num_qubits() (compiled circuits are
   /// always full-register). Throws PreconditionError on a 2q gate between
-  /// uncoupled qubits.
+  /// uncoupled qubits, and TransientError(kDeviceUnavailable) when any op
+  /// touches a masked qubit or coupler.
   ExecutionResult execute(const circuit::Circuit& circuit, std::size_t shots,
                           Rng& rng, ExecutionMode mode = ExecutionMode::kAuto);
 
@@ -116,6 +134,7 @@ private:
   DriftModel drift_model_;
   CalibrationState state_;
   CalibrationState fresh_;
+  HealthMask health_;
   std::uint64_t calibration_epoch_ = 0;
   double ambient_drift_c_per_day_ = 0.0;
 };

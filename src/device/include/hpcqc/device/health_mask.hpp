@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "hpcqc/device/calibration_state.hpp"
+#include "hpcqc/device/topology.hpp"
+
+namespace hpcqc::circuit {
+class Circuit;
+}
+
+namespace hpcqc::device {
+
+/// Per-element up/down state of a QPU. The paper's 146-day campaign (§3.4-3.5)
+/// shows the common failure mode is *partial*: individual qubits drift out of
+/// spec or pick up TLS defects while the rest of the device stays usable. The
+/// mask captures exactly that: qubits and couplers are marked down
+/// independently, and the healthy remainder keeps serving jobs.
+///
+/// Indexing follows CalibrationState: qubits by id, couplers by
+/// Topology::edge_index. A coupler is *usable* only when the coupler itself
+/// and both endpoint qubits are up.
+class HealthMask {
+public:
+  HealthMask() = default;
+
+  /// All-healthy mask shaped for `topology`.
+  explicit HealthMask(const Topology& topology);
+
+  int num_qubits() const { return static_cast<int>(qubit_up_.size()); }
+  int num_couplers() const { return static_cast<int>(coupler_up_.size()); }
+
+  bool qubit_up(int qubit) const;
+  bool coupler_up(int edge_index) const;
+
+  /// Coupler up AND both endpoints up.
+  bool coupler_usable(const Topology& topology, int edge_index) const;
+
+  void set_qubit(int qubit, bool up);
+  void set_coupler(int edge_index, bool up);
+
+  bool all_healthy() const;
+  int healthy_qubit_count() const;
+  int usable_coupler_count(const Topology& topology) const;
+
+  /// Connected components of the healthy subgraph (healthy qubits joined by
+  /// usable couplers). Each component is sorted ascending; components are
+  /// ordered by (size descending, then smallest member ascending), so the
+  /// result is a deterministic function of the mask.
+  std::vector<std::vector<int>> healthy_components(
+      const Topology& topology) const;
+
+  /// The first entry of healthy_components(); empty when no qubit is up.
+  std::vector<int> largest_component(const Topology& topology) const;
+
+  /// True when no op in `circuit` touches a down qubit or an unusable
+  /// coupler. Measurements count as touching their qubit.
+  bool circuit_legal(const Topology& topology,
+                     const circuit::Circuit& circuit) const;
+
+  friend bool operator==(const HealthMask&, const HealthMask&) = default;
+
+private:
+  // char, not bool: vector<bool> proxies make the element accessors awkward.
+  std::vector<char> qubit_up_;
+  std::vector<char> coupler_up_;
+};
+
+/// Calibration-derived masking thresholds. All-zero defaults mask nothing,
+/// so a policy must opt in to each criterion.
+struct HealthPolicy {
+  double min_fidelity_1q = 0.0;
+  double min_readout_fidelity = 0.0;
+  double min_fidelity_cz = 0.0;
+  bool mask_tls_defects = false;
+};
+
+/// Mask derived from the live calibration state: elements below the policy
+/// floors (or TLS-defective, if the policy says so) are marked down.
+HealthMask derive_health(const Topology& topology,
+                         const CalibrationState& calibration,
+                         const HealthPolicy& policy);
+
+}  // namespace hpcqc::device

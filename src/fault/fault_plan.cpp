@@ -14,9 +14,21 @@ const char* to_string(FaultSite site) {
     case FaultSite::kNetworkTransfer: return "network-transfer";
     case FaultSite::kThermalExcursion: return "thermal-excursion";
     case FaultSite::kCalibration: return "calibration";
+    case FaultSite::kQubitDropout: return "qubit-dropout";
+    case FaultSite::kCouplerDropout: return "coupler-dropout";
+    case FaultSite::kQueueFlood: return "queue-flood";
   }
   return "?";
 }
+
+namespace {
+
+bool is_dropout(FaultSite site) {
+  return site == FaultSite::kQubitDropout ||
+         site == FaultSite::kCouplerDropout;
+}
+
+}  // namespace
 
 FaultPlan& FaultPlan::add(FaultEvent event) {
   expects(event.at >= 0.0 && event.duration >= 0.0,
@@ -39,12 +51,18 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
   FaultPlan plan;
   Rng root(seed);
 
+  // The partial-degrade / flood sites come after the original five so their
+  // child streams extend the fork order: plans generated from a given seed
+  // with only the original sites enabled are bit-identical to before.
   const std::pair<FaultSite, const SiteRate*> sites[] = {
       {FaultSite::kQdmiQuery, &params.qdmi_query},
       {FaultSite::kDeviceExecution, &params.device_execution},
       {FaultSite::kNetworkTransfer, &params.network_transfer},
       {FaultSite::kThermalExcursion, &params.thermal_excursion},
       {FaultSite::kCalibration, &params.calibration},
+      {FaultSite::kQubitDropout, &params.qubit_dropout},
+      {FaultSite::kCouplerDropout, &params.coupler_dropout},
+      {FaultSite::kQueueFlood, &params.queue_flood},
   };
   // One independent child stream per site: adding a site to the plan never
   // perturbs the draws of the others, so scenarios stay comparable across
@@ -54,6 +72,13 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
     if (rate->mtbf <= 0.0) continue;
     expects(rate->mean_duration > 0.0,
             "FaultPlan::generate: mean_duration must be positive");
+    const int targets = site == FaultSite::kQubitDropout ? params.num_qubits
+                        : site == FaultSite::kCouplerDropout
+                            ? params.num_couplers
+                            : 0;
+    expects(!is_dropout(site) || targets > 0,
+            "FaultPlan::generate: dropout sites need the element count "
+            "(num_qubits / num_couplers)");
     Seconds t = stream.exponential(1.0 / rate->mtbf);
     while (t < params.horizon) {
       FaultEvent event;
@@ -62,6 +87,11 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
       event.duration = std::max(params.min_duration,
                                 stream.exponential(1.0 / rate->mean_duration));
       event.description = std::string("injected ") + to_string(site);
+      if (is_dropout(site)) {
+        event.target = static_cast<int>(
+            stream.uniform_index(static_cast<std::uint64_t>(targets)));
+        event.description += " #" + std::to_string(event.target);
+      }
       plan.add(std::move(event));
       t += stream.exponential(1.0 / rate->mtbf);
     }

@@ -19,9 +19,12 @@ enum class FaultSite {
   kNetworkTransfer,   ///< result transfer / serialization corrupted in flight
   kThermalExcursion,  ///< cryostat loses active cooling (facility outage)
   kCalibration,       ///< a calibration run fails to converge
+  kQubitDropout,      ///< one qubit drops out of spec (partial degrade)
+  kCouplerDropout,    ///< one coupler drops out of spec (partial degrade)
+  kQueueFlood,        ///< a burst of low-priority submissions hits the QRM
 };
 
-inline constexpr std::size_t kNumFaultSites = 5;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 const char* to_string(FaultSite site);
 
@@ -35,6 +38,9 @@ struct FaultEvent {
   FaultSite site = FaultSite::kDeviceExecution;
   Seconds duration = 0.0;
   std::string description;
+  /// Element hit by a partial-degrade site: qubit id for kQubitDropout,
+  /// coupler (edge) index for kCouplerDropout; -1 for whole-device sites.
+  int target = -1;
 
   Seconds end() const { return at + duration; }
 };
@@ -58,6 +64,14 @@ public:
     SiteRate network_transfer;
     SiteRate thermal_excursion;
     SiteRate calibration;
+    SiteRate qubit_dropout;
+    SiteRate coupler_dropout;
+    SiteRate queue_flood;
+    /// Element counts for the partial-degrade sites: targets are drawn
+    /// uniformly from [0, num_qubits) / [0, num_couplers). Required (> 0)
+    /// when the corresponding dropout site is enabled.
+    int num_qubits = 0;
+    int num_couplers = 0;
     /// Fault windows never collapse below this (a zero-length window would
     /// be unobservable by any injection site).
     Seconds min_duration = seconds(30.0);

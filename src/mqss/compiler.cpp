@@ -53,21 +53,83 @@ double qubit_quality(const qdmi::DeviceInterface& device, int q) {
          device.qubit_property(qdmi::QubitProperty::kReadoutFidelity, q);
 }
 
+bool coupler_operational(const qdmi::DeviceInterface& device, int a, int b) {
+  return device.coupler_property(qdmi::CouplerProperty::kOperational, a, b) >=
+         0.5;
+}
+
 }  // namespace
+
+std::vector<int> usable_qubits(const qdmi::DeviceInterface& device) {
+  const int n = device.num_qubits();
+  std::vector<char> up(static_cast<std::size_t>(n), 0);
+  for (int q = 0; q < n; ++q)
+    up[static_cast<std::size_t>(q)] =
+        device.qubit_property(qdmi::QubitProperty::kOperational, q) >= 0.5;
+
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : device.coupling_map()) {
+    if (!up[static_cast<std::size_t>(a)] || !up[static_cast<std::size_t>(b)])
+      continue;
+    if (!coupler_operational(device, a, b)) continue;
+    adjacency[static_cast<std::size_t>(a)].push_back(b);
+    adjacency[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  // Largest connected component; smallest-member tiebreak keeps the result
+  // a deterministic function of the reported capability set.
+  std::vector<int> best;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  for (int start = 0; start < n; ++start) {
+    if (visited[static_cast<std::size_t>(start)] ||
+        !up[static_cast<std::size_t>(start)])
+      continue;
+    std::vector<int> component{start};
+    visited[static_cast<std::size_t>(start)] = 1;
+    for (std::size_t head = 0; head < component.size(); ++head) {
+      for (int next : adjacency[static_cast<std::size_t>(component[head])]) {
+        if (visited[static_cast<std::size_t>(next)]) continue;
+        visited[static_cast<std::size_t>(next)] = 1;
+        component.push_back(next);
+      }
+    }
+    if (component.size() > best.size()) best = std::move(component);
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
 
 std::vector<int> fidelity_aware_layout(int virtual_qubits,
                                        const qdmi::DeviceInterface& device) {
   const int n = device.num_qubits();
   expects(virtual_qubits >= 1 && virtual_qubits <= n,
           "fidelity_aware_layout: circuit larger than the device");
-  const auto edges = device.coupling_map();
+  const std::vector<int> usable = usable_qubits(device);
+  if (virtual_qubits > static_cast<int>(usable.size())) {
+    throw TransientError(
+        "fidelity_aware_layout: circuit needs " +
+            std::to_string(virtual_qubits) +
+            " qubits but the largest healthy component has " +
+            std::to_string(usable.size()),
+        ErrorCode::kDeviceUnavailable);
+  }
+  const std::set<int> in_usable(usable.begin(), usable.end());
 
   if (virtual_qubits == 1) {
-    int best = 0;
-    for (int q = 1; q < n; ++q)
+    int best = usable.front();
+    for (int q : usable)
       if (qubit_quality(device, q) > qubit_quality(device, best)) best = q;
     return {best};
   }
+
+  // Candidate couplers: operational edges inside the serving component.
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& [a, b] : device.coupling_map())
+    if (in_usable.contains(a) && in_usable.contains(b) &&
+        coupler_operational(device, a, b))
+      edges.emplace_back(a, b);
+  ensure_state(!edges.empty(),
+               "fidelity_aware_layout: no usable coupler in the healthy set");
 
   // Seed with the best coupler (cz fidelity x endpoint quality), then grow
   // the connected set greedily by the best (coupler x quality) frontier.
@@ -120,8 +182,18 @@ void PlacementPass::run(CompilationUnit& unit,
   const int virtual_qubits = unit.circuit.num_qubits();
   std::vector<int> layout;
   if (strategy_ == PlacementStrategy::kStatic) {
-    layout.resize(static_cast<std::size_t>(virtual_qubits));
-    std::iota(layout.begin(), layout.end(), 0);
+    // Identity over the serving set: virtual qubit i -> i-th usable physical
+    // qubit. On a healthy device this is the plain identity layout.
+    std::vector<int> usable = usable_qubits(device);
+    if (virtual_qubits > static_cast<int>(usable.size())) {
+      throw TransientError(
+          "PlacementPass: circuit needs " + std::to_string(virtual_qubits) +
+              " qubits but the largest healthy component has " +
+              std::to_string(usable.size()),
+          ErrorCode::kDeviceUnavailable);
+    }
+    usable.resize(static_cast<std::size_t>(virtual_qubits));
+    layout = std::move(usable);
   } else {
     layout = fidelity_aware_layout(virtual_qubits, device);
   }
@@ -186,6 +258,10 @@ void RoutingPass::run(CompilationUnit& unit,
       static_cast<std::size_t>(n));
   std::set<std::pair<int, int>> edge_set;
   for (const auto& [a, b] : device.coupling_map()) {
+    // Degraded-mode serving: masked couplers (or couplers with a masked
+    // endpoint) are invisible to routing, so SWAP chains never leave the
+    // healthy subgraph.
+    if (!coupler_operational(device, a, b)) continue;
     double weight = 1.0;
     if (fidelity_aware_) {
       // -log F per coupler plus a hop penalty so equal-fidelity routes

@@ -148,7 +148,16 @@ public:
 };
 
 /// Greedy fidelity-aware layout over live metrics (exposed for tests).
+/// Restricted to the largest healthy connected component when the device
+/// reports a degraded capability set.
 std::vector<int> fidelity_aware_layout(int virtual_qubits,
                                        const qdmi::DeviceInterface& device);
+
+/// The serving set under degraded-mode operation: the largest connected
+/// component of the subgraph of kOperational qubits joined by kOperational
+/// couplers, sorted ascending. Equals [0, num_qubits) on a healthy device.
+/// Placement confines layouts to this set and routing never leaves it, so a
+/// partially-failed device keeps accepting every job that fits it.
+std::vector<int> usable_qubits(const qdmi::DeviceInterface& device);
 
 }  // namespace hpcqc::mqss

@@ -21,6 +21,15 @@ struct ResilienceStats {
   Seconds total_downtime = 0.0;
   std::vector<RecoveryReport> reports;
 
+  /// Partial-degrade path (masked serving, §3.4-3.5): dropout events
+  /// observed, and targeted single-element recalibrations completed.
+  std::size_t qubit_dropouts = 0;
+  std::size_t coupler_dropouts = 0;
+  std::size_t targeted_recals = 0;
+  /// Synthetic queue-flood submissions issued / refused by admission.
+  std::size_t flood_jobs_submitted = 0;
+  std::size_t flood_jobs_rejected = 0;
+
   /// Mean time to recovery: fault onset -> back in service.
   Seconds mttr() const {
     return recoveries == 0 ? 0.0
@@ -37,6 +46,16 @@ struct ResilienceStats {
 struct SupervisorParams {
   RecoveryProcedure::Params recovery;
   std::string sensor_prefix = "resilience";
+  /// Targeted recalibration: once a dropout's underlying fault clears, only
+  /// the failed element is recalibrated (fresh metrics installed) before it
+  /// is unmasked — this long after the fault window closes. The rest of the
+  /// device keeps serving throughout.
+  Seconds targeted_recal_duration = minutes(10.0);
+  /// Synthetic low-priority submissions per step while a kQueueFlood window
+  /// is active — the overload the QRM's admission control must absorb.
+  /// 0 disables flood generation (windows are then inert).
+  std::size_t flood_jobs_per_step = 4;
+  std::size_t flood_shots = 100;
 };
 
 /// Wires injected facility faults to the §3.5 recovery staging. On a
@@ -70,14 +89,26 @@ public:
   bool outage_active() const { return outage_active_; }
   const ResilienceStats& stats() const { return stats_; }
 
-  /// Standard alert rules over the supervisor's sensors: QPU-down and
-  /// dead-letter accumulation.
+  /// Standard alert rules over the supervisor's sensors: QPU-down,
+  /// dead-letter accumulation, and brownout shedding. When
+  /// `min_healthy_qubits` > 0, a degraded-capacity rule fires while the
+  /// healthy-qubit gauge sits below it.
   static void install_alert_rules(telemetry::AlertEngine& alerts,
-                                  const std::string& prefix = "resilience");
+                                  const std::string& prefix = "resilience",
+                                  double min_healthy_qubits = 0.0);
 
 private:
+  /// One masked element awaiting targeted recalibration.
+  struct ActiveDegrade {
+    fault::FaultEvent event;
+    Seconds restore_at = 0.0;  ///< event.end() + targeted_recal_duration
+  };
+
   void begin_outage(const fault::FaultEvent& event);
   void repair_and_recover();
+  void begin_degrade(const fault::FaultEvent& event);
+  void process_degrade_restores(Seconds t);
+  void generate_flood(Seconds t);
   void record_sensors(Seconds t);
 
   sched::Qrm* qrm_;
@@ -89,6 +120,11 @@ private:
   telemetry::TimeSeriesStore* store_;
   RecoveryProcedure recovery_;
   std::string prefix_;
+  Params params_;
+
+  std::vector<ActiveDegrade> degrades_;
+  std::size_t flood_counter_ = 0;
+  std::size_t last_shed_seen_ = 0;
 
   Seconds last_step_ = 0.0;
   bool outage_active_ = false;

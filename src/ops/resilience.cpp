@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hpcqc/calibration/benchmark.hpp"
 #include "hpcqc/common/error.hpp"
 
 namespace hpcqc::ops {
@@ -18,19 +19,33 @@ ResilienceSupervisor::ResilienceSupervisor(
       log_(log),
       store_(store),
       recovery_(params.recovery),
-      prefix_(std::move(params.sensor_prefix)) {}
+      prefix_(params.sensor_prefix),
+      params_(std::move(params)) {}
 
 void ResilienceSupervisor::step(Seconds t) {
   expects(t >= last_step_,
           "ResilienceSupervisor::step: time must not go backwards");
 
-  // One-shot event delivery: only thermal excursions drive the outage
-  // staging here (execution / calibration / query faults are handled in
-  // place by the QRM and the MQSS service through the same injector).
+  // One-shot event delivery: thermal excursions drive the whole-device
+  // outage staging; qubit/coupler dropouts drive the partial-degrade path
+  // (mask -> keep serving -> targeted recal -> unmask). Execution /
+  // calibration / query faults are handled in place by the QRM and the MQSS
+  // service through the same injector, and queue floods are window-checked
+  // below rather than event-driven.
   std::vector<fault::FaultEvent> thermal;
-  for (const auto& event : injector_->poll(t))
-    if (event.site == fault::FaultSite::kThermalExcursion)
-      thermal.push_back(event);
+  for (const auto& event : injector_->poll(t)) {
+    switch (event.site) {
+      case fault::FaultSite::kThermalExcursion:
+        thermal.push_back(event);
+        break;
+      case fault::FaultSite::kQubitDropout:
+      case fault::FaultSite::kCouplerDropout:
+        begin_degrade(event);
+        break;
+      default:
+        break;
+    }
+  }
 
   // Walk the interval [last_step_, t] segment by segment so the cryostat is
   // in the right cooling state across each boundary: an excursion flips
@@ -83,7 +98,102 @@ void ResilienceSupervisor::step(Seconds t) {
       store_->append(prefix_ + ".recovery_duration_s", t, downtime);
   }
 
+  process_degrade_restores(t);
+  generate_flood(t);
   record_sensors(t);
+}
+
+void ResilienceSupervisor::begin_degrade(const fault::FaultEvent& event) {
+  const auto& topology = device_->topology();
+  if (event.site == fault::FaultSite::kQubitDropout) {
+    expects(event.target >= 0 && event.target < topology.num_qubits(),
+            "begin_degrade: qubit target out of range");
+    device_->set_qubit_health(event.target, false);
+    stats_.qubit_dropouts += 1;
+  } else {
+    expects(event.target >= 0 && event.target < topology.num_edges(),
+            "begin_degrade: coupler target out of range");
+    const auto& edge = topology.edges()[static_cast<std::size_t>(event.target)];
+    device_->set_coupler_health(edge.first, edge.second, false);
+    stats_.coupler_dropouts += 1;
+  }
+  degrades_.push_back(
+      {event, event.end() + params_.targeted_recal_duration});
+  if (log_) {
+    const auto& mask = device_->health();
+    log_->warning(
+        event.at, "resilience",
+        event.description + " masked; serving degraded (" +
+            std::to_string(mask.healthy_qubit_count()) + "/" +
+            std::to_string(topology.num_qubits()) + " qubits, largest "
+            "component " +
+            std::to_string(mask.largest_component(topology).size()) + ")");
+  }
+}
+
+void ResilienceSupervisor::process_degrade_restores(Seconds t) {
+  // Targeted recalibration: when a dropout's fault window has closed and the
+  // recal slot has elapsed, refresh ONLY the failed element's metrics and
+  // return it to the serving set. The whole-device calibration cadence is
+  // untouched — this is maintenance on one element while the rest serves.
+  for (std::size_t i = 0; i < degrades_.size();) {
+    if (degrades_[i].restore_at > t) {
+      ++i;
+      continue;
+    }
+    const ActiveDegrade degrade = degrades_[i];
+    degrades_.erase(degrades_.begin() + static_cast<std::ptrdiff_t>(i));
+    const auto& topology = device_->topology();
+    const device::CalibrationState fresh =
+        device_->sample_fresh_calibration(t, *rng_);
+    device::CalibrationState live = device_->calibration();
+    const int target = degrade.event.target;
+    if (degrade.event.site == fault::FaultSite::kQubitDropout) {
+      live.qubits[static_cast<std::size_t>(target)] =
+          fresh.qubits[static_cast<std::size_t>(target)];
+      device_->install_live_state(std::move(live));
+      device_->set_qubit_health(target, true);
+    } else {
+      live.couplers[static_cast<std::size_t>(target)] =
+          fresh.couplers[static_cast<std::size_t>(target)];
+      device_->install_live_state(std::move(live));
+      const auto& edge = topology.edges()[static_cast<std::size_t>(target)];
+      device_->set_coupler_health(edge.first, edge.second, true);
+    }
+    stats_.targeted_recals += 1;
+    if (log_)
+      log_->info(t, "resilience",
+                 degrade.event.description +
+                     " recalibrated and unmasked (targeted recal)");
+  }
+}
+
+void ResilienceSupervisor::generate_flood(Seconds t) {
+  if (params_.flood_jobs_per_step == 0 || outage_active_) return;
+  if (!injector_->active(fault::FaultSite::kQueueFlood, t)) return;
+  // The flood is the *attack*, not the response: a deterministic burst of
+  // low-priority work that the QRM's admission control must absorb without
+  // losing track of a single submission.
+  const circuit::Circuit burst_circuit =
+      calibration::GhzBenchmark::chain_circuit(*device_, 2);
+  for (std::size_t i = 0; i < params_.flood_jobs_per_step; ++i) {
+    sched::QuantumJob job;
+    job.name = "flood-" + std::to_string(flood_counter_++);
+    job.circuit = burst_circuit;
+    job.shots = params_.flood_shots;
+    job.priority = sched::JobPriority::kLow;
+    const int id = qrm_->submit(std::move(job));
+    stats_.flood_jobs_submitted += 1;
+    const auto state = qrm_->record(id).state;
+    if (state == sched::QuantumJobState::kRejectedOverload ||
+        state == sched::QuantumJobState::kRejectedTooWide)
+      stats_.flood_jobs_rejected += 1;
+  }
+  if (log_)
+    log_->debug(t, "resilience",
+                "queue flood: submitted " +
+                    std::to_string(params_.flood_jobs_per_step) +
+                    " low-priority jobs");
 }
 
 void ResilienceSupervisor::begin_outage(const fault::FaultEvent& event) {
@@ -132,14 +242,44 @@ void ResilienceSupervisor::record_sensors(Seconds t) {
                  static_cast<double>(qrm_->retry_backlog()));
   store_->append(prefix_ + ".queue_length", t,
                  static_cast<double>(qrm_->queue_length()));
+
+  // Degraded-capability and overload gauges.
+  const auto& mask = device_->health();
+  const auto& topology = device_->topology();
+  store_->append(prefix_ + ".healthy_qubits", t,
+                 static_cast<double>(mask.healthy_qubit_count()));
+  store_->append(prefix_ + ".largest_component", t,
+                 static_cast<double>(mask.largest_component(topology).size()));
+  const sched::JobConservation audit = qrm_->conservation();
+  const double refused =
+      static_cast<double>(audit.shed + audit.rejected_overload);
+  store_->append(prefix_ + ".shed_jobs", t, refused);
+  store_->append(
+      prefix_ + ".shed_rate", t,
+      audit.submitted == 0
+          ? 0.0
+          : refused / static_cast<double>(audit.submitted));
+  store_->append(prefix_ + ".admission_wait_s", t, qrm_->estimated_wait());
+  // A brownout episode can begin and end between two samples when shedding
+  // empties the queue; latch on the shed counter so alerting still sees it.
+  const bool shedding = qrm_->brownout() || audit.shed > last_shed_seen_;
+  last_shed_seen_ = audit.shed;
+  store_->append(prefix_ + ".brownout", t, shedding ? 1.0 : 0.0);
 }
 
 void ResilienceSupervisor::install_alert_rules(telemetry::AlertEngine& alerts,
-                                               const std::string& prefix) {
+                                               const std::string& prefix,
+                                               double min_healthy_qubits) {
   alerts.add_rule({prefix + ".qpu_down", prefix + ".qpu_online",
                    telemetry::AlertCondition::kBelow, 0.5, 0.0});
   alerts.add_rule({prefix + ".jobs_lost", prefix + ".dead_letters",
                    telemetry::AlertCondition::kAbove, 0.5, 0.0});
+  alerts.add_rule({prefix + ".shedding", prefix + ".brownout",
+                   telemetry::AlertCondition::kAbove, 0.5, 0.0});
+  if (min_healthy_qubits > 0.0)
+    alerts.add_rule({prefix + ".degraded_capacity", prefix + ".healthy_qubits",
+                     telemetry::AlertCondition::kBelow, min_healthy_qubits,
+                     0.0});
 }
 
 }  // namespace hpcqc::ops

@@ -14,11 +14,13 @@ enum class QubitProperty {
   kFidelity1q,
   kReadoutFidelity,
   kHasTlsDefect,  // 1.0 / 0.0
+  kOperational,   // 1.0 = in the serving set, 0.0 = masked out (degraded)
 };
 
 /// Queryable per-coupler metrics.
 enum class CouplerProperty {
   kFidelityCz,
+  kOperational,  // 1.0 only when the coupler AND both endpoints are up
 };
 
 /// Queryable device-scope metrics.
@@ -30,6 +32,11 @@ enum class DeviceProperty {
   kMedianReadoutFidelity,
   kCalibrationAgeHours,
   kShotResetUs,  ///< passive reset period dominating the shot duration
+  /// Degraded capability set (masked-topology serving): how many qubits are
+  /// currently operational, and the widest job the device can still accept
+  /// (size of the largest connected component of the healthy subgraph).
+  kHealthyQubits,
+  kLargestHealthyComponent,
 };
 
 /// Operational state of the backend, as exposed to schedulers and clients.

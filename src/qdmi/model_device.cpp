@@ -42,6 +42,8 @@ double ModelBackedDevice::qubit_property(QubitProperty prop, int qubit) const {
     case QubitProperty::kFidelity1q: return metrics.fidelity_1q;
     case QubitProperty::kReadoutFidelity: return metrics.readout_fidelity;
     case QubitProperty::kHasTlsDefect: return metrics.tls_defect ? 1.0 : 0.0;
+    case QubitProperty::kOperational:
+      return model_->health().qubit_up(qubit) ? 1.0 : 0.0;
   }
   throw PermanentError("qubit_property: unhandled property",
                        ErrorCode::kInternal);
@@ -55,6 +57,9 @@ double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
       return model_->calibration()
           .couplers[static_cast<std::size_t>(edge)]
           .fidelity_cz;
+    case CouplerProperty::kOperational:
+      return model_->health().coupler_usable(model_->topology(), edge) ? 1.0
+                                                                       : 0.0;
   }
   throw PermanentError("coupler_property: unhandled property",
                        ErrorCode::kInternal);
@@ -75,6 +80,11 @@ double ModelBackedDevice::device_property(DeviceProperty prop) const {
       return to_hours(clock_->now() - cal.calibrated_at);
     case DeviceProperty::kShotResetUs:
       return model_->spec().passive_reset_us;
+    case DeviceProperty::kHealthyQubits:
+      return static_cast<double>(model_->health().healthy_qubit_count());
+    case DeviceProperty::kLargestHealthyComponent:
+      return static_cast<double>(
+          model_->health().largest_component(model_->topology()).size());
   }
   throw PermanentError("device_property: unhandled property",
                        ErrorCode::kInternal);

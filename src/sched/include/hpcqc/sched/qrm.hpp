@@ -17,6 +17,11 @@
 
 namespace hpcqc::sched {
 
+/// Priority class used by admission control and brownout shedding.
+enum class JobPriority { kHigh, kNormal, kLow };
+
+const char* to_string(JobPriority priority);
+
 /// One quantum job: a compiled (topology-legal) circuit and a shot budget.
 struct QuantumJob {
   std::string name;
@@ -24,6 +29,7 @@ struct QuantumJob {
   std::size_t shots = 1000;
   /// Accounting project; empty = unmetered (system/benchmark jobs).
   std::string project;
+  JobPriority priority = JobPriority::kNormal;
 };
 
 enum class QuantumJobState {
@@ -33,9 +39,35 @@ enum class QuantumJobState {
   kRetrying,   ///< failed an attempt, waiting out its backoff
   kFailed,     ///< retry budget exhausted; dead-lettered
   kCancelled,  ///< withdrawn before completion
+  /// Refused at submit: queue full, token bucket dry, or a brownout
+  /// suspending the job's priority class.
+  kRejectedOverload,
+  /// Refused at submit: the circuit is wider than the largest healthy
+  /// connected component of the degraded device.
+  kRejectedTooWide,
+  /// Shed from the queue by brownout mode before it ever started.
+  kShed,
 };
 
 const char* to_string(QuantumJobState state);
+
+/// True for the states a job can never leave.
+constexpr bool is_terminal(QuantumJobState state) {
+  switch (state) {
+    case QuantumJobState::kCompleted:
+    case QuantumJobState::kFailed:
+    case QuantumJobState::kCancelled:
+    case QuantumJobState::kRejectedOverload:
+    case QuantumJobState::kRejectedTooWide:
+    case QuantumJobState::kShed:
+      return true;
+    case QuantumJobState::kQueued:
+    case QuantumJobState::kRunning:
+    case QuantumJobState::kRetrying:
+      return false;
+  }
+  return false;
+}
 
 /// Per-job retry policy: attempts are spent on transient execution faults
 /// (not on outages — an offline QPU requeues the job without charging an
@@ -48,6 +80,31 @@ struct RetryPolicy {
 
   /// Backoff after the `failures`-th failed attempt (1-based).
   Seconds backoff(std::size_t failures) const;
+};
+
+/// Admission control for the bounded job queue: per-priority token buckets
+/// (sustained rate + burst headroom, refilled in simulated time), a hard
+/// queue-capacity cap, and a brownout mode that sheds low-priority work when
+/// the estimated wait exceeds a deadline. Overloaded submissions are refused
+/// with an explicit terminal state instead of growing the queue without
+/// bound — the QRM keeps serving under queue floods.
+struct AdmissionPolicy {
+  std::size_t queue_capacity = 256;
+  std::size_t dead_letter_capacity = 64;
+
+  /// Sustained admission rates (jobs/hour) per priority class.
+  double high_rate_per_hour = 3600.0;
+  double normal_rate_per_hour = 1800.0;
+  double low_rate_per_hour = 600.0;
+  /// Bucket depth: how many submissions a class may burst above its rate.
+  double burst = 64.0;
+
+  /// Brownout: entered when the estimated wait exceeds this limit. While
+  /// active, queued low-priority jobs are shed and new low-priority
+  /// submissions are refused. Exited (with hysteresis) once the estimated
+  /// wait falls below `brownout_exit_fraction` x the limit.
+  Seconds brownout_wait_limit = hours(8.0);
+  double brownout_exit_fraction = 0.5;
 };
 
 /// Lifecycle + result record of a quantum job.
@@ -65,6 +122,7 @@ struct QuantumJobRecord {
   std::size_t interruptions = 0;  ///< outage requeues (no attempt charged)
   Seconds next_retry_at = -1.0;   ///< valid while kRetrying
   std::string failure_reason;     ///< last failure / cancellation reason
+  JobPriority priority = JobPriority::kNormal;
 
   Seconds wait_time() const {
     return start_time < 0.0 ? -1.0 : start_time - submit_time;
@@ -101,7 +159,35 @@ struct QrmMetrics {
   std::size_t execution_faults = 0;  ///< injected device faults observed
   std::size_t calibrations_failed = 0;
 
+  std::size_t jobs_rejected_overload = 0;  ///< refused: queue/rate/brownout
+  std::size_t jobs_rejected_too_wide = 0;  ///< refused: exceeds healthy set
+  std::size_t jobs_shed = 0;               ///< brownout victims
+  /// Scheduler passes that skipped a queued job because its circuit touches
+  /// currently-masked hardware (observations, not distinct jobs).
+  std::size_t degraded_holds = 0;
+  std::size_t dead_letters_dropped = 0;  ///< DLQ overflow beyond capacity
+
   bool operator==(const QrmMetrics&) const = default;
+};
+
+/// Audit that no submitted job was silently lost: every id is in exactly one
+/// state, and after a drain every state is terminal. Computed from the job
+/// records, then cross-checked against the metrics counters by tests.
+struct JobConservation {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;     ///< dead-lettered
+  std::size_t cancelled = 0;
+  std::size_t rejected_overload = 0;
+  std::size_t rejected_too_wide = 0;
+  std::size_t shed = 0;
+  std::size_t in_flight = 0;  ///< queued + running + retrying
+
+  std::size_t terminal() const {
+    return completed + failed + cancelled + rejected_overload +
+           rejected_too_wide + shed;
+  }
+  bool holds() const { return submitted == terminal() + in_flight; }
 };
 
 /// The Quantum Resource Manager: the second-level scheduler of the MQSS
@@ -127,8 +213,12 @@ public:
         device::ExecutionMode::kGlobalDepolarizing;
     /// Retry budget + backoff for transient execution faults.
     RetryPolicy retry;
+    /// Bounded-queue admission control and overload shedding.
+    AdmissionPolicy admission;
   };
 
+  /// Throws PermanentError when `config` is invalid (zero capacities,
+  /// non-positive rates, degenerate retry policy, ...).
   Qrm(device::DeviceModel& device, Config config, Rng& rng,
       EventLog* log = nullptr);
 
@@ -142,7 +232,21 @@ public:
   /// Submits a compiled job at the current time; returns its id. With
   /// accounting attached, metered jobs are admission-checked against the
   /// project budget (StateError when it cannot afford the estimate).
+  /// Admission control may refuse the job: the returned id then points at a
+  /// record already in a terminal kRejected* state (check `record(id)`), so
+  /// every submission remains auditable — refusals are never exceptions and
+  /// never silent.
   int submit(QuantumJob job);
+
+  /// Estimated time until a job submitted now would start: the remainder of
+  /// the active phase plus the execution estimate of everything queued.
+  Seconds estimated_wait() const;
+
+  /// True while brownout shedding is active.
+  bool brownout() const { return brownout_; }
+
+  /// Conservation audit over all job records (see JobConservation).
+  JobConservation conservation() const;
 
   /// Cancels a job that has not started (queued or awaiting retry).
   /// Returns false when the job is running or already terminal.
@@ -193,11 +297,26 @@ public:
 private:
   enum class Phase { kIdle, kJob, kBenchmark, kCalibration };
 
+  /// One per-priority token bucket, refilled lazily in simulated time.
+  struct TokenBucket {
+    double rate_per_hour = 0.0;
+    double burst = 1.0;
+    double tokens = 0.0;
+    Seconds last_refill = 0.0;
+
+    bool try_take(Seconds now);
+  };
+
   void finish_phase(Rng& rng);
   void begin_next_work();
   void apply_drift_until(Seconds t);
   void promote_due_retries();
   void fail_active_job();
+  int reject(QuantumJobRecord record, QuantumJobState state,
+             const std::string& reason);
+  void update_brownout();
+  void shed_low_priority();
+  TokenBucket& bucket(JobPriority priority);
 
   device::DeviceModel* device_;
   Config config_;
@@ -219,6 +338,8 @@ private:
 
   Accounting* accounting_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  bool brownout_ = false;
+  TokenBucket buckets_[3];  ///< indexed by JobPriority
   int next_id_ = 1;
   std::vector<int> queue_;
   std::vector<int> retry_queue_;  ///< ids waiting out next_retry_at

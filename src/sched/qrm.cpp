@@ -15,6 +15,18 @@ const char* to_string(QuantumJobState state) {
     case QuantumJobState::kRetrying: return "retrying";
     case QuantumJobState::kFailed: return "failed";
     case QuantumJobState::kCancelled: return "cancelled";
+    case QuantumJobState::kRejectedOverload: return "rejected-overload";
+    case QuantumJobState::kRejectedTooWide: return "rejected-too-wide";
+    case QuantumJobState::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kHigh: return "high";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kLow: return "low";
   }
   return "?";
 }
@@ -27,6 +39,67 @@ Seconds RetryPolicy::backoff(std::size_t failures) const {
   return std::min(scaled, max_backoff);
 }
 
+namespace {
+
+void validate_config(const Qrm::Config& config) {
+  const auto check = [](bool ok, const std::string& what) {
+    if (!ok)
+      throw PermanentError("Qrm::Config: " + what, ErrorCode::kPrecondition);
+  };
+  check(config.retry.max_attempts >= 1, "retry.max_attempts must be >= 1");
+  check(config.retry.initial_backoff > 0.0,
+        "retry.initial_backoff must be positive");
+  check(config.retry.backoff_factor >= 1.0,
+        "retry.backoff_factor must be >= 1");
+  check(config.retry.max_backoff >= config.retry.initial_backoff,
+        "retry.max_backoff must be >= retry.initial_backoff");
+  check(config.job_overhead >= 0.0, "job_overhead cannot be negative");
+  check(config.benchmark_overhead >= 0.0,
+        "benchmark_overhead cannot be negative");
+  check(config.max_defer_factor >= 1.0, "max_defer_factor must be >= 1");
+
+  const AdmissionPolicy& admission = config.admission;
+  check(admission.queue_capacity >= 1, "admission.queue_capacity must be >= 1");
+  check(admission.dead_letter_capacity >= 1,
+        "admission.dead_letter_capacity must be >= 1");
+  check(admission.high_rate_per_hour > 0.0,
+        "admission.high_rate_per_hour must be positive");
+  check(admission.normal_rate_per_hour > 0.0,
+        "admission.normal_rate_per_hour must be positive");
+  check(admission.low_rate_per_hour > 0.0,
+        "admission.low_rate_per_hour must be positive");
+  check(admission.burst >= 1.0, "admission.burst must be >= 1");
+  check(admission.brownout_wait_limit > 0.0,
+        "admission.brownout_wait_limit must be positive");
+  check(admission.brownout_exit_fraction > 0.0 &&
+            admission.brownout_exit_fraction <= 1.0,
+        "admission.brownout_exit_fraction must be in (0, 1]");
+}
+
+/// Distinct qubits a compiled circuit actually acts on (gate operands and
+/// measured qubits) — the width that must fit the healthy component,
+/// independent of the full-device register the circuit is expressed over.
+int circuit_width(const circuit::Circuit& circuit) {
+  std::vector<char> touched(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  for (const auto& op : circuit.ops()) {
+    if (op.kind == circuit::OpKind::kBarrier) continue;
+    for (int q : op.qubits) touched[static_cast<std::size_t>(q)] = 1;
+  }
+  return static_cast<int>(
+      std::count(touched.begin(), touched.end(), char{1}));
+}
+
+}  // namespace
+
+bool Qrm::TokenBucket::try_take(Seconds now) {
+  tokens = std::min(burst,
+                    tokens + (now - last_refill) * rate_per_hour / 3600.0);
+  last_refill = now;
+  if (tokens < 1.0) return false;
+  tokens -= 1.0;
+  return true;
+}
+
 Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
     : device_(&device),
       config_(config),
@@ -34,7 +107,114 @@ Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
       log_(log),
       controller_(config.controller),
       benchmark_(config.benchmark),
-      engine_() {}
+      engine_() {
+  validate_config(config_);
+  const double rates[3] = {config_.admission.high_rate_per_hour,
+                           config_.admission.normal_rate_per_hour,
+                           config_.admission.low_rate_per_hour};
+  for (int p = 0; p < 3; ++p) {
+    buckets_[p].rate_per_hour = rates[p];
+    buckets_[p].burst = config_.admission.burst;
+    buckets_[p].tokens = config_.admission.burst;  // start full
+    buckets_[p].last_refill = 0.0;
+  }
+}
+
+Qrm::TokenBucket& Qrm::bucket(JobPriority priority) {
+  return buckets_[static_cast<int>(priority)];
+}
+
+Seconds Qrm::estimated_wait() const {
+  Seconds wait = phase_ == Phase::kIdle ? 0.0 : phase_end_ - now_;
+  for (const int id : queue_) {
+    const QuantumJob& job = pending_jobs_.at(id);
+    wait += config_.job_overhead +
+            static_cast<double>(job.shots) * device_->shot_duration(job.circuit);
+  }
+  return wait;
+}
+
+JobConservation Qrm::conservation() const {
+  JobConservation audit;
+  audit.submitted = records_.size();
+  for (const auto& [id, record] : records_) {
+    switch (record.state) {
+      case QuantumJobState::kCompleted: audit.completed += 1; break;
+      case QuantumJobState::kFailed: audit.failed += 1; break;
+      case QuantumJobState::kCancelled: audit.cancelled += 1; break;
+      case QuantumJobState::kRejectedOverload:
+        audit.rejected_overload += 1;
+        break;
+      case QuantumJobState::kRejectedTooWide:
+        audit.rejected_too_wide += 1;
+        break;
+      case QuantumJobState::kShed: audit.shed += 1; break;
+      case QuantumJobState::kQueued:
+      case QuantumJobState::kRunning:
+      case QuantumJobState::kRetrying:
+        audit.in_flight += 1;
+        break;
+    }
+  }
+  return audit;
+}
+
+int Qrm::reject(QuantumJobRecord record, QuantumJobState state,
+                const std::string& reason) {
+  record.state = state;
+  record.end_time = now_;
+  record.failure_reason = reason;
+  if (state == QuantumJobState::kRejectedOverload)
+    metrics_.jobs_rejected_overload += 1;
+  else
+    metrics_.jobs_rejected_too_wide += 1;
+  if (log_)
+    log_->warning(now_, "qrm",
+                  "job '" + record.name + "' " + to_string(state) + ": " +
+                      reason);
+  const int id = record.id;
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+void Qrm::shed_low_priority() {
+  std::vector<int> victims;
+  for (const int id : queue_)
+    if (records_.at(id).priority == JobPriority::kLow) victims.push_back(id);
+  for (const int id : victims) {
+    std::erase(queue_, id);
+    auto& record = records_.at(id);
+    record.state = QuantumJobState::kShed;
+    record.end_time = now_;
+    record.failure_reason = "shed by brownout (overloaded queue)";
+    pending_jobs_.erase(id);
+    metrics_.jobs_shed += 1;
+    if (log_)
+      log_->warning(now_, "qrm", "job '" + record.name + "' shed (brownout)");
+  }
+}
+
+void Qrm::update_brownout() {
+  const Seconds wait = estimated_wait();
+  if (!brownout_ && wait > config_.admission.brownout_wait_limit) {
+    brownout_ = true;
+    if (log_)
+      log_->warning(now_, "qrm",
+                    "brownout: estimated wait " + std::to_string(wait) +
+                        " s exceeds " +
+                        std::to_string(config_.admission.brownout_wait_limit) +
+                        " s; shedding low-priority work");
+    shed_low_priority();
+  } else if (brownout_ &&
+             wait <= config_.admission.brownout_exit_fraction *
+                         config_.admission.brownout_wait_limit) {
+    brownout_ = false;
+    if (log_)
+      log_->info(now_, "qrm",
+                 "brownout cleared (estimated wait " + std::to_string(wait) +
+                     " s)");
+  }
+}
 
 int Qrm::submit(QuantumJob job) {
   expects(job.shots > 0, "Qrm::submit: need at least one shot");
@@ -46,15 +226,52 @@ int Qrm::submit(QuantumJob job) {
                      "' cannot afford the estimated " +
                      std::to_string(estimate) + " QPU-seconds");
   }
-  const int id = next_id_++;
   QuantumJobRecord record;
-  record.id = id;
+  record.id = next_id_++;
   record.name = job.name;
   record.shots = job.shots;
   record.submit_time = now_;
+  record.priority = job.priority;
+
+  // Degraded capability check: a job wider than the largest healthy
+  // connected component can never run until repairs land, so refuse it now
+  // instead of parking it in the queue indefinitely.
+  if (!device_->health().all_healthy()) {
+    const int width = circuit_width(job.circuit);
+    const int capacity = static_cast<int>(
+        device_->health().largest_component(device_->topology()).size());
+    if (width > capacity) {
+      return reject(std::move(record), QuantumJobState::kRejectedTooWide,
+                    "needs " + std::to_string(width) +
+                        " qubits; largest healthy component has " +
+                        std::to_string(capacity));
+    }
+  }
+
+  // Overload control: brownout class suspension, hard queue cap, then the
+  // per-priority token bucket.
+  update_brownout();
+  if (brownout_ && job.priority == JobPriority::kLow) {
+    return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                  "brownout: low-priority admissions suspended");
+  }
+  if (queue_.size() >= config_.admission.queue_capacity) {
+    return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                  "queue full (" +
+                      std::to_string(config_.admission.queue_capacity) +
+                      " jobs)");
+  }
+  if (!bucket(job.priority).try_take(now_)) {
+    return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                  std::string("admission rate exceeded for ") +
+                      to_string(job.priority) + " priority");
+  }
+
+  const int id = record.id;
   records_.emplace(id, std::move(record));
   pending_jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
+  update_brownout();
   return id;
 }
 
@@ -170,6 +387,12 @@ void Qrm::fail_active_job() {
                             std::to_string(record.attempts) + " attempts";
     dead_letters_.push_back({record.id, record.name, record.attempts,
                              record.failure_reason, now_});
+    if (dead_letters_.size() > config_.admission.dead_letter_capacity) {
+      // Oldest-first overflow: the DLQ is an audit window, not unbounded
+      // storage; the drop is counted so nothing vanishes unaccounted.
+      dead_letters_.erase(dead_letters_.begin());
+      metrics_.dead_letters_dropped += 1;
+    }
     metrics_.jobs_failed += 1;
     pending_jobs_.erase(active_job_);
     if (log_)
@@ -220,6 +443,9 @@ void Qrm::finish_phase(Rng& rng) {
                             record.shots);
       pending_jobs_.erase(active_job_);
       active_job_ = -1;
+      // A completed job shrinks the backlog; let brownout clear as soon as
+      // the estimated wait is back under the exit threshold.
+      update_brownout();
       break;
     }
     case Phase::kBenchmark: {
@@ -327,10 +553,27 @@ void Qrm::begin_next_work() {
     return;
   }
 
-  // 4. User jobs.
+  // 4. User jobs. On a degraded device, jobs whose compiled circuits touch
+  //    currently-masked hardware are held in place (they run once the
+  //    supervisor unmasks after targeted recalibration); the first runnable
+  //    job is picked instead, so healthy capacity keeps flowing.
   if (!queue_.empty()) {
-    const int id = queue_.front();
-    queue_.erase(queue_.begin());
+    std::size_t pick = 0;
+    if (!device_->health().all_healthy()) {
+      pick = queue_.size();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const QuantumJob& candidate = pending_jobs_.at(queue_[i]);
+        if (device_->health().circuit_legal(device_->topology(),
+                                            candidate.circuit)) {
+          pick = i;
+          break;
+        }
+        metrics_.degraded_holds += 1;
+      }
+      if (pick == queue_.size()) return;  // everything queued is held
+    }
+    const int id = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
     auto& record = records_.at(id);
     const QuantumJob& job = pending_jobs_.at(id);
     record.state = QuantumJobState::kRunning;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "hpcqc/device/health_mask.hpp"
 #include "hpcqc/device/topology.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/telemetry/store.hpp"
@@ -37,8 +38,13 @@ public:
   /// layer as a numeric DeviceStatus).
   static constexpr const char* kStatusSensor = "qpu.status";
 
+  /// Health mask reconstructed from `.operational` sensors; elements with no
+  /// sample yet count as up.
+  device::HealthMask health_from_sensors() const;
+
 private:
   double latest_or_throw(const std::string& sensor) const;
+  double latest_or(const std::string& sensor, double fallback) const;
 
   std::string name_;
   device::Topology topology_;

@@ -1,6 +1,7 @@
 #include "hpcqc/telemetry/telemetry_device.hpp"
 
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/device/health_mask.hpp"
 #include "hpcqc/telemetry/collectors.hpp"
 
 namespace hpcqc::telemetry {
@@ -16,6 +17,27 @@ double TelemetryBackedDevice::latest_or_throw(const std::string& sensor) const {
     throw NotFoundError("TelemetryBackedDevice: no telemetry for sensor '" +
                         sensor + "' yet");
   return sample->value;
+}
+
+double TelemetryBackedDevice::latest_or(const std::string& sensor,
+                                        double fallback) const {
+  const auto sample = store_->latest(sensor);
+  return sample.has_value() ? sample->value : fallback;
+}
+
+device::HealthMask TelemetryBackedDevice::health_from_sensors() const {
+  // Elements that never reported an `.operational` sample count as up: a
+  // backend that has not exported degradation telemetry is serving normally.
+  device::HealthMask mask(topology_);
+  for (int q = 0; q < topology_.num_qubits(); ++q) {
+    if (latest_or("qpu." + element_path('q', q) + ".operational", 1.0) < 0.5)
+      mask.set_qubit(q, false);
+  }
+  for (int e = 0; e < topology_.num_edges(); ++e) {
+    if (latest_or("qpu." + element_path('c', e) + ".operational", 1.0) < 0.5)
+      mask.set_coupler(e, false);
+  }
+  return mask;
 }
 
 double TelemetryBackedDevice::qubit_property(qdmi::QubitProperty prop,
@@ -35,6 +57,8 @@ double TelemetryBackedDevice::qubit_property(qdmi::QubitProperty prop,
       return latest_or_throw(base + ".readout_fidelity");
     case qdmi::QubitProperty::kHasTlsDefect:
       return latest_or_throw(base + ".tls_defect");
+    case qdmi::QubitProperty::kOperational:
+      return latest_or(base + ".operational", 1.0) < 0.5 ? 0.0 : 1.0;
   }
   throw Error("qubit_property: unhandled property");
 }
@@ -46,6 +70,8 @@ double TelemetryBackedDevice::coupler_property(qdmi::CouplerProperty prop,
     case qdmi::CouplerProperty::kFidelityCz:
       return latest_or_throw("qpu." + element_path('c', edge) +
                              ".fidelity_cz");
+    case qdmi::CouplerProperty::kOperational:
+      return health_from_sensors().coupler_usable(topology_, edge) ? 1.0 : 0.0;
   }
   throw Error("coupler_property: unhandled property");
 }
@@ -70,6 +96,11 @@ double TelemetryBackedDevice::device_property(qdmi::DeviceProperty prop) const {
       const auto sample = store_->latest("qpu.shot_reset_us");
       return sample.has_value() ? sample->value : 300.0;
     }
+    case qdmi::DeviceProperty::kHealthyQubits:
+      return static_cast<double>(health_from_sensors().healthy_qubit_count());
+    case qdmi::DeviceProperty::kLargestHealthyComponent:
+      return static_cast<double>(
+          health_from_sensors().largest_component(topology_).size());
   }
   throw Error("device_property: unhandled property");
 }

@@ -5,6 +5,7 @@
 
 #include "hpcqc/circuit/text.hpp"
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/common/rng.hpp"
 
 namespace hpcqc::verify {
 
@@ -93,6 +94,136 @@ FuzzReport run_equivalence_fuzz(const CircuitFuzzer& fuzzer,
         return !judge(c, compile, tol, frame).equivalent;
       });
       example.failure = judge(example.shrunk, compile, tol, frame);
+      report.first_counterexample = std::move(example);
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Restores the model to all-healthy on scope exit, whatever the oracle or
+/// the compiler throw mid-run.
+class HealthRestorer {
+public:
+  explicit HealthRestorer(device::DeviceModel& model) : model_(&model) {}
+  ~HealthRestorer() {
+    model_->set_health(device::HealthMask(model_->topology()));
+  }
+  HealthRestorer(const HealthRestorer&) = delete;
+  HealthRestorer& operator=(const HealthRestorer&) = delete;
+
+private:
+  device::DeviceModel* model_;
+};
+
+/// Random mask with each element independently down with `down_probability`.
+device::HealthMask draw_mask(const device::Topology& topology, Rng& rng,
+                             double down_probability) {
+  device::HealthMask mask(topology);
+  for (int q = 0; q < topology.num_qubits(); ++q)
+    if (rng.bernoulli(down_probability)) mask.set_qubit(q, false);
+  for (int e = 0; e < topology.num_edges(); ++e)
+    if (rng.bernoulli(down_probability)) mask.set_coupler(e, false);
+  return mask;
+}
+
+std::size_t masked_element_count(const device::Topology& topology,
+                                 const device::HealthMask& mask) {
+  std::size_t down = 0;
+  for (int q = 0; q < topology.num_qubits(); ++q)
+    if (!mask.qubit_up(q)) ++down;
+  for (int e = 0; e < topology.num_edges(); ++e)
+    if (!mask.coupler_up(e)) ++down;
+  return down;
+}
+
+/// The degraded-serving oracle: compile must succeed, stay on the healthy
+/// subgraph, and preserve the unitary. Ordered so the mask-legality checks
+/// run first — an illegal-but-equivalent compilation is still a bug.
+EquivalenceResult masked_judge(const circuit::Circuit& circuit,
+                               const qdmi::DeviceInterface& device,
+                               const mqss::CompilerOptions& options,
+                               const device::Topology& topology,
+                               const device::HealthMask& mask, double tol) {
+  const auto fail = [](std::string detail) {
+    EquivalenceResult result;
+    result.equivalent = false;
+    result.max_deviation = 1.0;
+    result.detail = std::move(detail);
+    return result;
+  };
+  try {
+    const mqss::CompiledProgram program =
+        mqss::compile(circuit, device, options);
+    for (const int q : program.initial_layout)
+      if (!mask.qubit_up(q))
+        return fail("initial layout places a virtual qubit on masked "
+                    "physical qubit " +
+                    std::to_string(q));
+    if (!mask.circuit_legal(topology, program.native_circuit))
+      return fail("compiled circuit touches a masked qubit or an unusable "
+                  "coupler");
+    return compiled_equivalent(circuit, program,
+                               FrameTolerance::kOutputZFrame, tol);
+  } catch (const std::exception& e) {
+    return fail(std::string("compile threw: ") + e.what());
+  }
+}
+
+}  // namespace
+
+MaskedFuzzReport run_masked_topology_fuzz(
+    const CircuitFuzzer& fuzzer, std::uint64_t first_seed,
+    std::size_t num_seeds, device::DeviceModel& model,
+    const qdmi::DeviceInterface& device, const mqss::CompilerOptions& options,
+    double down_probability, double tol) {
+  expects(down_probability >= 0.0 && down_probability < 1.0,
+          "run_masked_topology_fuzz: down_probability must be in [0, 1)");
+  const device::Topology& topology = model.topology();
+  const HealthRestorer restore(model);
+
+  MaskedFuzzReport report;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const circuit::Circuit circuit = fuzzer.generate(seed);
+
+    // The mask stream is independent of the circuit stream: the same seed
+    // replays the same (circuit, mask) pair. Masks whose largest healthy
+    // component cannot hold the circuit are redrawn (the compiler is
+    // *supposed* to refuse those — that refusal has its own directed
+    // tests); after a bounded number of redraws fall back to all-healthy.
+    Rng mask_rng(seed ^ 0x6d61736b6d61736bULL);
+    device::HealthMask mask(topology);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      device::HealthMask candidate =
+          draw_mask(topology, mask_rng, down_probability);
+      if (static_cast<int>(candidate.largest_component(topology).size()) >=
+          circuit.num_qubits()) {
+        mask = std::move(candidate);
+        break;
+      }
+      ++report.masks_redrawn;
+    }
+    report.masked_elements += masked_element_count(topology, mask);
+    model.set_health(mask);
+
+    const EquivalenceResult verdict =
+        masked_judge(circuit, device, options, topology, mask, tol);
+    ++report.seeds_run;
+    if (verdict.equivalent) continue;
+    ++report.failures;
+    report.failing_seeds.push_back(seed);
+    if (!report.first_counterexample) {
+      Counterexample example;
+      example.seed = seed;
+      example.original = circuit;
+      example.shrunk = shrink(circuit, [&](const circuit::Circuit& c) {
+        return !masked_judge(c, device, options, topology, mask, tol)
+                    .equivalent;
+      });
+      example.failure =
+          masked_judge(example.shrunk, device, options, topology, mask, tol);
       report.first_counterexample = std::move(example);
     }
   }

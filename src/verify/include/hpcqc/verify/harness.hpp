@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "hpcqc/device/device_model.hpp"
 #include "hpcqc/mqss/compiler.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/verify/equivalence.hpp"
@@ -62,5 +63,35 @@ FuzzReport run_equivalence_fuzz(
     const CircuitFuzzer& fuzzer, std::uint64_t first_seed,
     std::size_t num_seeds, const CompileFn& compile, double tol = 1e-7,
     FrameTolerance frame = FrameTolerance::kOutputZFrame);
+
+struct MaskedFuzzReport {
+  std::size_t seeds_run = 0;
+  std::size_t failures = 0;
+  /// Random masks rejected because their largest healthy component could
+  /// not hold the generated circuit (a fresh mask is drawn each rejection).
+  std::size_t masks_redrawn = 0;
+  /// Total masked elements (down qubits + down couplers) across the masks
+  /// actually fuzzed — a sanity gauge that masks were non-trivial.
+  std::size_t masked_elements = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  /// Shrunk for the first failure only, with the failing mask installed.
+  std::optional<Counterexample> first_counterexample;
+};
+
+/// Degraded-serving oracle loop: for every seed, draws a random health mask
+/// (each qubit / coupler down with `down_probability`, redrawn until the
+/// largest healthy component fits the generated circuit), installs it on
+/// `model`, compiles through the standard pipeline against `device` (which
+/// must view `model`), and checks that
+///   1. the initial layout only uses healthy qubits,
+///   2. no compiled op touches a down qubit or an unusable coupler, and
+///   3. the compiled program is still unitarily equivalent to the source.
+/// A compile-time exception counts as a failure. The model is restored to
+/// all-healthy before returning.
+MaskedFuzzReport run_masked_topology_fuzz(
+    const CircuitFuzzer& fuzzer, std::uint64_t first_seed,
+    std::size_t num_seeds, device::DeviceModel& model,
+    const qdmi::DeviceInterface& device, const mqss::CompilerOptions& options,
+    double down_probability = 0.15, double tol = 1e-7);
 
 }  // namespace hpcqc::verify

@@ -256,5 +256,46 @@ TEST(Controller, ConfigValidation) {
   EXPECT_THROW(AutoCalibrationController{bad}, PreconditionError);
 }
 
+TEST(MaskedBenchmark, ChainDegradesToTheLongestHealthyRun) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+
+  // Masking the fourth chain qubit leaves a 16-qubit contiguous healthy
+  // run; a 20-qubit request degrades to it instead of crashing mid-campaign.
+  device.set_qubit_health(chain[3], false);
+  const auto circuit = GhzBenchmark::chain_circuit(device, 20);
+  const auto measured = circuit.measured_qubits();
+  EXPECT_EQ(measured.size(), 16u);
+  EXPECT_TRUE(
+      device.health().circuit_legal(device.topology(), circuit));
+
+  // A masked coupler splits the chain the same way.
+  device.set_qubit_health(chain[3], true);
+  device.set_coupler_health(chain[9], chain[10], false);
+  const auto split = GhzBenchmark::chain_circuit(device, 20);
+  EXPECT_EQ(split.measured_qubits().size(), 10u);
+  EXPECT_TRUE(device.health().circuit_legal(device.topology(), split));
+
+  // Shorter requests on the healthy run are unaffected.
+  EXPECT_EQ(GhzBenchmark::chain_circuit(device, 4).measured_qubits().size(),
+            4u);
+}
+
+TEST(MaskedBenchmark, NoContiguousHealthyPairIsATransientFailure) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  // Mask every other chain qubit: no two adjacent healthy qubits remain.
+  for (std::size_t i = 1; i < chain.size(); i += 2)
+    device.set_qubit_health(chain[i], false);
+  try {
+    GhzBenchmark::chain_circuit(device, 4);
+    FAIL() << "a GHZ chain was built with no healthy coupled pair";
+  } catch (const TransientError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeviceUnavailable) << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hpcqc::calibration

@@ -316,5 +316,126 @@ TEST(Device, ExecutionUsesPerQubitReadout) {
   EXPECT_LT(good.counts.probability_of(1), 0.08);
 }
 
+TEST(HealthMask, DefaultsToAllHealthyAndTracksCounts) {
+  const Topology grid = Topology::square_grid(2, 3);
+  HealthMask mask(grid);
+  EXPECT_TRUE(mask.all_healthy());
+  EXPECT_EQ(mask.healthy_qubit_count(), 6);
+  EXPECT_EQ(mask.usable_coupler_count(grid), grid.num_edges());
+
+  mask.set_qubit(2, false);
+  EXPECT_FALSE(mask.all_healthy());
+  EXPECT_EQ(mask.healthy_qubit_count(), 5);
+  EXPECT_FALSE(mask.qubit_up(2));
+  mask.set_qubit(2, true);
+  EXPECT_TRUE(mask.all_healthy());
+}
+
+TEST(HealthMask, CouplerUsableNeedsBothEndpointsUp) {
+  const Topology grid = Topology::square_grid(2, 2);
+  HealthMask mask(grid);
+  const int edge = grid.edge_index(0, 1);
+  EXPECT_TRUE(mask.coupler_usable(grid, edge));
+  mask.set_qubit(1, false);
+  EXPECT_TRUE(mask.coupler_up(edge));  // the coupler itself is fine
+  EXPECT_FALSE(mask.coupler_usable(grid, edge));
+  mask.set_qubit(1, true);
+  mask.set_coupler(edge, false);
+  EXPECT_FALSE(mask.coupler_usable(grid, edge));
+}
+
+TEST(HealthMask, ComponentsSplitDeterministically) {
+  // A 1x5 line; dropping the middle qubit splits it into {0,1} and {3,4}.
+  const Topology line(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  HealthMask mask(line);
+  mask.set_qubit(2, false);
+  const auto components = mask.healthy_components(line);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<int>{0, 1}));  // tie -> smaller front
+  EXPECT_EQ(components[1], (std::vector<int>{3, 4}));
+  EXPECT_EQ(mask.largest_component(line), (std::vector<int>{0, 1}));
+
+  // Dropping a coupler instead splits without losing any qubit.
+  HealthMask cut(line);
+  cut.set_coupler(line.edge_index(1, 2), false);
+  const auto pieces = cut.healthy_components(line);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(cut.healthy_qubit_count(), 5);
+}
+
+TEST(HealthMask, CircuitLegalRejectsMaskedElements) {
+  const Topology line(3, {{0, 1}, {1, 2}});
+  circuit::Circuit c(3);
+  c.h(0).cz(0, 1).measure({0, 1});
+
+  HealthMask mask(line);
+  EXPECT_TRUE(mask.circuit_legal(line, c));
+  mask.set_qubit(1, false);
+  EXPECT_FALSE(mask.circuit_legal(line, c));  // cz + measure touch q1
+  mask.set_qubit(1, true);
+  mask.set_coupler(line.edge_index(0, 1), false);
+  EXPECT_FALSE(mask.circuit_legal(line, c));
+  mask.set_coupler(line.edge_index(0, 1), true);
+  mask.set_qubit(2, false);  // untouched by the circuit
+  EXPECT_TRUE(mask.circuit_legal(line, c));
+}
+
+TEST(HealthMask, DeriveHealthAppliesPolicyFloors) {
+  Rng rng(3);
+  DeviceModel device = make_iqm20(rng);
+  auto state = device.calibration();
+  state.qubits[4].fidelity_1q = 0.90;
+  state.qubits[9].tls_defect = true;
+  state.couplers[2].fidelity_cz = 0.80;
+  device.install_live_state(std::move(state));
+
+  // An all-zero policy masks nothing.
+  EXPECT_TRUE(device.derive_health(HealthPolicy{}).all_healthy());
+
+  HealthPolicy policy;
+  policy.min_fidelity_1q = 0.99;
+  policy.min_fidelity_cz = 0.97;
+  policy.mask_tls_defects = true;
+  const HealthMask mask = device.derive_health(policy);
+  EXPECT_FALSE(mask.qubit_up(4));
+  EXPECT_FALSE(mask.qubit_up(9));
+  EXPECT_FALSE(mask.coupler_up(2));
+  EXPECT_EQ(mask.healthy_qubit_count(), 18);
+}
+
+TEST(DeviceModelHealth, MaskBumpsEpochAndGuardsExecution) {
+  Rng rng(3);
+  DeviceModel device = make_iqm20(rng);
+  const std::uint64_t epoch = device.calibration_epoch();
+
+  device.set_qubit_health(3, false);
+  EXPECT_GT(device.calibration_epoch(), epoch);
+  EXPECT_FALSE(device.health().all_healthy());
+
+  // Executing a circuit that touches the masked qubit is refused with a
+  // transient (retryable) unavailability error.
+  circuit::Circuit on_masked(20);
+  on_masked.h(3).measure({3});
+  EXPECT_THROW(
+      device.execute(on_masked, 100, rng, ExecutionMode::kGlobalDepolarizing),
+      TransientError);
+
+  // Circuits on healthy qubits still run, and unmasking restores everything.
+  circuit::Circuit on_healthy(20);
+  on_healthy.h(0).measure({0});
+  EXPECT_NO_THROW(device.execute(on_healthy, 100, rng,
+                                 ExecutionMode::kGlobalDepolarizing));
+  device.set_qubit_health(3, true);
+  EXPECT_TRUE(device.health().all_healthy());
+  EXPECT_NO_THROW(device.execute(on_masked, 100, rng,
+                                 ExecutionMode::kGlobalDepolarizing));
+
+  // Installing an identical mask is a no-op (no epoch bump).
+  const std::uint64_t before = device.calibration_epoch();
+  device.set_health(HealthMask(device.topology()));
+  EXPECT_EQ(device.calibration_epoch(), before);
+}
+
 }  // namespace
 }  // namespace hpcqc::device

@@ -333,5 +333,75 @@ TEST_F(CompilerTest, SwapsInsertedMatchesTheRoutedCircuitForBothStrategies) {
   }
 }
 
+TEST_F(CompilerTest, UsableQubitsIsIdentityWhenHealthy) {
+  const auto usable = usable_qubits(qdmi_);
+  ASSERT_EQ(usable.size(), 20u);
+  for (int q = 0; q < 20; ++q) EXPECT_EQ(usable[static_cast<std::size_t>(q)], q);
+}
+
+TEST_F(CompilerTest, UsableQubitsShrinksToTheLargestHealthyComponent) {
+  device_.set_qubit_health(7, false);
+  const auto usable = usable_qubits(qdmi_);
+  EXPECT_EQ(usable.size(), 19u);
+  for (const int q : usable) EXPECT_NE(q, 7);
+  device_.set_qubit_health(7, true);
+}
+
+TEST_F(CompilerTest, MaskedCompileStaysOnTheHealthySubgraphForBothStrategies) {
+  // Mask one qubit and one (other) coupler; every compiled op — placement,
+  // routing, and decomposition included — must stay on the healthy
+  // remainder while preserving the circuit's semantics.
+  device_.set_qubit_health(2, false);
+  const auto [a, b] = device_.topology().edges().back();
+  device_.set_coupler_health(a, b, false);
+
+  const auto source = circuit::Circuit::ghz(5);
+  for (const auto strategy :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    const CompiledProgram program =
+        compile(source, qdmi_, {strategy, true, true});
+    for (const int q : program.initial_layout) EXPECT_NE(q, 2);
+    EXPECT_TRUE(device_.health().circuit_legal(device_.topology(),
+                                               program.native_circuit))
+        << "strategy " << to_string(strategy)
+        << " compiled onto masked hardware";
+    expect_semantically_equal(source, program.native_circuit);
+  }
+}
+
+TEST_F(CompilerTest, RoutingAvoidsAMaskedCouplerBetweenPlacedQubits) {
+  // Mask the coupler joining the first two chain qubits, then compile a CX
+  // across exactly that pair: the router must detour, never touching the
+  // down link.
+  const auto chain = device_.topology().coupled_chain();
+  device_.set_coupler_health(chain[0], chain[1], false);
+
+  circuit::Circuit source(2);
+  source.h(0).cx(0, 1).measure();
+  const CompiledProgram program =
+      compile(source, qdmi_, {PlacementStrategy::kStatic, false, false});
+  EXPECT_TRUE(device_.health().circuit_legal(device_.topology(),
+                                             program.native_circuit));
+  expect_semantically_equal(source, program.native_circuit);
+}
+
+TEST_F(CompilerTest, TooWideForTheHealthySubgraphThrowsTransient) {
+  // Shrink the healthy set to three qubits; a five-qubit circuit can no
+  // longer be served until repairs land, which is a transient (retryable)
+  // condition — not a permanent one.
+  for (int q = 3; q < 20; ++q) device_.set_qubit_health(q, false);
+  const auto source = circuit::Circuit::ghz(5);
+  for (const auto strategy :
+       {PlacementStrategy::kStatic, PlacementStrategy::kFidelityAware}) {
+    try {
+      compile(source, qdmi_, {strategy, false, false});
+      FAIL() << "strategy " << to_string(strategy)
+             << " compiled a 5-qubit circuit onto 3 healthy qubits";
+    } catch (const TransientError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kDeviceUnavailable) << e.what();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hpcqc::mqss

@@ -164,5 +164,43 @@ TEST_F(QdmiTest, CShimCloseInvalidatesHandle) {
             c::kErrorInvalidHandle);
 }
 
+TEST_F(QdmiTest, OperationalPropertiesReportTheDegradedCapabilitySet) {
+  // Fully healthy: every element operational, full capability.
+  EXPECT_DOUBLE_EQ(adapter_.qubit_property(QubitProperty::kOperational, 3),
+                   1.0);
+  EXPECT_DOUBLE_EQ(adapter_.device_property(DeviceProperty::kHealthyQubits),
+                   20.0);
+  EXPECT_DOUBLE_EQ(
+      adapter_.device_property(DeviceProperty::kLargestHealthyComponent),
+      20.0);
+
+  // Masking a qubit shows through the QDMI capability surface: the qubit
+  // reports non-operational, couplers at it become unusable, and the
+  // device-level gauges shrink.
+  device_.set_qubit_health(3, false);
+  EXPECT_DOUBLE_EQ(adapter_.qubit_property(QubitProperty::kOperational, 3),
+                   0.0);
+  const int neighbor = device_.topology().neighbors(3).front();
+  EXPECT_DOUBLE_EQ(
+      adapter_.coupler_property(CouplerProperty::kOperational, 3, neighbor),
+      0.0);
+  EXPECT_DOUBLE_EQ(adapter_.device_property(DeviceProperty::kHealthyQubits),
+                   19.0);
+  EXPECT_LE(
+      adapter_.device_property(DeviceProperty::kLargestHealthyComponent),
+      19.0);
+
+  // Masking a coupler leaves both endpoints operational but the link down.
+  device_.set_qubit_health(3, true);
+  const auto [a, b] = device_.topology().edges().front();
+  device_.set_coupler_health(a, b, false);
+  EXPECT_DOUBLE_EQ(adapter_.qubit_property(QubitProperty::kOperational, a),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      adapter_.coupler_property(CouplerProperty::kOperational, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(adapter_.device_property(DeviceProperty::kHealthyQubits),
+                   20.0);
+}
+
 }  // namespace
 }  // namespace hpcqc::qdmi

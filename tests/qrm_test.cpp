@@ -322,5 +322,256 @@ TEST(QrmPolicy, SchedulerControlledBeatsFixedIntervalOnGoodShots) {
   EXPECT_GT(adaptive, fixed);
 }
 
+TEST(QrmConfigValidation, RejectsDegenerateValuesAtConstruction) {
+  Rng rng(1);
+  device::DeviceModel device = device::make_iqm20(rng);
+  const auto rejects = [&](auto mutate) {
+    Qrm::Config config = fast_config();
+    mutate(config);
+    EXPECT_THROW(Qrm(device, config, rng, nullptr), PermanentError);
+  };
+  rejects([](Qrm::Config& c) { c.retry.max_attempts = 0; });
+  rejects([](Qrm::Config& c) { c.retry.initial_backoff = 0.0; });
+  rejects([](Qrm::Config& c) { c.retry.backoff_factor = 0.5; });
+  rejects([](Qrm::Config& c) { c.retry.max_backoff = seconds(1.0); });
+  rejects([](Qrm::Config& c) { c.job_overhead = -1.0; });
+  rejects([](Qrm::Config& c) { c.benchmark_overhead = -1.0; });
+  rejects([](Qrm::Config& c) { c.max_defer_factor = 0.9; });
+  rejects([](Qrm::Config& c) { c.admission.queue_capacity = 0; });
+  rejects([](Qrm::Config& c) { c.admission.dead_letter_capacity = 0; });
+  rejects([](Qrm::Config& c) { c.admission.high_rate_per_hour = 0.0; });
+  rejects([](Qrm::Config& c) { c.admission.normal_rate_per_hour = -1.0; });
+  rejects([](Qrm::Config& c) { c.admission.low_rate_per_hour = 0.0; });
+  rejects([](Qrm::Config& c) { c.admission.burst = 0.0; });
+  rejects([](Qrm::Config& c) { c.admission.brownout_wait_limit = 0.0; });
+  rejects([](Qrm::Config& c) { c.admission.brownout_exit_fraction = 0.0; });
+  rejects([](Qrm::Config& c) { c.admission.brownout_exit_fraction = 1.5; });
+}
+
+TEST(QrmConfigValidation, ErrorNamesTheConfigAndTheProblem) {
+  Rng rng(1);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.admission.queue_capacity = 0;
+  try {
+    Qrm qrm(device, config, rng, nullptr);
+    FAIL() << "zero queue capacity was accepted";
+  } catch (const PermanentError& e) {
+    EXPECT_NE(std::string(e.what()).find("Qrm::Config"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(QrmAdmission, FullQueueRefusesWithTerminalRecord) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.admission.queue_capacity = 2;
+  Qrm qrm(device, config, rng, nullptr);
+  qrm.set_offline("hold the queue");
+
+  const int a = qrm.submit(ghz_job(device, 4, 500, "a"));
+  const int b = qrm.submit(ghz_job(device, 4, 500, "b"));
+  const int c = qrm.submit(ghz_job(device, 4, 500, "c"));
+  EXPECT_EQ(qrm.record(c).state, QuantumJobState::kRejectedOverload);
+  EXPECT_NE(qrm.record(c).failure_reason.find("queue full"),
+            std::string::npos);
+  EXPECT_EQ(qrm.metrics().jobs_rejected_overload, 1u);
+
+  const JobConservation before = qrm.conservation();
+  EXPECT_TRUE(before.holds());
+  EXPECT_EQ(before.rejected_overload, 1u);
+  EXPECT_EQ(before.in_flight, 2u);
+
+  qrm.set_online();
+  qrm.drain();
+  EXPECT_EQ(qrm.record(a).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(qrm.record(b).state, QuantumJobState::kCompleted);
+  const JobConservation after = qrm.conservation();
+  EXPECT_TRUE(after.holds());
+  EXPECT_EQ(after.in_flight, 0u);
+}
+
+TEST(QrmAdmission, TokenBucketLimitsBurstsAndRefillsOverTime) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.admission.burst = 2.0;
+  config.admission.normal_rate_per_hour = 3600.0;  // one token per second
+  Qrm qrm(device, config, rng, nullptr);
+  qrm.set_offline("hold the queue");
+
+  qrm.submit(ghz_job(device, 4, 500, "a"));
+  qrm.submit(ghz_job(device, 4, 500, "b"));
+  const int c = qrm.submit(ghz_job(device, 4, 500, "c"));
+  EXPECT_EQ(qrm.record(c).state, QuantumJobState::kRejectedOverload);
+  EXPECT_NE(qrm.record(c).failure_reason.find("admission rate"),
+            std::string::npos);
+
+  // The bucket refills in simulated time: two seconds buys two tokens.
+  qrm.advance_to(seconds(2.0));
+  const int d = qrm.submit(ghz_job(device, 4, 500, "d"));
+  EXPECT_EQ(qrm.record(d).state, QuantumJobState::kQueued);
+}
+
+TEST(QrmAdmission, BrownoutShedsLowPriorityAndClearsWithHysteresis) {
+  Rng rng(5);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.job_overhead = minutes(10.0);
+  config.admission.brownout_wait_limit = minutes(25.0);
+  Qrm qrm(device, config, rng, nullptr);
+  qrm.set_offline("hold the queue");
+
+  QuantumJob low = ghz_job(device, 4, 500, "low");
+  low.priority = JobPriority::kLow;
+  const int a = qrm.submit(std::move(low));
+  const int b = qrm.submit(ghz_job(device, 4, 500, "b"));
+  EXPECT_FALSE(qrm.brownout());
+
+  // The third admission pushes the estimated wait past the limit: brownout
+  // engages and sheds the queued low-priority job.
+  const int c = qrm.submit(ghz_job(device, 4, 500, "c"));
+  EXPECT_TRUE(qrm.brownout());
+  EXPECT_EQ(qrm.record(a).state, QuantumJobState::kShed);
+  EXPECT_NE(qrm.record(a).failure_reason.find("brownout"), std::string::npos);
+  EXPECT_EQ(qrm.metrics().jobs_shed, 1u);
+
+  // While browned out, new low-priority work is refused at the door; normal
+  // priority is still admitted.
+  QuantumJob low2 = ghz_job(device, 4, 500, "low2");
+  low2.priority = JobPriority::kLow;
+  const int d = qrm.submit(std::move(low2));
+  EXPECT_EQ(qrm.record(d).state, QuantumJobState::kRejectedOverload);
+  EXPECT_NE(qrm.record(d).failure_reason.find("brownout"), std::string::npos);
+  const int e = qrm.submit(ghz_job(device, 4, 500, "e"));
+  EXPECT_EQ(qrm.record(e).state, QuantumJobState::kQueued);
+
+  // Draining the backlog clears the brownout (with hysteresis).
+  qrm.set_online();
+  qrm.drain();
+  EXPECT_FALSE(qrm.brownout());
+  EXPECT_EQ(qrm.record(b).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(qrm.record(c).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(qrm.record(e).state, QuantumJobState::kCompleted);
+  const JobConservation audit = qrm.conservation();
+  EXPECT_TRUE(audit.holds());
+  EXPECT_EQ(audit.shed, 1u);
+  EXPECT_EQ(audit.rejected_overload, 1u);
+  EXPECT_EQ(audit.in_flight, 0u);
+}
+
+TEST_F(QrmTest, DegradedHoldSkipsMaskedJobsUntilRecovery) {
+  // Job A is compiled while healthy and touches the first four qubits of
+  // the serpentine chain; masking one of them makes A unrunnable but must
+  // not block the queue behind it.
+  const auto chain = device_.topology().coupled_chain();
+  const int a = qrm_.submit(ghz_job(device_, 4, 500, "masked-job"));
+  device_.set_qubit_health(chain[1], false);
+  const int b = qrm_.submit(ghz_job(device_, 4, 500, "healthy-job"));
+
+  qrm_.advance_to(hours(1.0));
+  EXPECT_EQ(qrm_.record(b).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(qrm_.record(a).state, QuantumJobState::kQueued);
+  EXPECT_GE(qrm_.metrics().degraded_holds, 1u);
+
+  // Once the supervisor unmasks the qubit the held job runs to completion.
+  device_.set_qubit_health(chain[1], true);
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(a).state, QuantumJobState::kCompleted);
+  EXPECT_GE(qrm_.record(a).start_time, qrm_.record(b).end_time);
+  EXPECT_TRUE(qrm_.conservation().holds());
+}
+
+TEST_F(QrmTest, TooWideForTheDegradedDeviceIsRefusedUpFront) {
+  const circuit::Circuit wide =
+      calibration::GhzBenchmark::chain_circuit(device_, device_.num_qubits());
+  device_.set_qubit_health(device_.topology().coupled_chain()[0], false);
+  QuantumJob job;
+  job.name = "wide";
+  job.circuit = wide;
+  job.shots = 100;
+  const int id = qrm_.submit(std::move(job));
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kRejectedTooWide);
+  EXPECT_NE(qrm_.record(id).failure_reason.find("largest healthy component"),
+            std::string::npos);
+  EXPECT_EQ(qrm_.metrics().jobs_rejected_too_wide, 1u);
+}
+
+TEST(QrmDeadLetter, OverflowDropsOldestAndCountsTheDrop) {
+  Rng rng(9);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 1;
+  config.admission.dead_letter_capacity = 2;
+  Qrm qrm(device, config, rng, nullptr);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(10.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  const int a = qrm.submit(ghz_job(device, 4, 500, "a"));
+  const int b = qrm.submit(ghz_job(device, 4, 500, "b"));
+  const int c = qrm.submit(ghz_job(device, 4, 500, "c"));
+  qrm.drain();
+
+  // All three dead-lettered; the DLQ keeps the newest two and counts the
+  // dropped record — nothing vanishes unaccounted.
+  EXPECT_EQ(qrm.metrics().jobs_failed, 3u);
+  ASSERT_EQ(qrm.dead_letters().size(), 2u);
+  EXPECT_EQ(qrm.dead_letters()[0].id, b);
+  EXPECT_EQ(qrm.dead_letters()[1].id, c);
+  EXPECT_EQ(qrm.metrics().dead_letters_dropped, 1u);
+  EXPECT_EQ(qrm.record(a).state, QuantumJobState::kFailed);
+  const JobConservation audit = qrm.conservation();
+  EXPECT_TRUE(audit.holds());
+  EXPECT_EQ(audit.failed, 3u);
+}
+
+TEST(QrmDeadLetter, ExhaustionOrderIsPreservedInTheDlq) {
+  Rng rng(9);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 2;
+  Qrm qrm(device, config, rng, nullptr);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(10.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  const int a = qrm.submit(ghz_job(device, 4, 500, "a"));
+  const int b = qrm.submit(ghz_job(device, 4, 500, "b"));
+  qrm.drain();
+
+  ASSERT_EQ(qrm.dead_letters().size(), 2u);
+  EXPECT_EQ(qrm.dead_letters()[0].id, a);
+  EXPECT_EQ(qrm.dead_letters()[1].id, b);
+  EXPECT_EQ(qrm.dead_letters()[0].attempts, 2u);
+  EXPECT_LE(qrm.dead_letters()[0].failed_at, qrm.dead_letters()[1].failed_at);
+}
+
+TEST_F(QrmTest, RepeatedOfflineMidRunDoesNotDuplicateTheJob) {
+  // A duplicate outage notification while already offline must not requeue
+  // the interrupted job a second time.
+  const int id = qrm_.submit(ghz_job(device_, 6, 500000, "long"));
+  qrm_.advance_to(minutes(3.0));
+  ASSERT_EQ(qrm_.record(id).state, QuantumJobState::kRunning);
+  qrm_.set_offline("first outage");
+  qrm_.set_offline("duplicate outage notification");
+  EXPECT_EQ(qrm_.queue_length(), 1u);
+  EXPECT_EQ(qrm_.record(id).interruptions, 1u);
+
+  qrm_.set_online();
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(qrm_.record(id).attempts, 1u);
+  const JobConservation audit = qrm_.conservation();
+  EXPECT_TRUE(audit.holds());
+  EXPECT_EQ(audit.submitted, 1u);
+  EXPECT_EQ(audit.completed, 1u);
+}
+
 }  // namespace
 }  // namespace hpcqc::sched

@@ -303,6 +303,31 @@ TEST(TelemetryDevice, ThrowsWithoutTelemetry) {
   EXPECT_EQ(via_store.status(), qdmi::DeviceStatus::kIdle);
 }
 
+TEST(TelemetryDevice, HealthFromSensorsDefaultsUpAndReadsOperational) {
+  Rng rng(4);
+  const device::DeviceModel device = device::make_iqm20(rng);
+  TimeSeriesStore store;
+  const TelemetryBackedDevice via_store("iqm-20q", device.topology(), store);
+
+  // Absent .operational sensors mean "up": an ops store that never
+  // published health data serves the full device.
+  EXPECT_TRUE(via_store.health_from_sensors().all_healthy());
+  EXPECT_DOUBLE_EQ(
+      via_store.qubit_property(qdmi::QubitProperty::kOperational, 3), 1.0);
+
+  // Published down-markers show through the mask and the QDMI properties.
+  store.append("qpu." + element_path('q', 3) + ".operational", 1.0, 0.0);
+  store.append("qpu." + element_path('c', 0) + ".operational", 1.0, 0.0);
+  const auto mask = via_store.health_from_sensors();
+  EXPECT_FALSE(mask.qubit_up(3));
+  EXPECT_FALSE(mask.coupler_up(0));
+  EXPECT_EQ(mask.healthy_qubit_count(), 19);
+  EXPECT_DOUBLE_EQ(
+      via_store.qubit_property(qdmi::QubitProperty::kOperational, 3), 0.0);
+  EXPECT_DOUBLE_EQ(
+      via_store.device_property(qdmi::DeviceProperty::kHealthyQubits), 19.0);
+}
+
 TEST(TelemetryDevice, StatusSensorRoundTrip) {
   Rng rng(4);
   const device::DeviceModel device = device::make_iqm20(rng);

@@ -1,0 +1,132 @@
+// The degraded-serving fuzz tier: seeded random health masks over every
+// compiler option combination. For each seed the harness masks random
+// qubits/couplers on the model, compiles, and asserts the compiled circuit
+// never touches a masked element while staying unitarily equivalent to the
+// source. Also a mutation check — compiling against a stale (all-healthy)
+// device view must be caught by the mask-legality oracle — and bit-identical
+// replay across OpenMP thread counts.
+//
+// Seed budget: 25 seeds per option set (8 sets = 200 seeds) by default;
+// nightly CI raises it via HPCQC_FUZZ_SEEDS (seeds per option set).
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/harness.hpp"
+
+namespace hpcqc::verify {
+namespace {
+
+std::size_t seeds_per_config() {
+  if (const char* env = std::getenv("HPCQC_FUZZ_SEEDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 25;
+}
+
+class MaskedFuzzTest : public ::testing::Test {
+protected:
+  MaskedFuzzTest()
+      : rng_(23),
+        device_(device::make_grid("fuzz-3x3", 3, 3, device::DeviceSpec{},
+                                  device::DriftParams{}, rng_)),
+        qdmi_(device_, clock_) {}
+
+  Rng rng_;
+  SimClock clock_;
+  device::DeviceModel device_;
+  qdmi::ModelBackedDevice qdmi_;
+};
+
+TEST_F(MaskedFuzzTest, MaskedCompileSurvivesEveryOptionCombination) {
+  const CircuitFuzzer fuzzer;  // 2..5 qubits, full gate vocabulary
+  const std::size_t per_config = seeds_per_config();
+  std::size_t total_seeds = 0;
+  std::size_t total_masked = 0;
+  std::uint64_t base_seed = 0;
+  for (const auto placement : {mqss::PlacementStrategy::kStatic,
+                               mqss::PlacementStrategy::kFidelityAware}) {
+    for (const bool optimize : {false, true}) {
+      for (const bool fidelity_routing : {false, true}) {
+        const mqss::CompilerOptions options{placement, optimize,
+                                            fidelity_routing};
+        const auto report = run_masked_topology_fuzz(
+            fuzzer, base_seed, per_config, device_, qdmi_, options);
+        total_seeds += report.seeds_run;
+        total_masked += report.masked_elements;
+        EXPECT_EQ(report.failures, 0u)
+            << "placement=" << mqss::to_string(placement)
+            << " optimize=" << optimize << " routing=" << fidelity_routing
+            << "\n"
+            << (report.first_counterexample
+                    ? report.first_counterexample->describe()
+                    : std::string("(no counterexample captured)"));
+        base_seed += per_config;
+      }
+    }
+  }
+  // The tier-1 budget: at least 200 masked-compile seeds per run, and the
+  // masks must have been non-trivial (elements actually went down).
+  EXPECT_GE(total_seeds, 8 * per_config);
+  EXPECT_GT(total_masked, 0u);
+}
+
+TEST_F(MaskedFuzzTest, ModelIsRestoredToAllHealthyAfterTheRun) {
+  const CircuitFuzzer fuzzer;
+  run_masked_topology_fuzz(fuzzer, 500, 10, device_, qdmi_, {});
+  EXPECT_TRUE(device_.health().all_healthy());
+}
+
+TEST_F(MaskedFuzzTest, ReportIsBitIdenticalAcrossThreadCounts) {
+  const CircuitFuzzer fuzzer;
+  const auto run_once = [&] {
+    return run_masked_topology_fuzz(fuzzer, 9000, 12, device_, qdmi_, {});
+  };
+  omp_set_num_threads(1);
+  const auto serial = run_once();
+  omp_set_num_threads(omp_get_num_procs());
+  const auto parallel = run_once();
+  EXPECT_EQ(serial.seeds_run, parallel.seeds_run);
+  EXPECT_EQ(serial.failures, parallel.failures);
+  EXPECT_EQ(serial.failing_seeds, parallel.failing_seeds);
+  EXPECT_EQ(serial.masks_redrawn, parallel.masks_redrawn);
+  EXPECT_EQ(serial.masked_elements, parallel.masked_elements);
+  EXPECT_EQ(serial.failures, 0u);
+}
+
+TEST_F(MaskedFuzzTest, StaleDeviceViewIsCaughtByTheMaskOracle) {
+  // Mutation check: compile against a *second* all-healthy model (a stale
+  // capability view, as if QDMI never learned of the dropouts) while the
+  // serving model is masked. The compiler then happily places work on
+  // masked elements — the legality oracle must catch it.
+  Rng stale_rng(23);
+  device::DeviceModel stale_model =
+      device::make_grid("fuzz-3x3", 3, 3, device::DeviceSpec{},
+                        device::DriftParams{}, stale_rng);
+  SimClock stale_clock;
+  qdmi::ModelBackedDevice stale_view(stale_model, stale_clock);
+
+  const CircuitFuzzer fuzzer;
+  const auto report = run_masked_topology_fuzz(fuzzer, 0, 40, device_,
+                                               stale_view, {}, 0.3);
+  EXPECT_GT(report.failures, 0u)
+      << "the mask oracle lost its teeth: a compiler blind to the health "
+         "mask sailed through 40 masked fuzz seeds";
+  ASSERT_TRUE(report.first_counterexample.has_value());
+  const auto& ce = *report.first_counterexample;
+  std::cout << ce.describe();
+  EXPECT_NE(ce.failure.detail.find("masked"), std::string::npos)
+      << ce.failure.detail;
+}
+
+}  // namespace
+}  // namespace hpcqc::verify
