@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <iostream>
 
 #include "hpcqc/calibration/benchmark.hpp"
@@ -161,7 +163,5 @@ BENCHMARK(BM_AdmissionRejectOverload)
 
 int main(int argc, char** argv) {
   print_reproduction();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hpcqc::bench::run_with_json(argc, argv, "BENCH_degraded_serving.json");
 }

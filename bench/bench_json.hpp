@@ -1,0 +1,47 @@
+// Shared runner that tees benchmark results to the console (human) and a
+// Google-Benchmark JSON file (machine): CI uploads the BENCH_*.json
+// artifacts so perf regressions are diffable across commits.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hpcqc::bench {
+
+/// Initializes and runs the registered benchmarks, mirroring the results
+/// into `default_path` as Google-Benchmark JSON (by injecting
+/// --benchmark_out, so an explicit flag on the command line wins).
+/// HPCQC_BENCH_JSON overrides the path; the empty string disables the copy.
+inline int run_with_json(int argc, char** argv,
+                         const std::string& default_path) {
+  std::string path = default_path;
+  if (const char* env = std::getenv("HPCQC_BENCH_JSON")) path = env;
+
+  std::vector<std::string> args(argv, argv + argc);
+  const bool has_out = std::any_of(
+      args.begin(), args.end(), [](const std::string& arg) {
+        return arg.rfind("--benchmark_out=", 0) == 0;
+      });
+  const bool write_json = !path.empty() && !has_out;
+  if (write_json) {
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size() + 1);
+  for (auto& arg : args) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+  int cargc = static_cast<int>(args.size());
+
+  benchmark::Initialize(&cargc, cargv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  if (write_json) std::cout << "\nbenchmark JSON written to " << path << "\n";
+  return 0;
+}
+
+}  // namespace hpcqc::bench

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <iostream>
 
 #include "hpcqc/circuit/execute.hpp"
@@ -168,7 +170,5 @@ BENCHMARK(BM_NoisyExecutionGlobalDepolarizing)
 
 int main(int argc, char** argv) {
   print_reproduction();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hpcqc::bench::run_with_json(argc, argv, "BENCH_qsim.json");
 }

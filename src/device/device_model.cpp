@@ -182,19 +182,25 @@ Seconds DeviceModel::shot_duration(const circuit::Circuit& circuit) const {
 
 ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
                                      std::size_t shots, Rng& rng,
-                                     ExecutionMode mode) {
+                                     ExecutionMode mode,
+                                     ExecObserver* observer) {
   expects(shots > 0, "execute: need at least one shot");
   validate_executable(circuit);
 
   ExecutionResult result;
   result.shots = shots;
   result.estimated_fidelity = estimate_circuit_fidelity(circuit);
-  result.wall_time = static_cast<double>(shots) * shot_duration(circuit);
+  const Seconds per_shot = shot_duration(circuit);
+  result.wall_time = static_cast<double>(shots) * per_shot;
 
   const std::vector<int> measured = circuit.measured_qubits();
   result.counts.set_num_qubits(static_cast<int>(measured.size()));
 
-  if (mode == ExecutionMode::kEstimateOnly) return result;
+  if (mode == ExecutionMode::kEstimateOnly) {
+    if (observer != nullptr)
+      observer->on_shot_batch(0, 0, shots, 0, result.wall_time);
+    return result;
+  }
 
   // Compile once per job: densified indices, fused matrices, precomputed
   // error rates. Every shot replays this flat program.
@@ -314,6 +320,21 @@ ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
         result.counts.merge(local);
       }
     }
+    if (observer != nullptr) {
+      // Batch progress is derived from the serially pre-drawn realizations
+      // and emitted here, after the parallel region, in batch order — so
+      // the callback sequence never depends on OpenMP scheduling.
+      for (std::size_t first = 0, batch = 0; first < shots;
+           first += kExecBatchShots, ++batch) {
+        const std::size_t in_batch = std::min(kExecBatchShots, shots - first);
+        std::size_t errored = 0;
+        for (std::size_t s = first; s < first + in_batch; ++s)
+          if (!realizations[s].empty()) ++errored;
+        observer->on_shot_batch(batch, first, in_batch, errored,
+                                static_cast<double>(first + in_batch) *
+                                    per_shot);
+      }
+    }
     return result;
   }
 
@@ -327,13 +348,27 @@ ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
   program.run_ideal(state);
   const auto samples = state.sample(shots, rng);
   const std::uint64_t dense_dim = std::uint64_t{1} << program.dense_qubits();
-  for (std::uint64_t sample : samples) {
-    std::uint64_t outcome = sample;
-    if (!rng.bernoulli(gate_process_product))
+  std::size_t batch = 0;
+  std::size_t batch_errored = 0;
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    std::uint64_t outcome = samples[s];
+    if (!rng.bernoulli(gate_process_product)) {
       outcome = rng.uniform_index(dense_dim);
+      ++batch_errored;
+    }
     outcome = readout.corrupt(outcome, rng);
     result.counts.add(
         circuit::compact_outcome(outcome, program.dense_measured()));
+    // This loop is serial, so per-batch emission here is deterministic.
+    if ((s + 1) % kExecBatchShots == 0 || s + 1 == samples.size()) {
+      if (observer != nullptr)
+        observer->on_shot_batch(batch, batch * kExecBatchShots,
+                                s + 1 - batch * kExecBatchShots,
+                                batch_errored,
+                                static_cast<double>(s + 1) * per_shot);
+      ++batch;
+      batch_errored = 0;
+    }
   }
   return result;
 }

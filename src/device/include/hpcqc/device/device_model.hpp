@@ -35,6 +35,24 @@ enum class ExecutionMode {
   kEstimateOnly,
 };
 
+/// Progress hook for execute(): called once per shot batch, in batch order,
+/// on the calling thread. Batch boundaries and contents are derived from the
+/// serially pre-drawn per-shot error realizations — never from OpenMP
+/// scheduling — so the emitted sequence is bit-identical for any
+/// OMP_NUM_THREADS. `elapsed` is the simulated time from job start through
+/// the end of the batch (shots completed x shot duration). A null observer
+/// costs one pointer test.
+class ExecObserver {
+public:
+  virtual ~ExecObserver() = default;
+  virtual void on_shot_batch(std::size_t batch_index, std::size_t first_shot,
+                             std::size_t shots_in_batch,
+                             std::size_t errored_shots, Seconds elapsed) = 0;
+};
+
+/// Shots per observer batch (last batch may be short).
+inline constexpr std::size_t kExecBatchShots = 64;
+
 /// Result of executing one circuit job on the device.
 struct ExecutionResult {
   qsim::Counts counts;
@@ -118,8 +136,11 @@ public:
   /// always full-register). Throws PreconditionError on a 2q gate between
   /// uncoupled qubits, and TransientError(kDeviceUnavailable) when any op
   /// touches a masked qubit or coupler.
+  /// `observer`, when non-null, receives deterministic per-batch progress
+  /// callbacks (see ExecObserver).
   ExecutionResult execute(const circuit::Circuit& circuit, std::size_t shots,
-                          Rng& rng, ExecutionMode mode = ExecutionMode::kAuto);
+                          Rng& rng, ExecutionMode mode = ExecutionMode::kAuto,
+                          ExecObserver* observer = nullptr);
 
   /// Shot duration for a given circuit (reset + gates + readout), per §2.4.
   Seconds shot_duration(const circuit::Circuit& circuit) const;

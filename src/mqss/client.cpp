@@ -45,6 +45,26 @@ Client::Client(QpuService& service, SimClock& clock, AccessPath path,
     path_ = detect_inside_hpc() ? AccessPath::kHpc : AccessPath::kRest;
 }
 
+void Client::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_retries_ = m_fallbacks_ = m_breaker_opens_ = nullptr;
+    m_turnaround_ = nullptr;
+    service_->set_metrics(nullptr);
+    return;
+  }
+  m_retries_ = &registry->counter("client.retries");
+  m_fallbacks_ = &registry->counter("client.fallbacks");
+  m_breaker_opens_ = &registry->counter("client.breaker_opens");
+  m_turnaround_ = &registry->histogram("client.turnaround_s");
+  service_->set_metrics(registry);
+}
+
+obs::TraceContext Client::submit_context() const {
+  return tracer_ != nullptr && submit_span_ != obs::kNoSpan
+             ? tracer_->context(submit_span_)
+             : obs::TraceContext{};
+}
+
 BreakerState Client::breaker_state() const {
   if (!breaker_open_) return BreakerState::kClosed;
   return clock_->now() >= breaker_open_until_ ? BreakerState::kHalfOpen
@@ -53,11 +73,17 @@ BreakerState Client::breaker_state() const {
 
 void Client::note_failure() {
   ++retries_;
+  if (m_retries_ != nullptr) m_retries_->inc();
   ++consecutive_failures_;
   if (consecutive_failures_ >= resilience_.breaker_threshold &&
       !breaker_open_) {
     breaker_open_ = true;
     ++breaker_opens_;
+    if (m_breaker_opens_ != nullptr) m_breaker_opens_->inc();
+    if (tracer_ != nullptr && submit_span_ != obs::kNoSpan)
+      tracer_->add_event(submit_span_, clock_->now(), "breaker-opened",
+                         std::to_string(consecutive_failures_) +
+                             " consecutive failures");
   }
   if (breaker_open_)
     breaker_open_until_ = clock_->now() + resilience_.breaker_cooldown;
@@ -70,7 +96,11 @@ RunResult Client::emulator_fallback(const circuit::Circuit& circuit,
         "Client: QPU unavailable and emulator fallback disabled",
         ErrorCode::kDeviceUnavailable);
   ++fallbacks_;
-  return service_->run_emulated(circuit, shots);
+  if (m_fallbacks_ != nullptr) m_fallbacks_->inc();
+  if (tracer_ != nullptr && submit_span_ != obs::kNoSpan)
+    tracer_->add_event(submit_span_, clock_->now(), "fallback-emulated",
+                       "breaker " + std::string(to_string(breaker_state())));
+  return service_->run_emulated(circuit, shots, submit_context());
 }
 
 RunResult Client::execute_resilient(const circuit::Circuit& circuit,
@@ -90,7 +120,7 @@ RunResult Client::execute_resilient(const circuit::Circuit& circuit,
 
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     try {
-      RunResult result = service_->run(circuit, shots);
+      RunResult result = service_->run(circuit, shots, submit_context());
       consecutive_failures_ = 0;
       breaker_open_ = false;  // a success closes the breaker
       return result;
@@ -100,6 +130,11 @@ RunResult Client::execute_resilient(const circuit::Circuit& circuit,
       // machine that never answered.
       clock_->advance(resilience_.submit_timeout);
       note_failure();
+      if (tracer_ != nullptr && submit_span_ != obs::kNoSpan)
+        tracer_->add_event(submit_span_, clock_->now(),
+                           "attempt-" + std::to_string(attempt + 1) +
+                               "-failed",
+                           error.what());
       if (breaker_open_) break;  // threshold crossed mid-loop
       if (attempt + 1 < attempts) {
         clock_->advance(backoff);
@@ -117,6 +152,13 @@ JobTicket Client::submit(const circuit::Circuit& circuit, std::size_t shots,
   job.name = std::move(name);
   job.submitted_at = clock_->now();
 
+  if (tracer_ != nullptr) {
+    submit_span_ =
+        tracer_->begin_span("client.submit:" + job.name, clock_->now());
+    tracer_->set_attribute(submit_span_, "path", to_string(path_));
+    tracer_->set_attribute(submit_span_, "shots", std::to_string(shots));
+  }
+
   if (path_ == AccessPath::kHpc) {
     // Tightly-coupled path: the run happens synchronously inside the
     // allocation; only the execution time itself elapses.
@@ -130,6 +172,14 @@ JobTicket Client::submit(const circuit::Circuit& circuit, std::size_t shots,
     job.ready_at = clock_->now() + rest_.request_latency + rest_.queue_delay +
                    job.result.qpu_time;
   }
+  if (tracer_ != nullptr && submit_span_ != obs::kNoSpan) {
+    if (job.result.emulated)
+      tracer_->set_attribute(submit_span_, "emulated", "true");
+    tracer_->end_span(submit_span_, clock_->now());
+    submit_span_ = obs::kNoSpan;
+  }
+  if (m_turnaround_ != nullptr)
+    m_turnaround_->observe(clock_->now() - job.submitted_at);
   jobs_.emplace(id, std::move(job));
   return {id, path_};
 }

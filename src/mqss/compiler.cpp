@@ -39,6 +39,7 @@ void PassManager::run(CompilationUnit& unit,
   for (const auto& pass : passes_) {
     pass->run(unit, device);
     unit.trace.push_back(pass->name());
+    unit.trace_gate_counts.push_back(unit.circuit.gate_count());
   }
 }
 
@@ -598,6 +599,7 @@ CompiledProgram compile(const circuit::Circuit& circuit,
   program.native_circuit = std::move(unit.circuit);
   program.initial_layout = std::move(unit.layout);
   program.pass_trace = std::move(unit.trace);
+  program.pass_gate_counts = std::move(unit.trace_gate_counts);
   program.native_gate_count = program.native_circuit.gate_count();
   program.swap_count = unit.swaps_inserted;
   return program;

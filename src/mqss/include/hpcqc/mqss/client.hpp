@@ -118,9 +118,20 @@ public:
   /// Breaker state at the current clock time.
   BreakerState breaker_state() const;
   const ResilienceParams& resilience() const { return resilience_; }
+  // Thin shims over the client's registry metrics (kept for pre-registry
+  // callers; the counters below mirror into the registry when attached).
   std::size_t retries() const { return retries_; }          ///< failed attempts
   std::size_t fallbacks() const { return fallbacks_; }      ///< emulated runs
   std::size_t breaker_opens() const { return breaker_opens_; }
+
+  /// Attaches a tracer: each submission becomes a client.submit root span
+  /// (timestamped on the client's SimClock) whose context is threaded into
+  /// the service, so the whole path shares one trace. nullptr disables.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Mirrors client counters (client.retries / fallbacks / breaker_opens)
+  /// and the client.turnaround_s histogram into `registry`; also forwards
+  /// the registry to the service. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
 
 private:
   struct PendingJob {
@@ -133,6 +144,7 @@ private:
 
   RunResult execute_resilient(const circuit::Circuit& circuit,
                               std::size_t shots);
+  obs::TraceContext submit_context() const;
   RunResult emulator_fallback(const circuit::Circuit& circuit,
                               std::size_t shots);
   void note_failure();
@@ -151,6 +163,13 @@ private:
   std::size_t retries_ = 0;
   std::size_t fallbacks_ = 0;
   std::size_t breaker_opens_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanHandle submit_span_ = obs::kNoSpan;  ///< open during submit()
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_fallbacks_ = nullptr;
+  obs::Counter* m_breaker_opens_ = nullptr;
+  obs::Histogram* m_turnaround_ = nullptr;
 };
 
 }  // namespace hpcqc::mqss

@@ -47,6 +47,9 @@ struct CompilationUnit {
   std::vector<int> layout;
   /// Names of passes applied, in order (the lowering trace).
   std::vector<std::string> trace;
+  /// Gate count after each pass in `trace` (same indexing) — what the
+  /// per-pass tracing spans report.
+  std::vector<std::size_t> trace_gate_counts;
   /// SWAPs inserted by routing (before native decomposition).
   std::size_t swaps_inserted = 0;
 };
@@ -57,6 +60,8 @@ struct CompiledProgram {
   circuit::Circuit native_circuit{1};
   std::vector<int> initial_layout;
   std::vector<std::string> pass_trace;
+  /// Gate count after each pass in `pass_trace` (same indexing).
+  std::vector<std::size_t> pass_gate_counts;
   std::size_t native_gate_count = 0;
   std::size_t swap_count = 0;
 

@@ -9,6 +9,8 @@
 #include "hpcqc/fault/injector.hpp"
 #include "hpcqc/mqss/compiler.hpp"
 #include "hpcqc/net/formats.hpp"
+#include "hpcqc/obs/metrics.hpp"
+#include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 
 namespace hpcqc::mqss {
@@ -44,13 +46,17 @@ public:
   /// TransientError (kDeviceUnavailable / kTimeout / kNetwork) when the
   /// QPU is offline or an attached fault injector has an open window over
   /// one of the path's injection sites.
-  RunResult run(const circuit::Circuit& circuit, std::size_t shots);
+  /// `parent` (when valid) parents the run's span tree — callers thread
+  /// their job context through so one submission stays one trace.
+  RunResult run(const circuit::Circuit& circuit, std::size_t shots,
+                obs::TraceContext parent = {});
 
   /// The onboarding-emulator path (§4): same JIT compilation, but the
   /// native program is sampled from its ideal distribution instead of the
   /// noisy device. Always available — it is what clients degrade to when
   /// the QPU is down. Results are tagged `emulated`.
-  RunResult run_emulated(const circuit::Circuit& circuit, std::size_t shots);
+  RunResult run_emulated(const circuit::Circuit& circuit, std::size_t shots,
+                         obs::TraceContext parent = {});
 
   /// Compile only (exposed for transparency — §4's users asked for
   /// "greater transparency in the quantum circuit compilation process").
@@ -60,6 +66,14 @@ public:
   /// its windows. Both must outlive the service; pass nullptr to detach.
   void set_fault_context(const fault::FaultInjector* injector,
                          const SimClock* clock);
+
+  /// Attaches a tracer: run()/run_emulated() then produce qpu.run spans
+  /// with compile (per-pass children) and execute stages. Must outlive the
+  /// service; nullptr disables.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Attaches a metrics registry (mqss.runs, mqss.runs_emulated,
+  /// mqss.compile_cache_hits / _misses). Must outlive the service.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// JIT compile cache: hits while the device's calibration epoch counter
   /// is unchanged (any recalibration bumps it — the JIT placement must see
@@ -80,6 +94,10 @@ public:
 
 private:
   bool fault_active(fault::FaultSite site) const;
+  /// compile_only() plus a compile span (per-pass children, cache
+  /// attributes) under `parent` when tracing is on.
+  CompiledProgram compile_traced(const circuit::Circuit& circuit,
+                                 obs::Span& parent);
 
   device::DeviceModel* device_;
   const qdmi::DeviceInterface* qdmi_;
@@ -88,6 +106,11 @@ private:
 
   const fault::FaultInjector* injector_ = nullptr;
   const SimClock* clock_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_runs_ = nullptr;
+  obs::Counter* m_runs_emulated_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
 
   bool cache_enabled_ = true;
   std::size_t cache_capacity_ = 256;

@@ -16,47 +16,143 @@ void QpuService::set_fault_context(const fault::FaultInjector* injector,
   clock_ = clock;
 }
 
+void QpuService::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_runs_ = m_runs_emulated_ = m_cache_hits_ = m_cache_misses_ = nullptr;
+    return;
+  }
+  m_runs_ = &registry->counter("mqss.runs");
+  m_runs_emulated_ = &registry->counter("mqss.runs_emulated");
+  m_cache_hits_ = &registry->counter("mqss.compile_cache_hits");
+  m_cache_misses_ = &registry->counter("mqss.compile_cache_misses");
+}
+
+namespace {
+
+/// Forwards device batch progress into instant events on the execute span.
+struct ExecSpanObserver final : device::ExecObserver {
+  obs::Span* span = nullptr;
+
+  void on_shot_batch(std::size_t batch_index, std::size_t first_shot,
+                     std::size_t shots_in_batch, std::size_t errored_shots,
+                     Seconds /*elapsed*/) override {
+    span->add_event("shot-batch-" + std::to_string(batch_index),
+                    "shots " + std::to_string(first_shot) + "+" +
+                        std::to_string(shots_in_batch) + ", " +
+                        std::to_string(errored_shots) + " errored");
+  }
+};
+
+}  // namespace
+
 bool QpuService::fault_active(fault::FaultSite site) const {
   return injector_ != nullptr && clock_ != nullptr &&
          injector_->active(site, clock_->now());
 }
 
-RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots) {
+RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots,
+                          obs::TraceContext parent) {
   expects(shots > 0, "QpuService::run: need at least one shot");
-  if (fault_active(fault::FaultSite::kQdmiQuery))
-    throw TransientError("QpuService::run: QDMI metric query timed out",
-                         ErrorCode::kTimeout);
-  const auto status = qdmi_->status();
-  if (status == qdmi::DeviceStatus::kOffline ||
-      status == qdmi::DeviceStatus::kMaintenance)
-    throw TransientError(std::string("QpuService::run: QPU unavailable (") +
-                             qdmi::to_string(status) + ")",
-                         ErrorCode::kDeviceUnavailable);
+  if (m_runs_ != nullptr) m_runs_->inc();
+  obs::Span span;  // inert without a tracer
+  if (tracer_ != nullptr) {
+    span = tracer_->span("qpu.run", parent);
+    span.set_attribute("shots", std::to_string(shots));
+  }
+  try {
+    if (fault_active(fault::FaultSite::kQdmiQuery))
+      throw TransientError("QpuService::run: QDMI metric query timed out",
+                           ErrorCode::kTimeout);
+    const auto status = qdmi_->status();
+    if (status == qdmi::DeviceStatus::kOffline ||
+        status == qdmi::DeviceStatus::kMaintenance)
+      throw TransientError(std::string("QpuService::run: QPU unavailable (") +
+                               qdmi::to_string(status) + ")",
+                           ErrorCode::kDeviceUnavailable);
+    const CompiledProgram program = compile_traced(circuit, span);
+    if (fault_active(fault::FaultSite::kDeviceExecution))
+      throw TransientError("QpuService::run: QPU aborted the job",
+                           ErrorCode::kDeviceUnavailable);
+    obs::Span exec_span;
+    ExecSpanObserver batch_events;
+    device::ExecObserver* observer = nullptr;
+    if (span) {
+      exec_span = span.child("execute");
+      batch_events.span = &exec_span;
+      observer = &batch_events;
+    }
+    const auto exec =
+        device_->execute(program.native_circuit, shots, *rng_,
+                         device::ExecutionMode::kAuto, observer);
+    if (exec_span) {
+      exec_span.set_attribute("estimated_fidelity",
+                              std::to_string(exec.estimated_fidelity));
+      exec_span.set_attribute("qpu_time_s", std::to_string(exec.wall_time));
+      exec_span.end();
+    }
+    if (fault_active(fault::FaultSite::kNetworkTransfer))
+      throw TransientError("QpuService::run: result transfer corrupted",
+                           ErrorCode::kNetwork);
+    if (span) span.add_event("result-transferred");
+    RunResult result;
+    result.counts = exec.counts;
+    result.estimated_fidelity = exec.estimated_fidelity;
+    result.qpu_time = exec.wall_time;
+    result.native_gate_count = program.native_gate_count;
+    result.swap_count = program.swap_count;
+    result.initial_layout = program.initial_layout;
+    return result;
+  } catch (const Error& error) {
+    if (span) {
+      span.add_event("error", error.what());
+      span.set_status(obs::SpanStatus::kError);
+    }
+    throw;  // the Span destructor ends the span with the error status
+  }
+}
+
+CompiledProgram QpuService::compile_traced(const circuit::Circuit& circuit,
+                                           obs::Span& parent) {
+  if (!parent) return compile_only(circuit);
+  obs::Span compile_span = parent.child("compile");
+  const std::size_t hits_before = cache_hits_;
   const CompiledProgram program = compile_only(circuit);
-  if (fault_active(fault::FaultSite::kDeviceExecution))
-    throw TransientError("QpuService::run: QPU aborted the job",
-                         ErrorCode::kDeviceUnavailable);
-  const auto exec = device_->execute(program.native_circuit, shots, *rng_);
-  if (fault_active(fault::FaultSite::kNetworkTransfer))
-    throw TransientError("QpuService::run: result transfer corrupted",
-                         ErrorCode::kNetwork);
-  RunResult result;
-  result.counts = exec.counts;
-  result.estimated_fidelity = exec.estimated_fidelity;
-  result.qpu_time = exec.wall_time;
-  result.native_gate_count = program.native_gate_count;
-  result.swap_count = program.swap_count;
-  result.initial_layout = program.initial_layout;
-  return result;
+  const bool hit = cache_hits_ > hits_before;
+  compile_span.set_attribute("cache", hit ? "hit" : "miss");
+  compile_span.set_attribute("calibration_epoch",
+                             std::to_string(device_->calibration_epoch()));
+  if (!hit) {
+    // Per-pass child spans reconstructed from the pass trace (zero duration
+    // on the simulated clock: JIT compilation is modeled as instantaneous,
+    // its cost lives in the QRM's job_overhead).
+    for (std::size_t i = 0; i < program.pass_trace.size(); ++i) {
+      obs::Span pass_span = compile_span.child("pass:" +
+                                               program.pass_trace[i]);
+      if (i < program.pass_gate_counts.size())
+        pass_span.set_attribute(
+            "gates", std::to_string(program.pass_gate_counts[i]));
+    }
+  }
+  compile_span.set_attribute("native_gates",
+                             std::to_string(program.native_gate_count));
+  compile_span.set_attribute("swaps", std::to_string(program.swap_count));
+  return program;
 }
 
 RunResult QpuService::run_emulated(const circuit::Circuit& circuit,
-                                   std::size_t shots) {
+                                   std::size_t shots,
+                                   obs::TraceContext parent) {
   expects(shots > 0, "QpuService::run_emulated: need at least one shot");
+  if (m_runs_emulated_ != nullptr) m_runs_emulated_->inc();
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->span("qpu.run_emulated", parent);
+    span.set_attribute("shots", std::to_string(shots));
+  }
   // Compilation reuses the cache and the twin's last-known metrics — the
   // emulator keeps serving even while the physical machine (and its live
   // QDMI feed) is down.
-  const CompiledProgram program = compile_only(circuit);
+  const CompiledProgram program = compile_traced(circuit, span);
   RunResult result;
   result.counts = circuit::run_ideal(program.native_circuit, shots, *rng_);
   result.estimated_fidelity = 1.0;  // noiseless by construction
@@ -85,9 +181,11 @@ CompiledProgram QpuService::compile_only(const circuit::Circuit& circuit) const 
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++cache_hits_;
+    if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
     return it->second;
   }
   ++cache_misses_;
+  if (m_cache_misses_ != nullptr) m_cache_misses_->inc();
   auto program = compile(circuit, *qdmi_, options_);
   while (cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
     cache_.erase(cache_order_.front());

@@ -1,0 +1,474 @@
+#include "hpcqc/obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace hpcqc::obs {
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex_id(std::uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+/// Simulated seconds -> integer microseconds (Chrome's ts unit). Integer
+/// output keeps the export byte-stable across platforms.
+long long micros(Seconds t) { return std::llround(t * 1e6); }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans) {
+  // One lane (tid) per trace, numbered in first-seen order.
+  std::map<std::uint64_t, int> lanes;
+  const auto lane = [&lanes](std::uint64_t trace_id) {
+    const auto it = lanes.find(trace_id);
+    if (it != lanes.end()) return it->second;
+    const int next = static_cast<int>(lanes.size()) + 1;
+    lanes.emplace(trace_id, next);
+    return next;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    const int tid = lane(span.trace_id);
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(span.name)
+       << "\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":" << micros(span.start)
+       << ",\"dur\":" << (span.open() ? 0 : micros(span.end) -
+                                            micros(span.start))
+       << ",\"pid\":1,\"tid\":" << tid << ",\"args\":{\"span_id\":\""
+       << hex_id(span.span_id) << "\",\"trace_id\":\""
+       << hex_id(span.trace_id) << "\",\"status\":\""
+       << to_string(span.status) << '"';
+    if (span.open()) os << ",\"open\":true";
+    for (const auto& [key, value] : span.attributes)
+      os << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+         << '"';
+    os << "}}";
+    for (const SpanEvent& event : span.events) {
+      os << ",{\"name\":\"" << json_escape(event.name)
+         << "\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+         << micros(event.time) << ",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"span_id\":\"" << hex_id(span.span_id) << '"';
+      if (!event.detail.empty())
+        os << ",\"detail\":\"" << json_escape(event.detail) << '"';
+      os << "}}";
+    }
+  }
+  os << "]}";
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::ostringstream os;
+  write_chrome_trace(os, tracer.records());
+  return os.str();
+}
+
+namespace {
+
+void print_span_line(std::ostream& os, const SpanRecord& span, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  char timing[64];
+  if (span.open())
+    std::snprintf(timing, sizeof(timing), "[%.3f s .. open]", span.start);
+  else
+    std::snprintf(timing, sizeof(timing), "[%.3f s +%.3f s]", span.start,
+                  span.end - span.start);
+  os << timing << ' ' << span.name << " (" << to_string(span.status) << ')';
+  for (const auto& [key, value] : span.attributes)
+    os << ' ' << key << '=' << value;
+  os << '\n';
+  for (const SpanEvent& event : span.events) {
+    for (int i = 0; i < depth + 1; ++i) os << "  ";
+    char at[32];
+    std::snprintf(at, sizeof(at), "@%.3f s", event.time);
+    os << at << ' ' << event.name;
+    if (!event.detail.empty()) os << ": " << event.detail;
+    os << '\n';
+  }
+}
+
+void print_subtree(std::ostream& os, const std::vector<SpanRecord>& spans,
+                   const std::multimap<SpanHandle, std::size_t>& children,
+                   std::size_t index, int depth) {
+  print_span_line(os, spans[index], depth);
+  const auto [lo, hi] = children.equal_range(spans[index].handle);
+  for (auto it = lo; it != hi; ++it)
+    print_subtree(os, spans, children, it->second, depth + 1);
+}
+
+}  // namespace
+
+void write_text_tree(std::ostream& os, const std::vector<SpanRecord>& spans,
+                     int indent) {
+  // Index children by parent handle; handles absent from `spans` (pruned by
+  // a ring buffer) promote their orphans to roots.
+  std::multimap<SpanHandle, std::size_t> children;
+  std::vector<char> present_as_child(spans.size(), 0);
+  const auto find_index = [&spans](SpanHandle handle) {
+    for (std::size_t i = 0; i < spans.size(); ++i)
+      if (spans[i].handle == handle) return i;
+    return spans.size();
+  };
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == kNoSpan) continue;
+    if (find_index(spans[i].parent) == spans.size()) continue;  // orphan
+    children.emplace(spans[i].parent, i);
+    present_as_child[i] = 1;
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (!present_as_child[i]) {
+      if (spans[i].parent == kNoSpan) {
+        for (int d = 0; d < indent; ++d) os << "  ";
+        os << "trace " << hex_id(spans[i].trace_id) << '\n';
+      }
+      print_subtree(os, spans, children, i, indent + 1);
+    }
+}
+
+std::string text_tree(const Tracer& tracer, std::uint64_t trace_id) {
+  std::vector<SpanRecord> spans;
+  for (const SpanRecord& record : tracer.records())
+    if (trace_id == 0 || record.trace_id == trace_id)
+      spans.push_back(record);
+  std::ostringstream os;
+  write_text_tree(os, spans);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Schema checker: a compact recursive-descent JSON parser (objects, arrays,
+// strings, numbers, booleans, null) feeding structural checks. Not a general
+// JSON library — just enough to refuse a malformed or mis-shaped export.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = at("trailing content after top-level value");
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::string at(const std::string& what) const {
+    return what + " (offset " + std::to_string(pos_) + ")";
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      error = at("expected string");
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          error = at("dangling escape");
+          return false;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              error = at("truncated \\u escape");
+              return false;
+            }
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                error = at("bad \\u escape");
+                return false;
+              }
+            }
+            pos_ += 4;
+            c = '?';  // code point value is irrelevant to validation
+            break;
+          }
+          default:
+            error = at("unknown escape");
+            return false;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
+      error = at("unterminated string");
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      error = at("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, error);
+    if (c == '[') return parse_array(out, error);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.text, error);
+    }
+    if (literal("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        digits = true;
+      ++pos_;
+    }
+    if (!digits) {
+      error = at("expected value");
+      return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(text_.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool parse_object(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error = at("expected ':' in object");
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      error = at("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      error = at("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void check_event(const JsonValue& event, std::size_t index,
+                 std::vector<std::string>& errors) {
+  const auto fail = [&errors, index](const std::string& what) {
+    errors.push_back("traceEvents[" + std::to_string(index) + "]: " + what);
+  };
+  if (event.type != JsonValue::Type::kObject) {
+    fail("not an object");
+    return;
+  }
+  const JsonValue* name = event.find("name");
+  if (name == nullptr || name->type != JsonValue::Type::kString ||
+      name->text.empty())
+    fail("missing non-empty string \"name\"");
+  const JsonValue* ph = event.find("ph");
+  const bool is_complete =
+      ph != nullptr && ph->type == JsonValue::Type::kString &&
+      ph->text == "X";
+  const bool is_instant =
+      ph != nullptr && ph->type == JsonValue::Type::kString &&
+      ph->text == "i";
+  if (!is_complete && !is_instant)
+    fail("\"ph\" must be \"X\" or \"i\"");
+  const JsonValue* ts = event.find("ts");
+  if (ts == nullptr || ts->type != JsonValue::Type::kNumber ||
+      ts->number < 0.0)
+    fail("missing non-negative numeric \"ts\"");
+  if (is_complete) {
+    const JsonValue* dur = event.find("dur");
+    if (dur == nullptr || dur->type != JsonValue::Type::kNumber ||
+        dur->number < 0.0)
+      fail("\"X\" event missing non-negative numeric \"dur\"");
+  }
+  for (const char* field : {"pid", "tid"}) {
+    const JsonValue* v = event.find(field);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber)
+      fail(std::string("missing numeric \"") + field + '"');
+  }
+  const JsonValue* args = event.find("args");
+  if (args != nullptr && args->type != JsonValue::Type::kObject)
+    fail("\"args\" must be an object");
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const std::string& json) {
+  TraceValidation result;
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(json).parse(root, error)) {
+    result.errors.push_back("JSON parse error: " + error);
+    return result;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    result.errors.push_back("top-level value is not an object");
+    return result;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    result.errors.push_back("missing \"traceEvents\" array");
+    return result;
+  }
+  result.events = events->array.size();
+  for (std::size_t i = 0; i < events->array.size(); ++i)
+    check_event(events->array[i], i, result.errors);
+  result.ok = result.errors.empty();
+  return result;
+}
+
+TraceValidation validate_chrome_trace(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return validate_chrome_trace(buffer.str());
+}
+
+}  // namespace hpcqc::obs

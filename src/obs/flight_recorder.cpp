@@ -1,0 +1,70 @@
+#include "hpcqc/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/obs/export.hpp"
+
+namespace hpcqc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t span_capacity,
+                               std::size_t post_mortem_capacity)
+    : span_capacity_(span_capacity),
+      post_mortem_capacity_(post_mortem_capacity) {
+  expects(span_capacity_ > 0, "FlightRecorder: span capacity must be > 0");
+  expects(post_mortem_capacity_ > 0,
+          "FlightRecorder: post-mortem capacity must be > 0");
+}
+
+void FlightRecorder::note_span_end(const SpanRecord& record) {
+  if (recent_.size() == span_capacity_) {
+    recent_.pop_front();
+    ++spans_dropped_;
+  }
+  recent_.push_back(record);
+}
+
+void FlightRecorder::record_failure(std::uint64_t trace_id,
+                                    std::string reason, Seconds at) {
+  PostMortem pm;
+  pm.trace_id = trace_id;
+  pm.reason = std::move(reason);
+  pm.at = at;
+  for (const SpanRecord& record : recent_)
+    if (record.trace_id == trace_id) pm.spans.push_back(record);
+  // Spans were appended in end order; restore creation order so parents
+  // precede children for the tree renderer.
+  std::sort(pm.spans.begin(), pm.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.handle < b.handle;
+            });
+  if (sink_ != nullptr) dump_post_mortem(*sink_, pm);
+  if (post_mortems_.size() == post_mortem_capacity_) {
+    post_mortems_.erase(post_mortems_.begin());
+    ++post_mortems_dropped_;
+  }
+  post_mortems_.push_back(std::move(pm));
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  os << "flight recorder: " << recent_.size() << " retained span(s), "
+     << spans_dropped_ << " dropped, " << post_mortems_.size()
+     << " post-mortem(s)\n";
+  std::vector<SpanRecord> spans(recent_.begin(), recent_.end());
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.handle < b.handle;
+            });
+  write_text_tree(os, spans, 1);
+}
+
+void FlightRecorder::dump_post_mortem(std::ostream& os, const PostMortem& pm) {
+  char at[32];
+  std::snprintf(at, sizeof(at), "%.3f", pm.at);
+  os << "post-mortem: " << pm.reason << " at t=" << at << " s ("
+     << pm.spans.size() << " span(s) retained)\n";
+  write_text_tree(os, pm.spans, 1);
+}
+
+}  // namespace hpcqc::obs

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcqc/obs/trace.hpp"
+
+namespace hpcqc::obs {
+
+/// Writes spans in Chrome's trace_event JSON format — loadable in
+/// chrome://tracing / Perfetto ("Open trace file"). Each closed span becomes
+/// one complete ("ph":"X") event with microsecond timestamps on the
+/// simulated clock; span events become instant ("ph":"i") events. Traces are
+/// mapped to tids in first-seen order so every job gets its own lane.
+/// Output is byte-stable for identical span sets (integer microseconds,
+/// fixed field order).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans);
+
+/// Chrome trace of every span the tracer holds.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Indented plain-text span tree (children under parents, siblings by start
+/// time then creation order). Spans whose parent is absent from `spans` are
+/// printed as roots, so partial sets (flight-recorder rings) still render.
+void write_text_tree(std::ostream& os, const std::vector<SpanRecord>& spans,
+                     int indent = 0);
+
+/// Text tree of one trace (or of every trace with trace_id == 0).
+std::string text_tree(const Tracer& tracer, std::uint64_t trace_id = 0);
+
+/// Result of validating an exported trace against the schema checker.
+struct TraceValidation {
+  bool ok = false;
+  std::size_t events = 0;  ///< traceEvents entries seen
+  std::vector<std::string> errors;
+};
+
+/// Small schema checker for exported Chrome traces: well-formed JSON, a
+/// top-level object with a "traceEvents" array, and per event — "name"
+/// (string), "ph" in {"X","i"}, numeric non-negative "ts", "pid"/"tid",
+/// plus a non-negative "dur" for "X" events. CI runs this over the drill's
+/// export so a malformed trace fails the build, not the viewer.
+TraceValidation validate_chrome_trace(const std::string& json);
+TraceValidation validate_chrome_trace(std::istream& is);
+
+}  // namespace hpcqc::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpcqc/obs/trace.hpp"
+
+namespace hpcqc::obs {
+
+/// Captured failure: the retained spans of one trace at the moment a job
+/// reached a failure terminal state.
+struct PostMortem {
+  std::uint64_t trace_id = 0;
+  std::string reason;
+  Seconds at = 0.0;
+  std::vector<SpanRecord> spans;  ///< creation order (parents before children)
+};
+
+/// Bounded ring buffer of recently-completed spans. The tracer notifies it
+/// on every span end; when a job reaches a failure terminal state
+/// (dead-letter, shed, rejected) the recorder snapshots everything it still
+/// holds for that trace into a PostMortem — automatically producing the
+/// "where did this job spend its time and why did it fail" record without
+/// keeping every span of a months-long campaign alive. An optional sink
+/// stream gets a text dump of each post-mortem as it is captured, so chaos
+/// campaigns print their own incident reports.
+class FlightRecorder {
+public:
+  explicit FlightRecorder(std::size_t span_capacity = 1024,
+                          std::size_t post_mortem_capacity = 64);
+
+  /// Called by the tracer on each span end (public so custom pipelines can
+  /// feed records directly).
+  void note_span_end(const SpanRecord& record);
+
+  /// Captures a post-mortem of `trace_id` from the retained spans. The
+  /// oldest post-mortem is evicted past capacity (evictions are counted).
+  void record_failure(std::uint64_t trace_id, std::string reason, Seconds at);
+
+  const std::deque<SpanRecord>& recent() const { return recent_; }
+  const std::vector<PostMortem>& post_mortems() const { return post_mortems_; }
+  std::size_t spans_dropped() const { return spans_dropped_; }
+  std::size_t post_mortems_dropped() const { return post_mortems_dropped_; }
+  std::size_t span_capacity() const { return span_capacity_; }
+
+  /// Text dump of every post-mortem captured as it happens; nullptr
+  /// disables (the default).
+  void set_dump_sink(std::ostream* sink) { sink_ = sink; }
+
+  /// Writes the retained ring (API-triggered dump).
+  void dump(std::ostream& os) const;
+  /// Writes one post-mortem as an indented span tree.
+  static void dump_post_mortem(std::ostream& os, const PostMortem& pm);
+
+private:
+  std::size_t span_capacity_;
+  std::size_t post_mortem_capacity_;
+  std::deque<SpanRecord> recent_;
+  std::vector<PostMortem> post_mortems_;
+  std::size_t spans_dropped_ = 0;
+  std::size_t post_mortems_dropped_ = 0;
+  std::ostream* sink_ = nullptr;
+};
+
+}  // namespace hpcqc::obs

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::obs {
+
+/// Monotone accumulator.
+class Counter {
+public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+  std::uint64_t count() const {
+    return static_cast<std::uint64_t>(value_ + 0.5);
+  }
+
+private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds()` are the inclusive upper edges of the
+/// first `bounds().size()` buckets; one implicit overflow bucket catches
+/// everything above the last edge. Quantiles are estimated by linear
+/// interpolation inside the selected bucket (observations are assumed
+/// non-negative; the overflow bucket reports its lower edge). Fixed buckets
+/// keep snapshots bit-identical across reruns: no reservoir sampling, no
+/// randomness, pure counting.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size = bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Estimated q-quantile, q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default histogram edges for simulated-time durations: powers of two from
+/// 1/16 s to ~3 days. Covers shot batches (ms..s), queue waits (s..h) and
+/// outage recoveries (h..d) with relative error bounded by the bucket ratio.
+std::vector<double> default_time_bounds();
+
+/// Default edges for rates (shots/s and similar): powers of four from 1e-2
+/// to ~2.6e6.
+std::vector<double> default_rate_bounds();
+
+/// Pull-model snapshot of a registry: plain sorted values, equality
+/// comparable (the chaos-campaign determinism tests compare snapshots
+/// bit-for-bit across reruns and OMP_NUM_THREADS).
+struct MetricsSnapshot {
+  struct Value {
+    std::string name;
+    double value = 0.0;
+    bool operator==(const Value&) const = default;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    bool operator==(const HistogramValue&) const = default;
+  };
+
+  std::vector<Value> counters;
+  std::vector<Value> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  const Value* counter(const std::string& name) const;
+  const Value* gauge(const std::string& name) const;
+  const HistogramValue* histogram(const std::string& name) const;
+
+  /// Stable JSON rendering (sorted names, %.17g numbers) — the machine-
+  /// readable side of the pull API.
+  std::string to_json() const;
+  /// Human-readable table dump.
+  void print(std::ostream& os) const;
+};
+
+/// Named metrics, create-on-first-use. References returned by counter() /
+/// gauge() / histogram() stay valid for the registry's lifetime (node-based
+/// storage), so hot paths bind once and increment through the pointer.
+/// Names are dot-separated paths ("qrm.jobs_completed") mirroring the
+/// telemetry sensor convention, which is what lets the telemetry bridge
+/// re-export them onto the alert-rule engine unchanged.
+class MetricsRegistry {
+public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First call fixes the bucket layout; `bounds` empty selects
+  /// default_time_bounds(). Later calls with different bounds are an error.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  MetricsSnapshot snapshot() const;
+
+private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hpcqc::obs

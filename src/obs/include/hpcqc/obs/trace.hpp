@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/units.hpp"
+
+namespace hpcqc::obs {
+
+class FlightRecorder;
+class Span;
+
+/// Opaque handle of a span inside its Tracer (1-based creation index;
+/// 0 = no span). Handles stay valid for the tracer's lifetime.
+using SpanHandle = std::uint64_t;
+inline constexpr SpanHandle kNoSpan = 0;
+
+/// Propagation context: enough to attach a child span from another
+/// component. Carried by jobs as they hop between the MQSS client, the QRM,
+/// the compiler and the device, so one submission yields one connected tree.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no active trace
+  SpanHandle span = kNoSpan;   ///< parent span handle
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+enum class SpanStatus { kUnset, kOk, kError };
+
+const char* to_string(SpanStatus status);
+
+/// Point-in-time annotation inside a span.
+struct SpanEvent {
+  Seconds time = 0.0;
+  std::string name;
+  std::string detail;
+
+  bool operator==(const SpanEvent&) const = default;
+};
+
+/// One completed (or still-open) unit of work on the simulated clock.
+struct SpanRecord {
+  std::uint64_t span_id = 0;   ///< display id from the tracer's seeded stream
+  std::uint64_t trace_id = 0;  ///< display id of the owning trace
+  SpanHandle handle = kNoSpan;
+  SpanHandle parent = kNoSpan;  ///< kNoSpan for trace roots
+  std::string name;
+  Seconds start = 0.0;
+  Seconds end = -1.0;  ///< < 0 while the span is open
+  SpanStatus status = SpanStatus::kUnset;
+  /// Insertion-ordered key/value annotations (duplicate keys overwrite).
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<SpanEvent> events;
+
+  bool open() const { return end < 0.0; }
+  Seconds duration() const { return open() ? 0.0 : end - start; }
+  const std::string* attribute(const std::string& key) const;
+
+  bool operator==(const SpanRecord&) const = default;
+};
+
+/// Records structured spans against the simulated clock.
+///
+/// Determinism contract: span/trace display ids come from a SplitMix64
+/// stream seeded at construction and advanced once per allocation, so a
+/// rerun of the same workload produces bit-identical records; timestamps
+/// are simulated (never wall-clock), and all recording happens on the
+/// orchestration thread, so traces are independent of OMP_NUM_THREADS.
+///
+/// Two API styles:
+///  - explicit-timestamp begin/end for long-lived spans (a job that lives
+///    across scheduler phases), keyed by SpanHandle;
+///  - RAII `Span` wrappers (see below) for lexically-scoped stages, which
+///    stamp their end from the tracer's now-source.
+///
+/// A null `Tracer*` is the disabled path: every integration point in the
+/// stack guards on it, so the cost of tracing when off is one pointer test.
+class Tracer {
+public:
+  explicit Tracer(std::uint64_t seed = 0x0b5eed0b5eedULL);
+
+  /// Clock used by the RAII API (and Tracer::now()). Components that carry
+  /// their own simulated time (the QRM) pass explicit timestamps instead.
+  void set_now_source(std::function<Seconds()> now) { now_ = std::move(now); }
+  Seconds now() const { return now_ ? now_() : 0.0; }
+
+  /// Ring buffer notified on every span end; may be null. Must outlive the
+  /// tracer (or be detached first).
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
+  // -- explicit-timestamp API ----------------------------------------------
+
+  /// Starts a span at `at`. With an invalid `parent` context a new trace is
+  /// opened and the span becomes its root.
+  SpanHandle begin_span(std::string name, Seconds at,
+                        TraceContext parent = {});
+  /// Ends an open span (idempotent: ending a closed span is a no-op, so
+  /// cleanup paths can end defensively).
+  void end_span(SpanHandle handle, Seconds at,
+                SpanStatus status = SpanStatus::kOk);
+  void add_event(SpanHandle handle, Seconds at, std::string name,
+                 std::string detail = "");
+  void set_attribute(SpanHandle handle, std::string key, std::string value);
+  void set_status(SpanHandle handle, SpanStatus status);
+
+  /// Context for attaching children to `handle`.
+  TraceContext context(SpanHandle handle) const;
+
+  // -- RAII API -------------------------------------------------------------
+
+  /// Scoped span starting at now(); ends at destruction (status kOk unless
+  /// set otherwise) or at an explicit end_at().
+  Span span(std::string name, TraceContext parent = {});
+
+  // -- inspection -----------------------------------------------------------
+
+  const std::vector<SpanRecord>& records() const { return records_; }
+  const SpanRecord& record(SpanHandle handle) const;
+  std::size_t open_spans() const;
+
+  /// Spans of one trace, in creation order.
+  std::vector<const SpanRecord*> trace(std::uint64_t trace_id) const;
+  /// Display trace id of a span's trace.
+  std::uint64_t trace_id(SpanHandle handle) const;
+
+  /// Forwards a failure post-mortem request to the attached flight
+  /// recorder (no-op without one). `reason` names the terminal state.
+  void record_failure(std::uint64_t trace_id, const std::string& reason,
+                      Seconds at);
+
+private:
+  SpanRecord& mutable_record(SpanHandle handle);
+
+  std::uint64_t id_state_;  ///< SplitMix64 stream for display ids
+  std::function<Seconds()> now_;
+  FlightRecorder* recorder_ = nullptr;
+  std::vector<SpanRecord> records_;
+};
+
+/// Movable RAII wrapper over one tracer span. A default-constructed Span is
+/// inert (all operations no-ops), which lets instrumented code hold spans
+/// unconditionally while tracing is disabled.
+class Span {
+public:
+  Span() = default;
+  Span(Tracer* tracer, SpanHandle handle)
+      : tracer_(tracer), handle_(handle) {}
+  ~Span() { finish(SpanStatus::kUnset); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish(SpanStatus::kUnset);
+      tracer_ = other.tracer_;
+      handle_ = other.handle_;
+      other.tracer_ = nullptr;
+      other.handle_ = kNoSpan;
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return tracer_ != nullptr; }
+  SpanHandle handle() const { return handle_; }
+  TraceContext context() const {
+    return tracer_ ? tracer_->context(handle_) : TraceContext{};
+  }
+
+  void set_attribute(std::string key, std::string value) {
+    if (tracer_) tracer_->set_attribute(handle_, std::move(key),
+                                        std::move(value));
+  }
+  void add_event(std::string name, std::string detail = "") {
+    if (tracer_)
+      tracer_->add_event(handle_, tracer_->now(), std::move(name),
+                         std::move(detail));
+  }
+  void add_event_at(Seconds at, std::string name, std::string detail = "") {
+    if (tracer_) tracer_->add_event(handle_, at, std::move(name),
+                                    std::move(detail));
+  }
+  void set_status(SpanStatus status) {
+    if (tracer_) tracer_->set_status(handle_, status);
+  }
+
+  /// Child span starting now.
+  Span child(std::string name) {
+    return tracer_ ? tracer_->span(std::move(name), context()) : Span{};
+  }
+
+  /// Ends the span now (kOk unless a status was set); further calls no-op.
+  void end() { finish(SpanStatus::kUnset); }
+  void end_at(Seconds at, SpanStatus status) {
+    if (tracer_) tracer_->end_span(handle_, at, status);
+    tracer_ = nullptr;
+    handle_ = kNoSpan;
+  }
+
+private:
+  void finish(SpanStatus status);
+
+  Tracer* tracer_ = nullptr;
+  SpanHandle handle_ = kNoSpan;
+};
+
+}  // namespace hpcqc::obs

@@ -1,0 +1,195 @@
+#include "hpcqc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::obs {
+
+namespace {
+
+/// Shortest-round-trip decimal rendering, locale-independent — identical
+/// output for identical doubles, which the bit-identical-snapshot contract
+/// depends on.
+std::string num(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  expects(!bounds_.empty(), "Histogram: need at least one bucket edge");
+  expects(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "Histogram: bucket edges must be sorted ascending");
+  expects(std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+          "Histogram: bucket edges must be distinct");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= rank) {
+      if (b == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[b]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> default_time_bounds() {
+  std::vector<double> bounds;
+  for (double edge = 0.0625; edge <= 262144.0; edge *= 2.0)
+    bounds.push_back(edge);
+  return bounds;
+}
+
+std::vector<double> default_rate_bounds() {
+  std::vector<double> bounds;
+  for (double edge = 0.01; edge <= 3.0e6; edge *= 4.0)
+    bounds.push_back(edge);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    expects(bounds.empty() || bounds == it->second.bounds(),
+            "MetricsRegistry: histogram '" + name +
+                "' re-registered with different bucket edges");
+    return it->second;
+  }
+  if (bounds.empty()) bounds = default_time_bounds();
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return gauges_.count(name) != 0;
+}
+bool MetricsRegistry::has_histogram(const std::string& name) const {
+  return histograms_.count(name) != 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters.push_back({name, counter.value()});
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.push_back({name, gauge.value()});
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = hist.count();
+    value.sum = hist.sum();
+    value.p50 = hist.quantile(0.50);
+    value.p95 = hist.quantile(0.95);
+    value.p99 = hist.quantile(0.99);
+    value.bounds = hist.bounds();
+    value.buckets = hist.bucket_counts();
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+const MetricsSnapshot::Value* MetricsSnapshot::counter(
+    const std::string& name) const {
+  for (const auto& value : counters)
+    if (value.name == name) return &value;
+  return nullptr;
+}
+
+const MetricsSnapshot::Value* MetricsSnapshot::gauge(
+    const std::string& name) const {
+  for (const auto& value : gauges)
+    if (value.name == name) return &value;
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& value : histograms)
+    if (value.name == name) return &value;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string json = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"' + counters[i].name + "\":" + num(counters[i].value);
+  }
+  json += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"' + gauges[i].name + "\":" + num(gauges[i].value);
+  }
+  json += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    if (i > 0) json += ',';
+    json += '"' + h.name + "\":{\"count\":" + std::to_string(h.count) +
+            ",\"sum\":" + num(h.sum) + ",\"p50\":" + num(h.p50) +
+            ",\"p95\":" + num(h.p95) + ",\"p99\":" + num(h.p99) +
+            ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) json += ',';
+      json += std::to_string(h.buckets[b]);
+    }
+    json += "]}";
+  }
+  json += "}}";
+  return json;
+}
+
+void MetricsSnapshot::print(std::ostream& os) const {
+  os << "counters:\n";
+  for (const auto& value : counters)
+    os << "  " << value.name << " = " << num(value.value) << '\n';
+  os << "gauges:\n";
+  for (const auto& value : gauges)
+    os << "  " << value.name << " = " << num(value.value) << '\n';
+  os << "histograms:\n";
+  for (const auto& h : histograms)
+    os << "  " << h.name << ": n=" << h.count << " mean="
+       << num(h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count))
+       << " p50=" << num(h.p50) << " p95=" << num(h.p95) << " p99="
+       << num(h.p99) << '\n';
+}
+
+}  // namespace hpcqc::obs

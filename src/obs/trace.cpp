@@ -1,0 +1,124 @@
+#include "hpcqc/obs/trace.hpp"
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/obs/flight_recorder.hpp"
+
+namespace hpcqc::obs {
+
+const char* to_string(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kUnset: return "unset";
+    case SpanStatus::kOk: return "ok";
+    case SpanStatus::kError: return "error";
+  }
+  return "?";
+}
+
+const std::string* SpanRecord::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Tracer::Tracer(std::uint64_t seed) : id_state_(seed) {}
+
+SpanRecord& Tracer::mutable_record(SpanHandle handle) {
+  expects(handle != kNoSpan && handle <= records_.size(),
+          "Tracer: invalid span handle");
+  return records_[static_cast<std::size_t>(handle - 1)];
+}
+
+const SpanRecord& Tracer::record(SpanHandle handle) const {
+  expects(handle != kNoSpan && handle <= records_.size(),
+          "Tracer: invalid span handle");
+  return records_[static_cast<std::size_t>(handle - 1)];
+}
+
+SpanHandle Tracer::begin_span(std::string name, Seconds at,
+                              TraceContext parent) {
+  SpanRecord record;
+  record.span_id = splitmix64(id_state_);
+  record.handle = records_.size() + 1;
+  record.name = std::move(name);
+  record.start = at;
+  if (parent.valid()) {
+    record.trace_id = parent.trace_id;
+    record.parent = parent.span;
+  } else {
+    record.trace_id = splitmix64(id_state_);
+  }
+  records_.push_back(std::move(record));
+  return records_.back().handle;
+}
+
+void Tracer::end_span(SpanHandle handle, Seconds at, SpanStatus status) {
+  SpanRecord& record = mutable_record(handle);
+  if (!record.open()) return;  // idempotent: defensive double-ends are fine
+  record.end = at < record.start ? record.start : at;
+  if (status != SpanStatus::kUnset) record.status = status;
+  if (record.status == SpanStatus::kUnset) record.status = SpanStatus::kOk;
+  if (recorder_ != nullptr) recorder_->note_span_end(record);
+}
+
+void Tracer::add_event(SpanHandle handle, Seconds at, std::string name,
+                       std::string detail) {
+  mutable_record(handle).events.push_back(
+      {at, std::move(name), std::move(detail)});
+}
+
+void Tracer::set_attribute(SpanHandle handle, std::string key,
+                           std::string value) {
+  SpanRecord& record = mutable_record(handle);
+  for (auto& [k, v] : record.attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  record.attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::set_status(SpanHandle handle, SpanStatus status) {
+  mutable_record(handle).status = status;
+}
+
+TraceContext Tracer::context(SpanHandle handle) const {
+  const SpanRecord& record = this->record(handle);
+  return {record.trace_id, record.handle};
+}
+
+Span Tracer::span(std::string name, TraceContext parent) {
+  return Span(this, begin_span(std::move(name), now(), parent));
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t open = 0;
+  for (const auto& record : records_)
+    if (record.open()) ++open;
+  return open;
+}
+
+std::vector<const SpanRecord*> Tracer::trace(std::uint64_t trace_id) const {
+  std::vector<const SpanRecord*> spans;
+  for (const auto& record : records_)
+    if (record.trace_id == trace_id) spans.push_back(&record);
+  return spans;
+}
+
+std::uint64_t Tracer::trace_id(SpanHandle handle) const {
+  return record(handle).trace_id;
+}
+
+void Tracer::record_failure(std::uint64_t trace_id, const std::string& reason,
+                            Seconds at) {
+  if (recorder_ != nullptr) recorder_->record_failure(trace_id, reason, at);
+}
+
+void Span::finish(SpanStatus status) {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(handle_, tracer_->now(), status);
+  tracer_ = nullptr;
+  handle_ = kNoSpan;
+}
+
+}  // namespace hpcqc::obs

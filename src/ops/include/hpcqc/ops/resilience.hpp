@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hpcqc/common/log.hpp"
+#include "hpcqc/obs/metrics.hpp"
 #include "hpcqc/cryo/cryostat.hpp"
 #include "hpcqc/device/device_model.hpp"
 #include "hpcqc/fault/injector.hpp"
@@ -56,6 +58,9 @@ struct SupervisorParams {
   /// 0 disables flood generation (windows are then inert).
   std::size_t flood_jobs_per_step = 4;
   std::size_t flood_shots = 100;
+  /// Shared metrics registry for the resilience.* counters/gauges; null
+  /// gives the supervisor a private registry (see metrics_registry()).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Wires injected facility faults to the §3.5 recovery staging. On a
@@ -87,7 +92,13 @@ public:
   void step(Seconds t);
 
   bool outage_active() const { return outage_active_; }
-  const ResilienceStats& stats() const { return stats_; }
+  /// Aggregate stats assembled from the registry counters (plus the
+  /// recovery reports). By-value shim kept for pre-registry callers.
+  ResilienceStats stats() const;
+
+  /// The live registry holding the resilience.* metrics.
+  obs::MetricsRegistry& metrics_registry() { return *registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
   /// Standard alert rules over the supervisor's sensors: QPU-down,
   /// dead-letter accumulation, and brownout shedding. When
@@ -132,7 +143,20 @@ private:
   Seconds outage_started_ = 0.0;
   Seconds repair_at_ = 0.0;
   Seconds online_at_ = 0.0;
-  ResilienceStats stats_;
+  std::vector<RecoveryReport> reports_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* m_outages_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Counter* m_downtime_ = nullptr;
+  obs::Counter* m_qubit_dropouts_ = nullptr;
+  obs::Counter* m_coupler_dropouts_ = nullptr;
+  obs::Counter* m_targeted_recals_ = nullptr;
+  obs::Counter* m_flood_submitted_ = nullptr;
+  obs::Counter* m_flood_rejected_ = nullptr;
+  obs::Gauge* m_qpu_online_ = nullptr;
+  obs::Gauge* m_brownout_ = nullptr;
 };
 
 }  // namespace hpcqc::ops

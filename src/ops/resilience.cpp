@@ -20,7 +20,39 @@ ResilienceSupervisor::ResilienceSupervisor(
       store_(store),
       recovery_(params.recovery),
       prefix_(params.sensor_prefix),
-      params_(std::move(params)) {}
+      params_(std::move(params)) {
+  if (params_.metrics == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  } else {
+    registry_ = params_.metrics;
+  }
+  m_outages_ = &registry_->counter("resilience.outages");
+  m_recoveries_ = &registry_->counter("resilience.recoveries");
+  m_downtime_ = &registry_->counter("resilience.downtime_s");
+  m_qubit_dropouts_ = &registry_->counter("resilience.qubit_dropouts");
+  m_coupler_dropouts_ = &registry_->counter("resilience.coupler_dropouts");
+  m_targeted_recals_ = &registry_->counter("resilience.targeted_recals");
+  m_flood_submitted_ = &registry_->counter("resilience.flood_jobs_submitted");
+  m_flood_rejected_ = &registry_->counter("resilience.flood_jobs_rejected");
+  m_qpu_online_ = &registry_->gauge("resilience.qpu_online");
+  m_qpu_online_->set(1.0);
+  m_brownout_ = &registry_->gauge("resilience.brownout");
+}
+
+ResilienceStats ResilienceSupervisor::stats() const {
+  ResilienceStats stats;
+  stats.outages = m_outages_->count();
+  stats.recoveries = m_recoveries_->count();
+  stats.total_downtime = m_downtime_->value();
+  stats.reports = reports_;
+  stats.qubit_dropouts = m_qubit_dropouts_->count();
+  stats.coupler_dropouts = m_coupler_dropouts_->count();
+  stats.targeted_recals = m_targeted_recals_->count();
+  stats.flood_jobs_submitted = m_flood_submitted_->count();
+  stats.flood_jobs_rejected = m_flood_rejected_->count();
+  return stats;
+}
 
 void ResilienceSupervisor::step(Seconds t) {
   expects(t >= last_step_,
@@ -85,10 +117,11 @@ void ResilienceSupervisor::step(Seconds t) {
 
   if (outage_active_ && recovery_done_ && t >= online_at_) {
     const Seconds downtime = online_at_ - outage_started_;
-    stats_.recoveries += 1;
-    stats_.total_downtime += downtime;
+    m_recoveries_->inc();
+    m_downtime_->inc(downtime);
     outage_active_ = false;
     recovery_done_ = false;
+    m_qpu_online_->set(1.0);
     qrm_->set_online();
     if (log_)
       log_->info(online_at_, "resilience",
@@ -109,13 +142,13 @@ void ResilienceSupervisor::begin_degrade(const fault::FaultEvent& event) {
     expects(event.target >= 0 && event.target < topology.num_qubits(),
             "begin_degrade: qubit target out of range");
     device_->set_qubit_health(event.target, false);
-    stats_.qubit_dropouts += 1;
+    m_qubit_dropouts_->inc();
   } else {
     expects(event.target >= 0 && event.target < topology.num_edges(),
             "begin_degrade: coupler target out of range");
     const auto& edge = topology.edges()[static_cast<std::size_t>(event.target)];
     device_->set_coupler_health(edge.first, edge.second, false);
-    stats_.coupler_dropouts += 1;
+    m_coupler_dropouts_->inc();
   }
   degrades_.push_back(
       {event, event.end() + params_.targeted_recal_duration});
@@ -160,7 +193,7 @@ void ResilienceSupervisor::process_degrade_restores(Seconds t) {
       const auto& edge = topology.edges()[static_cast<std::size_t>(target)];
       device_->set_coupler_health(edge.first, edge.second, true);
     }
-    stats_.targeted_recals += 1;
+    m_targeted_recals_->inc();
     if (log_)
       log_->info(t, "resilience",
                  degrade.event.description +
@@ -183,11 +216,11 @@ void ResilienceSupervisor::generate_flood(Seconds t) {
     job.shots = params_.flood_shots;
     job.priority = sched::JobPriority::kLow;
     const int id = qrm_->submit(std::move(job));
-    stats_.flood_jobs_submitted += 1;
+    m_flood_submitted_->inc();
     const auto state = qrm_->record(id).state;
     if (state == sched::QuantumJobState::kRejectedOverload ||
         state == sched::QuantumJobState::kRejectedTooWide)
-      stats_.flood_jobs_rejected += 1;
+      m_flood_rejected_->inc();
   }
   if (log_)
     log_->debug(t, "resilience",
@@ -201,7 +234,8 @@ void ResilienceSupervisor::begin_outage(const fault::FaultEvent& event) {
   recovery_done_ = false;
   outage_started_ = event.at;
   repair_at_ = event.end();
-  stats_.outages += 1;
+  m_outages_->inc();
+  m_qpu_online_->set(0.0);
   cryostat_->set_cooling(false);
   qrm_->set_offline(event.description.empty() ? "thermal excursion"
                                               : event.description);
@@ -224,7 +258,7 @@ void ResilienceSupervisor::repair_and_recover() {
   online_at_ =
       repair_at_ + report.cooldown + report.calibration + report.verification;
   recovery_done_ = true;
-  stats_.reports.push_back(report);
+  reports_.push_back(report);
   if (store_) {
     store_->append(prefix_ + ".recovery_cooldown_s", repair_at_,
                    report.cooldown);
@@ -265,6 +299,7 @@ void ResilienceSupervisor::record_sensors(Seconds t) {
   const bool shedding = qrm_->brownout() || audit.shed > last_shed_seen_;
   last_shed_seen_ = audit.shed;
   store_->append(prefix_ + ".brownout", t, shedding ? 1.0 : 0.0);
+  m_brownout_->set(shedding ? 1.0 : 0.0);
 }
 
 void ResilienceSupervisor::install_alert_rules(telemetry::AlertEngine& alerts,

@@ -2,6 +2,7 @@
 
 #include "hpcqc/common/sim_clock.hpp"
 #include "hpcqc/device/device_model.hpp"
+#include "hpcqc/obs/metrics.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 
 namespace hpcqc::qdmi {
@@ -22,14 +23,24 @@ public:
   double qubit_property(QubitProperty prop, int qubit) const override;
   double coupler_property(CouplerProperty prop, int a, int b) const override;
   double device_property(DeviceProperty prop) const override;
-  DeviceStatus status() const override { return status_; }
+  DeviceStatus status() const override {
+    if (m_status_queries_ != nullptr) m_status_queries_->inc();
+    return status_;
+  }
 
   void set_status(DeviceStatus status) { status_ = status; }
+
+  /// Attaches a metrics registry counting QDMI traffic
+  /// (qdmi.property_queries across the three property scopes, and
+  /// qdmi.status_queries). Must outlive the adapter; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
 
 private:
   const device::DeviceModel* model_;
   const SimClock* clock_;
   DeviceStatus status_ = DeviceStatus::kIdle;
+  obs::Counter* m_property_queries_ = nullptr;
+  obs::Counter* m_status_queries_ = nullptr;
 };
 
 }  // namespace hpcqc::qdmi

@@ -19,6 +19,16 @@ ModelBackedDevice::ModelBackedDevice(const device::DeviceModel& model,
                                      const SimClock& clock)
     : model_(&model), clock_(&clock) {}
 
+void ModelBackedDevice::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_property_queries_ = nullptr;
+    m_status_queries_ = nullptr;
+    return;
+  }
+  m_property_queries_ = &registry->counter("qdmi.property_queries");
+  m_status_queries_ = &registry->counter("qdmi.status_queries");
+}
+
 std::string ModelBackedDevice::name() const { return model_->name(); }
 
 int ModelBackedDevice::num_qubits() const { return model_->num_qubits(); }
@@ -32,6 +42,7 @@ std::vector<std::string> ModelBackedDevice::native_gates() const {
 }
 
 double ModelBackedDevice::qubit_property(QubitProperty prop, int qubit) const {
+  if (m_property_queries_ != nullptr) m_property_queries_->inc();
   expects(qubit >= 0 && qubit < model_->num_qubits(),
           "qubit_property: qubit out of range");
   const auto& metrics =
@@ -51,6 +62,7 @@ double ModelBackedDevice::qubit_property(QubitProperty prop, int qubit) const {
 
 double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
                                            int b) const {
+  if (m_property_queries_ != nullptr) m_property_queries_->inc();
   const int edge = model_->topology().edge_index(a, b);
   switch (prop) {
     case CouplerProperty::kFidelityCz:
@@ -66,6 +78,7 @@ double ModelBackedDevice::coupler_property(CouplerProperty prop, int a,
 }
 
 double ModelBackedDevice::device_property(DeviceProperty prop) const {
+  if (m_property_queries_ != nullptr) m_property_queries_->inc();
   const auto& cal = model_->calibration();
   switch (prop) {
     case DeviceProperty::kNumQubits:

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "hpcqc/common/log.hpp"
 #include "hpcqc/device/device_model.hpp"
 #include "hpcqc/fault/injector.hpp"
+#include "hpcqc/obs/metrics.hpp"
+#include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/sched/accounting.hpp"
 
@@ -30,6 +33,9 @@ struct QuantumJob {
   /// Accounting project; empty = unmetered (system/benchmark jobs).
   std::string project;
   JobPriority priority = JobPriority::kNormal;
+  /// Optional parent trace context (set by the submitting client so the
+  /// QRM's job spans attach under the client's submission span).
+  obs::TraceContext trace{};
 };
 
 enum class QuantumJobState {
@@ -123,6 +129,9 @@ struct QuantumJobRecord {
   Seconds next_retry_at = -1.0;   ///< valid while kRetrying
   std::string failure_reason;     ///< last failure / cancellation reason
   JobPriority priority = JobPriority::kNormal;
+  /// Trace context of this job's root span (invalid without a tracer).
+  /// Downstream consumers (mitigation, analysis) attach their spans here.
+  obs::TraceContext trace{};
 
   Seconds wait_time() const {
     return start_time < 0.0 ? -1.0 : start_time - submit_time;
@@ -218,9 +227,12 @@ public:
   };
 
   /// Throws PermanentError when `config` is invalid (zero capacities,
-  /// non-positive rates, degenerate retry policy, ...).
+  /// non-positive rates, degenerate retry policy, ...). With `metrics`
+  /// null the QRM owns a private registry (reachable via
+  /// metrics_registry()); passing a shared registry lets one snapshot
+  /// cover the whole stack.
   Qrm(device::DeviceModel& device, Config config, Rng& rng,
-      EventLog* log = nullptr);
+      EventLog* log = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
   Seconds now() const { return now_; }
   qdmi::DeviceStatus status() const { return status_; }
@@ -263,6 +275,18 @@ public:
     injector_ = injector;
   }
 
+  /// Attaches a tracer: every submission then produces one connected span
+  /// tree (submit -> admission -> queue wait -> attempts -> terminal state),
+  /// timestamped on the QRM's simulated clock. The tracer must outlive the
+  /// QRM; pass nullptr to disable (the default — disabled tracing costs one
+  /// pointer test per site).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// The live metrics registry (owned or shared, see the constructor).
+  obs::MetricsRegistry& metrics_registry() { return *registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return *registry_; }
+
   /// Advances simulated time, executing jobs / benchmarks / calibrations
   /// and applying calibration drift along the way.
   void advance_to(Seconds t);
@@ -285,6 +309,9 @@ public:
   void request_calibration(calibration::CalibrationKind kind);
 
   const QuantumJobRecord& record(int id) const;
+  /// Legacy aggregate view, reconstructed from the metrics registry (plus
+  /// mean_wait from the job records). Kept as a shim so pre-registry
+  /// callers and tests keep working unchanged.
   QrmMetrics metrics() const;
   const std::vector<DeadLetterRecord>& dead_letters() const {
     return dead_letters_;
@@ -307,6 +334,20 @@ private:
     bool try_take(Seconds now);
   };
 
+  /// Per-job open span handles (all kNoSpan without a tracer). The root
+  /// handle lives here until the job reaches a terminal state; the stage
+  /// handles track whichever lifecycle stage is currently open.
+  struct JobSpans {
+    obs::SpanHandle root = obs::kNoSpan;
+    obs::SpanHandle admission = obs::kNoSpan;
+    obs::SpanHandle queue = obs::kNoSpan;    ///< current queue-wait span
+    obs::SpanHandle attempt = obs::kNoSpan;  ///< current execution attempt
+    obs::SpanHandle execute = obs::kNoSpan;  ///< device-execute child
+    obs::SpanHandle backoff = obs::kNoSpan;  ///< retry backoff span
+    bool held = false;            ///< inside a degraded-hold stretch
+    std::size_t held_scans = 0;   ///< scheduler passes that skipped the job
+  };
+
   void finish_phase(Rng& rng);
   void begin_next_work();
   void apply_drift_until(Seconds t);
@@ -317,6 +358,10 @@ private:
   void update_brownout();
   void shed_low_priority();
   TokenBucket& bucket(JobPriority priority);
+  void bind_metrics();
+  void open_queue_span(int id, const char* why);
+  void close_root(int id, obs::SpanStatus status);
+  void note_queue_gauge();
 
   device::DeviceModel* device_;
   Config config_;
@@ -351,7 +396,37 @@ private:
   calibration::GhzBenchmark benchmark_;
   calibration::CalibrationEngine engine_;
 
-  QrmMetrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  std::map<int, JobSpans> job_spans_;
+  obs::SpanHandle phase_span_ = obs::kNoSpan;  ///< calibration / benchmark
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  // Bound once at construction (registry references are stable), so hot
+  // paths increment through pointers instead of name lookups.
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_execution_faults_ = nullptr;
+  obs::Counter* m_calibrations_failed_ = nullptr;
+  obs::Counter* m_rejected_overload_ = nullptr;
+  obs::Counter* m_rejected_too_wide_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_degraded_holds_ = nullptr;
+  obs::Counter* m_dead_letters_dropped_ = nullptr;
+  obs::Counter* m_total_shots_ = nullptr;
+  obs::Counter* m_good_shots_ = nullptr;
+  obs::Counter* m_busy_time_ = nullptr;
+  obs::Counter* m_calibration_time_ = nullptr;
+  obs::Counter* m_benchmark_time_ = nullptr;
+  obs::Gauge* m_queue_length_ = nullptr;
+  obs::Gauge* m_brownout_ = nullptr;
+  obs::Histogram* m_queue_wait_ = nullptr;
+  obs::Histogram* m_execute_ = nullptr;
+  obs::Histogram* m_shots_per_s_ = nullptr;
+  obs::Histogram* m_overhead_ = nullptr;
 };
 
 }  // namespace hpcqc::sched

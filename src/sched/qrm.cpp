@@ -76,6 +76,26 @@ void validate_config(const Qrm::Config& config) {
         "admission.brownout_exit_fraction must be in (0, 1]");
 }
 
+/// Adapts the device's deterministic per-batch progress callbacks into
+/// instant events on the job's execute span. `base` is the execute span's
+/// start plus the job overhead, so batch events land inside the span on the
+/// simulated clock.
+struct BatchEventObserver final : device::ExecObserver {
+  obs::Tracer* tracer = nullptr;
+  obs::SpanHandle span = obs::kNoSpan;
+  Seconds base = 0.0;
+
+  void on_shot_batch(std::size_t batch_index, std::size_t first_shot,
+                     std::size_t shots_in_batch, std::size_t errored_shots,
+                     Seconds elapsed) override {
+    tracer->add_event(span, base + elapsed,
+                      "shot-batch-" + std::to_string(batch_index),
+                      "shots " + std::to_string(first_shot) + "+" +
+                          std::to_string(shots_in_batch) + ", " +
+                          std::to_string(errored_shots) + " errored");
+  }
+};
+
 /// Distinct qubits a compiled circuit actually acts on (gate operands and
 /// measured qubits) — the width that must fit the healthy component,
 /// independent of the full-device register the circuit is expressed over.
@@ -100,7 +120,8 @@ bool Qrm::TokenBucket::try_take(Seconds now) {
   return true;
 }
 
-Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
+Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log,
+         obs::MetricsRegistry* metrics)
     : device_(&device),
       config_(config),
       rng_(&rng),
@@ -118,6 +139,60 @@ Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log)
     buckets_[p].tokens = config_.admission.burst;  // start full
     buckets_[p].last_refill = 0.0;
   }
+  if (metrics == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  } else {
+    registry_ = metrics;
+  }
+  bind_metrics();
+}
+
+void Qrm::bind_metrics() {
+  m_submitted_ = &registry_->counter("qrm.jobs_submitted");
+  m_completed_ = &registry_->counter("qrm.jobs_completed");
+  m_failed_ = &registry_->counter("qrm.jobs_failed");
+  m_cancelled_ = &registry_->counter("qrm.jobs_cancelled");
+  m_retries_ = &registry_->counter("qrm.retries");
+  m_execution_faults_ = &registry_->counter("qrm.execution_faults");
+  m_calibrations_failed_ = &registry_->counter("qrm.calibrations_failed");
+  m_rejected_overload_ = &registry_->counter("qrm.jobs_rejected_overload");
+  m_rejected_too_wide_ = &registry_->counter("qrm.jobs_rejected_too_wide");
+  m_shed_ = &registry_->counter("qrm.jobs_shed");
+  m_degraded_holds_ = &registry_->counter("qrm.degraded_holds");
+  m_dead_letters_dropped_ = &registry_->counter("qrm.dead_letters_dropped");
+  m_total_shots_ = &registry_->counter("qrm.total_shots");
+  m_good_shots_ = &registry_->counter("qrm.good_shots");
+  m_busy_time_ = &registry_->counter("qrm.busy_time_s");
+  m_calibration_time_ = &registry_->counter("qrm.calibration_time_s");
+  m_benchmark_time_ = &registry_->counter("qrm.benchmark_time_s");
+  m_queue_length_ = &registry_->gauge("qrm.queue_length");
+  m_brownout_ = &registry_->gauge("qrm.brownout");
+  m_queue_wait_ = &registry_->histogram("qrm.queue_wait_s");
+  m_execute_ = &registry_->histogram("qrm.execute_s");
+  m_shots_per_s_ =
+      &registry_->histogram("qrm.shots_per_s", obs::default_rate_bounds());
+  m_overhead_ = &registry_->histogram("qrm.job_overhead_s");
+}
+
+void Qrm::note_queue_gauge() {
+  m_queue_length_->set(static_cast<double>(queue_.size()));
+}
+
+void Qrm::open_queue_span(int id, const char* why) {
+  if (tracer_ == nullptr) return;
+  JobSpans& spans = job_spans_[id];
+  spans.queue = tracer_->begin_span("queue-wait", now_,
+                                    tracer_->context(spans.root));
+  tracer_->set_attribute(spans.queue, "reason", why);
+}
+
+void Qrm::close_root(int id, obs::SpanStatus status) {
+  if (tracer_ == nullptr) return;
+  const auto it = job_spans_.find(id);
+  if (it == job_spans_.end()) return;
+  tracer_->end_span(it->second.root, now_, status);
+  job_spans_.erase(it);
 }
 
 Qrm::TokenBucket& Qrm::bucket(JobPriority priority) {
@@ -165,14 +240,23 @@ int Qrm::reject(QuantumJobRecord record, QuantumJobState state,
   record.end_time = now_;
   record.failure_reason = reason;
   if (state == QuantumJobState::kRejectedOverload)
-    metrics_.jobs_rejected_overload += 1;
+    m_rejected_overload_->inc();
   else
-    metrics_.jobs_rejected_too_wide += 1;
+    m_rejected_too_wide_->inc();
   if (log_)
     log_->warning(now_, "qrm",
                   "job '" + record.name + "' " + to_string(state) + ": " +
                       reason);
   const int id = record.id;
+  if (tracer_ != nullptr) {
+    const JobSpans& spans = job_spans_.at(id);
+    tracer_->add_event(spans.admission, now_, "refused", reason);
+    tracer_->end_span(spans.admission, now_, obs::SpanStatus::kError);
+    close_root(id, obs::SpanStatus::kError);
+    tracer_->record_failure(record.trace.trace_id,
+                            std::string(to_string(state)) + ": " + reason,
+                            now_);
+  }
   records_.emplace(id, std::move(record));
   return id;
 }
@@ -188,16 +272,26 @@ void Qrm::shed_low_priority() {
     record.end_time = now_;
     record.failure_reason = "shed by brownout (overloaded queue)";
     pending_jobs_.erase(id);
-    metrics_.jobs_shed += 1;
+    m_shed_->inc();
+    if (tracer_ != nullptr) {
+      const JobSpans& spans = job_spans_.at(id);
+      tracer_->add_event(spans.queue, now_, "shed",
+                         "brownout shed low-priority job");
+      tracer_->end_span(spans.queue, now_, obs::SpanStatus::kError);
+      close_root(id, obs::SpanStatus::kError);
+      tracer_->record_failure(record.trace.trace_id, "shed: brownout", now_);
+    }
     if (log_)
       log_->warning(now_, "qrm", "job '" + record.name + "' shed (brownout)");
   }
+  note_queue_gauge();
 }
 
 void Qrm::update_brownout() {
   const Seconds wait = estimated_wait();
   if (!brownout_ && wait > config_.admission.brownout_wait_limit) {
     brownout_ = true;
+    m_brownout_->set(1.0);
     if (log_)
       log_->warning(now_, "qrm",
                     "brownout: estimated wait " + std::to_string(wait) +
@@ -209,6 +303,7 @@ void Qrm::update_brownout() {
              wait <= config_.admission.brownout_exit_fraction *
                          config_.admission.brownout_wait_limit) {
     brownout_ = false;
+    m_brownout_->set(0.0);
     if (log_)
       log_->info(now_, "qrm",
                  "brownout cleared (estimated wait " + std::to_string(wait) +
@@ -232,6 +327,23 @@ int Qrm::submit(QuantumJob job) {
   record.shots = job.shots;
   record.submit_time = now_;
   record.priority = job.priority;
+  m_submitted_->inc();
+
+  if (tracer_ != nullptr) {
+    // Root span of this submission's trace; the client's context (when set)
+    // makes it a child of the client-side submission span.
+    JobSpans spans;
+    spans.root = tracer_->begin_span("job:" + job.name, now_, job.trace);
+    tracer_->set_attribute(spans.root, "job_id", std::to_string(record.id));
+    tracer_->set_attribute(spans.root, "shots", std::to_string(job.shots));
+    tracer_->set_attribute(spans.root, "priority", to_string(job.priority));
+    if (!job.project.empty())
+      tracer_->set_attribute(spans.root, "project", job.project);
+    spans.admission =
+        tracer_->begin_span("admission", now_, tracer_->context(spans.root));
+    record.trace = tracer_->context(spans.root);
+    job_spans_.emplace(record.id, spans);
+  }
 
   // Degraded capability check: a job wider than the largest healthy
   // connected component can never run until repairs land, so refuse it now
@@ -268,9 +380,15 @@ int Qrm::submit(QuantumJob job) {
   }
 
   const int id = record.id;
+  if (tracer_ != nullptr) {
+    tracer_->end_span(job_spans_.at(id).admission, now_,
+                      obs::SpanStatus::kOk);
+  }
   records_.emplace(id, std::move(record));
   pending_jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
+  open_queue_span(id, "admitted");
+  note_queue_gauge();
   update_brownout();
   return id;
 }
@@ -290,7 +408,20 @@ bool Qrm::cancel(int id, const std::string& reason) {
   record.end_time = now_;
   record.next_retry_at = -1.0;
   pending_jobs_.erase(id);
-  metrics_.jobs_cancelled += 1;
+  m_cancelled_->inc();
+  note_queue_gauge();
+  if (tracer_ != nullptr) {
+    // A cancellation ends the tree without a post-mortem: it is a user
+    // decision, not a failure worth a flight-recorder dump.
+    JobSpans& spans = job_spans_.at(id);
+    const obs::SpanHandle stage =
+        spans.queue != obs::kNoSpan ? spans.queue : spans.backoff;
+    if (stage != obs::kNoSpan) {
+      tracer_->add_event(stage, now_, "cancelled", reason);
+      tracer_->end_span(stage, now_, obs::SpanStatus::kOk);
+    }
+    close_root(id, obs::SpanStatus::kError);
+  }
   if (log_)
     log_->info(now_, "qrm", "job '" + record.name + "' cancelled: " + reason);
   return true;
@@ -313,6 +444,17 @@ void Qrm::set_offline(const std::string& reason) {
     record.interruptions += 1;
     record.failure_reason = "interrupted by outage: " + reason;
     queue_.insert(queue_.begin(), active_job_);
+    note_queue_gauge();
+    if (tracer_ != nullptr) {
+      JobSpans& spans = job_spans_.at(active_job_);
+      tracer_->add_event(spans.execute, now_, "interrupted",
+                         "outage: " + reason);
+      tracer_->end_span(spans.execute, now_, obs::SpanStatus::kError);
+      tracer_->end_span(spans.attempt, now_, obs::SpanStatus::kError);
+      spans.execute = obs::kNoSpan;
+      spans.attempt = obs::kNoSpan;
+      open_queue_span(active_job_, "requeued after outage");
+    }
     if (log_)
       log_->warning(now_, "qrm",
                     "job '" + record.name + "' requeued (outage mid-run)");
@@ -325,6 +467,11 @@ void Qrm::set_offline(const std::string& reason) {
       forced_calibration_ = *active_calibration_;
     if (log_)
       log_->warning(now_, "qrm", "calibration aborted by outage; re-armed");
+  }
+  if (tracer_ != nullptr && phase_span_ != obs::kNoSpan) {
+    tracer_->add_event(phase_span_, now_, "aborted", "outage: " + reason);
+    tracer_->end_span(phase_span_, now_, obs::SpanStatus::kError);
+    phase_span_ = obs::kNoSpan;
   }
   phase_ = Phase::kIdle;
   active_job_ = -1;
@@ -367,18 +514,35 @@ void Qrm::promote_due_retries() {
     auto& record = records_.at(id);
     record.state = QuantumJobState::kQueued;
     record.next_retry_at = -1.0;
+    if (tracer_ != nullptr) {
+      JobSpans& spans = job_spans_.at(id);
+      tracer_->end_span(spans.backoff, now_, obs::SpanStatus::kOk);
+      spans.backoff = obs::kNoSpan;
+      open_queue_span(id, "retry requeued");
+    }
   }
+  note_queue_gauge();
 }
 
 void Qrm::fail_active_job() {
   auto& record = records_.at(active_job_);
   const QuantumJob& job = pending_jobs_.at(active_job_);
-  metrics_.execution_faults += 1;
+  m_execution_faults_->inc();
   // Retries are metered: the failed attempt occupied the machine for its
   // full wall time, and the project pays for it (shots yield nothing).
   if (accounting_ != nullptr && !job.project.empty())
     accounting_->charge(job.project, record.result.wall_time, 0);
-  metrics_.busy_time += now_ - record.start_time;
+  m_busy_time_->inc(now_ - record.start_time);
+
+  if (tracer_ != nullptr) {
+    JobSpans& spans = job_spans_.at(active_job_);
+    tracer_->add_event(spans.execute, now_, "execution-fault",
+                       "injected device fault");
+    tracer_->end_span(spans.execute, now_, obs::SpanStatus::kError);
+    tracer_->end_span(spans.attempt, now_, obs::SpanStatus::kError);
+    spans.execute = obs::kNoSpan;
+    spans.attempt = obs::kNoSpan;
+  }
 
   if (record.attempts >= config_.retry.max_attempts) {
     record.state = QuantumJobState::kFailed;
@@ -391,10 +555,15 @@ void Qrm::fail_active_job() {
       // Oldest-first overflow: the DLQ is an audit window, not unbounded
       // storage; the drop is counted so nothing vanishes unaccounted.
       dead_letters_.erase(dead_letters_.begin());
-      metrics_.dead_letters_dropped += 1;
+      m_dead_letters_dropped_->inc();
     }
-    metrics_.jobs_failed += 1;
+    m_failed_->inc();
     pending_jobs_.erase(active_job_);
+    if (tracer_ != nullptr) {
+      close_root(active_job_, obs::SpanStatus::kError);
+      tracer_->record_failure(record.trace.trace_id,
+                              "dead-letter: " + record.failure_reason, now_);
+    }
     if (log_)
       log_->error(now_, "qrm",
                   "job '" + record.name + "' dead-lettered after " +
@@ -405,7 +574,17 @@ void Qrm::fail_active_job() {
                             std::to_string(record.attempts) + ")";
     record.next_retry_at = now_ + config_.retry.backoff(record.attempts);
     retry_queue_.push_back(active_job_);
-    metrics_.retries += 1;
+    m_retries_->inc();
+    if (tracer_ != nullptr) {
+      JobSpans& spans = job_spans_.at(active_job_);
+      spans.backoff = tracer_->begin_span("retry-backoff", now_,
+                                          tracer_->context(spans.root));
+      tracer_->set_attribute(spans.backoff, "attempt",
+                             std::to_string(record.attempts));
+      tracer_->set_attribute(
+          spans.backoff, "backoff_s",
+          std::to_string(record.next_retry_at - now_));
+    }
     if (log_)
       log_->warning(now_, "qrm",
                     "job '" + record.name + "' failed attempt " +
@@ -428,11 +607,24 @@ void Qrm::finish_phase(Rng& rng) {
       auto& record = records_.at(active_job_);
       record.state = QuantumJobState::kCompleted;
       record.end_time = now_;
-      metrics_.jobs_completed += 1;
-      metrics_.total_shots += record.shots;
-      metrics_.good_shots += static_cast<double>(record.shots) *
-                             record.result.estimated_fidelity;
-      metrics_.busy_time += now_ - record.start_time;
+      m_completed_->inc();
+      m_total_shots_->inc(static_cast<double>(record.shots));
+      m_good_shots_->inc(static_cast<double>(record.shots) *
+                         record.result.estimated_fidelity);
+      const Seconds busy = now_ - record.start_time;
+      m_busy_time_->inc(busy);
+      m_execute_->observe(busy);
+      if (busy > 0.0)
+        m_shots_per_s_->observe(static_cast<double>(record.shots) / busy);
+      if (tracer_ != nullptr) {
+        JobSpans& spans = job_spans_.at(active_job_);
+        tracer_->set_attribute(
+            spans.execute, "estimated_fidelity",
+            std::to_string(record.result.estimated_fidelity));
+        tracer_->end_span(spans.execute, now_, obs::SpanStatus::kOk);
+        tracer_->end_span(spans.attempt, now_, obs::SpanStatus::kOk);
+        close_root(active_job_, obs::SpanStatus::kOk);
+      }
       if (log_)
         log_->debug(now_, "qrm",
                     "job '" + record.name + "' completed (est. fidelity " +
@@ -451,7 +643,13 @@ void Qrm::finish_phase(Rng& rng) {
     case Phase::kBenchmark: {
       const auto result = benchmark_.run(*device_, now_, rng);
       controller_.note_benchmark(result);
-      metrics_.benchmark_time += config_.benchmark_overhead;
+      m_benchmark_time_->inc(config_.benchmark_overhead);
+      if (tracer_ != nullptr && phase_span_ != obs::kNoSpan) {
+        tracer_->set_attribute(phase_span_, "ghz_success",
+                               std::to_string(result.ghz_success));
+        tracer_->end_span(phase_span_, now_, obs::SpanStatus::kOk);
+        phase_span_ = obs::kNoSpan;
+      }
       if (log_)
         log_->debug(now_, "qrm",
                     "health benchmark: ghz_success=" +
@@ -464,11 +662,17 @@ void Qrm::finish_phase(Rng& rng) {
       // calibration retries once the window passes.
       if (injector_ != nullptr &&
           injector_->active(fault::FaultSite::kCalibration, phase_start_)) {
-        metrics_.calibrations_failed += 1;
-        metrics_.calibration_time += now_ - phase_start_;
+        m_calibrations_failed_->inc();
+        m_calibration_time_->inc(now_ - phase_start_);
         if (!forced_calibration_.has_value() ||
             *active_calibration_ == calibration::CalibrationKind::kFull)
           forced_calibration_ = *active_calibration_;
+        if (tracer_ != nullptr && phase_span_ != obs::kNoSpan) {
+          tracer_->add_event(phase_span_, now_, "calibration-fault",
+                             "failed to converge (injected fault); re-armed");
+          tracer_->end_span(phase_span_, now_, obs::SpanStatus::kError);
+          phase_span_ = obs::kNoSpan;
+        }
         if (log_)
           log_->error(now_, "qrm",
                       std::string("calibration (") +
@@ -480,7 +684,14 @@ void Qrm::finish_phase(Rng& rng) {
       const auto outcome =
           engine_.run(*device_, *active_calibration_, phase_start_, rng);
       controller_.note_calibration(outcome);
-      metrics_.calibration_time += outcome.duration;
+      m_calibration_time_->inc(outcome.duration);
+      if (tracer_ != nullptr && phase_span_ != obs::kNoSpan) {
+        tracer_->set_attribute(
+            phase_span_, "median_1q_after",
+            std::to_string(outcome.median_fidelity_1q_after));
+        tracer_->end_span(phase_span_, now_, obs::SpanStatus::kOk);
+        phase_span_ = obs::kNoSpan;
+      }
       if (log_)
         log_->info(now_, "qrm",
                    std::string("calibration (") + to_string(outcome.kind) +
@@ -511,6 +722,12 @@ void Qrm::begin_next_work() {
     phase_start_ = now_;
     phase_end_ = now_ + procedure.total_duration();
     status_ = qdmi::DeviceStatus::kCalibrating;
+    if (tracer_ != nullptr) {
+      phase_span_ = tracer_->begin_span("calibration", now_);
+      tracer_->set_attribute(phase_span_, "kind",
+                             to_string(*active_calibration_));
+      tracer_->set_attribute(phase_span_, "forced", "true");
+    }
     return;
   }
 
@@ -526,6 +743,8 @@ void Qrm::begin_next_work() {
                  static_cast<double>(benchmark_.params().shots) *
                      device_->shot_duration(ghz);
     status_ = qdmi::DeviceStatus::kExecuting;
+    if (tracer_ != nullptr)
+      phase_span_ = tracer_->begin_span("health-benchmark", now_);
     return;
   }
 
@@ -546,6 +765,11 @@ void Qrm::begin_next_work() {
     phase_start_ = now_;
     phase_end_ = now_ + procedure.total_duration();
     status_ = qdmi::DeviceStatus::kCalibrating;
+    if (tracer_ != nullptr) {
+      phase_span_ = tracer_->begin_span("calibration", now_);
+      tracer_->set_attribute(phase_span_, "kind", to_string(request->kind));
+      tracer_->set_attribute(phase_span_, "reason", request->reason);
+    }
     if (log_)
       log_->info(now_, "qrm",
                  std::string("starting ") + to_string(request->kind) +
@@ -568,19 +792,55 @@ void Qrm::begin_next_work() {
           pick = i;
           break;
         }
-        metrics_.degraded_holds += 1;
+        m_degraded_holds_->inc();
+        if (tracer_ != nullptr) {
+          // One event per hold *stretch*, not per scheduler pass — a job
+          // parked across a long repair would otherwise flood its span.
+          JobSpans& spans = job_spans_.at(queue_[i]);
+          if (!spans.held)
+            tracer_->add_event(spans.queue, now_, "degraded-hold",
+                               "circuit touches masked hardware");
+          spans.held = true;
+          spans.held_scans += 1;
+        }
       }
       if (pick == queue_.size()) return;  // everything queued is held
     }
     const int id = queue_[pick];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    note_queue_gauge();
     auto& record = records_.at(id);
     const QuantumJob& job = pending_jobs_.at(id);
     record.state = QuantumJobState::kRunning;
     record.start_time = now_;
     record.attempts += 1;
+    m_queue_wait_->observe(now_ - record.submit_time);
+    m_overhead_->observe(config_.job_overhead);
+
+    device::ExecObserver* observer = nullptr;
+    BatchEventObserver batch_events;
+    if (tracer_ != nullptr) {
+      JobSpans& spans = job_spans_.at(id);
+      if (spans.held_scans > 0) {
+        tracer_->set_attribute(spans.queue, "degraded_hold_scans",
+                               std::to_string(spans.held_scans));
+        spans.held = false;
+        spans.held_scans = 0;
+      }
+      tracer_->end_span(spans.queue, now_, obs::SpanStatus::kOk);
+      spans.queue = obs::kNoSpan;
+      spans.attempt =
+          tracer_->begin_span("attempt-" + std::to_string(record.attempts),
+                              now_, tracer_->context(spans.root));
+      spans.execute = tracer_->begin_span("execute", now_,
+                                          tracer_->context(spans.attempt));
+      batch_events.tracer = tracer_;
+      batch_events.span = spans.execute;
+      batch_events.base = now_ + config_.job_overhead;
+      observer = &batch_events;
+    }
     record.result = device_->execute(job.circuit, job.shots, *rng_,
-                                     config_.execution_mode);
+                                     config_.execution_mode, observer);
     // The attempt occupies the machine for its full wall time either way;
     // whether it comes back with results or an abort is decided by the
     // fault window covering its start.
@@ -653,7 +913,23 @@ const QuantumJobRecord& Qrm::record(int id) const {
 }
 
 QrmMetrics Qrm::metrics() const {
-  QrmMetrics metrics = metrics_;
+  QrmMetrics metrics;
+  metrics.jobs_completed = m_completed_->count();
+  metrics.total_shots = m_total_shots_->count();
+  metrics.good_shots = m_good_shots_->value();
+  metrics.busy_time = m_busy_time_->value();
+  metrics.calibration_time = m_calibration_time_->value();
+  metrics.benchmark_time = m_benchmark_time_->value();
+  metrics.jobs_failed = m_failed_->count();
+  metrics.jobs_cancelled = m_cancelled_->count();
+  metrics.retries = m_retries_->count();
+  metrics.execution_faults = m_execution_faults_->count();
+  metrics.calibrations_failed = m_calibrations_failed_->count();
+  metrics.jobs_rejected_overload = m_rejected_overload_->count();
+  metrics.jobs_rejected_too_wide = m_rejected_too_wide_->count();
+  metrics.jobs_shed = m_shed_->count();
+  metrics.degraded_holds = m_degraded_holds_->count();
+  metrics.dead_letters_dropped = m_dead_letters_dropped_->count();
   Seconds total_wait = 0.0;
   std::size_t n = 0;
   for (const auto& [id, record] : records_) {

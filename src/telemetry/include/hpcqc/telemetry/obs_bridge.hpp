@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "hpcqc/obs/metrics.hpp"
+#include "hpcqc/telemetry/alerts.hpp"
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc::telemetry {
+
+/// Re-exports a metrics registry snapshot into the time-series store, so
+/// that job-level observability metrics land next to the facility sensors
+/// and become correlatable / alertable through the same DCDB-style paths.
+/// Sensor naming: "<prefix>.<metric>" for counters (cumulative value) and
+/// gauges, and "<prefix>.<metric>.p50|p95|p99|count" for histograms.
+/// Returns the number of sensor samples appended. Call after each
+/// operational poll step, like the collectors.
+std::size_t bridge_metrics(const obs::MetricsRegistry& registry,
+                           TimeSeriesStore& store, Seconds now,
+                           const std::string& prefix = "obs");
+
+/// Alert rules over the bridged observability sensors: sustained dead-letter
+/// growth, brownout shedding, and queue-wait p95 breaches. `prefix` must
+/// match the one given to bridge_metrics().
+void install_obs_alert_rules(AlertEngine& engine,
+                             const std::string& prefix = "obs");
+
+}  // namespace hpcqc::telemetry

@@ -1,0 +1,43 @@
+#include "hpcqc/telemetry/obs_bridge.hpp"
+
+namespace hpcqc::telemetry {
+
+std::size_t bridge_metrics(const obs::MetricsRegistry& registry,
+                           TimeSeriesStore& store, Seconds now,
+                           const std::string& prefix) {
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  std::size_t appended = 0;
+  for (const auto& c : snap.counters) {
+    store.append(prefix + "." + c.name, now, c.value);
+    ++appended;
+  }
+  for (const auto& g : snap.gauges) {
+    store.append(prefix + "." + g.name, now, g.value);
+    ++appended;
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string base = prefix + "." + h.name;
+    store.append(base + ".count", now, static_cast<double>(h.count));
+    store.append(base + ".p50", now, h.p50);
+    store.append(base + ".p95", now, h.p95);
+    store.append(base + ".p99", now, h.p99);
+    appended += 4;
+  }
+  return appended;
+}
+
+void install_obs_alert_rules(AlertEngine& engine, const std::string& prefix) {
+  // Dead letters are cumulative: any level above zero means at least one job
+  // exhausted its retries, which §3 operations treat as page-worthy.
+  engine.add_rule({"obs_dead_letters", prefix + ".qrm.dead_letters_dropped",
+                   AlertCondition::kAbove, 0.5, 0.0});
+  // Brownout shedding sustained for 10 simulated minutes: the admission
+  // controller is rejecting work faster than the backlog drains.
+  engine.add_rule({"obs_brownout_sustained", prefix + ".qrm.brownout",
+                   AlertCondition::kAbove, 0.5, 600.0});
+  // Queue-wait p95 above an hour — the paper's shared-queue pain point.
+  engine.add_rule({"obs_queue_wait_p95_high", prefix + ".qrm.queue_wait_s.p95",
+                   AlertCondition::kAbove, 3600.0, 0.0});
+}
+
+}  // namespace hpcqc::telemetry

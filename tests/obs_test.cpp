@@ -1,0 +1,328 @@
+// Unit tests for the observability primitives: tracer + spans, metrics
+// registry (counters / gauges / fixed-bucket histograms), flight recorder,
+// and the Chrome trace exporter with its schema checker.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/obs/export.hpp"
+#include "hpcqc/obs/flight_recorder.hpp"
+#include "hpcqc/obs/metrics.hpp"
+#include "hpcqc/obs/trace.hpp"
+
+namespace hpcqc::obs {
+namespace {
+
+// ---------------------------------------------------------------- tracer --
+
+TEST(Tracer, ExplicitSpansFormOneConnectedTree) {
+  Tracer tracer;
+  const SpanHandle root = tracer.begin_span("job", 10.0);
+  const SpanHandle child = tracer.begin_span("queue", 10.0,
+                                             tracer.context(root));
+  const SpanHandle grandchild =
+      tracer.begin_span("execute", 12.0, tracer.context(child));
+  tracer.end_span(grandchild, 14.0);
+  tracer.end_span(child, 14.0);
+  tracer.end_span(root, 15.0);
+
+  const auto& records = tracer.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].parent, kNoSpan);
+  EXPECT_EQ(records[1].parent, root);
+  EXPECT_EQ(records[2].parent, child);
+  // One trace: every span carries the root's trace id.
+  EXPECT_EQ(records[1].trace_id, records[0].trace_id);
+  EXPECT_EQ(records[2].trace_id, records[0].trace_id);
+  EXPECT_EQ(tracer.trace(records[0].trace_id).size(), 3u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_DOUBLE_EQ(tracer.record(grandchild).duration(), 2.0);
+  EXPECT_EQ(tracer.record(root).status, SpanStatus::kOk);
+}
+
+TEST(Tracer, EndSpanIsIdempotentAndClampsToStart) {
+  Tracer tracer;
+  const SpanHandle h = tracer.begin_span("s", 5.0);
+  tracer.end_span(h, 3.0, SpanStatus::kError);  // end before start: clamped
+  EXPECT_DOUBLE_EQ(tracer.record(h).end, 5.0);
+  EXPECT_EQ(tracer.record(h).status, SpanStatus::kError);
+  tracer.end_span(h, 100.0, SpanStatus::kOk);  // already closed: no-op
+  EXPECT_DOUBLE_EQ(tracer.record(h).end, 5.0);
+  EXPECT_EQ(tracer.record(h).status, SpanStatus::kError);
+}
+
+TEST(Tracer, AttributesOverwriteAndEventsAccumulate) {
+  Tracer tracer;
+  const SpanHandle h = tracer.begin_span("s", 0.0);
+  tracer.set_attribute(h, "shots", "100");
+  tracer.set_attribute(h, "shots", "200");
+  tracer.add_event(h, 1.0, "batch-0");
+  tracer.add_event(h, 2.0, "batch-1", "64 shots");
+  const SpanRecord& rec = tracer.record(h);
+  ASSERT_EQ(rec.attributes.size(), 1u);
+  EXPECT_EQ(*rec.attribute("shots"), "200");
+  EXPECT_EQ(rec.attribute("missing"), nullptr);
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[1].detail, "64 shots");
+}
+
+TEST(Tracer, DisplayIdsAreSeededAndReproducible) {
+  Tracer a(42), b(42), c(43);
+  const SpanHandle ha = a.begin_span("s", 0.0);
+  const SpanHandle hb = b.begin_span("s", 0.0);
+  const SpanHandle hc = c.begin_span("s", 0.0);
+  EXPECT_EQ(a.record(ha).trace_id, b.record(hb).trace_id);
+  EXPECT_EQ(a.record(ha).span_id, b.record(hb).span_id);
+  EXPECT_NE(a.record(ha).span_id, c.record(hc).span_id);
+}
+
+TEST(Span, RaiiEndsAtNowAndInertSpanIsSafe) {
+  Tracer tracer;
+  Seconds sim_now = 100.0;
+  tracer.set_now_source([&] { return sim_now; });
+  SpanHandle handle = kNoSpan;
+  {
+    Span s = tracer.span("stage");
+    handle = s.handle();
+    s.set_attribute("k", "v");
+    sim_now = 104.0;
+  }
+  EXPECT_DOUBLE_EQ(tracer.record(handle).start, 100.0);
+  EXPECT_DOUBLE_EQ(tracer.record(handle).end, 104.0);
+  EXPECT_EQ(tracer.record(handle).status, SpanStatus::kOk);
+
+  Span inert;  // disabled-tracing path: every operation is a no-op
+  EXPECT_FALSE(static_cast<bool>(inert));
+  inert.set_attribute("k", "v");
+  inert.add_event("e");
+  inert.end();
+  Span inert_child = inert.child("c");
+  EXPECT_FALSE(static_cast<bool>(inert_child));
+}
+
+TEST(Span, ExplicitErrorStatusSurvivesDestruction) {
+  Tracer tracer;
+  tracer.set_now_source([] { return 1.0; });
+  SpanHandle handle = kNoSpan;
+  {
+    Span s = tracer.span("failing");
+    handle = s.handle();
+    s.set_status(SpanStatus::kError);
+  }
+  EXPECT_EQ(tracer.record(handle).status, SpanStatus::kError);
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, CountersAndGaugesCreateOnFirstUse) {
+  MetricsRegistry registry;
+  registry.counter("a.jobs").inc();
+  registry.counter("a.jobs").inc(2.0);
+  registry.gauge("a.depth").set(7.0);
+  EXPECT_EQ(registry.counter("a.jobs").count(), 3u);
+  EXPECT_DOUBLE_EQ(registry.gauge("a.depth").value(), 7.0);
+  EXPECT_TRUE(registry.has_counter("a.jobs"));
+  EXPECT_FALSE(registry.has_counter("a.depth"));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0 (<= 1)
+  h.observe(1.0);  // bucket 0 (edge is inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(4.0);  // bucket 2 (edge is inclusive)
+  h.observe(9.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.observe(1.5);  // all in (1, 2]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  // Overflow observations report the overflow bucket's lower edge.
+  Histogram over({1.0});
+  over.observe(50.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.99), 1.0);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBoundsAndBoundMismatch) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({}), PreconditionError);
+  MetricsRegistry registry;
+  registry.histogram("h", {1.0, 2.0});
+  registry.histogram("h", {1.0, 2.0});  // same bounds: fine
+  registry.histogram("h");              // existing: bounds arg ignored shape
+  EXPECT_THROW(registry.histogram("h", {3.0}), PreconditionError);
+}
+
+TEST(Metrics, SnapshotIsComparableAndLooksUpByName) {
+  MetricsRegistry registry;
+  registry.counter("jobs").inc(5.0);
+  registry.gauge("depth").set(2.0);
+  auto& h = registry.histogram("wait_s");
+  h.observe(10.0);
+  h.observe(100.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_NE(snap.counter("jobs"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.counter("jobs")->value, 5.0);
+  ASSERT_NE(snap.histogram("wait_s"), nullptr);
+  EXPECT_EQ(snap.histogram("wait_s")->count, 2u);
+  EXPECT_EQ(snap.counter("nope"), nullptr);
+  EXPECT_EQ(snap, registry.snapshot());
+
+  registry.counter("jobs").inc();
+  EXPECT_FALSE(snap == registry.snapshot());
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_s\""), std::string::npos);
+}
+
+// ------------------------------------------------------- flight recorder --
+
+TEST(FlightRecorderTest, RingEvictsOldestAndCountsDrops) {
+  FlightRecorder recorder(2, 4);
+  SpanRecord r;
+  for (int i = 0; i < 5; ++i) {
+    r.handle = static_cast<SpanHandle>(i + 1);
+    r.name = "s" + std::to_string(i);
+    recorder.note_span_end(r);
+  }
+  EXPECT_EQ(recorder.recent().size(), 2u);
+  EXPECT_EQ(recorder.spans_dropped(), 3u);
+  EXPECT_EQ(recorder.recent().front().name, "s3");
+}
+
+TEST(FlightRecorderTest, PostMortemCapturesOnlyTheFailingTrace) {
+  Tracer tracer;
+  FlightRecorder recorder;
+  tracer.set_flight_recorder(&recorder);
+
+  const SpanHandle ok_root = tracer.begin_span("good-job", 0.0);
+  const SpanHandle bad_root = tracer.begin_span("bad-job", 1.0);
+  const SpanHandle bad_child =
+      tracer.begin_span("execute", 2.0, tracer.context(bad_root));
+  tracer.end_span(ok_root, 3.0);
+  tracer.end_span(bad_child, 4.0, SpanStatus::kError);
+  tracer.end_span(bad_root, 4.0, SpanStatus::kError);
+
+  std::ostringstream live;
+  recorder.set_dump_sink(&live);
+  tracer.record_failure(tracer.trace_id(bad_root), "dead-letter: fault", 4.0);
+
+  ASSERT_EQ(recorder.post_mortems().size(), 1u);
+  const PostMortem& pm = recorder.post_mortems()[0];
+  EXPECT_EQ(pm.reason, "dead-letter: fault");
+  ASSERT_EQ(pm.spans.size(), 2u);  // the good job's span is not included
+  EXPECT_EQ(pm.spans[0].name, "bad-job");  // creation order
+  EXPECT_EQ(pm.spans[1].name, "execute");
+  // The live sink got the incident report as it was captured.
+  EXPECT_NE(live.str().find("dead-letter: fault"), std::string::npos);
+  EXPECT_NE(live.str().find("execute"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, PostMortemRingIsBoundedToo) {
+  FlightRecorder recorder(16, 2);
+  SpanRecord r;
+  for (int i = 0; i < 3; ++i) {
+    r.trace_id = static_cast<std::uint64_t>(i + 1);
+    r.handle = static_cast<SpanHandle>(i + 1);
+    recorder.note_span_end(r);
+    recorder.record_failure(r.trace_id, "shed", 1.0);
+  }
+  EXPECT_EQ(recorder.post_mortems().size(), 2u);
+  EXPECT_EQ(recorder.post_mortems_dropped(), 1u);
+  EXPECT_EQ(recorder.post_mortems()[0].trace_id, 2u);
+}
+
+// ---------------------------------------------------------------- export --
+
+TEST(Export, ChromeTraceValidatesAndTextTreeNests) {
+  Tracer tracer;
+  const SpanHandle root = tracer.begin_span("job:alpha", 0.0);
+  const SpanHandle child =
+      tracer.begin_span("execute", 1.0, tracer.context(root));
+  tracer.add_event(child, 1.5, "shot-batch-0", "64 shots");
+  tracer.set_attribute(child, "shots", "100");
+  tracer.end_span(child, 2.0);
+  tracer.end_span(root, 3.0);
+
+  const std::string json = chrome_trace_json(tracer);
+  const TraceValidation validation = validate_chrome_trace(json);
+  EXPECT_TRUE(validation.ok) << (validation.errors.empty()
+                                     ? ""
+                                     : validation.errors.front());
+  EXPECT_EQ(validation.events, 3u);  // 2 "X" spans + 1 "i" instant
+
+  const std::string tree = text_tree(tracer);
+  const auto root_pos = tree.find("job:alpha");
+  const auto child_pos = tree.find("execute");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(child_pos, std::string::npos);
+  EXPECT_LT(root_pos, child_pos);  // parent renders before its child
+}
+
+TEST(Export, ChromeTraceIsByteStableAcrossIdenticalRuns) {
+  const auto build = [] {
+    Tracer tracer;
+    const SpanHandle root = tracer.begin_span("job", 0.5);
+    tracer.end_span(root, 1.25);
+    return chrome_trace_json(tracer);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Export, ValidatorRejectsMalformedTraces) {
+  EXPECT_FALSE(validate_chrome_trace("not json").ok);
+  EXPECT_FALSE(validate_chrome_trace("{}").ok);  // no traceEvents
+  EXPECT_FALSE(
+      validate_chrome_trace("{\"traceEvents\": 5}").ok);  // not an array
+  // Bad phase and negative ts are both reported.
+  const TraceValidation v = validate_chrome_trace(
+      "{\"traceEvents\": ["
+      "{\"name\":\"a\",\"ph\":\"Q\",\"ts\":1,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"ts\":-2,\"dur\":1,\"pid\":1,\"tid\":1}"
+      "]}");
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.events, 2u);
+  EXPECT_GE(v.errors.size(), 2u);
+
+  const TraceValidation good = validate_chrome_trace(
+      "{\"traceEvents\": ["
+      "{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":3,\"pid\":1,\"tid\":1}"
+      "]}");
+  EXPECT_TRUE(good.ok);
+}
+
+TEST(Export, OrphanedSpansRenderAsRootsInPartialSets) {
+  Tracer tracer;
+  const SpanHandle root = tracer.begin_span("job", 0.0);
+  const SpanHandle child =
+      tracer.begin_span("execute", 1.0, tracer.context(root));
+  tracer.end_span(child, 2.0);
+  tracer.end_span(root, 3.0);
+  // A flight-recorder ring that only retained the child.
+  std::vector<SpanRecord> partial = {tracer.record(child)};
+  std::ostringstream os;
+  write_text_tree(os, partial);
+  EXPECT_NE(os.str().find("execute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcqc::obs
