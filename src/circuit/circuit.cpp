@@ -228,6 +228,30 @@ std::uint64_t Circuit::structural_hash() const {
   return hash;
 }
 
+std::uint64_t Circuit::shape_hash() const {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 0x100000001b3ULL;  // FNV prime
+  };
+  mix(static_cast<std::uint64_t>(num_qubits_));
+  for (const auto& op : ops_) {
+    mix(static_cast<std::uint64_t>(op.kind) + 1);
+    for (int q : op.qubits) mix(static_cast<std::uint64_t>(q) + 0x9e37);
+    mix(static_cast<std::uint64_t>(op.params.size()) + 0x51ed);
+  }
+  return hash;
+}
+
+void Circuit::set_param(std::size_t op_index, std::size_t param_index,
+                        double value) {
+  expects(op_index < ops_.size(), "Circuit::set_param: op index out of range");
+  auto& op = ops_[op_index];
+  expects(param_index < op.params.size(),
+          "Circuit::set_param: parameter index out of range");
+  op.params[param_index] = value;
+}
+
 namespace {
 
 /// Appends the inverse of one gate operation (possibly as a sequence).

@@ -81,6 +81,17 @@ public:
   /// Equal circuits hash equal; used as a compile-cache key.
   std::uint64_t structural_hash() const;
 
+  /// Like structural_hash() but with all parameter values abstracted out:
+  /// two circuits that differ only in rotation angles hash equal. This is
+  /// the shape a parameter rebind preserves, so prepared executables
+  /// validate against it before patching angles in place.
+  std::uint64_t shape_hash() const;
+
+  /// Overwrites one parameter of one op in place (the parameter-binding
+  /// phase of two-phase compilation: angles are patched into a compiled
+  /// program without re-running any pass). Throws on out-of-range indices.
+  void set_param(std::size_t op_index, std::size_t param_index, double value);
+
   // ---- Standard preparation circuits ----------------------------------------
   /// GHZ state preparation on `num_qubits` qubits plus terminal measurement —
   /// the standardized live-performance benchmark the paper runs regularly

@@ -1,6 +1,7 @@
 #include "hpcqc/circuit/parametric.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "hpcqc/common/error.hpp"
@@ -106,9 +107,13 @@ ParametricCircuit& ParametricCircuit::barrier() {
 }
 
 ParametricCircuit& ParametricCircuit::measure(std::vector<int> qubits) {
-  for (int q : qubits)
+  std::set<int> seen;
+  for (int q : qubits) {
     expects(q >= 0 && q < num_qubits_,
             "ParametricCircuit::measure: qubit out of range");
+    expects(seen.insert(q).second,
+            "ParametricCircuit::measure: duplicate qubit in measure list");
+  }
   append({OpKind::kMeasure, std::move(qubits), {}});
   return *this;
 }
@@ -119,6 +124,43 @@ std::vector<std::string> ParametricCircuit::parameters() const {
     for (const auto& param : op.params)
       if (!param.is_literal()) names.insert(param.name());
   return {names.begin(), names.end()};
+}
+
+std::uint64_t ParametricCircuit::structural_hash() const {
+  // Symbols hash by their index in the sorted parameter list, so renaming
+  // a parameter consistently does not change the structure.
+  const auto names = parameters();
+  std::map<std::string, std::uint64_t> index;
+  for (std::size_t i = 0; i < names.size(); ++i) index[names[i]] = i;
+
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 0x100000001b3ULL;  // FNV prime
+  };
+  const auto mix_double = [&mix](double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(num_qubits_));
+  for (const auto& op : ops_) {
+    mix(static_cast<std::uint64_t>(op.kind) + 1);
+    for (int q : op.qubits) mix(static_cast<std::uint64_t>(q) + 0x9e37);
+    for (const auto& param : op.params) {
+      if (param.is_literal()) {
+        mix(0x11);
+        mix_double(param.coefficient());
+      } else {
+        mix(0x22);
+        mix(index.at(param.name()));
+        mix_double(param.coefficient());
+        mix_double(param.offset());
+      }
+    }
+  }
+  return hash;
 }
 
 Circuit ParametricCircuit::bind(

@@ -88,6 +88,7 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
     qsim::Matrix2 m{};
     double keep = 1.0;
     bool any = false;
+    std::vector<std::uint32_t> sources;  ///< constituent ops, in order
   };
   std::vector<Pending> pending(active_.size());
   const auto flush = [&](int d) {
@@ -99,10 +100,13 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
     op.m2 = slot.m;
     op.error_prob = depol_error_from_keep_1q(slot.keep);
     ops_.push_back(op);
+    sources_.push_back(std::move(slot.sources));
     slot = Pending{};
   };
 
-  for (const auto& op : circuit.ops()) {
+  const auto& source_ops = circuit.ops();
+  for (std::size_t i = 0; i < source_ops.size(); ++i) {
+    const auto& op = source_ops[i];
     if (op.kind == OpKind::kMeasure || op.kind == OpKind::kBarrier ||
         op.kind == OpKind::kI)
       continue;  // kI carries no error in the uncompiled engine either
@@ -118,6 +122,7 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
       out.error_prob = qsim::pauli_error_prob_from_avg_fidelity(
           calibration.couplers[static_cast<std::size_t>(edge)].fidelity_cz,
           2);
+      std::vector<std::uint32_t> sources;
       switch (op.kind) {
         case OpKind::kCz:
           out.kind = CompiledOp::Kind::kCphase;
@@ -126,6 +131,7 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
         case OpKind::kCphase:
           out.kind = CompiledOp::Kind::kCphase;
           out.theta = op.params[0];
+          sources.push_back(static_cast<std::uint32_t>(i));
           break;
         case OpKind::kCx:
           out.kind = CompiledOp::Kind::kDense2q;
@@ -143,6 +149,7 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
           throw Error("CompiledProgram: unhandled two-qubit op");
       }
       ops_.push_back(out);
+      sources_.push_back(std::move(sources));
       continue;
     }
     const int d = phys_to_dense[static_cast<std::size_t>(op.qubits[0])];
@@ -155,8 +162,31 @@ CompiledProgram::CompiledProgram(const circuit::Circuit& circuit,
       slot.any = true;
     }
     slot.keep *= keep_1q[static_cast<std::size_t>(d)];
+    slot.sources.push_back(static_cast<std::uint32_t>(i));
   }
   for (int d = 0; d < dense_qubits_; ++d) flush(d);
+  source_shape_hash_ = circuit.shape_hash();
+}
+
+void CompiledProgram::rebind(const circuit::Circuit& circuit) {
+  expects(circuit.shape_hash() == source_shape_hash_,
+          "CompiledProgram::rebind: circuit shape differs from the source");
+  const auto& source_ops = circuit.ops();
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    auto& op = ops_[i];
+    const auto& sources = sources_[i];
+    if (sources.empty()) continue;  // angle-independent step
+    if (op.kind == CompiledOp::Kind::kCphase) {
+      op.theta = source_ops[sources[0]].params[0];
+      continue;
+    }
+    // Replay the constructor's accumulation order exactly, so the fused
+    // matrix is bit-identical to a fresh compilation of `circuit`.
+    qsim::Matrix2 m = matrix_1q(source_ops[sources[0]]);
+    for (std::size_t s = 1; s < sources.size(); ++s)
+      m = qsim::matmul(matrix_1q(source_ops[sources[s]]), m);
+    op.m2 = m;
+  }
 }
 
 void CompiledProgram::draw_insertions(Rng& rng,

@@ -29,6 +29,7 @@ void DeviceModel::set_health(HealthMask mask) {
   if (mask == health_) return;
   health_ = std::move(mask);
   ++calibration_epoch_;
+  ++noise_version_;
 }
 
 void DeviceModel::set_qubit_health(int qubit, bool up) {
@@ -86,6 +87,7 @@ void DeviceModel::install_calibration(CalibrationState snapshot) {
   fresh_ = snapshot;
   state_ = std::move(snapshot);
   ++calibration_epoch_;
+  ++noise_version_;
 }
 
 void DeviceModel::install_live_state(CalibrationState snapshot) {
@@ -94,14 +96,17 @@ void DeviceModel::install_live_state(CalibrationState snapshot) {
           "install_live_state: snapshot shape mismatch");
   state_ = std::move(snapshot);
   ++calibration_epoch_;
+  ++noise_version_;
 }
 
 void DeviceModel::drift(Seconds dt, Rng& rng) {
   drift_model_.advance(state_, fresh_, dt, rng);
+  ++noise_version_;
 }
 
 void DeviceModel::set_ambient_drift_rate(double deg_c_per_day) {
   expects(deg_c_per_day >= 0.0, "ambient drift rate cannot be negative");
+  if (deg_c_per_day != ambient_drift_c_per_day_) ++noise_version_;
   ambient_drift_c_per_day_ = deg_c_per_day;
 }
 
@@ -182,8 +187,8 @@ Seconds DeviceModel::shot_duration(const circuit::Circuit& circuit) const {
 
 ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
                                      std::size_t shots, Rng& rng,
-                                     ExecutionMode mode,
-                                     ExecObserver* observer) {
+                                     ExecutionMode mode, ExecObserver* observer,
+                                     PreparedProgram* prepared) {
   expects(shots > 0, "execute: need at least one shot");
   validate_executable(circuit);
 
@@ -203,8 +208,29 @@ ExecutionResult DeviceModel::execute(const circuit::Circuit& circuit,
   }
 
   // Compile once per job: densified indices, fused matrices, precomputed
-  // error rates. Every shot replays this flat program.
-  const CompiledProgram program(circuit, topology_, state_);
+  // error rates. Every shot replays this flat program. A valid caller-owned
+  // PreparedProgram short-circuits the compilation to an angle rebind.
+  std::unique_ptr<CompiledProgram> scratch;
+  const CompiledProgram* program_ptr = nullptr;
+  if (prepared != nullptr) {
+    const std::uint64_t shape = circuit.shape_hash();
+    if (prepared->program != nullptr && prepared->shape_hash == shape &&
+        prepared->noise_version == noise_version_) {
+      prepared->program->rebind(circuit);
+      ++prepared->rebinds;
+    } else {
+      prepared->program =
+          std::make_unique<CompiledProgram>(circuit, topology_, state_);
+      prepared->shape_hash = shape;
+      prepared->noise_version = noise_version_;
+      ++prepared->compiles;
+    }
+    program_ptr = prepared->program.get();
+  } else {
+    scratch = std::make_unique<CompiledProgram>(circuit, topology_, state_);
+    program_ptr = scratch.get();
+  }
+  const CompiledProgram& program = *program_ptr;
 
   // Per-dense-qubit readout confusion from the physical elements.
   const qsim::ReadoutError full_readout = readout_error();

@@ -54,6 +54,21 @@ public:
   CompiledProgram(const circuit::Circuit& circuit, const Topology& topology,
                   const CalibrationState& calibration);
 
+  /// shape_hash() of the source circuit (parameter values abstracted out) —
+  /// the validity key for rebind().
+  std::uint64_t source_shape_hash() const { return source_shape_hash_; }
+
+  /// Re-derives every angle-dependent payload (fused 1q matrices, cphase
+  /// angles) from a circuit that is shape-identical to the source — i.e.
+  /// the same gates on the same qubits with possibly different parameter
+  /// values, as produced by binding a compiled parametric template at a new
+  /// angle vector. Error probabilities, fusion structure and qubit
+  /// densification are angle-independent, so they are kept; the recomputed
+  /// matrices replay the constructor's exact accumulation order, making the
+  /// result bit-identical to a fresh compilation of `circuit`. Throws
+  /// PreconditionError when the shapes differ.
+  void rebind(const circuit::Circuit& circuit);
+
   /// Number of simulated (dense) qubits; always >= 1.
   int dense_qubits() const { return dense_qubits_; }
 
@@ -104,6 +119,12 @@ private:
   std::vector<int> active_;
   std::vector<int> dense_measured_;
   std::vector<CompiledOp> ops_;
+  std::uint64_t source_shape_hash_ = 0;
+  /// Per-step source-op indices for rebind(): a kFused1q step lists the
+  /// constituent 1q ops in accumulation order; a kCphase step lists its
+  /// single source op when that op was parametric (kCphase, not kCz);
+  /// angle-independent steps have an empty list.
+  std::vector<std::vector<std::uint32_t>> sources_;
 };
 
 }  // namespace hpcqc::device

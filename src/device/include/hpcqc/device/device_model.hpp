@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "hpcqc/circuit/circuit.hpp"
 #include "hpcqc/common/rng.hpp"
 #include "hpcqc/device/calibration_state.hpp"
+#include "hpcqc/device/compiled_program.hpp"
 #include "hpcqc/device/drift.hpp"
 #include "hpcqc/device/health_mask.hpp"
 #include "hpcqc/device/topology.hpp"
@@ -53,6 +55,22 @@ public:
 /// Shots per observer batch (last batch may be short).
 inline constexpr std::size_t kExecBatchShots = 64;
 
+/// Caller-owned slot for the per-job compilation execute() performs. When a
+/// caller replays the same circuit *shape* at different parameter bindings
+/// (the compile-farm tight loop), passing the same PreparedProgram lets
+/// execute() rebind the cached program's angles instead of re-densifying and
+/// re-fusing from scratch. Validity is keyed on the circuit's shape_hash()
+/// and the device's noise_version(); a mismatch on either recompiles in
+/// place. Results are bit-identical either way (rebind() replays the
+/// compiler's arithmetic exactly), so reuse is purely a CPU-cost knob.
+struct PreparedProgram {
+  std::unique_ptr<CompiledProgram> program;
+  std::uint64_t shape_hash = 0;
+  std::uint64_t noise_version = 0;
+  std::uint64_t compiles = 0;  ///< full compilations performed through this slot
+  std::uint64_t rebinds = 0;   ///< angle-only rebinds performed
+};
+
 /// Result of executing one circuit job on the device.
 struct ExecutionResult {
   qsim::Counts counts;
@@ -87,6 +105,13 @@ public:
   /// metrics. Mask changes bump it too, so cached placements never keep
   /// routing through a qubit that has since dropped out.
   std::uint64_t calibration_epoch() const { return calibration_epoch_; }
+
+  /// Monotonic counter bumped whenever anything feeding execution noise
+  /// changes: calibration installs, drift steps, health-mask changes, and
+  /// ambient-drift-rate updates. It is the PreparedProgram validity key —
+  /// strictly finer-grained than calibration_epoch() (drift mutates the
+  /// live state without installing a calibration).
+  std::uint64_t noise_version() const { return noise_version_; }
 
   /// Per-element up/down state. Starts all-healthy; the operations layer
   /// installs degraded masks when qubits or couplers drop out.
@@ -137,10 +162,12 @@ public:
   /// uncoupled qubits, and TransientError(kDeviceUnavailable) when any op
   /// touches a masked qubit or coupler.
   /// `observer`, when non-null, receives deterministic per-batch progress
-  /// callbacks (see ExecObserver).
+  /// callbacks (see ExecObserver). `prepared`, when non-null, caches the
+  /// per-job compilation across calls (see PreparedProgram).
   ExecutionResult execute(const circuit::Circuit& circuit, std::size_t shots,
                           Rng& rng, ExecutionMode mode = ExecutionMode::kAuto,
-                          ExecObserver* observer = nullptr);
+                          ExecObserver* observer = nullptr,
+                          PreparedProgram* prepared = nullptr);
 
   /// Shot duration for a given circuit (reset + gates + readout), per §2.4.
   Seconds shot_duration(const circuit::Circuit& circuit) const;
@@ -157,6 +184,7 @@ private:
   CalibrationState fresh_;
   HealthMask health_;
   std::uint64_t calibration_epoch_ = 0;
+  std::uint64_t noise_version_ = 0;
   double ambient_drift_c_per_day_ = 0.0;
 };
 

@@ -1,0 +1,78 @@
+#include "hpcqc/mqss/compile_farm.hpp"
+
+#include <numeric>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::mqss {
+
+CompileFarm::CompileFarm(std::size_t workers) {
+  executed_.resize(workers == 0 ? 1 : workers, 0);
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+CompileFarm::~CompileFarm() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void CompileFarm::enqueue(std::function<void()> task) {
+  expects(task != nullptr, "CompileFarm::enqueue: null task");
+  if (threads_.empty()) {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++executed_[0];
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void CompileFarm::worker_loop(std::size_t worker_index) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_[worker_index];
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void CompileFarm::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::uint64_t CompileFarm::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::accumulate(executed_.begin(), executed_.end(),
+                         std::uint64_t{0});
+}
+
+std::vector<std::uint64_t> CompileFarm::per_worker_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+}  // namespace hpcqc::mqss

@@ -1,13 +1,18 @@
 #pragma once
 
-#include <deque>
 #include <map>
+#include <memory>
+#include <string>
 
+#include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/common/rng.hpp"
 #include "hpcqc/common/sim_clock.hpp"
 #include "hpcqc/device/device_model.hpp"
 #include "hpcqc/fault/injector.hpp"
+#include "hpcqc/mqss/compile_farm.hpp"
 #include "hpcqc/mqss/compiler.hpp"
+#include "hpcqc/mqss/structure_cache.hpp"
+#include "hpcqc/mqss/template.hpp"
 #include "hpcqc/net/formats.hpp"
 #include "hpcqc/obs/metrics.hpp"
 #include "hpcqc/obs/trace.hpp"
@@ -33,6 +38,17 @@ struct RunResult {
 /// frontend circuit against live QDMI data and executes it on the device
 /// twin. This is the "QRM + JIT LLVM-based compiler" box of Fig. 2 reduced
 /// to its semantics: compile with live metrics, then run.
+///
+/// Compilation is two-phase. The *structure phase* (placement, routing,
+/// native decomposition, peephole) is cached in a thread-safe LRU
+/// StructureCache, content-addressed on
+///   structural hash (parameters abstracted out)
+///   x calibration epoch x health-mask fingerprint x compiler options,
+/// so a mask flip that does not bump the device epoch (e.g. a sensor-driven
+/// telemetry view) still invalidates affected entries. The *bind phase*
+/// patches a ParametricCircuit binding's angles into the cached template
+/// without re-running any pass. An optional CompileFarm runs structure
+/// misses on background workers with single-flight dedup.
 class QpuService {
 public:
   QpuService(device::DeviceModel& device, const qdmi::DeviceInterface& qdmi,
@@ -51,6 +67,14 @@ public:
   RunResult run(const circuit::Circuit& circuit, std::size_t shots,
                 obs::TraceContext parent = {});
 
+  /// The variational tight-loop entry: structure phase through the cache,
+  /// then a parameter bind — per-iteration compile cost is a handful of
+  /// multiply-adds once the structure is warm. Same fault/tracing contract
+  /// as run(), with compile.structure / compile.bind child spans.
+  RunResult run_parametric(const circuit::ParametricCircuit& circuit,
+                           const std::map<std::string, double>& binding,
+                           std::size_t shots, obs::TraceContext parent = {});
+
   /// The onboarding-emulator path (§4): same JIT compilation, but the
   /// native program is sampled from its ideal distribution instead of the
   /// noisy device. Always available — it is what clients degrade to when
@@ -62,6 +86,32 @@ public:
   /// "greater transparency in the quantum circuit compilation process").
   CompiledProgram compile_only(const circuit::Circuit& circuit) const;
 
+  /// Structure phase only: the cached (or freshly compiled) template for a
+  /// parametric circuit under the current calibration/health/options key.
+  std::shared_ptr<const CompiledTemplate> compile_structure(
+      const circuit::ParametricCircuit& circuit) const;
+
+  /// Structure phase + bind phase, uncached bind (the template itself is
+  /// cached). Equivalent to compile_structure(circuit)->bind(binding).
+  CompiledProgram compile_parametric(
+      const circuit::ParametricCircuit& circuit,
+      const std::map<std::string, double>& binding) const;
+
+  /// Queues the structure compile for `circuit` on the attached farm (a
+  /// no-op without a farm or with the cache disabled). The QRM prefetches
+  /// every queued parametric job before dispatching, so N distinct misses
+  /// compile concurrently while single-flight dedup keeps each key's
+  /// compile unique.
+  void prefetch_structure(
+      std::shared_ptr<const circuit::ParametricCircuit> circuit) const;
+
+  /// Attaches a compile-worker pool (must outlive the service; nullptr
+  /// detaches). Only prefetch_structure() uses it — foreground compiles
+  /// stay on the calling thread, so results and stats are bit-identical at
+  /// any worker count.
+  void set_compile_farm(CompileFarm* farm) { farm_ = farm; }
+  CompileFarm* compile_farm() const { return farm_; }
+
   /// Attaches a fault injector + the clock used to position queries inside
   /// its windows. Both must outlive the service; pass nullptr to detach.
   void set_fault_context(const fault::FaultInjector* injector,
@@ -72,21 +122,24 @@ public:
   /// service; nullptr disables.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   /// Attaches a metrics registry (mqss.runs, mqss.runs_emulated,
-  /// mqss.compile_cache_hits / _misses). Must outlive the service.
+  /// mqss.compile_cache_hits / _misses / _evictions, the
+  /// mqss.compile_cache_hit_rate gauge, and the parametric-path
+  /// mqss.structure_cache_hits / _misses / _size). Must outlive the
+  /// service. Metrics are mirrored on the calling thread only — farm
+  /// workers never touch the registry.
   void set_metrics(obs::MetricsRegistry* registry);
 
-  /// JIT compile cache: hits while the device's calibration epoch counter
-  /// is unchanged (any recalibration bumps it — the JIT placement must see
-  /// the new metrics, even when a recovery lands at an identical simulated
-  /// timestamp). Keyed by the circuit's structural hash. Enabled by
-  /// default; repeated variational submissions of *identical* circuits
-  /// skip recompilation. Bounded: the oldest entries are evicted past
-  /// `capacity` so long variational campaigns cannot grow it unboundedly.
+  /// JIT compile cache controls. Enabled by default; entries are evicted
+  /// least-recently-used past `capacity`. Keys carry the calibration epoch
+  /// and the QDMI view's health fingerprint, so recalibrations and mask
+  /// changes (even epoch-silent ones) miss instead of serving stale
+  /// placements.
   void set_compile_cache_enabled(bool enabled);
   void set_compile_cache_capacity(std::size_t capacity);
-  std::size_t cache_size() const { return cache_.size(); }
-  std::size_t cache_hits() const { return cache_hits_; }
-  std::size_t cache_misses() const { return cache_misses_; }
+  std::size_t cache_size() const { return cache_.stats().size; }
+  std::size_t cache_hits() const { return cache_.stats().hits; }
+  std::size_t cache_misses() const { return cache_.stats().misses; }
+  StructureCacheStats cache_stats() const { return cache_.stats(); }
 
   /// Serializes a run's counts in the given §2.4 output format.
   net::Payload serialize(const RunResult& result,
@@ -94,10 +147,31 @@ public:
 
 private:
   bool fault_active(fault::FaultSite site) const;
+  /// Content-addressed cache key for the current epoch / health / options.
+  std::uint64_t cache_key(std::uint64_t structural_hash) const;
+  /// Cache lookup for a concrete circuit, with metric mirroring.
+  StructureCache::Lookup lookup_concrete(
+      const circuit::Circuit& circuit) const;
+  /// Cache lookup for a parametric structure, with metric mirroring.
+  StructureCache::Lookup lookup_structure(
+      const circuit::ParametricCircuit& circuit) const;
+  /// Mirrors a lookup outcome into the bound counters/gauges (calling
+  /// thread only).
+  void mirror_cache_metrics(bool hit, bool structure) const;
   /// compile_only() plus a compile span (per-pass children, cache
   /// attributes) under `parent` when tracing is on.
   CompiledProgram compile_traced(const circuit::Circuit& circuit,
                                  obs::Span& parent);
+  /// Two-phase compile with compile.structure / compile.bind child spans.
+  CompiledProgram compile_parametric_traced(
+      const circuit::ParametricCircuit& circuit,
+      const std::map<std::string, double>& binding, obs::Span& parent);
+  /// Adds the cache-stats attributes the satellite dashboards read.
+  void annotate_cache_stats(obs::Span& span) const;
+  /// The shared post-compile path of run()/run_parametric(): execution
+  /// fault sites, execute span, result assembly.
+  RunResult finish_run(const CompiledProgram& program, std::size_t shots,
+                       obs::Span& span);
 
   device::DeviceModel* device_;
   const qdmi::DeviceInterface* qdmi_;
@@ -107,18 +181,21 @@ private:
   const fault::FaultInjector* injector_ = nullptr;
   const SimClock* clock_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  CompileFarm* farm_ = nullptr;
   obs::Counter* m_runs_ = nullptr;
   obs::Counter* m_runs_emulated_ = nullptr;
   obs::Counter* m_cache_hits_ = nullptr;
   obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_cache_evictions_ = nullptr;
+  obs::Counter* m_structure_hits_ = nullptr;
+  obs::Counter* m_structure_misses_ = nullptr;
+  obs::Gauge* m_cache_hit_rate_ = nullptr;
+  obs::Gauge* m_structure_size_ = nullptr;
 
   bool cache_enabled_ = true;
-  std::size_t cache_capacity_ = 256;
-  mutable std::map<std::uint64_t, CompiledProgram> cache_;
-  mutable std::deque<std::uint64_t> cache_order_;  ///< insertion order (FIFO)
-  mutable std::uint64_t cache_epoch_ = ~std::uint64_t{0};
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_misses_ = 0;
+  mutable StructureCache cache_{256};
+  /// Evictions already mirrored into m_cache_evictions_ (caller thread).
+  mutable std::uint64_t mirrored_evictions_ = 0;
 };
 
 }  // namespace hpcqc::mqss

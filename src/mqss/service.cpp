@@ -19,12 +19,19 @@ void QpuService::set_fault_context(const fault::FaultInjector* injector,
 void QpuService::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     m_runs_ = m_runs_emulated_ = m_cache_hits_ = m_cache_misses_ = nullptr;
+    m_cache_evictions_ = m_structure_hits_ = m_structure_misses_ = nullptr;
+    m_cache_hit_rate_ = m_structure_size_ = nullptr;
     return;
   }
   m_runs_ = &registry->counter("mqss.runs");
   m_runs_emulated_ = &registry->counter("mqss.runs_emulated");
   m_cache_hits_ = &registry->counter("mqss.compile_cache_hits");
   m_cache_misses_ = &registry->counter("mqss.compile_cache_misses");
+  m_cache_evictions_ = &registry->counter("mqss.compile_cache_evictions");
+  m_structure_hits_ = &registry->counter("mqss.structure_cache_hits");
+  m_structure_misses_ = &registry->counter("mqss.structure_cache_misses");
+  m_cache_hit_rate_ = &registry->gauge("mqss.compile_cache_hit_rate");
+  m_structure_size_ = &registry->gauge("mqss.structure_cache_size");
 }
 
 namespace {
@@ -43,11 +50,94 @@ struct ExecSpanObserver final : device::ExecObserver {
   }
 };
 
+/// FNV-1a fold of the QDMI view's per-qubit / per-coupler kOperational
+/// bits. This is what keys masked-topology state into the compile cache:
+/// a view that masks qubits without bumping the device's calibration epoch
+/// (telemetry-driven sensors, health overlays) still changes the
+/// fingerprint, so stale placements can never be served after a mask flip.
+std::uint64_t health_fingerprint(const qdmi::DeviceInterface& device) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ULL;
+  };
+  const int num_qubits = device.num_qubits();
+  for (int q = 0; q < num_qubits; ++q)
+    mix(device.qubit_property(qdmi::QubitProperty::kOperational, q) >= 0.5
+            ? 0x71ULL
+            : 0x70ULL);
+  for (const auto& [a, b] : device.coupling_map())
+    mix(device.coupler_property(qdmi::CouplerProperty::kOperational, a, b) >=
+                0.5
+            ? 0x63ULL
+            : 0x62ULL);
+  return hash;
+}
+
 }  // namespace
 
 bool QpuService::fault_active(fault::FaultSite site) const {
   return injector_ != nullptr && clock_ != nullptr &&
          injector_->active(site, clock_->now());
+}
+
+std::uint64_t QpuService::cache_key(std::uint64_t structural_hash) const {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ULL;
+  };
+  mix(structural_hash);
+  // A recalibration bumps the device's epoch counter; entries keyed under
+  // the old epoch were compiled against metrics the JIT must no longer
+  // trust. (The counter — not the calibration timestamp — is keyed: two
+  // calibrations can land at the same simulated instant.)
+  mix(device_->calibration_epoch());
+  mix(health_fingerprint(*qdmi_));
+  mix(static_cast<std::uint64_t>(options_.placement) + 1);
+  mix(options_.optimize ? 0x6f7074ULL : 0x726177ULL);
+  mix(options_.fidelity_aware_routing ? 0x666964ULL : 0x686f70ULL);
+  return hash;
+}
+
+void QpuService::mirror_cache_metrics(bool hit, bool structure) const {
+  const StructureCacheStats stats = cache_.stats();
+  if (structure) {
+    if (hit && m_structure_hits_ != nullptr) m_structure_hits_->inc();
+    if (!hit && m_structure_misses_ != nullptr) m_structure_misses_->inc();
+  } else {
+    if (hit && m_cache_hits_ != nullptr) m_cache_hits_->inc();
+    if (!hit && m_cache_misses_ != nullptr) m_cache_misses_->inc();
+  }
+  if (m_cache_evictions_ != nullptr && stats.evictions > mirrored_evictions_)
+    m_cache_evictions_->inc(
+        static_cast<double>(stats.evictions - mirrored_evictions_));
+  mirrored_evictions_ = stats.evictions;
+  if (m_cache_hit_rate_ != nullptr) m_cache_hit_rate_->set(stats.hit_rate());
+  if (m_structure_size_ != nullptr)
+    m_structure_size_->set(static_cast<double>(stats.size));
+}
+
+StructureCache::Lookup QpuService::lookup_concrete(
+    const circuit::Circuit& circuit) const {
+  const std::uint64_t key = cache_key(circuit.structural_hash());
+  auto lookup = cache_.get_or_compile(key, [this, &circuit] {
+    return std::make_shared<const CompiledTemplate>(
+        as_template(compile(circuit, *qdmi_, options_)));
+  });
+  mirror_cache_metrics(lookup.hit, /*structure=*/false);
+  return lookup;
+}
+
+StructureCache::Lookup QpuService::lookup_structure(
+    const circuit::ParametricCircuit& circuit) const {
+  const std::uint64_t key = cache_key(circuit.structural_hash());
+  auto lookup = cache_.get_or_compile(key, [this, &circuit] {
+    return std::make_shared<const CompiledTemplate>(
+        compile_template(circuit, *qdmi_, options_));
+  });
+  mirror_cache_metrics(lookup.hit, /*structure=*/true);
+  return lookup;
 }
 
 RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots,
@@ -70,38 +160,7 @@ RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots,
                                qdmi::to_string(status) + ")",
                            ErrorCode::kDeviceUnavailable);
     const CompiledProgram program = compile_traced(circuit, span);
-    if (fault_active(fault::FaultSite::kDeviceExecution))
-      throw TransientError("QpuService::run: QPU aborted the job",
-                           ErrorCode::kDeviceUnavailable);
-    obs::Span exec_span;
-    ExecSpanObserver batch_events;
-    device::ExecObserver* observer = nullptr;
-    if (span) {
-      exec_span = span.child("execute");
-      batch_events.span = &exec_span;
-      observer = &batch_events;
-    }
-    const auto exec =
-        device_->execute(program.native_circuit, shots, *rng_,
-                         device::ExecutionMode::kAuto, observer);
-    if (exec_span) {
-      exec_span.set_attribute("estimated_fidelity",
-                              std::to_string(exec.estimated_fidelity));
-      exec_span.set_attribute("qpu_time_s", std::to_string(exec.wall_time));
-      exec_span.end();
-    }
-    if (fault_active(fault::FaultSite::kNetworkTransfer))
-      throw TransientError("QpuService::run: result transfer corrupted",
-                           ErrorCode::kNetwork);
-    if (span) span.add_event("result-transferred");
-    RunResult result;
-    result.counts = exec.counts;
-    result.estimated_fidelity = exec.estimated_fidelity;
-    result.qpu_time = exec.wall_time;
-    result.native_gate_count = program.native_gate_count;
-    result.swap_count = program.swap_count;
-    result.initial_layout = program.initial_layout;
-    return result;
+    return finish_run(program, shots, span);
   } catch (const Error& error) {
     if (span) {
       span.add_event("error", error.what());
@@ -111,13 +170,98 @@ RunResult QpuService::run(const circuit::Circuit& circuit, std::size_t shots,
   }
 }
 
+RunResult QpuService::run_parametric(const circuit::ParametricCircuit& circuit,
+                                     const std::map<std::string, double>& binding,
+                                     std::size_t shots,
+                                     obs::TraceContext parent) {
+  expects(shots > 0, "QpuService::run_parametric: need at least one shot");
+  if (m_runs_ != nullptr) m_runs_->inc();
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->span("qpu.run", parent);
+    span.set_attribute("shots", std::to_string(shots));
+    span.set_attribute("parametric", "true");
+  }
+  try {
+    if (fault_active(fault::FaultSite::kQdmiQuery))
+      throw TransientError(
+          "QpuService::run_parametric: QDMI metric query timed out",
+          ErrorCode::kTimeout);
+    const auto status = qdmi_->status();
+    if (status == qdmi::DeviceStatus::kOffline ||
+        status == qdmi::DeviceStatus::kMaintenance)
+      throw TransientError(
+          std::string("QpuService::run_parametric: QPU unavailable (") +
+              qdmi::to_string(status) + ")",
+          ErrorCode::kDeviceUnavailable);
+    const CompiledProgram program =
+        compile_parametric_traced(circuit, binding, span);
+    return finish_run(program, shots, span);
+  } catch (const Error& error) {
+    if (span) {
+      span.add_event("error", error.what());
+      span.set_status(obs::SpanStatus::kError);
+    }
+    throw;
+  }
+}
+
+RunResult QpuService::finish_run(const CompiledProgram& program,
+                                 std::size_t shots, obs::Span& span) {
+  if (fault_active(fault::FaultSite::kDeviceExecution))
+    throw TransientError("QpuService::run: QPU aborted the job",
+                         ErrorCode::kDeviceUnavailable);
+  obs::Span exec_span;
+  ExecSpanObserver batch_events;
+  device::ExecObserver* observer = nullptr;
+  if (span) {
+    exec_span = span.child("execute");
+    batch_events.span = &exec_span;
+    observer = &batch_events;
+  }
+  const auto exec = device_->execute(program.native_circuit, shots, *rng_,
+                                     device::ExecutionMode::kAuto, observer);
+  if (exec_span) {
+    exec_span.set_attribute("estimated_fidelity",
+                            std::to_string(exec.estimated_fidelity));
+    exec_span.set_attribute("qpu_time_s", std::to_string(exec.wall_time));
+    exec_span.end();
+  }
+  if (fault_active(fault::FaultSite::kNetworkTransfer))
+    throw TransientError("QpuService::run: result transfer corrupted",
+                         ErrorCode::kNetwork);
+  if (span) span.add_event("result-transferred");
+  RunResult result;
+  result.counts = exec.counts;
+  result.estimated_fidelity = exec.estimated_fidelity;
+  result.qpu_time = exec.wall_time;
+  result.native_gate_count = program.native_gate_count;
+  result.swap_count = program.swap_count;
+  result.initial_layout = program.initial_layout;
+  return result;
+}
+
+void QpuService::annotate_cache_stats(obs::Span& span) const {
+  const StructureCacheStats stats = cache_.stats();
+  span.set_attribute("cache_hits", std::to_string(stats.hits));
+  span.set_attribute("cache_misses", std::to_string(stats.misses));
+  span.set_attribute("cache_evictions", std::to_string(stats.evictions));
+  span.set_attribute("cache_size", std::to_string(stats.size));
+}
+
 CompiledProgram QpuService::compile_traced(const circuit::Circuit& circuit,
                                            obs::Span& parent) {
   if (!parent) return compile_only(circuit);
   obs::Span compile_span = parent.child("compile");
-  const std::size_t hits_before = cache_hits_;
-  const CompiledProgram program = compile_only(circuit);
-  const bool hit = cache_hits_ > hits_before;
+  CompiledProgram program;
+  bool hit = false;
+  if (cache_enabled_) {
+    auto lookup = lookup_concrete(circuit);
+    program = lookup.value->base;
+    hit = lookup.hit;
+  } else {
+    program = compile(circuit, *qdmi_, options_);
+  }
   compile_span.set_attribute("cache", hit ? "hit" : "miss");
   compile_span.set_attribute("calibration_epoch",
                              std::to_string(device_->calibration_epoch()));
@@ -136,6 +280,53 @@ CompiledProgram QpuService::compile_traced(const circuit::Circuit& circuit,
   compile_span.set_attribute("native_gates",
                              std::to_string(program.native_gate_count));
   compile_span.set_attribute("swaps", std::to_string(program.swap_count));
+  annotate_cache_stats(compile_span);
+  return program;
+}
+
+CompiledProgram QpuService::compile_parametric_traced(
+    const circuit::ParametricCircuit& circuit,
+    const std::map<std::string, double>& binding, obs::Span& parent) {
+  if (!parent) return compile_parametric(circuit, binding);
+  obs::Span compile_span = parent.child("compile");
+  std::shared_ptr<const CompiledTemplate> tmpl;
+  bool hit = false;
+  {
+    obs::Span structure_span = compile_span.child("compile.structure");
+    if (cache_enabled_) {
+      auto lookup = lookup_structure(circuit);
+      tmpl = lookup.value;
+      hit = lookup.hit;
+    } else {
+      tmpl = std::make_shared<const CompiledTemplate>(
+          compile_template(circuit, *qdmi_, options_));
+    }
+    structure_span.set_attribute("cache", hit ? "hit" : "miss");
+    structure_span.set_attribute("calibration_epoch",
+                                 std::to_string(device_->calibration_epoch()));
+    if (!hit) {
+      for (std::size_t i = 0; i < tmpl->base.pass_trace.size(); ++i) {
+        obs::Span pass_span =
+            structure_span.child("pass:" + tmpl->base.pass_trace[i]);
+        if (i < tmpl->base.pass_gate_counts.size())
+          pass_span.set_attribute(
+              "gates", std::to_string(tmpl->base.pass_gate_counts[i]));
+      }
+    }
+  }
+  CompiledProgram program;
+  {
+    obs::Span bind_span = compile_span.child("compile.bind");
+    program = tmpl->bind(binding);
+    bind_span.set_attribute("slots", std::to_string(tmpl->slots.size()));
+    bind_span.set_attribute("parameters",
+                            std::to_string(tmpl->parameters.size()));
+  }
+  compile_span.set_attribute("cache", hit ? "hit" : "miss");
+  compile_span.set_attribute("native_gates",
+                             std::to_string(program.native_gate_count));
+  compile_span.set_attribute("swaps", std::to_string(program.swap_count));
+  annotate_cache_stats(compile_span);
   return program;
 }
 
@@ -166,52 +357,48 @@ RunResult QpuService::run_emulated(const circuit::Circuit& circuit,
 
 CompiledProgram QpuService::compile_only(const circuit::Circuit& circuit) const {
   if (!cache_enabled_) return compile(circuit, *qdmi_, options_);
+  return lookup_concrete(circuit).value->base;
+}
 
-  // A recalibration bumps the device's epoch counter; stale entries were
-  // compiled against metrics the JIT must no longer trust. (The counter —
-  // not the calibration timestamp — is the key: two calibrations can land
-  // at the same simulated instant.)
-  const std::uint64_t epoch = device_->calibration_epoch();
-  if (epoch != cache_epoch_) {
-    cache_.clear();
-    cache_order_.clear();
-    cache_epoch_ = epoch;
-  }
-  const std::uint64_t key = circuit.structural_hash();
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
-    return it->second;
-  }
-  ++cache_misses_;
-  if (m_cache_misses_ != nullptr) m_cache_misses_->inc();
-  auto program = compile(circuit, *qdmi_, options_);
-  while (cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
-    cache_.erase(cache_order_.front());
-    cache_order_.pop_front();
-  }
-  cache_.emplace(key, program);
-  cache_order_.push_back(key);
-  return program;
+std::shared_ptr<const CompiledTemplate> QpuService::compile_structure(
+    const circuit::ParametricCircuit& circuit) const {
+  if (!cache_enabled_)
+    return std::make_shared<const CompiledTemplate>(
+        compile_template(circuit, *qdmi_, options_));
+  return lookup_structure(circuit).value;
+}
+
+CompiledProgram QpuService::compile_parametric(
+    const circuit::ParametricCircuit& circuit,
+    const std::map<std::string, double>& binding) const {
+  return compile_structure(circuit)->bind(binding);
+}
+
+void QpuService::prefetch_structure(
+    std::shared_ptr<const circuit::ParametricCircuit> circuit) const {
+  if (farm_ == nullptr || !cache_enabled_ || circuit == nullptr) return;
+  // The key (and its QDMI health queries) is computed here, on the
+  // orchestration thread — workers only run the pure compile.
+  const std::uint64_t key = cache_key(circuit->structural_hash());
+  StructureCache* cache = &cache_;
+  const qdmi::DeviceInterface* qdmi = qdmi_;
+  const CompilerOptions options = options_;
+  farm_->enqueue([cache, key, qdmi, options, circuit = std::move(circuit)] {
+    cache->prefetch(key, [&] {
+      return std::make_shared<const CompiledTemplate>(
+          compile_template(*circuit, *qdmi, options));
+    });
+  });
 }
 
 void QpuService::set_compile_cache_enabled(bool enabled) {
   cache_enabled_ = enabled;
-  if (!enabled) {
-    cache_.clear();
-    cache_order_.clear();
-    cache_epoch_ = ~std::uint64_t{0};
-  }
+  if (!enabled) cache_.clear();
 }
 
 void QpuService::set_compile_cache_capacity(std::size_t capacity) {
   expects(capacity > 0, "compile cache capacity must be positive");
-  cache_capacity_ = capacity;
-  while (cache_.size() > cache_capacity_ && !cache_order_.empty()) {
-    cache_.erase(cache_order_.front());
-    cache_order_.pop_front();
-  }
+  cache_.set_capacity(capacity);
 }
 
 net::Payload QpuService::serialize(const RunResult& result,

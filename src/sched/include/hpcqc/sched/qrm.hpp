@@ -10,6 +10,7 @@
 #include "hpcqc/calibration/controller.hpp"
 #include "hpcqc/calibration/routines.hpp"
 #include "hpcqc/circuit/circuit.hpp"
+#include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/common/log.hpp"
 #include "hpcqc/device/device_model.hpp"
 #include "hpcqc/fault/injector.hpp"
@@ -17,6 +18,10 @@
 #include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/sched/accounting.hpp"
+
+namespace hpcqc::mqss {
+class QpuService;
+}
 
 namespace hpcqc::sched {
 
@@ -36,6 +41,15 @@ struct QuantumJob {
   /// Optional parent trace context (set by the submitting client so the
   /// QRM's job spans attach under the client's submission span).
   obs::TraceContext trace{};
+  /// Parametric submission (variational tight loop): when set, the QRM
+  /// requires an attached compile service (set_compile_service), binds
+  /// `parametric` at `binding` for admission estimates, and at dispatch
+  /// compiles through the service's two-phase structure cache — the
+  /// structure phase is shared across every job with the same circuit
+  /// shape, and queued structures are prefetched on the compile farm before
+  /// dispatch. `circuit` is ignored and overwritten with the binding.
+  std::shared_ptr<const circuit::ParametricCircuit> parametric;
+  std::map<std::string, double> binding;
 };
 
 enum class QuantumJobState {
@@ -275,6 +289,17 @@ public:
     injector_ = injector;
   }
 
+  /// Attaches the compile service parametric jobs dispatch through (must
+  /// outlive the QRM; nullptr detaches — parametric submissions then throw
+  /// at submit). When the service has a compile farm attached, the QRM
+  /// prefetches every queued parametric structure and waits for the farm to
+  /// go idle before each dispatch, so all device mutation stays on the
+  /// scheduler thread while compiles are in flight.
+  void set_compile_service(mqss::QpuService* service) {
+    compile_service_ = service;
+  }
+  mqss::QpuService* compile_service() const { return compile_service_; }
+
   /// Attaches a tracer: every submission then produces one connected span
   /// tree (submit -> admission -> queue wait -> attempts -> terminal state),
   /// timestamped on the QRM's simulated clock. The tracer must outlive the
@@ -383,6 +408,11 @@ private:
 
   Accounting* accounting_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  mqss::QpuService* compile_service_ = nullptr;
+  /// Compiled-program slot reused across parametric executions: same
+  /// circuit shape + unchanged noise state = angle rebind instead of a full
+  /// per-job device compilation.
+  device::PreparedProgram prepared_;
   bool brownout_ = false;
   TokenBucket buckets_[3];  ///< indexed by JobPriority
   int next_id_ = 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/mqss/service.hpp"
 
 namespace hpcqc::sched {
 
@@ -313,6 +314,16 @@ void Qrm::update_brownout() {
 
 int Qrm::submit(QuantumJob job) {
   expects(job.shots > 0, "Qrm::submit: need at least one shot");
+  if (job.parametric != nullptr) {
+    expects(compile_service_ != nullptr,
+            "Qrm::submit: parametric jobs need a compile service "
+            "(set_compile_service)");
+    // The bound source circuit stands in for admission: width checks and
+    // duration estimates see the job's real gate content, while the
+    // two-phase compile is deferred to dispatch (where it hits the shared
+    // structure cache).
+    job.circuit = job.parametric->bind(job.binding);
+  }
   if (accounting_ != nullptr && !job.project.empty()) {
     const Seconds estimate =
         static_cast<double>(job.shots) * device_->shot_duration(job.circuit);
@@ -782,13 +793,38 @@ void Qrm::begin_next_work() {
   //    supervisor unmasks after targeted recalibration); the first runnable
   //    job is picked instead, so healthy capacity keeps flowing.
   if (!queue_.empty()) {
+    // Warm the structure cache for every queued parametric job before
+    // picking: distinct shapes compile concurrently on the farm while
+    // single-flight dedup collapses duplicates. wait_idle() brackets the
+    // farm work inside this scheduler pass, so later device mutation
+    // (drift, recalibration) never races an in-flight compile.
+    if (compile_service_ != nullptr &&
+        compile_service_->compile_farm() != nullptr) {
+      bool any = false;
+      for (int queued_id : queue_) {
+        const QuantumJob& queued = pending_jobs_.at(queued_id);
+        if (queued.parametric == nullptr) continue;
+        compile_service_->prefetch_structure(queued.parametric);
+        any = true;
+      }
+      if (any) compile_service_->compile_farm()->wait_idle();
+    }
     std::size_t pick = 0;
     if (!device_->health().all_healthy()) {
+      const int capacity = static_cast<int>(
+          device_->health().largest_component(device_->topology()).size());
       pick = queue_.size();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
         const QuantumJob& candidate = pending_jobs_.at(queue_[i]);
-        if (device_->health().circuit_legal(device_->topology(),
-                                            candidate.circuit)) {
+        // A parametric job recompiles against the masked topology at
+        // dispatch, so it is runnable whenever its logical width fits the
+        // healthy component; a pre-compiled job must be legal as-is.
+        const bool runnable =
+            candidate.parametric != nullptr
+                ? circuit_width(candidate.circuit) <= capacity
+                : device_->health().circuit_legal(device_->topology(),
+                                                  candidate.circuit);
+        if (runnable) {
           pick = i;
           break;
         }
@@ -839,8 +875,19 @@ void Qrm::begin_next_work() {
       batch_events.base = now_ + config_.job_overhead;
       observer = &batch_events;
     }
-    record.result = device_->execute(job.circuit, job.shots, *rng_,
-                                     config_.execution_mode, observer);
+    if (job.parametric != nullptr) {
+      // Two-phase path: structure from the shared cache (warmed by the
+      // prefetch above), angles patched in, and the device-level program
+      // rebound instead of recompiled when the shape repeats.
+      const mqss::CompiledProgram program =
+          compile_service_->compile_parametric(*job.parametric, job.binding);
+      record.result =
+          device_->execute(program.native_circuit, job.shots, *rng_,
+                           config_.execution_mode, observer, &prepared_);
+    } else {
+      record.result = device_->execute(job.circuit, job.shots, *rng_,
+                                       config_.execution_mode, observer);
+    }
     // The attempt occupies the machine for its full wall time either way;
     // whether it comes back with results or an abort is decided by the
     // fault window covering its start.

@@ -1,11 +1,14 @@
 #include "hpcqc/verify/harness.hpp"
 
 #include <exception>
+#include <iomanip>
 #include <sstream>
 
 #include "hpcqc/circuit/text.hpp"
 #include "hpcqc/common/error.hpp"
 #include "hpcqc/common/rng.hpp"
+#include "hpcqc/mqss/service.hpp"
+#include "hpcqc/mqss/template.hpp"
 
 namespace hpcqc::verify {
 
@@ -100,6 +103,79 @@ FuzzReport run_equivalence_fuzz(const CircuitFuzzer& fuzzer,
   return report;
 }
 
+ParametrizedCase parametrize(const circuit::Circuit& circuit) {
+  ParametrizedCase result{circuit::ParametricCircuit(circuit.num_qubits()), {}};
+  std::size_t next = 0;
+  for (const auto& op : circuit.ops()) {
+    circuit::ParametricOperation lifted;
+    lifted.kind = op.kind;
+    lifted.qubits = op.qubits;
+    for (const double value : op.params) {
+      // Zero-padded names keep parameters() (sorted) in creation order.
+      std::ostringstream name;
+      name << "p" << std::setw(4) << std::setfill('0') << next++;
+      result.binding.emplace(name.str(), value);
+      lifted.params.push_back(circuit::ParamExpr::symbol(name.str()));
+    }
+    result.circuit.append(std::move(lifted));
+  }
+  return result;
+}
+
+BindFuzzReport run_bind_equivalence_fuzz(const CircuitFuzzer& fuzzer,
+                                         std::uint64_t first_seed,
+                                         std::size_t num_seeds,
+                                         const qdmi::DeviceInterface& device,
+                                         const mqss::CompilerOptions& options,
+                                         double tol) {
+  BindFuzzReport report;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const circuit::Circuit circuit = fuzzer.generate(seed);
+    ++report.seeds_run;
+    std::string detail;
+    try {
+      const ParametrizedCase lifted = parametrize(circuit);
+      const mqss::CompiledTemplate tmpl =
+          mqss::compile_template(lifted.circuit, device, options);
+      report.slots_patched += tmpl.slots.size();
+
+      // Binding 1: the original angles — must match a cold compile of the
+      // source circuit itself.
+      const EquivalenceResult at_source = compiled_equivalent(
+          circuit, tmpl.bind(lifted.binding), FrameTolerance::kOutputZFrame,
+          tol);
+      if (!at_source.equivalent)
+        detail = "bind at source angles: " + at_source.detail;
+
+      // Binding 2: a deterministic shift of every angle — the same cached
+      // structure must stay correct at a binding it was never compiled at.
+      if (detail.empty() && !lifted.binding.empty()) {
+        std::map<std::string, double> shifted = lifted.binding;
+        double delta = 0.377;
+        for (auto& [name, value] : shifted) {
+          value += delta;
+          delta += 0.211;
+        }
+        const EquivalenceResult at_shifted = compiled_equivalent(
+            lifted.circuit.bind(shifted), tmpl.bind(shifted),
+            FrameTolerance::kOutputZFrame, tol);
+        if (!at_shifted.equivalent)
+          detail = "bind at shifted angles: " + at_shifted.detail;
+      }
+    } catch (const std::exception& e) {
+      detail = std::string("compile/bind threw: ") + e.what();
+    }
+    if (detail.empty()) continue;
+    ++report.failures;
+    report.failing_seeds.push_back(seed);
+    if (report.failure_details.size() < 8)
+      report.failure_details.push_back("seed " + std::to_string(seed) + ": " +
+                                       detail);
+  }
+  return report;
+}
+
 namespace {
 
 /// Restores the model to all-healthy on scope exit, whatever the oracle or
@@ -127,6 +203,51 @@ device::HealthMask draw_mask(const device::Topology& topology, Rng& rng,
     if (rng.bernoulli(down_probability)) mask.set_coupler(e, false);
   return mask;
 }
+
+/// QDMI view that overrides only the kOperational bits from its own mask
+/// and forwards everything else — crucially *without* bumping the inner
+/// device's calibration epoch. This models a telemetry sensor flipping
+/// health bits underneath a compile cache: a cache keyed on epoch alone
+/// would keep serving the healthy-topology program.
+class MaskOverlayDevice final : public qdmi::DeviceInterface {
+public:
+  MaskOverlayDevice(const qdmi::DeviceInterface& inner,
+                    const device::Topology& topology)
+      : inner_(&inner), topology_(&topology), mask_(topology) {}
+
+  void set_mask(device::HealthMask mask) { mask_ = std::move(mask); }
+
+  std::string name() const override { return inner_->name(); }
+  int num_qubits() const override { return inner_->num_qubits(); }
+  std::vector<std::pair<int, int>> coupling_map() const override {
+    return inner_->coupling_map();
+  }
+  std::vector<std::string> native_gates() const override {
+    return inner_->native_gates();
+  }
+  double qubit_property(qdmi::QubitProperty prop, int qubit) const override {
+    if (prop == qdmi::QubitProperty::kOperational)
+      return mask_.qubit_up(qubit) ? 1.0 : 0.0;
+    return inner_->qubit_property(prop, qubit);
+  }
+  double coupler_property(qdmi::CouplerProperty prop, int a,
+                          int b) const override {
+    if (prop == qdmi::CouplerProperty::kOperational)
+      return mask_.coupler_usable(*topology_, topology_->edge_index(a, b))
+                 ? 1.0
+                 : 0.0;
+    return inner_->coupler_property(prop, a, b);
+  }
+  double device_property(qdmi::DeviceProperty prop) const override {
+    return inner_->device_property(prop);
+  }
+  qdmi::DeviceStatus status() const override { return inner_->status(); }
+
+private:
+  const qdmi::DeviceInterface* inner_;
+  const device::Topology* topology_;
+  device::HealthMask mask_;
+};
 
 std::size_t masked_element_count(const device::Topology& topology,
                                  const device::HealthMask& mask) {
@@ -183,6 +304,13 @@ MaskedFuzzReport run_masked_topology_fuzz(
   const device::Topology& topology = model.topology();
   const HealthRestorer restore(model);
 
+  // Stale-mask regression rig: one cache-enabled service over an overlay
+  // view whose health bits flip without any epoch bump. Persistent across
+  // seeds so the cache accumulates entries the mask flips must invalidate.
+  MaskOverlayDevice overlay(device, topology);
+  Rng service_rng(first_seed ^ 0x7374616c65ULL);
+  mqss::QpuService stale_service(model, overlay, service_rng, options);
+
   MaskedFuzzReport report;
   for (std::size_t i = 0; i < num_seeds; ++i) {
     const std::uint64_t seed = first_seed + i;
@@ -206,6 +334,37 @@ MaskedFuzzReport run_masked_topology_fuzz(
       ++report.masks_redrawn;
     }
     report.masked_elements += masked_element_count(topology, mask);
+
+    // Stale-mask check: compile warm against an all-healthy view, flip the
+    // overlay's health bits (no epoch bump), compile again through the same
+    // cache. The cache must miss — its key folds in the health fingerprint
+    // — and the recompiled program must be legal under the new mask.
+    if (!mask.all_healthy()) {
+      ++report.stale_mask_checks;
+      bool stale_ok = false;
+      try {
+        overlay.set_mask(device::HealthMask(topology));
+        (void)stale_service.compile_only(circuit);
+        const std::size_t misses_before = stale_service.cache_misses();
+        overlay.set_mask(mask);
+        const mqss::CompiledProgram remasked =
+            stale_service.compile_only(circuit);
+        bool layout_healthy = true;
+        for (const int q : remasked.initial_layout)
+          if (!mask.qubit_up(q)) layout_healthy = false;
+        stale_ok = stale_service.cache_misses() > misses_before &&
+                   layout_healthy &&
+                   mask.circuit_legal(topology, remasked.native_circuit);
+      } catch (const std::exception&) {
+        stale_ok = false;
+      }
+      if (!stale_ok) {
+        ++report.stale_mask_failures;
+        ++report.failures;
+        report.failing_seeds.push_back(seed);
+      }
+    }
+
     model.set_health(mask);
 
     const EquivalenceResult verdict =

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/device/device_model.hpp"
 #include "hpcqc/mqss/compiler.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
@@ -64,6 +66,45 @@ FuzzReport run_equivalence_fuzz(
     std::size_t num_seeds, const CompileFn& compile, double tol = 1e-7,
     FrameTolerance frame = FrameTolerance::kOutputZFrame);
 
+/// A concrete circuit lifted into a fully-symbolic template plus the
+/// binding that reproduces it: every angle becomes a distinct parameter
+/// whose bound value is the original angle.
+struct ParametrizedCase {
+  circuit::ParametricCircuit circuit{1};
+  std::map<std::string, double> binding;
+};
+
+/// Lifts `circuit` for the bind-equivalence fuzz: gate structure is kept,
+/// every parameter slot is replaced with a fresh symbol (named so
+/// parameters() sorts in creation order), and `binding` maps each symbol
+/// back to the source angle.
+ParametrizedCase parametrize(const circuit::Circuit& circuit);
+
+struct BindFuzzReport {
+  std::size_t seeds_run = 0;
+  std::size_t failures = 0;
+  /// Total affine parameter slots patched across all templates — a sanity
+  /// gauge that the fuzz actually exercised the bind phase.
+  std::size_t slots_patched = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  /// Failure details for the first few failing seeds.
+  std::vector<std::string> failure_details;
+};
+
+/// Two-phase compilation oracle loop: for every seed, generates a circuit,
+/// lifts it to a fully-symbolic template (parametrize), structure-compiles
+/// the template once, and checks that bind-patching reproduces a cold
+/// compilation up to kOutputZFrame at two distinct bindings — the original
+/// angles and a shifted vector — against the same compiled-equivalence
+/// oracle the plain fuzz uses. This is the equivalence contract of
+/// mqss::compile_template: one cached structure must serve every binding.
+BindFuzzReport run_bind_equivalence_fuzz(const CircuitFuzzer& fuzzer,
+                                         std::uint64_t first_seed,
+                                         std::size_t num_seeds,
+                                         const qdmi::DeviceInterface& device,
+                                         const mqss::CompilerOptions& options,
+                                         double tol = 1e-7);
+
 struct MaskedFuzzReport {
   std::size_t seeds_run = 0;
   std::size_t failures = 0;
@@ -73,6 +114,16 @@ struct MaskedFuzzReport {
   /// Total masked elements (down qubits + down couplers) across the masks
   /// actually fuzzed — a sanity gauge that masks were non-trivial.
   std::size_t masked_elements = 0;
+  /// Stale-mask regression (compile-cache keying): for every non-trivial
+  /// mask the harness also compiles the circuit twice through one
+  /// cache-enabled QpuService against an overlay QDMI view whose
+  /// kOperational bits flip from all-healthy to the drawn mask *without*
+  /// any calibration-epoch bump (the telemetry-sensor failure mode). The
+  /// check fails when the cache serves the stale healthy-topology program
+  /// (no recompile observed) or the recompiled program is illegal under
+  /// the mask.
+  std::size_t stale_mask_checks = 0;
+  std::size_t stale_mask_failures = 0;
   std::vector<std::uint64_t> failing_seeds;
   /// Shrunk for the first failure only, with the failing mask installed.
   std::optional<Counterexample> first_counterexample;

@@ -199,6 +199,143 @@ TEST(Device, EstimateOnlyModeSkipsSampling) {
   EXPECT_GT(result.wall_time, 0.0);
 }
 
+TEST(Device, NoiseVersionTracksEveryNoiseInput) {
+  Rng rng(11);
+  DeviceModel device = make_iqm20(rng);
+  const std::uint64_t v0 = device.noise_version();
+  device.install_calibration(device.sample_fresh_calibration(10.0, rng));
+  const std::uint64_t v1 = device.noise_version();
+  EXPECT_GT(v1, v0);
+  device.drift(hours(1.0), rng);
+  const std::uint64_t v2 = device.noise_version();
+  EXPECT_GT(v2, v1);
+  // Drift bumps noise_version but not calibration_epoch: the prepared-
+  // program key is strictly finer than the compile-cache key.
+  const std::uint64_t epoch = device.calibration_epoch();
+  device.drift(hours(1.0), rng);
+  EXPECT_GT(device.noise_version(), v2);
+  EXPECT_EQ(device.calibration_epoch(), epoch);
+
+  device.set_qubit_health(3, false);
+  const std::uint64_t v3 = device.noise_version();
+  EXPECT_GT(v3, v2);
+  device.set_qubit_health(3, true);
+
+  const std::uint64_t v4 = device.noise_version();
+  device.set_ambient_drift_rate(1.5);
+  EXPECT_GT(device.noise_version(), v4);
+  const std::uint64_t v5 = device.noise_version();
+  device.set_ambient_drift_rate(1.5);  // unchanged value: no bump
+  EXPECT_EQ(device.noise_version(), v5);
+}
+
+TEST(Device, RebindReproducesAFreshCompilationBitForBit) {
+  Rng rng(12);
+  const DeviceModel device = make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  const auto build = [&](double a, double b) {
+    circuit::Circuit circuit(20);
+    circuit.h(chain[0]).rz(a, chain[0]).rx(b, chain[0]);  // one fused run
+    circuit.cz(chain[0], chain[1]);
+    circuit.cphase(a + b, chain[1], chain[2]);
+    circuit.prx(a, b, chain[2]);
+    circuit.measure({chain[0], chain[1], chain[2]});
+    return circuit;
+  };
+  const circuit::Circuit original = build(0.3, -0.8);
+  const circuit::Circuit rebound_src = build(1.7, 0.4);
+  EXPECT_EQ(original.shape_hash(), rebound_src.shape_hash());
+  EXPECT_NE(original.structural_hash(), rebound_src.structural_hash());
+
+  CompiledProgram reused(original, device.topology(), device.calibration());
+  reused.rebind(rebound_src);
+  const CompiledProgram fresh(rebound_src, device.topology(),
+                              device.calibration());
+  ASSERT_EQ(reused.ops().size(), fresh.ops().size());
+  for (std::size_t i = 0; i < fresh.ops().size(); ++i) {
+    const CompiledOp& a = reused.ops()[i];
+    const CompiledOp& b = fresh.ops()[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.theta, b.theta) << i;  // bit-identical, not just close
+    EXPECT_EQ(a.error_prob, b.error_prob) << i;
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(a.m2[k].real(), b.m2[k].real()) << i << "," << k;
+      EXPECT_EQ(a.m2[k].imag(), b.m2[k].imag()) << i << "," << k;
+    }
+  }
+
+  circuit::Circuit different_shape(20);
+  different_shape.h(chain[0]).measure({chain[0]});
+  EXPECT_THROW(reused.rebind(different_shape), PreconditionError);
+}
+
+TEST(Device, PreparedProgramRebindsAcrossBindingsAndRecompilesOnNoise) {
+  Rng rng(13);
+  DeviceModel device = make_iqm20(rng);
+  const auto chain = device.topology().coupled_chain();
+  const auto build = [&](double theta) {
+    circuit::Circuit circuit(20);
+    circuit.h(chain[0]).rz(theta, chain[0]).cz(chain[0], chain[1]);
+    circuit.measure({chain[0], chain[1]});
+    return circuit;
+  };
+
+  PreparedProgram prepared;
+  device.execute(build(0.1), 50, rng, ExecutionMode::kGlobalDepolarizing, nullptr,
+                 &prepared);
+  EXPECT_EQ(prepared.compiles, 1u);
+  EXPECT_EQ(prepared.rebinds, 0u);
+
+  // Same shape, new angle: rebind, no recompile.
+  device.execute(build(0.9), 50, rng, ExecutionMode::kGlobalDepolarizing, nullptr,
+                 &prepared);
+  EXPECT_EQ(prepared.compiles, 1u);
+  EXPECT_EQ(prepared.rebinds, 1u);
+
+  // Noise input changed (drift): the cached program is invalid, recompile.
+  device.drift(hours(2.0), rng);
+  device.execute(build(0.9), 50, rng, ExecutionMode::kGlobalDepolarizing, nullptr,
+                 &prepared);
+  EXPECT_EQ(prepared.compiles, 2u);
+  EXPECT_EQ(prepared.rebinds, 1u);
+
+  // Different shape: recompile too.
+  circuit::Circuit other(20);
+  other.h(chain[0]).measure({chain[0]});
+  device.execute(other, 50, rng, ExecutionMode::kGlobalDepolarizing, nullptr,
+                 &prepared);
+  EXPECT_EQ(prepared.compiles, 3u);
+  EXPECT_EQ(prepared.rebinds, 1u);
+}
+
+TEST(Device, PreparedProgramDoesNotChangeResults) {
+  Rng rng_a(14), rng_b(14);
+  DeviceModel dev_a = make_iqm20(rng_a);
+  DeviceModel dev_b = make_iqm20(rng_b);
+  const auto chain = dev_a.topology().coupled_chain();
+  const auto build = [&](double theta) {
+    circuit::Circuit circuit(20);
+    circuit.h(chain[0]).rz(theta, chain[0]).cx(chain[0], chain[1]);
+    circuit.measure({chain[0], chain[1]});
+    return circuit;
+  };
+
+  PreparedProgram prepared;
+  for (const double theta : {0.2, 1.4, -0.6}) {
+    const auto with_slot =
+        dev_a.execute(build(theta), 400, rng_a, ExecutionMode::kTrajectory,
+                      nullptr, &prepared);
+    const auto without =
+        dev_b.execute(build(theta), 400, rng_b, ExecutionMode::kTrajectory);
+    EXPECT_EQ(with_slot.counts.raw(), without.counts.raw())
+        << "theta=" << theta;
+    EXPECT_DOUBLE_EQ(with_slot.estimated_fidelity,
+                     without.estimated_fidelity);
+  }
+  EXPECT_EQ(prepared.compiles, 1u);
+  EXPECT_EQ(prepared.rebinds, 2u);
+}
+
 TEST(Device, AmbientDriftDegradesReadout) {
   Rng rng(11);
   DeviceModel device = make_iqm20(rng);

@@ -297,6 +297,22 @@ TEST_F(ClientTest, CompileCacheCapacityEvictsOldestFirst) {
   EXPECT_THROW(service_.set_compile_cache_capacity(0), PreconditionError);
 }
 
+TEST_F(ClientTest, CompileCacheEvictsLeastRecentlyUsedNotOldest) {
+  // True LRU (not FIFO): touching an old entry protects it from eviction.
+  service_.set_compile_cache_capacity(2);
+  service_.compile_only(circuit::Circuit::ghz(3));  // oldest insertion
+  service_.compile_only(circuit::Circuit::ghz(4));
+  service_.compile_only(circuit::Circuit::ghz(3));  // refresh: ghz(4) is LRU
+  service_.compile_only(circuit::Circuit::ghz(5));  // evicts ghz(4)
+  EXPECT_EQ(service_.cache_stats().evictions, 1u);
+  service_.compile_only(circuit::Circuit::ghz(3));  // still cached
+  EXPECT_EQ(service_.cache_hits(), 2u);
+  EXPECT_EQ(service_.cache_misses(), 3u);
+  service_.compile_only(circuit::Circuit::ghz(4));  // the FIFO survivor died
+  EXPECT_EQ(service_.cache_misses(), 4u);
+  EXPECT_EQ(service_.cache_stats().evictions, 2u);
+}
+
 TEST(CircuitHash, StableAndDiscriminating) {
   const auto a = circuit::Circuit::ghz(4);
   const auto b = circuit::Circuit::ghz(4);

@@ -5,6 +5,12 @@
 #include "hpcqc/circuit/execute.hpp"
 #include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/mqss/template.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
+#include "hpcqc/verify/equivalence.hpp"
 
 namespace hpcqc::circuit {
 namespace {
@@ -70,6 +76,86 @@ TEST(ParametricCircuit, BindValidation) {
   EXPECT_THROW(templ.bind({}), NotFoundError);                    // missing
   EXPECT_THROW(templ.bind({{"t", 1.0}, {"typo", 2.0}}),
                PreconditionError);                                 // unknown
+}
+
+TEST(ParamExpr, AffineEvaluation) {
+  // coefficient * symbol + offset, for the corner values bind slots hit.
+  const auto scaled = ParamExpr::symbol("t", -2.0, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.evaluate({{"t", 0.0}}), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.evaluate({{"t", 1.5}}), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.evaluate({{"t", -1.0}, {"unused", 9.0}}), 5.0);
+  const auto zero_coeff = ParamExpr::symbol("t", 0.0, 0.25);
+  EXPECT_FALSE(zero_coeff.is_literal());  // still requires a binding entry
+  EXPECT_DOUBLE_EQ(zero_coeff.evaluate({{"t", 123.0}}), 0.25);
+}
+
+TEST(ParametricCircuit, BindRejectsPartiallyBoundTemplates) {
+  ParametricCircuit templ(2);
+  templ.ry(ParamExpr::symbol("a"), 0).rz(ParamExpr::symbol("b"), 1);
+  // One of two symbols bound: the unbound one must be named in the error.
+  try {
+    templ.bind({{"a", 1.0}});
+    FAIL() << "expected NotFoundError for unbound symbol b";
+  } catch (const NotFoundError& error) {
+    EXPECT_NE(std::string(error.what()).find("'b'"), std::string::npos);
+  }
+  // Extra entries are rejected even when every real symbol is covered.
+  EXPECT_THROW(templ.bind({{"a", 1.0}, {"b", 2.0}, {"c", 3.0}}),
+               PreconditionError);
+}
+
+TEST(ParametricCircuit, MeasureRejectsDuplicateQubits) {
+  ParametricCircuit circuit(3);
+  EXPECT_THROW(circuit.measure({0, 1, 0}), PreconditionError);
+  EXPECT_THROW(circuit.measure({5}), PreconditionError);  // out of range
+  circuit.measure({0, 2});
+  EXPECT_EQ(circuit.size(), 1u);
+}
+
+TEST(ParametricCircuit, StructuralHashAbstractsParameterValues) {
+  const auto build = [](const char* symbol, double coeff) {
+    ParametricCircuit circuit(2);
+    circuit.ry(ParamExpr::symbol(symbol, coeff), 0).cz(0, 1);
+    return circuit;
+  };
+  // Same structure, same affine form: equal hashes regardless of the name's
+  // eventual bound value.
+  EXPECT_EQ(build("a", 1.0).structural_hash(),
+            build("a", 1.0).structural_hash());
+  // A different coefficient changes every binding's circuit: distinct hash.
+  EXPECT_NE(build("a", 1.0).structural_hash(),
+            build("a", 2.0).structural_hash());
+}
+
+TEST(ParametricCircuit, BindThenCompileMatchesStructureThenBindPatch) {
+  // The two-phase property on a real device model: for a grid of bindings,
+  //   compile(bind(theta))  ~  compile_template(...).bind(theta)
+  // up to the output-Z frame the compiler is allowed to move.
+  Rng rng(8);
+  SimClock clock;
+  device::DeviceModel device = device::make_grid(
+      "patch-3x3", 3, 3, device::DeviceSpec{}, device::DriftParams{}, rng);
+  qdmi::ModelBackedDevice qdmi(device, clock);
+
+  ParametricCircuit ansatz(3);
+  ansatz.h(0)
+      .ry(ParamExpr::symbol("t0"), 0)
+      .prx(ParamExpr::symbol("t1", 0.5), ParamExpr::symbol("t0", -1.0, 0.3),
+           1)
+      .cz(0, 1)
+      .cphase(ParamExpr::symbol("t2"), 1, 2)
+      .ry(ParamExpr::symbol("t1"), 2)
+      .measure();
+  const mqss::CompiledTemplate tmpl = mqss::compile_template(ansatz, qdmi);
+
+  for (const double t : {0.0, 0.4, 1.9, -2.2}) {
+    const std::map<std::string, double> binding{
+        {"t0", t}, {"t1", 1.0 - t}, {"t2", 0.5 * t}};
+    const auto verdict = verify::compiled_equivalent(
+        ansatz.bind(binding), tmpl.bind(binding),
+        verify::FrameTolerance::kOutputZFrame);
+    EXPECT_TRUE(verdict.equivalent) << "t=" << t << ": " << verdict.detail;
+  }
 }
 
 TEST(ParametricCircuit, StructureValidatedAtAppendTime) {

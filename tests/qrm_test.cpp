@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
 #include "hpcqc/device/presets.hpp"
 #include "hpcqc/fault/fault_plan.hpp"
 #include "hpcqc/fault/injector.hpp"
+#include "hpcqc/mqss/compile_farm.hpp"
+#include "hpcqc/mqss/service.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
 #include "hpcqc/sched/qrm.hpp"
 #include "hpcqc/sched/workload.hpp"
 
@@ -143,6 +152,72 @@ TEST_F(QrmTest, WaitTimesAccumulate) {
 TEST_F(QrmTest, UnknownJobThrows) {
   EXPECT_THROW(qrm_.record(404), NotFoundError);
   EXPECT_THROW(qrm_.advance_to(-1.0), PreconditionError);
+}
+
+std::shared_ptr<const circuit::ParametricCircuit> test_ansatz() {
+  circuit::ParametricCircuit ansatz(3);
+  ansatz.h(0)
+      .ry(circuit::ParamExpr::symbol("t0"), 0)
+      .cz(0, 1)
+      .cphase(circuit::ParamExpr::symbol("t1"), 1, 2)
+      .measure();
+  return std::make_shared<const circuit::ParametricCircuit>(
+      std::move(ansatz));
+}
+
+QuantumJob parametric_job(std::string name, double theta) {
+  QuantumJob job;
+  job.name = std::move(name);
+  job.shots = 200;
+  job.parametric = test_ansatz();
+  job.binding = {{"t0", theta}, {"t1", 0.5 - theta}};
+  return job;
+}
+
+TEST_F(QrmTest, ParametricJobNeedsACompileService) {
+  EXPECT_THROW(qrm_.submit(parametric_job("orphan", 0.3)), PreconditionError);
+}
+
+TEST_F(QrmTest, ParametricJobsPrefetchOnTheFarmAndComplete) {
+  SimClock clock;
+  qdmi::ModelBackedDevice qdmi(device_, clock);
+  Rng service_rng(5);
+  mqss::QpuService service(device_, qdmi, service_rng);
+  mqss::CompileFarm farm(2);
+  service.set_compile_farm(&farm);
+  qrm_.set_compile_service(&service);
+  ASSERT_EQ(qrm_.compile_service(), &service);
+
+  // An optimizer burst: same structure, three bindings. Dispatch prefetches
+  // the structure through the farm; every job binds against the one cached
+  // template.
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i)
+    ids.push_back(qrm_.submit(parametric_job("vqe-" + std::to_string(i),
+                                             0.2 * (i + 1))));
+  qrm_.drain();
+  for (const int id : ids) {
+    const auto& record = qrm_.record(id);
+    EXPECT_EQ(record.state, QuantumJobState::kCompleted);
+    EXPECT_EQ(record.result.shots, 200u);
+  }
+  EXPECT_GT(farm.tasks_executed(), 0u);  // prefetch really used the pool
+  const auto stats = service.cache_stats();
+  EXPECT_GE(stats.hits + stats.misses, 3u);
+  EXPECT_GE(stats.hits, 1u);  // at least one structure reuse across jobs
+  qrm_.set_compile_service(nullptr);
+}
+
+TEST_F(QrmTest, ParametricJobsWorkWithoutAFarmToo) {
+  SimClock clock;
+  qdmi::ModelBackedDevice qdmi(device_, clock);
+  Rng service_rng(5);
+  mqss::QpuService service(device_, qdmi, service_rng);
+  qrm_.set_compile_service(&service);
+  const int id = qrm_.submit(parametric_job("solo", 0.7));
+  qrm_.drain();
+  EXPECT_EQ(qrm_.record(id).state, QuantumJobState::kCompleted);
+  qrm_.set_compile_service(nullptr);
 }
 
 TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {

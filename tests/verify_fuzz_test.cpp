@@ -167,6 +167,51 @@ TEST_F(FuzzTest, BrokenRoutingIsCaughtAndShrunk) {
   EXPECT_FALSE(replay);
 }
 
+TEST_F(FuzzTest, BindPatchingMatchesColdCompileForEveryOptionCombination) {
+  // The two-phase equivalence contract: structure-compile once, bind-patch
+  // at two bindings, and each result must match a cold compile of the
+  // bound source up to kOutputZFrame — for every placement x optimize x
+  // routing combination.
+  const CircuitFuzzer fuzzer;
+  const std::size_t per_config = seeds_per_config();
+  std::size_t total_slots = 0;
+  std::uint64_t base_seed = 0;
+  for (const auto placement : {mqss::PlacementStrategy::kStatic,
+                               mqss::PlacementStrategy::kFidelityAware}) {
+    for (const bool optimize : {false, true}) {
+      for (const bool fidelity_routing : {false, true}) {
+        const mqss::CompilerOptions options{placement, optimize,
+                                            fidelity_routing};
+        const auto report = run_bind_equivalence_fuzz(fuzzer, base_seed,
+                                                      per_config, qdmi_,
+                                                      options);
+        total_slots += report.slots_patched;
+        EXPECT_EQ(report.failures, 0u)
+            << "placement=" << mqss::to_string(placement)
+            << " optimize=" << optimize << " routing=" << fidelity_routing
+            << "\n"
+            << (report.failure_details.empty()
+                    ? std::string("(no details captured)")
+                    : report.failure_details.front());
+        base_seed += per_config;
+      }
+    }
+  }
+  // The fuzz must have exercised the bind phase, not just zero-slot
+  // templates.
+  EXPECT_GT(total_slots, 0u);
+}
+
+TEST_F(FuzzTest, ParametrizeRoundTripsTheSourceCircuit) {
+  const CircuitFuzzer fuzzer;
+  for (std::uint64_t seed = 40; seed < 48; ++seed) {
+    const circuit::Circuit original = fuzzer.generate(seed);
+    const ParametrizedCase lifted = parametrize(original);
+    EXPECT_EQ(lifted.circuit.bind(lifted.binding), original);
+    EXPECT_EQ(lifted.circuit.parameters().size(), lifted.binding.size());
+  }
+}
+
 TEST_F(FuzzTest, CleanPipelinePassesTheMutationFuzzConfiguration) {
   // Same biased configuration and seeds as the mutation check, but with
   // the honest router: proves the failures above come from the mutation,

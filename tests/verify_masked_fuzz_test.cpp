@@ -52,6 +52,7 @@ TEST_F(MaskedFuzzTest, MaskedCompileSurvivesEveryOptionCombination) {
   const std::size_t per_config = seeds_per_config();
   std::size_t total_seeds = 0;
   std::size_t total_masked = 0;
+  std::size_t total_stale_checks = 0;
   std::uint64_t base_seed = 0;
   for (const auto placement : {mqss::PlacementStrategy::kStatic,
                                mqss::PlacementStrategy::kFidelityAware}) {
@@ -63,6 +64,13 @@ TEST_F(MaskedFuzzTest, MaskedCompileSurvivesEveryOptionCombination) {
             fuzzer, base_seed, per_config, device_, qdmi_, options);
         total_seeds += report.seeds_run;
         total_masked += report.masked_elements;
+        total_stale_checks += report.stale_mask_checks;
+        EXPECT_EQ(report.stale_mask_failures, 0u)
+            << "stale-mask regression: a compile cache served a "
+               "healthy-topology program after an epoch-silent mask flip "
+               "(placement="
+            << mqss::to_string(placement) << " optimize=" << optimize
+            << " routing=" << fidelity_routing << ")";
         EXPECT_EQ(report.failures, 0u)
             << "placement=" << mqss::to_string(placement)
             << " optimize=" << optimize << " routing=" << fidelity_routing
@@ -78,6 +86,9 @@ TEST_F(MaskedFuzzTest, MaskedCompileSurvivesEveryOptionCombination) {
   // masks must have been non-trivial (elements actually went down).
   EXPECT_GE(total_seeds, 8 * per_config);
   EXPECT_GT(total_masked, 0u);
+  // The stale-mask regression must actually have run (non-trivial masks
+  // exist in every configuration's seed stream).
+  EXPECT_GT(total_stale_checks, 0u);
 }
 
 TEST_F(MaskedFuzzTest, ModelIsRestoredToAllHealthyAfterTheRun) {
