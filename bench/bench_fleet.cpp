@@ -1,0 +1,181 @@
+// Measures what fleet serving costs: scoring a submission across N
+// candidate devices, the steady-state rebalance sweep the coordinator runs
+// every slice, and a fleet-level refusal when no device can serve.
+//
+// Expected shape: device selection is linear in fleet size times backlog —
+// each candidate is scored by a fidelity estimate plus an estimated-wait
+// scan of its queue, so per-submit cost grows as the benchmark's own
+// submissions pile up (and spreading over more devices can *reduce* it);
+// the rebalance sweep over a healthy fleet is a cheap queue scan; a fleet
+// refusal is terminal bookkeeping, orders of magnitude below running the
+// job. Migration itself recompiles on the target device and is visible in
+// the reproduction table rather than a hot loop.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/table.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/sched/fleet.hpp"
+
+namespace {
+
+using namespace hpcqc;
+
+sched::Fleet::Config fleet_config() {
+  sched::Fleet::Config config;
+  config.qrm.benchmark.qubits = 8;
+  config.qrm.benchmark.shots = 200;
+  config.qrm.benchmark.analytic = true;
+  config.qrm.execution_mode = device::ExecutionMode::kEstimateOnly;
+  config.qrm.benchmark_overhead = minutes(2.0);
+  return config;
+}
+
+// The fleet wires self-referencing calibration gates, so it never moves:
+// build it on the heap.
+std::unique_ptr<sched::Fleet> make_fleet(sched::Fleet::Config config, Rng& rng,
+                                         int devices) {
+  auto fleet = std::make_unique<sched::Fleet>(std::move(config), rng);
+  for (int d = 0; d < devices; ++d)
+    fleet->add_device(
+        std::make_unique<device::DeviceModel>(device::make_iqm20(rng)));
+  return fleet;
+}
+
+sched::QuantumJob make_job(sched::Fleet& fleet, int width,
+                           const std::string& name) {
+  sched::QuantumJob job;
+  job.name = name;
+  job.circuit =
+      calibration::GhzBenchmark::chain_circuit(fleet.device_model(0), width);
+  job.shots = 300;
+  return job;
+}
+
+void print_reproduction() {
+  std::cout << "=== Fleet serving: selection, outage migration, drain ===\n\n";
+
+  Rng rng(5);
+  auto fleet = make_fleet(fleet_config(), rng, 3);
+  const int kJobs = 12;
+  std::vector<int> ids;
+  for (int i = 0; i < kJobs; ++i)
+    ids.push_back(
+        fleet->submit(make_job(*fleet, 4 + i % 4, "job-" + std::to_string(i))));
+
+  auto placements = [&] {
+    std::vector<int> per_device(fleet->num_devices(), 0);
+    for (const int id : ids) {
+      const auto& record = fleet->record(id);
+      if (record.device >= 0 && !is_terminal(fleet->state(id)))
+        per_device[static_cast<std::size_t>(record.device)] += 1;
+    }
+    return per_device;
+  };
+  auto migrations = [&] {
+    std::size_t hops = 0;
+    for (const int id : ids) hops += fleet->record(id).migrations;
+    return hops;
+  };
+
+  Table table({"phase", "online", "on qpu0", "on qpu1", "on qpu2",
+               "migration hops", "dead-lettered"});
+  auto add_phase = [&](const char* phase) {
+    const auto on = placements();
+    std::size_t dead = 0;
+    for (int d = 0; d < 3; ++d) dead += fleet->qrm(d).dead_letters().size();
+    table.add_row({phase, std::to_string(fleet->devices_online()),
+                   std::to_string(on[0]), std::to_string(on[1]),
+                   std::to_string(on[2]), std::to_string(migrations()),
+                   std::to_string(dead)});
+  };
+  add_phase("healthy");
+  fleet->set_device_offline(0, "bench: simulated cryo trip");
+  fleet->rebalance();
+  add_phase("qpu0 offline");
+  fleet->set_device_online(0);
+  fleet->drain();
+  add_phase("drained");
+  table.print(std::cout);
+
+  const auto audit = fleet->conservation();
+  std::cout << "conservation: " << audit.submitted << " submitted = "
+            << audit.completed << " completed + " << audit.failed
+            << " dead-lettered + " << audit.rejected_overload +
+                   audit.rejected_too_wide << " refused"
+            << (audit.holds() ? "  [balanced]" : "  [IMBALANCE]") << "\n\n";
+}
+
+void BM_FleetSubmitSelection(benchmark::State& state) {
+  // Cost of placing one job: probe + fidelity/wait score on every device.
+  Rng rng(5);
+  sched::Fleet::Config config = fleet_config();
+  config.qrm.admission.queue_capacity = 1u << 20;
+  config.qrm.admission.burst = 1e9;
+  auto fleet =
+      make_fleet(std::move(config), rng, static_cast<int>(state.range(0)));
+  const auto circuit =
+      calibration::GhzBenchmark::chain_circuit(fleet->device_model(0), 6);
+  for (auto _ : state) {
+    sched::QuantumJob job;
+    job.name = "bench";
+    job.circuit = circuit;
+    job.shots = 300;
+    benchmark::DoNotOptimize(fleet->submit(std::move(job)));
+  }
+}
+BENCHMARK(BM_FleetSubmitSelection)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(5)
+    ->Iterations(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RebalanceSweepHealthy(benchmark::State& state) {
+  // The per-slice coordinator sweep when nothing needs to move: scan every
+  // device's queue for stranded work and find none.
+  Rng rng(5);
+  sched::Fleet::Config config = fleet_config();
+  config.qrm.admission.queue_capacity = 1u << 10;
+  config.qrm.admission.burst = 1e9;
+  auto fleet = make_fleet(std::move(config), rng, 3);
+  for (int i = 0; i < 30; ++i)
+    fleet->submit(make_job(*fleet, 4 + i % 4, "queued-" + std::to_string(i)));
+  for (auto _ : state) fleet->rebalance();
+}
+BENCHMARK(BM_RebalanceSweepHealthy)->Unit(benchmark::kMicrosecond);
+
+void BM_FleetRefusalNoDeviceInService(benchmark::State& state) {
+  // Cost of refusing at the fleet front door: every probe fails, the
+  // record is terminal, nothing executes.
+  Rng rng(5);
+  auto fleet = make_fleet(fleet_config(), rng, 3);
+  for (int d = 0; d < 3; ++d)
+    fleet->set_device_offline(d, "bench: full fleet outage");
+  const auto circuit =
+      calibration::GhzBenchmark::chain_circuit(fleet->device_model(0), 6);
+  for (auto _ : state) {
+    sched::QuantumJob job;
+    job.name = "refused";
+    job.circuit = circuit;
+    job.shots = 300;
+    benchmark::DoNotOptimize(fleet->submit(std::move(job)));
+  }
+}
+BENCHMARK(BM_FleetRefusalNoDeviceInService)
+    ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return hpcqc::bench::run_with_json(argc, argv, "BENCH_fleet.json");
+}

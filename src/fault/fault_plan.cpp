@@ -17,6 +17,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kQubitDropout: return "qubit-dropout";
     case FaultSite::kCouplerDropout: return "coupler-dropout";
     case FaultSite::kQueueFlood: return "queue-flood";
+    case FaultSite::kCryoPlantTrip: return "cryo-plant-trip";
+    case FaultSite::kFacilityPower: return "facility-power";
   }
   return "?";
 }
@@ -51,9 +53,10 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
   FaultPlan plan;
   Rng root(seed);
 
-  // The partial-degrade / flood sites come after the original five so their
-  // child streams extend the fork order: plans generated from a given seed
-  // with only the original sites enabled are bit-identical to before.
+  // The partial-degrade / flood sites come after the original five, and the
+  // correlated fleet sites after those, so their child streams extend the
+  // fork order: plans generated from a given seed with only the earlier
+  // sites enabled are bit-identical to before.
   const std::pair<FaultSite, const SiteRate*> sites[] = {
       {FaultSite::kQdmiQuery, &params.qdmi_query},
       {FaultSite::kDeviceExecution, &params.device_execution},
@@ -63,6 +66,8 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
       {FaultSite::kQubitDropout, &params.qubit_dropout},
       {FaultSite::kCouplerDropout, &params.coupler_dropout},
       {FaultSite::kQueueFlood, &params.queue_flood},
+      {FaultSite::kCryoPlantTrip, &params.cryo_plant_trip},
+      {FaultSite::kFacilityPower, &params.facility_power},
   };
   // One independent child stream per site: adding a site to the plan never
   // perturbs the draws of the others, so scenarios stay comparable across
@@ -79,6 +84,8 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
     expects(!is_dropout(site) || targets > 0,
             "FaultPlan::generate: dropout sites need the element count "
             "(num_qubits / num_couplers)");
+    expects(!is_fleet_site(site) || params.num_devices > 0,
+            "FaultPlan::generate: fleet sites need num_devices");
     Seconds t = stream.exponential(1.0 / rate->mtbf);
     while (t < params.horizon) {
       FaultEvent event;
@@ -92,11 +99,43 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
             stream.uniform_index(static_cast<std::uint64_t>(targets)));
         event.description += " #" + std::to_string(event.target);
       }
+      if (site == FaultSite::kCryoPlantTrip) {
+        // Everything on the shared plant warms together.
+        for (int d = 0; d < params.num_devices; ++d) event.devices.push_back(d);
+      } else if (site == FaultSite::kFacilityPower) {
+        // A power event cuts a non-empty device subset: draw one guaranteed
+        // victim, then flip a fair coin per remaining device. Draw order is
+        // fixed (victim, then devices ascending) so the plan replays.
+        const int victim = static_cast<int>(stream.uniform_index(
+            static_cast<std::uint64_t>(params.num_devices)));
+        for (int d = 0; d < params.num_devices; ++d)
+          if (d == victim || stream.uniform() < 0.5)
+            event.devices.push_back(d);
+      }
       plan.add(std::move(event));
       t += stream.exponential(1.0 / rate->mtbf);
     }
   }
   return plan;
+}
+
+std::vector<FaultPlan> expand_fleet_events(
+    const FaultPlan& fleet_plan, std::vector<FaultPlan> device_plans) {
+  for (const FaultEvent& event : fleet_plan.events()) {
+    if (!is_fleet_site(event.site)) continue;
+    for (const int d : event.devices) {
+      expects(d >= 0 && static_cast<std::size_t>(d) < device_plans.size(),
+              "expand_fleet_events: event device index out of range");
+      FaultEvent local;
+      local.at = event.at;
+      local.site = FaultSite::kThermalExcursion;
+      local.duration = event.duration;
+      local.description = std::string("correlated ") + to_string(event.site) +
+                          " (" + event.description + ")";
+      device_plans[static_cast<std::size_t>(d)].add(std::move(local));
+    }
+  }
+  return device_plans;
 }
 
 }  // namespace hpcqc::fault

@@ -22,9 +22,18 @@ enum class FaultSite {
   kQubitDropout,      ///< one qubit drops out of spec (partial degrade)
   kCouplerDropout,    ///< one coupler drops out of spec (partial degrade)
   kQueueFlood,        ///< a burst of low-priority submissions hits the QRM
+  kCryoPlantTrip,     ///< shared cryo plant trips: every device on it warms
+  kFacilityPower,     ///< facility power event hitting a subset of devices
 };
 
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 10;
+
+/// True for the correlated fleet sites, which describe a failure of shared
+/// infrastructure rather than of one device's own stack.
+inline constexpr bool is_fleet_site(FaultSite site) {
+  return site == FaultSite::kCryoPlantTrip ||
+         site == FaultSite::kFacilityPower;
+}
 
 const char* to_string(FaultSite site);
 
@@ -41,6 +50,10 @@ struct FaultEvent {
   /// Element hit by a partial-degrade site: qubit id for kQubitDropout,
   /// coupler (edge) index for kCouplerDropout; -1 for whole-device sites.
   int target = -1;
+  /// Device indices hit by a correlated fleet site (kCryoPlantTrip covers
+  /// every device on the shared plant; kFacilityPower draws a subset).
+  /// Empty for single-device sites.
+  std::vector<int> devices;
 
   Seconds end() const { return at + duration; }
 };
@@ -67,11 +80,17 @@ public:
     SiteRate qubit_dropout;
     SiteRate coupler_dropout;
     SiteRate queue_flood;
+    SiteRate cryo_plant_trip;
+    SiteRate facility_power;
     /// Element counts for the partial-degrade sites: targets are drawn
     /// uniformly from [0, num_qubits) / [0, num_couplers). Required (> 0)
     /// when the corresponding dropout site is enabled.
     int num_qubits = 0;
     int num_couplers = 0;
+    /// Fleet size for the correlated sites. kCryoPlantTrip lists every
+    /// device; kFacilityPower draws a non-empty subset from the site's own
+    /// child stream. Required (> 0) when either fleet site is enabled.
+    int num_devices = 0;
     /// Fault windows never collapse below this (a zero-length window would
     /// be unobservable by any injection site).
     Seconds min_duration = seconds(30.0);
@@ -92,5 +111,14 @@ public:
 private:
   std::vector<FaultEvent> events_;  ///< sorted by `at`
 };
+
+/// Splices the correlated fleet events of `fleet_plan` into per-device plans:
+/// each device listed in an event's `devices` receives a thermal excursion of
+/// the same start and duration (shared cryostats warm together; a power event
+/// cuts compressors the same way), tagged with the correlated origin in its
+/// description. Non-fleet events in `fleet_plan` are ignored. The per-device
+/// plans keep their own independent events.
+std::vector<FaultPlan> expand_fleet_events(const FaultPlan& fleet_plan,
+                                           std::vector<FaultPlan> device_plans);
 
 }  // namespace hpcqc::fault

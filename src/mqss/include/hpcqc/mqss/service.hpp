@@ -129,6 +129,15 @@ public:
   /// workers never touch the registry.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Names the device this service fronts. The name is folded into every
+  /// compile-cache key, so caches can never serve an entry compiled for a
+  /// different device identity — fleet serving reuses one structural hash
+  /// across N otherwise-identical devices, and a swapped cache (or a
+  /// service re-pointed at a new device) must miss, not resurrect the old
+  /// device's placements.
+  void set_device_identity(const std::string& name);
+  const std::string& device_identity() const { return device_identity_; }
+
   /// JIT compile cache controls. Enabled by default; entries are evicted
   /// least-recently-used past `capacity`. Keys carry the calibration epoch
   /// and the QDMI view's health fingerprint, so recalibrations and mask
@@ -191,6 +200,9 @@ private:
   obs::Counter* m_structure_misses_ = nullptr;
   obs::Gauge* m_cache_hit_rate_ = nullptr;
   obs::Gauge* m_structure_size_ = nullptr;
+
+  std::string device_identity_;
+  std::uint64_t identity_salt_ = 0;  ///< FNV-1a of device_identity_
 
   bool cache_enabled_ = true;
   mutable StructureCache cache_{256};

@@ -97,7 +97,20 @@ std::uint64_t QpuService::cache_key(std::uint64_t structural_hash) const {
   mix(static_cast<std::uint64_t>(options_.placement) + 1);
   mix(options_.optimize ? 0x6f7074ULL : 0x726177ULL);
   mix(options_.fidelity_aware_routing ? 0x666964ULL : 0x686f70ULL);
+  // Device identity: two fleet devices with identical registers, epochs,
+  // and masks still key disjoint entries.
+  mix(identity_salt_);
   return hash;
+}
+
+void QpuService::set_device_identity(const std::string& name) {
+  device_identity_ = name;
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : name) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  identity_salt_ = hash;
 }
 
 void QpuService::mirror_cache_metrics(bool hit, bool structure) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,6 +51,14 @@ struct QuantumJob {
   /// dispatch. `circuit` is ignored and overwritten with the binding.
   std::shared_ptr<const circuit::ParametricCircuit> parametric;
   std::map<std::string, double> binding;
+  /// Devices this job has been migrated off (see Fleet). Carried so the
+  /// destination's record shows the full hop count.
+  std::size_t migrations = 0;
+  /// Set on jobs re-submitted by cross-device migration: admission was
+  /// already charged once fleet-wide, so the destination skips its token
+  /// bucket and brownout class suspension (the hard queue-capacity cap
+  /// still applies — migration never overflows a peer).
+  bool migrated_in = false;
 };
 
 enum class QuantumJobState {
@@ -67,6 +76,10 @@ enum class QuantumJobState {
   kRejectedTooWide,
   /// Shed from the queue by brownout mode before it ever started.
   kShed,
+  /// Extracted by cross-device migration: the job left this QRM's queue and
+  /// was re-submitted to a healthy peer (terminal *here*; the fleet record
+  /// follows the job to its new device).
+  kMigrated,
 };
 
 const char* to_string(QuantumJobState state);
@@ -80,6 +93,7 @@ constexpr bool is_terminal(QuantumJobState state) {
     case QuantumJobState::kRejectedOverload:
     case QuantumJobState::kRejectedTooWide:
     case QuantumJobState::kShed:
+    case QuantumJobState::kMigrated:
       return true;
     case QuantumJobState::kQueued:
     case QuantumJobState::kRunning:
@@ -140,6 +154,7 @@ struct QuantumJobRecord {
 
   std::size_t attempts = 0;       ///< execution attempts started
   std::size_t interruptions = 0;  ///< outage requeues (no attempt charged)
+  std::size_t migrations = 0;     ///< devices the job left before this one
   Seconds next_retry_at = -1.0;   ///< valid while kRetrying
   std::string failure_reason;     ///< last failure / cancellation reason
   JobPriority priority = JobPriority::kNormal;
@@ -161,6 +176,12 @@ struct DeadLetterRecord {
   std::size_t attempts = 0;
   std::string reason;
   Seconds failed_at = 0.0;
+  /// The original payload, so a drained record can be re-submitted after
+  /// recovery. drain_dead_letters() points job.trace back at the failed
+  /// run's root context when the client supplied none, so a replay joins
+  /// the original trace.
+  QuantumJob job;
+  obs::TraceContext trace{};  ///< root span context of the failed run
 };
 
 /// Aggregate throughput / quality metrics of a QRM run.
@@ -189,6 +210,9 @@ struct QrmMetrics {
   /// currently-masked hardware (observations, not distinct jobs).
   std::size_t degraded_holds = 0;
   std::size_t dead_letters_dropped = 0;  ///< DLQ overflow beyond capacity
+  std::size_t jobs_migrated_out = 0;  ///< extracted for a healthy peer
+  std::size_t jobs_migrated_in = 0;   ///< admitted from a migrating peer
+  std::size_t dead_letters_drained = 0;  ///< records handed out for replay
 
   bool operator==(const QrmMetrics&) const = default;
 };
@@ -204,11 +228,12 @@ struct JobConservation {
   std::size_t rejected_overload = 0;
   std::size_t rejected_too_wide = 0;
   std::size_t shed = 0;
+  std::size_t migrated = 0;   ///< handed to a peer device (terminal here)
   std::size_t in_flight = 0;  ///< queued + running + retrying
 
   std::size_t terminal() const {
     return completed + failed + cancelled + rejected_overload +
-           rejected_too_wide + shed;
+           rejected_too_wide + shed + migrated;
   }
   bool holds() const { return submitted == terminal() + in_flight; }
 };
@@ -267,6 +292,19 @@ public:
   /// Estimated time until a job submitted now would start: the remainder of
   /// the active phase plus the execution estimate of everything queued.
   Seconds estimated_wait() const;
+
+  /// What submit() would decide for a job of `width` touched qubits at
+  /// `priority`, without consuming a token or creating a record. Used by
+  /// fleet-level placement to find an eligible device before committing.
+  enum class AdmissionProbe {
+    kAdmissible,
+    kOffline,      ///< device out of service
+    kTooWide,      ///< exceeds the largest healthy component
+    kQueueFull,    ///< hard capacity cap (also refuses migrations)
+    kBrownout,     ///< low-priority class suspended
+    kRateLimited,  ///< token bucket dry
+  };
+  AdmissionProbe probe_admission(int width, JobPriority priority) const;
 
   /// True while brownout shedding is active.
   bool brownout() const { return brownout_; }
@@ -333,6 +371,52 @@ public:
   /// Enqueues a forced calibration (used by recovery procedures).
   void request_calibration(calibration::CalibrationKind kind);
 
+  /// Gate consulted before a *controller-driven* calibration starts (fleet
+  /// slot coordination: at most K devices calibrate concurrently). A false
+  /// return defers the slot to a later scheduler pass. Forced calibrations
+  /// (recovery) bypass the gate — an outage already serialized the device.
+  void set_calibration_gate(std::function<bool()> gate) {
+    calibration_gate_ = std::move(gate);
+  }
+
+  /// Ids currently queued, in scheduling order (excludes the retry backlog).
+  const std::vector<int>& queued_jobs() const { return queue_; }
+  /// Ids waiting out their retry backoff.
+  const std::vector<int>& retry_jobs() const { return retry_queue_; }
+  /// Stored payload of a queued/retrying job (NotFoundError otherwise).
+  /// Fleet placement inspects the shape here before deciding a migration
+  /// target — extraction is destructive, peeking is not.
+  const QuantumJob& pending_job(int id) const;
+
+  /// A job removed from this QRM for re-placement on a peer device. The
+  /// payload keeps the client's trace context and carries migrated_in so
+  /// the destination bypasses rate control (see QuantumJob::migrated_in).
+  struct MigratedJob {
+    int id = 0;  ///< id the job had on this QRM
+    QuantumJob job;
+  };
+
+  /// Extracts one queued or retry-backlog job for migration: the local
+  /// record becomes terminal kMigrated, spans close cleanly (migration is
+  /// not a failure), and the payload is returned for re-submission
+  /// elsewhere. Returns nullopt when the job is running or terminal.
+  std::optional<MigratedJob> extract_job(int id, const std::string& reason);
+
+  /// Extracts every queued job (in queue order) then the retry backlog —
+  /// the bulk path used when a device goes offline or is masked mid-queue.
+  std::vector<MigratedJob> extract_pending(const std::string& reason);
+
+  /// Sends a queued or retry-backlog job straight to the dead-letter queue
+  /// (used when no peer can host a migration). Returns false when the job
+  /// is running or already terminal.
+  bool dead_letter_job(int id, const std::string& reason);
+
+  /// Hands out (and clears) the dead-letter queue for replay after
+  /// recovery. Each returned record carries the original payload; records
+  /// whose jobs had no client trace context get the failed run's root
+  /// context patched in, so re-submitting joins the original trace.
+  std::vector<DeadLetterRecord> drain_dead_letters();
+
   const QuantumJobRecord& record(int id) const;
   /// Legacy aggregate view, reconstructed from the metrics registry (plus
   /// mean_wait from the job records). Kept as a shim so pre-registry
@@ -378,6 +462,7 @@ private:
   void apply_drift_until(Seconds t);
   void promote_due_retries();
   void fail_active_job();
+  void push_dead_letter(const QuantumJobRecord& record, QuantumJob job);
   int reject(QuantumJobRecord record, QuantumJobState state,
              const std::string& reason);
   void update_brownout();
@@ -414,6 +499,7 @@ private:
   /// per-job device compilation.
   device::PreparedProgram prepared_;
   bool brownout_ = false;
+  std::function<bool()> calibration_gate_;
   TokenBucket buckets_[3];  ///< indexed by JobPriority
   int next_id_ = 1;
   std::vector<int> queue_;
@@ -446,6 +532,9 @@ private:
   obs::Counter* m_shed_ = nullptr;
   obs::Counter* m_degraded_holds_ = nullptr;
   obs::Counter* m_dead_letters_dropped_ = nullptr;
+  obs::Counter* m_migrated_out_ = nullptr;
+  obs::Counter* m_migrated_in_ = nullptr;
+  obs::Counter* m_dead_letters_drained_ = nullptr;
   obs::Counter* m_total_shots_ = nullptr;
   obs::Counter* m_good_shots_ = nullptr;
   obs::Counter* m_busy_time_ = nullptr;
@@ -458,5 +547,10 @@ private:
   obs::Histogram* m_shots_per_s_ = nullptr;
   obs::Histogram* m_overhead_ = nullptr;
 };
+
+/// Distinct qubits a compiled circuit actually acts on (gate operands and
+/// measured qubits) — the width that must fit a healthy component,
+/// independent of the full-device register the circuit is expressed over.
+int circuit_width(const circuit::Circuit& circuit);
 
 }  // namespace hpcqc::sched

@@ -19,6 +19,7 @@ const char* to_string(QuantumJobState state) {
     case QuantumJobState::kRejectedOverload: return "rejected-overload";
     case QuantumJobState::kRejectedTooWide: return "rejected-too-wide";
     case QuantumJobState::kShed: return "shed";
+    case QuantumJobState::kMigrated: return "migrated";
   }
   return "?";
 }
@@ -58,6 +59,21 @@ void validate_config(const Qrm::Config& config) {
   check(config.benchmark_overhead >= 0.0,
         "benchmark_overhead cannot be negative");
   check(config.max_defer_factor >= 1.0, "max_defer_factor must be >= 1");
+  check(config.benchmark.shots >= 1, "benchmark.shots must be >= 1");
+  check(config.benchmark.qubits >= 0, "benchmark.qubits cannot be negative");
+
+  const auto& controller = config.controller;
+  check(controller.benchmark_period > 0.0,
+        "controller.benchmark_period must be positive");
+  check(controller.max_calibration_age > 0.0,
+        "controller.max_calibration_age must be positive");
+  check(controller.fixed_interval > 0.0,
+        "controller.fixed_interval must be positive");
+  check(controller.quick_fraction > 0.0 && controller.quick_fraction <= 1.0,
+        "controller.quick_fraction must be in (0, 1]");
+  check(controller.full_fraction > 0.0 &&
+            controller.full_fraction <= controller.quick_fraction,
+        "controller.full_fraction must be in (0, quick_fraction]");
 
   const AdmissionPolicy& admission = config.admission;
   check(admission.queue_capacity >= 1, "admission.queue_capacity must be >= 1");
@@ -97,9 +113,8 @@ struct BatchEventObserver final : device::ExecObserver {
   }
 };
 
-/// Distinct qubits a compiled circuit actually acts on (gate operands and
-/// measured qubits) — the width that must fit the healthy component,
-/// independent of the full-device register the circuit is expressed over.
+}  // namespace
+
 int circuit_width(const circuit::Circuit& circuit) {
   std::vector<char> touched(static_cast<std::size_t>(circuit.num_qubits()), 0);
   for (const auto& op : circuit.ops()) {
@@ -109,8 +124,6 @@ int circuit_width(const circuit::Circuit& circuit) {
   return static_cast<int>(
       std::count(touched.begin(), touched.end(), char{1}));
 }
-
-}  // namespace
 
 bool Qrm::TokenBucket::try_take(Seconds now) {
   tokens = std::min(burst,
@@ -124,13 +137,16 @@ bool Qrm::TokenBucket::try_take(Seconds now) {
 Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log,
          obs::MetricsRegistry* metrics)
     : device_(&device),
-      config_(config),
+      // Validated while initializing the first config-derived member:
+      // degenerate values must surface as one PermanentError naming
+      // Qrm::Config, not as whichever downstream component (controller,
+      // benchmark) happens to trip over them first.
+      config_((validate_config(config), config)),
       rng_(&rng),
       log_(log),
       controller_(config.controller),
       benchmark_(config.benchmark),
       engine_() {
-  validate_config(config_);
   const double rates[3] = {config_.admission.high_rate_per_hour,
                            config_.admission.normal_rate_per_hour,
                            config_.admission.low_rate_per_hour};
@@ -162,6 +178,9 @@ void Qrm::bind_metrics() {
   m_shed_ = &registry_->counter("qrm.jobs_shed");
   m_degraded_holds_ = &registry_->counter("qrm.degraded_holds");
   m_dead_letters_dropped_ = &registry_->counter("qrm.dead_letters_dropped");
+  m_migrated_out_ = &registry_->counter("qrm.jobs_migrated_out");
+  m_migrated_in_ = &registry_->counter("qrm.jobs_migrated_in");
+  m_dead_letters_drained_ = &registry_->counter("qrm.dead_letters_drained");
   m_total_shots_ = &registry_->counter("qrm.total_shots");
   m_good_shots_ = &registry_->counter("qrm.good_shots");
   m_busy_time_ = &registry_->counter("qrm.busy_time_s");
@@ -210,6 +229,28 @@ Seconds Qrm::estimated_wait() const {
   return wait;
 }
 
+Qrm::AdmissionProbe Qrm::probe_admission(int width,
+                                         JobPriority priority) const {
+  if (!online_) return AdmissionProbe::kOffline;
+  if (!device_->health().all_healthy()) {
+    const int capacity = static_cast<int>(
+        device_->health().largest_component(device_->topology()).size());
+    if (width > capacity) return AdmissionProbe::kTooWide;
+  }
+  if (queue_.size() >= config_.admission.queue_capacity)
+    return AdmissionProbe::kQueueFull;
+  // Mirror what update_brownout() would decide at submit, without latching.
+  const bool would_brownout =
+      brownout_ || estimated_wait() > config_.admission.brownout_wait_limit;
+  if (would_brownout && priority == JobPriority::kLow)
+    return AdmissionProbe::kBrownout;
+  const TokenBucket& b = buckets_[static_cast<int>(priority)];
+  const double tokens = std::min(
+      b.burst, b.tokens + (now_ - b.last_refill) * b.rate_per_hour / 3600.0);
+  if (tokens < 1.0) return AdmissionProbe::kRateLimited;
+  return AdmissionProbe::kAdmissible;
+}
+
 JobConservation Qrm::conservation() const {
   JobConservation audit;
   audit.submitted = records_.size();
@@ -225,6 +266,7 @@ JobConservation Qrm::conservation() const {
         audit.rejected_too_wide += 1;
         break;
       case QuantumJobState::kShed: audit.shed += 1; break;
+      case QuantumJobState::kMigrated: audit.migrated += 1; break;
       case QuantumJobState::kQueued:
       case QuantumJobState::kRunning:
       case QuantumJobState::kRetrying:
@@ -338,6 +380,7 @@ int Qrm::submit(QuantumJob job) {
   record.shots = job.shots;
   record.submit_time = now_;
   record.priority = job.priority;
+  record.migrations = job.migrations;
   m_submitted_->inc();
 
   if (tracer_ != nullptr) {
@@ -350,6 +393,9 @@ int Qrm::submit(QuantumJob job) {
     tracer_->set_attribute(spans.root, "priority", to_string(job.priority));
     if (!job.project.empty())
       tracer_->set_attribute(spans.root, "project", job.project);
+    if (job.migrations > 0)
+      tracer_->set_attribute(spans.root, "migrations",
+                             std::to_string(job.migrations));
     spans.admission =
         tracer_->begin_span("admission", now_, tracer_->context(spans.root));
     record.trace = tracer_->context(spans.root);
@@ -372,9 +418,10 @@ int Qrm::submit(QuantumJob job) {
   }
 
   // Overload control: brownout class suspension, hard queue cap, then the
-  // per-priority token bucket.
+  // per-priority token bucket. A migrated-in job was rate-controlled once
+  // at its fleet-wide admission, so only the capacity cap applies to it.
   update_brownout();
-  if (brownout_ && job.priority == JobPriority::kLow) {
+  if (!job.migrated_in && brownout_ && job.priority == JobPriority::kLow) {
     return reject(std::move(record), QuantumJobState::kRejectedOverload,
                   "brownout: low-priority admissions suspended");
   }
@@ -384,11 +431,12 @@ int Qrm::submit(QuantumJob job) {
                       std::to_string(config_.admission.queue_capacity) +
                       " jobs)");
   }
-  if (!bucket(job.priority).try_take(now_)) {
+  if (!job.migrated_in && !bucket(job.priority).try_take(now_)) {
     return reject(std::move(record), QuantumJobState::kRejectedOverload,
                   std::string("admission rate exceeded for ") +
                       to_string(job.priority) + " priority");
   }
+  if (job.migrated_in) m_migrated_in_->inc();
 
   const int id = record.id;
   if (tracer_ != nullptr) {
@@ -436,6 +484,135 @@ bool Qrm::cancel(int id, const std::string& reason) {
   if (log_)
     log_->info(now_, "qrm", "job '" + record.name + "' cancelled: " + reason);
   return true;
+}
+
+const QuantumJob& Qrm::pending_job(int id) const {
+  const auto it = pending_jobs_.find(id);
+  if (it == pending_jobs_.end())
+    throw NotFoundError("Qrm: job " + std::to_string(id) +
+                        " has no pending payload");
+  return it->second;
+}
+
+std::optional<Qrm::MigratedJob> Qrm::extract_job(int id,
+                                                 const std::string& reason) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  QuantumJobRecord& record = it->second;
+  if (record.state != QuantumJobState::kQueued &&
+      record.state != QuantumJobState::kRetrying)
+    return std::nullopt;
+  std::erase(queue_, id);
+  std::erase(retry_queue_, id);
+  MigratedJob out;
+  out.id = id;
+  out.job = std::move(pending_jobs_.at(id));
+  pending_jobs_.erase(id);
+  record.state = QuantumJobState::kMigrated;
+  record.end_time = now_;
+  record.next_retry_at = -1.0;
+  record.failure_reason = "migrated: " + reason;
+  out.job.migrations += 1;
+  out.job.migrated_in = true;
+  m_migrated_out_->inc();
+  note_queue_gauge();
+  if (tracer_ != nullptr) {
+    // Migration ends this device's span tree cleanly — the job is not
+    // failing, it is moving; the destination opens its own root under the
+    // same client context.
+    JobSpans& spans = job_spans_.at(id);
+    const obs::SpanHandle stage =
+        spans.queue != obs::kNoSpan ? spans.queue : spans.backoff;
+    if (stage != obs::kNoSpan) {
+      tracer_->add_event(stage, now_, "migrated", reason);
+      tracer_->end_span(stage, now_, obs::SpanStatus::kOk);
+    }
+    close_root(id, obs::SpanStatus::kOk);
+  }
+  if (log_)
+    log_->info(now_, "qrm",
+               "job '" + record.name + "' migrated out: " + reason);
+  return out;
+}
+
+std::vector<Qrm::MigratedJob> Qrm::extract_pending(const std::string& reason) {
+  std::vector<int> ids = queue_;
+  ids.insert(ids.end(), retry_queue_.begin(), retry_queue_.end());
+  std::vector<MigratedJob> out;
+  out.reserve(ids.size());
+  for (const int id : ids) {
+    auto migrated = extract_job(id, reason);
+    if (migrated.has_value()) out.push_back(std::move(*migrated));
+  }
+  return out;
+}
+
+void Qrm::push_dead_letter(const QuantumJobRecord& record, QuantumJob job) {
+  DeadLetterRecord letter;
+  letter.id = record.id;
+  letter.name = record.name;
+  letter.attempts = record.attempts;
+  letter.reason = record.failure_reason;
+  letter.failed_at = now_;
+  letter.trace = record.trace;
+  letter.job = std::move(job);
+  dead_letters_.push_back(std::move(letter));
+  if (dead_letters_.size() > config_.admission.dead_letter_capacity) {
+    // Oldest-first overflow: the DLQ is an audit window, not unbounded
+    // storage; the drop is counted so nothing vanishes unaccounted.
+    dead_letters_.erase(dead_letters_.begin());
+    m_dead_letters_dropped_->inc();
+  }
+}
+
+bool Qrm::dead_letter_job(int id, const std::string& reason) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  QuantumJobRecord& record = it->second;
+  if (record.state != QuantumJobState::kQueued &&
+      record.state != QuantumJobState::kRetrying)
+    return false;
+  std::erase(queue_, id);
+  std::erase(retry_queue_, id);
+  record.state = QuantumJobState::kFailed;
+  record.end_time = now_;
+  record.next_retry_at = -1.0;
+  record.failure_reason = reason;
+  push_dead_letter(record, std::move(pending_jobs_.at(id)));
+  pending_jobs_.erase(id);
+  m_failed_->inc();
+  note_queue_gauge();
+  if (tracer_ != nullptr) {
+    JobSpans& spans = job_spans_.at(id);
+    const obs::SpanHandle stage =
+        spans.queue != obs::kNoSpan ? spans.queue : spans.backoff;
+    if (stage != obs::kNoSpan) {
+      tracer_->add_event(stage, now_, "dead-lettered", reason);
+      tracer_->end_span(stage, now_, obs::SpanStatus::kError);
+    }
+    close_root(id, obs::SpanStatus::kError);
+    tracer_->record_failure(record.trace.trace_id, "dead-letter: " + reason,
+                            now_);
+  }
+  if (log_)
+    log_->error(now_, "qrm",
+                "job '" + record.name + "' dead-lettered: " + reason);
+  return true;
+}
+
+std::vector<DeadLetterRecord> Qrm::drain_dead_letters() {
+  std::vector<DeadLetterRecord> out;
+  out.swap(dead_letters_);
+  for (DeadLetterRecord& letter : out) {
+    if (!letter.job.trace.valid() && letter.trace.valid())
+      letter.job.trace = letter.trace;
+  }
+  m_dead_letters_drained_->inc(static_cast<double>(out.size()));
+  if (log_ && !out.empty())
+    log_->info(now_, "qrm",
+               "drained " + std::to_string(out.size()) +
+                   " dead letters for replay");
+  return out;
 }
 
 void Qrm::set_offline(const std::string& reason) {
@@ -560,14 +737,7 @@ void Qrm::fail_active_job() {
     record.end_time = now_;
     record.failure_reason = "execution fault; retry budget exhausted after " +
                             std::to_string(record.attempts) + " attempts";
-    dead_letters_.push_back({record.id, record.name, record.attempts,
-                             record.failure_reason, now_});
-    if (dead_letters_.size() > config_.admission.dead_letter_capacity) {
-      // Oldest-first overflow: the DLQ is an audit window, not unbounded
-      // storage; the drop is counted so nothing vanishes unaccounted.
-      dead_letters_.erase(dead_letters_.begin());
-      m_dead_letters_dropped_->inc();
-    }
+    push_dead_letter(record, std::move(pending_jobs_.at(active_job_)));
     m_failed_->inc();
     pending_jobs_.erase(active_job_);
     if (tracer_ != nullptr) {
@@ -760,32 +930,38 @@ void Qrm::begin_next_work() {
   }
 
   // 3. Controller-driven calibration. A scheduler-controlled policy waits
-  //    for an empty queue, but is forced past the defer bound.
-  const Seconds age = now_ - device_->calibration().calibrated_at;
-  const bool defer_expired =
-      age > config_.max_defer_factor * config_.controller.max_calibration_age;
-  const auto request =
-      controller_.decide(now_, *device_, queue_.empty() || defer_expired);
-  if (request.has_value()) {
-    active_calibration_ = request->kind;
-    const auto procedure =
-        request->kind == calibration::CalibrationKind::kQuick
-            ? calibration::quick_procedure()
-            : calibration::full_procedure();
-    phase_ = Phase::kCalibration;
-    phase_start_ = now_;
-    phase_end_ = now_ + procedure.total_duration();
-    status_ = qdmi::DeviceStatus::kCalibrating;
-    if (tracer_ != nullptr) {
-      phase_span_ = tracer_->begin_span("calibration", now_);
-      tracer_->set_attribute(phase_span_, "kind", to_string(request->kind));
-      tracer_->set_attribute(phase_span_, "reason", request->reason);
+  //    for an empty queue, but is forced past the defer bound. A closed
+  //    fleet gate defers the slot to a later pass (at most K devices
+  //    calibrate concurrently; forced recovery calibrations above bypass
+  //    the gate — an outage already serialized that device).
+  if (calibration_gate_ == nullptr || calibration_gate_()) {
+    const Seconds age = now_ - device_->calibration().calibrated_at;
+    const bool defer_expired =
+        age >
+        config_.max_defer_factor * config_.controller.max_calibration_age;
+    const auto request =
+        controller_.decide(now_, *device_, queue_.empty() || defer_expired);
+    if (request.has_value()) {
+      active_calibration_ = request->kind;
+      const auto procedure =
+          request->kind == calibration::CalibrationKind::kQuick
+              ? calibration::quick_procedure()
+              : calibration::full_procedure();
+      phase_ = Phase::kCalibration;
+      phase_start_ = now_;
+      phase_end_ = now_ + procedure.total_duration();
+      status_ = qdmi::DeviceStatus::kCalibrating;
+      if (tracer_ != nullptr) {
+        phase_span_ = tracer_->begin_span("calibration", now_);
+        tracer_->set_attribute(phase_span_, "kind", to_string(request->kind));
+        tracer_->set_attribute(phase_span_, "reason", request->reason);
+      }
+      if (log_)
+        log_->info(now_, "qrm",
+                   std::string("starting ") + to_string(request->kind) +
+                       " calibration: " + request->reason);
+      return;
     }
-    if (log_)
-      log_->info(now_, "qrm",
-                 std::string("starting ") + to_string(request->kind) +
-                     " calibration: " + request->reason);
-    return;
   }
 
   // 4. User jobs. On a degraded device, jobs whose compiled circuits touch
@@ -977,6 +1153,9 @@ QrmMetrics Qrm::metrics() const {
   metrics.jobs_shed = m_shed_->count();
   metrics.degraded_holds = m_degraded_holds_->count();
   metrics.dead_letters_dropped = m_dead_letters_dropped_->count();
+  metrics.jobs_migrated_out = m_migrated_out_->count();
+  metrics.jobs_migrated_in = m_migrated_in_->count();
+  metrics.dead_letters_drained = m_dead_letters_drained_->count();
   Seconds total_wait = 0.0;
   std::size_t n = 0;
   for (const auto& [id, record] : records_) {

@@ -65,6 +65,65 @@ AvailabilityReport availability_from_store(const TimeSeriesStore& store,
   return report;
 }
 
+double FleetAvailabilityReport::mean_availability() const {
+  if (devices.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& device : devices) sum += device.availability();
+  return sum / static_cast<double>(devices.size());
+}
+
+FleetAvailabilityReport fleet_availability_from_store(
+    const TimeSeriesStore& store, const std::vector<std::string>& sensors,
+    Seconds t0, Seconds t1) {
+  expects(t1 >= t0,
+          "fleet_availability_from_store: window must not be negative");
+  FleetAvailabilityReport report;
+  report.window = t1 - t0;
+  if (sensors.empty()) return report;
+
+  // Per-device reports reuse the single-sensor walk; the fleet-wide
+  // all-down time needs the merged step function, so sweep the union of
+  // sample times tracking how many devices are online.
+  struct Event {
+    Seconds time = 0.0;
+    std::size_t device = 0;
+    double value = 0.0;
+  };
+  std::vector<double> state(sensors.size(), 1.0);
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    report.devices.push_back(
+        availability_from_store(store, sensors[i], t0, t1));
+    for (const Sample& sample : store.range(sensors[i], 0.0, t1)) {
+      if (sample.time <= t0)
+        state[i] = sample.value;
+      else
+        events.push_back({sample.time, i, sample.value});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time != b.time ? a.time < b.time
+                                             : a.device < b.device;
+                   });
+
+  const auto any_online = [&state] {
+    for (double value : state)
+      if (value >= 0.5) return true;
+    return false;
+  };
+  Seconds cursor = t0;
+  bool up = any_online();
+  for (const Event& event : events) {
+    if (!up) report.all_down += event.time - cursor;
+    cursor = event.time;
+    state[event.device] = event.value;
+    up = any_online();
+  }
+  if (!up && t1 > cursor) report.all_down += t1 - cursor;
+  return report;
+}
+
 HealthAnalyzer::HealthAnalyzer() : HealthAnalyzer(Params{}) {}
 
 HealthAnalyzer::HealthAnalyzer(Params params) : params_(params) {

@@ -72,6 +72,29 @@ AvailabilityReport availability_from_store(const TimeSeriesStore& store,
                                            const std::string& sensor,
                                            Seconds t0, Seconds t1);
 
+/// Fleet-level availability over one campaign window: per-device reports
+/// plus the two numbers a fleet exists to improve — mean device
+/// availability, and the fraction of the window *at least one* device was
+/// serving (its complement, `all_down`, is the availability cliff a
+/// single-device site falls off).
+struct FleetAvailabilityReport {
+  std::vector<AvailabilityReport> devices;
+  Seconds window = 0.0;
+  Seconds all_down = 0.0;  ///< time with zero devices in service
+
+  double mean_availability() const;
+  double fleet_availability() const {
+    return window <= 0.0 ? 1.0 : 1.0 - all_down / window;
+  }
+};
+
+/// Merges the 1/0 step functions of one availability sensor per device
+/// (e.g. "fleet.qpu0.qpu_online", ...) over [t0, t1]. Devices with no
+/// samples before t0 start online, matching availability_from_store.
+FleetAvailabilityReport fleet_availability_from_store(
+    const TimeSeriesStore& store, const std::vector<std::string>& sensors,
+    Seconds t0, Seconds t1);
+
 /// Analyzes the per-qubit calibration telemetry written by
 /// DeviceCalibrationCollector (paths qpu.qNN.*).
 class HealthAnalyzer {

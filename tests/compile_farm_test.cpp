@@ -12,9 +12,14 @@
 #include <thread>
 #include <vector>
 
+#include "hpcqc/circuit/parametric.hpp"
 #include "hpcqc/common/error.hpp"
+#include "hpcqc/common/sim_clock.hpp"
+#include "hpcqc/device/presets.hpp"
 #include "hpcqc/mqss/compile_farm.hpp"
+#include "hpcqc/mqss/service.hpp"
 #include "hpcqc/mqss/structure_cache.hpp"
+#include "hpcqc/qdmi/model_device.hpp"
 
 namespace hpcqc::mqss {
 namespace {
@@ -253,6 +258,83 @@ TEST(StructureCache, FarmPrefetchesLandDeterministicallyForForegroundGets) {
   EXPECT_EQ(serial.size, threaded.size);
   EXPECT_EQ(serial.misses, kKeys);
   EXPECT_EQ(serial.hits, kKeys);
+}
+
+TEST(StructureCache, EvictionRacesSingleFlightJoinWithoutLosingResults) {
+  // A tiny capacity keeps the LRU under constant eviction pressure while
+  // farm prefetches and foreground readers join the same keys' in-flight
+  // compiles. Every lookup must still produce a value (an evicted entry is
+  // recompiled, never handed out null), and the cache must respect its
+  // capacity afterwards. Runs under tsan in CI.
+  StructureCache cache(2);
+  std::atomic<int> factory_runs{0};
+  const auto slow_factory = [&factory_runs] {
+    factory_runs.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return make_value();
+  };
+  constexpr std::uint64_t kKeys = 8;
+  std::atomic<int> null_results{0};
+  {
+    CompileFarm farm(4);
+    for (int round = 0; round < 25; ++round)
+      for (std::uint64_t key = 0; key < kKeys; ++key)
+        farm.enqueue(
+            [&cache, &slow_factory, key] { cache.prefetch(key, slow_factory); });
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+      readers.emplace_back([&cache, &slow_factory, &null_results] {
+        for (int round = 0; round < 50; ++round)
+          for (std::uint64_t key = 0; key < kKeys; ++key)
+            if (cache.get_or_compile(key, slow_factory).value == nullptr)
+              null_results.fetch_add(1);
+      });
+    for (auto& reader : readers) reader.join();
+    farm.wait_idle();
+  }
+  EXPECT_EQ(null_results.load(), 0);
+  const StructureCacheStats stats = cache.stats();
+  EXPECT_LE(stats.size, 2u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Single-flight dedup: joiners record misses without running the
+  // factory, so compiles never exceed recorded misses.
+  EXPECT_GT(factory_runs.load(), 0);
+  EXPECT_LE(static_cast<std::uint64_t>(factory_runs.load()), stats.misses);
+}
+
+TEST(StructureCache, DeviceIdentityPartitionsServiceCacheKeys) {
+  // Fleet serving compiles one structural hash against N devices; the
+  // per-device identity salt must key disjoint entries, so a service
+  // re-pointed at another identity can never resurrect placements compiled
+  // for the first device.
+  Rng rng(7);
+  SimClock clock;
+  device::DeviceModel device = device::make_iqm20(rng);
+  qdmi::ModelBackedDevice qdmi(device, clock);
+  QpuService service(device, qdmi, rng);
+  service.set_device_identity("qpu0");
+
+  circuit::ParametricCircuit ansatz(3);
+  ansatz.h(0).ry(circuit::ParamExpr::symbol("a"), 1).cz(0, 1).measure();
+
+  service.compile_structure(ansatz);
+  EXPECT_EQ(service.cache_misses(), 1u);
+  service.compile_structure(ansatz);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+
+  // Same device state, same options, same structural hash — a different
+  // identity still misses and compiles its own entry.
+  service.set_device_identity("qpu1");
+  service.compile_structure(ansatz);
+  EXPECT_EQ(service.cache_misses(), 2u);
+  EXPECT_EQ(service.cache_size(), 2u);
+
+  // Restoring the identity restores its entry: the key is a pure function
+  // of (structure, device state, options, identity).
+  service.set_device_identity("qpu0");
+  service.compile_structure(ansatz);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+  EXPECT_EQ(service.cache_size(), 2u);
 }
 
 }  // namespace

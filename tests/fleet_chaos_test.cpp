@@ -1,0 +1,281 @@
+// Correlated-failure chaos over a three-device fleet: a cryo-plant trip
+// forces one device through the full outage -> cooldown -> recalibration
+// staging mid-campaign while its peers absorb the traffic. The fleet must
+// beat the downed device's availability, migrate or dead-letter every job
+// stranded on it, conserve every submission fleet-wide, and replay
+// bit-identically across reruns and OpenMP thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/fault/fault_plan.hpp"
+#include "hpcqc/obs/metrics.hpp"
+#include "hpcqc/ops/fleet_supervisor.hpp"
+#include "hpcqc/sched/fleet.hpp"
+#include "hpcqc/telemetry/health.hpp"
+#include "hpcqc/telemetry/store.hpp"
+
+namespace hpcqc {
+namespace {
+
+constexpr int kDevices = 3;
+// Long enough for the full outage staging: a two-hour cryo-plant trip
+// warms the stage past 20 K, and cooling back to base alone takes about a
+// day and a half before recalibration can even start.
+constexpr Seconds kHorizon = days(3.0);
+
+/// Everything one fleet chaos campaign produces, for cross-run comparison.
+struct CampaignOutcome {
+  std::string log_text;
+  std::string sensor_csv;  ///< all "fleet.*" series
+  obs::MetricsSnapshot metrics;  ///< fleet registry snapshot
+  sched::JobConservation fleet_audit;
+  std::vector<sched::JobConservation> device_audits;
+  ops::FleetResilienceStats stats;
+  std::vector<ops::ResilienceStats> device_stats;
+  std::vector<sched::QuantumJobState> final_states;
+  std::vector<std::size_t> final_migrations;
+  telemetry::FleetAvailabilityReport availability;
+  int downed_device = -1;
+  std::size_t stranded_on_downed = 0;  ///< jobs owned by it when it tripped
+};
+
+/// A three-day campaign over three 20-qubit devices. At hour 4 a shared
+/// cryo plant trips device 0 into a two-hour outage whose staging (warm-up,
+/// repair, cooldown, recovery recalibration) holds it out of service for
+/// over a day while a steady trickle of fleet submissions continues; the
+/// fleet migrates device 0's queue to its peers and keeps serving.
+CampaignOutcome run_campaign(std::uint64_t seed) {
+  Rng rng(seed);
+  EventLog log;
+  telemetry::TimeSeriesStore store;
+
+  sched::Fleet::Config config;
+  config.qrm.benchmark.qubits = 8;
+  config.qrm.benchmark.shots = 200;
+  config.qrm.benchmark.analytic = true;
+  config.qrm.execution_mode = device::ExecutionMode::kEstimateOnly;
+  config.qrm.benchmark_overhead = minutes(2.0);
+  config.coordination_step = minutes(15.0);
+  sched::Fleet fleet(config, rng, &log);
+  for (int d = 0; d < kDevices; ++d)
+    fleet.add_device(
+        std::make_unique<device::DeviceModel>(device::make_iqm20(rng)));
+
+  // One correlated fleet event, expanded into per-device plans: the cryo
+  // plant behind device 0 trips at hour 4 (kCryoPlantTrip would list every
+  // device on the plant; here only device 0 shares it).
+  fault::FaultPlan fleet_plan;
+  {
+    fault::FaultEvent event;
+    event.at = hours(4.0);
+    event.site = fault::FaultSite::kCryoPlantTrip;
+    event.duration = hours(2.0);
+    event.description = "compressor seizure on cryo plant A";
+    event.devices = {0};
+    fleet_plan.add(event);
+  }
+  std::vector<fault::FaultPlan> plans =
+      fault::expand_fleet_events(fleet_plan, std::vector<fault::FaultPlan>(
+                                                static_cast<std::size_t>(
+                                                    kDevices)));
+
+  ops::FleetSupervisor::Params params;
+  params.device.recovery.benchmark.qubits = 8;
+  params.device.recovery.benchmark.shots = 200;
+  params.device.recovery.benchmark.analytic = true;
+  params.device.flood_jobs_per_step = 0;
+  ops::FleetSupervisor supervisor(fleet, std::move(plans), rng, &log, &store,
+                                  params);
+
+  // Deterministic workload: one normal-priority job every 45 minutes.
+  std::vector<int> ids;
+  CampaignOutcome outcome;
+  const Seconds dt = minutes(15.0);
+  const int steps = static_cast<int>(kHorizon / dt);
+  for (int k = 0; k <= steps; ++k) {
+    const Seconds t = static_cast<double>(k) * dt;
+    supervisor.step(t);
+    if (k > 0 && k % 3 == 0 && t < kHorizon - hours(4.0)) {
+      sched::QuantumJob job;
+      job.name = "job-" + std::to_string(ids.size());
+      job.circuit = calibration::GhzBenchmark::chain_circuit(
+          fleet.device_model(0), 4 + static_cast<int>(ids.size() % 4));
+      job.shots = 300;
+      ids.push_back(fleet.submit(std::move(job)));
+    }
+    // Snapshot who owns what the step before the plant trips.
+    if (t == hours(4.0) - dt) {
+      outcome.downed_device = 0;
+      for (const int id : ids)
+        if (fleet.record(id).device == 0 && !is_terminal(fleet.state(id)))
+          outcome.stranded_on_downed += 1;
+    }
+  }
+  fleet.drain();
+
+  std::ostringstream os;
+  log.print(os);
+  outcome.log_text = os.str();
+  std::ostringstream csv;
+  store.export_csv(csv, "fleet");
+  outcome.sensor_csv = csv.str();
+  outcome.metrics = fleet.metrics_registry().snapshot();
+  outcome.fleet_audit = fleet.conservation();
+  for (int d = 0; d < kDevices; ++d) {
+    outcome.device_audits.push_back(fleet.qrm(d).conservation());
+    outcome.device_stats.push_back(supervisor.device_stats(d));
+  }
+  outcome.stats = supervisor.stats();
+  for (const int id : ids) {
+    outcome.final_states.push_back(fleet.state(id));
+    outcome.final_migrations.push_back(fleet.record(id).migrations);
+  }
+  std::vector<std::string> sensors;
+  for (int d = 0; d < kDevices; ++d)
+    sensors.push_back(supervisor.online_sensor(d));
+  outcome.availability =
+      telemetry::fleet_availability_from_store(store, sensors, 0.0, kHorizon);
+  return outcome;
+}
+
+TEST(FleetChaosCampaign, OutageStrandsNothingAndConservesJobsFleetWide) {
+  const CampaignOutcome outcome = run_campaign(5);
+
+  // The plant trip really took device 0 through an outage.
+  ASSERT_EQ(outcome.downed_device, 0);
+  EXPECT_GE(outcome.device_stats[0].outages, 1u);
+  EXPECT_GE(outcome.device_stats[0].recoveries, 1u);
+  EXPECT_GT(outcome.device_stats[0].total_downtime, 0.0);
+  // The peers rode through untouched.
+  EXPECT_EQ(outcome.device_stats[1].outages, 0u);
+  EXPECT_EQ(outcome.device_stats[2].outages, 0u);
+
+  // Work was stranded on the downed device and every stranded job was
+  // migrated (or dead-lettered) — none waited out the outage in place.
+  EXPECT_GT(outcome.stranded_on_downed, 0u);
+  EXPECT_GT(outcome.stats.migrations + outcome.stats.migration_dead_letters,
+            0u);
+
+  // Conservation holds fleet-wide and on every device; nothing in flight
+  // after the drain.
+  EXPECT_TRUE(outcome.fleet_audit.holds());
+  EXPECT_EQ(outcome.fleet_audit.in_flight, 0u);
+  EXPECT_EQ(outcome.fleet_audit.submitted, outcome.final_states.size());
+  for (int d = 0; d < kDevices; ++d) {
+    SCOPED_TRACE("device " + std::to_string(d));
+    EXPECT_TRUE(outcome.device_audits[d].holds());
+    EXPECT_EQ(outcome.device_audits[d].in_flight, 0u);
+  }
+
+  // Every workload job reached a terminal state; migrated jobs completed on
+  // their new owner.
+  std::size_t migrated_jobs = 0;
+  for (std::size_t i = 0; i < outcome.final_states.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_TRUE(is_terminal(outcome.final_states[i]));
+    if (outcome.final_migrations[i] > 0) {
+      migrated_jobs += 1;
+      EXPECT_EQ(outcome.final_states[i], sched::QuantumJobState::kCompleted);
+    }
+  }
+  EXPECT_EQ(migrated_jobs, outcome.stats.migrations);
+}
+
+TEST(FleetChaosCampaign, FleetAvailabilityBeatsTheSingleDeviceBaseline) {
+  const CampaignOutcome outcome = run_campaign(5);
+
+  // The downed device's availability is the single-device baseline the
+  // fleet exists to beat: while it warmed and recovered, at least one peer
+  // kept serving, so the fleet-wide availability sits strictly above it.
+  const double baseline = outcome.availability.devices[0].availability();
+  EXPECT_LT(baseline, 1.0);  // the outage is visible in the sensor
+  EXPECT_GT(outcome.availability.fleet_availability(), baseline);
+  EXPECT_DOUBLE_EQ(outcome.availability.fleet_availability(), 1.0);
+  EXPECT_EQ(outcome.availability.all_down, 0.0);
+  EXPECT_GT(outcome.availability.mean_availability(), baseline);
+  EXPECT_EQ(outcome.availability.devices[0].outages, 1u);
+  EXPECT_EQ(outcome.availability.devices[1].outages, 0u);
+  EXPECT_EQ(outcome.availability.devices[2].outages, 0u);
+
+  // The telemetry view agrees with the supervisor's own accounting to
+  // within one coordination step: the supervisor books downtime against the
+  // exact recovery completion time, while the online sensor only flips at
+  // the next campaign step.
+  EXPECT_NEAR(outcome.availability.devices[0].downtime,
+              outcome.device_stats[0].total_downtime, minutes(15.0) + 1.0);
+}
+
+TEST(FleetChaosCampaign, SameSeedGivesBitIdenticalCampaigns) {
+  const CampaignOutcome a = run_campaign(5);
+  const CampaignOutcome b = run_campaign(5);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_EQ(a.sensor_csv, b.sensor_csv);
+  EXPECT_TRUE(a.metrics == b.metrics);
+  EXPECT_EQ(a.final_states, b.final_states);
+  EXPECT_EQ(a.final_migrations, b.final_migrations);
+  EXPECT_EQ(a.stats.migrations, b.stats.migrations);
+
+  const CampaignOutcome c = run_campaign(6);
+  EXPECT_NE(a.log_text, c.log_text);
+}
+
+// Seed sweep: the invariants that must hold for ANY seed. Tier-1 runs a
+// handful; nightly CI raises the budget via HPCQC_CHAOS_SEEDS.
+TEST(FleetChaosCampaign, ChaosSeedSweepHoldsTheInvariants) {
+  std::size_t num_seeds = 3;
+  if (const char* env = std::getenv("HPCQC_CHAOS_SEEDS")) {
+    num_seeds = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    ASSERT_GT(num_seeds, 0u) << "HPCQC_CHAOS_SEEDS must be a positive count";
+  }
+  for (std::uint64_t seed = 200; seed < 200 + num_seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const CampaignOutcome outcome = run_campaign(seed);
+
+    EXPECT_TRUE(outcome.fleet_audit.holds());
+    EXPECT_EQ(outcome.fleet_audit.in_flight, 0u);
+    for (int d = 0; d < kDevices; ++d)
+      EXPECT_TRUE(outcome.device_audits[d].holds()) << "device " << d;
+    for (const auto state : outcome.final_states)
+      EXPECT_TRUE(is_terminal(state));
+
+    EXPECT_GE(outcome.device_stats[0].outages, 1u);
+    EXPECT_GT(outcome.availability.fleet_availability(),
+              outcome.availability.devices[0].availability());
+    EXPECT_EQ(outcome.availability.all_down, 0.0);
+
+    const CampaignOutcome replay = run_campaign(seed);
+    EXPECT_EQ(outcome.log_text, replay.log_text);
+    EXPECT_EQ(outcome.sensor_csv, replay.sensor_csv);
+    EXPECT_TRUE(outcome.metrics == replay.metrics);
+  }
+}
+
+#ifdef _OPENMP
+TEST(FleetChaosCampaign, DeterministicAcrossThreadCounts) {
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const CampaignOutcome one = run_campaign(5);
+  omp_set_num_threads(original > 1 ? original : 4);
+  const CampaignOutcome many = run_campaign(5);
+  omp_set_num_threads(original);
+  EXPECT_EQ(one.log_text, many.log_text);
+  EXPECT_EQ(one.sensor_csv, many.sensor_csv);
+  EXPECT_TRUE(one.metrics == many.metrics);
+  EXPECT_EQ(one.final_states, many.final_states);
+}
+#endif
+
+}  // namespace
+}  // namespace hpcqc

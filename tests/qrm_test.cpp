@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "hpcqc/fault/injector.hpp"
 #include "hpcqc/mqss/compile_farm.hpp"
 #include "hpcqc/mqss/service.hpp"
+#include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/model_device.hpp"
 #include "hpcqc/sched/qrm.hpp"
 #include "hpcqc/sched/workload.hpp"
@@ -421,6 +423,20 @@ TEST(QrmConfigValidation, RejectsDegenerateValuesAtConstruction) {
   rejects([](Qrm::Config& c) { c.admission.brownout_wait_limit = 0.0; });
   rejects([](Qrm::Config& c) { c.admission.brownout_exit_fraction = 0.0; });
   rejects([](Qrm::Config& c) { c.admission.brownout_exit_fraction = 1.5; });
+  rejects([](Qrm::Config& c) { c.benchmark.shots = 0; });
+  rejects([](Qrm::Config& c) { c.benchmark.qubits = -1; });
+  rejects([](Qrm::Config& c) { c.controller.benchmark_period = 0.0; });
+  rejects([](Qrm::Config& c) { c.controller.max_calibration_age = -1.0; });
+  rejects([](Qrm::Config& c) { c.controller.fixed_interval = 0.0; });
+  rejects([](Qrm::Config& c) { c.controller.quick_fraction = 0.0; });
+  rejects([](Qrm::Config& c) { c.controller.quick_fraction = 1.5; });
+  rejects([](Qrm::Config& c) { c.controller.full_fraction = 0.0; });
+  rejects([](Qrm::Config& c) {
+    // full must not exceed quick: full recalibration triggers at *worse*
+    // drift than a quick touch-up.
+    c.controller.quick_fraction = 0.5;
+    c.controller.full_fraction = 0.8;
+  });
 }
 
 TEST(QrmConfigValidation, ErrorNamesTheConfigAndTheProblem) {
@@ -625,6 +641,55 @@ TEST(QrmDeadLetter, ExhaustionOrderIsPreservedInTheDlq) {
   EXPECT_EQ(qrm.dead_letters()[1].id, b);
   EXPECT_EQ(qrm.dead_letters()[0].attempts, 2u);
   EXPECT_LE(qrm.dead_letters()[0].failed_at, qrm.dead_letters()[1].failed_at);
+}
+
+TEST(QrmDeadLetter, DrainedLettersReplayUnderTheOriginalTraceContext) {
+  Rng rng(11);
+  device::DeviceModel device = device::make_iqm20(rng);
+  obs::Tracer tracer;
+  Qrm qrm(device, fast_config(), rng, nullptr);
+  qrm.set_tracer(&tracer);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(2.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  const int id = qrm.submit(ghz_job(device, 4, 500, "doomed"));
+  qrm.drain();
+  ASSERT_EQ(qrm.record(id).state, QuantumJobState::kFailed);
+  const std::uint64_t original_trace = [&] {
+    for (const auto& span : tracer.records())
+      if (span.name == "job:doomed") return span.trace_id;
+    return std::uint64_t{0};
+  }();
+  ASSERT_NE(original_trace, 0u);
+
+  auto letters = qrm.drain_dead_letters();
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_TRUE(qrm.dead_letters().empty());
+  EXPECT_EQ(qrm.metrics().dead_letters_drained, 1u);
+  EXPECT_EQ(letters[0].id, id);
+  // The replay payload carries the failed run's trace context (the client
+  // supplied none), so the retry nests inside the original trace.
+  ASSERT_TRUE(letters[0].job.trace.valid());
+  EXPECT_EQ(letters[0].job.trace, letters[0].trace);
+
+  // Replaying once the fault window has cleared succeeds...
+  qrm.advance_to(hours(3.0));
+  const int replay = qrm.submit(std::move(letters[0].job));
+  qrm.drain();
+  EXPECT_EQ(qrm.record(replay).state, QuantumJobState::kCompleted);
+  // ...and every span of the replayed run carries the original trace id.
+  std::size_t replay_spans = 0;
+  for (const auto& span : tracer.records()) {
+    if (span.name != "job:doomed" || span.start < hours(3.0)) continue;
+    replay_spans += 1;
+    EXPECT_EQ(span.trace_id, original_trace);
+  }
+  EXPECT_EQ(replay_spans, 1u);
+  const JobConservation audit = qrm.conservation();
+  EXPECT_TRUE(audit.holds());
 }
 
 TEST_F(QrmTest, RepeatedOfflineMidRunDoesNotDuplicateTheJob) {
