@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::load {
+
+/// Job classes of the synthetic multi-tenant mix — the §4 early-user
+/// workload shapes scaled up to a shared HPC user base: entanglement
+/// benchmarks, brickwork sampling, narrow-but-deep variational tight
+/// loops, and mid-width QAOA layers.
+enum class JobClass { kGhz, kSampling, kVqeTightLoop, kQaoa };
+
+const char* to_string(JobClass job_class);
+
+/// Open-loop traffic model: thousands of tenants with zipf-skewed
+/// popularity, a diurnal (sinusoidal) arrival-rate profile, a weighted
+/// job-class mix, and bounded-Pareto heavy-tailed shot counts. Everything
+/// is derived from `seed` on the simulated clock, so one config describes
+/// one exact, replayable arrival schedule.
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+
+  /// Tenant population. Tenant k is named "<tenant_prefix><k>" and drawn
+  /// with probability proportional to 1 / (k + 1)^zipf_exponent — a few
+  /// heavy hitters, a long tail of occasional users.
+  std::size_t tenants = 1000;
+  double zipf_exponent = 1.1;
+  std::string tenant_prefix = "tenant-";
+
+  /// Arrival process: non-homogeneous Poisson with rate
+  ///   base_rate_per_hour * (1 + diurnal_amplitude * cos(phase))
+  /// peaking at `diurnal_peak` within each `diurnal_period`.
+  Seconds duration = hours(24.0);
+  double base_rate_per_hour = 400.0;
+  double diurnal_amplitude = 0.6;  ///< in [0, 1); 0 = flat
+  Seconds diurnal_period = hours(24.0);
+  Seconds diurnal_peak = hours(14.0);
+
+  /// Job-class mix weights (normalized internally).
+  double ghz_weight = 0.2;
+  double sampling_weight = 0.4;
+  double vqe_weight = 0.25;
+  double qaoa_weight = 0.15;
+
+  /// Heavy-tailed shot counts: bounded Pareto over
+  /// [min_shots, max_shots] with tail exponent `shots_alpha` (smaller =
+  /// heavier tail; 1 < alpha < 2 has finite mean, infinite variance).
+  double shots_alpha = 1.3;
+  std::size_t min_shots = 64;
+  std::size_t max_shots = 16384;
+
+  /// Circuit-shape ranges per class (clamped to the device size by the
+  /// job factory).
+  int min_qubits = 4;
+  int max_qubits = 20;
+  int max_layers = 8;
+
+  /// Priority mix: fractions of high- and low-priority submissions (the
+  /// remainder is normal).
+  double high_fraction = 0.05;
+  double low_fraction = 0.25;
+};
+
+/// One generated arrival: everything needed to build the job
+/// deterministically, plus the pre-assigned admission ticket that lets
+/// the sharded gateway restore canonical order after concurrent ingest.
+struct Arrival {
+  std::uint64_t ticket = 0;  ///< dense, monotone in arrival time
+  Seconds time = 0.0;
+  std::uint32_t tenant = 0;  ///< tenant index (name = prefix + index)
+  JobClass job_class = JobClass::kSampling;
+  int qubits = 4;
+  int layers = 1;
+  std::size_t shots = 1000;
+  sched::JobPriority priority = sched::JobPriority::kNormal;
+
+  bool operator==(const Arrival&) const = default;
+};
+
+/// Generates the full arrival schedule for a TrafficConfig. Pure function
+/// of the config (thinning over the diurnal profile with a config-seeded
+/// RNG): same config => bit-identical schedule, any process, any machine.
+class TrafficGenerator {
+public:
+  /// Throws PermanentError on degenerate configs (no tenants, empty mix,
+  /// inverted shot/qubit ranges, amplitude outside [0, 1), ...).
+  explicit TrafficGenerator(TrafficConfig config);
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// Instantaneous arrival rate (jobs/hour) at simulated time t.
+  double rate_at(Seconds t) const;
+
+  /// The whole schedule, in arrival order, tickets 0..n-1.
+  std::vector<Arrival> generate() const;
+
+  /// Tenant name for an arrival (prefix + zero-padded index).
+  std::string tenant_name(std::uint32_t tenant) const;
+
+private:
+  TrafficConfig config_;
+  std::vector<double> tenant_cdf_;  ///< cumulative zipf weights
+  double mix_cdf_[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+}  // namespace hpcqc::load

@@ -1,0 +1,186 @@
+#include "hpcqc/load/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::load {
+
+const char* to_string(JobClass job_class) {
+  switch (job_class) {
+    case JobClass::kGhz: return "ghz";
+    case JobClass::kSampling: return "sampling";
+    case JobClass::kVqeTightLoop: return "vqe";
+    case JobClass::kQaoa: return "qaoa";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate_config(const TrafficConfig& config) {
+  const auto check = [](bool ok, const std::string& what) {
+    if (!ok)
+      throw PermanentError("TrafficConfig: " + what,
+                           ErrorCode::kPrecondition);
+  };
+  check(config.tenants >= 1, "need at least one tenant");
+  check(config.zipf_exponent >= 0.0, "zipf_exponent cannot be negative");
+  check(config.duration > 0.0, "duration must be positive");
+  check(config.base_rate_per_hour > 0.0,
+        "base_rate_per_hour must be positive");
+  check(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0,
+        "diurnal_amplitude must be in [0, 1)");
+  check(config.diurnal_period > 0.0, "diurnal_period must be positive");
+  check(config.ghz_weight >= 0.0 && config.sampling_weight >= 0.0 &&
+            config.vqe_weight >= 0.0 && config.qaoa_weight >= 0.0,
+        "mix weights cannot be negative");
+  check(config.ghz_weight + config.sampling_weight + config.vqe_weight +
+                config.qaoa_weight >
+            0.0,
+        "job mix must have at least one positive weight");
+  check(config.shots_alpha > 0.0, "shots_alpha must be positive");
+  check(config.min_shots >= 1 && config.max_shots >= config.min_shots,
+        "need 1 <= min_shots <= max_shots");
+  check(config.min_qubits >= 2 && config.max_qubits >= config.min_qubits,
+        "need 2 <= min_qubits <= max_qubits");
+  check(config.max_layers >= 1, "max_layers must be >= 1");
+  check(config.high_fraction >= 0.0 && config.low_fraction >= 0.0 &&
+            config.high_fraction + config.low_fraction <= 1.0,
+        "priority fractions must be non-negative and sum to <= 1");
+}
+
+/// Bounded Pareto inverse CDF over [lo, hi] with tail exponent alpha.
+double bounded_pareto(double u, double lo, double hi, double alpha) {
+  const double ratio = std::pow(lo / hi, alpha);
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config)
+    : config_(std::move(config)) {
+  validate_config(config_);
+  tenant_cdf_.reserve(config_.tenants);
+  double total = 0.0;
+  for (std::size_t k = 0; k < config_.tenants; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1),
+                            config_.zipf_exponent);
+    tenant_cdf_.push_back(total);
+  }
+  for (double& c : tenant_cdf_) c /= total;
+
+  const double weights[4] = {config_.ghz_weight, config_.sampling_weight,
+                             config_.vqe_weight, config_.qaoa_weight};
+  const double sum = weights[0] + weights[1] + weights[2] + weights[3];
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += weights[i] / sum;
+    mix_cdf_[i] = acc;
+  }
+}
+
+double TrafficGenerator::rate_at(Seconds t) const {
+  const double phase = 2.0 * M_PI * (t - config_.diurnal_peak) /
+                       config_.diurnal_period;
+  return config_.base_rate_per_hour *
+         (1.0 + config_.diurnal_amplitude * std::cos(phase));
+}
+
+std::string TrafficGenerator::tenant_name(std::uint32_t tenant) const {
+  std::string digits = std::to_string(tenant);
+  const std::size_t width = std::to_string(config_.tenants - 1).size();
+  if (digits.size() < width)
+    digits.insert(0, width - digits.size(), '0');
+  return config_.tenant_prefix + digits;
+}
+
+std::vector<Arrival> TrafficGenerator::generate() const {
+  Rng rng(config_.seed);
+  std::vector<Arrival> schedule;
+  schedule.reserve(static_cast<std::size_t>(
+      config_.base_rate_per_hour * to_hours(config_.duration) * 1.2));
+
+  // Non-homogeneous Poisson via thinning: draw candidate gaps at the peak
+  // rate, keep each candidate with probability rate(t) / rate_max.
+  const double rate_max =
+      config_.base_rate_per_hour * (1.0 + config_.diurnal_amplitude);
+  Seconds t = 0.0;
+  std::uint64_t ticket = 0;
+  while (true) {
+    t += hours(rng.exponential(rate_max));
+    if (t >= config_.duration) break;
+    if (!rng.bernoulli(rate_at(t) / rate_max)) continue;
+
+    Arrival arrival;
+    arrival.ticket = ticket++;
+    arrival.time = t;
+
+    const double tu = rng.uniform();
+    arrival.tenant = static_cast<std::uint32_t>(
+        std::lower_bound(tenant_cdf_.begin(), tenant_cdf_.end(), tu) -
+        tenant_cdf_.begin());
+
+    const double mu = rng.uniform();
+    arrival.job_class = mu < mix_cdf_[0]   ? JobClass::kGhz
+                        : mu < mix_cdf_[1] ? JobClass::kSampling
+                        : mu < mix_cdf_[2] ? JobClass::kVqeTightLoop
+                                           : JobClass::kQaoa;
+
+    // Shape: GHZ spans the full width range; sampling is wide and shallow;
+    // VQE tight loops are narrow and deep; QAOA sits mid-width.
+    const int span = config_.max_qubits - config_.min_qubits + 1;
+    switch (arrival.job_class) {
+      case JobClass::kGhz:
+        arrival.qubits = config_.min_qubits +
+                         static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(span)));
+        arrival.layers = 1;
+        break;
+      case JobClass::kSampling:
+        arrival.qubits =
+            config_.min_qubits +
+            static_cast<int>(rng.uniform_index(
+                static_cast<std::uint64_t>(std::max(1, span))));
+        arrival.layers = 1 + static_cast<int>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(
+                                     std::max(1, config_.max_layers / 2))));
+        break;
+      case JobClass::kVqeTightLoop:
+        arrival.qubits = config_.min_qubits +
+                         static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(
+                                 std::max(1, span / 3))));
+        arrival.layers = config_.max_layers;
+        break;
+      case JobClass::kQaoa:
+        arrival.qubits = config_.min_qubits +
+                         static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(
+                                 std::max(1, 2 * span / 3))));
+        arrival.layers = 1 + static_cast<int>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(
+                                     config_.max_layers)));
+        break;
+    }
+
+    arrival.shots = static_cast<std::size_t>(bounded_pareto(
+        rng.uniform(), static_cast<double>(config_.min_shots),
+        static_cast<double>(config_.max_shots), config_.shots_alpha));
+    arrival.shots = std::clamp(arrival.shots, config_.min_shots,
+                               config_.max_shots);
+
+    const double pu = rng.uniform();
+    arrival.priority = pu < config_.high_fraction
+                           ? sched::JobPriority::kHigh
+                       : pu < config_.high_fraction + config_.low_fraction
+                           ? sched::JobPriority::kLow
+                           : sched::JobPriority::kNormal;
+
+    schedule.push_back(arrival);
+  }
+  return schedule;
+}
+
+}  // namespace hpcqc::load

@@ -1,0 +1,102 @@
+#include "hpcqc/sched/admission.hpp"
+
+#include <algorithm>
+
+#include "hpcqc/common/error.hpp"
+
+namespace hpcqc::sched {
+
+ShardedAdmissionQueue::ShardedAdmissionQueue(std::size_t shards,
+                                             std::size_t shard_capacity) {
+  expects(shards >= 1, "ShardedAdmissionQueue: need at least one shard");
+  expects(shard_capacity >= 1,
+          "ShardedAdmissionQueue: shard capacity must be positive");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<MpmcRing<StampedJob>>(shard_capacity));
+}
+
+bool ShardedAdmissionQueue::try_push(StampedJob&& item) {
+  const std::size_t shard =
+      static_cast<std::size_t>(item.ticket) % shards_.size();
+  if (!shards_[shard]->try_push(std::move(item))) return false;
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t ShardedAdmissionQueue::drain(std::vector<StampedJob>& out) {
+  std::size_t n = 0;
+  StampedJob item;
+  for (auto& shard : shards_) {
+    while (shard->try_pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+  }
+  popped_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+std::size_t ShardedAdmissionQueue::depth_estimate() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->size_estimate();
+  return depth;
+}
+
+AdmissionGateway::AdmissionGateway(Qrm& qrm, Config config)
+    : qrm_(&qrm), queue_(config.shards, config.shard_capacity) {
+  obs::MetricsRegistry& registry = qrm.metrics_registry();
+  m_depth_ = &registry.gauge("qrm.admission.depth");
+  m_ingested_ = &registry.counter("qrm.admission.ingested");
+  m_backpressure_ = &registry.counter("qrm.admission.backpressure");
+  m_latency_ = &registry.histogram("qrm.admission.latency_s");
+}
+
+void AdmissionGateway::offer(StampedJob item) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (queue_.try_push(std::move(item))) return;
+  // Slow path: the shard is full. Never drop — park the job under the
+  // overflow lock so the next drain still sees every offer exactly once.
+  backpressure_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  overflow_.push_back(std::move(item));
+}
+
+std::vector<std::pair<std::uint64_t, int>>
+AdmissionGateway::drain_and_admit() {
+  scratch_.clear();
+  // Metrics are scheduler-thread-only: note the pre-drain depth estimate,
+  // then fold in whatever landed in the overflow queue.
+  m_depth_->set(static_cast<double>(queue_.depth_estimate()));
+  queue_.drain(scratch_);
+  {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    for (auto& item : overflow_) scratch_.push_back(std::move(item));
+    overflow_.clear();
+  }
+  // One canonical order, independent of producer interleaving.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const StampedJob& a, const StampedJob& b) {
+              return a.ticket < b.ticket;
+            });
+  std::vector<std::pair<std::uint64_t, int>> out;
+  out.reserve(scratch_.size());
+  std::vector<QuantumJob> batch;
+  batch.reserve(scratch_.size());
+  for (auto& item : scratch_) {
+    // Admission latency: simulated arrival -> the drain that admits it
+    // (the cost of batching ingestion into slice boundaries).
+    m_latency_->observe(std::max(0.0, qrm_->now() - item.arrival));
+    batch.push_back(std::move(item.job));
+  }
+  const std::vector<int> ids = qrm_->submit_batch(std::move(batch));
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    out.emplace_back(scratch_[i].ticket, ids[i]);
+  drained_ += ids.size();
+  m_ingested_->inc(static_cast<double>(ids.size()));
+  m_depth_->set(static_cast<double>(queue_.depth_estimate()));
+  scratch_.clear();
+  return out;
+}
+
+}  // namespace hpcqc::sched

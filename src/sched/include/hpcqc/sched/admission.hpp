@@ -1,0 +1,260 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::sched {
+
+/// Polite spin hint for lock-free retry loops (PAUSE / YIELD).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// A job stamped with its deterministic admission ticket. Tickets are
+/// assigned by the workload generator (or the submitting client) *before*
+/// ingestion, so the scheduler can restore one canonical order no matter
+/// how real ingestion threads interleave: sort by ticket, admit in ticket
+/// order, and the campaign replays bit-identically at any thread count.
+struct StampedJob {
+  std::uint64_t ticket = 0;
+  Seconds arrival = 0.0;  ///< simulated arrival time (informational)
+  QuantumJob job;
+};
+
+/// Bounded lock-free MPMC ring (Vyukov per-cell sequence protocol): both
+/// push and pop are a CAS on a position counter plus one acquire/release
+/// pair on the cell's sequence number — no locks, no unbounded spinning
+/// (full/empty return false immediately). Capacity is rounded up to a
+/// power of two.
+template <typename T>
+class MpmcRing {
+public:
+  explicit MpmcRing(std::size_t min_capacity) {
+    std::size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    cells_ = std::make_unique<Cell[]>(capacity);
+    mask_ = capacity - 1;
+    for (std::size_t i = 0; i < capacity; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// False when the ring is full (the caller decides how to back off).
+  bool try_push(T&& value) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+        cpu_relax();
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty.
+  bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+        cpu_relax();
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  std::size_t size_estimate() const {
+    const std::uint64_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+private:
+  struct Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+/// Lock-free token bucket: take is a CAS loop on an atomic token count
+/// (O(1), no locks), refill is driven by the scheduler thread from
+/// simulated time. Used as the ingest-side overload guard: thousands of
+/// concurrent producers can check "may this tenant submit now" without
+/// serializing on the admission path.
+class AtomicTokenBucket {
+public:
+  AtomicTokenBucket(double rate_per_hour, double burst)
+      : rate_per_hour_(rate_per_hour), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token; false when dry. Safe from any thread.
+  bool try_take() {
+    double current = tokens_.load(std::memory_order_relaxed);
+    while (current >= 1.0) {
+      if (tokens_.compare_exchange_weak(current, current - 1.0,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed))
+        return true;
+      cpu_relax();
+    }
+    return false;
+  }
+
+  /// Adds `elapsed` seconds worth of tokens (clamped to the burst depth).
+  /// Called by the drain thread at slice boundaries.
+  void refill(Seconds elapsed) {
+    const double add = elapsed * rate_per_hour_ / 3600.0;
+    double current = tokens_.load(std::memory_order_relaxed);
+    double next = 0.0;
+    do {
+      next = current + add;
+      if (next > burst_) next = burst_;
+    } while (!tokens_.compare_exchange_weak(current, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+  }
+
+  double tokens() const { return tokens_.load(std::memory_order_relaxed); }
+  double burst() const { return burst_; }
+
+private:
+  double rate_per_hour_;
+  double burst_;
+  std::atomic<double> tokens_;
+};
+
+/// N independent MPMC rings; a push lands on shard `ticket % shards`, so
+/// shard choice is deterministic (no racy round-robin) while concurrent
+/// producers spread across rings instead of contending on one pair of
+/// position counters.
+class ShardedAdmissionQueue {
+public:
+  ShardedAdmissionQueue(std::size_t shards, std::size_t shard_capacity);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_capacity() const { return shards_[0]->capacity(); }
+
+  /// Lock-free; false when the target shard is full.
+  bool try_push(StampedJob&& item);
+
+  /// Pops everything currently visible into `out` (unordered across
+  /// shards — callers sort by ticket). Returns the number popped.
+  std::size_t drain(std::vector<StampedJob>& out);
+
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  /// Racy depth estimate across all shards (gauge material).
+  std::size_t depth_estimate() const;
+
+private:
+  std::vector<std::unique_ptr<MpmcRing<StampedJob>>> shards_;
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  alignas(64) std::atomic<std::uint64_t> popped_{0};
+};
+
+/// The QRM's multi-producer front door: real ingestion threads offer()
+/// stamped jobs through the lock-free sharded queue, and the scheduler
+/// thread periodically drains them — sorted back into ticket order — into
+/// Qrm::submit_batch on the simulated clock.
+///
+/// Determinism contract: admission *decisions* (token buckets, tenant
+/// quotas, brownout, capacity) all happen on the scheduler thread in
+/// ticket order, so the outcome of a campaign is a pure function of the
+/// stamped schedule and the drain times — never of thread interleaving.
+/// The lock-free structures only move payloads.
+///
+/// Conservation: when a shard is momentarily full the offer falls back to
+/// a mutex-protected side queue (counted as backpressure) instead of
+/// dropping — every offered job reaches exactly one admission decision.
+class AdmissionGateway {
+public:
+  struct Config {
+    std::size_t shards = 8;
+    std::size_t shard_capacity = 4096;
+  };
+
+  AdmissionGateway(Qrm& qrm, Config config);
+
+  /// Lock-free fast path (any thread). Falls back to the locked overflow
+  /// queue when the shard is full; always succeeds.
+  void offer(StampedJob item);
+
+  /// Scheduler thread: drains all shards plus the overflow queue, sorts
+  /// by ticket, and submits at the QRM's current simulated time. Returns
+  /// (ticket, job id) pairs in ticket order — ids point at QRM records,
+  /// including refused ones (refusals are terminal records, not drops).
+  std::vector<std::pair<std::uint64_t, int>> drain_and_admit();
+
+  std::uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted_calls() const { return drained_; }
+  std::uint64_t backpressure_events() const {
+    return backpressure_.load(std::memory_order_relaxed);
+  }
+  std::size_t depth_estimate() const { return queue_.depth_estimate(); }
+
+private:
+  Qrm* qrm_;
+  ShardedAdmissionQueue queue_;
+  alignas(64) std::atomic<std::uint64_t> offered_{0};
+  alignas(64) std::atomic<std::uint64_t> backpressure_{0};
+  std::uint64_t drained_ = 0;
+  std::mutex overflow_mutex_;
+  std::vector<StampedJob> overflow_;
+  std::vector<StampedJob> scratch_;  ///< drain buffer, reused across calls
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Counter* m_ingested_ = nullptr;
+  obs::Counter* m_backpressure_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+};
+
+}  // namespace hpcqc::sched

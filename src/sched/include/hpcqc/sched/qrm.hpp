@@ -139,6 +139,19 @@ struct AdmissionPolicy {
   /// wait falls below `brownout_exit_fraction` x the limit.
   Seconds brownout_wait_limit = hours(8.0);
   double brownout_exit_fraction = 0.5;
+
+  /// Per-tenant fairness: one project may occupy at most this fraction of
+  /// the queue capacity with pending (queued + retry-backlog) jobs; the
+  /// excess is refused kRejectedOverload with a fair-share reason. 1.0
+  /// disables the cap. This is what keeps a single tenant flooding at 10x
+  /// the fleet's capacity from starving everybody else: the flood fills
+  /// its share and the rest of the queue stays open.
+  double max_tenant_queue_share = 1.0;
+  /// Per-tenant sustained admission rate (jobs/hour); 0 disables tenant
+  /// rate metering. Applies on top of the per-priority class buckets.
+  double tenant_rate_per_hour = 0.0;
+  /// Per-tenant burst depth (used only when tenant_rate_per_hour > 0).
+  double tenant_burst = 32.0;
 };
 
 /// Lifecycle + result record of a quantum job.
@@ -155,6 +168,10 @@ struct QuantumJobRecord {
   std::size_t attempts = 0;       ///< execution attempts started
   std::size_t interruptions = 0;  ///< outage requeues (no attempt charged)
   std::size_t migrations = 0;     ///< devices the job left before this one
+  /// Execution estimate (overhead + shots x shot duration) cached at
+  /// submit; the O(1) wait estimate adds/removes exactly this value as the
+  /// job moves between the queue, the retry backlog, and the device.
+  Seconds estimated_cost = 0.0;
   Seconds next_retry_at = -1.0;   ///< valid while kRetrying
   std::string failure_reason;     ///< last failure / cancellation reason
   JobPriority priority = JobPriority::kNormal;
@@ -289,9 +306,24 @@ public:
   /// never silent.
   int submit(QuantumJob job);
 
-  /// Estimated time until a job submitted now would start: the remainder of
-  /// the active phase plus the execution estimate of everything queued.
+  /// Admits a whole batch in order (the sharded-admission drain path) and
+  /// returns one id per job. Equivalent to calling submit() in a loop,
+  /// plus batched dispatch into the compile farm: every admitted
+  /// parametric structure is prefetched once at the end of the batch, so
+  /// the farm overlaps structure compiles with the rest of the ingest
+  /// window instead of stalling the first dispatch.
+  std::vector<int> submit_batch(std::vector<QuantumJob> jobs);
+
+  /// Estimated time until a job submitted now would start: the remainder
+  /// of the active phase plus the execution estimate of everything queued
+  /// *and* everything waiting out a retry backoff (a device with a deep
+  /// retry backlog is not idle — the backlog re-enters at the queue head).
+  /// O(1): maintained incrementally from the per-job cached estimates.
   Seconds estimated_wait() const;
+
+  /// Pending (queued + retry-backlog) jobs a project currently holds —
+  /// the occupancy the fair-share cap compares against.
+  std::size_t tenant_pending(const std::string& project) const;
 
   /// What submit() would decide for a job of `width` touched qubits at
   /// `priority`, without consuming a token or creating a record. Used by
@@ -443,6 +475,16 @@ private:
     bool try_take(Seconds now);
   };
 
+  /// Per-project admission state: fair-share occupancy, the tenant rate
+  /// bucket, and the bound qrm.tenant.<project>.* counters.
+  struct TenantState {
+    TokenBucket bucket;
+    std::size_t pending = 0;  ///< jobs in the queue or retry backlog
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+  };
+
   /// Per-job open span handles (all kNoSpan without a tracer). The root
   /// handle lives here until the job reaches a terminal state; the stage
   /// handles track whichever lifecycle stage is currently open.
@@ -462,6 +504,12 @@ private:
   void apply_drift_until(Seconds t);
   void promote_due_retries();
   void fail_active_job();
+  /// Bookkeeping for a job entering / leaving the queue or retry backlog:
+  /// keeps the O(1) wait sums and per-tenant occupancy in sync. Must be
+  /// called while the job's payload is still in pending_jobs_.
+  void track_enqueue(int id, bool retry);
+  void track_dequeue(int id, bool retry);
+  TenantState* tenant_state(const std::string& project);
   void push_dead_letter(const QuantumJobRecord& record, QuantumJob job);
   int reject(QuantumJobRecord record, QuantumJobState state,
              const std::string& reason);
@@ -501,6 +549,11 @@ private:
   bool brownout_ = false;
   std::function<bool()> calibration_gate_;
   TokenBucket buckets_[3];  ///< indexed by JobPriority
+  std::map<std::string, TenantState> tenants_;
+  /// Incremental work sums behind the O(1) estimated_wait(): cached
+  /// per-job costs of everything queued / awaiting retry.
+  Seconds queued_work_ = 0.0;
+  Seconds retry_work_ = 0.0;
   int next_id_ = 1;
   std::vector<int> queue_;
   std::vector<int> retry_queue_;  ///< ids waiting out next_retry_at

@@ -91,6 +91,12 @@ void validate_config(const Qrm::Config& config) {
   check(admission.brownout_exit_fraction > 0.0 &&
             admission.brownout_exit_fraction <= 1.0,
         "admission.brownout_exit_fraction must be in (0, 1]");
+  check(admission.max_tenant_queue_share > 0.0 &&
+            admission.max_tenant_queue_share <= 1.0,
+        "admission.max_tenant_queue_share must be in (0, 1]");
+  check(admission.tenant_rate_per_hour >= 0.0,
+        "admission.tenant_rate_per_hour cannot be negative");
+  check(admission.tenant_burst >= 1.0, "admission.tenant_burst must be >= 1");
 }
 
 /// Adapts the device's deterministic per-batch progress callbacks into
@@ -220,13 +226,50 @@ Qrm::TokenBucket& Qrm::bucket(JobPriority priority) {
 }
 
 Seconds Qrm::estimated_wait() const {
-  Seconds wait = phase_ == Phase::kIdle ? 0.0 : phase_end_ - now_;
-  for (const int id : queue_) {
-    const QuantumJob& job = pending_jobs_.at(id);
-    wait += config_.job_overhead +
-            static_cast<double>(job.shots) * device_->shot_duration(job.circuit);
+  // O(1) on purpose: this sits on the admission hot path (every submit,
+  // probe, and brownout update reads it), so the per-job costs are summed
+  // incrementally as jobs move instead of walking the queue. The retry
+  // backlog counts too — those jobs re-enter at the queue head, so a
+  // device nursing a deep backlog must not look idle to fleet selection.
+  const Seconds busy = phase_ == Phase::kIdle ? 0.0 : phase_end_ - now_;
+  return busy + std::max(0.0, queued_work_) + std::max(0.0, retry_work_);
+}
+
+std::size_t Qrm::tenant_pending(const std::string& project) const {
+  const auto it = tenants_.find(project);
+  return it == tenants_.end() ? 0 : it->second.pending;
+}
+
+Qrm::TenantState* Qrm::tenant_state(const std::string& project) {
+  const auto it = tenants_.find(project);
+  if (it != tenants_.end()) return &it->second;
+  TenantState state;
+  state.bucket.rate_per_hour = config_.admission.tenant_rate_per_hour;
+  state.bucket.burst = config_.admission.tenant_burst;
+  state.bucket.tokens = config_.admission.tenant_burst;
+  state.bucket.last_refill = now_;
+  const std::string prefix = "qrm.tenant." + project + ".";
+  state.submitted = &registry_->counter(prefix + "submitted");
+  state.admitted = &registry_->counter(prefix + "admitted");
+  state.rejected = &registry_->counter(prefix + "rejected");
+  return &tenants_.emplace(project, state).first->second;
+}
+
+void Qrm::track_enqueue(int id, bool retry) {
+  const Seconds cost = records_.at(id).estimated_cost;
+  (retry ? retry_work_ : queued_work_) += cost;
+  const QuantumJob& job = pending_jobs_.at(id);
+  if (!job.project.empty()) tenant_state(job.project)->pending += 1;
+}
+
+void Qrm::track_dequeue(int id, bool retry) {
+  const Seconds cost = records_.at(id).estimated_cost;
+  (retry ? retry_work_ : queued_work_) -= cost;
+  const QuantumJob& job = pending_jobs_.at(id);
+  if (!job.project.empty()) {
+    TenantState* tenant = tenant_state(job.project);
+    if (tenant->pending > 0) tenant->pending -= 1;
   }
-  return wait;
 }
 
 Qrm::AdmissionProbe Qrm::probe_admission(int width,
@@ -309,6 +352,7 @@ void Qrm::shed_low_priority() {
   for (const int id : queue_)
     if (records_.at(id).priority == JobPriority::kLow) victims.push_back(id);
   for (const int id : victims) {
+    track_dequeue(id, /*retry=*/false);
     std::erase(queue_, id);
     auto& record = records_.at(id);
     record.state = QuantumJobState::kShed;
@@ -381,7 +425,13 @@ int Qrm::submit(QuantumJob job) {
   record.submit_time = now_;
   record.priority = job.priority;
   record.migrations = job.migrations;
+  record.estimated_cost =
+      config_.job_overhead +
+      static_cast<double>(job.shots) * device_->shot_duration(job.circuit);
   m_submitted_->inc();
+  TenantState* tenant =
+      job.project.empty() ? nullptr : tenant_state(job.project);
+  if (tenant != nullptr) tenant->submitted->inc();
 
   if (tracer_ != nullptr) {
     // Root span of this submission's trace; the client's context (when set)
@@ -410,6 +460,7 @@ int Qrm::submit(QuantumJob job) {
     const int capacity = static_cast<int>(
         device_->health().largest_component(device_->topology()).size());
     if (width > capacity) {
+      if (tenant != nullptr) tenant->rejected->inc();
       return reject(std::move(record), QuantumJobState::kRejectedTooWide,
                     "needs " + std::to_string(width) +
                         " qubits; largest healthy component has " +
@@ -417,26 +468,50 @@ int Qrm::submit(QuantumJob job) {
     }
   }
 
-  // Overload control: brownout class suspension, hard queue cap, then the
-  // per-priority token bucket. A migrated-in job was rate-controlled once
-  // at its fleet-wide admission, so only the capacity cap applies to it.
+  // Overload control: brownout class suspension, hard queue cap, tenant
+  // fair-share + quota, then the per-priority token bucket. A migrated-in
+  // job was rate-controlled once at its fleet-wide admission, so only the
+  // capacity cap applies to it.
   update_brownout();
   if (!job.migrated_in && brownout_ && job.priority == JobPriority::kLow) {
+    if (tenant != nullptr) tenant->rejected->inc();
     return reject(std::move(record), QuantumJobState::kRejectedOverload,
                   "brownout: low-priority admissions suspended");
   }
   if (queue_.size() >= config_.admission.queue_capacity) {
+    if (tenant != nullptr) tenant->rejected->inc();
     return reject(std::move(record), QuantumJobState::kRejectedOverload,
                   "queue full (" +
                       std::to_string(config_.admission.queue_capacity) +
                       " jobs)");
   }
+  if (tenant != nullptr && !job.migrated_in &&
+      config_.admission.max_tenant_queue_share < 1.0) {
+    const auto cap = static_cast<std::size_t>(std::ceil(
+        config_.admission.max_tenant_queue_share *
+        static_cast<double>(config_.admission.queue_capacity)));
+    if (tenant->pending >= cap) {
+      tenant->rejected->inc();
+      return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                    "tenant '" + job.project + "' exceeds its fair share (" +
+                        std::to_string(cap) + " pending jobs)");
+    }
+  }
+  if (tenant != nullptr && !job.migrated_in &&
+      config_.admission.tenant_rate_per_hour > 0.0 &&
+      !tenant->bucket.try_take(now_)) {
+    tenant->rejected->inc();
+    return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                  "tenant '" + job.project + "' admission rate exceeded");
+  }
   if (!job.migrated_in && !bucket(job.priority).try_take(now_)) {
+    if (tenant != nullptr) tenant->rejected->inc();
     return reject(std::move(record), QuantumJobState::kRejectedOverload,
                   std::string("admission rate exceeded for ") +
                       to_string(job.priority) + " priority");
   }
   if (job.migrated_in) m_migrated_in_->inc();
+  if (tenant != nullptr) tenant->admitted->inc();
 
   const int id = record.id;
   if (tracer_ != nullptr) {
@@ -446,10 +521,31 @@ int Qrm::submit(QuantumJob job) {
   records_.emplace(id, std::move(record));
   pending_jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
+  track_enqueue(id, /*retry=*/false);
   open_queue_span(id, "admitted");
   note_queue_gauge();
   update_brownout();
   return id;
+}
+
+std::vector<int> Qrm::submit_batch(std::vector<QuantumJob> jobs) {
+  std::vector<int> ids;
+  ids.reserve(jobs.size());
+  for (QuantumJob& job : jobs) ids.push_back(submit(std::move(job)));
+  // Batched dispatch into the compile farm: warm every admitted parametric
+  // structure now (single-flight dedup collapses repeats), so the farm
+  // overlaps compilation with the rest of the ingest window. No wait_idle
+  // here — the dispatch path still barriers before mutating the device.
+  if (compile_service_ != nullptr &&
+      compile_service_->compile_farm() != nullptr) {
+    for (const int id : ids) {
+      const auto it = pending_jobs_.find(id);
+      if (it == pending_jobs_.end() || it->second.parametric == nullptr)
+        continue;
+      compile_service_->prefetch_structure(it->second.parametric);
+    }
+  }
+  return ids;
 }
 
 bool Qrm::cancel(int id, const std::string& reason) {
@@ -460,6 +556,7 @@ bool Qrm::cancel(int id, const std::string& reason) {
   if (record.state != QuantumJobState::kQueued &&
       record.state != QuantumJobState::kRetrying)
     return false;
+  track_dequeue(id, record.state == QuantumJobState::kRetrying);
   std::erase(queue_, id);
   std::erase(retry_queue_, id);
   record.state = QuantumJobState::kCancelled;
@@ -502,6 +599,7 @@ std::optional<Qrm::MigratedJob> Qrm::extract_job(int id,
   if (record.state != QuantumJobState::kQueued &&
       record.state != QuantumJobState::kRetrying)
     return std::nullopt;
+  track_dequeue(id, record.state == QuantumJobState::kRetrying);
   std::erase(queue_, id);
   std::erase(retry_queue_, id);
   MigratedJob out;
@@ -572,6 +670,7 @@ bool Qrm::dead_letter_job(int id, const std::string& reason) {
   if (record.state != QuantumJobState::kQueued &&
       record.state != QuantumJobState::kRetrying)
     return false;
+  track_dequeue(id, record.state == QuantumJobState::kRetrying);
   std::erase(queue_, id);
   std::erase(retry_queue_, id);
   record.state = QuantumJobState::kFailed;
@@ -632,6 +731,7 @@ void Qrm::set_offline(const std::string& reason) {
     record.interruptions += 1;
     record.failure_reason = "interrupted by outage: " + reason;
     queue_.insert(queue_.begin(), active_job_);
+    track_enqueue(active_job_, /*retry=*/false);
     note_queue_gauge();
     if (tracer_ != nullptr) {
       JobSpans& spans = job_spans_.at(active_job_);
@@ -698,6 +798,8 @@ void Qrm::promote_due_retries() {
   for (auto it = due.rbegin(); it != due.rend(); ++it)
     queue_.insert(queue_.begin(), *it);
   for (const int id : due) {
+    track_dequeue(id, /*retry=*/true);
+    track_enqueue(id, /*retry=*/false);
     std::erase(retry_queue_, id);
     auto& record = records_.at(id);
     record.state = QuantumJobState::kQueued;
@@ -755,6 +857,7 @@ void Qrm::fail_active_job() {
                             std::to_string(record.attempts) + ")";
     record.next_retry_at = now_ + config_.retry.backoff(record.attempts);
     retry_queue_.push_back(active_job_);
+    track_enqueue(active_job_, /*retry=*/true);
     m_retries_->inc();
     if (tracer_ != nullptr) {
       JobSpans& spans = job_spans_.at(active_job_);
@@ -1019,6 +1122,7 @@ void Qrm::begin_next_work() {
       if (pick == queue_.size()) return;  // everything queued is held
     }
     const int id = queue_[pick];
+    track_dequeue(id, /*retry=*/false);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
     note_queue_gauge();
     auto& record = records_.at(id);

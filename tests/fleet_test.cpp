@@ -16,6 +16,8 @@
 #include "hpcqc/calibration/benchmark.hpp"
 #include "hpcqc/common/error.hpp"
 #include "hpcqc/device/presets.hpp"
+#include "hpcqc/fault/fault_plan.hpp"
+#include "hpcqc/fault/injector.hpp"
 #include "hpcqc/obs/trace.hpp"
 #include "hpcqc/sched/fleet.hpp"
 
@@ -153,6 +155,46 @@ TEST_F(FleetTest, SelectionBalancesByEstimatedWait) {
       fleet.submit(ghz_job(fleet.device_model(0), 4, 200, "short"));
   EXPECT_NE(fleet.record(second).device, owner);
   fleet.drain();
+  EXPECT_TRUE(fleet.conservation().holds());
+}
+
+TEST_F(FleetTest, RetryBacklogCountsTowardEstimatedWaitInSelection) {
+  // Regression: a device whose queue is empty but whose retry backlog is
+  // deep used to report estimated_wait() == 0 and look idle to the
+  // selector, so fresh work piled up behind jobs that re-enter at the
+  // queue head when their backoff expires.
+  Fleet::Config config = fast_config();
+  config.fidelity_weight = 0.0;  // isolate the wait term
+  config.qrm.retry.initial_backoff = hours(4.0);
+  config.qrm.retry.max_backoff = hours(8.0);
+  auto owned = make_fleet(2, config);
+  Fleet& fleet = *owned;
+
+  // A fault window on device 0 only: its job fails the first attempt and
+  // parks in the retry backlog for hours.
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, minutes(30.0),
+            "transient abort"});
+  fault::FaultInjector injector(plan);
+  fleet.qrm(0).set_fault_injector(&injector);
+  const int doomed =
+      fleet.qrm(0).submit(ghz_job(fleet.device_model(0), 6, 2000, "doomed"));
+
+  fleet.advance_to(minutes(10.0));
+  ASSERT_EQ(fleet.qrm(0).record(doomed).state, QuantumJobState::kRetrying);
+  ASSERT_EQ(fleet.qrm(0).queue_length(), 0u);
+  ASSERT_EQ(fleet.qrm(0).retry_backlog(), 1u);
+  // The backlog is visible in the wait estimate even with an empty queue.
+  EXPECT_GT(fleet.qrm(0).estimated_wait(), 0.0);
+  EXPECT_EQ(fleet.qrm(1).retry_backlog(), 0u);
+
+  // Selection routes the fresh job to the genuinely idle peer.
+  const int placed =
+      fleet.submit(ghz_job(fleet.device_model(1), 4, 200, "fresh"));
+  EXPECT_EQ(fleet.record(placed).device, 1);
+
+  fleet.drain();
+  EXPECT_EQ(fleet.qrm(0).record(doomed).state, QuantumJobState::kCompleted);
   EXPECT_TRUE(fleet.conservation().holds());
 }
 

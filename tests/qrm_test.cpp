@@ -692,6 +692,131 @@ TEST(QrmDeadLetter, DrainedLettersReplayUnderTheOriginalTraceContext) {
   EXPECT_TRUE(audit.holds());
 }
 
+TEST(QrmDeadLetter, DrainReturnsLettersInFailureOrderAndReplaysInOrder) {
+  Rng rng(13);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 1;
+  Qrm qrm(device, config, rng, nullptr);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(2.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  const int a = qrm.submit(ghz_job(device, 4, 500, "first"));
+  const int b = qrm.submit(ghz_job(device, 4, 500, "second"));
+  const int c = qrm.submit(ghz_job(device, 4, 500, "third"));
+  qrm.drain();
+
+  auto letters = qrm.drain_dead_letters();
+  ASSERT_EQ(letters.size(), 3u);
+  // Drain preserves failure order (== submission order here): the replay
+  // loop re-submits oldest-first, so recovered work keeps its FIFO shape.
+  EXPECT_EQ(letters[0].id, a);
+  EXPECT_EQ(letters[1].id, b);
+  EXPECT_EQ(letters[2].id, c);
+  EXPECT_LE(letters[0].failed_at, letters[1].failed_at);
+  EXPECT_LE(letters[1].failed_at, letters[2].failed_at);
+
+  // Replaying in drain order after the fault window completes in the same
+  // order.
+  qrm.advance_to(hours(3.0));
+  std::vector<int> replays;
+  for (auto& letter : letters)
+    replays.push_back(qrm.submit(std::move(letter.job)));
+  qrm.drain();
+  for (std::size_t i = 0; i + 1 < replays.size(); ++i) {
+    EXPECT_EQ(qrm.record(replays[i]).state, QuantumJobState::kCompleted);
+    EXPECT_LE(qrm.record(replays[i]).end_time,
+              qrm.record(replays[i + 1]).start_time);
+  }
+  EXPECT_EQ(qrm.record(replays.back()).state, QuantumJobState::kCompleted);
+  EXPECT_TRUE(qrm.conservation().holds());
+}
+
+TEST(QrmDeadLetter, DrainKeepsAClientSuppliedTraceContext) {
+  Rng rng(15);
+  device::DeviceModel device = device::make_iqm20(rng);
+  obs::Tracer tracer;
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 1;
+  Qrm qrm(device, config, rng, nullptr);
+  qrm.set_tracer(&tracer);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(2.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  // The client owns a submission span; its context rides on the job.
+  const obs::SpanHandle client = tracer.begin_span("client-submit", 0.0);
+  const obs::TraceContext client_context = tracer.context(client);
+  QuantumJob job = ghz_job(device, 4, 500, "traced");
+  job.trace = client_context;
+  const int id = qrm.submit(std::move(job));
+  qrm.drain();
+  ASSERT_EQ(qrm.record(id).state, QuantumJobState::kFailed);
+
+  auto letters = qrm.drain_dead_letters();
+  ASSERT_EQ(letters.size(), 1u);
+  // The drain must NOT overwrite a client-supplied context with the failed
+  // run's root — the client's trace stays the authority on replay.
+  EXPECT_EQ(letters[0].job.trace, client_context);
+  EXPECT_EQ(letters[0].job.trace.trace_id, client_context.trace_id);
+  tracer.end_span(client, 1.0, obs::SpanStatus::kOk);
+}
+
+TEST(QrmDeadLetter, SecondDrainIsEmptyAndDoesNotInflateTheCounter) {
+  Rng rng(17);
+  device::DeviceModel device = device::make_iqm20(rng);
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 1;
+  Qrm qrm(device, config, rng, nullptr);
+  fault::FaultPlan plan;
+  plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(2.0),
+            "persistent abort"});
+  fault::FaultInjector injector(plan);
+  qrm.set_fault_injector(&injector);
+
+  qrm.submit(ghz_job(device, 4, 500, "doomed"));
+  qrm.drain();
+  EXPECT_EQ(qrm.drain_dead_letters().size(), 1u);
+  EXPECT_EQ(qrm.metrics().dead_letters_drained, 1u);
+  // An empty drain hands out nothing and leaves the counter alone.
+  EXPECT_TRUE(qrm.drain_dead_letters().empty());
+  EXPECT_EQ(qrm.metrics().dead_letters_drained, 1u);
+  EXPECT_TRUE(qrm.dead_letters().empty());
+}
+
+TEST(QrmDeadLetter, QueuedJobDeadLetteredDirectlyDrainsWithItsTrace) {
+  // The migration-failure path (dead_letter_job on a queued payload) must
+  // produce a drainable letter whose payload joins the original trace,
+  // exactly like the retry-exhaustion path.
+  Rng rng(19);
+  device::DeviceModel device = device::make_iqm20(rng);
+  obs::Tracer tracer;
+  Qrm qrm(device, fast_config(), rng, nullptr);
+  qrm.set_tracer(&tracer);
+
+  const int running = qrm.submit(ghz_job(device, 4, 500000, "running"));
+  const int parked = qrm.submit(ghz_job(device, 4, 500, "parked"));
+  qrm.advance_to(minutes(3.0));
+  ASSERT_EQ(qrm.record(running).state, QuantumJobState::kRunning);
+  ASSERT_TRUE(qrm.dead_letter_job(parked, "no migration target"));
+  const obs::TraceContext root = qrm.record(parked).trace;
+  ASSERT_TRUE(root.valid());
+
+  auto letters = qrm.drain_dead_letters();
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].id, parked);
+  EXPECT_EQ(letters[0].trace, root);
+  EXPECT_TRUE(letters[0].job.trace.valid());
+  EXPECT_EQ(letters[0].job.trace, root);
+  qrm.drain();
+  EXPECT_TRUE(qrm.conservation().holds());
+}
+
 TEST_F(QrmTest, RepeatedOfflineMidRunDoesNotDuplicateTheJob) {
   // A duplicate outage notification while already offline must not requeue
   // the interrupted job a second time.
