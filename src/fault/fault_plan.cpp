@@ -42,6 +42,11 @@ FaultPlan& FaultPlan::add(FaultEvent event) {
   return *this;
 }
 
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  for (const FaultEvent& event : other.events()) add(event);
+  return *this;
+}
+
 std::size_t FaultPlan::count(FaultSite site) const {
   return static_cast<std::size_t>(
       std::count_if(events_.begin(), events_.end(),

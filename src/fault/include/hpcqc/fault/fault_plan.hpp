@@ -103,6 +103,12 @@ public:
   /// Inserts an event, keeping the schedule sorted by start time.
   FaultPlan& add(FaultEvent event);
 
+  /// Splices every event of `other` into this plan (sorted merge) —
+  /// composes a generated Poisson schedule with hand-authored scripted
+  /// events, e.g. a guaranteed correlated fleet outage in a short test
+  /// horizon.
+  FaultPlan& merge(const FaultPlan& other);
+
   const std::vector<FaultEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }

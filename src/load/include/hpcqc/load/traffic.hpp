@@ -41,6 +41,10 @@ struct TrafficConfig {
   double diurnal_amplitude = 0.6;  ///< in [0, 1); 0 = flat
   Seconds diurnal_period = hours(24.0);
   Seconds diurnal_peak = hours(14.0);
+  /// Rate multiplier on days 5 and 6 of every 7-day week (t = 0 starts a
+  /// Monday). 1.0 = no weekly structure; < 1 models the HPC-center lull
+  /// that year-scale campaigns need to reproduce.
+  double weekend_factor = 1.0;
 
   /// Job-class mix weights (normalized internally).
   double ghz_weight = 0.2;

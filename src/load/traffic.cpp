@@ -33,6 +33,7 @@ void validate_config(const TrafficConfig& config) {
   check(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0,
         "diurnal_amplitude must be in [0, 1)");
   check(config.diurnal_period > 0.0, "diurnal_period must be positive");
+  check(config.weekend_factor > 0.0, "weekend_factor must be positive");
   check(config.ghz_weight >= 0.0 && config.sampling_weight >= 0.0 &&
             config.vqe_weight >= 0.0 && config.qaoa_weight >= 0.0,
         "mix weights cannot be negative");
@@ -84,7 +85,11 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config)
 double TrafficGenerator::rate_at(Seconds t) const {
   const double phase = 2.0 * M_PI * (t - config_.diurnal_peak) /
                        config_.diurnal_period;
-  return config_.base_rate_per_hour *
+  const int day_of_week =
+      static_cast<int>(std::floor(to_days(t))) % 7;  // t = 0 is a Monday
+  const double weekly =
+      day_of_week == 5 || day_of_week == 6 ? config_.weekend_factor : 1.0;
+  return config_.base_rate_per_hour * weekly *
          (1.0 + config_.diurnal_amplitude * std::cos(phase));
 }
 
@@ -103,9 +108,12 @@ std::vector<Arrival> TrafficGenerator::generate() const {
       config_.base_rate_per_hour * to_hours(config_.duration) * 1.2));
 
   // Non-homogeneous Poisson via thinning: draw candidate gaps at the peak
-  // rate, keep each candidate with probability rate(t) / rate_max.
-  const double rate_max =
-      config_.base_rate_per_hour * (1.0 + config_.diurnal_amplitude);
+  // rate, keep each candidate with probability rate(t) / rate_max. The
+  // envelope must dominate rate_at everywhere, including a weekend boost
+  // when weekend_factor > 1.
+  const double rate_max = config_.base_rate_per_hour *
+                          std::max(1.0, config_.weekend_factor) *
+                          (1.0 + config_.diurnal_amplitude);
   Seconds t = 0.0;
   std::uint64_t ticket = 0;
   while (true) {

@@ -135,6 +135,10 @@ public:
   }
 
   MetricsSnapshot snapshot() const;
+  /// Snapshot restricted to series whose name starts with `prefix` — lets
+  /// reports carve one subsystem (e.g. "qrm.tenant.") out of a shared
+  /// registry without copying the rest.
+  MetricsSnapshot snapshot(const std::string& prefix) const;
 
 private:
   std::map<std::string, Counter> counters_;

@@ -127,6 +127,31 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot(const std::string& prefix) const {
+  const auto matches = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    if (matches(name)) snap.counters.push_back({name, counter.value()});
+  for (const auto& [name, gauge] : gauges_)
+    if (matches(name)) snap.gauges.push_back({name, gauge.value()});
+  for (const auto& [name, hist] : histograms_) {
+    if (!matches(name)) continue;
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = hist.count();
+    value.sum = hist.sum();
+    value.p50 = hist.quantile(0.50);
+    value.p95 = hist.quantile(0.95);
+    value.p99 = hist.quantile(0.99);
+    value.bounds = hist.bounds();
+    value.buckets = hist.bucket_counts();
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
 const MetricsSnapshot::Value* MetricsSnapshot::counter(
     const std::string& name) const {
   for (const auto& value : counters)

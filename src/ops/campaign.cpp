@@ -69,6 +69,7 @@ CampaignResult OperationsCampaign::run() {
 
   Seconds next_maintenance = config_.maintenance_period;
   Seconds maintenance_until = -1.0;
+  bool maintenance_deferred = false;
 
   Seconds online_time = 0.0;
   int last_day = 0;
@@ -142,15 +143,30 @@ CampaignResult OperationsCampaign::run() {
                               : facility::QcPowerState::kCooldown);
 
     // --- Preventive maintenance (§3.4) ----------------------------------------
-    if (t >= next_maintenance && qrm_->online() && !outage_active) {
-      maintenance_until = t + config_.maintenance_duration;
-      next_maintenance += config_.maintenance_period;
-      qrm_->set_offline("preventive maintenance window");
-      ghs_.flush_ln2_system();
-      if (ups_.battery_health() < 0.8) ups_.replace_batteries();
-      if (ghs_.tip_seal_health() < 0.4) ghs_.replace_tip_seals();
-      ++result.maintenance_windows;
-      log_.info(t, "ops", "one-day preventive maintenance started");
+    if (t >= next_maintenance) {
+      if (qrm_->online() && !outage_active) {
+        maintenance_until = t + config_.maintenance_duration;
+        // Schedule the next window from the actual start, not the nominal
+        // due time: a window deferred past a long outage must not make the
+        // following windows fire back-to-back to "catch up".
+        next_maintenance = t + config_.maintenance_period;
+        qrm_->set_offline("preventive maintenance window");
+        ghs_.flush_ln2_system();
+        if (ups_.battery_health() < 0.8) ups_.replace_batteries();
+        if (ghs_.tip_seal_health() < 0.4) ghs_.replace_tip_seals();
+        ++result.maintenance_windows;
+        maintenance_deferred = false;
+        log_.info(t, "ops", "one-day preventive maintenance started");
+      } else if (!maintenance_deferred) {
+        // Due while the QPU is already down: defer until it is back in
+        // service (counted once per due window).
+        maintenance_deferred = true;
+        ++result.maintenance_deferrals;
+        log_.info(t, "ops",
+                  std::string("preventive maintenance deferred: ") +
+                      (outage_active ? "outage in progress"
+                                     : "QPU out of service"));
+      }
     }
 
     // --- Return to service ------------------------------------------------------

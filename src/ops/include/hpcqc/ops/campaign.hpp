@@ -60,6 +60,10 @@ struct CampaignResult {
   std::vector<RecoveryReport> recoveries;
   std::size_t ln2_refills = 0;
   std::size_t maintenance_windows = 0;
+  /// Windows that came due while an outage (or its recovery) held the QPU
+  /// out of service; each is deferred — started once the QPU returns —
+  /// never silently dropped.
+  std::size_t maintenance_deferrals = 0;
   /// Alert raise events over the campaign (the Fig.-3 operational-analytics
   /// layer reacting to the telemetry: over-temperature water, degraded GHZ
   /// health, UPS discharge).

@@ -152,6 +152,14 @@ struct AdmissionPolicy {
   double tenant_rate_per_hour = 0.0;
   /// Per-tenant burst depth (used only when tenant_rate_per_hour > 0).
   double tenant_burst = 32.0;
+  /// Cardinality cap on the per-tenant metric series: the first this-many
+  /// distinct projects get dedicated qrm.tenant.<project>.* counters, the
+  /// long tail shares one qrm.tenant.other.* rollup. Under zipf traffic
+  /// the heavy hitters arrive first with overwhelming probability, so the
+  /// dedicated set is in practice the top-K — while fairness caps and
+  /// rate quotas stay exact for every tenant regardless. 0 rolls every
+  /// project into the shared series.
+  std::size_t tenant_metric_series = 64;
 };
 
 /// Lifecycle + result record of a quantum job.
@@ -550,6 +558,7 @@ private:
   std::function<bool()> calibration_gate_;
   TokenBucket buckets_[3];  ///< indexed by JobPriority
   std::map<std::string, TenantState> tenants_;
+  std::size_t tenant_series_ = 0;  ///< dedicated metric series handed out
   /// Incremental work sums behind the O(1) estimated_wait(): cached
   /// per-job costs of everything queued / awaiting retry.
   Seconds queued_work_ = 0.0;

@@ -248,7 +248,16 @@ Qrm::TenantState* Qrm::tenant_state(const std::string& project) {
   state.bucket.burst = config_.admission.tenant_burst;
   state.bucket.tokens = config_.admission.tenant_burst;
   state.bucket.last_refill = now_;
-  const std::string prefix = "qrm.tenant." + project + ".";
+  // Metric cardinality cap: only the first tenant_metric_series distinct
+  // projects get their own qrm.tenant.<project>.* counters; the tail binds
+  // the shared qrm.tenant.other.* rollup so a zipf population of thousands
+  // cannot blow up the registry. The admission state above stays exact per
+  // tenant either way.
+  const bool dedicated =
+      tenant_series_ < config_.admission.tenant_metric_series;
+  if (dedicated) ++tenant_series_;
+  const std::string prefix =
+      dedicated ? "qrm.tenant." + project + "." : "qrm.tenant.other.";
   state.submitted = &registry_->counter(prefix + "submitted");
   state.admitted = &registry_->counter(prefix + "admitted");
   state.rejected = &registry_->counter(prefix + "rejected");

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/telemetry/alerts.hpp"
+
+namespace hpcqc::telemetry {
+
+/// Service-level objectives of a serving campaign. `success_target` is the
+/// SLO on the good-outcome fraction of offered work (completed vs
+/// dead-lettered / shed / fallen back to the emulator);
+/// `availability_target` is the SLO on the fraction of wall time at least
+/// one device is in service; `p99_turnaround_target` bounds the tail
+/// submit-to-result latency. Burn-rate alerting follows the standard
+/// multi-window shape: the error budget is consumed at rate 1.0 when the
+/// service exactly meets its target, `fast_burn`/`slow_burn` are the
+/// paging thresholds evaluated over `burn_window` slices.
+struct SloTargets {
+  double success_target = 0.97;
+  double availability_target = 0.99;
+  Seconds p99_turnaround_target = hours(6.0);
+  Seconds burn_window = days(1.0);
+  double fast_burn = 14.4;  ///< page: budget gone in ~2.5 days at this rate
+  double slow_burn = 6.0;   ///< ticket: budget gone in ~2 months
+};
+
+/// Running error budget against one SLO target: `good`/`bad` count
+/// outcomes, the budget is the allowed bad fraction (1 - target), and
+/// `consumed()` reports how much of it the campaign has spent (1.0 =
+/// exactly exhausted). Empty budgets report a perfect SLI and zero burn.
+struct ErrorBudget {
+  double target = 0.97;
+  std::size_t good = 0;
+  std::size_t bad = 0;
+
+  /// Good-outcome fraction so far; 1.0 when nothing happened yet.
+  double sli() const {
+    const std::size_t total = good + bad;
+    return total == 0 ? 1.0
+                      : static_cast<double>(good) / static_cast<double>(total);
+  }
+  /// Allowed bad fraction (clamped away from zero for a degenerate
+  /// target >= 1, where any failure exhausts the budget).
+  double budget() const { return 1.0 - target; }
+  /// Fraction of the error budget consumed; > 1 means overspent.
+  double consumed() const;
+  bool exhausted() const { return consumed() > 1.0; }
+};
+
+/// Burn rate of one observation window: the bad fraction divided by the
+/// budgeted bad fraction. 1.0 = consuming the budget exactly as fast as
+/// the SLO allows; an empty window burns nothing.
+double burn_rate(std::size_t good, std::size_t bad, double target);
+
+/// Installs the standard SLO alert rules over "<prefix>.burn_rate" and
+/// "<prefix>.availability" sensors: a fast-burn page (no hold), a
+/// slow-burn ticket (must persist two burn windows), and an availability
+/// breach. Campaigns append one sample per burn window and then call
+/// AlertEngine::evaluate.
+void install_slo_alert_rules(AlertEngine& alerts, const std::string& prefix,
+                             const SloTargets& targets);
+
+}  // namespace hpcqc::telemetry

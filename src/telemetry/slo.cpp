@@ -1,0 +1,57 @@
+#include "hpcqc/telemetry/slo.hpp"
+
+#include <algorithm>
+
+namespace hpcqc::telemetry {
+
+namespace {
+
+/// A target of 1.0 leaves no budget at all; bound the divisor so the math
+/// stays finite and any failure shows up as a very large burn instead of
+/// an inf/NaN that would poison report diffs.
+constexpr double kMinBudget = 1.0e-9;
+
+}  // namespace
+
+double ErrorBudget::consumed() const {
+  const std::size_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / std::max(budget(), kMinBudget);
+}
+
+double burn_rate(std::size_t good, std::size_t bad, double target) {
+  const std::size_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / std::max(1.0 - target, kMinBudget);
+}
+
+void install_slo_alert_rules(AlertEngine& alerts, const std::string& prefix,
+                             const SloTargets& targets) {
+  AlertRule fast;
+  fast.name = prefix + ".fast_burn";
+  fast.sensor = prefix + ".burn_rate";
+  fast.condition = AlertCondition::kAbove;
+  fast.threshold = targets.fast_burn;
+  alerts.add_rule(fast);
+
+  AlertRule slow;
+  slow.name = prefix + ".slow_burn";
+  slow.sensor = prefix + ".burn_rate";
+  slow.condition = AlertCondition::kAbove;
+  slow.threshold = targets.slow_burn;
+  slow.hold = 2.0 * targets.burn_window;
+  alerts.add_rule(slow);
+
+  AlertRule availability;
+  availability.name = prefix + ".availability_slo";
+  availability.sensor = prefix + ".availability";
+  availability.condition = AlertCondition::kBelow;
+  availability.threshold = targets.availability_target;
+  alerts.add_rule(availability);
+}
+
+}  // namespace hpcqc::telemetry

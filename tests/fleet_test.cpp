@@ -365,5 +365,78 @@ TEST_F(FleetTest, CalibrationSlotsClampToFleetSizeMinusOne) {
   EXPECT_LE(max_calibrating, 1u);
 }
 
+TEST_F(FleetTest, DeadLetterReplayDuringMigrationNeitherLosesNorDuplicates) {
+  // Operator replay racing a fleet migration: jobs placed on device 0 are
+  // partly dead-lettered, then device 0 goes down and device 1 comes up.
+  // The DLQ is drained and re-submitted through the fleet BEFORE the
+  // rebalance migrates device 0's surviving queue. Every job must execute
+  // exactly once, the replays must not be migrated a second time, and
+  // conservation must hold fleet-wide.
+  obs::Tracer tracer;
+  auto owned = make_fleet(2, fast_config());
+  Fleet& fleet = *owned;
+  fleet.set_tracer(&tracer);
+  fleet.set_device_offline(1, "commissioning");
+
+  std::vector<int> ids;
+  for (int j = 0; j < 6; ++j)
+    ids.push_back(fleet.submit(
+        ghz_job(fleet.device_model(0), 4, 200, "job-" + std::to_string(j))));
+  for (const int id : ids) ASSERT_EQ(fleet.record(id).device, 0);
+
+  // Dead-letter the first two while they are still queued on device 0.
+  for (int j = 0; j < 2; ++j)
+    ASSERT_TRUE(fleet.qrm(0).dead_letter_job(fleet.record(ids[j]).local_id,
+                                             "poisoned payload"));
+
+  // The outage/recovery swap: device 0 down, device 1 back, with device
+  // 0's four surviving jobs now awaiting migration.
+  fleet.set_device_offline(0, "cryo outage");
+  fleet.set_device_online(1);
+
+  // Replay the DLQ through the fleet front door before the rebalance runs.
+  auto letters = fleet.qrm(0).drain_dead_letters();
+  ASSERT_EQ(letters.size(), 2u);
+  std::vector<int> replay_ids;
+  for (auto& letter : letters) {
+    EXPECT_TRUE(letter.job.trace.valid());  // replay joins the failed trace
+    replay_ids.push_back(fleet.submit(std::move(letter.job)));
+  }
+  for (const int id : replay_ids) EXPECT_EQ(fleet.record(id).device, 1);
+
+  fleet.rebalance();
+  fleet.drain();
+
+  // Originals that survived migrated once to device 1 and completed there;
+  // the dead-lettered two stay failed on device 0 — the replays, not the
+  // originals, carry their work.
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_EQ(fleet.state(ids[j]), QuantumJobState::kFailed);
+    EXPECT_EQ(fleet.record(ids[j]).migrations, 0u);
+  }
+  for (int j = 2; j < 6; ++j) {
+    EXPECT_EQ(fleet.state(ids[j]), QuantumJobState::kCompleted);
+    EXPECT_EQ(fleet.record(ids[j]).device, 1);
+    EXPECT_EQ(fleet.record(ids[j]).migrations, 1u);
+  }
+  for (const int id : replay_ids) {
+    EXPECT_EQ(fleet.state(id), QuantumJobState::kCompleted);
+    EXPECT_EQ(fleet.record(id).migrations, 0u);
+  }
+
+  // No double execution: device 1 completed exactly the four migrated
+  // originals plus the two replays; device 0 completed nothing.
+  EXPECT_EQ(fleet.qrm(1).metrics().jobs_completed, 6u);
+  EXPECT_EQ(fleet.qrm(0).metrics().jobs_completed, 0u);
+  EXPECT_TRUE(fleet.qrm(0).dead_letters().empty());
+
+  const JobConservation audit = fleet.conservation();
+  EXPECT_TRUE(audit.holds());
+  EXPECT_EQ(audit.in_flight, 0u);
+  EXPECT_EQ(audit.submitted, 8u);  // 6 originals + 2 replays
+  EXPECT_EQ(audit.completed, 6u);
+  EXPECT_EQ(audit.failed, 2u);
+}
+
 }  // namespace
 }  // namespace hpcqc::sched

@@ -117,5 +117,77 @@ TEST(HealthAnalyzer, ParamValidation) {
   EXPECT_THROW(HealthAnalyzer{bad}, PreconditionError);
 }
 
+TEST(FleetAvailability, OverlappingOutagesMergeIntoOneAllDownInterval) {
+  // Device A down over [10, 30], device B over [20, 40]: each device books
+  // its own 20 s of downtime, but the fleet is only all-down where the
+  // windows overlap, [20, 30].
+  TimeSeriesStore store;
+  store.append("a.online", 0.0, 1.0);
+  store.append("b.online", 0.0, 1.0);
+  store.append("a.online", 10.0, 0.0);
+  store.append("b.online", 20.0, 0.0);
+  store.append("a.online", 30.0, 1.0);
+  store.append("b.online", 40.0, 1.0);
+  const auto report = fleet_availability_from_store(
+      store, {"a.online", "b.online"}, 0.0, 100.0);
+  ASSERT_EQ(report.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.devices[0].downtime, 20.0);
+  EXPECT_DOUBLE_EQ(report.devices[1].downtime, 20.0);
+  EXPECT_EQ(report.devices[0].outages, 1u);
+  EXPECT_EQ(report.devices[1].outages, 1u);
+  EXPECT_DOUBLE_EQ(report.all_down, 10.0);
+  EXPECT_DOUBLE_EQ(report.fleet_availability(), 0.9);
+  EXPECT_DOUBLE_EQ(report.mean_availability(), 0.8);
+}
+
+TEST(FleetAvailability, OutageOpenAtWindowEndIsBoundedByTheHorizon) {
+  // The last sample leaves both devices down: the open outage accrues
+  // downtime up to t1 exactly, not beyond.
+  TimeSeriesStore store;
+  store.append("a.online", 0.0, 1.0);
+  store.append("b.online", 0.0, 1.0);
+  store.append("a.online", 60.0, 0.0);
+  store.append("b.online", 80.0, 0.0);
+  const auto report = fleet_availability_from_store(
+      store, {"a.online", "b.online"}, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(report.devices[0].downtime, 40.0);
+  EXPECT_DOUBLE_EQ(report.devices[1].downtime, 20.0);
+  EXPECT_DOUBLE_EQ(report.all_down, 20.0);
+  EXPECT_DOUBLE_EQ(report.fleet_availability(), 0.8);
+}
+
+TEST(FleetAvailability, DownBeforeWindowStartCountsTimeButNotATransition) {
+  // A device that entered the window already down contributes downtime from
+  // t0 and no outage transition; the all-down sweep honors the pre-window
+  // state too.
+  TimeSeriesStore store;
+  store.append("a.online", 0.0, 0.0);  // down before the window opens
+  store.append("b.online", 0.0, 0.0);
+  store.append("a.online", 30.0, 1.0);
+  store.append("b.online", 50.0, 1.0);
+  const auto report = fleet_availability_from_store(
+      store, {"a.online", "b.online"}, 10.0, 110.0);
+  EXPECT_DOUBLE_EQ(report.devices[0].downtime, 20.0);
+  EXPECT_DOUBLE_EQ(report.devices[1].downtime, 40.0);
+  EXPECT_EQ(report.devices[0].outages, 0u);
+  EXPECT_EQ(report.devices[1].outages, 0u);
+  EXPECT_DOUBLE_EQ(report.all_down, 20.0);
+  EXPECT_DOUBLE_EQ(report.fleet_availability(), 0.8);
+}
+
+TEST(FleetAvailability, EmptyWindowAndEmptySensorListStayBenign) {
+  TimeSeriesStore store;
+  store.append("a.online", 5.0, 0.0);
+  const auto empty_window =
+      fleet_availability_from_store(store, {"a.online"}, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(empty_window.fleet_availability(), 1.0);
+  EXPECT_DOUBLE_EQ(empty_window.all_down, 0.0);
+  const auto no_sensors = fleet_availability_from_store(store, {}, 0.0, 10.0);
+  EXPECT_TRUE(no_sensors.devices.empty());
+  EXPECT_DOUBLE_EQ(no_sensors.mean_availability(), 1.0);
+  EXPECT_THROW(fleet_availability_from_store(store, {"a.online"}, 10.0, 0.0),
+               PreconditionError);
+}
+
 }  // namespace
 }  // namespace hpcqc::telemetry

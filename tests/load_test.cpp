@@ -109,6 +109,44 @@ TEST(LoadGenerator, ZipfSkewsTenantsTowardTheHead) {
   EXPECT_GT(head, schedule.size() / 3);
 }
 
+TEST(LoadGenerator, WeekendFactorQuietsDaysFiveAndSix) {
+  TrafficConfig config = small_traffic(17);
+  config.duration = days(14.0);
+  config.base_rate_per_hour = 40.0;
+  config.diurnal_amplitude = 0.0;  // isolate the weekly structure
+  config.weekend_factor = 0.3;
+  const TrafficGenerator generator(config);
+
+  // t = 0 starts a Monday: the rate dips on days 5-6 of each week and is
+  // back to baseline on day 7.
+  EXPECT_DOUBLE_EQ(generator.rate_at(days(0.5)), 40.0);
+  EXPECT_DOUBLE_EQ(generator.rate_at(days(5.5)), 12.0);
+  EXPECT_DOUBLE_EQ(generator.rate_at(days(6.5)), 12.0);
+  EXPECT_DOUBLE_EQ(generator.rate_at(days(7.5)), 40.0);
+  EXPECT_DOUBLE_EQ(generator.rate_at(days(12.5)), 12.0);
+
+  // The thinned schedule reflects it: weekend days carry far fewer
+  // arrivals than weekdays.
+  const auto schedule = generator.generate();
+  ASSERT_GT(schedule.size(), 100u);
+  std::size_t weekday = 0;
+  std::size_t weekend = 0;
+  for (const Arrival& arrival : schedule) {
+    const int day = static_cast<int>(to_days(arrival.time)) % 7;
+    (day == 5 || day == 6 ? weekend : weekday) += 1;
+  }
+  // 10 weekdays at rate 40 vs 4 weekend days at rate 12: expect the
+  // weekday pile to dominate by far more than the 10/4 day ratio alone.
+  EXPECT_GT(weekday, 5 * weekend);
+
+  // Identical config replays identically; the default factor of 1.0
+  // leaves the schedule on the legacy bytes (no weekly structure).
+  EXPECT_EQ(TrafficGenerator(config).generate(), schedule);
+  TrafficConfig flat = config;
+  flat.weekend_factor = 1.0;
+  EXPECT_DOUBLE_EQ(TrafficGenerator(flat).rate_at(days(5.5)), 40.0);
+}
+
 TEST(LoadGenerator, RejectsDegenerateConfigs) {
   const auto rejects = [](auto mutate) {
     TrafficConfig config;
@@ -122,6 +160,8 @@ TEST(LoadGenerator, RejectsDegenerateConfigs) {
     c.ghz_weight = c.sampling_weight = c.vqe_weight = c.qaoa_weight = 0.0;
   });
   rejects([](TrafficConfig& c) { c.min_shots = 100; c.max_shots = 10; });
+  rejects([](TrafficConfig& c) { c.weekend_factor = 0.0; });
+  rejects([](TrafficConfig& c) { c.weekend_factor = -0.5; });
   rejects([](TrafficConfig& c) { c.high_fraction = 0.8; c.low_fraction = 0.5; });
 }
 

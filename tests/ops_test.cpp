@@ -189,9 +189,30 @@ TEST(Campaign, MaintenanceWindowHappensOnSchedule) {
   OperationsCampaign campaign(config);
   const auto result = campaign.run();
   EXPECT_EQ(result.maintenance_windows, 1u);
+  EXPECT_EQ(result.maintenance_deferrals, 0u);
   // Maintenance costs about a day of availability but is not a recovery.
   EXPECT_TRUE(result.recoveries.empty());
   EXPECT_LT(result.uptime_fraction, 0.99);
+}
+
+TEST(Campaign, MaintenanceDueDuringOutageIsDeferredNotDropped) {
+  // The first window comes due at day 4, half a day into a cooling outage
+  // whose recovery (warm-up, cooldown, full recalibration) holds the QPU
+  // out of service for days. The window must be counted as deferred and
+  // run once the QPU returns — never silently dropped.
+  CampaignConfig config = short_campaign(days(20.0));
+  config.maintenance_period = days(4.0);
+  config.outages.push_back(
+      {days(3.5), OutageEvent::Kind::kCoolingFailure, hours(5.0)});
+  OperationsCampaign campaign(config);
+  const auto result = campaign.run();
+
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  EXPECT_GE(result.maintenance_deferrals, 1u);
+  EXPECT_GE(result.maintenance_windows, 2u);
+  // Deferred windows re-anchor the schedule on their actual start: no
+  // back-to-back catch-up burst after the outage clears.
+  EXPECT_LE(result.maintenance_windows, 5u);
 }
 
 TEST(Campaign, RejectsBadConfig) {

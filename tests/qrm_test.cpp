@@ -14,6 +14,7 @@
 #include "hpcqc/fault/injector.hpp"
 #include "hpcqc/mqss/compile_farm.hpp"
 #include "hpcqc/mqss/service.hpp"
+#include "hpcqc/obs/metrics.hpp"
 #include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/model_device.hpp"
 #include "hpcqc/sched/qrm.hpp"
@@ -836,6 +837,75 @@ TEST_F(QrmTest, RepeatedOfflineMidRunDoesNotDuplicateTheJob) {
   EXPECT_TRUE(audit.holds());
   EXPECT_EQ(audit.submitted, 1u);
   EXPECT_EQ(audit.completed, 1u);
+}
+
+TEST(QrmTenantMetrics, CardinalityIsCappedAndTheTailSharesOneSeries) {
+  // 50 distinct projects against a 4-series cap: without the cap the
+  // registry would grow 3 counters per project (150 series); with it the
+  // first 4 projects get dedicated qrm.tenant.<project>.* counters and the
+  // other 46 share the qrm.tenant.other.* rollup.
+  Rng rng(21);
+  device::DeviceModel device = device::make_iqm20(rng);
+  EventLog log;
+  Qrm::Config config = fast_config();
+  config.admission.tenant_metric_series = 4;
+  Qrm qrm(device, config, rng, &log);
+  for (int p = 0; p < 50; ++p) {
+    QuantumJob job = ghz_job(device, 4, 100, "job-" + std::to_string(p));
+    job.project = "proj-" + std::to_string(p);
+    qrm.submit(std::move(job));
+  }
+  qrm.drain();
+
+  const obs::MetricsSnapshot snapshot =
+      qrm.metrics_registry().snapshot("qrm.tenant.");
+  EXPECT_EQ(snapshot.counters.size(), (4u + 1u) * 3u);
+  for (int p = 0; p < 4; ++p) {
+    const auto* dedicated = snapshot.counter(
+        "qrm.tenant.proj-" + std::to_string(p) + ".submitted");
+    ASSERT_NE(dedicated, nullptr) << "proj-" << p;
+    EXPECT_EQ(dedicated->value, 1.0) << "proj-" << p;
+  }
+  const auto* other = snapshot.counter("qrm.tenant.other.submitted");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->value, 46.0);
+  EXPECT_FALSE(
+      qrm.metrics_registry().has_counter("qrm.tenant.proj-10.submitted"));
+}
+
+TEST(QrmTenantMetrics, FairnessStaysExactForTailTenants) {
+  // Two projects far past the metric cap still get their own pending
+  // accounting: the shared counter series must not merge their fair-share
+  // state.
+  Rng rng(21);
+  device::DeviceModel device = device::make_iqm20(rng);
+  EventLog log;
+  Qrm::Config config = fast_config();
+  config.admission.tenant_metric_series = 1;
+  Qrm qrm(device, config, rng, &log);
+  const auto submit_for = [&](const std::string& project, int count) {
+    for (int i = 0; i < count; ++i) {
+      QuantumJob job = ghz_job(device, 4, 100, project + std::to_string(i));
+      job.project = project;
+      qrm.submit(std::move(job));
+    }
+  };
+  submit_for("head", 1);    // takes the single dedicated series
+  submit_for("tail-a", 4);  // both of these share qrm.tenant.other.*
+  submit_for("tail-b", 2);
+
+  EXPECT_GE(qrm.tenant_pending("tail-a"), 3u);
+  EXPECT_LE(qrm.tenant_pending("tail-b"), 2u);
+  EXPECT_LT(qrm.tenant_pending("tail-b"), qrm.tenant_pending("tail-a"));
+
+  const obs::MetricsSnapshot snapshot =
+      qrm.metrics_registry().snapshot("qrm.tenant.");
+  const auto* other = snapshot.counter("qrm.tenant.other.submitted");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->value, 6.0);
+
+  qrm.drain();
+  EXPECT_TRUE(qrm.conservation().holds());
 }
 
 }  // namespace
