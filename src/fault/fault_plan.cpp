@@ -19,6 +19,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kQueueFlood: return "queue-flood";
     case FaultSite::kCryoPlantTrip: return "cryo-plant-trip";
     case FaultSite::kFacilityPower: return "facility-power";
+    case FaultSite::kProcessCrash: return "process-crash";
   }
   return "?";
 }
@@ -73,6 +74,7 @@ FaultPlan FaultPlan::generate(const Params& params, std::uint64_t seed) {
       {FaultSite::kQueueFlood, &params.queue_flood},
       {FaultSite::kCryoPlantTrip, &params.cryo_plant_trip},
       {FaultSite::kFacilityPower, &params.facility_power},
+      {FaultSite::kProcessCrash, &params.process_crash},
   };
   // One independent child stream per site: adding a site to the plan never
   // perturbs the draws of the others, so scenarios stay comparable across

@@ -24,9 +24,10 @@ enum class FaultSite {
   kQueueFlood,        ///< a burst of low-priority submissions hits the QRM
   kCryoPlantTrip,     ///< shared cryo plant trips: every device on it warms
   kFacilityPower,     ///< facility power event hitting a subset of devices
+  kProcessCrash,      ///< the QRM control-plane process dies and recovers
 };
 
-inline constexpr std::size_t kNumFaultSites = 10;
+inline constexpr std::size_t kNumFaultSites = 11;
 
 /// True for the correlated fleet sites, which describe a failure of shared
 /// infrastructure rather than of one device's own stack.
@@ -82,6 +83,10 @@ public:
     SiteRate queue_flood;
     SiteRate cryo_plant_trip;
     SiteRate facility_power;
+    /// Control-plane crashes (kill -9 on the QRM). Duration is ignored —
+    /// the crash is an instant; what matters is what the write-ahead
+    /// journal had flushed when it hit.
+    SiteRate process_crash;
     /// Element counts for the partial-degrade sites: targets are drawn
     /// uniformly from [0, num_qubits) / [0, num_couplers). Required (> 0)
     /// when the corresponding dropout site is enabled.

@@ -1,0 +1,308 @@
+#include "hpcqc/ops/durable_campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "hpcqc/calibration/benchmark.hpp"
+#include "hpcqc/common/error.hpp"
+#include "hpcqc/common/log.hpp"
+#include "hpcqc/common/rng.hpp"
+#include "hpcqc/device/presets.hpp"
+#include "hpcqc/fault/fault_plan.hpp"
+#include "hpcqc/fault/injector.hpp"
+#include "hpcqc/sched/fleet.hpp"
+#include "hpcqc/store/journal.hpp"
+#include "hpcqc/store/snapshot.hpp"
+#include "hpcqc/store/wal.hpp"
+
+namespace hpcqc::ops {
+
+namespace {
+
+/// Everything that dies with the control-plane process. The WAL *backend*
+/// (the disk) lives outside and survives; these objects are rebuilt from it.
+struct ControlPlane {
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<EventLog> log;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<store::Wal> wal;
+  std::unique_ptr<store::Journal> journal;
+  std::unique_ptr<store::Checkpointer> checkpointer;
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  std::unique_ptr<sched::Fleet> fleet;
+};
+
+/// Boots a fresh control plane (generation 0 = first boot, > 0 = after a
+/// crash). Each generation gets its own seeded Rng fork so reruns of the
+/// whole campaign — crashes included — replay bit-identically.
+ControlPlane boot(const DurableCampaignParams& params, std::uint64_t generation,
+                  store::MemoryWalBackend& backend,
+                  const std::vector<fault::FaultPlan>& fault_plans) {
+  ControlPlane cp;
+  cp.rng = std::make_unique<Rng>(params.seed + 0x9e3779b9u * (generation + 1));
+  cp.log = std::make_unique<EventLog>();
+  cp.metrics = std::make_unique<obs::MetricsRegistry>();
+  cp.wal = std::make_unique<store::Wal>(backend, store::Wal::Config{},
+                                        cp.metrics.get());
+  cp.journal = std::make_unique<store::Journal>(*cp.wal);
+  store::Checkpointer::Config checkpoint;
+  checkpoint.interval = params.snapshot_interval;
+  cp.checkpointer = std::make_unique<store::Checkpointer>(
+      *cp.wal, checkpoint, cp.metrics.get());
+
+  sched::Fleet::Config config;
+  config.qrm.benchmark.qubits = 8;
+  config.qrm.benchmark.shots = 200;
+  config.qrm.benchmark.analytic = true;
+  config.qrm.execution_mode = device::ExecutionMode::kEstimateOnly;
+  config.coordination_step = minutes(15.0);
+  cp.fleet = std::make_unique<sched::Fleet>(config, *cp.rng, cp.log.get());
+  for (int d = 0; d < params.devices; ++d)
+    cp.fleet->add_device(
+        std::make_unique<device::DeviceModel>(device::make_iqm20(*cp.rng)));
+  // Journal after the roster exists so every QRM carries its device tag.
+  cp.fleet->set_journal(cp.journal.get());
+  for (int d = 0; d < params.devices; ++d) {
+    cp.injectors.push_back(
+        std::make_unique<fault::FaultInjector>(fault_plans[d]));
+    cp.fleet->qrm(d).set_fault_injector(cp.injectors.back().get());
+  }
+  return cp;
+}
+
+std::string pad_number(std::size_t value, std::size_t width) {
+  std::string digits = std::to_string(value);
+  if (digits.size() < width) digits.insert(0, width - digits.size(), '0');
+  return digits;
+}
+
+std::string hours_of(Seconds t) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << t / 3600.0;
+  return os.str();
+}
+
+/// Final-state pin of one job that was terminal in a recovered image.
+struct TerminalPin {
+  sched::QuantumJobState state{};
+  std::size_t attempts = 0;
+};
+
+std::size_t attempts_of(const sched::Fleet& fleet, int id) {
+  const sched::Fleet::FleetJobRecord& record = fleet.record(id);
+  if (record.device < 0) return 0;
+  return fleet.qrm(record.device).record(record.local_id).attempts;
+}
+
+}  // namespace
+
+DurableCampaignResult run_durable_campaign(
+    const DurableCampaignParams& params) {
+  expects(params.devices > 0 && params.horizon > 0.0 && params.step > 0.0 &&
+              params.submit_every > 0.0,
+          "run_durable_campaign: degenerate parameters");
+
+  // Crash schedule: scripted points plus an optional Poisson draw through
+  // the fault-plan site, all strictly inside the horizon.
+  std::vector<Seconds> crash_times = params.scripted_crashes;
+  if (params.crash_mtbf > 0.0) {
+    fault::FaultPlan::Params fp;
+    fp.horizon = params.horizon;
+    fp.process_crash.mtbf = params.crash_mtbf;
+    const fault::FaultPlan plan =
+        fault::FaultPlan::generate(fp, params.seed ^ 0xc5a5f00dULL);
+    for (const fault::FaultEvent& event : plan.events())
+      if (event.site == fault::FaultSite::kProcessCrash)
+        crash_times.push_back(event.at);
+  }
+  std::erase_if(crash_times, [&](Seconds t) {
+    return t <= 0.0 || t >= params.horizon;
+  });
+  std::sort(crash_times.begin(), crash_times.end());
+  crash_times.erase(std::unique(crash_times.begin(), crash_times.end()),
+                    crash_times.end());
+
+  // Per-device execution-fault plans, generated once: the fault windows are
+  // anchored to simulated time, not to the control-plane generation, so a
+  // rebuilt QRM sees the same device weather the dead one did.
+  std::vector<fault::FaultPlan> fault_plans(
+      static_cast<std::size_t>(params.devices));
+  if (params.exec_fault_mtbf > 0.0) {
+    fault::FaultPlan::Params fp;
+    fp.horizon = params.horizon;
+    fp.device_execution.mtbf = params.exec_fault_mtbf;
+    for (int d = 0; d < params.devices; ++d)
+      fault_plans[static_cast<std::size_t>(d)] = fault::FaultPlan::generate(
+          fp, params.seed * 31 + static_cast<std::uint64_t>(d));
+  }
+
+  // Timeline: advance boundaries, submission points, crash points.
+  enum : int { kSubmit = 1, kCrash = 2 };
+  std::map<Seconds, int> timeline;
+  for (Seconds t = params.step; t < params.horizon + params.step / 2;
+       t += params.step)
+    timeline[std::min(t, params.horizon)] |= 0;
+  for (Seconds t = params.submit_every;
+       t <= params.horizon - params.submit_margin; t += params.submit_every)
+    timeline[t] |= kSubmit;
+  for (const Seconds t : crash_times) timeline[t] |= kCrash;
+
+  store::MemoryWalBackend backend;
+  // The torn-tail stream is independent of everything else: crash damage is
+  // a property of the storage, not of the workload draw.
+  Rng tear_rng(params.seed ^ 0x7ea57ea5ULL);
+
+  DurableCampaignResult result;
+  std::uint64_t generation = 0;
+  ControlPlane cp = boot(params, generation, backend, fault_plans);
+
+  std::map<std::string, int> submitted;  ///< planned name -> fleet id
+  std::map<std::string, TerminalPin> pinned;
+  std::size_t next_job = 0;
+
+  const auto submit_named = [&](const std::string& name) {
+    sched::QuantumJob job;
+    job.name = name;
+    const int width = 4 + static_cast<int>(next_job % 4);
+    job.circuit = calibration::GhzBenchmark::chain_circuit(
+        cp.fleet->device_model(0), width);
+    job.shots = params.shots;
+    submitted[name] = cp.fleet->submit(std::move(job));
+  };
+
+  const auto check_pins = [&]() {
+    for (const auto& [name, pin] : pinned) {
+      const auto it = submitted.find(name);
+      if (it == submitted.end()) {
+        result.terminal_preserved = false;
+        continue;
+      }
+      try {
+        const sched::QuantumJobState state = cp.fleet->state(it->second);
+        if (state != pin.state ||
+            attempts_of(*cp.fleet, it->second) != pin.attempts)
+          result.terminal_preserved = false;
+      } catch (const NotFoundError&) {
+        result.terminal_preserved = false;
+      }
+    }
+  };
+
+  const auto pin_terminals = [&]() {
+    for (const auto& [name, id] : submitted) {
+      try {
+        const sched::QuantumJobState state = cp.fleet->state(id);
+        if (is_terminal(state))
+          pinned[name] = {state, attempts_of(*cp.fleet, id)};
+      } catch (const NotFoundError&) {
+        // Lost in the torn tail; the resubmission pass below re-plans it.
+      }
+    }
+  };
+
+  for (const auto& [t, flags] : timeline) {
+    cp.fleet->advance_to(t);
+    if ((flags & kSubmit) != 0) {
+      submit_named("job-" + pad_number(next_job, 4));
+      next_job += 1;
+    }
+    if (cp.checkpointer->maybe_checkpoint(*cp.fleet)) result.snapshots += 1;
+    if ((flags & kCrash) == 0) continue;
+
+    // ---- kProcessCrash: the control plane dies right here. --------------
+    CrashRecord crash;
+    crash.at = t;
+    cp = ControlPlane{};  // Fleet, QRMs, journal, WAL object: all gone.
+    const std::size_t total = backend.total_bytes();
+    crash.torn_bytes = std::min(
+        static_cast<std::size_t>(
+            tear_rng.uniform_index(params.max_torn_bytes + 1)),
+        total);
+    backend.truncate_total(total - crash.torn_bytes);
+
+    // ---- Reboot and recover from what the disk still holds. -------------
+    generation += 1;
+    cp = boot(params, generation, backend, fault_plans);
+    store::Recovery recovery(backend, cp.metrics.get());
+    crash.recovery = recovery.restore(*cp.fleet);
+
+    // Exactly-once audit: nothing that was terminal in an earlier recovered
+    // image may have changed state or gained attempts.
+    check_pins();
+    pin_terminals();
+
+    // Client-side retry: planned jobs whose submission (or admission
+    // outcome) was torn off the tail are resubmitted under the same name.
+    for (auto& [name, id] : submitted) {
+      bool lost = false;
+      try {
+        lost = cp.fleet->state(id) == sched::QuantumJobState::kCancelled;
+      } catch (const NotFoundError&) {
+        lost = true;
+      }
+      if (!lost) continue;
+      crash.resubmitted += 1;
+      submit_named(name);
+    }
+    result.resubmitted += crash.resubmitted;
+
+    // Checkpoint the recovered image immediately: bounds the next replay
+    // and (with two-snapshot retention) is safe even if the *next* crash
+    // tears this very snapshot.
+    cp.checkpointer->checkpoint(*cp.fleet);
+    result.snapshots += 1;
+    result.crashes.push_back(crash);
+  }
+
+  cp.fleet->drain();
+  check_pins();
+  result.planned_jobs = next_job;
+  result.conservation = cp.fleet->conservation();
+
+  // ---- Deterministic report (simulated time and seeded draws only). -----
+  std::ostringstream os;
+  os << "durable campaign: seed=" << params.seed
+     << " devices=" << params.devices
+     << " horizon_h=" << hours_of(params.horizon)
+     << " snapshot_h=" << hours_of(params.snapshot_interval) << "\n";
+  os << "crashes=" << result.crashes.size()
+     << " snapshots=" << result.snapshots
+     << " planned=" << result.planned_jobs
+     << " resubmitted=" << result.resubmitted << "\n";
+  for (std::size_t i = 0; i < result.crashes.size(); ++i) {
+    const CrashRecord& crash = result.crashes[i];
+    os << "crash " << i << ": at_h=" << hours_of(crash.at)
+       << " torn=" << crash.torn_bytes
+       << " snapshot=" << (crash.recovery.had_snapshot ? "yes" : "no")
+       << " replayed=" << crash.recovery.replayed
+       << " requeued=" << crash.recovery.requeued
+       << " scrubbed=" << crash.recovery.scrubbed
+       << " dropped=" << crash.recovery.dropped_bytes
+       << " resubmitted=" << crash.resubmitted << "\n";
+  }
+  const sched::JobConservation& audit = result.conservation;
+  os << "conservation: submitted=" << audit.submitted
+     << " completed=" << audit.completed << " failed=" << audit.failed
+     << " cancelled=" << audit.cancelled
+     << " rejected=" << audit.rejected_overload + audit.rejected_too_wide
+     << " shed=" << audit.shed << " migrated=" << audit.migrated
+     << " in_flight=" << audit.in_flight
+     << " holds=" << (audit.holds() ? "yes" : "no") << "\n";
+  os << "terminal_preserved=" << (result.terminal_preserved ? "yes" : "no")
+     << "\n";
+  for (const auto& [name, id] : submitted) {
+    os << name << " state=" << to_string(cp.fleet->state(id))
+       << " attempts=" << attempts_of(*cp.fleet, id)
+       << " device=" << cp.fleet->record(id).device
+       << " migrations=" << cp.fleet->record(id).migrations << "\n";
+  }
+  result.report = os.str();
+  return result;
+}
+
+}  // namespace hpcqc::ops

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpcqc/common/units.hpp"
+#include "hpcqc/sched/qrm.hpp"
+#include "hpcqc/store/recovery.hpp"
+
+namespace hpcqc::ops {
+
+/// A multi-day fleet campaign whose control plane journals every job event
+/// into a write-ahead log, checkpoints on a simulated-clock cadence, and is
+/// killed (fault::FaultSite::kProcessCrash) at scripted and/or Poisson-drawn
+/// points. Each crash destroys the Fleet, every QRM, and the journal
+/// objects, tears a seeded-random number of bytes off the WAL tail
+/// (simulating unflushed buffers), then rebuilds the control plane through
+/// store::Recovery and carries on. The driver resubmits planned jobs whose
+/// submission was lost or scrubbed in the torn tail — the client-side retry
+/// a real workload manager performs on a dead control plane.
+struct DurableCampaignParams {
+  int devices = 2;
+  Seconds horizon = days(3.0);
+  Seconds step = minutes(30.0);         ///< fleet advance cadence
+  Seconds submit_every = minutes(45.0); ///< planned-job cadence
+  /// No submissions this close to the horizon, so the drain is bounded.
+  Seconds submit_margin = hours(6.0);
+  Seconds snapshot_interval = hours(6.0);
+  std::size_t shots = 300;
+  /// Poisson MTBF of random control-plane crashes (0 disables).
+  Seconds crash_mtbf = 0.0;
+  /// Exact crash times, merged with the random draw.
+  std::vector<Seconds> scripted_crashes;
+  /// Device-execution fault MTBF per device (0 disables) — exercises the
+  /// retry / dead-letter paths so crashes hit non-trivial journal states.
+  Seconds exec_fault_mtbf = 0.0;
+  /// Per crash, up to this many bytes are torn off the WAL tail (drawn
+  /// uniformly from [0, max]). 0 = every append was flushed.
+  std::size_t max_torn_bytes = 64;
+  std::uint64_t seed = 42;
+};
+
+/// What one control-plane crash did.
+struct CrashRecord {
+  Seconds at = 0.0;
+  std::size_t torn_bytes = 0;       ///< bytes the simulated crash unflushed
+  store::RecoveryStats recovery;
+  std::size_t resubmitted = 0;      ///< planned jobs lost in the tail
+};
+
+struct DurableCampaignResult {
+  /// Deterministic text report (per-job final states, conservation,
+  /// per-crash recovery stats). Byte-identical across reruns of the same
+  /// params and across OMP_NUM_THREADS — the crash-recovery determinism
+  /// contract the chaos test compares.
+  std::string report;
+  sched::JobConservation conservation;
+  std::vector<CrashRecord> crashes;
+  std::size_t planned_jobs = 0;
+  std::size_t resubmitted = 0;
+  std::size_t snapshots = 0;
+  /// False if any job that was terminal in a recovered image later changed
+  /// state or gained attempts — the exactly-once invariant.
+  bool terminal_preserved = true;
+};
+
+DurableCampaignResult run_durable_campaign(const DurableCampaignParams& params);
+
+}  // namespace hpcqc::ops

@@ -42,8 +42,21 @@ Fleet::Fleet(Config config, Rng& rng, EventLog* log,
       &registry_->counter("fleet.migration_dead_letters");
   m_devices_online_ = &registry_->gauge("fleet.devices_online");
   m_devices_calibrating_ = &registry_->gauge("fleet.devices_calibrating");
+  journal_ = config_.durability.sink;
   if (config_.compile_workers > 0)
     farm_ = std::make_unique<mqss::CompileFarm>(config_.compile_workers);
+}
+
+void Fleet::emit(FleetEvent event) {
+  if (journal_ == nullptr) return;
+  event.at = now_;
+  journal_->on_fleet_event(event);
+}
+
+void Fleet::set_journal(JournalSink* sink) {
+  journal_ = sink;
+  for (std::size_t d = 0; d < slots_.size(); ++d)
+    slots_[d]->qrm->set_journal(sink, static_cast<int>(d));
 }
 
 Fleet::~Fleet() = default;
@@ -70,6 +83,9 @@ int Fleet::add_device(std::unique_ptr<device::DeviceModel> model,
   // The per-device QRM owns a private registry so its qrm.* series stay
   // per-device; the fleet registry carries the fleet.* aggregates.
   s->qrm = std::make_unique<Qrm>(*s->model, config_.qrm, *rng_, log_);
+  // Every device journals into the shared fleet sink, tagged by its index,
+  // regardless of what config_.qrm.durability said (the fleet owns tagging).
+  s->qrm->set_journal(journal_, index);
   s->qrm->set_compile_service(s->service.get());
   if (farm_ != nullptr) s->service->set_compile_farm(farm_.get());
   s->service->set_metrics(&s->qrm->metrics_registry());
@@ -249,6 +265,17 @@ int Fleet::submit(QuantumJob job) {
       tracer_->end_span(it->second, now_, obs::SpanStatus::kError);
       open_spans_.erase(it);
     }
+    if (journal_ != nullptr) {
+      FleetEvent event;
+      event.kind = FleetEvent::Kind::kSubmitted;
+      event.id = record.id;
+      event.name = record.name;
+      event.width = record.width;
+      event.priority = record.priority;
+      event.refused_state = record.refused_state;
+      event.reason = record.refusal_reason;
+      emit(event);
+    }
     const int id = record.id;
     records_.emplace(id, std::move(record));
     return id;
@@ -260,6 +287,17 @@ int Fleet::submit(QuantumJob job) {
   record.local_id = local_id;
   record.hops.emplace_back(best, local_id);
   chosen.local_to_fleet.emplace(local_id, record.id);
+  if (journal_ != nullptr) {
+    FleetEvent event;
+    event.kind = FleetEvent::Kind::kSubmitted;
+    event.id = record.id;
+    event.name = record.name;
+    event.device = best;
+    event.local_id = local_id;
+    event.width = record.width;
+    event.priority = record.priority;
+    emit(event);
+  }
   if (log_)
     log_->debug(now_, "fleet",
                 "job '" + record.name + "' placed on '" + chosen.name +
@@ -316,6 +354,17 @@ void Fleet::migrate_job(int from, int local_id, int to,
   record.local_id = new_local;
   record.migrations += 1;
   record.hops.emplace_back(to, new_local);
+  if (journal_ != nullptr) {
+    FleetEvent event;
+    event.kind = FleetEvent::Kind::kMigrated;
+    event.id = fleet_id;
+    event.name = record.name;
+    event.device = to;
+    event.local_id = new_local;
+    event.from = from;
+    event.reason = reason;
+    emit(event);
+  }
   m_migrations_->inc();
   source.m_migrations_out->inc();
   target.m_migrations_in->inc();

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcqc/sched/fleet.hpp"
+#include "hpcqc/sched/qrm.hpp"
+
+namespace hpcqc::sched {
+
+/// Serializable token-bucket state (tokens + lazy-refill watermark). The
+/// default is the "unobserved" sentinel: journal replay only learns a
+/// class bucket's state from admission events, so a priority class that
+/// never admitted anything stays at last_refill < 0 and restore keeps the
+/// fresh QRM's configured initial bucket instead of clobbering it.
+struct TokenBucketState {
+  double tokens = 0.0;
+  Seconds last_refill = -1.0;
+
+  bool observed() const { return last_refill >= 0.0; }
+};
+
+/// Everything a Qrm needs to continue after a control-plane crash: the full
+/// durable image store::Snapshot serializes and store::Recovery rebuilds by
+/// replaying journal events on top of the last checkpoint. Deliberately
+/// excludes throughput counters (busy time, shot totals) — those are
+/// observability, not audit state — and anything derivable from the device
+/// model or configuration.
+struct QrmDurableState {
+  Seconds now = 0.0;
+  int next_id = 1;
+  bool online = true;
+
+  std::vector<int> queue;        ///< scheduling order
+  std::vector<int> retry_queue;  ///< ids waiting out next_retry_at
+  std::map<int, QuantumJobRecord> records;
+  /// Payloads of non-terminal jobs (queued / running / retrying). Running
+  /// jobs are requeued at the head on restore per set_offline semantics.
+  std::map<int, QuantumJob> pending;
+  std::vector<DeadLetterRecord> dead_letters;
+
+  TokenBucketState class_buckets[3]{};  ///< indexed by JobPriority
+  std::map<std::string, TokenBucketState> tenants;
+
+  /// Sorted unique structural hashes of pending parametric payloads — an
+  /// audit manifest of what the structure cache will be asked to recompile
+  /// after recovery (caches themselves are rebuilt on demand).
+  std::vector<std::uint64_t> structure_manifest;
+};
+
+/// What restore_durable did with the image.
+struct RestoreSummary {
+  std::size_t restored_jobs = 0;       ///< records reconstructed
+  std::size_t requeued_in_flight = 0;  ///< running -> queue head
+  std::size_t backfilled_traces = 0;   ///< DLQ/pending trace contexts patched
+};
+
+/// Durable image of a Fleet: its own records plus one QrmDurableState per
+/// device, in device-index order. local_to_fleet maps are not serialized —
+/// they are rebuilt from the records (each fleet job's current
+/// (device, local_id) pair is exactly the mapping).
+struct FleetDurableState {
+  Seconds now = 0.0;
+  int next_id = 1;
+  std::map<int, Fleet::FleetJobRecord> records;
+  std::vector<QrmDurableState> devices;
+};
+
+}  // namespace hpcqc::sched

@@ -13,6 +13,9 @@
 
 namespace hpcqc::sched {
 
+struct FleetDurableState;
+struct RestoreSummary;
+
 /// The fleet-level scheduler the paper's scaling argument (20 -> 54 -> 150
 /// qubits) points at: N simulated QPUs — each with its own DeviceModel,
 /// calibration epoch, drift state, health mask, QDMI view, compile service
@@ -57,6 +60,11 @@ public:
     /// Also migrate queued jobs stranded by a health mask (width no longer
     /// fits the device's largest healthy component) to peers that fit.
     bool migrate_on_mask = true;
+    /// Optional shared journal sink: fleet placement/migration events plus
+    /// every device QRM's lifecycle events (tagged with the device index)
+    /// flow into one write-ahead journal. `device_tag` is ignored — the
+    /// fleet assigns tags per slot.
+    DurabilityConfig durability;
   };
 
   /// Fleet-side view of one submission. The per-device lifecycle lives in
@@ -144,6 +152,21 @@ public:
   /// hops re-attach to.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches (or replaces) the shared journal sink: fleet events plus
+  /// every existing and future device QRM (tagged by index). The sink must
+  /// outlive the fleet; nullptr detaches everywhere.
+  void set_journal(JournalSink* sink);
+  JournalSink* journal() const { return journal_; }
+
+  /// Captures the fleet-wide durable image (fleet records + one
+  /// QrmDurableState per device, in index order).
+  FleetDurableState capture_durable() const;
+
+  /// Reconstructs a recovered image onto a fresh fleet that already has the
+  /// same device roster (StateError when device counts disagree or jobs
+  /// were already submitted). Returns the summed per-device summary.
+  RestoreSummary restore_durable(const FleetDurableState& state);
+
   obs::MetricsRegistry& metrics_registry() { return *registry_; }
   const obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
@@ -173,11 +196,14 @@ private:
   void note_gauges();
   void close_finished_spans();
   std::size_t effective_calibration_slots() const;
+  /// Stamps the fleet clock and forwards to the sink (no-op without one).
+  void emit(FleetEvent event);
 
   Config config_;
   Rng* rng_;
   EventLog* log_;
   obs::Tracer* tracer_ = nullptr;
+  JournalSink* journal_ = nullptr;
   Seconds now_ = 0.0;
   int next_id_ = 1;
   std::vector<std::unique_ptr<Slot>> slots_;

@@ -19,12 +19,16 @@
 #include "hpcqc/obs/trace.hpp"
 #include "hpcqc/qdmi/qdmi.hpp"
 #include "hpcqc/sched/accounting.hpp"
+#include "hpcqc/sched/journal.hpp"
 
 namespace hpcqc::mqss {
 class QpuService;
 }
 
 namespace hpcqc::sched {
+
+struct QrmDurableState;
+struct RestoreSummary;
 
 /// Priority class used by admission control and brownout shedding.
 enum class JobPriority { kHigh, kNormal, kLow };
@@ -288,6 +292,10 @@ public:
     RetryPolicy retry;
     /// Bounded-queue admission control and overload shedding.
     AdmissionPolicy admission;
+    /// Optional write-ahead journaling of every lifecycle transition (see
+    /// journal.hpp); a null sink disables durability at one pointer test
+    /// per emission site.
+    DurabilityConfig durability;
   };
 
   /// Throws PermanentError when `config` is invalid (zero capacities,
@@ -385,6 +393,31 @@ public:
   /// pointer test per site).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches (or replaces) the journal sink after construction — the path
+  /// Fleet::add_device uses to tag each device's events with its fleet
+  /// index. The sink must outlive the QRM; nullptr detaches.
+  void set_journal(JournalSink* sink, int device_tag = -1) {
+    journal_ = sink;
+    journal_tag_ = device_tag;
+  }
+  JournalSink* journal() const { return journal_; }
+
+  /// Captures the durable image of the current state (see QrmDurableState).
+  /// Safe at any time; between phases it is exactly what a checkpoint
+  /// stores.
+  QrmDurableState capture_durable() const;
+
+  /// Reconstructs state from a recovered image onto a freshly constructed
+  /// QRM (same device/config/rng wiring; StateError if jobs were already
+  /// submitted). In-flight attempts are requeued at the head per the
+  /// set_offline semantics (attempt refunded, interruption recorded),
+  /// terminal records are restored verbatim and never re-executed, DLQ
+  /// trace contexts are backfilled like the drain/replay path, and — when
+  /// a tracer is attached (attach it *before* restoring) — every
+  /// non-terminal job gets a fresh root span parented at its pre-crash
+  /// context so the trace survives the crash.
+  RestoreSummary restore_durable(const QrmDurableState& state);
 
   /// The live metrics registry (owned or shared, see the constructor).
   obs::MetricsRegistry& metrics_registry() { return *registry_; }
@@ -528,6 +561,9 @@ private:
   void open_queue_span(int id, const char* why);
   void close_root(int id, obs::SpanStatus status);
   void note_queue_gauge();
+  /// Stamps device tag + simulated time and forwards to the journal sink
+  /// (no-op without one).
+  void emit(JobEvent event);
 
   device::DeviceModel* device_;
   Config config_;
@@ -575,6 +611,8 @@ private:
   calibration::CalibrationEngine engine_;
 
   obs::Tracer* tracer_ = nullptr;
+  JournalSink* journal_ = nullptr;
+  int journal_tag_ = -1;
   std::map<int, JobSpans> job_spans_;
   obs::SpanHandle phase_span_ = obs::kNoSpan;  ///< calibration / benchmark
 

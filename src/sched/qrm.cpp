@@ -168,7 +168,16 @@ Qrm::Qrm(device::DeviceModel& device, Config config, Rng& rng, EventLog* log,
   } else {
     registry_ = metrics;
   }
+  journal_ = config_.durability.sink;
+  journal_tag_ = config_.durability.device_tag;
   bind_metrics();
+}
+
+void Qrm::emit(JobEvent event) {
+  if (journal_ == nullptr) return;
+  event.device = journal_tag_;
+  event.at = now_;
+  journal_->on_event(event);
 }
 
 void Qrm::bind_metrics() {
@@ -334,6 +343,14 @@ int Qrm::reject(QuantumJobRecord record, QuantumJobState state,
   record.state = state;
   record.end_time = now_;
   record.failure_reason = reason;
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kRejected;
+    event.id = record.id;
+    event.record = &record;
+    event.reason = reason;
+    emit(event);
+  }
   if (state == QuantumJobState::kRejectedOverload)
     m_rejected_overload_->inc();
   else
@@ -368,6 +385,14 @@ void Qrm::shed_low_priority() {
     record.end_time = now_;
     record.failure_reason = "shed by brownout (overloaded queue)";
     pending_jobs_.erase(id);
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kShed;
+      event.id = id;
+      event.record = &record;
+      event.reason = record.failure_reason;
+      emit(event);
+    }
     m_shed_->inc();
     if (tracer_ != nullptr) {
       const JobSpans& spans = job_spans_.at(id);
@@ -461,6 +486,18 @@ int Qrm::submit(QuantumJob job) {
     job_spans_.emplace(record.id, spans);
   }
 
+  // Write-ahead: the submission (with its full payload) is journaled before
+  // any admission outcome, so a crash between here and the decision leaves a
+  // record recovery can scrub deterministically.
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kSubmitted;
+    event.id = record.id;
+    event.job = &job;
+    event.record = &record;
+    emit(event);
+  }
+
   // Degraded capability check: a job wider than the largest healthy
   // connected component can never run until repairs land, so refuse it now
   // instead of parking it in the queue indefinitely.
@@ -507,11 +544,21 @@ int Qrm::submit(QuantumJob job) {
     }
   }
   if (tenant != nullptr && !job.migrated_in &&
-      config_.admission.tenant_rate_per_hour > 0.0 &&
-      !tenant->bucket.try_take(now_)) {
-    tenant->rejected->inc();
-    return reject(std::move(record), QuantumJobState::kRejectedOverload,
-                  "tenant '" + job.project + "' admission rate exceeded");
+      config_.admission.tenant_rate_per_hour > 0.0) {
+    if (!tenant->bucket.try_take(now_)) {
+      tenant->rejected->inc();
+      return reject(std::move(record), QuantumJobState::kRejectedOverload,
+                    "tenant '" + job.project + "' admission rate exceeded");
+    }
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kTenantDelta;
+      event.id = record.id;
+      event.project = job.project;
+      event.bucket_tokens = tenant->bucket.tokens;
+      event.bucket_refill = tenant->bucket.last_refill;
+      emit(event);
+    }
   }
   if (!job.migrated_in && !bucket(job.priority).try_take(now_)) {
     if (tenant != nullptr) tenant->rejected->inc();
@@ -531,6 +578,18 @@ int Qrm::submit(QuantumJob job) {
   pending_jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
   track_enqueue(id, /*retry=*/false);
+  if (journal_ != nullptr) {
+    const QuantumJob& admitted = pending_jobs_.at(id);
+    const TokenBucket& b = bucket(admitted.priority);
+    JobEvent event;
+    event.kind = JobEvent::Kind::kAdmitted;
+    event.id = id;
+    event.record = &records_.at(id);
+    event.priority = admitted.priority;
+    event.bucket_tokens = b.tokens;
+    event.bucket_refill = b.last_refill;
+    emit(event);
+  }
   open_queue_span(id, "admitted");
   note_queue_gauge();
   update_brownout();
@@ -573,6 +632,14 @@ bool Qrm::cancel(int id, const std::string& reason) {
   record.end_time = now_;
   record.next_retry_at = -1.0;
   pending_jobs_.erase(id);
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kCancelled;
+    event.id = id;
+    event.record = &record;
+    event.reason = reason;
+    emit(event);
+  }
   m_cancelled_->inc();
   note_queue_gauge();
   if (tracer_ != nullptr) {
@@ -621,6 +688,14 @@ std::optional<Qrm::MigratedJob> Qrm::extract_job(int id,
   record.failure_reason = "migrated: " + reason;
   out.job.migrations += 1;
   out.job.migrated_in = true;
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kMigratedOut;
+    event.id = id;
+    event.record = &record;
+    event.reason = reason;
+    emit(event);
+  }
   m_migrated_out_->inc();
   note_queue_gauge();
   if (tracer_ != nullptr) {
@@ -667,7 +742,14 @@ void Qrm::push_dead_letter(const QuantumJobRecord& record, QuantumJob job) {
   if (dead_letters_.size() > config_.admission.dead_letter_capacity) {
     // Oldest-first overflow: the DLQ is an audit window, not unbounded
     // storage; the drop is counted so nothing vanishes unaccounted.
+    const int dropped = dead_letters_.front().id;
     dead_letters_.erase(dead_letters_.begin());
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kDlqDropped;
+      event.id = dropped;
+      emit(event);
+    }
     m_dead_letters_dropped_->inc();
   }
 }
@@ -686,6 +768,14 @@ bool Qrm::dead_letter_job(int id, const std::string& reason) {
   record.end_time = now_;
   record.next_retry_at = -1.0;
   record.failure_reason = reason;
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kDeadLettered;
+    event.id = id;
+    event.record = &record;
+    event.reason = reason;
+    emit(event);
+  }
   push_dead_letter(record, std::move(pending_jobs_.at(id)));
   pending_jobs_.erase(id);
   m_failed_->inc();
@@ -715,6 +805,12 @@ std::vector<DeadLetterRecord> Qrm::drain_dead_letters() {
     if (!letter.job.trace.valid() && letter.trace.valid())
       letter.job.trace = letter.trace;
   }
+  if (journal_ != nullptr && !out.empty()) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kDlqDrained;
+    event.count = out.size();
+    emit(event);
+  }
   m_dead_letters_drained_->inc(static_cast<double>(out.size()));
   if (log_ && !out.empty())
     log_->info(now_, "qrm",
@@ -741,6 +837,14 @@ void Qrm::set_offline(const std::string& reason) {
     record.failure_reason = "interrupted by outage: " + reason;
     queue_.insert(queue_.begin(), active_job_);
     track_enqueue(active_job_, /*retry=*/false);
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kInterrupted;
+      event.id = active_job_;
+      event.record = &record;
+      event.reason = reason;
+      emit(event);
+    }
     note_queue_gauge();
     if (tracer_ != nullptr) {
       JobSpans& spans = job_spans_.at(active_job_);
@@ -774,12 +878,23 @@ void Qrm::set_offline(const std::string& reason) {
   active_job_ = -1;
   active_job_faulted_ = false;
   active_calibration_.reset();
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kOffline;
+    event.reason = reason;
+    emit(event);
+  }
   if (log_) log_->warning(now_, "qrm", "QPU offline: " + reason);
 }
 
 void Qrm::set_online() {
   online_ = true;
   status_ = qdmi::DeviceStatus::kIdle;
+  if (journal_ != nullptr) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::kOnline;
+    emit(event);
+  }
   if (log_) log_->info(now_, "qrm", "QPU back in service");
 }
 
@@ -804,8 +919,17 @@ void Qrm::promote_due_retries() {
   for (const int id : retry_queue_)
     if (records_.at(id).next_retry_at <= now_) due.push_back(id);
   if (due.empty()) return;
-  for (auto it = due.rbegin(); it != due.rend(); ++it)
+  for (auto it = due.rbegin(); it != due.rend(); ++it) {
     queue_.insert(queue_.begin(), *it);
+    // Emitted per insertion (reverse order) so a replay that applies
+    // "insert at head" per event reproduces the final queue order exactly.
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kRetryRequeued;
+      event.id = *it;
+      emit(event);
+    }
+  }
   for (const int id : due) {
     track_dequeue(id, /*retry=*/true);
     track_enqueue(id, /*retry=*/false);
@@ -848,6 +972,14 @@ void Qrm::fail_active_job() {
     record.end_time = now_;
     record.failure_reason = "execution fault; retry budget exhausted after " +
                             std::to_string(record.attempts) + " attempts";
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kDeadLettered;
+      event.id = active_job_;
+      event.record = &record;
+      event.reason = record.failure_reason;
+      emit(event);
+    }
     push_dead_letter(record, std::move(pending_jobs_.at(active_job_)));
     m_failed_->inc();
     pending_jobs_.erase(active_job_);
@@ -867,6 +999,14 @@ void Qrm::fail_active_job() {
     record.next_retry_at = now_ + config_.retry.backoff(record.attempts);
     retry_queue_.push_back(active_job_);
     track_enqueue(active_job_, /*retry=*/true);
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kRetrying;
+      event.id = active_job_;
+      event.record = &record;
+      event.reason = record.failure_reason;
+      emit(event);
+    }
     m_retries_->inc();
     if (tracer_ != nullptr) {
       JobSpans& spans = job_spans_.at(active_job_);
@@ -900,6 +1040,13 @@ void Qrm::finish_phase(Rng& rng) {
       auto& record = records_.at(active_job_);
       record.state = QuantumJobState::kCompleted;
       record.end_time = now_;
+      if (journal_ != nullptr) {
+        JobEvent event;
+        event.kind = JobEvent::Kind::kCompleted;
+        event.id = active_job_;
+        event.record = &record;
+        emit(event);
+      }
       m_completed_->inc();
       m_total_shots_->inc(static_cast<double>(record.shots));
       m_good_shots_->inc(static_cast<double>(record.shots) *
@@ -1139,6 +1286,16 @@ void Qrm::begin_next_work() {
     record.state = QuantumJobState::kRunning;
     record.start_time = now_;
     record.attempts += 1;
+    // Write-ahead of the attempt itself: the journal shows the dispatch
+    // before any device side effect, so a crash mid-execution recovers the
+    // job as in-flight (requeued at head) rather than silently lost.
+    if (journal_ != nullptr) {
+      JobEvent event;
+      event.kind = JobEvent::Kind::kDispatched;
+      event.id = id;
+      event.record = &record;
+      emit(event);
+    }
     m_queue_wait_->observe(now_ - record.submit_time);
     m_overhead_->observe(config_.job_overhead);
 

@@ -19,6 +19,9 @@
 #include "hpcqc/qdmi/model_device.hpp"
 #include "hpcqc/sched/qrm.hpp"
 #include "hpcqc/sched/workload.hpp"
+#include "hpcqc/store/journal.hpp"
+#include "hpcqc/store/recovery.hpp"
+#include "hpcqc/store/wal.hpp"
 
 namespace hpcqc::sched {
 namespace {
@@ -816,6 +819,83 @@ TEST(QrmDeadLetter, QueuedJobDeadLetteredDirectlyDrainsWithItsTrace) {
   EXPECT_EQ(letters[0].job.trace, root);
   qrm.drain();
   EXPECT_TRUE(qrm.conservation().holds());
+}
+
+TEST(QrmDeadLetter, WalRoundTripPreservesLettersAcrossACrash) {
+  // Dead-letter -> crash -> recover -> drain. The rebuilt control plane
+  // must hold exactly the same DLQ (ids, attempts, reasons, trace
+  // contexts), keep terminal jobs terminal (exactly-once: the failed run is
+  // never re-executed by recovery), and replay the drained payload under
+  // the original trace context.
+  Rng rng(29);
+  device::DeviceModel device = device::make_iqm20(rng);
+  obs::Tracer tracer;
+  store::MemoryWalBackend backend;
+  store::Wal wal(backend);
+  store::Journal journal(wal);
+  Qrm::Config config = fast_config();
+  config.retry.max_attempts = 1;
+
+  int doomed = 0, fine = 0;
+  obs::TraceContext letter_trace;
+  std::uint64_t attempts = 0;
+  std::string reason;
+  {
+    Qrm qrm(device, config, rng, nullptr);
+    qrm.set_tracer(&tracer);
+    qrm.set_journal(&journal, 0);
+    fault::FaultPlan plan;
+    plan.add({0.0, fault::FaultSite::kDeviceExecution, hours(2.0),
+              "persistent abort"});
+    fault::FaultInjector injector(plan);
+    qrm.set_fault_injector(&injector);
+
+    doomed = qrm.submit(ghz_job(device, 4, 500, "doomed"));
+    qrm.drain();
+    ASSERT_EQ(qrm.record(doomed).state, QuantumJobState::kFailed);
+    qrm.advance_to(hours(3.0));
+    fine = qrm.submit(ghz_job(device, 4, 500, "fine"));
+    qrm.drain();
+    ASSERT_EQ(qrm.record(fine).state, QuantumJobState::kCompleted);
+    ASSERT_EQ(qrm.dead_letters().size(), 1u);
+    letter_trace = qrm.dead_letters()[0].trace;
+    attempts = qrm.dead_letters()[0].attempts;
+    reason = qrm.dead_letters()[0].reason;
+    ASSERT_TRUE(letter_trace.valid());
+  }  // kill -9: the Qrm is gone, only the journal survives
+
+  Rng rng2(31);
+  Qrm rebuilt(device, config, rng2, nullptr);
+  store::Recovery recovery(backend);
+  recovery.restore(rebuilt);
+
+  // Exactly-once: both terminal outcomes are frozen, nothing re-ran.
+  EXPECT_EQ(rebuilt.record(doomed).state, QuantumJobState::kFailed);
+  EXPECT_EQ(rebuilt.record(fine).state, QuantumJobState::kCompleted);
+  ASSERT_EQ(rebuilt.dead_letters().size(), 1u);
+  EXPECT_EQ(rebuilt.dead_letters()[0].id, doomed);
+  EXPECT_EQ(rebuilt.dead_letters()[0].attempts, attempts);
+  EXPECT_EQ(rebuilt.dead_letters()[0].reason, reason);
+  EXPECT_EQ(rebuilt.dead_letters()[0].trace, letter_trace);
+
+  auto letters = rebuilt.drain_dead_letters();
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].id, doomed);
+  EXPECT_EQ(letters[0].trace, letter_trace);
+  ASSERT_TRUE(letters[0].job.trace.valid());
+  EXPECT_EQ(letters[0].job.trace, letter_trace);
+  EXPECT_EQ(rebuilt.metrics().dead_letters_drained, 1u);
+
+  // No injector on the rebuilt plane: the replay completes, the original
+  // failure stays failed, and the books balance.
+  const int replay = rebuilt.submit(std::move(letters[0].job));
+  rebuilt.drain();
+  EXPECT_EQ(rebuilt.record(replay).state, QuantumJobState::kCompleted);
+  EXPECT_EQ(rebuilt.record(doomed).state, QuantumJobState::kFailed);
+  const JobConservation audit = rebuilt.conservation();
+  EXPECT_TRUE(audit.holds());
+  EXPECT_EQ(audit.failed, 1u);
+  EXPECT_EQ(audit.completed, 2u);
 }
 
 TEST_F(QrmTest, RepeatedOfflineMidRunDoesNotDuplicateTheJob) {

@@ -1,0 +1,113 @@
+// Crash-recovery chaos: a multi-day durable fleet campaign whose control
+// plane is killed at scripted and Poisson-drawn points, tearing seeded
+// random byte counts off the WAL tail. Every run must conserve jobs, keep
+// recovered terminal states frozen (exactly-once), and produce a
+// byte-identical report across reruns, seeds, and OMP thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "hpcqc/ops/durable_campaign.hpp"
+
+namespace hpcqc::ops {
+namespace {
+
+DurableCampaignParams chaos_params(std::uint64_t seed) {
+  DurableCampaignParams params;
+  params.devices = 2;
+  params.horizon = days(2.0);
+  params.submit_every = minutes(40.0);
+  params.snapshot_interval = hours(4.0);
+  params.crash_mtbf = hours(14.0);
+  params.exec_fault_mtbf = hours(9.0);
+  params.max_torn_bytes = 96;
+  params.seed = seed;
+  return params;
+}
+
+void expect_sound(const DurableCampaignResult& outcome) {
+  EXPECT_TRUE(outcome.conservation.holds())
+      << "submitted=" << outcome.conservation.submitted
+      << " completed=" << outcome.conservation.completed
+      << " failed=" << outcome.conservation.failed
+      << " cancelled=" << outcome.conservation.cancelled
+      << " in_flight=" << outcome.conservation.in_flight;
+  EXPECT_EQ(outcome.conservation.in_flight, 0u);
+  EXPECT_TRUE(outcome.terminal_preserved)
+      << "a recovered-terminal job changed state or re-executed";
+  EXPECT_GT(outcome.planned_jobs, 0u);
+  EXPECT_GT(outcome.snapshots, 0u);
+}
+
+TEST(RecoveryChaos, ScriptedCrashesRecoverAndConserveJobs) {
+  DurableCampaignParams params = chaos_params(7);
+  params.crash_mtbf = 0.0;  // only the scripted kills
+  params.scripted_crashes = {hours(11.0), hours(30.0)};
+  const DurableCampaignResult outcome = run_durable_campaign(params);
+  expect_sound(outcome);
+  ASSERT_EQ(outcome.crashes.size(), 2u);
+  EXPECT_EQ(outcome.crashes[0].at, hours(11.0));
+  EXPECT_EQ(outcome.crashes[1].at, hours(30.0));
+  for (const CrashRecord& crash : outcome.crashes) {
+    // The campaign checkpoints at every recovery, so from the second crash
+    // on there is always a snapshot to start from.
+    EXPECT_GE(crash.recovery.replayed + (crash.recovery.had_snapshot ? 1 : 0),
+              1u);
+  }
+  EXPECT_TRUE(outcome.crashes[1].recovery.had_snapshot);
+}
+
+TEST(RecoveryChaos, ReportIsByteIdenticalAcrossReruns) {
+  const DurableCampaignParams params = chaos_params(42);
+  const DurableCampaignResult first = run_durable_campaign(params);
+  expect_sound(first);
+  EXPECT_FALSE(first.crashes.empty());
+  const DurableCampaignResult second = run_durable_campaign(params);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.crashes.size(), second.crashes.size());
+  EXPECT_EQ(first.resubmitted, second.resubmitted);
+}
+
+// Seeded sweep. Defaults stay CI-cheap; nightly runs widen it with
+// HPCQC_CHAOS_SEEDS=<n>.
+TEST(RecoveryChaos, SeedSweepHoldsTheRecoveryContract) {
+  std::size_t budget = 3;
+  if (const char* env = std::getenv("HPCQC_CHAOS_SEEDS")) {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) budget = static_cast<std::size_t>(parsed);
+  }
+  for (std::size_t k = 0; k < budget; ++k) {
+    const std::uint64_t seed = 100 + 17 * k;
+    DurableCampaignParams params = chaos_params(seed);
+    params.horizon = days(1.5);
+    const DurableCampaignResult outcome = run_durable_campaign(params);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_sound(outcome);
+    const DurableCampaignResult replay = run_durable_campaign(params);
+    EXPECT_EQ(outcome.report, replay.report);
+  }
+}
+
+#ifdef _OPENMP
+TEST(RecoveryChaos, ReportIsInvariantAcrossThreadCounts) {
+  const DurableCampaignParams params = chaos_params(42);
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const DurableCampaignResult single = run_durable_campaign(params);
+  omp_set_num_threads(original > 1 ? original : 4);
+  const DurableCampaignResult multi = run_durable_campaign(params);
+  omp_set_num_threads(original);
+  expect_sound(single);
+  EXPECT_EQ(single.report, multi.report);
+}
+#endif
+
+}  // namespace
+}  // namespace hpcqc::ops
